@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks of the protocol's core data structures —
+//! the ablation measurements behind DESIGN.md's design choices: sender-log
+//! append/GC cost, pessimism-gate bookkeeping, engine step latency and
+//! replay-plan matching.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mvr_core::engine::{Input, V2Engine};
+use mvr_core::{
+    DataMsg, MsgId, Payload, PeerMsg, PessimismGate, Rank, ReceptionEvent, ReplayPlan, SenderLog,
+};
+
+fn bench_sender_log(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sender_log");
+    let payload = Payload::filled(7, 1024);
+    g.bench_function("append_1k", |b| {
+        b.iter_batched(
+            SenderLog::new,
+            |mut log| {
+                for i in 0..1000u64 {
+                    log.append(Rank((i % 8) as u32), i + 1, payload.clone());
+                }
+                black_box(log.bytes_held())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("gc_half_of_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut log = SenderLog::new();
+                for i in 0..1000u64 {
+                    log.append(Rank(1), i + 1, payload.clone());
+                }
+                log
+            },
+            |mut log| black_box(log.collect(Rank(1), 500)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("resend_tail", |b| {
+        let mut log = SenderLog::new();
+        for i in 0..1000u64 {
+            log.append(Rank(1), i + 1, payload.clone());
+        }
+        b.iter(|| black_box(log.resend_after(Rank(1), 900).count()))
+    });
+    g.finish();
+}
+
+fn bench_gate(c: &mut Criterion) {
+    c.bench_function("pessimism_gate_cycle", |b| {
+        b.iter_batched(
+            PessimismGate::new,
+            |mut gate| {
+                for i in 1..=1000u64 {
+                    gate.on_scheduled(i);
+                    gate.on_ack(i);
+                }
+                black_box(gate.is_open())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("send_recv_ack_cycle", |b| {
+        b.iter_batched(
+            || (V2Engine::fresh(Rank(0), 2), V2Engine::fresh(Rank(1), 2)),
+            |(mut tx, mut rx)| {
+                for i in 0..100 {
+                    tx.handle(Input::AppSend {
+                        dst: Rank(1),
+                        payload: Payload::filled(i, 256),
+                    })
+                    .unwrap();
+                    for out in tx.drain_outputs() {
+                        if let mvr_core::engine::Output::Transmit { msg, .. } = out {
+                            rx.handle(Input::Peer { from: Rank(0), msg }).unwrap();
+                        }
+                    }
+                    rx.handle(Input::AppRecv).unwrap();
+                    let clock = rx.clock();
+                    rx.handle(Input::ElAck { up_to: clock }).unwrap();
+                    rx.drain_outputs();
+                }
+                black_box(rx.clock())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_replay_plan(c: &mut Criterion) {
+    c.bench_function("replay_plan_1k_events", |b| {
+        let events: Vec<ReceptionEvent> = (0..1000u64)
+            .map(|i| ReceptionEvent {
+                sender: Rank((i % 4) as u32),
+                sender_clock: i / 4 + 1,
+                receiver_clock: i + 1,
+                probes: 0,
+            })
+            .collect();
+        b.iter_batched(
+            || ReplayPlan::new(events.clone()),
+            |mut plan| {
+                let mut clock = 0u64;
+                for i in 0..1000u64 {
+                    let id = MsgId::new(Rank((i % 4) as u32), i / 4 + 1);
+                    plan.offer(id, Payload::empty());
+                    if let Some((ev, _)) = plan.try_deliver(clock).unwrap() {
+                        clock = ev.receiver_clock;
+                    }
+                }
+                black_box(plan.is_done())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    c.bench_function("peer_msg_encode_decode_4k", |b| {
+        let msg = PeerMsg::Data(DataMsg {
+            id: MsgId::new(Rank(3), 999),
+            dst: Rank(1),
+            payload: Payload::filled(9, 4096),
+        });
+        b.iter(|| {
+            let enc = bincode::serialize(&msg).unwrap();
+            let dec: PeerMsg = bincode::deserialize(&enc).unwrap();
+            black_box(dec)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sender_log,
+    bench_gate,
+    bench_engine,
+    bench_replay_plan,
+    bench_wire
+);
+criterion_main!(benches);

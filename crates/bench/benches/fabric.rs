@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the in-process fabric: mailbox throughput and
+//! the kill/reincarnate path (the runtime's fault-injection hot path).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mvr_core::{NodeId, Rank};
+use mvr_net::Fabric;
+
+fn bench_mailbox_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    g.bench_function("send_recv_10k_msgs", |b| {
+        b.iter_batched(
+            || {
+                let f = Fabric::new();
+                let (mb, _) = f.register::<u64>(NodeId::Computing(Rank(1)));
+                let (_, id) = f.register::<u64>(NodeId::Computing(Rank(0)));
+                (mb, id)
+            },
+            |(mb, id)| {
+                for i in 0..10_000u64 {
+                    id.send(NodeId::Computing(Rank(1)), i).unwrap();
+                }
+                let mut sum = 0u64;
+                while let Ok(Some(v)) = mb.try_recv() {
+                    sum += v;
+                }
+                black_box(sum)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("kill_and_reincarnate", |b| {
+        let f = Fabric::new();
+        let node = NodeId::Computing(Rank(7));
+        let (_mb, _id) = f.register::<u64>(node);
+        b.iter(|| {
+            f.kill(node);
+            let (mb, id) = f.register::<u64>(node);
+            black_box((mb.is_empty(), id.is_live()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mailbox_throughput);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the discrete-event simulator itself (events
+//! per second on representative workloads) — these bound how large a
+//! paper-scale sweep the fig7 harness can afford.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mvr_simnet::{simulate, ClusterConfig, Protocol};
+use mvr_workloads::{pingpong, token_ring};
+
+mod helpers {
+    use mvr_simnet::Op;
+    use mvr_workloads::nas::{traces, Class, NasBenchmark};
+
+    pub fn cg_small() -> Vec<Vec<Op>> {
+        traces(NasBenchmark::CG, Class::S, 4)
+    }
+}
+
+/// Re-export shim so the bench body reads naturally.
+fn traces_small() -> Vec<Vec<mvr_simnet::Op>> {
+    helpers::cg_small()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("pingpong_1000_rounds_v2", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig::paper_cluster(Protocol::V2, 2);
+            black_box(simulate(cfg, pingpong(1000, 4096)).makespan)
+        })
+    });
+    g.bench_function("token_ring_8x100_v2", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig::paper_cluster(Protocol::V2, 8);
+            black_box(simulate(cfg, token_ring(8, 100, 16 << 10)).makespan)
+        })
+    });
+    g.bench_function("nas_cg_class_s_4_v2", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig::paper_cluster(Protocol::V2, 4);
+            black_box(simulate(cfg, traces_small()).makespan)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

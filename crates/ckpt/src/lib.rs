@@ -1,0 +1,25 @@
+//! # mvr-ckpt — checkpoint server, scheduler and policies
+//!
+//! The checkpoint subsystem of MPICH-V2 (§4.6): a [`CheckpointStore`] /
+//! server storing node images, the [`Scheduler`] implementing the paper's
+//! round-robin and adaptive (received/sent ratio) policies plus the random
+//! policy of the faulty-execution experiment, and the §4.6.2
+//! [`policy_sim`] comparing the policies on classical communication
+//! schemes.
+//!
+//! Per §4.3 the checkpoint components *may* be unreliable: losing them
+//! degrades restarts to from-scratch re-execution but never violates
+//! correctness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod policy_sim;
+pub mod scheduler;
+pub mod service;
+pub mod store;
+
+pub use policy_sim::{compare_all, simulate, PolicySimConfig, PolicySimReport, Scheme};
+pub use scheduler::{NodeStatus, Policy, Scheduler};
+pub use service::{run_checkpoint_server, CkptPacket};
+pub use store::{CheckpointStore, StoredImage};

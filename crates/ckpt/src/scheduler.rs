@@ -1,0 +1,226 @@
+//! The checkpoint scheduler (§4.6.2).
+//!
+//! "The role of the checkpoint scheduler is to evaluate the cost and the
+//! benefit of a checkpoint, at any specific time, and to order the
+//! checkpoints accordingly. Periodically, it asks the communication daemons
+//! to send their status (in terms of the amount of logged messages), and
+//! evaluates the benefit of a checkpoint."
+//!
+//! Three policies are provided:
+//! * [`Policy::RoundRobin`] — the paper's communication-free baseline;
+//! * [`Policy::Adaptive`] — the paper's received/sent-ratio policy,
+//!   checkpointing first the nodes whose checkpoint frees the most
+//!   sender-log storage per byte of image transferred;
+//! * [`Policy::Random`] — the policy used in the faulty-execution
+//!   experiment (Fig. 11: "a scheduling policy randomly selecting the node
+//!   to checkpoint").
+
+use mvr_core::Rank;
+use serde::{Deserialize, Serialize};
+
+/// A daemon's status report, as carried by `SchedMsg::Status`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStatus {
+    /// Reporting rank.
+    pub rank: Rank,
+    /// Bytes currently in the sender-based log (image-size proxy: cost).
+    pub logged_bytes: u64,
+    /// Cumulative bytes sent.
+    pub sent_bytes: u64,
+    /// Cumulative bytes received (GC-potential proxy: benefit).
+    pub recv_bytes: u64,
+}
+
+/// Checkpoint-selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Cycle through the ranks; needs no status traffic.
+    RoundRobin,
+    /// Decreasing received/sent ratio (the paper's adaptive policy).
+    Adaptive,
+    /// Uniformly random victim (seeded).
+    Random,
+}
+
+/// The scheduler's decision state.
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    policy: Policy,
+    world: u32,
+    next_rr: u32,
+    rng_state: u64,
+    /// Per-rank cumulative counters at the last checkpoint of that rank,
+    /// so the adaptive ratio uses *deltas* since the last checkpoint.
+    sent_at_ckpt: Vec<u64>,
+    recv_at_ckpt: Vec<u64>,
+    /// Remaining picks of the current adaptive round ("it computes a
+    /// scheduling following a decreasing order of this ratio across the
+    /// nodes" — a full round per schedule, so no node starves).
+    adaptive_round: std::collections::VecDeque<Rank>,
+}
+
+impl Scheduler {
+    /// New scheduler over `world` ranks.
+    pub fn new(policy: Policy, world: u32, seed: u64) -> Self {
+        Scheduler {
+            policy,
+            world,
+            next_rr: 0,
+            rng_state: seed.max(1),
+            sent_at_ckpt: vec![0; world as usize],
+            recv_at_ckpt: vec![0; world as usize],
+            adaptive_round: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64* — deterministic and dependency-free.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Pick the next rank to checkpoint, given fresh status reports
+    /// (RoundRobin ignores them; the caller may pass an empty slice then).
+    /// Returns `None` when no candidate exists (empty world).
+    pub fn pick(&mut self, statuses: &[NodeStatus]) -> Option<Rank> {
+        if self.world == 0 {
+            return None;
+        }
+        let rank = match self.policy {
+            Policy::RoundRobin => {
+                let r = Rank(self.next_rr);
+                self.next_rr = (self.next_rr + 1) % self.world;
+                r
+            }
+            Policy::Random => Rank((self.next_rand() % self.world as u64) as u32),
+            Policy::Adaptive => {
+                // Build a full round ordered by decreasing
+                // (received delta) / (sent delta) when the previous round
+                // is exhausted; missing statuses fall back to round-robin
+                // order so every node is eventually checkpointed.
+                if self.adaptive_round.is_empty() {
+                    if statuses.is_empty() {
+                        let r = Rank(self.next_rr);
+                        self.next_rr = (self.next_rr + 1) % self.world;
+                        return Some(r);
+                    }
+                    // A node that received nothing new frees no sender-log
+                    // storage when checkpointed: transferring its image is
+                    // pure bandwidth waste (the round-robin pathology on
+                    // asymmetric schemes). Schedule only beneficial nodes,
+                    // ordered by decreasing benefit/cost ratio.
+                    let mut ranked: Vec<(f64, Rank)> = statuses
+                        .iter()
+                        .filter_map(|s| {
+                            let i = s.rank.idx();
+                            let recv_d = s.recv_bytes.saturating_sub(self.recv_at_ckpt[i]) as f64;
+                            if recv_d <= 0.0 {
+                                return None;
+                            }
+                            let sent_d =
+                                (s.sent_bytes.saturating_sub(self.sent_at_ckpt[i]) as f64).max(1.0);
+                            Some((recv_d / sent_d, s.rank))
+                        })
+                        .collect();
+                    ranked
+                        .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                    if ranked.is_empty() {
+                        // Nothing beneficial: fall back to round-robin so
+                        // recovery-oriented checkpoints still progress.
+                        let r = Rank(self.next_rr);
+                        self.next_rr = (self.next_rr + 1) % self.world;
+                        return Some(r);
+                    }
+                    self.adaptive_round
+                        .extend(ranked.into_iter().map(|(_, r)| r));
+                }
+                self.adaptive_round.pop_front()?
+            }
+        };
+        Some(rank)
+    }
+
+    /// Record that `rank` completed a checkpoint, updating the adaptive
+    /// baselines from its last status.
+    pub fn on_checkpoint_done(&mut self, rank: Rank, status: Option<&NodeStatus>) {
+        if let Some(s) = status {
+            self.sent_at_ckpt[rank.idx()] = s.sent_bytes;
+            self.recv_at_ckpt[rank.idx()] = s.recv_bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(rank: u32, sent: u64, recv: u64) -> NodeStatus {
+        NodeStatus {
+            rank: Rank(rank),
+            logged_bytes: sent,
+            sent_bytes: sent,
+            recv_bytes: recv,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = Scheduler::new(Policy::RoundRobin, 3, 0);
+        let picks: Vec<u32> = (0..6).map(|_| s.pick(&[]).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn adaptive_prefers_high_recv_to_sent_ratio() {
+        let mut s = Scheduler::new(Policy::Adaptive, 3, 0);
+        // Rank 2 received a lot and sent little: checkpointing it frees the
+        // most sender-log bytes per image byte.
+        let statuses = vec![st(0, 1000, 10), st(1, 500, 500), st(2, 10, 1000)];
+        assert_eq!(s.pick(&statuses), Some(Rank(2)));
+    }
+
+    #[test]
+    fn adaptive_uses_deltas_since_last_checkpoint() {
+        let mut s = Scheduler::new(Policy::Adaptive, 2, 0);
+        let first = vec![st(0, 10, 1000), st(1, 10, 100)];
+        assert_eq!(s.pick(&first), Some(Rank(0)));
+        s.on_checkpoint_done(Rank(0), Some(&first[0]));
+        // Since its checkpoint, rank 0 received nothing new; rank 1 wins.
+        let second = vec![st(0, 20, 1000), st(1, 20, 200)];
+        assert_eq!(s.pick(&second), Some(Rank(1)));
+    }
+
+    #[test]
+    fn adaptive_without_statuses_falls_back_to_rr() {
+        let mut s = Scheduler::new(Policy::Adaptive, 2, 0);
+        assert_eq!(s.pick(&[]), Some(Rank(0)));
+        assert_eq!(s.pick(&[]), Some(Rank(1)));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let mut a = Scheduler::new(Policy::Random, 4, 42);
+        let mut b = Scheduler::new(Policy::Random, 4, 42);
+        let pa: Vec<u32> = (0..20).map(|_| a.pick(&[]).unwrap().0).collect();
+        let pb: Vec<u32> = (0..20).map(|_| b.pick(&[]).unwrap().0).collect();
+        assert_eq!(pa, pb);
+        assert!(pa.iter().all(|&r| r < 4));
+        // Not constant (sanity).
+        assert!(pa.iter().any(|&r| r != pa[0]));
+    }
+
+    #[test]
+    fn empty_world_yields_none() {
+        let mut s = Scheduler::new(Policy::RoundRobin, 0, 0);
+        assert_eq!(s.pick(&[]), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! The checkpoint-server service loop, mirroring the event logger's.
+//! Note §4.3: unlike the EL, the checkpoint server *may* be unreliable —
+//! nodes whose images are lost simply restart from scratch. Tests kill it
+//! to exercise exactly that path.
+
+use crate::store::CheckpointStore;
+use mvr_core::{CkptReply, CkptRequest, Rank};
+use mvr_net::{Mailbox, RecvError};
+
+/// One inbound request: who asked, and what.
+#[derive(Clone, Debug)]
+pub struct CkptPacket {
+    /// The daemon (by rank) that sent the request.
+    pub from: Rank,
+    /// The request.
+    pub req: CkptRequest,
+}
+
+/// Run the checkpoint server until its mailbox is killed. `reply` ships a
+/// [`CkptReply`] back to the daemon of the given rank.
+pub fn run_checkpoint_server<F>(mailbox: Mailbox<CkptPacket>, mut reply: F) -> CheckpointStore
+where
+    F: FnMut(Rank, CkptReply) -> bool,
+{
+    let mut store = CheckpointStore::new();
+    loop {
+        let pkt = match mailbox.recv() {
+            Ok(p) => p,
+            Err(RecvError::Killed) | Err(RecvError::Timeout) => break,
+        };
+        let r = store.handle(pkt.req);
+        let _ = reply(pkt.from, r);
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvr_core::{NodeId, Payload};
+    use mvr_net::Fabric;
+    use std::sync::mpsc;
+    use std::thread;
+
+    #[test]
+    fn put_then_get_roundtrip_through_service() {
+        let fabric = Fabric::new();
+        let node = NodeId::CheckpointServer(0);
+        let (mb, _id) = fabric.register::<CkptPacket>(node);
+        let (tx, rx) = mpsc::channel::<(Rank, CkptReply)>();
+        let h = thread::spawn(move || {
+            run_checkpoint_server(mb, move |r, reply| tx.send((r, reply)).is_ok())
+        });
+        fabric
+            .send_from_reliable(
+                node,
+                CkptPacket {
+                    from: Rank(2),
+                    req: CkptRequest::Put {
+                        rank: Rank(2),
+                        clock: 9,
+                        image: Payload::filled(1, 64),
+                    },
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            rx.recv().unwrap().1,
+            CkptReply::Stored {
+                rank: Rank(2),
+                clock: 9
+            }
+        );
+        fabric
+            .send_from_reliable(
+                node,
+                CkptPacket {
+                    from: Rank(2),
+                    req: CkptRequest::GetLatest { rank: Rank(2) },
+                },
+            )
+            .unwrap();
+        let (_, reply) = rx.recv().unwrap();
+        assert!(matches!(reply, CkptReply::Image { clock: Some(9), .. }));
+        fabric.kill(node);
+        let store = h.join().unwrap();
+        assert_eq!(store.ranks_stored(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! The checkpoint server's image store.
+//!
+//! §4.6.1: "The checkpoint server is a reliable repository storing the
+//! checkpoint images of the MPI processes and of the communication
+//! daemons." We keep the latest image per rank (plus a bounded history for
+//! diagnostics) and serve `GetLatest` on restart.
+
+use mvr_core::{CkptReply, CkptRequest, Payload, Rank};
+use std::collections::BTreeMap;
+
+/// One stored image.
+#[derive(Clone, Debug)]
+pub struct StoredImage {
+    /// Logical clock of the image.
+    pub clock: u64,
+    /// Serialized [`mvr_core::NodeImage`].
+    pub image: Payload,
+}
+
+/// Pure checkpoint-server state.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointStore {
+    /// Latest image per rank (history below).
+    latest: BTreeMap<Rank, StoredImage>,
+    /// Previous images per rank, most recent last (bounded).
+    history: BTreeMap<Rank, Vec<StoredImage>>,
+    history_limit: usize,
+    /// Cumulative bytes ever stored.
+    bytes_written: u64,
+}
+
+impl CheckpointStore {
+    /// Store with the default history depth (1 previous image).
+    pub fn new() -> Self {
+        CheckpointStore {
+            history_limit: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Store keeping `limit` previous images per rank.
+    pub fn with_history(limit: usize) -> Self {
+        CheckpointStore {
+            history_limit: limit,
+            ..Default::default()
+        }
+    }
+
+    /// Store an image; newer clocks replace the latest.
+    pub fn put(&mut self, rank: Rank, clock: u64, image: Payload) {
+        self.bytes_written += image.len() as u64;
+        let new = StoredImage { clock, image };
+        if let Some(old) = self.latest.insert(rank, new.clone()) {
+            if old.clock > new.clock {
+                // Out-of-order put (stale re-send): keep the newer one.
+                self.latest.insert(rank, old.clone());
+                return;
+            }
+            let h = self.history.entry(rank).or_default();
+            h.push(old);
+            let excess = h.len().saturating_sub(self.history_limit);
+            if excess > 0 {
+                h.drain(..excess);
+            }
+        }
+    }
+
+    /// Latest image for `rank`, if any.
+    pub fn get_latest(&self, rank: Rank) -> Option<&StoredImage> {
+        self.latest.get(&rank)
+    }
+
+    /// Handle a request, producing the reply.
+    pub fn handle(&mut self, req: CkptRequest) -> CkptReply {
+        match req {
+            CkptRequest::Put { rank, clock, image } => {
+                self.put(rank, clock, image);
+                CkptReply::Stored { rank, clock }
+            }
+            CkptRequest::GetLatest { rank } => match self.get_latest(rank) {
+                Some(img) => CkptReply::Image {
+                    clock: Some(img.clock),
+                    image: img.image.clone(),
+                },
+                None => CkptReply::Image {
+                    clock: None,
+                    image: Payload::empty(),
+                },
+            },
+        }
+    }
+
+    /// Number of ranks with at least one image.
+    pub fn ranks_stored(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Cumulative bytes ever written (checkpoint traffic accounting).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Bytes currently held (latest images only).
+    pub fn bytes_held(&self) -> u64 {
+        self.latest.values().map(|i| i.image.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = CheckpointStore::new();
+        assert!(s.get_latest(Rank(0)).is_none());
+        s.put(Rank(0), 10, Payload::filled(1, 100));
+        let img = s.get_latest(Rank(0)).unwrap();
+        assert_eq!(img.clock, 10);
+        assert_eq!(img.image.len(), 100);
+    }
+
+    #[test]
+    fn newer_clock_replaces_latest() {
+        let mut s = CheckpointStore::new();
+        s.put(Rank(0), 10, Payload::filled(1, 100));
+        s.put(Rank(0), 20, Payload::filled(2, 50));
+        assert_eq!(s.get_latest(Rank(0)).unwrap().clock, 20);
+        assert_eq!(s.bytes_written(), 150);
+        assert_eq!(s.bytes_held(), 50);
+    }
+
+    #[test]
+    fn stale_put_does_not_regress() {
+        let mut s = CheckpointStore::new();
+        s.put(Rank(0), 20, Payload::filled(2, 50));
+        s.put(Rank(0), 10, Payload::filled(1, 100));
+        assert_eq!(s.get_latest(Rank(0)).unwrap().clock, 20);
+    }
+
+    #[test]
+    fn handle_get_missing_is_none() {
+        let mut s = CheckpointStore::new();
+        let r = s.handle(CkptRequest::GetLatest { rank: Rank(7) });
+        assert_eq!(
+            r,
+            CkptReply::Image {
+                clock: None,
+                image: Payload::empty()
+            }
+        );
+    }
+
+    #[test]
+    fn handle_put_acks() {
+        let mut s = CheckpointStore::new();
+        let r = s.handle(CkptRequest::Put {
+            rank: Rank(1),
+            clock: 5,
+            image: Payload::filled(0, 10),
+        });
+        assert_eq!(
+            r,
+            CkptReply::Stored {
+                rank: Rank(1),
+                clock: 5
+            }
+        );
+        assert_eq!(s.ranks_stored(), 1);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut s = CheckpointStore::with_history(2);
+        for c in 1..=5 {
+            s.put(Rank(0), c, Payload::filled(c as u8, 10));
+        }
+        assert_eq!(s.history.get(&Rank(0)).unwrap().len(), 2);
+        assert_eq!(s.get_latest(Rank(0)).unwrap().clock, 5);
+    }
+}

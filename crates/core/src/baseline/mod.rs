@@ -1,0 +1,12 @@
+//! The comparison protocols of the paper's evaluation.
+//!
+//! * [`p4`] — the non-fault-tolerant reference (MPICH-P4): direct
+//!   transmission, no logging, no recovery.
+//! * [`v1`] — MPICH-V1: pessimistic logging on reliable Channel Memories;
+//!   every message transits through (and is stored on) the Channel Memory
+//!   associated with its receiver, halving the usable bandwidth but
+//!   providing uncoordinated restart with a lower small-message latency
+//!   than V2 (no event-logger ack on the send path).
+
+pub mod p4;
+pub mod v1;

@@ -1,0 +1,1317 @@
+//! The MPICH-V2 protocol engine — a sans-IO state machine.
+//!
+//! The engine implements the Appendix-A protocol: the `send`, `recv` and
+//! `UnDetAction` (probe) actions, and the `on Restart` / `RESTART1` /
+//! `RESTART2` rules, plus checkpointing and garbage collection. It is
+//! driven by [`Input`]s and emits [`Output`] commands; all IO (threads,
+//! streams, the event-logger connection) lives in `mvr-runtime`, and the
+//! discrete-event simulator can drive the same machine. This keeps the
+//! protocol testable in isolation: the unit tests below run whole
+//! multi-process crash/recovery scenarios by shuttling `Output`s between
+//! engines by hand.
+//!
+//! # Pessimism invariant
+//!
+//! No application payload is handed to the transport while a reception
+//! event is still unacknowledged by the event logger. *All* data
+//! transmissions — fresh sends **and** recovery re-sends — are funneled
+//! through the gated queue; a re-send of a payload whose original
+//! transmission is itself still gated must not leak early. Control
+//! messages (`RESTART1/2`, `CkptNotify`) bypass the gate: they carry only
+//! watermark knowledge that is safe to expose (see `recovery.rs`).
+
+use crate::clock::LogicalClock;
+use crate::envelope::{DataMsg, PeerMsg};
+use crate::event::{EventBatch, ReceptionEvent};
+use crate::ids::{MsgId, Rank};
+use crate::metrics::Metrics;
+use crate::payload::Payload;
+use crate::pessimism::PessimismGate;
+use crate::recovery::Watermarks;
+use crate::replay::{Offer, ProbeVerdict, ReplayError, ReplayPlan};
+use crate::sender_log::SenderLog;
+use crate::snapshot::EngineSnapshot;
+use std::collections::{BTreeMap, VecDeque};
+
+macro_rules! etrace {
+    ($self:expr, $($arg:tt)*) => {
+        if std::env::var("MVR_ENGINE_TRACE").is_ok() {
+            eprintln!("[eng r{} c{}] {}", $self.rank.0, $self.clock.value(), format!($($arg)*));
+        }
+    };
+}
+
+/// Stimuli the hosting daemon feeds into the engine.
+#[derive(Clone, Debug)]
+pub enum Input {
+    /// The MPI process performs a channel-level blocking send (`PIbsend`).
+    AppSend {
+        /// Destination rank.
+        dst: Rank,
+        /// MPI-layer bytes.
+        payload: Payload,
+    },
+    /// The MPI process blocks in `PIbrecv`, ready for the next delivery.
+    AppRecv,
+    /// The MPI process probes for a pending message (`PInprobe`).
+    AppProbe,
+    /// A message arrived from a peer daemon.
+    Peer {
+        /// Emitting peer.
+        from: Rank,
+        /// The message.
+        msg: PeerMsg,
+    },
+    /// The event logger acknowledged durability of all events up to the
+    /// given receiver clock.
+    ElAck {
+        /// Highest durable receiver clock.
+        up_to: u64,
+    },
+    /// The checkpoint scheduler ordered a checkpoint.
+    CheckpointOrder,
+    /// The runtime confirms the checkpoint image was stored durably.
+    CheckpointStored,
+}
+
+/// Commands the engine asks the hosting daemon to perform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Output {
+    /// Ship a message to a peer daemon.
+    Transmit {
+        /// Destination peer.
+        to: Rank,
+        /// The message.
+        msg: PeerMsg,
+    },
+    /// Append events to the event logger (asynchronously; the EL will ack).
+    LogEvents(EventBatch),
+    /// Hand a message to the blocked MPI process (answers `AppRecv`).
+    Deliver {
+        /// Original sender rank.
+        from: Rank,
+        /// MPI-layer bytes.
+        payload: Payload,
+    },
+    /// Answer a pending `AppProbe`.
+    ProbeAnswer(bool),
+    /// Ask the EL to drop events at or below `up_to` (post-checkpoint).
+    ElTruncate {
+        /// Checkpoint clock.
+        up_to: u64,
+    },
+    /// Replay finished; execution is live again (informational).
+    ReplayComplete,
+}
+
+/// Execution mode.
+#[derive(Clone, Debug)]
+enum Mode {
+    /// Live execution.
+    Normal,
+    /// Re-execution: forced delivery order from the replay plan.
+    Replay(ReplayPlan),
+}
+
+/// The MPICH-V2 protocol engine for one computing process.
+///
+/// `Clone` is provided for state-space exploration (the exhaustive
+/// interleaving tests clone whole engines to branch executions).
+#[derive(Clone, Debug)]
+pub struct V2Engine {
+    rank: Rank,
+    world: u32,
+    clock: LogicalClock,
+    saved: SenderLog,
+    marks: Watermarks,
+    gate: PessimismGate,
+    mode: Mode,
+    /// Arrived, not-yet-delivered messages (normal mode), in arrival order.
+    recv_buffer: VecDeque<(Rank, u64, Payload)>,
+    /// Highest sender clock ever *arrived* per peer (volatile): suppresses
+    /// duplicates of messages still sitting undelivered in `recv_buffer`.
+    arrived: BTreeMap<Rank, u64>,
+    /// Data transmissions waiting behind the pessimism gate (FIFO).
+    gated: VecDeque<(Rank, PeerMsg)>,
+    app_waiting_recv: bool,
+    app_waiting_probe: bool,
+    /// Unsuccessful probes since the last delivery (§4.5).
+    probes_since_delivery: u32,
+    /// Peers whose post-restart "connection" is established: after a
+    /// recovery, data from a peer is dropped until its `RESTART1`/
+    /// `RESTART2` arrives — the analog of in-flight bytes dying with the
+    /// old TCP connection. (`None` = not recovering; all peers accepted.)
+    handshaken: Option<std::collections::BTreeSet<Rank>>,
+    /// A checkpoint order is pending, waiting for quiescence.
+    ckpt_pending: bool,
+    /// Clock of the checkpoint currently being stored, plus the per-peer
+    /// HR watermarks captured *at the snapshot instant*. The GC
+    /// notifications must use these — deliveries continue while the image
+    /// transfer is in flight, and a watermark read later would let
+    /// senders drop messages the image does not cover.
+    ckpt_in_flight: Option<(u64, Vec<(Rank, u64)>)>,
+    metrics: Metrics,
+    outputs: VecDeque<Output>,
+}
+
+impl V2Engine {
+    /// A fresh engine for the initial launch of `rank` in a world of
+    /// `world` computing processes.
+    pub fn fresh(rank: Rank, world: u32) -> Self {
+        assert!(rank.0 < world, "rank {rank} out of world {world}");
+        V2Engine {
+            rank,
+            world,
+            clock: LogicalClock::new(),
+            saved: SenderLog::new(),
+            marks: Watermarks::new(),
+            gate: PessimismGate::new(),
+            mode: Mode::Normal,
+            recv_buffer: VecDeque::new(),
+            arrived: BTreeMap::new(),
+            gated: VecDeque::new(),
+            app_waiting_recv: false,
+            app_waiting_probe: false,
+            probes_since_delivery: 0,
+            handshaken: None,
+            ckpt_pending: false,
+            ckpt_in_flight: None,
+            metrics: Metrics::new(),
+            outputs: VecDeque::new(),
+        }
+    }
+
+    /// Rebuild an engine from a checkpoint image (`ROLLBACK()`), before
+    /// [`begin_recovery`](Self::begin_recovery) is invoked.
+    pub fn restore(snapshot: EngineSnapshot) -> Self {
+        let mut e = Self::fresh(snapshot.rank, snapshot.world);
+        e.clock = LogicalClock::from_value(snapshot.clock);
+        e.marks = snapshot.watermarks;
+        e.saved = snapshot.saved;
+        // Nothing has arrived since the rollback; duplicates of delivered
+        // messages are caught by HR.
+        for (q, hr) in e.marks.hr_entries().collect::<Vec<_>>() {
+            e.arrived.insert(q, hr);
+        }
+        e
+    }
+
+    /// Capture the engine half of a checkpoint image. Must only be called
+    /// right after [`try_arm_checkpoint`](Self::try_arm_checkpoint)
+    /// returned a clock (the quiescence window), before any other input.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        debug_assert!(
+            self.gate.is_open() && self.gated.is_empty(),
+            "snapshot of a non-quiescent engine"
+        );
+        EngineSnapshot {
+            rank: self.rank,
+            world: self.world,
+            clock: self.clock.value(),
+            watermarks: self.marks.clone(),
+            saved: self.saved.clone(),
+        }
+    }
+
+    /// Enter recovery: install the event list downloaded from the EL
+    /// (`DownloadEL(H_p)`), and emit `RESTART1` to every peer. Call this
+    /// on a restored (or fresh, if no image existed) engine before any
+    /// application activity.
+    pub fn begin_recovery(&mut self, events: Vec<ReceptionEvent>) {
+        let my_clock = self.clock.value();
+        let events: Vec<ReceptionEvent> = events
+            .into_iter()
+            .filter(|e| e.receiver_clock > my_clock)
+            .collect();
+        etrace!(
+            self,
+            "begin_recovery: {} events {:?}..{:?}",
+            events.len(),
+            events
+                .first()
+                .map(|e| (e.sender.0, e.sender_clock, e.receiver_clock)),
+            events
+                .last()
+                .map(|e| (e.sender.0, e.sender_clock, e.receiver_clock))
+        );
+        self.gate.reset();
+        // Until a peer answers the handshake, its data traffic belongs to
+        // the old, dead connection and must be discarded.
+        self.handshaken = Some(std::collections::BTreeSet::new());
+        let restart1: Vec<(Rank, u64)> = self.peers().map(|q| (q, self.marks.hr(q))).collect();
+        for (q, last_received) in restart1 {
+            self.outputs.push_back(Output::Transmit {
+                to: q,
+                msg: PeerMsg::Restart1 { last_received },
+            });
+        }
+        let plan = ReplayPlan::new(events);
+        if plan.is_done() {
+            self.mode = Mode::Normal;
+            self.outputs.push_back(Output::ReplayComplete);
+        } else {
+            self.mode = Mode::Replay(plan);
+        }
+    }
+
+    /// Feed one input and process it to completion. Outputs accumulate and
+    /// are collected with [`drain_outputs`](Self::drain_outputs).
+    pub fn handle(&mut self, input: Input) -> Result<(), ReplayError> {
+        match input {
+            Input::AppSend { dst, payload } => self.on_app_send(dst, payload),
+            Input::AppRecv => self.on_app_recv()?,
+            Input::AppProbe => self.on_app_probe(),
+            Input::Peer { from, msg } => self.on_peer(from, msg)?,
+            Input::ElAck { up_to } => self.on_el_ack(up_to),
+            Input::CheckpointOrder => {
+                self.ckpt_pending = true;
+            }
+            Input::CheckpointStored => self.on_checkpoint_stored(),
+        }
+        Ok(())
+    }
+
+    /// Drain the accumulated commands.
+    pub fn drain_outputs(&mut self) -> Vec<Output> {
+        self.outputs.drain(..).collect()
+    }
+
+    /// Activity counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// This engine's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size.
+    pub fn world(&self) -> u32 {
+        self.world
+    }
+
+    /// Current logical clock value.
+    pub fn clock(&self) -> u64 {
+        self.clock.value()
+    }
+
+    /// Bytes currently held by the sender-based log (scheduler status).
+    pub fn logged_bytes(&self) -> u64 {
+        self.saved.bytes_held()
+    }
+
+    /// Whether the engine is replaying.
+    pub fn is_replaying(&self) -> bool {
+        matches!(self.mode, Mode::Replay(_))
+    }
+
+    /// True when the WAITLOGGED gate is open (diagnostics/tests).
+    pub fn gate_open(&self) -> bool {
+        self.gate.is_open()
+    }
+
+    fn peers(&self) -> impl Iterator<Item = Rank> + '_ {
+        let me = self.rank;
+        (0..self.world).map(Rank).filter(move |&q| q != me)
+    }
+
+    // --- send path -------------------------------------------------------
+
+    fn on_app_send(&mut self, dst: Rank, payload: Payload) {
+        assert_ne!(
+            dst, self.rank,
+            "self-sends must be short-circuited by the MPI layer"
+        );
+        let h = self.clock.tick();
+        // SAVED is appended unconditionally (Lemma 1: re-executed sends
+        // rebuild the log even when their transmission is suppressed).
+        self.saved.append(dst, h, payload.clone());
+        self.metrics.msgs_sent += 1;
+        self.metrics.bytes_sent += payload.len() as u64;
+        if self.marks.should_transmit_to(dst, h) {
+            self.marks.on_transmit_to(dst, h);
+            let msg = PeerMsg::Data(DataMsg {
+                id: MsgId::new(self.rank, h),
+                dst,
+                payload,
+            });
+            self.send_data(dst, msg);
+        } else {
+            self.metrics.transmissions_suppressed += 1;
+        }
+    }
+
+    /// Funnel a data transmission through the pessimism gate.
+    fn send_data(&mut self, to: Rank, msg: PeerMsg) {
+        debug_assert!(matches!(msg, PeerMsg::Data(_)));
+        if self.gate.is_open() && self.gated.is_empty() {
+            self.outputs.push_back(Output::Transmit { to, msg });
+        } else {
+            self.metrics.gate_deferred_sends += 1;
+            self.gated.push_back((to, msg));
+        }
+    }
+
+    fn flush_gated(&mut self) {
+        if !self.gate.is_open() {
+            return;
+        }
+        while let Some((to, msg)) = self.gated.pop_front() {
+            self.outputs.push_back(Output::Transmit { to, msg });
+        }
+    }
+
+    // --- receive path ----------------------------------------------------
+
+    fn on_app_recv(&mut self) -> Result<(), ReplayError> {
+        debug_assert!(!self.app_waiting_recv && !self.app_waiting_probe);
+        self.app_waiting_recv = true;
+        self.progress_delivery()
+    }
+
+    fn on_app_probe(&mut self) {
+        debug_assert!(!self.app_waiting_recv && !self.app_waiting_probe);
+        match &mut self.mode {
+            Mode::Normal => {
+                let pending = !self.recv_buffer.is_empty();
+                if !pending {
+                    self.probes_since_delivery += 1;
+                    self.metrics.failed_probes += 1;
+                }
+                self.outputs.push_back(Output::ProbeAnswer(pending));
+            }
+            Mode::Replay(plan) => match plan.probe() {
+                ProbeVerdict::ReplayNo => {
+                    self.metrics.failed_probes += 1;
+                    self.outputs.push_back(Output::ProbeAnswer(false));
+                }
+                ProbeVerdict::ReplayYes => self.outputs.push_back(Output::ProbeAnswer(true)),
+                ProbeVerdict::Defer => self.app_waiting_probe = true,
+            },
+        }
+    }
+
+    /// Try to satisfy a blocked `AppRecv` (both modes) and finish the
+    /// replay when it runs dry.
+    fn progress_delivery(&mut self) -> Result<(), ReplayError> {
+        if !self.app_waiting_recv {
+            return Ok(());
+        }
+        match &mut self.mode {
+            Mode::Normal => {
+                if let Some((from, h, payload)) = self.recv_buffer.pop_front() {
+                    self.app_waiting_recv = false;
+                    self.deliver_normal(from, h, payload);
+                }
+                Ok(())
+            }
+            Mode::Replay(plan) => {
+                match plan.try_deliver(self.clock.value())? {
+                    Some((ev, payload)) => {
+                        self.app_waiting_recv = false;
+                        let rc = self.clock.tick();
+                        debug_assert_eq!(rc, ev.receiver_clock);
+                        let fresh = self.marks.on_delivery_from(ev.sender, ev.sender_clock);
+                        debug_assert!(fresh, "replayed delivery below HR watermark");
+                        self.metrics.msgs_delivered += 1;
+                        self.metrics.replayed_deliveries += 1;
+                        self.metrics.bytes_delivered += payload.len() as u64;
+                        self.outputs.push_back(Output::Deliver {
+                            from: ev.sender,
+                            payload,
+                        });
+                        self.maybe_finish_replay();
+                        Ok(())
+                    }
+                    None => Ok(()), // wait for the re-sent message
+                }
+            }
+        }
+    }
+
+    /// Normal-mode delivery: tick, log the 4-field event, gate, deliver.
+    fn deliver_normal(&mut self, from: Rank, sender_clock: u64, payload: Payload) {
+        etrace!(self, "deliver_normal from {} h={}", from, sender_clock);
+        let rc = self.clock.tick();
+        let hr_before = self.marks.hr(from);
+        let fresh = self.marks.on_delivery_from(from, sender_clock);
+        debug_assert!(
+            fresh,
+            "arrival filter let a duplicate through: rank {} delivering from {} clock {} but HR={} (rc {})",
+            self.rank, from, sender_clock, hr_before, rc
+        );
+        let ev = ReceptionEvent {
+            sender: from,
+            sender_clock,
+            receiver_clock: rc,
+            probes: self.probes_since_delivery,
+        };
+        self.probes_since_delivery = 0;
+        self.gate.on_scheduled(rc);
+        self.metrics.events_logged += 1;
+        self.metrics.msgs_delivered += 1;
+        self.metrics.bytes_delivered += payload.len() as u64;
+        self.outputs.push_back(Output::LogEvents(EventBatch {
+            owner: self.rank,
+            events: vec![ev],
+        }));
+        self.outputs.push_back(Output::Deliver { from, payload });
+    }
+
+    fn maybe_finish_replay(&mut self) {
+        let Mode::Replay(plan) = &self.mode else {
+            return;
+        };
+        if !plan.is_done() {
+            return;
+        }
+        let Mode::Replay(plan) = std::mem::replace(&mut self.mode, Mode::Normal) else {
+            unreachable!()
+        };
+        // Deliver parked futures per-pair in sender-clock order (any
+        // cross-pair interleaving is a legal fresh nondeterministic
+        // order; within a pair MPI non-overtaking requires clock order).
+        let mut futures = plan.into_future_arrivals();
+        futures.sort_by_key(|(id, _)| (id.sender, id.sender_clock));
+        for (id, payload) in futures {
+            etrace!(
+                self,
+                "future->buffer from {} h={}",
+                id.sender,
+                id.sender_clock
+            );
+            let w = self.arrived.entry(id.sender).or_insert(0);
+            *w = (*w).max(id.sender_clock);
+            self.recv_buffer
+                .push_back((id.sender, id.sender_clock, payload));
+        }
+        // Re-seed arrival watermarks from HR for peers without futures.
+        for (q, hr) in self.marks.hr_entries().collect::<Vec<_>>() {
+            let w = self.arrived.entry(q).or_insert(0);
+            *w = (*w).max(hr);
+        }
+        self.outputs.push_back(Output::ReplayComplete);
+    }
+
+    // --- peer messages ---------------------------------------------------
+
+    fn on_peer(&mut self, from: Rank, msg: PeerMsg) -> Result<(), ReplayError> {
+        match msg {
+            PeerMsg::Data(data) => {
+                if let Some(hs) = &self.handshaken {
+                    if !hs.contains(&from) {
+                        // Old-connection leftover racing our recovery.
+                        self.metrics.duplicates_dropped += 1;
+                        return Ok(());
+                    }
+                }
+                self.on_peer_data(from, data)
+            }
+            PeerMsg::Restart1 { last_received } => {
+                if let Some(hs) = &mut self.handshaken {
+                    hs.insert(from);
+                }
+                self.on_restart_watermark(from, last_received, true);
+                Ok(())
+            }
+            PeerMsg::Restart2 { last_received } => {
+                if let Some(hs) = &mut self.handshaken {
+                    hs.insert(from);
+                }
+                self.on_restart_watermark(from, last_received, false);
+                Ok(())
+            }
+            PeerMsg::CkptNotify { watermark } => {
+                self.metrics.gc_bytes_freed += self.saved.collect(from, watermark);
+                Ok(())
+            }
+        }
+    }
+
+    fn on_peer_data(&mut self, from: Rank, data: DataMsg) -> Result<(), ReplayError> {
+        debug_assert_eq!(data.id.sender, from, "spoofed sender");
+        debug_assert_eq!(data.dst, self.rank, "misrouted message");
+        let h = data.id.sender_clock;
+        etrace!(
+            self,
+            "data from {} h={} mode={} hr={} arrived={:?}",
+            from,
+            h,
+            if self.is_replaying() {
+                "replay"
+            } else {
+                "normal"
+            },
+            self.marks.hr(from),
+            self.arrived.get(&from)
+        );
+        match &mut self.mode {
+            Mode::Normal => {
+                let already_delivered = self.marks.is_duplicate_from(from, h);
+                let already_arrived = h <= self.arrived.get(&from).copied().unwrap_or(0);
+                if already_delivered || already_arrived {
+                    self.metrics.duplicates_dropped += 1;
+                    return Ok(());
+                }
+                self.arrived.insert(from, h);
+                self.recv_buffer.push_back((from, h, data.payload));
+                // A blocked probe can only exist in replay mode; a blocked
+                // recv may now complete.
+                self.progress_delivery()
+            }
+            Mode::Replay(plan) => {
+                if self.marks.is_duplicate_from(from, h) {
+                    self.metrics.duplicates_dropped += 1;
+                    return Ok(());
+                }
+                match plan.offer(data.id, data.payload) {
+                    Offer::Stored => {
+                        if self.app_waiting_probe {
+                            match plan.probe() {
+                                ProbeVerdict::ReplayYes => {
+                                    self.app_waiting_probe = false;
+                                    self.outputs.push_back(Output::ProbeAnswer(true));
+                                }
+                                ProbeVerdict::ReplayNo => {
+                                    // Cannot happen: Defer only occurs past
+                                    // the probe budget.
+                                    self.app_waiting_probe = false;
+                                    self.metrics.failed_probes += 1;
+                                    self.outputs.push_back(Output::ProbeAnswer(false));
+                                }
+                                ProbeVerdict::Defer => {}
+                            }
+                        }
+                        self.progress_delivery()
+                    }
+                    Offer::Future => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Common half of the `RESTART1` / `RESTART2` rules: set `HS` from the
+    /// peer's watermark and re-send newer saved messages; `RESTART1`
+    /// additionally answers with `RESTART2`.
+    fn on_restart_watermark(&mut self, from: Rank, last_received: u64, reply: bool) {
+        self.marks.set_hs_from_restart(from, last_received);
+        if reply {
+            let mine = self.marks.hr(from);
+            self.outputs.push_back(Output::Transmit {
+                to: from,
+                msg: PeerMsg::Restart2 {
+                    last_received: mine,
+                },
+            });
+        }
+        // Transmissions still waiting behind the gate will reach the peer
+        // anyway; don't queue a second copy of them.
+        let already_queued: std::collections::HashSet<u64> = self
+            .gated
+            .iter()
+            .filter_map(|(to, msg)| match msg {
+                PeerMsg::Data(d) if *to == from => Some(d.id.sender_clock),
+                _ => None,
+            })
+            .collect();
+        let resends: Vec<_> = self
+            .saved
+            .resend_after(from, last_received)
+            .filter(|s| !already_queued.contains(&s.sender_clock))
+            .collect();
+        for s in resends {
+            self.marks.on_transmit_to(from, s.sender_clock);
+            self.metrics.retransmissions += 1;
+            let msg = PeerMsg::Data(DataMsg {
+                id: MsgId::new(self.rank, s.sender_clock),
+                dst: from,
+                payload: s.payload,
+            });
+            self.send_data(from, msg);
+        }
+    }
+
+    // --- event logger ----------------------------------------------------
+
+    fn on_el_ack(&mut self, up_to: u64) {
+        if self.gate.on_ack(up_to) {
+            self.flush_gated();
+        }
+    }
+
+    // --- checkpointing ---------------------------------------------------
+
+    /// Attempt to start a pending checkpoint *now*. Called by the hosting
+    /// daemon when the MPI process polls a checkpoint site — the quiescent
+    /// point of our cooperative (Condor-substituting) checkpointing. Arms
+    /// only when a checkpoint was ordered, none is in flight, and the
+    /// protocol is quiescent (live mode, open gate, no queued
+    /// transmissions). Returns the image clock; the caller must then call
+    /// [`snapshot`](Self::snapshot) immediately, before feeding any other
+    /// input.
+    pub fn try_arm_checkpoint(&mut self) -> Option<u64> {
+        if !self.ckpt_pending || self.ckpt_in_flight.is_some() {
+            return None;
+        }
+        if self.is_replaying() || !self.gate.is_open() || !self.gated.is_empty() {
+            return None;
+        }
+        self.ckpt_pending = false;
+        let clock = self.clock.value();
+        let watermarks: Vec<(Rank, u64)> = self.peers().map(|q| (q, self.marks.hr(q))).collect();
+        self.ckpt_in_flight = Some((clock, watermarks));
+        Some(clock)
+    }
+
+    fn on_checkpoint_stored(&mut self) {
+        let Some((clock, watermarks)) = self.ckpt_in_flight.take() else {
+            return;
+        };
+        self.metrics.checkpoints_taken += 1;
+        // §4.6.1: notify every other daemon so they can garbage-collect
+        // the messages we received before this checkpoint — "before" being
+        // the snapshot instant, not the (later) durability ack.
+        for (q, watermark) in watermarks {
+            self.outputs.push_back(Output::Transmit {
+                to: q,
+                msg: PeerMsg::CkptNotify { watermark },
+            });
+        }
+        self.outputs.push_back(Output::ElTruncate { up_to: clock });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(n: u8) -> Payload {
+        Payload::from_vec(vec![n])
+    }
+
+    /// Collect outputs, asserting the pessimism invariant on every data
+    /// transmission.
+    fn outs(e: &mut V2Engine) -> Vec<Output> {
+        e.drain_outputs()
+    }
+
+    fn data_out(outs: &[Output]) -> Vec<(Rank, MsgId, Payload)> {
+        outs.iter()
+            .filter_map(|o| match o {
+                Output::Transmit {
+                    to,
+                    msg: PeerMsg::Data(d),
+                } => Some((*to, d.id, d.payload.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn send_emits_and_saves() {
+        let mut e = V2Engine::fresh(Rank(0), 2);
+        e.handle(Input::AppSend {
+            dst: Rank(1),
+            payload: pl(7),
+        })
+        .unwrap();
+        let o = outs(&mut e);
+        let d = data_out(&o);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1, MsgId::new(Rank(0), 1));
+        assert_eq!(e.logged_bytes(), 1);
+        assert_eq!(e.clock(), 1);
+    }
+
+    #[test]
+    fn delivery_logs_event_then_gates_next_send() {
+        let mut e = V2Engine::fresh(Rank(1), 2);
+        // A message arrives; the app receives it.
+        e.handle(Input::AppRecv).unwrap();
+        e.handle(Input::Peer {
+            from: Rank(0),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(0), 1),
+                dst: Rank(1),
+                payload: pl(1),
+            }),
+        })
+        .unwrap();
+        let o = outs(&mut e);
+        assert!(o.iter().any(|x| matches!(x, Output::Deliver { .. })));
+        let ev = o
+            .iter()
+            .find_map(|x| match x {
+                Output::LogEvents(b) => Some(b.events[0]),
+                _ => None,
+            })
+            .expect("event logged");
+        assert_eq!(ev.sender, Rank(0));
+        assert_eq!(ev.sender_clock, 1);
+        assert_eq!(ev.receiver_clock, 1);
+        assert_eq!(ev.probes, 0);
+        assert!(!e.gate_open());
+
+        // The app now sends: the transmission must wait for the EL ack.
+        e.handle(Input::AppSend {
+            dst: Rank(0),
+            payload: pl(2),
+        })
+        .unwrap();
+        assert!(
+            data_out(&outs(&mut e)).is_empty(),
+            "payload leaked past a closed gate"
+        );
+        e.handle(Input::ElAck { up_to: 1 }).unwrap();
+        let d = data_out(&outs(&mut e));
+        assert_eq!(d.len(), 1);
+        assert_eq!(e.metrics().gate_deferred_sends, 1);
+    }
+
+    #[test]
+    fn probes_counted_and_attached_to_next_event() {
+        let mut e = V2Engine::fresh(Rank(1), 2);
+        e.handle(Input::AppProbe).unwrap();
+        assert_eq!(outs(&mut e), vec![Output::ProbeAnswer(false)]);
+        e.handle(Input::AppProbe).unwrap();
+        outs(&mut e);
+        e.handle(Input::Peer {
+            from: Rank(0),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(0), 1),
+                dst: Rank(1),
+                payload: pl(1),
+            }),
+        })
+        .unwrap();
+        e.handle(Input::AppProbe).unwrap();
+        assert_eq!(outs(&mut e), vec![Output::ProbeAnswer(true)]);
+        e.handle(Input::AppRecv).unwrap();
+        let o = outs(&mut e);
+        let ev = o
+            .iter()
+            .find_map(|x| match x {
+                Output::LogEvents(b) => Some(b.events[0]),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ev.probes, 2, "only unsuccessful probes count");
+    }
+
+    #[test]
+    fn duplicate_arrivals_dropped() {
+        let mut e = V2Engine::fresh(Rank(1), 2);
+        let m = PeerMsg::Data(DataMsg {
+            id: MsgId::new(Rank(0), 1),
+            dst: Rank(1),
+            payload: pl(1),
+        });
+        e.handle(Input::Peer {
+            from: Rank(0),
+            msg: m.clone(),
+        })
+        .unwrap();
+        e.handle(Input::Peer {
+            from: Rank(0),
+            msg: m,
+        })
+        .unwrap();
+        assert_eq!(e.metrics().duplicates_dropped, 1);
+        // Only one delivery possible.
+        e.handle(Input::AppRecv).unwrap();
+        let o = outs(&mut e);
+        assert_eq!(
+            o.iter()
+                .filter(|x| matches!(x, Output::Deliver { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn restart1_triggers_restart2_and_resends() {
+        let mut e = V2Engine::fresh(Rank(0), 2);
+        for i in 0..3 {
+            e.handle(Input::AppSend {
+                dst: Rank(1),
+                payload: pl(i),
+            })
+            .unwrap();
+        }
+        outs(&mut e);
+        // Peer restarts having received only clock 1.
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Restart1 { last_received: 1 },
+        })
+        .unwrap();
+        let o = outs(&mut e);
+        assert!(o.iter().any(
+            |x| matches!(x, Output::Transmit { to, msg: PeerMsg::Restart2 { last_received: 0 } } if *to == Rank(1))
+        ));
+        let d = data_out(&o);
+        assert_eq!(d.len(), 2, "clocks 2 and 3 re-sent");
+        assert_eq!(d[0].1.sender_clock, 2);
+        assert_eq!(d[1].1.sender_clock, 3);
+        assert_eq!(e.metrics().retransmissions, 2);
+    }
+
+    #[test]
+    fn resends_respect_the_gate() {
+        let mut e = V2Engine::fresh(Rank(0), 3);
+        // Deliver something so the gate closes.
+        e.handle(Input::Peer {
+            from: Rank(2),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(2), 1),
+                dst: Rank(0),
+                payload: pl(9),
+            }),
+        })
+        .unwrap();
+        e.handle(Input::AppRecv).unwrap();
+        outs(&mut e);
+        assert!(!e.gate_open());
+        // An earlier send exists in SAVED.
+        e.handle(Input::AppSend {
+            dst: Rank(1),
+            payload: pl(1),
+        })
+        .unwrap();
+        outs(&mut e);
+        // Peer 1 restarts: the resend must NOT leak while the gate is shut.
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Restart1 { last_received: 0 },
+        })
+        .unwrap();
+        let o = outs(&mut e);
+        assert!(data_out(&o).is_empty(), "resend leaked past a closed gate");
+        // RESTART2 itself (control) is allowed through.
+        assert!(o.iter().any(|x| matches!(
+            x,
+            Output::Transmit {
+                msg: PeerMsg::Restart2 { .. },
+                ..
+            }
+        )));
+        e.handle(Input::ElAck { up_to: 1 }).unwrap();
+        assert_eq!(data_out(&outs(&mut e)).len(), 1);
+    }
+
+    #[test]
+    fn suppressed_reexecuted_sends_still_rebuild_saved() {
+        let snap = EngineSnapshot {
+            rank: Rank(0),
+            world: 2,
+            clock: 0,
+            watermarks: Watermarks::new(),
+            saved: SenderLog::new(),
+        };
+        let mut e = V2Engine::restore(snap);
+        e.begin_recovery(vec![]);
+        outs(&mut e);
+        // Peer already received our clock-1 message (its RESTART2 says so).
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Restart2 { last_received: 1 },
+        })
+        .unwrap();
+        e.handle(Input::AppSend {
+            dst: Rank(1),
+            payload: pl(1),
+        })
+        .unwrap();
+        let o = outs(&mut e);
+        assert!(
+            data_out(&o).is_empty(),
+            "suppressed re-send must not transmit"
+        );
+        assert_eq!(e.metrics().transmissions_suppressed, 1);
+        assert!(
+            e.saved.get(Rank(1), 1).is_some(),
+            "SAVED must be rebuilt (Lemma 1)"
+        );
+        // The next (new) send transmits normally.
+        e.handle(Input::AppSend {
+            dst: Rank(1),
+            payload: pl(2),
+        })
+        .unwrap();
+        assert_eq!(data_out(&outs(&mut e)).len(), 1);
+    }
+
+    #[test]
+    fn replay_forces_logged_order() {
+        // Restarted process logged: (r1,c1)@rc1 then (r2,c1)@rc2.
+        let snap = EngineSnapshot {
+            rank: Rank(0),
+            world: 3,
+            clock: 0,
+            watermarks: Watermarks::new(),
+            saved: SenderLog::new(),
+        };
+        let mut e = V2Engine::restore(snap);
+        e.begin_recovery(vec![
+            ReceptionEvent {
+                sender: Rank(1),
+                sender_clock: 1,
+                receiver_clock: 1,
+                probes: 0,
+            },
+            ReceptionEvent {
+                sender: Rank(2),
+                sender_clock: 1,
+                receiver_clock: 2,
+                probes: 0,
+            },
+        ]);
+        let o = outs(&mut e);
+        // RESTART1 broadcast to both peers.
+        assert_eq!(
+            o.iter()
+                .filter(|x| matches!(
+                    x,
+                    Output::Transmit {
+                        msg: PeerMsg::Restart1 { .. },
+                        ..
+                    }
+                ))
+                .count(),
+            2
+        );
+        assert!(e.is_replaying());
+        // Peers answer the handshake before any data (connection
+        // establishment).
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Restart2 { last_received: 0 },
+        })
+        .unwrap();
+        e.handle(Input::Peer {
+            from: Rank(2),
+            msg: PeerMsg::Restart2 { last_received: 0 },
+        })
+        .unwrap();
+        e.handle(Input::AppRecv).unwrap();
+        // Peer 2's message arrives first but must NOT be delivered first.
+        e.handle(Input::Peer {
+            from: Rank(2),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(2), 1),
+                dst: Rank(0),
+                payload: pl(2),
+            }),
+        })
+        .unwrap();
+        assert!(outs(&mut e)
+            .iter()
+            .all(|x| !matches!(x, Output::Deliver { .. })));
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(1), 1),
+                dst: Rank(0),
+                payload: pl(1),
+            }),
+        })
+        .unwrap();
+        let o = outs(&mut e);
+        assert!(matches!(&o[..], [Output::Deliver { from, .. }] if *from == Rank(1)));
+        e.handle(Input::AppRecv).unwrap();
+        let o = outs(&mut e);
+        assert!(o
+            .iter()
+            .any(|x| matches!(x, Output::Deliver { from, .. } if *from == Rank(2))));
+        assert!(o.iter().any(|x| matches!(x, Output::ReplayComplete)));
+        assert!(!e.is_replaying());
+        assert_eq!(e.metrics().replayed_deliveries, 2);
+        // Replayed deliveries are NOT re-logged.
+        assert_eq!(e.metrics().events_logged, 0);
+    }
+
+    #[test]
+    fn future_arrivals_delivered_after_replay() {
+        let snap = EngineSnapshot {
+            rank: Rank(0),
+            world: 2,
+            clock: 0,
+            watermarks: Watermarks::new(),
+            saved: SenderLog::new(),
+        };
+        let mut e = V2Engine::restore(snap);
+        e.begin_recovery(vec![ReceptionEvent {
+            sender: Rank(1),
+            sender_clock: 1,
+            receiver_clock: 1,
+            probes: 0,
+        }]);
+        outs(&mut e);
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Restart2 { last_received: 0 },
+        })
+        .unwrap();
+        // An unlogged (post-crash-point) message arrives during replay.
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(1), 5),
+                dst: Rank(0),
+                payload: pl(5),
+            }),
+        })
+        .unwrap();
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(1), 1),
+                dst: Rank(0),
+                payload: pl(1),
+            }),
+        })
+        .unwrap();
+        e.handle(Input::AppRecv).unwrap();
+        let o = outs(&mut e);
+        assert!(o.iter().any(|x| matches!(x, Output::Deliver { .. })));
+        assert!(o.iter().any(|x| matches!(x, Output::ReplayComplete)));
+        // The future message is now a fresh, logged reception.
+        e.handle(Input::AppRecv).unwrap();
+        let o = outs(&mut e);
+        assert!(o.iter().any(|x| matches!(x, Output::Deliver { .. })));
+        assert!(o.iter().any(|x| matches!(x, Output::LogEvents(_))));
+        assert_eq!(e.clock(), 2);
+    }
+
+    #[test]
+    fn checkpoint_waits_for_quiescence_then_notifies() {
+        let mut e = V2Engine::fresh(Rank(0), 2);
+        // Close the gate with a delivery.
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(1), 1),
+                dst: Rank(0),
+                payload: pl(1),
+            }),
+        })
+        .unwrap();
+        e.handle(Input::AppRecv).unwrap();
+        outs(&mut e);
+        e.handle(Input::CheckpointOrder).unwrap();
+        assert_eq!(
+            e.try_arm_checkpoint(),
+            None,
+            "checkpoint must wait for the ack"
+        );
+        e.handle(Input::ElAck { up_to: 1 }).unwrap();
+        outs(&mut e);
+        assert_eq!(e.try_arm_checkpoint(), Some(1));
+        assert_eq!(e.try_arm_checkpoint(), None, "already in flight");
+        let snap = e.snapshot();
+        assert_eq!(snap.clock, 1);
+        e.handle(Input::CheckpointStored).unwrap();
+        let o = outs(&mut e);
+        assert!(o.iter().any(
+            |x| matches!(x, Output::Transmit { to, msg: PeerMsg::CkptNotify { watermark: 1 } } if *to == Rank(1))
+        ));
+        assert!(o
+            .iter()
+            .any(|x| matches!(x, Output::ElTruncate { up_to: 1 })));
+        assert_eq!(e.metrics().checkpoints_taken, 1);
+    }
+
+    #[test]
+    fn gc_watermark_captured_at_snapshot_not_at_store_ack() {
+        // Regression: deliveries continuing while the image transfer is in
+        // flight must not inflate the GC watermark past what the image
+        // covers - or a later restart from that image would need messages
+        // the senders already dropped.
+        let mut e = V2Engine::fresh(Rank(0), 2);
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(1), 1),
+                dst: Rank(0),
+                payload: pl(1),
+            }),
+        })
+        .unwrap();
+        e.handle(Input::AppRecv).unwrap();
+        e.handle(Input::ElAck { up_to: 1 }).unwrap();
+        e.handle(Input::CheckpointOrder).unwrap();
+        assert_eq!(e.try_arm_checkpoint(), Some(1));
+        let _snap = e.snapshot();
+        // While the image is in flight, another delivery advances HR.
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(1), 5),
+                dst: Rank(0),
+                payload: pl(5),
+            }),
+        })
+        .unwrap();
+        e.handle(Input::AppRecv).unwrap();
+        outs(&mut e);
+        // The stored ack arrives: the notify must carry HR=1 (snapshot
+        // instant), not HR=5.
+        e.handle(Input::CheckpointStored).unwrap();
+        let o = outs(&mut e);
+        assert!(
+            o.iter().any(|x| matches!(
+                x,
+                Output::Transmit {
+                    msg: PeerMsg::CkptNotify { watermark: 1 },
+                    ..
+                }
+            )),
+            "watermark must reflect the snapshot instant: {o:?}"
+        );
+    }
+
+    #[test]
+    fn ckpt_notify_garbage_collects_sender_log() {
+        let mut e = V2Engine::fresh(Rank(0), 2);
+        for i in 0..4 {
+            e.handle(Input::AppSend {
+                dst: Rank(1),
+                payload: Payload::filled(i, 100),
+            })
+            .unwrap();
+        }
+        outs(&mut e);
+        assert_eq!(e.logged_bytes(), 400);
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::CkptNotify { watermark: 2 },
+        })
+        .unwrap();
+        assert_eq!(e.logged_bytes(), 200);
+        assert_eq!(e.metrics().gc_bytes_freed, 200);
+    }
+
+    #[test]
+    fn probe_counts_replay_with_deferral() {
+        // Original run: probe fails twice, then the message arrives and a
+        // recv follows. The replay must answer exactly two probes `false`
+        // (even holding the answer if the re-sent payload lags) and then
+        // deliver.
+        let snap = EngineSnapshot {
+            rank: Rank(0),
+            world: 2,
+            clock: 0,
+            watermarks: Watermarks::new(),
+            saved: SenderLog::new(),
+        };
+        let mut e = V2Engine::restore(snap);
+        e.begin_recovery(vec![ReceptionEvent {
+            sender: Rank(1),
+            sender_clock: 1,
+            receiver_clock: 1,
+            probes: 2,
+        }]);
+        outs(&mut e);
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Restart2 { last_received: 0 },
+        })
+        .unwrap();
+        // First two probes answered false immediately.
+        e.handle(Input::AppProbe).unwrap();
+        assert_eq!(outs(&mut e), vec![Output::ProbeAnswer(false)]);
+        e.handle(Input::AppProbe).unwrap();
+        assert_eq!(outs(&mut e), vec![Output::ProbeAnswer(false)]);
+        // Third probe: the original succeeded, but the payload is not
+        // here yet — the answer is HELD, not falsified.
+        e.handle(Input::AppProbe).unwrap();
+        assert!(outs(&mut e).is_empty(), "probe answer must be deferred");
+        // The re-sent payload arrives: the held probe answers true.
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(1), 1),
+                dst: Rank(0),
+                payload: pl(1),
+            }),
+        })
+        .unwrap();
+        assert_eq!(outs(&mut e), vec![Output::ProbeAnswer(true)]);
+        e.handle(Input::AppRecv).unwrap();
+        let o = outs(&mut e);
+        assert!(o.iter().any(|x| matches!(x, Output::Deliver { .. })));
+        assert!(o.iter().any(|x| matches!(x, Output::ReplayComplete)));
+    }
+
+    #[test]
+    fn checkpoint_cannot_arm_during_replay() {
+        let snap = EngineSnapshot {
+            rank: Rank(0),
+            world: 2,
+            clock: 0,
+            watermarks: Watermarks::new(),
+            saved: SenderLog::new(),
+        };
+        let mut e = V2Engine::restore(snap);
+        e.begin_recovery(vec![ReceptionEvent {
+            sender: Rank(1),
+            sender_clock: 1,
+            receiver_clock: 1,
+            probes: 0,
+        }]);
+        outs(&mut e);
+        e.handle(Input::CheckpointOrder).unwrap();
+        assert_eq!(
+            e.try_arm_checkpoint(),
+            None,
+            "no checkpoints while replaying"
+        );
+        // Finish the replay; now it can arm.
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Restart2 { last_received: 0 },
+        })
+        .unwrap();
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(1), 1),
+                dst: Rank(0),
+                payload: pl(1),
+            }),
+        })
+        .unwrap();
+        e.handle(Input::AppRecv).unwrap();
+        outs(&mut e);
+        assert_eq!(e.try_arm_checkpoint(), Some(1));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_protocol_state() {
+        let mut e = V2Engine::fresh(Rank(0), 2);
+        e.handle(Input::AppSend {
+            dst: Rank(1),
+            payload: pl(1),
+        })
+        .unwrap();
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(1), 1),
+                dst: Rank(0),
+                payload: pl(2),
+            }),
+        })
+        .unwrap();
+        e.handle(Input::AppRecv).unwrap();
+        e.handle(Input::ElAck { up_to: 2 }).unwrap();
+        outs(&mut e);
+        let snap = e.snapshot();
+        let r = V2Engine::restore(snap);
+        assert_eq!(r.clock(), e.clock());
+        assert_eq!(r.logged_bytes(), e.logged_bytes());
+        assert_eq!(r.marks.hr(Rank(1)), e.marks.hr(Rank(1)));
+        assert_eq!(r.marks.hs(Rank(1)), e.marks.hs(Rank(1)));
+    }
+}

@@ -1,0 +1,156 @@
+//! The recovery watermark vectors `HR_p[q]` and `HS_p[q]` of Appendix A and
+//! the logic of the `on Restart` / `RESTART1` / `RESTART2` rules.
+//!
+//! * `HR_p[q]` — "date of last received event from process q (in q's
+//!   clock)": the highest *sender* clock among messages from `q` that `p`
+//!   has delivered. Drives duplicate suppression on the receive path, the
+//!   content of `RESTART1`, and the garbage-collection watermark attached
+//!   to checkpoint notifications.
+//! * `HS_p[q]` — "date of last sent event to process q (in p's clock)":
+//!   the highest of `p`'s own clocks whose message to `q` is known
+//!   transmitted (or known *received* after a restart handshake). A
+//!   (re-executed) send with `h <= HS_p[q]` is appended to the sender log
+//!   but **not** transmitted (Lemma 1 + duplicate suppression).
+
+use crate::ids::Rank;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Both per-peer watermark vectors of one process. Missing entries are 0
+/// (nothing received/sent yet), matching the `init: 0` of the protocol.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Watermarks {
+    hr: BTreeMap<Rank, u64>,
+    hs: BTreeMap<Rank, u64>,
+}
+
+impl Watermarks {
+    /// Fresh vectors (all zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `HR_p[q]`.
+    #[inline]
+    pub fn hr(&self, q: Rank) -> u64 {
+        self.hr.get(&q).copied().unwrap_or(0)
+    }
+
+    /// `HS_p[q]`.
+    #[inline]
+    pub fn hs(&self, q: Rank) -> u64 {
+        self.hs.get(&q).copied().unwrap_or(0)
+    }
+
+    /// A message from `q` with sender clock `h` was delivered; record it.
+    /// Returns `false` (and changes nothing) when `h` is not newer —
+    /// i.e. the message is a duplicate the caller must discard.
+    pub fn on_delivery_from(&mut self, q: Rank, h: u64) -> bool {
+        let e = self.hr.entry(q).or_insert(0);
+        if h > *e {
+            *e = h;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Would a message from `q` at sender clock `h` be a duplicate?
+    #[inline]
+    pub fn is_duplicate_from(&self, q: Rank, h: u64) -> bool {
+        h <= self.hr(q)
+    }
+
+    /// A message to `q` emitted at our clock `h` was transmitted.
+    pub fn on_transmit_to(&mut self, q: Rank, h: u64) {
+        let e = self.hs.entry(q).or_insert(0);
+        if h > *e {
+            *e = h;
+        }
+    }
+
+    /// Should an emission to `q` at our clock `h` actually hit the wire?
+    /// (`if (h > HS_p[q]) SEND(...)` in the `RESTART` rules; during normal
+    /// operation `h` always exceeds `HS`.)
+    #[inline]
+    pub fn should_transmit_to(&self, q: Rank, h: u64) -> bool {
+        h > self.hs(q)
+    }
+
+    /// Handle the watermark carried by `RESTART1`/`RESTART2` from `q`:
+    /// set `HS_p[q] = last_received` exactly, as the Appendix-A rules do
+    /// (`HS_p[q] = HP`). Overwriting — including *lowering* — is required:
+    /// `q` may have lost messages we transmitted (a crash empties the
+    /// channels, and a rolled-back `q` forgets post-checkpoint deliveries),
+    /// so re-sends beyond `last_received` must not be suppressed. Lowering
+    /// can only cause duplicate re-sends, which the receiver independently
+    /// discards via its `HR` watermark.
+    pub fn set_hs_from_restart(&mut self, q: Rank, last_received: u64) {
+        self.hs.insert(q, last_received);
+    }
+
+    /// Iterate the non-zero `HR` entries (for checkpoint notifications).
+    pub fn hr_entries(&self) -> impl Iterator<Item = (Rank, u64)> + '_ {
+        self.hr.iter().map(|(&r, &v)| (r, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero() {
+        let w = Watermarks::new();
+        assert_eq!(w.hr(Rank(3)), 0);
+        assert_eq!(w.hs(Rank(3)), 0);
+        assert!(!w.is_duplicate_from(Rank(3), 1));
+        assert!(w.should_transmit_to(Rank(3), 1));
+    }
+
+    #[test]
+    fn delivery_updates_hr_and_rejects_duplicates() {
+        let mut w = Watermarks::new();
+        assert!(w.on_delivery_from(Rank(1), 5));
+        assert_eq!(w.hr(Rank(1)), 5);
+        assert!(w.is_duplicate_from(Rank(1), 5));
+        assert!(w.is_duplicate_from(Rank(1), 3));
+        assert!(!w.on_delivery_from(Rank(1), 5));
+        assert!(w.on_delivery_from(Rank(1), 6));
+    }
+
+    #[test]
+    fn transmit_watermark_monotonic() {
+        let mut w = Watermarks::new();
+        w.on_transmit_to(Rank(2), 10);
+        w.on_transmit_to(Rank(2), 7); // out of order update ignored
+        assert_eq!(w.hs(Rank(2)), 10);
+        assert!(!w.should_transmit_to(Rank(2), 9));
+        assert!(w.should_transmit_to(Rank(2), 11));
+    }
+
+    #[test]
+    fn restart_watermark_overwrites_even_lower() {
+        let mut w = Watermarks::new();
+        w.on_transmit_to(Rank(1), 20);
+        // The rolled-back peer only provably received up to 5: messages
+        // 6..=20 may have been lost in flight and must be re-sendable.
+        w.set_hs_from_restart(Rank(1), 5);
+        assert_eq!(w.hs(Rank(1)), 5);
+        assert!(w.should_transmit_to(Rank(1), 6));
+        // A peer that advanced past our knowledge raises HS.
+        w.set_hs_from_restart(Rank(1), 33);
+        assert!(!w.should_transmit_to(Rank(1), 33));
+    }
+
+    #[test]
+    fn hr_entries_roundtrip_through_snapshot() {
+        let mut w = Watermarks::new();
+        w.on_delivery_from(Rank(0), 3);
+        w.on_delivery_from(Rank(2), 8);
+        let enc = bincode::serialize(&w).unwrap();
+        let dec: Watermarks = bincode::deserialize(&enc).unwrap();
+        let entries: Vec<_> = dec.hr_entries().collect();
+        assert_eq!(entries, vec![(Rank(0), 3), (Rank(2), 8)]);
+    }
+}

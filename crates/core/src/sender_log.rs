@@ -1,0 +1,189 @@
+//! The sender-based message log — the `SAVED_p` set of Appendix A.
+//!
+//! "Every time a message is sent to a computing node, it is stored locally
+//! in a list for further usages (sender based). Moreover the value of the
+//! sender logical clock is stored with the message copy." (§4.5)
+//!
+//! The log lives on the (volatile!) computing node; it is lost on a crash
+//! and rebuilt during re-execution (Lemma 1), and it is *included in
+//! checkpoint images* to avoid the domino effect (§4.1). Storage is
+//! reclaimed by per-destination watermarks once the destination has
+//! checkpointed (§4.6.1).
+
+use crate::ids::Rank;
+use crate::payload::Payload;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One saved emission: `(m, H_p, q)` of the protocol, keyed by the clock.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SavedMsg {
+    /// Sender clock at emission (`h`).
+    pub sender_clock: u64,
+    /// The copied payload.
+    pub payload: Payload,
+}
+
+/// Per-destination ordered log of sent payloads with byte accounting.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SenderLog {
+    /// For each destination, saved messages ordered by sender clock.
+    per_dst: BTreeMap<Rank, BTreeMap<u64, Payload>>,
+    /// Total payload bytes currently held.
+    bytes: u64,
+    /// Cumulative bytes ever appended (monotonic; for scheduler status).
+    total_appended: u64,
+    /// Cumulative messages ever appended.
+    total_msgs: u64,
+}
+
+impl SenderLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an emission. Idempotent for a given `(dst, clock)`: during
+    /// re-execution the same deterministic send re-appends the same message
+    /// (Lemma 1) and must not double-count.
+    pub fn append(&mut self, dst: Rank, sender_clock: u64, payload: Payload) {
+        let entry = self.per_dst.entry(dst).or_default();
+        if entry.insert(sender_clock, payload.clone()).is_none() {
+            self.bytes += payload.len() as u64;
+            self.total_appended += payload.len() as u64;
+            self.total_msgs += 1;
+        }
+    }
+
+    /// Retrieve the saved messages for `dst` with clock strictly greater
+    /// than `after` — the re-send set of the `RESTART1`/`RESTART2` rules.
+    pub fn resend_after(&self, dst: Rank, after: u64) -> impl Iterator<Item = SavedMsg> + '_ {
+        self.per_dst
+            .get(&dst)
+            .into_iter()
+            .flat_map(move |m| m.range(after + 1..))
+            .map(|(&sender_clock, payload)| SavedMsg {
+                sender_clock,
+                payload: payload.clone(),
+            })
+    }
+
+    /// A specific saved message, if still held.
+    pub fn get(&self, dst: Rank, sender_clock: u64) -> Option<&Payload> {
+        self.per_dst.get(&dst)?.get(&sender_clock)
+    }
+
+    /// Garbage-collect: drop every message to `dst` with clock
+    /// `<= watermark` (the destination checkpointed past them, §4.6.1).
+    /// Returns the number of bytes reclaimed.
+    pub fn collect(&mut self, dst: Rank, watermark: u64) -> u64 {
+        let Some(m) = self.per_dst.get_mut(&dst) else {
+            return 0;
+        };
+        let keep = m.split_off(&(watermark + 1));
+        let dropped = std::mem::replace(m, keep);
+        let freed: u64 = dropped.values().map(|p| p.len() as u64).sum();
+        self.bytes -= freed;
+        freed
+    }
+
+    /// Bytes currently held (drives checkpoint scheduling, §4.6.2).
+    pub fn bytes_held(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Cumulative bytes ever appended.
+    pub fn bytes_appended(&self) -> u64 {
+        self.total_appended
+    }
+
+    /// Messages currently held.
+    pub fn msgs_held(&self) -> usize {
+        self.per_dst.values().map(|m| m.len()).sum()
+    }
+
+    /// Cumulative messages ever appended.
+    pub fn msgs_appended(&self) -> u64 {
+        self.total_msgs
+    }
+
+    /// Destinations with at least one saved message.
+    pub fn destinations(&self) -> impl Iterator<Item = Rank> + '_ {
+        self.per_dst
+            .iter()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(&r, _)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with(entries: &[(u32, u64, usize)]) -> SenderLog {
+        let mut l = SenderLog::new();
+        for &(dst, clock, len) in entries {
+            l.append(Rank(dst), clock, Payload::filled(1, len));
+        }
+        l
+    }
+
+    #[test]
+    fn append_and_accounting() {
+        let l = log_with(&[(1, 1, 10), (1, 3, 20), (2, 2, 5)]);
+        assert_eq!(l.bytes_held(), 35);
+        assert_eq!(l.msgs_held(), 3);
+        assert_eq!(l.msgs_appended(), 3);
+    }
+
+    #[test]
+    fn append_is_idempotent_per_clock() {
+        let mut l = SenderLog::new();
+        l.append(Rank(1), 5, Payload::filled(0, 100));
+        l.append(Rank(1), 5, Payload::filled(0, 100)); // replayed send
+        assert_eq!(l.bytes_held(), 100);
+        assert_eq!(l.msgs_held(), 1);
+        assert_eq!(l.msgs_appended(), 1);
+    }
+
+    #[test]
+    fn resend_after_returns_strictly_newer_in_order() {
+        let l = log_with(&[(1, 1, 1), (1, 5, 1), (1, 9, 1), (2, 4, 1)]);
+        let clocks: Vec<u64> = l.resend_after(Rank(1), 4).map(|s| s.sender_clock).collect();
+        assert_eq!(clocks, vec![5, 9]);
+        let clocks: Vec<u64> = l.resend_after(Rank(1), 0).map(|s| s.sender_clock).collect();
+        assert_eq!(clocks, vec![1, 5, 9]);
+        assert_eq!(l.resend_after(Rank(3), 0).count(), 0);
+    }
+
+    #[test]
+    fn collect_frees_only_at_or_below_watermark() {
+        let mut l = log_with(&[(1, 1, 10), (1, 5, 20), (1, 9, 30)]);
+        let freed = l.collect(Rank(1), 5);
+        assert_eq!(freed, 30);
+        assert_eq!(l.bytes_held(), 30);
+        assert_eq!(l.resend_after(Rank(1), 0).count(), 1);
+        assert!(l.get(Rank(1), 9).is_some());
+        assert!(l.get(Rank(1), 5).is_none());
+        // Collecting an unknown destination is a no-op.
+        assert_eq!(l.collect(Rank(7), 100), 0);
+    }
+
+    #[test]
+    fn destinations_skips_emptied() {
+        let mut l = log_with(&[(1, 1, 10), (2, 1, 10)]);
+        l.collect(Rank(1), 10);
+        let d: Vec<Rank> = l.destinations().collect();
+        assert_eq!(d, vec![Rank(2)]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let l = log_with(&[(1, 1, 10), (2, 3, 7)]);
+        let enc = bincode::serialize(&l).unwrap();
+        let dec: SenderLog = bincode::deserialize(&enc).unwrap();
+        assert_eq!(dec.bytes_held(), l.bytes_held());
+        assert_eq!(dec.msgs_held(), l.msgs_held());
+        assert!(dec.get(Rank(2), 3).is_some());
+    }
+}

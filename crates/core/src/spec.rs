@@ -1,0 +1,193 @@
+//! Mapping from the paper's Appendix-A protocol (its variables, routines,
+//! actions and rules) to this implementation — the traceability matrix of
+//! the reproduction, with executable checks of the non-obvious mappings.
+//!
+//! # Variables (Appendix A) → state
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | `EL_p` — list of events to replay | [`ReplayPlan`](crate::replay::ReplayPlan) inside [`V2Engine`](crate::engine::V2Engine)'s replay mode |
+//! | `H_p` — logical clock | [`LogicalClock`](crate::clock::LogicalClock) (ticks on send and delivery) |
+//! | `HR_p[q]` — date of last received event from `q` (in `q`'s clock) | [`Watermarks::hr`](crate::recovery::Watermarks::hr) |
+//! | `HS_p[q]` — date of last sent event to `q` (in `p`'s clock) | [`Watermarks::hs`](crate::recovery::Watermarks::hs) |
+//! | `SAVED_p` — set of message backups | [`SenderLog`](crate::sender_log::SenderLog) |
+//!
+//! # Routines → mechanisms
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | `LOG(data, d)` | [`Output::LogEvents`](crate::engine::Output::LogEvents) shipped to the event logger |
+//! | `WAITLOGGED()` | the [`PessimismGate`](crate::pessimism::PessimismGate): transmissions queue until the EL ack covers every scheduled event |
+//! | `SEND(x, d)` | [`Output::Transmit`](crate::engine::Output::Transmit) |
+//! | `UNDETACTION(d)` | probe outcomes — counted per §4.5 rather than logged individually (see below) |
+//! | `POP(list)` | [`ReplayPlan::try_deliver`](crate::replay::ReplayPlan::try_deliver) / [`ReplayPlan::probe`](crate::replay::ReplayPlan::probe) |
+//! | `DELIVER(m, p)` | [`Output::Deliver`](crate::engine::Output::Deliver) |
+//! | `ROLLBACK()` | [`V2Engine::restore`](crate::engine::V2Engine::restore) from an [`EngineSnapshot`](crate::snapshot::EngineSnapshot) |
+//! | `DownloadEL(H_p)` | [`ElRequest::Download`](crate::envelope::ElRequest::Download)` { after_clock: H_p }` + [`V2Engine::begin_recovery`](crate::engine::V2Engine::begin_recovery) |
+//!
+//! # Actions and rules → handlers
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | `send(m, q)` | [`Input::AppSend`](crate::engine::Input::AppSend): *always* appends to `SAVED` (Lemma 1 requires rebuilt logs even for suppressed re-sends — the pseudo-code's `if H_p ≥ HS_p[q]` guard is widened accordingly, see the checks below), transmits iff `h > HS_p[q]`, behind `WAITLOGGED` |
+//! | `recv()` | [`Input::AppRecv`](crate::engine::Input::AppRecv): normal mode logs `(H_q, q)` at `H_p` and delivers; replay mode pops the plan |
+//! | `UnDetAction(data)` | [`Input::AppProbe`](crate::engine::Input::AppProbe): unsuccessful probes are *counted* into the next reception event's `probes` field (§4.5's compression of probe nondeterminism) and reproduced by [`ProbeVerdict`](crate::replay::ProbeVerdict) |
+//! | `on Restart()` | restore → `begin_recovery(DownloadEL(H_p))` → `RESTART1(HR_p[q])` broadcast |
+//! | `on RECV(RESTART1(HP), q)` | [`PeerMsg::Restart1`](crate::envelope::PeerMsg::Restart1) handler: `HS_p[q] = HP` (overwrite — even downward, duplicates are receiver-suppressed), reply `RESTART2(HR_p[q])`, re-send `SAVED` entries with `h > HS_p[q]` |
+//! | `on RECV(RESTART2(HP), q)` | [`PeerMsg::Restart2`](crate::envelope::PeerMsg::Restart2) handler: same minus the reply |
+//!
+//! # Deliberate deviations from the simplified pseudo-code
+//!
+//! 1. **`SAVED` is appended unconditionally** on every (re-)executed
+//!    send. The pseudo-code skips the whole body when `H_p < HS_p[q]`,
+//!    but Lemma 1's proof *requires* re-executed sends to repopulate
+//!    `SAVED` ("all send() events which are deterministic are replayed at
+//!    the same clock with the same data and thus … appended to respective
+//!    SAVED set"). We follow the lemma, not the pseudo-code.
+//! 2. **Recovery re-sends respect `WAITLOGGED`.** A `SAVED` entry whose
+//!    original transmission is still gated must not leak through a
+//!    `RESTART` re-send — otherwise a receiver could causally depend on
+//!    an unlogged reception. The pseudo-code's re-sends bypass the gate
+//!    because there the append itself happens after `WAITLOGGED`.
+//! 3. **Post-restart connection fencing.** Data arriving from a peer
+//!    after our `begin_recovery` but before that peer's
+//!    `RESTART1`/`RESTART2` handshake belongs to the old (dead) TCP
+//!    connection and is discarded; in the paper this is implicit in
+//!    socket lifecycles.
+//! 4. **GC watermarks are captured at the snapshot instant**, not when
+//!    the checkpoint server's ack returns — deliveries continue while the
+//!    image is in flight, and a later watermark would let senders drop
+//!    messages the image does not cover.
+
+#[cfg(test)]
+mod checks {
+    use crate::engine::{Input, Output, V2Engine};
+    use crate::envelope::{DataMsg, PeerMsg};
+    use crate::ids::{MsgId, Rank};
+    use crate::payload::Payload;
+
+    /// Deviation 1: suppressed re-executed sends still rebuild `SAVED`.
+    #[test]
+    fn suppressed_resends_repopulate_saved() {
+        let mut e = V2Engine::fresh(Rank(0), 2);
+        e.begin_recovery(vec![]);
+        e.drain_outputs();
+        // Peer already holds our clock-1 message.
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Restart2 { last_received: 1 },
+        })
+        .unwrap();
+        e.handle(Input::AppSend {
+            dst: Rank(1),
+            payload: Payload::filled(1, 8),
+        })
+        .unwrap();
+        let outs = e.drain_outputs();
+        assert!(
+            !outs.iter().any(|o| matches!(
+                o,
+                Output::Transmit {
+                    msg: PeerMsg::Data(_),
+                    ..
+                }
+            )),
+            "transmission must be suppressed"
+        );
+        assert_eq!(
+            e.logged_bytes(),
+            8,
+            "SAVED must still hold the payload (Lemma 1)"
+        );
+    }
+
+    /// Deviation 2: a recovery re-send of a still-gated payload must not
+    /// leak past WAITLOGGED.
+    #[test]
+    fn restart_resends_respect_waitlogged() {
+        let mut e = V2Engine::fresh(Rank(0), 3);
+        // Close the gate with an unacked delivery.
+        e.handle(Input::Peer {
+            from: Rank(2),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(2), 1),
+                dst: Rank(0),
+                payload: Payload::filled(0, 4),
+            }),
+        })
+        .unwrap();
+        e.handle(Input::AppRecv).unwrap();
+        // A send queues behind the gate.
+        e.handle(Input::AppSend {
+            dst: Rank(1),
+            payload: Payload::filled(7, 4),
+        })
+        .unwrap();
+        e.drain_outputs();
+        // Peer 1 restarts: the re-send of that very payload must stay
+        // gated too.
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Restart1 { last_received: 0 },
+        })
+        .unwrap();
+        let outs = e.drain_outputs();
+        assert!(
+            !outs.iter().any(|o| matches!(
+                o,
+                Output::Transmit {
+                    msg: PeerMsg::Data(_),
+                    ..
+                }
+            )),
+            "gated payload leaked through a RESTART re-send"
+        );
+        // The ack releases everything.
+        e.handle(Input::ElAck { up_to: 1 }).unwrap();
+        let outs = e.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            Output::Transmit {
+                msg: PeerMsg::Data(_),
+                ..
+            }
+        )));
+    }
+
+    /// Deviation 3: pre-handshake data is fenced after a restart.
+    #[test]
+    fn old_connection_data_is_fenced() {
+        let mut e = V2Engine::fresh(Rank(0), 2);
+        e.begin_recovery(vec![]);
+        e.drain_outputs();
+        // Data before the peer's handshake: dropped.
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(1), 7),
+                dst: Rank(0),
+                payload: Payload::filled(0, 1),
+            }),
+        })
+        .unwrap();
+        assert_eq!(e.metrics().duplicates_dropped, 1);
+        // After RESTART2, data flows.
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Restart2 { last_received: 0 },
+        })
+        .unwrap();
+        e.handle(Input::AppRecv).unwrap();
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(Rank(1), 7),
+                dst: Rank(0),
+                payload: Payload::filled(0, 1),
+            }),
+        })
+        .unwrap();
+        let outs = e.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(o, Output::Deliver { .. })));
+    }
+}

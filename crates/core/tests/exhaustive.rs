@@ -1,0 +1,464 @@
+//! Bounded exhaustive exploration of the protocol's state space — a mini
+//! model checker for the Appendix-A proofs.
+//!
+//! Small deterministic programs run on a set of engines while the
+//! explorer branches over **every interleaving** of in-flight deliveries
+//! (peer messages and event-logger acknowledgements). On top of each
+//! reachable state it additionally branches a **crash of every rank**,
+//! runs the recovery deterministically, and checks that the completed
+//! execution is equivalent to a fault-free one (every planned message
+//! delivered exactly once, in per-pair order, with the right content).
+//!
+//! This complements the scenario and property tests: those sample the
+//! space; this exhausts it (for small configurations).
+
+use mvr_core::engine::{Input, Output};
+use mvr_core::{EngineSnapshot, EventBatch, Payload, PeerMsg, Rank, ReceptionEvent, V2Engine};
+use std::collections::VecDeque;
+
+// ---------------------------------------------------------------------
+// Deterministic test programs
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Op {
+    Send(u32),
+    Recv,
+}
+
+fn payload_for(sender: u32, index: u32) -> Payload {
+    Payload::from_vec(vec![sender as u8, index as u8, (sender ^ index) as u8])
+}
+
+/// Expected per-rank received sequences (per-pair FIFO; cross-pair order
+/// free — we compare multisets per source).
+fn expected_per_source(scripts: &[Vec<Op>]) -> Vec<Vec<Vec<Payload>>> {
+    let n = scripts.len();
+    let mut out = vec![vec![Vec::new(); n]; n]; // [receiver][sender] -> payloads in order
+    for (src, script) in scripts.iter().enumerate() {
+        let mut idx = 0u32;
+        for op in script {
+            if let Op::Send(dst) = op {
+                out[*dst as usize][src].push(payload_for(src as u32, idx));
+                idx += 1;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// The explored world
+// ---------------------------------------------------------------------
+
+/// A deliverable in-flight item.
+#[derive(Clone, Debug)]
+enum Flight {
+    Peer { from: Rank, to: Rank, msg: PeerMsg },
+    ElAck { to: Rank, up_to: u64 },
+}
+
+#[derive(Clone)]
+struct World {
+    engines: Vec<V2Engine>,
+    scripts: Vec<Vec<Op>>,
+    pc: Vec<usize>,
+    waiting: Vec<bool>,
+    sends_done: Vec<u32>,
+    received: Vec<Vec<(u32, Payload)>>,
+    /// In-flight deliveries; FIFO **per channel**, but the explorer may
+    /// interleave across channels (that is the branching).
+    flights: VecDeque<Flight>,
+    /// The reliable event logger: stored events per rank.
+    el: Vec<Vec<ReceptionEvent>>,
+    snapshots: Vec<Option<(EngineSnapshot, usize, u32, Vec<(u32, Payload)>)>>,
+}
+
+impl World {
+    fn new(scripts: Vec<Vec<Op>>) -> Self {
+        let n = scripts.len();
+        World {
+            engines: (0..n)
+                .map(|r| V2Engine::fresh(Rank(r as u32), n as u32))
+                .collect(),
+            scripts,
+            pc: vec![0; n],
+            waiting: vec![false; n],
+            sends_done: vec![0; n],
+            received: vec![Vec::new(); n],
+            flights: VecDeque::new(),
+            el: vec![Vec::new(); n],
+            snapshots: vec![None; n],
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.scripts.len()
+    }
+
+    /// Route one engine's outputs into flights / the EL / the app.
+    fn route_outputs(&mut self, r: usize) {
+        for out in self.engines[r].drain_outputs() {
+            match out {
+                Output::Transmit { to, msg } => {
+                    self.flights.push_back(Flight::Peer {
+                        from: Rank(r as u32),
+                        to,
+                        msg,
+                    });
+                }
+                Output::LogEvents(EventBatch { owner, events }) => {
+                    let store = &mut self.el[owner.idx()];
+                    let mut up_to = 0;
+                    for e in events {
+                        if store
+                            .last()
+                            .map(|l| l.receiver_clock < e.receiver_clock)
+                            .unwrap_or(true)
+                        {
+                            store.push(e);
+                        }
+                        up_to = store.last().map(|l| l.receiver_clock).unwrap_or(0);
+                    }
+                    self.flights.push_back(Flight::ElAck { to: owner, up_to });
+                }
+                Output::Deliver { from, payload } => {
+                    assert!(self.waiting[r], "unsolicited delivery at rank {r}");
+                    self.waiting[r] = false;
+                    self.received[r].push((from.0, payload));
+                    self.pc[r] += 1;
+                }
+                Output::ProbeAnswer(_) => unreachable!("no probes in these scripts"),
+                Output::ElTruncate { up_to } => {
+                    self.el[r].retain(|e| e.receiver_clock > up_to);
+                }
+                Output::ReplayComplete => {}
+            }
+        }
+    }
+
+    /// Run every rank's program greedily until each is blocked on a recv
+    /// or finished (app steps are deterministic; the nondeterminism under
+    /// exploration is delivery order).
+    fn run_apps(&mut self) {
+        loop {
+            let mut progressed = false;
+            for r in 0..self.n() {
+                if self.waiting[r] {
+                    continue;
+                }
+                let Some(&op) = self.scripts[r].get(self.pc[r]) else {
+                    continue;
+                };
+                match op {
+                    Op::Send(dst) => {
+                        let p = payload_for(r as u32, self.sends_done[r]);
+                        self.sends_done[r] += 1;
+                        self.pc[r] += 1;
+                        self.engines[r]
+                            .handle(Input::AppSend {
+                                dst: Rank(dst),
+                                payload: p,
+                            })
+                            .unwrap();
+                    }
+                    Op::Recv => {
+                        self.waiting[r] = true;
+                        self.engines[r].handle(Input::AppRecv).unwrap();
+                    }
+                }
+                self.route_outputs(r);
+                progressed = true;
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// Deliver flight `i` (must respect per-channel FIFO: the caller only
+    /// picks the *first* flight of each channel).
+    fn deliver(&mut self, i: usize) {
+        let f = self.flights.remove(i).expect("index valid");
+        match f {
+            Flight::Peer { from, to, msg } => {
+                self.engines[to.idx()]
+                    .handle(Input::Peer { from, msg })
+                    .expect("no divergence");
+                self.route_outputs(to.idx());
+            }
+            Flight::ElAck { to, up_to } => {
+                self.engines[to.idx()]
+                    .handle(Input::ElAck { up_to })
+                    .unwrap();
+                self.route_outputs(to.idx());
+            }
+        }
+        self.run_apps();
+    }
+
+    /// The indices of flights that are deliverable next: the first flight
+    /// of every distinct (kind, endpoint) channel.
+    fn frontier(&self) -> Vec<usize> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (i, f) in self.flights.iter().enumerate() {
+            let key = match f {
+                Flight::Peer { from, to, .. } => (0u8, from.0, to.0),
+                Flight::ElAck { to, .. } => (1u8, 0, to.0),
+            };
+            if seen.insert(key) {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    fn done(&self) -> bool {
+        (0..self.n()).all(|r| self.pc[r] >= self.scripts[r].len() && !self.waiting[r])
+    }
+
+    /// Crash rank `v`: drop its engine/app state and every flight touching
+    /// it (channels emptied), restart (from snapshot if one was taken),
+    /// download its EL events, and begin recovery.
+    fn crash_and_restart(&mut self, v: usize) {
+        self.flights.retain(|f| match f {
+            Flight::Peer { from, to, .. } => from.idx() != v && to.idx() != v,
+            Flight::ElAck { to, .. } => to.idx() != v,
+        });
+        let (mut engine, pc, sends, received) = match self.snapshots[v].clone() {
+            Some((snap, pc, sends, received)) => (V2Engine::restore(snap), pc, sends, received),
+            None => (
+                V2Engine::fresh(Rank(v as u32), self.n() as u32),
+                0,
+                0,
+                Vec::new(),
+            ),
+        };
+        let events: Vec<ReceptionEvent> = self.el[v]
+            .iter()
+            .copied()
+            .filter(|e| e.receiver_clock > engine.clock())
+            .collect();
+        engine.begin_recovery(events);
+        self.engines[v] = engine;
+        self.pc[v] = pc;
+        self.sends_done[v] = sends;
+        self.received[v] = received;
+        self.waiting[v] = false;
+        self.route_outputs(v);
+        self.run_apps();
+    }
+
+    /// Take a checkpoint of rank `v` now, if the engine is quiescent.
+    fn try_checkpoint(&mut self, v: usize) -> bool {
+        self.engines[v].handle(Input::CheckpointOrder).unwrap();
+        if self.engines[v].try_arm_checkpoint().is_none() {
+            return false;
+        }
+        let snap = self.engines[v].snapshot();
+        self.snapshots[v] = Some((
+            snap,
+            self.pc[v],
+            self.sends_done[v],
+            self.received[v].clone(),
+        ));
+        self.engines[v].handle(Input::CheckpointStored).unwrap();
+        self.route_outputs(v);
+        true
+    }
+
+    /// Drain all remaining work deterministically (FIFO deliveries).
+    fn run_to_completion(&mut self, budget: &mut u64) {
+        self.run_apps();
+        while !self.done() {
+            *budget -= 1;
+            assert!(*budget > 0, "exploration wedged");
+            assert!(
+                !self.flights.is_empty(),
+                "deadlock: nothing in flight but not done"
+            );
+            self.deliver(0);
+        }
+    }
+
+    fn check_equivalence(&self, expected: &[Vec<Vec<Payload>>]) {
+        for r in 0..self.n() {
+            let mut per_src: Vec<Vec<Payload>> = vec![Vec::new(); self.n()];
+            for (from, p) in &self.received[r] {
+                per_src[*from as usize].push(p.clone());
+            }
+            for s in 0..self.n() {
+                assert_eq!(
+                    per_src[s], expected[r][s],
+                    "rank {r}: messages from {s} diverge from the fault-free run"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------
+
+struct Explorer {
+    expected: Vec<Vec<Vec<Payload>>>,
+    states_visited: u64,
+    crash_runs: u64,
+    max_states: u64,
+}
+
+impl Explorer {
+    fn explore(&mut self, w: World, crashes_left: u32, ckpts_left: u32) {
+        self.states_visited += 1;
+        assert!(
+            self.states_visited < self.max_states,
+            "state space larger than expected ({} states)",
+            self.states_visited
+        );
+
+        // Branch: crash any rank here, then run deterministically.
+        if crashes_left > 0 {
+            for v in 0..w.n() {
+                let mut fw = w.clone();
+                fw.crash_and_restart(v);
+                let mut budget = 100_000u64;
+                fw.run_to_completion(&mut budget);
+                fw.check_equivalence(&self.expected);
+                self.crash_runs += 1;
+
+                // And crash once more during/after the first recovery,
+                // deterministically (second-order faults).
+                if crashes_left > 1 {
+                    for v2 in 0..w.n() {
+                        let mut fw2 = w.clone();
+                        fw2.crash_and_restart(v);
+                        fw2.crash_and_restart(v2);
+                        let mut budget = 100_000u64;
+                        fw2.run_to_completion(&mut budget);
+                        fw2.check_equivalence(&self.expected);
+                        self.crash_runs += 1;
+                    }
+                }
+            }
+        }
+
+        // Branch: checkpoint any rank here (changes later recoveries).
+        if ckpts_left > 0 && crashes_left > 0 {
+            for v in 0..w.n() {
+                let mut cw = w.clone();
+                if cw.try_checkpoint(v) {
+                    self.explore(cw, crashes_left, ckpts_left - 1);
+                }
+            }
+        }
+
+        if w.done() {
+            w.check_equivalence(&self.expected);
+            return;
+        }
+        let frontier = w.frontier();
+        assert!(
+            !frontier.is_empty(),
+            "deadlock: not done and nothing deliverable"
+        );
+        for i in frontier {
+            let mut next = w.clone();
+            next.deliver(i);
+            self.explore(next, crashes_left, ckpts_left);
+        }
+    }
+}
+
+fn run_exploration(scripts: Vec<Vec<Op>>, crashes: u32, ckpts: u32, max_states: u64) -> (u64, u64) {
+    let expected = expected_per_source(&scripts);
+    let mut world = World::new(scripts);
+    world.run_apps();
+    let mut ex = Explorer {
+        expected,
+        states_visited: 0,
+        crash_runs: 0,
+        max_states,
+    };
+    ex.explore(world, crashes, ckpts);
+    (ex.states_visited, ex.crash_runs)
+}
+
+// ---------------------------------------------------------------------
+// The test matrix
+// ---------------------------------------------------------------------
+
+#[test]
+fn exhaustive_pingpong_with_crashes_everywhere() {
+    // A: send, recv, send; B: recv, send, recv — every interleaving of
+    // deliveries and acks, with a crash of either rank at every state.
+    let scripts = vec![
+        vec![Op::Send(1), Op::Recv, Op::Send(1)],
+        vec![Op::Recv, Op::Send(0), Op::Recv],
+    ];
+    let (states, crash_runs) = run_exploration(scripts, 1, 0, 2_000_000);
+    assert!(states >= 5, "exploration trivially small ({states})");
+    assert!(crash_runs >= 10, "too few crash branches ({crash_runs})");
+}
+
+#[test]
+fn exhaustive_pingpong_with_double_crashes() {
+    let scripts = vec![vec![Op::Send(1), Op::Recv], vec![Op::Recv, Op::Send(0)]];
+    let (_states, crash_runs) = run_exploration(scripts, 2, 0, 2_000_000);
+    assert!(
+        crash_runs >= 20,
+        "double-crash coverage too small ({crash_runs})"
+    );
+}
+
+#[test]
+fn exhaustive_with_checkpoints_at_every_state() {
+    let scripts = vec![
+        vec![Op::Send(1), Op::Recv, Op::Send(1)],
+        vec![Op::Recv, Op::Send(0), Op::Recv],
+    ];
+    let (states, crash_runs) = run_exploration(scripts, 1, 1, 4_000_000);
+    assert!(states >= 10, "{states}");
+    assert!(crash_runs >= 20, "{crash_runs}");
+}
+
+#[test]
+fn exhaustive_three_ranks_fanin() {
+    // Two senders racing into one receiver (nondeterministic reception
+    // order), crashes everywhere.
+    let scripts = vec![
+        vec![Op::Send(2), Op::Send(2)],
+        vec![Op::Send(2), Op::Send(2)],
+        vec![
+            Op::Recv,
+            Op::Recv,
+            Op::Recv,
+            Op::Recv,
+            Op::Send(0),
+            Op::Send(1),
+        ],
+    ];
+    let mut scripts = scripts;
+    scripts[0].push(Op::Recv);
+    scripts[1].push(Op::Recv);
+    let (states, crash_runs) = run_exploration(scripts, 1, 0, 8_000_000);
+    assert!(states > 100);
+    assert!(crash_runs > 100);
+}
+
+#[test]
+fn exhaustive_relay_chain() {
+    // A -> B -> C relay: B's emission causally depends on its reception —
+    // the pessimism gate's canonical scenario.
+    let scripts = vec![
+        vec![Op::Send(1)],
+        vec![Op::Recv, Op::Send(2)],
+        vec![Op::Recv, Op::Send(0)],
+    ];
+    let mut scripts = scripts;
+    scripts[0].push(Op::Recv);
+    let (states, crash_runs) = run_exploration(scripts, 2, 0, 8_000_000);
+    assert!(states >= 5, "{states}");
+    assert!(crash_runs >= 30, "{crash_runs}");
+}

@@ -1,0 +1,219 @@
+//! Property-based tests of the protocol's core data structures.
+
+use mvr_core::{
+    MsgId, Payload, PessimismGate, Rank, ReceptionEvent, ReplayPlan, SenderLog, Watermarks,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Sender log
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum LogOp {
+    Append {
+        dst: u32,
+        clock_step: u64,
+        len: usize,
+    },
+    Collect {
+        dst: u32,
+        watermark: u64,
+    },
+}
+
+fn arb_log_ops() -> impl Strategy<Value = Vec<LogOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..4, 1u64..5, 0usize..64).prop_map(|(dst, clock_step, len)| LogOp::Append {
+                dst,
+                clock_step,
+                len
+            }),
+            (0u32..4, 0u64..120).prop_map(|(dst, watermark)| LogOp::Collect { dst, watermark }),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    /// The log's byte accounting always equals the sum of retained
+    /// payloads, and `resend_after` returns exactly the retained clocks
+    /// above the threshold, in order.
+    #[test]
+    fn sender_log_accounting_matches_model(ops in arb_log_ops()) {
+        let mut log = SenderLog::new();
+        // Reference model: dst -> clock -> len.
+        let mut model: BTreeMap<u32, BTreeMap<u64, usize>> = BTreeMap::new();
+        let mut clock = 0u64;
+        for op in ops {
+            match op {
+                LogOp::Append { dst, clock_step, len } => {
+                    clock += clock_step;
+                    log.append(Rank(dst), clock, Payload::filled(0, len));
+                    model.entry(dst).or_default().insert(clock, len);
+                }
+                LogOp::Collect { dst, watermark } => {
+                    log.collect(Rank(dst), watermark);
+                    if let Some(m) = model.get_mut(&dst) {
+                        m.retain(|&c, _| c > watermark);
+                    }
+                }
+            }
+            let expect_bytes: u64 =
+                model.values().flat_map(|m| m.values()).map(|&l| l as u64).sum();
+            prop_assert_eq!(log.bytes_held(), expect_bytes);
+            let expect_msgs: usize = model.values().map(|m| m.len()).sum();
+            prop_assert_eq!(log.msgs_held(), expect_msgs);
+        }
+        // Resend correctness for every dst and several thresholds.
+        for (&dst, m) in &model {
+            for after in [0u64, 1, 5, 50] {
+                let got: Vec<u64> =
+                    log.resend_after(Rank(dst), after).map(|s| s.sender_clock).collect();
+                let expect: Vec<u64> = m.keys().copied().filter(|&c| c > after).collect();
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+
+    /// Re-appending the same (dst, clock) never double-counts.
+    #[test]
+    fn sender_log_append_idempotent(clocks in proptest::collection::vec(1u64..30, 1..20)) {
+        let mut log = SenderLog::new();
+        let mut unique = std::collections::BTreeSet::new();
+        for c in &clocks {
+            log.append(Rank(0), *c, Payload::filled(1, 10));
+            unique.insert(*c);
+        }
+        for c in &clocks {
+            log.append(Rank(0), *c, Payload::filled(1, 10)); // replayed
+        }
+        prop_assert_eq!(log.msgs_held(), unique.len());
+        prop_assert_eq!(log.bytes_held(), unique.len() as u64 * 10);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pessimism gate
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The gate is open exactly when every scheduled clock is acked.
+    #[test]
+    fn gate_open_iff_acked_covers_scheduled(
+        steps in proptest::collection::vec((1u64..4, 0u64..8), 0..40)
+    ) {
+        let mut gate = PessimismGate::new();
+        let mut scheduled = 0u64;
+        let mut acked = 0u64;
+        for (step, ack) in steps {
+            scheduled += step;
+            gate.on_scheduled(scheduled);
+            let up_to = acked.max(ack.min(scheduled));
+            gate.on_ack(up_to);
+            acked = acked.max(up_to);
+            prop_assert_eq!(gate.is_open(), acked >= scheduled);
+            prop_assert_eq!(gate.outstanding(), scheduled - acked);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watermarks
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// HR is the running maximum of delivered clocks; duplicates are
+    /// exactly the non-increasing ones.
+    #[test]
+    fn watermarks_hr_is_running_max(deliveries in proptest::collection::vec(1u64..50, 0..40)) {
+        let mut w = Watermarks::new();
+        let mut hi = 0u64;
+        for h in deliveries {
+            let dup = h <= hi;
+            prop_assert_eq!(w.is_duplicate_from(Rank(1), h), dup);
+            prop_assert_eq!(w.on_delivery_from(Rank(1), h), !dup);
+            hi = hi.max(h);
+            prop_assert_eq!(w.hr(Rank(1)), hi);
+        }
+    }
+
+    /// `set_hs_from_restart` overwrites; `should_transmit_to` is exactly
+    /// `h > HS`.
+    #[test]
+    fn watermarks_hs_restart_semantics(
+        transmits in proptest::collection::vec(1u64..50, 0..20),
+        restart_at in 0u64..60,
+    ) {
+        let mut w = Watermarks::new();
+        for h in &transmits {
+            w.on_transmit_to(Rank(2), *h);
+        }
+        w.set_hs_from_restart(Rank(2), restart_at);
+        prop_assert_eq!(w.hs(Rank(2)), restart_at);
+        for h in [restart_at, restart_at + 1, restart_at.saturating_sub(1)] {
+            prop_assert_eq!(w.should_transmit_to(Rank(2), h), h > restart_at);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay plan
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Whatever order the re-sent payloads arrive in, deliveries come out
+    /// exactly in receiver-clock order, and unlogged arrivals are
+    /// preserved as futures.
+    #[test]
+    fn replay_plan_enforces_logged_order(
+        n_events in 1usize..12,
+        shuffle_seed in 0u64..1000,
+        n_future in 0usize..4,
+    ) {
+        // Logged history: events from two senders, receiver clocks 1..=n.
+        let events: Vec<ReceptionEvent> = (0..n_events)
+            .map(|i| ReceptionEvent {
+                sender: Rank((i % 2) as u32),
+                sender_clock: (i / 2 + 1) as u64,
+                receiver_clock: (i + 1) as u64,
+                probes: 0,
+            })
+            .collect();
+        let mut plan = ReplayPlan::new(events.clone());
+
+        // Arrival order: a deterministic shuffle of logged + future ids.
+        let mut arrivals: Vec<MsgId> = events.iter().map(|e| e.msg_id()).collect();
+        for f in 0..n_future {
+            arrivals.push(MsgId::new(Rank(3), (f + 1) as u64));
+        }
+        let mut s = shuffle_seed.wrapping_mul(2654435761).max(1);
+        for i in (1..arrivals.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            arrivals.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+
+        let mut delivered = Vec::new();
+        let mut clock = 0u64;
+        let drain = |plan: &mut ReplayPlan, clock: &mut u64, out: &mut Vec<u64>| {
+            while let Some((ev, _)) = plan.try_deliver(*clock).unwrap() {
+                *clock = ev.receiver_clock;
+                out.push(ev.receiver_clock);
+            }
+        };
+        for id in arrivals {
+            plan.offer(id, Payload::empty());
+            drain(&mut plan, &mut clock, &mut delivered);
+        }
+        prop_assert!(plan.is_done());
+        let expect: Vec<u64> = (1..=n_events as u64).collect();
+        prop_assert_eq!(delivered, expect);
+        prop_assert_eq!(plan.future_len(), n_future);
+        let futures = plan.into_future_arrivals();
+        prop_assert!(futures.iter().all(|(id, _)| id.sender == Rank(3)));
+    }
+}

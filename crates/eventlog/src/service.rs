@@ -1,0 +1,126 @@
+//! The event-logger service loop: wraps an [`EventLogStore`] behind a
+//! fabric mailbox. The reply path is injected as a closure so this crate
+//! stays independent of the runtime's daemon message enum.
+
+use crate::store::EventLogStore;
+use mvr_core::{ElReply, ElRequest, Rank};
+use mvr_net::{Mailbox, RecvError};
+
+/// One inbound request: who asked, and what.
+#[derive(Clone, Debug)]
+pub struct ElPacket {
+    /// The daemon (by rank) that sent the request.
+    pub from: Rank,
+    /// The request itself.
+    pub req: ElRequest,
+}
+
+/// Statistics of one event-logger instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ElServiceStats {
+    /// Requests processed.
+    pub requests: u64,
+    /// Acks produced.
+    pub acks: u64,
+    /// Downloads served.
+    pub downloads: u64,
+}
+
+/// Run the event logger until its mailbox is killed (the EL is the
+/// reliable component of the system — killing it in tests models the
+/// "what if the reliable node dies" experiments).
+///
+/// `reply` ships an [`ElReply`] back to the daemon of the given rank; a
+/// failed reply (daemon crashed meanwhile) is ignored, matching a TCP
+/// write error to a dead peer.
+pub fn run_event_logger<F>(
+    mailbox: Mailbox<ElPacket>,
+    mut reply: F,
+) -> (EventLogStore, ElServiceStats)
+where
+    F: FnMut(Rank, ElReply) -> bool,
+{
+    let mut store = EventLogStore::new();
+    let mut stats = ElServiceStats::default();
+    loop {
+        let pkt = match mailbox.recv() {
+            Ok(p) => p,
+            Err(RecvError::Killed) | Err(RecvError::Timeout) => break,
+        };
+        stats.requests += 1;
+        if let Some(r) = store.handle(pkt.req) {
+            match &r {
+                ElReply::Ack { .. } => stats.acks += 1,
+                ElReply::Events(_) => stats.downloads += 1,
+            }
+            // Best effort: the peer may have died; its restart will
+            // re-download.
+            let _ = reply(pkt.from, r);
+        }
+    }
+    (store, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvr_core::{EventBatch, NodeId, ReceptionEvent};
+    use mvr_net::Fabric;
+    use std::sync::mpsc;
+    use std::thread;
+
+    #[test]
+    fn service_logs_and_acks() {
+        let fabric = Fabric::new();
+        let el_node = NodeId::EventLogger(0);
+        let (mb, _id) = fabric.register::<ElPacket>(el_node);
+        let (tx, rx) = mpsc::channel::<(Rank, ElReply)>();
+        let h = thread::spawn(move || {
+            run_event_logger(mb, move |r, reply| tx.send((r, reply)).is_ok())
+        });
+
+        let batch = EventBatch {
+            owner: Rank(3),
+            events: vec![ReceptionEvent {
+                sender: Rank(1),
+                sender_clock: 1,
+                receiver_clock: 5,
+                probes: 0,
+            }],
+        };
+        fabric
+            .send_from_reliable(
+                el_node,
+                ElPacket {
+                    from: Rank(3),
+                    req: ElRequest::Log(batch),
+                },
+            )
+            .unwrap();
+        let (to, reply) = rx.recv().unwrap();
+        assert_eq!(to, Rank(3));
+        assert_eq!(reply, ElReply::Ack { up_to: 5 });
+
+        fabric
+            .send_from_reliable(
+                el_node,
+                ElPacket {
+                    from: Rank(3),
+                    req: ElRequest::Download {
+                        rank: Rank(3),
+                        after_clock: 0,
+                    },
+                },
+            )
+            .unwrap();
+        let (_, reply) = rx.recv().unwrap();
+        assert!(matches!(reply, ElReply::Events(v) if v.len() == 1));
+
+        fabric.kill(el_node);
+        let (store, stats) = h.join().unwrap();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.acks, 1);
+        assert_eq!(stats.downloads, 1);
+        assert_eq!(store.events_held(Rank(3)), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! The event logger's storage: per-rank ordered lists of reception events.
+//!
+//! §4.5: "The event logger is a repository executed on a reliable component
+//! of the system. It stores and delivers dependency information about
+//! messages exchanged by the computing nodes. [...] The amount of
+//! information stored on the Event Logger is proportional to the number of
+//! transmitted messages and not proportional to the size of the payload
+//! like in MPICH-V1."
+
+use mvr_core::{ElReply, ElRequest, EventBatch, Rank, ReceptionEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Pure event-log state (no IO); the service thread wraps it.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EventLogStore {
+    events: BTreeMap<Rank, Vec<ReceptionEvent>>,
+    /// Cumulative events ever stored (monotonic).
+    total_logged: u64,
+}
+
+impl EventLogStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a batch; idempotent for re-sent events (a receiver clock is
+    /// stored at most once). Returns the ack: the highest receiver clock
+    /// durably stored for the batch owner.
+    pub fn log(&mut self, batch: EventBatch) -> u64 {
+        debug_assert!(
+            batch.is_ordered(),
+            "event batch must be receiver-clock ordered"
+        );
+        let v = self.events.entry(batch.owner).or_default();
+        for e in batch.events {
+            match v.last() {
+                Some(last) if last.receiver_clock >= e.receiver_clock => {
+                    // Duplicate or stale re-log: already durable, skip.
+                }
+                _ => {
+                    v.push(e);
+                    self.total_logged += 1;
+                }
+            }
+        }
+        v.last().map(|e| e.receiver_clock).unwrap_or(0)
+    }
+
+    /// `DownloadEL(H_p)`: every stored event for `rank` with receiver clock
+    /// strictly greater than `after_clock`, in order.
+    pub fn download(&self, rank: Rank, after_clock: u64) -> Vec<ReceptionEvent> {
+        self.events
+            .get(&rank)
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|e| e.receiver_clock > after_clock)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Drop events for `rank` at or below `up_to` (post-checkpoint
+    /// storage reclamation).
+    pub fn truncate(&mut self, rank: Rank, up_to: u64) -> usize {
+        let Some(v) = self.events.get_mut(&rank) else {
+            return 0;
+        };
+        let before = v.len();
+        v.retain(|e| e.receiver_clock > up_to);
+        before - v.len()
+    }
+
+    /// Process a request, producing an optional reply.
+    pub fn handle(&mut self, req: ElRequest) -> Option<ElReply> {
+        match req {
+            ElRequest::Log(batch) => {
+                let up_to = self.log(batch);
+                Some(ElReply::Ack { up_to })
+            }
+            ElRequest::Download { rank, after_clock } => {
+                Some(ElReply::Events(self.download(rank, after_clock)))
+            }
+            ElRequest::Truncate { rank, up_to } => {
+                self.truncate(rank, up_to);
+                None
+            }
+        }
+    }
+
+    /// Events currently held for `rank`.
+    pub fn events_held(&self, rank: Rank) -> usize {
+        self.events.get(&rank).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Total events currently held.
+    pub fn total_held(&self) -> usize {
+        self.events.values().map(Vec::len).sum()
+    }
+
+    /// Cumulative events ever logged.
+    pub fn total_logged(&self) -> u64 {
+        self.total_logged
+    }
+}
+
+/// Static partition of ranks across several event loggers (§4.5: "several
+/// event loggers may be used [...] every communication daemon must be
+/// connected to exactly one event logger", and "event loggers do not have
+/// to communicate with each other").
+pub fn el_for_rank(rank: Rank, num_els: u32) -> u32 {
+    assert!(num_els > 0, "at least one event logger is required");
+    rank.0 % num_els
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(s: u32, sc: u64, rc: u64) -> ReceptionEvent {
+        ReceptionEvent {
+            sender: Rank(s),
+            sender_clock: sc,
+            receiver_clock: rc,
+            probes: 0,
+        }
+    }
+
+    fn batch(owner: u32, events: Vec<ReceptionEvent>) -> EventBatch {
+        EventBatch {
+            owner: Rank(owner),
+            events,
+        }
+    }
+
+    #[test]
+    fn log_acks_highest_clock() {
+        let mut s = EventLogStore::new();
+        assert_eq!(s.log(batch(0, vec![ev(1, 1, 1), ev(2, 1, 2)])), 2);
+        assert_eq!(s.log(batch(0, vec![ev(1, 2, 3)])), 3);
+        assert_eq!(s.total_held(), 3);
+    }
+
+    #[test]
+    fn duplicate_logs_are_idempotent() {
+        let mut s = EventLogStore::new();
+        s.log(batch(0, vec![ev(1, 1, 1)]));
+        let ack = s.log(batch(0, vec![ev(1, 1, 1)]));
+        assert_eq!(ack, 1);
+        assert_eq!(s.events_held(Rank(0)), 1);
+        assert_eq!(s.total_logged(), 1);
+    }
+
+    #[test]
+    fn download_filters_by_clock() {
+        let mut s = EventLogStore::new();
+        s.log(batch(0, vec![ev(1, 1, 1), ev(1, 2, 2), ev(1, 3, 3)]));
+        let d = s.download(Rank(0), 1);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].receiver_clock, 2);
+        assert!(s.download(Rank(9), 0).is_empty());
+    }
+
+    #[test]
+    fn truncate_reclaims() {
+        let mut s = EventLogStore::new();
+        s.log(batch(0, vec![ev(1, 1, 1), ev(1, 2, 2), ev(1, 3, 3)]));
+        assert_eq!(s.truncate(Rank(0), 2), 2);
+        assert_eq!(s.events_held(Rank(0)), 1);
+        // Download after truncation still serves the tail.
+        assert_eq!(s.download(Rank(0), 0).len(), 1);
+    }
+
+    #[test]
+    fn handle_dispatches() {
+        let mut s = EventLogStore::new();
+        let r = s.handle(ElRequest::Log(batch(0, vec![ev(1, 1, 1)])));
+        assert_eq!(r, Some(ElReply::Ack { up_to: 1 }));
+        let r = s.handle(ElRequest::Download {
+            rank: Rank(0),
+            after_clock: 0,
+        });
+        assert!(matches!(r, Some(ElReply::Events(v)) if v.len() == 1));
+        assert_eq!(
+            s.handle(ElRequest::Truncate {
+                rank: Rank(0),
+                up_to: 1
+            }),
+            None
+        );
+        assert_eq!(s.events_held(Rank(0)), 0);
+    }
+
+    #[test]
+    fn partition_is_stable_and_total() {
+        for r in 0..32 {
+            let el = el_for_rank(Rank(r), 4);
+            assert!(el < 4);
+            assert_eq!(el, el_for_rank(Rank(r), 4));
+        }
+        assert_eq!(el_for_rank(Rank(5), 1), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_els_rejected() {
+        el_for_rank(Rank(0), 0);
+    }
+
+    #[test]
+    fn per_rank_isolation() {
+        let mut s = EventLogStore::new();
+        s.log(batch(0, vec![ev(1, 1, 1)]));
+        s.log(batch(1, vec![ev(0, 1, 1)]));
+        assert_eq!(s.events_held(Rank(0)), 1);
+        assert_eq!(s.events_held(Rank(1)), 1);
+        s.truncate(Rank(0), 10);
+        assert_eq!(s.events_held(Rank(1)), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! The channel interface — the six primitives MPICH-V2 implements for
+//! MPICH's protocol layer (§4.4), as a Rust trait.
+//!
+//! "MPICH-V2 is implemented as a channel for MPICH: it implements a set of
+//! six primitives used by the protocol layer. The channel includes two
+//! communication functions PIbrecv and PIbsend [...] PInprobe to check if
+//! a message is pending; PIfrom to get the identifier of the last message
+//! sender; PIiInit to initialize the channel and PIiFinish to finish the
+//! execution."
+//!
+//! Everything above this trait (matching, tags, nonblocking requests,
+//! collectives) is protocol-agnostic: the V2 runtime, the V1/P4 baselines
+//! and the in-process test cluster all implement [`Channel`].
+
+use crate::error::MpiResult;
+use mvr_core::{Payload, Rank};
+
+/// Information returned by channel initialization (`PIiInit`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelInfo {
+    /// This process's rank.
+    pub rank: Rank,
+    /// Number of processes in the world.
+    pub size: u32,
+    /// Restored MPI-library state, when resuming from a checkpoint.
+    pub restored_mpi_state: Option<Payload>,
+    /// Restored application state, when resuming from a checkpoint.
+    pub restored_app_state: Option<Payload>,
+}
+
+/// The channel interface between the MPI library (in the MPI process) and
+/// the communication daemon.
+pub trait Channel {
+    /// `PIiInit`: establish the connection; returns rank, world size and
+    /// any restored checkpoint state.
+    fn init(&mut self) -> MpiResult<ChannelInfo>;
+
+    /// `PIbsend`: blocking send of one protocol message to `dst`'s daemon.
+    /// ("Blocking" means until the daemon accepted it, not until
+    /// delivery.) Self-sends are short-circuited above this trait.
+    fn bsend(&mut self, dst: Rank, bytes: Payload) -> MpiResult<()>;
+
+    /// `PIbrecv` + `PIfrom`: blocking receive of the next protocol message
+    /// in the daemon's (logged) delivery order, with its sender.
+    fn brecv(&mut self) -> MpiResult<(Rank, Payload)>;
+
+    /// `PInprobe`: is a protocol message pending? Nondeterministic; the V2
+    /// daemon counts unsuccessful probes to replay them (§4.5).
+    fn nprobe(&mut self) -> MpiResult<bool>;
+
+    /// `PIiFinish`: orderly shutdown (the dispatcher's finalize message).
+    fn finish(&mut self) -> MpiResult<()>;
+
+    /// Has the daemon requested a checkpoint? Polled at checkpoint sites;
+    /// a `true` answer must be followed by [`commit_checkpoint`].
+    ///
+    /// [`commit_checkpoint`]: Channel::commit_checkpoint
+    fn checkpoint_pending(&mut self) -> MpiResult<bool> {
+        Ok(false)
+    }
+
+    /// Deliver the serialized MPI-library and application state to the
+    /// daemon, completing a requested checkpoint.
+    fn commit_checkpoint(&mut self, _mpi_state: Payload, _app_state: Payload) -> MpiResult<()> {
+        Ok(())
+    }
+}
+
+impl<C: Channel + ?Sized> Channel for &mut C {
+    fn init(&mut self) -> MpiResult<ChannelInfo> {
+        (**self).init()
+    }
+    fn bsend(&mut self, dst: Rank, bytes: Payload) -> MpiResult<()> {
+        (**self).bsend(dst, bytes)
+    }
+    fn brecv(&mut self) -> MpiResult<(Rank, Payload)> {
+        (**self).brecv()
+    }
+    fn nprobe(&mut self) -> MpiResult<bool> {
+        (**self).nprobe()
+    }
+    fn finish(&mut self) -> MpiResult<()> {
+        (**self).finish()
+    }
+    fn checkpoint_pending(&mut self) -> MpiResult<bool> {
+        (**self).checkpoint_pending()
+    }
+    fn commit_checkpoint(&mut self, mpi_state: Payload, app_state: Payload) -> MpiResult<()> {
+        (**self).commit_checkpoint(mpi_state, app_state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must be object-safe: daemons hand `Box<dyn Channel>` to
+    /// generic apps.
+    #[test]
+    fn channel_is_object_safe() {
+        struct Null;
+        impl Channel for Null {
+            fn init(&mut self) -> MpiResult<ChannelInfo> {
+                Ok(ChannelInfo {
+                    rank: Rank(0),
+                    size: 1,
+                    restored_mpi_state: None,
+                    restored_app_state: None,
+                })
+            }
+            fn bsend(&mut self, _dst: Rank, _bytes: Payload) -> MpiResult<()> {
+                Ok(())
+            }
+            fn brecv(&mut self) -> MpiResult<(Rank, Payload)> {
+                unimplemented!()
+            }
+            fn nprobe(&mut self) -> MpiResult<bool> {
+                Ok(false)
+            }
+            fn finish(&mut self) -> MpiResult<()> {
+                Ok(())
+            }
+        }
+        let mut b: Box<dyn Channel> = Box::new(Null);
+        let info = b.init().unwrap();
+        assert_eq!(info.size, 1);
+        assert!(!b.checkpoint_pending().unwrap());
+        b.commit_checkpoint(Payload::empty(), Payload::empty())
+            .unwrap();
+    }
+}

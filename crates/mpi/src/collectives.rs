@@ -1,0 +1,309 @@
+//! Collective operations, lowered onto point-to-point messages.
+//!
+//! MPICH-V2's design keeps MPICH's own collectives (implemented over
+//! point-to-point) untouched; likewise everything here is expressed with
+//! the p2p primitives of [`Mpi`], so the fault-tolerance protocol below
+//! sees only ordinary messages. Algorithms are the classical ones:
+//! binomial trees for broadcast/reduce, dissemination for barrier, a ring
+//! for allgather and a pairwise shift exchange for alltoall.
+
+use crate::channel::Channel;
+use crate::comm::Mpi;
+use crate::datatype::{decode_slice, encode_slice, reduce_into, ReduceOp, Reducible, Scalar};
+use crate::error::{MpiError, MpiResult};
+use crate::wire::{Source, Tag};
+use mvr_core::Rank;
+
+impl<C: Channel> Mpi<C> {
+    /// Synchronize all ranks (dissemination barrier, ⌈log₂ p⌉ rounds).
+    pub fn barrier(&mut self) -> MpiResult<()> {
+        let ctx = self.next_collective();
+        let size = self.size() as u64;
+        let me = self.rank().0 as u64;
+        let mut round = 0i32;
+        let mut dist = 1u64;
+        while dist < size {
+            let dst = Rank(((me + dist) % size) as u32);
+            let src = Rank(((me + size - dist) % size) as u32);
+            self.sendrecv_ctx(dst, ctx, round, &[], Source::Rank(src), Tag::Value(round))?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Broadcast bytes from `root` (binomial tree). On non-roots the input
+    /// is replaced by the broadcast value.
+    pub fn bcast(&mut self, root: Rank, data: &mut Vec<u8>) -> MpiResult<()> {
+        let ctx = self.next_collective();
+        let size = self.size();
+        if root.0 >= size {
+            return Err(MpiError::InvalidArgument(format!(
+                "bcast root {root} out of range"
+            )));
+        }
+        if size == 1 {
+            return Ok(());
+        }
+        let vrank = (self.rank().0 + size - root.0) % size;
+        let unvrank = |v: u32| Rank((v + root.0) % size);
+
+        // Receive from the parent (non-roots).
+        let mut mask = 1u32;
+        while mask < size {
+            if vrank & mask != 0 {
+                let parent = unvrank(vrank - mask);
+                let (_, _, body) = self.recv_ctx(Source::Rank(parent), ctx, Tag::Value(0))?;
+                *data = body.as_slice().to_vec();
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children.
+        mask >>= 1;
+        while mask > 0 {
+            if vrank & mask == 0 && vrank + mask < size {
+                let child = unvrank(vrank + mask);
+                self.send_ctx(child, ctx, 0, data)?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
+    }
+
+    /// Reduce scalar data to `root` (binomial tree). Returns the reduced
+    /// vector on the root, `None` elsewhere.
+    pub fn reduce<T: Reducible>(
+        &mut self,
+        root: Rank,
+        op: ReduceOp,
+        data: &[T],
+    ) -> MpiResult<Option<Vec<T>>> {
+        let ctx = self.next_collective();
+        let size = self.size();
+        if root.0 >= size {
+            return Err(MpiError::InvalidArgument(format!(
+                "reduce root {root} out of range"
+            )));
+        }
+        let vrank = (self.rank().0 + size - root.0) % size;
+        let unvrank = |v: u32| Rank((v + root.0) % size);
+        let mut acc: Vec<T> = data.to_vec();
+        let mut mask = 1u32;
+        while mask < size {
+            if vrank & mask != 0 {
+                let parent = unvrank(vrank - mask);
+                self.send_ctx(parent, ctx, 0, &encode_slice(&acc))?;
+                return Ok(None);
+            }
+            if vrank + mask < size {
+                let child = unvrank(vrank + mask);
+                let (_, _, body) = self.recv_ctx(Source::Rank(child), ctx, Tag::Value(0))?;
+                let other: Vec<T> = decode_slice(body.as_slice())?;
+                reduce_into(op, &mut acc, &other)?;
+            }
+            mask <<= 1;
+        }
+        Ok(Some(acc))
+    }
+
+    /// Allreduce: reduce to rank 0, then broadcast.
+    pub fn allreduce<T: Reducible>(&mut self, op: ReduceOp, data: &[T]) -> MpiResult<Vec<T>> {
+        let reduced = self.reduce(Rank(0), op, data)?;
+        let mut bytes = reduced.map(|v| encode_slice(&v)).unwrap_or_default();
+        self.bcast(Rank(0), &mut bytes)?;
+        decode_slice(&bytes)
+    }
+
+    /// Gather every rank's bytes at `root` (linear). Returns, on the root,
+    /// one entry per rank in rank order.
+    pub fn gather(&mut self, root: Rank, bytes: &[u8]) -> MpiResult<Option<Vec<Vec<u8>>>> {
+        let ctx = self.next_collective();
+        let size = self.size();
+        if self.rank() != root {
+            self.send_ctx(root, ctx, 0, bytes)?;
+            return Ok(None);
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); size as usize];
+        out[root.idx()] = bytes.to_vec();
+        for r in 0..size {
+            if r == root.0 {
+                continue;
+            }
+            let (_, _, body) = self.recv_ctx(Source::Rank(Rank(r)), ctx, Tag::Value(0))?;
+            out[r as usize] = body.as_slice().to_vec();
+        }
+        Ok(Some(out))
+    }
+
+    /// Scatter per-rank byte vectors from `root` (linear). `parts` must be
+    /// `Some` (with `size` entries) on the root, `None` elsewhere.
+    pub fn scatter(&mut self, root: Rank, parts: Option<&[Vec<u8>]>) -> MpiResult<Vec<u8>> {
+        let ctx = self.next_collective();
+        let size = self.size();
+        if self.rank() == root {
+            let parts = parts.ok_or_else(|| {
+                MpiError::InvalidArgument("scatter root must supply parts".into())
+            })?;
+            if parts.len() != size as usize {
+                return Err(MpiError::InvalidArgument(format!(
+                    "scatter needs {size} parts, got {}",
+                    parts.len()
+                )));
+            }
+            for r in 0..size {
+                if r != root.0 {
+                    self.send_ctx(Rank(r), ctx, 0, &parts[r as usize])?;
+                }
+            }
+            Ok(parts[root.idx()].clone())
+        } else {
+            let (_, _, body) = self.recv_ctx(Source::Rank(root), ctx, Tag::Value(0))?;
+            Ok(body.as_slice().to_vec())
+        }
+    }
+
+    /// Allgather (ring): returns every rank's bytes in rank order.
+    pub fn allgather(&mut self, bytes: &[u8]) -> MpiResult<Vec<Vec<u8>>> {
+        let ctx = self.next_collective();
+        let size = self.size();
+        let me = self.rank().0;
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); size as usize];
+        out[me as usize] = bytes.to_vec();
+        let right = Rank((me + 1) % size);
+        let left = Rank((me + size - 1) % size);
+        // In step s we forward the block that originated at (me - s).
+        for s in 0..size.saturating_sub(1) {
+            let send_block = ((me + size - s) % size) as usize;
+            let recv_block = ((me + size - s - 1) % size) as usize;
+            let payload = out[send_block].clone();
+            let (_, _, body) = self.sendrecv_ctx(
+                right,
+                ctx,
+                s as i32,
+                &payload,
+                Source::Rank(left),
+                Tag::Value(s as i32),
+            )?;
+            out[recv_block] = body.as_slice().to_vec();
+        }
+        Ok(out)
+    }
+
+    /// All-to-all personalized exchange (pairwise shifts). `parts[r]` is
+    /// sent to rank `r`; the result's entry `r` came from rank `r`.
+    pub fn alltoall(&mut self, parts: &[Vec<u8>]) -> MpiResult<Vec<Vec<u8>>> {
+        let ctx = self.next_collective();
+        let size = self.size();
+        if parts.len() != size as usize {
+            return Err(MpiError::InvalidArgument(format!(
+                "alltoall needs {size} parts, got {}",
+                parts.len()
+            )));
+        }
+        let me = self.rank().0;
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); size as usize];
+        out[me as usize] = parts[me as usize].clone();
+        for shift in 1..size {
+            let dst = Rank((me + shift) % size);
+            let src = Rank((me + size - shift) % size);
+            let (_, _, body) = self.sendrecv_ctx(
+                dst,
+                ctx,
+                shift as i32,
+                &parts[dst.idx()],
+                Source::Rank(src),
+                Tag::Value(shift as i32),
+            )?;
+            out[src.idx()] = body.as_slice().to_vec();
+        }
+        Ok(out)
+    }
+
+    /// Typed broadcast convenience.
+    pub fn bcast_scalars<T: Scalar>(&mut self, root: Rank, data: &mut Vec<T>) -> MpiResult<()> {
+        let mut bytes = encode_slice(data);
+        self.bcast(root, &mut bytes)?;
+        *data = decode_slice(&bytes)?;
+        Ok(())
+    }
+
+    /// Inclusive prefix reduction (`MPI_Scan`): rank `r` obtains the
+    /// reduction over ranks `0..=r`. Hillis–Steele: ⌈log₂ p⌉ rounds of
+    /// distance-doubling partial sums.
+    pub fn scan<T: Reducible>(&mut self, op: ReduceOp, data: &[T]) -> MpiResult<Vec<T>> {
+        let ctx = self.next_collective();
+        let size = self.size();
+        let me = self.rank().0;
+        let mut acc: Vec<T> = data.to_vec();
+        let mut dist = 1u32;
+        let mut round = 0i32;
+        while dist < size {
+            let send_to = (me + dist < size).then(|| Rank(me + dist));
+            let recv_from = (me >= dist).then(|| Rank(me - dist));
+            let bytes = encode_slice(&acc);
+            match (send_to, recv_from) {
+                (Some(dst), Some(src)) => {
+                    let (_, _, body) = self.sendrecv_ctx(
+                        dst,
+                        ctx,
+                        round,
+                        &bytes,
+                        Source::Rank(src),
+                        Tag::Value(round),
+                    )?;
+                    let other: Vec<T> = decode_slice(body.as_slice())?;
+                    // Incoming partial covers lower ranks: fold on the left.
+                    let mut merged = other;
+                    reduce_into(op, &mut merged, &acc)?;
+                    acc = merged;
+                }
+                (Some(dst), None) => self.send_ctx(dst, ctx, round, &bytes)?,
+                (None, Some(src)) => {
+                    let (_, _, body) = self.recv_ctx(Source::Rank(src), ctx, Tag::Value(round))?;
+                    let other: Vec<T> = decode_slice(body.as_slice())?;
+                    let mut merged = other;
+                    reduce_into(op, &mut merged, &acc)?;
+                    acc = merged;
+                }
+                (None, None) => {}
+            }
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(acc)
+    }
+
+    /// Reduce-scatter (`MPI_Reduce_scatter_block`): reduce `parts`
+    /// elementwise across ranks, then rank `r` receives block `r`.
+    /// Implemented as reduce-to-root + scatter.
+    pub fn reduce_scatter<T: Reducible>(
+        &mut self,
+        op: ReduceOp,
+        parts: &[Vec<T>],
+    ) -> MpiResult<Vec<T>> {
+        let size = self.size();
+        if parts.len() != size as usize {
+            return Err(MpiError::InvalidArgument(format!(
+                "reduce_scatter needs {size} blocks, got {}",
+                parts.len()
+            )));
+        }
+        let flat: Vec<T> = parts.iter().flatten().copied().collect();
+        let reduced = self.reduce(Rank(0), op, &flat)?;
+        let block_lens: Vec<usize> = parts.iter().map(Vec::len).collect();
+        let scattered = if self.rank() == Rank(0) {
+            let r = reduced.expect("root has the reduction");
+            let mut blocks = Vec::with_capacity(size as usize);
+            let mut off = 0;
+            for len in &block_lens {
+                blocks.push(encode_slice(&r[off..off + len]));
+                off += len;
+            }
+            self.scatter(Rank(0), Some(&blocks))?
+        } else {
+            self.scatter(Rank(0), None)?
+        };
+        decode_slice(&scattered)
+    }
+}

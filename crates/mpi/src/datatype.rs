@@ -1,0 +1,164 @@
+//! Typed data helpers: encoding scalar slices for the byte-oriented MPI
+//! layer, and reduction operators for the collectives.
+
+use crate::error::{MpiError, MpiResult};
+
+/// A fixed-width scalar that can cross the wire (little-endian).
+pub trait Scalar: Copy + PartialEq + std::fmt::Debug + 'static {
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+    /// Append the little-endian encoding to `out`.
+    fn write_le(&self, out: &mut Vec<u8>);
+    /// Decode from exactly [`Self::WIDTH`] bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            fn write_le(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("width checked by caller"))
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Encode a scalar slice.
+pub fn encode_slice<T: Scalar>(v: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * T::WIDTH);
+    for x in v {
+        x.write_le(&mut out);
+    }
+    out
+}
+
+/// Decode a scalar slice; errors if the byte count is not a multiple of
+/// the width.
+pub fn decode_slice<T: Scalar>(bytes: &[u8]) -> MpiResult<Vec<T>> {
+    if !bytes.len().is_multiple_of(T::WIDTH) {
+        return Err(MpiError::Protocol(format!(
+            "byte count {} not a multiple of scalar width {}",
+            bytes.len(),
+            T::WIDTH
+        )));
+    }
+    Ok(bytes.chunks_exact(T::WIDTH).map(T::read_le).collect())
+}
+
+/// Reduction operators (the `MPI_Op`s the workloads need).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise product.
+    Prod,
+}
+
+/// Element types that support the reduction operators.
+pub trait Reducible: Scalar {
+    /// Apply `op` to a pair.
+    fn reduce(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_reducible_ord {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                }
+            }
+        }
+    )*};
+}
+
+impl_reducible_ord!(u8, i8, u16, i16, u32, i32, u64, i64);
+
+macro_rules! impl_reducible_float {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Prod => a * b,
+                }
+            }
+        }
+    )*};
+}
+
+impl_reducible_float!(f32, f64);
+
+/// Elementwise in-place reduction of `b` into `a`.
+pub fn reduce_into<T: Reducible>(op: ReduceOp, a: &mut [T], b: &[T]) -> MpiResult<()> {
+    if a.len() != b.len() {
+        return Err(MpiError::Protocol(format!(
+            "reduction length mismatch: {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    for (x, y) in a.iter_mut().zip(b) {
+        *x = T::reduce(op, *x, *y);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let v = vec![1.5f64, -2.25, 0.0, f64::MAX];
+        let enc = encode_slice(&v);
+        assert_eq!(enc.len(), 32);
+        assert_eq!(decode_slice::<f64>(&enc).unwrap(), v);
+    }
+
+    #[test]
+    fn roundtrip_various_types() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(decode_slice::<u32>(&encode_slice(&v)).unwrap(), v);
+        let v = vec![-7i64, 8];
+        assert_eq!(decode_slice::<i64>(&encode_slice(&v)).unwrap(), v);
+        let v = vec![0.5f32];
+        assert_eq!(decode_slice::<f32>(&encode_slice(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        assert!(decode_slice::<f64>(&[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(f64::reduce(ReduceOp::Sum, 1.0, 2.0), 3.0);
+        assert_eq!(i32::reduce(ReduceOp::Max, -1, 2), 2);
+        assert_eq!(i32::reduce(ReduceOp::Min, -1, 2), -1);
+        assert_eq!(u32::reduce(ReduceOp::Prod, 3, 4), 12);
+    }
+
+    #[test]
+    fn reduce_into_elementwise() {
+        let mut a = vec![1.0f64, 2.0, 3.0];
+        reduce_into(ReduceOp::Sum, &mut a, &[10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(a, vec![11.0, 22.0, 33.0]);
+        assert!(reduce_into(ReduceOp::Sum, &mut a, &[1.0]).is_err());
+    }
+}

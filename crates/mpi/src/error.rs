@@ -1,0 +1,62 @@
+//! MPI-layer errors.
+//!
+//! The fault-tolerance design requires that a killed process *unwinds*: all
+//! MPI operations return [`MpiError::Killed`] once the daemon connection
+//! dies, and well-behaved applications propagate it (our analog of the
+//! process receiving a termination signal).
+
+use std::fmt;
+
+/// Errors surfaced by MPI operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MpiError {
+    /// The hosting node was crashed (fail-stop); unwind now.
+    Killed,
+    /// Operation after `finalize`.
+    Finalized,
+    /// A malformed wire message (protocol bug or corruption).
+    Protocol(String),
+    /// Invalid argument (rank out of range, negative tag, ...).
+    InvalidArgument(String),
+    /// An operation that requires quiescence (e.g. a checkpoint site) was
+    /// attempted with outstanding nonblocking requests.
+    PendingRequests,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Killed => write!(f, "process was killed (fail-stop)"),
+            MpiError::Finalized => write!(f, "MPI already finalized"),
+            MpiError::Protocol(s) => write!(f, "protocol error: {s}"),
+            MpiError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+            MpiError::PendingRequests => {
+                write!(
+                    f,
+                    "operation requires all nonblocking requests to be complete"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Convenience alias used across the MPI layer.
+pub type MpiResult<T> = Result<T, MpiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MpiError::Killed.to_string().contains("killed"));
+        assert!(MpiError::Protocol("bad header".into())
+            .to_string()
+            .contains("bad header"));
+        assert!(MpiError::InvalidArgument("rank 9".into())
+            .to_string()
+            .contains("rank 9"));
+    }
+}

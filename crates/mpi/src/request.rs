@@ -1,0 +1,70 @@
+//! Nonblocking request handles.
+//!
+//! Posted receive requests participate in matching *passively*, in post
+//! order, whenever the library pumps the channel (the MPI progress rule),
+//! so completion is independent of the order in which requests are
+//! waited on, and symmetric rendezvous exchanges cannot deadlock.
+
+use crate::wire::{Context, Source, Tag};
+
+/// Internal state of a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum ReqKind {
+    /// Already complete (eager/self sends).
+    Done,
+    /// A rendezvous send waiting for its clear-to-send.
+    RndvSend {
+        /// The rendezvous id to watch for completion.
+        rndv_id: u64,
+    },
+    /// A receive to be matched at wait time.
+    Recv {
+        /// Source selector.
+        src: Source,
+        /// Tag selector.
+        tag: Tag,
+        /// Matching context.
+        context: Context,
+    },
+}
+
+/// A nonblocking operation handle. Complete it with
+/// [`Mpi::wait`](crate::comm::Mpi::wait) or
+/// [`Mpi::waitall`](crate::comm::Mpi::waitall).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Post order (waitall completes in this order).
+    pub(crate) seq: u64,
+    pub(crate) kind: ReqKind,
+}
+
+impl Request {
+    /// Whether this request is trivially complete (no wait needed beyond
+    /// bookkeeping).
+    pub fn is_send(&self) -> bool {
+        matches!(self.kind, ReqKind::Done | ReqKind::RndvSend { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_requests_identified() {
+        let done = Request {
+            seq: 0,
+            kind: ReqKind::Done,
+        };
+        assert!(done.is_send());
+        let recv = Request {
+            seq: 1,
+            kind: ReqKind::Recv {
+                src: Source::Any,
+                tag: Tag::Any,
+                context: Context::PointToPoint,
+            },
+        };
+        assert!(!recv.is_send());
+    }
+}

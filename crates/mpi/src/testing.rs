@@ -1,0 +1,155 @@
+//! An in-process test cluster: the MPI layer over plain shared queues,
+//! with no fault tolerance and no daemons.
+//!
+//! This is *not* the MPICH-V2 runtime (that's `mvr-runtime`); it exists so
+//! the MPI semantics can be tested and benchmarked in isolation, and so
+//! workloads can be smoke-tested cheaply. It doubles as the reference
+//! "MPICH-P4-like" execution for differential tests: a workload must
+//! produce identical results here and on the fault-tolerant runtime.
+
+use crate::channel::{Channel, ChannelInfo};
+use crate::comm::Mpi;
+use crate::error::{MpiError, MpiResult};
+use mvr_core::{Payload, Rank};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Queue {
+    q: Mutex<VecDeque<(Rank, Payload)>>,
+    cv: Condvar,
+}
+
+struct Shared {
+    queues: Vec<Queue>,
+}
+
+/// The [`Channel`] implementation of the local test cluster.
+pub struct LocalChannel {
+    rank: Rank,
+    size: u32,
+    shared: Arc<Shared>,
+}
+
+impl Channel for LocalChannel {
+    fn init(&mut self) -> MpiResult<ChannelInfo> {
+        Ok(ChannelInfo {
+            rank: self.rank,
+            size: self.size,
+            restored_mpi_state: None,
+            restored_app_state: None,
+        })
+    }
+
+    fn bsend(&mut self, dst: Rank, bytes: Payload) -> MpiResult<()> {
+        let qs = &self.shared.queues;
+        let slot = qs.get(dst.idx()).ok_or(MpiError::InvalidArgument(format!(
+            "destination {dst} out of range"
+        )))?;
+        slot.q
+            .lock()
+            .expect("poisoned")
+            .push_back((self.rank, bytes));
+        slot.cv.notify_one();
+        Ok(())
+    }
+
+    fn brecv(&mut self) -> MpiResult<(Rank, Payload)> {
+        let slot = &self.shared.queues[self.rank.idx()];
+        let mut q = slot.q.lock().expect("poisoned");
+        loop {
+            if let Some(m) = q.pop_front() {
+                return Ok(m);
+            }
+            q = slot.cv.wait(q).expect("poisoned");
+        }
+    }
+
+    fn nprobe(&mut self) -> MpiResult<bool> {
+        Ok(!self.shared.queues[self.rank.idx()]
+            .q
+            .lock()
+            .expect("poisoned")
+            .is_empty())
+    }
+
+    fn finish(&mut self) -> MpiResult<()> {
+        Ok(())
+    }
+}
+
+/// Run `f` as rank 0..size on dedicated threads over a local cluster and
+/// collect the per-rank results in rank order. Panics in any rank
+/// propagate.
+pub fn run_local<F, T>(size: u32, f: F) -> MpiResult<Vec<T>>
+where
+    F: Fn(Mpi<LocalChannel>) -> MpiResult<T> + Send + Sync,
+    T: Send,
+{
+    assert!(size > 0);
+    let shared = Arc::new(Shared {
+        queues: (0..size)
+            .map(|_| Queue {
+                q: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            })
+            .collect(),
+    });
+    let results: Vec<MpiResult<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..size)
+            .map(|r| {
+                let shared = shared.clone();
+                let f = &f;
+                s.spawn(move || {
+                    let chan = LocalChannel {
+                        rank: Rank(r),
+                        size,
+                        shared,
+                    };
+                    let (mpi, restored) = Mpi::init(chan)?;
+                    debug_assert!(restored.is_none());
+                    f(mpi)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Source, Tag};
+
+    #[test]
+    fn two_rank_ping() {
+        let out = run_local(2, |mut mpi| {
+            if mpi.rank() == Rank(0) {
+                mpi.send(Rank(1), 5, b"hello")?;
+                Ok(0usize)
+            } else {
+                let (src, tag, body) = mpi.recv(Source::Any, Tag::Any)?;
+                assert_eq!(src, Rank(0));
+                assert_eq!(tag, 5);
+                assert_eq!(body.as_slice(), b"hello");
+                Ok(body.len())
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 5]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = run_local(1, |mut mpi| {
+            mpi.send(Rank(0), 0, b"self")?; // self-send
+            let (_, _, body) = mpi.recv(Source::Any, Tag::Any)?;
+            Ok(body.as_slice().to_vec())
+        })
+        .unwrap();
+        assert_eq!(out[0], b"self");
+    }
+}

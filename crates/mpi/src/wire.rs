@@ -1,0 +1,177 @@
+//! The MPI library's wire format, carried opaquely inside the channel's
+//! protocol messages.
+//!
+//! MPICH's protocol layer implements "the short, eager and rendez-vous
+//! protocols" above the channel (§4.4). We implement eager (payload rides
+//! with the envelope) and rendezvous (a request/clear-to-send handshake
+//! precedes the payload) with the MPICH 1.2.5 default threshold of
+//! 128 000 bytes — the protocol switch visible between 64 kB and 128 kB in
+//! Fig. 10 of the paper.
+
+use crate::error::{MpiError, MpiResult};
+use mvr_core::Payload;
+use serde::{Deserialize, Serialize};
+
+/// Rendezvous threshold in bytes (MPICH 1.2.5 default). Payloads of this
+/// size or larger use the rendezvous protocol.
+pub const RNDV_THRESHOLD: usize = 128_000;
+
+/// Matching context: separates user point-to-point traffic from internal
+/// collective rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Context {
+    /// User `send`/`recv` traffic.
+    PointToPoint,
+    /// Collective operation number `seq` (all ranks invoke collectives in
+    /// the same order, so a per-process counter matches globally).
+    Collective {
+        /// Global collective sequence number.
+        seq: u64,
+    },
+}
+
+/// One MPI-layer message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MpiFrame {
+    /// Complete message (short/eager protocols).
+    Eager {
+        /// Matching context.
+        context: Context,
+        /// User tag.
+        tag: i32,
+        /// Message body.
+        body: Payload,
+    },
+    /// Rendezvous request: "I have `len` bytes for (context, tag)".
+    RndvReq {
+        /// Matching context.
+        context: Context,
+        /// User tag.
+        tag: i32,
+        /// Sender-local rendezvous id, echoed by the CTS.
+        rndv_id: u64,
+        /// Payload length, for receiver-side buffer planning.
+        len: u64,
+    },
+    /// Clear-to-send: the receiver matched the rendezvous request.
+    RndvCts {
+        /// Echoed rendezvous id.
+        rndv_id: u64,
+    },
+    /// The rendezvous payload.
+    RndvData {
+        /// Echoed rendezvous id.
+        rndv_id: u64,
+        /// Message body.
+        body: Payload,
+    },
+}
+
+impl MpiFrame {
+    /// Serialize for the channel.
+    pub fn encode(&self) -> Payload {
+        Payload::from_vec(bincode::serialize(self).expect("MpiFrame serialization cannot fail"))
+    }
+
+    /// Deserialize from the channel.
+    pub fn decode(bytes: &Payload) -> MpiResult<Self> {
+        bincode::deserialize(bytes.as_slice())
+            .map_err(|e| MpiError::Protocol(format!("bad MPI frame: {e}")))
+    }
+}
+
+/// A wildcard-capable source selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// Match a specific rank.
+    Rank(mvr_core::Rank),
+    /// `MPI_ANY_SOURCE`.
+    Any,
+}
+
+impl Source {
+    /// Does `r` satisfy this selector?
+    #[inline]
+    pub fn matches(&self, r: mvr_core::Rank) -> bool {
+        match self {
+            Source::Rank(s) => *s == r,
+            Source::Any => true,
+        }
+    }
+}
+
+/// A wildcard-capable tag selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tag {
+    /// Match a specific tag.
+    Value(i32),
+    /// `MPI_ANY_TAG`.
+    Any,
+}
+
+impl Tag {
+    /// Does `t` satisfy this selector?
+    #[inline]
+    pub fn matches(&self, t: i32) -> bool {
+        match self {
+            Tag::Value(v) => *v == t,
+            Tag::Any => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvr_core::Rank;
+
+    #[test]
+    fn frame_roundtrip() {
+        let frames = vec![
+            MpiFrame::Eager {
+                context: Context::PointToPoint,
+                tag: 7,
+                body: Payload::from_vec(vec![1, 2, 3]),
+            },
+            MpiFrame::RndvReq {
+                context: Context::Collective { seq: 4 },
+                tag: -1,
+                rndv_id: 9,
+                len: 1 << 20,
+            },
+            MpiFrame::RndvCts { rndv_id: 9 },
+            MpiFrame::RndvData {
+                rndv_id: 9,
+                body: Payload::filled(0, 8),
+            },
+        ];
+        for f in frames {
+            let enc = f.encode();
+            assert_eq!(MpiFrame::decode(&enc).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn decode_garbage_is_protocol_error() {
+        let garbage = Payload::from_vec(vec![0xFF; 3]);
+        assert!(matches!(
+            MpiFrame::decode(&garbage),
+            Err(MpiError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn selectors_match() {
+        assert!(Source::Any.matches(Rank(3)));
+        assert!(Source::Rank(Rank(3)).matches(Rank(3)));
+        assert!(!Source::Rank(Rank(3)).matches(Rank(4)));
+        assert!(Tag::Any.matches(42));
+        assert!(Tag::Value(42).matches(42));
+        assert!(!Tag::Value(42).matches(43));
+    }
+
+    #[test]
+    fn threshold_matches_mpich_125_default() {
+        assert_eq!(RNDV_THRESHOLD, 128_000);
+    }
+}

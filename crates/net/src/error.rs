@@ -1,0 +1,62 @@
+//! Error types of the fabric.
+
+use mvr_core::NodeId;
+use std::fmt;
+
+/// Why a send failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// The destination is not registered (never started, or crashed and
+    /// not yet restarted). Matches a TCP connection refusal/reset — the
+    /// "trusty fault detector" of §4.7.
+    Disconnected(NodeId),
+    /// The *sender's* identity is stale: its node was killed (this
+    /// incarnation must stop — fail-stop semantics) .
+    SenderDead,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::Disconnected(n) => write!(f, "peer {n} is disconnected"),
+            SendError::SenderDead => write!(f, "sender was killed (stale incarnation)"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Why a receive failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// This mailbox's node was killed: the owning thread must unwind.
+    Killed,
+    /// No message arrived within the requested timeout.
+    Timeout,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Killed => write!(f, "node was killed"),
+            RecvError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvr_core::Rank;
+
+    #[test]
+    fn display_strings() {
+        assert!(SendError::Disconnected(NodeId::Computing(Rank(1)))
+            .to_string()
+            .contains("cn1"));
+        assert!(SendError::SenderDead.to_string().contains("killed"));
+        assert_eq!(RecvError::Timeout.to_string(), "receive timed out");
+    }
+}

@@ -1,0 +1,317 @@
+//! The fabric: a registry of node mailboxes with fail-stop kill semantics.
+//!
+//! The fabric plays the role of the TCP mesh of an MPICH-V2 deployment.
+//! Guarantees, chosen to match exactly what the protocol assumes (§4.1):
+//!
+//! * **Reliable FIFO while both ends live** — a message accepted by
+//!   [`Identity::send`] is delivered unless the destination crashes first,
+//!   and two messages from the same sender arrive in emission order.
+//! * **Atomic messages** — a message is received completely or not at all.
+//! * **Crash empties channels** — [`Fabric::kill`] closes the node's
+//!   mailbox *and discards everything queued in it*; in-flight sends to it
+//!   fail from that point on.
+//! * **Disconnection is a trusty fault detector** — senders get
+//!   [`SendError::Disconnected`] for dead/unregistered peers, and a killed
+//!   incarnation's own sends fail with [`SendError::SenderDead`] so zombie
+//!   threads stop, enforcing fail-stop.
+//!
+//! Each (node, incarnation) is identified by an [`Identity`] token handed
+//! out at registration; a restarted node registers again and gets a new
+//! generation, so stale incarnations cannot speak for the new one.
+
+use crate::error::{RecvError, SendError};
+use crate::mailbox::{MailCore, Mailbox};
+use mvr_core::NodeId;
+use parking_lot::RwLock;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The sending credential of one node incarnation.
+#[derive(Clone)]
+pub struct Identity {
+    /// The node this incarnation embodies.
+    pub node: NodeId,
+    generation: u64,
+    fabric: Fabric,
+}
+
+impl std::fmt::Debug for Identity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Identity({} gen {})", self.node, self.generation)
+    }
+}
+
+impl Identity {
+    /// Send `msg` to `to`'s current incarnation.
+    pub fn send<M: Send + 'static>(&self, to: NodeId, msg: M) -> Result<(), SendError> {
+        self.fabric.send_checked(self, to, msg)
+    }
+
+    /// Whether this incarnation is still the live one.
+    pub fn is_live(&self) -> bool {
+        self.fabric.generation_of(self.node) == Some(self.generation)
+    }
+}
+
+struct Slot {
+    generation: u64,
+    alive: bool,
+    /// `Arc<MailCore<M>>` behind `dyn Any`.
+    core: Box<dyn Any + Send + Sync>,
+    /// Type-erased kill hook (closes + empties the mailbox).
+    kill: Box<dyn Fn() + Send + Sync>,
+}
+
+#[derive(Default)]
+struct Registry {
+    slots: HashMap<NodeId, Slot>,
+    next_generation: u64,
+}
+
+/// The shared fabric handle (cheaply cloneable).
+#[derive(Clone)]
+pub struct Fabric {
+    reg: Arc<RwLock<Registry>>,
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fabric {
+    /// A new, empty fabric.
+    pub fn new() -> Self {
+        Fabric {
+            reg: Arc::new(RwLock::new(Registry::default())),
+        }
+    }
+
+    /// Register (or re-register after a crash) `node` with inbound message
+    /// type `M`. Returns the mailbox and the incarnation's identity.
+    ///
+    /// Panics if the node is currently registered and alive — a node must
+    /// be [`kill`](Self::kill)ed before being reincarnated.
+    pub fn register<M: Send + 'static>(&self, node: NodeId) -> (Mailbox<M>, Identity) {
+        let core = MailCore::<M>::new();
+        let mailbox = Mailbox { core: core.clone() };
+        let mut reg = self.reg.write();
+        if let Some(slot) = reg.slots.get(&node) {
+            assert!(!slot.alive, "node {node} is already registered and alive");
+        }
+        reg.next_generation += 1;
+        let generation = reg.next_generation;
+        let kill_core = core.clone();
+        reg.slots.insert(
+            node,
+            Slot {
+                generation,
+                alive: true,
+                core: Box::new(core),
+                kill: Box::new(move || kill_core.kill()),
+            },
+        );
+        drop(reg);
+        (
+            mailbox,
+            Identity {
+                node,
+                generation,
+                fabric: self.clone(),
+            },
+        )
+    }
+
+    /// Crash `node`: close and empty its mailbox; all of its future sends
+    /// and all sends to it fail until re-registration.
+    pub fn kill(&self, node: NodeId) {
+        let mut reg = self.reg.write();
+        if let Some(slot) = reg.slots.get_mut(&node) {
+            if slot.alive {
+                slot.alive = false;
+                (slot.kill)();
+            }
+        }
+    }
+
+    /// Whether `node` currently has a live incarnation.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.reg
+            .read()
+            .slots
+            .get(&node)
+            .map(|s| s.alive)
+            .unwrap_or(false)
+    }
+
+    fn generation_of(&self, node: NodeId) -> Option<u64> {
+        let reg = self.reg.read();
+        reg.slots
+            .get(&node)
+            .filter(|s| s.alive)
+            .map(|s| s.generation)
+    }
+
+    /// Send from an anonymous, always-live origin (used by the dispatcher,
+    /// which is reliable by assumption).
+    pub fn send_from_reliable<M: Send + 'static>(
+        &self,
+        to: NodeId,
+        msg: M,
+    ) -> Result<(), SendError> {
+        self.deliver(to, msg)
+    }
+
+    fn send_checked<M: Send + 'static>(
+        &self,
+        from: &Identity,
+        to: NodeId,
+        msg: M,
+    ) -> Result<(), SendError> {
+        // Fail-stop: a killed incarnation may not affect the system.
+        if !from.is_live() {
+            return Err(SendError::SenderDead);
+        }
+        self.deliver(to, msg)
+    }
+
+    fn deliver<M: Send + 'static>(&self, to: NodeId, msg: M) -> Result<(), SendError> {
+        let reg = self.reg.read();
+        let slot = reg
+            .slots
+            .get(&to)
+            .filter(|s| s.alive)
+            .ok_or(SendError::Disconnected(to))?;
+        let core = slot
+            .core
+            .downcast_ref::<Arc<MailCore<M>>>()
+            .unwrap_or_else(|| panic!("node {to} registered with a different message type"));
+        if core.push(msg) {
+            Ok(())
+        } else {
+            Err(SendError::Disconnected(to))
+        }
+    }
+
+    /// Blocking receive helper that maps a kill into `RecvError::Killed`.
+    /// (Provided for symmetry; `Mailbox::recv` does the same.)
+    pub fn recv<M>(&self, mailbox: &Mailbox<M>) -> Result<M, RecvError> {
+        mailbox.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvr_core::Rank;
+    use std::thread;
+    use std::time::Duration;
+
+    fn cn(r: u32) -> NodeId {
+        NodeId::Computing(Rank(r))
+    }
+
+    #[test]
+    fn register_send_recv() {
+        let f = Fabric::new();
+        let (mb, _id1) = f.register::<u32>(cn(1));
+        let (_mb0, id0) = f.register::<u32>(cn(0));
+        id0.send(cn(1), 99u32).unwrap();
+        assert_eq!(mb.recv().unwrap(), 99);
+    }
+
+    #[test]
+    fn send_to_unregistered_is_disconnected() {
+        let f = Fabric::new();
+        let (_mb, id) = f.register::<u32>(cn(0));
+        assert_eq!(id.send(cn(9), 1u32), Err(SendError::Disconnected(cn(9))));
+    }
+
+    #[test]
+    fn kill_disconnects_both_directions() {
+        let f = Fabric::new();
+        let (mb1, id1) = f.register::<u32>(cn(1));
+        let (_mb0, id0) = f.register::<u32>(cn(0));
+        id0.send(cn(1), 1u32).unwrap();
+        f.kill(cn(1));
+        // Queued message lost (channel emptied), receiver sees Killed.
+        assert_eq!(mb1.recv(), Err(RecvError::Killed));
+        // Senders to it are refused.
+        assert_eq!(id0.send(cn(1), 2u32), Err(SendError::Disconnected(cn(1))));
+        // Its own incarnation may no longer speak.
+        assert_eq!(id1.send(cn(0), 3u32), Err(SendError::SenderDead));
+        assert!(!f.is_alive(cn(1)));
+    }
+
+    #[test]
+    fn reincarnation_gets_fresh_mailbox_and_generation() {
+        let f = Fabric::new();
+        let (_mb, old_id) = f.register::<u32>(cn(1));
+        let (_mb0, id0) = f.register::<u32>(cn(0));
+        f.kill(cn(1));
+        let (mb2, new_id) = f.register::<u32>(cn(1));
+        assert!(new_id.is_live());
+        assert!(!old_id.is_live());
+        id0.send(cn(1), 42u32).unwrap();
+        assert_eq!(mb2.recv().unwrap(), 42);
+        // The zombie still cannot speak.
+        assert_eq!(old_id.send(cn(0), 1u32), Err(SendError::SenderDead));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered and alive")]
+    fn double_registration_panics() {
+        let f = Fabric::new();
+        let _a = f.register::<u32>(cn(0));
+        let _b = f.register::<u32>(cn(0));
+    }
+
+    #[test]
+    fn per_sender_fifo_across_fabric() {
+        let f = Fabric::new();
+        let (mb, _id1) = f.register::<(u32, u32)>(cn(1));
+        let mut handles = Vec::new();
+        for s in 0..4u32 {
+            let (_mb_s, id) = f.register::<(u32, u32)>(cn(10 + s));
+            handles.push(thread::spawn(move || {
+                for i in 0..500u32 {
+                    id.send(cn(1), (s, i)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut last = [0u32; 4];
+        let mut count = 0;
+        while let Some((s, i)) = mb.try_recv().unwrap() {
+            if i > 0 {
+                assert_eq!(last[s as usize], i - 1, "per-sender FIFO violated");
+            }
+            last[s as usize] = i;
+            count += 1;
+        }
+        assert_eq!(count, 2000);
+    }
+
+    #[test]
+    fn dispatcher_can_always_send() {
+        let f = Fabric::new();
+        let (mb, _id) = f.register::<&'static str>(cn(0));
+        f.send_from_reliable(cn(0), "restart").unwrap();
+        assert_eq!(mb.recv().unwrap(), "restart");
+    }
+
+    #[test]
+    fn kill_during_blocked_recv_unblocks() {
+        let f = Fabric::new();
+        let (mb, _id) = f.register::<u32>(cn(0));
+        let f2 = f.clone();
+        let h = thread::spawn(move || mb.recv());
+        thread::sleep(Duration::from_millis(20));
+        f2.kill(cn(0));
+        assert_eq!(h.join().unwrap(), Err(RecvError::Killed));
+    }
+}

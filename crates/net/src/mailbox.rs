@@ -1,0 +1,248 @@
+//! Blocking, killable mailboxes — the receive side of the fabric.
+//!
+//! A [`Mailbox`] is the single inbound queue of one node incarnation
+//! (the analog of the daemon's `select()` loop over all of its sockets).
+//! Messages from any number of senders are interleaved in arrival order;
+//! per-sender FIFO order is preserved because each sender enqueues under
+//! the same lock in program order.
+//!
+//! Killing the node closes the mailbox *and empties it* — the paper's
+//! crash-and-recover step empties every channel connected to the crashed
+//! process.
+
+use crate::error::RecvError;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub(crate) struct MailCore<M> {
+    pub(crate) queue: Mutex<VecDeque<M>>,
+    pub(crate) cv: Condvar,
+    pub(crate) killed: AtomicBool,
+}
+
+impl<M> MailCore<M> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(MailCore {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            killed: AtomicBool::new(false),
+        })
+    }
+
+    /// Enqueue a message; returns false if the mailbox is closed.
+    pub(crate) fn push(&self, m: M) -> bool {
+        if self.killed.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut q = self.queue.lock();
+        // Re-check under the lock: kill() also takes it.
+        if self.killed.load(Ordering::Acquire) {
+            return false;
+        }
+        q.push_back(m);
+        drop(q);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Close and empty the mailbox (fail-stop crash).
+    pub(crate) fn kill(&self) {
+        let mut q = self.queue.lock();
+        self.killed.store(true, Ordering::Release);
+        q.clear();
+        drop(q);
+        self.cv.notify_all();
+    }
+}
+
+/// The receiving end of a node's inbound queue.
+pub struct Mailbox<M> {
+    pub(crate) core: Arc<MailCore<M>>,
+}
+
+impl<M> Mailbox<M> {
+    /// Blocking receive. Returns [`RecvError::Killed`] when the node was
+    /// crashed, which the hosting thread uses to unwind fail-stop.
+    pub fn recv(&self) -> Result<M, RecvError> {
+        let mut q = self.core.queue.lock();
+        loop {
+            if self.core.killed.load(Ordering::Acquire) {
+                return Err(RecvError::Killed);
+            }
+            if let Some(m) = q.pop_front() {
+                return Ok(m);
+            }
+            self.core.cv.wait(&mut q);
+        }
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<M, RecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.core.queue.lock();
+        loop {
+            if self.core.killed.load(Ordering::Acquire) {
+                return Err(RecvError::Killed);
+            }
+            if let Some(m) = q.pop_front() {
+                return Ok(m);
+            }
+            if self.core.cv.wait_until(&mut q, deadline).timed_out() {
+                return if self.core.killed.load(Ordering::Acquire) {
+                    Err(RecvError::Killed)
+                } else if let Some(m) = q.pop_front() {
+                    Ok(m)
+                } else {
+                    Err(RecvError::Timeout)
+                };
+            }
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` when empty.
+    pub fn try_recv(&self) -> Result<Option<M>, RecvError> {
+        if self.core.killed.load(Ordering::Acquire) {
+            return Err(RecvError::Killed);
+        }
+        Ok(self.core.queue.lock().pop_front())
+    }
+
+    /// Number of queued messages (diagnostic).
+    pub fn len(&self) -> usize {
+        self.core.queue.lock().len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the node incarnation owning this mailbox was killed.
+    pub fn is_killed(&self) -> bool {
+        self.core.killed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn pair() -> (Arc<MailCore<u32>>, Mailbox<u32>) {
+        let core = MailCore::new();
+        (core.clone(), Mailbox { core })
+    }
+
+    #[test]
+    fn push_then_recv() {
+        let (core, mb) = pair();
+        assert!(core.push(7));
+        assert_eq!(mb.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (core, mb) = pair();
+        for i in 0..100 {
+            core.push(i);
+        }
+        for i in 0..100 {
+            assert_eq!(mb.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_blocks_until_push() {
+        let (core, mb) = pair();
+        let h = thread::spawn(move || mb.recv().unwrap());
+        thread::sleep(Duration::from_millis(20));
+        core.push(42);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn kill_empties_and_wakes() {
+        let (core, mb) = pair();
+        core.push(1);
+        core.kill();
+        assert_eq!(mb.recv(), Err(RecvError::Killed));
+        assert!(!core.push(2), "push into killed mailbox must fail");
+    }
+
+    #[test]
+    fn kill_wakes_blocked_receiver() {
+        let (core, mb) = pair();
+        let h = thread::spawn(move || mb.recv());
+        thread::sleep(Duration::from_millis(20));
+        core.kill();
+        assert_eq!(h.join().unwrap(), Err(RecvError::Killed));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_core, mb) = pair();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            mb.recv_timeout(Duration::from_millis(30)),
+            Err(RecvError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let (core, mb) = pair();
+        assert_eq!(mb.try_recv().unwrap(), None);
+        core.push(5);
+        assert_eq!(mb.try_recv().unwrap(), Some(5));
+    }
+
+    #[test]
+    fn concurrent_senders_all_delivered() {
+        let (core, mb) = pair();
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let c = core.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..1000u32 {
+                    assert!(c.push(t * 1000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..8000 {
+            got.push(mb.recv().unwrap());
+        }
+        got.sort_unstable();
+        let expected: Vec<u32> = (0..8u32)
+            .flat_map(|t| (0..1000).map(move |i| t * 1000 + i))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn per_sender_order_preserved() {
+        let (core, mb) = pair();
+        let c = core.clone();
+        let h = thread::spawn(move || {
+            for i in 0..5000u32 {
+                c.push(i);
+            }
+        });
+        h.join().unwrap();
+        let mut last = None;
+        while let Some(v) = mb.try_recv().unwrap() {
+            if let Some(l) = last {
+                assert!(v > l);
+            }
+            last = Some(v);
+        }
+        assert_eq!(last, Some(4999));
+    }
+}

@@ -1,0 +1,136 @@
+//! Concurrency stress tests of the fabric: kill/register/send races must
+//! never panic, never deliver to a dead incarnation, and never let a dead
+//! incarnation speak.
+
+use mvr_core::{NodeId, Rank};
+use mvr_net::{Fabric, RecvError, SendError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn cn(r: u32) -> NodeId {
+    NodeId::Computing(Rank(r))
+}
+
+#[test]
+fn kill_register_send_race_storm() {
+    let fabric = Fabric::new();
+    let stop = Arc::new(AtomicBool::new(false));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let refused = Arc::new(AtomicU64::new(0));
+
+    // The victim node cycles through incarnations; each incarnation
+    // drains its mailbox until killed.
+    let victim_cycler = {
+        let fabric = fabric.clone();
+        let stop = stop.clone();
+        let delivered = delivered.clone();
+        thread::spawn(move || {
+            let mut incarnations = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                let (mb, _id) = fabric.register::<u64>(cn(0));
+                incarnations += 1;
+                loop {
+                    match mb.recv_timeout(Duration::from_micros(200)) {
+                        Ok(_) => {
+                            delivered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(RecvError::Killed) => break,
+                        Err(RecvError::Timeout) => {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Ensure the node is dead before re-registering (the
+                // killer may already have done it).
+                fabric.kill(cn(0));
+            }
+            incarnations
+        })
+    };
+
+    // The killer repeatedly crashes the victim.
+    let killer = {
+        let fabric = fabric.clone();
+        let stop = stop.clone();
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                fabric.kill(cn(0));
+                thread::sleep(Duration::from_micros(300));
+            }
+        })
+    };
+
+    // Senders hammer the victim from several identities.
+    let senders: Vec<_> = (1..=4u32)
+        .map(|s| {
+            let fabric = fabric.clone();
+            let stop = stop.clone();
+            let refused = refused.clone();
+            thread::spawn(move || {
+                let (_mb, id) = fabric.register::<u64>(cn(s));
+                let mut sent = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match id.send(cn(0), sent) {
+                        Ok(()) => sent += 1,
+                        Err(SendError::Disconnected(_)) => {
+                            refused.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(SendError::SenderDead) => panic!("live sender declared dead"),
+                    }
+                }
+                sent
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    // Unblock the cycler in case it waits on a live mailbox.
+    fabric.kill(cn(0));
+
+    let incarnations = victim_cycler.join().unwrap();
+    killer.join().unwrap();
+    let total_sent: u64 = senders.into_iter().map(|h| h.join().unwrap()).sum();
+
+    assert!(
+        incarnations > 3,
+        "victim should have reincarnated ({incarnations})"
+    );
+    assert!(
+        total_sent > 100,
+        "senders should have made progress ({total_sent})"
+    );
+    // Deliveries + refusals never exceed attempts (no duplication).
+    let d = delivered.load(Ordering::Relaxed);
+    let r = refused.load(Ordering::Relaxed);
+    assert!(d <= total_sent, "delivered {d} > sent {total_sent}");
+    assert!(
+        d + r >= total_sent / 2,
+        "accounting wildly off: {d}+{r} vs {total_sent}"
+    );
+}
+
+#[test]
+fn zombie_identity_is_always_fenced() {
+    let fabric = Fabric::new();
+    let (_mb, _live) = fabric.register::<u64>(cn(1));
+    for _ in 0..50 {
+        let (_mb0, zombie) = fabric.register::<u64>(cn(0));
+        fabric.kill(cn(0));
+        // The dead incarnation must be refused concurrently with a new
+        // registration.
+        let f2 = fabric.clone();
+        let reg = thread::spawn(move || {
+            let (_mb, id) = f2.register::<u64>(cn(0));
+            id
+        });
+        assert_eq!(zombie.send(cn(1), 9), Err(SendError::SenderDead));
+        let _new_id = reg.join().unwrap();
+        assert_eq!(zombie.send(cn(1), 9), Err(SendError::SenderDead));
+        fabric.kill(cn(0));
+    }
+}

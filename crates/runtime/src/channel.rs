@@ -1,0 +1,128 @@
+//! The daemon-backed [`Channel`] implementation handed to MPI processes.
+//!
+//! Each call translates to a request over the process↔daemon "UNIX
+//! socket" (a pair of fabric mailboxes). A dead daemon (or a killed
+//! process incarnation) surfaces as [`MpiError::Killed`], which
+//! well-behaved applications propagate so the thread unwinds fail-stop.
+
+use crate::messages::{ProcReply, ProcRequest};
+use mvr_core::{NodeId, Payload, Rank};
+use mvr_mpi::{Channel, ChannelInfo, MpiError, MpiResult};
+use mvr_net::{Identity, Mailbox, RecvError, SendError};
+
+/// The process side of the process↔daemon connection.
+pub struct DaemonChannel {
+    rank: Rank,
+    daemon: NodeId,
+    identity: Identity,
+    inbox: Mailbox<ProcReply>,
+}
+
+impl DaemonChannel {
+    /// Build the channel for `rank`; `identity` is the process-node
+    /// incarnation credential, `inbox` its reply mailbox.
+    pub fn new(rank: Rank, identity: Identity, inbox: Mailbox<ProcReply>) -> Self {
+        DaemonChannel {
+            rank,
+            daemon: NodeId::Computing(rank),
+            identity,
+            inbox,
+        }
+    }
+
+    fn send(&self, req: ProcRequest) -> MpiResult<()> {
+        self.identity
+            .send(self.daemon, crate::messages::DaemonMsg::Proc(req))
+            .map_err(|e: SendError| match e {
+                SendError::Disconnected(_) | SendError::SenderDead => MpiError::Killed,
+            })
+    }
+
+    fn recv(&self) -> MpiResult<ProcReply> {
+        self.inbox.recv().map_err(|e: RecvError| match e {
+            RecvError::Killed | RecvError::Timeout => MpiError::Killed,
+        })
+    }
+}
+
+impl Channel for DaemonChannel {
+    fn init(&mut self) -> MpiResult<ChannelInfo> {
+        self.send(ProcRequest::Init)?;
+        match self.recv()? {
+            ProcReply::InitOk {
+                rank,
+                size,
+                restored_mpi_state,
+                restored_app_state,
+            } => {
+                debug_assert_eq!(rank, self.rank);
+                Ok(ChannelInfo {
+                    rank,
+                    size,
+                    restored_mpi_state,
+                    restored_app_state,
+                })
+            }
+            other => Err(MpiError::Protocol(format!(
+                "unexpected init reply: {other:?}"
+            ))),
+        }
+    }
+
+    fn bsend(&mut self, dst: Rank, bytes: Payload) -> MpiResult<()> {
+        self.send(ProcRequest::Bsend { dst, bytes })
+    }
+
+    fn brecv(&mut self) -> MpiResult<(Rank, Payload)> {
+        self.send(ProcRequest::Brecv)?;
+        match self.recv()? {
+            ProcReply::Msg { from, payload } => Ok((from, payload)),
+            other => Err(MpiError::Protocol(format!(
+                "unexpected brecv reply: {other:?}"
+            ))),
+        }
+    }
+
+    fn nprobe(&mut self) -> MpiResult<bool> {
+        self.send(ProcRequest::Nprobe)?;
+        match self.recv()? {
+            ProcReply::Probe(b) => Ok(b),
+            other => Err(MpiError::Protocol(format!(
+                "unexpected probe reply: {other:?}"
+            ))),
+        }
+    }
+
+    fn finish(&mut self) -> MpiResult<()> {
+        self.send(ProcRequest::Finish)?;
+        match self.recv()? {
+            ProcReply::Done => Ok(()),
+            other => Err(MpiError::Protocol(format!(
+                "unexpected finish reply: {other:?}"
+            ))),
+        }
+    }
+
+    fn checkpoint_pending(&mut self) -> MpiResult<bool> {
+        self.send(ProcRequest::CkptPoll)?;
+        match self.recv()? {
+            ProcReply::CkptPending(b) => Ok(b),
+            other => Err(MpiError::Protocol(format!(
+                "unexpected poll reply: {other:?}"
+            ))),
+        }
+    }
+
+    fn commit_checkpoint(&mut self, mpi_state: Payload, app_state: Payload) -> MpiResult<()> {
+        self.send(ProcRequest::CkptCommit {
+            mpi_state,
+            app_state,
+        })?;
+        match self.recv()? {
+            ProcReply::CkptCommitted => Ok(()),
+            other => Err(MpiError::Protocol(format!(
+                "unexpected commit reply: {other:?}"
+            ))),
+        }
+    }
+}

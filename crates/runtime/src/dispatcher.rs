@@ -1,0 +1,342 @@
+//! The dispatcher — the `mpirun` of the deployment (§4.7).
+//!
+//! "The execution monitor first launches the execution of the different
+//! programs (CS, EL, SC, CN), and then monitors the execution potentially
+//! re-launching the crashed programs." Faults are detected as
+//! disconnections (our fabric kill) and crashed nodes are reincarnated
+//! with `restart = true`, which drives the ROLLBACK → DownloadEL →
+//! RESTART1/RESTART2 → replay recovery.
+
+use crate::baseline::{default_cms, spawn_channel_memories};
+use crate::messages::DispatcherMsg;
+use crate::node::{
+    register_node, start_node, MpiApp, NodeConfig, NodeExit, Outcome, RuntimeProtocol,
+};
+use crate::services::{
+    spawn_checkpoint_scheduler, spawn_checkpoint_server, spawn_event_loggers, SchedulerConfig,
+};
+use mvr_core::{NodeId, Payload, Rank};
+use mvr_net::Fabric;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Deployment parameters (the "program file" of §4.7).
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of computing nodes / MPI processes.
+    pub world: u32,
+    /// Protocol stack (V2 default; V1/P4 are the paper's baselines).
+    pub protocol: RuntimeProtocol,
+    /// Number of event loggers (ranks are partitioned across them).
+    pub event_loggers: u32,
+    /// Enable the checkpoint subsystem with this scheduler configuration.
+    pub checkpointing: Option<SchedulerConfig>,
+    /// Automatically reincarnate killed nodes.
+    pub auto_restart: bool,
+    /// Detection + respawn latency before a reincarnation.
+    pub restart_delay: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            world: 4,
+            protocol: RuntimeProtocol::V2,
+            event_loggers: 1,
+            checkpointing: None,
+            auto_restart: true,
+            restart_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Not all ranks finished in time (includes a per-rank status dump).
+    Timeout(String),
+    /// An application rank failed with a non-crash error.
+    AppFailed {
+        /// The failing rank.
+        rank: Rank,
+        /// Its error.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Timeout(s) => write!(f, "cluster run timed out: {s}"),
+            ClusterError::AppFailed { rank, error } => {
+                write!(f, "rank {rank} failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Fault-injection handle, cloneable and usable from any thread while the
+/// dispatcher waits.
+#[derive(Clone)]
+pub struct FaultHandle {
+    fabric: Fabric,
+    world: u32,
+}
+
+impl FaultHandle {
+    /// Crash a computing node (daemon + MPI process), fail-stop.
+    pub fn kill(&self, rank: Rank) {
+        assert!(rank.0 < self.world);
+        self.fabric.kill(NodeId::Computing(rank));
+        self.fabric.kill(NodeId::Process(rank));
+    }
+
+    /// Crash the checkpoint server (§4.3: the system survives; affected
+    /// nodes restart from scratch).
+    pub fn kill_checkpoint_server(&self) {
+        self.fabric.kill(NodeId::CheckpointServer(0));
+    }
+
+    /// Crash an event logger. The EL is the component the deployment
+    /// *assumes* reliable (§4.3); killing it stalls pessimistic logging —
+    /// provided for tests that document this reliance.
+    pub fn kill_event_logger(&self, index: u32) {
+        self.fabric.kill(NodeId::EventLogger(index));
+    }
+
+    /// Is the rank's current incarnation alive?
+    pub fn is_alive(&self, rank: Rank) -> bool {
+        self.fabric.is_alive(NodeId::Computing(rank))
+    }
+}
+
+/// The outcome of a completed run, with recovery statistics.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-rank result payloads.
+    pub results: Vec<Payload>,
+    /// Node reincarnations the dispatcher performed.
+    pub restarts: u64,
+}
+
+/// A running deployment.
+pub struct Cluster {
+    fabric: Fabric,
+    cfg: ClusterConfig,
+    app: Arc<dyn MpiApp>,
+    exit_tx: mpsc::Sender<NodeExit>,
+    exit_rx: mpsc::Receiver<NodeExit>,
+    handles: Vec<JoinHandle<()>>,
+    restarts: u64,
+}
+
+impl Cluster {
+    /// Launch services and all computing nodes running `app`.
+    pub fn launch<A: MpiApp>(cfg: ClusterConfig, app: A) -> Cluster {
+        let fabric = Fabric::new();
+        let app: Arc<dyn MpiApp> = Arc::new(app);
+        let (exit_tx, exit_rx) = mpsc::channel();
+        let mut handles = Vec::new();
+
+        // Dispatcher mailbox (receives Finalized notifications; kept so
+        // daemon sends succeed, drained at teardown).
+        let (_disp_mb, _disp_id) = fabric.register::<DispatcherMsg>(NodeId::Dispatcher);
+
+        match cfg.protocol {
+            RuntimeProtocol::V2 => {
+                handles.extend(spawn_event_loggers(&fabric, cfg.event_loggers));
+                handles.push(spawn_checkpoint_server(&fabric));
+                if let Some(sc) = &cfg.checkpointing {
+                    handles.push(spawn_checkpoint_scheduler(&fabric, cfg.world, sc.clone()));
+                }
+            }
+            RuntimeProtocol::V1 => {
+                handles.extend(spawn_channel_memories(
+                    &fabric,
+                    cfg.world,
+                    default_cms(cfg.world),
+                ));
+            }
+            RuntimeProtocol::P4 => {}
+        }
+
+        // Register every node before starting any, so initial sends never
+        // race a half-registered peer.
+        let slots: Vec<_> = (0..cfg.world)
+            .map(|r| register_node(&fabric, Rank(r)))
+            .collect();
+        for (r, s) in slots.into_iter().enumerate() {
+            let ncfg = NodeConfig {
+                rank: Rank(r as u32),
+                world: cfg.world,
+                protocol: cfg.protocol,
+                event_loggers: cfg.event_loggers,
+                channel_memories: default_cms(cfg.world),
+                restart: false,
+            };
+            handles.extend(start_node(s, ncfg, app.clone(), exit_tx.clone()));
+        }
+
+        Cluster {
+            fabric,
+            cfg,
+            app,
+            exit_tx,
+            exit_rx,
+            handles,
+            restarts: 0,
+        }
+    }
+
+    /// A fault-injection handle.
+    pub fn fault_handle(&self) -> FaultHandle {
+        FaultHandle {
+            fabric: self.fabric.clone(),
+            world: self.cfg.world,
+        }
+    }
+
+    /// Number of node reincarnations performed so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// As [`wait`](Self::wait), additionally reporting how many node
+    /// reincarnations the dispatcher performed.
+    pub fn wait_report(self, timeout: Duration) -> Result<RunReport, ClusterError> {
+        let mut me = self;
+        let results = me.wait_inner(timeout)?;
+        Ok(RunReport {
+            restarts: me.restarts,
+            results,
+        })
+    }
+
+    /// Run the dispatcher loop until every rank has finished (restarting
+    /// crashed nodes), then tear everything down and return the per-rank
+    /// results.
+    pub fn wait(mut self, timeout: Duration) -> Result<Vec<Payload>, ClusterError> {
+        self.wait_inner(timeout)
+    }
+
+    fn wait_inner(&mut self, timeout: Duration) -> Result<Vec<Payload>, ClusterError> {
+        let deadline = Instant::now() + timeout;
+        let world = self.cfg.world as usize;
+        let mut results: Vec<Option<Payload>> = vec![None; world];
+        let mut finished = vec![false; world];
+
+        while finished.iter().any(|f| !f) {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                let status: Vec<String> = (0..world)
+                    .map(|r| {
+                        format!(
+                            "rank {r}: finished={} alive={}",
+                            finished[r],
+                            self.fabric.is_alive(NodeId::Computing(Rank(r as u32)))
+                        )
+                    })
+                    .collect();
+                self.teardown();
+                return Err(ClusterError::Timeout(status.join("; ")));
+            }
+            let exit = match self.exit_rx.recv_timeout(left) {
+                Ok(e) => e,
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("dispatcher holds a sender")
+                }
+            };
+            let r = exit.rank.idx();
+            match exit.outcome {
+                Outcome::Finished(p) => {
+                    results[r] = Some(p);
+                    finished[r] = true;
+                }
+                Outcome::Killed => {
+                    finished[r] = false;
+                    results[r] = None;
+                    if self.cfg.protocol == RuntimeProtocol::P4 {
+                        // No fault tolerance: a crash kills the run, as
+                        // with the real MPICH-P4.
+                        self.teardown();
+                        return Err(ClusterError::AppFailed {
+                            rank: exit.rank,
+                            error: "node crashed under MPICH-P4 (no fault tolerance)".into(),
+                        });
+                    }
+                    if self.cfg.auto_restart {
+                        if !self.cfg.restart_delay.is_zero() {
+                            std::thread::sleep(self.cfg.restart_delay);
+                        }
+                        self.respawn(exit.rank);
+                    }
+                }
+                Outcome::Failed(error) => {
+                    self.teardown();
+                    return Err(ClusterError::AppFailed {
+                        rank: exit.rank,
+                        error,
+                    });
+                }
+            }
+        }
+        self.teardown();
+        Ok(results
+            .into_iter()
+            .map(|p| p.expect("all finished"))
+            .collect())
+    }
+
+    fn respawn(&mut self, rank: Rank) {
+        self.restarts += 1;
+        let slots = register_node(&self.fabric, rank);
+        let ncfg = NodeConfig {
+            rank,
+            world: self.cfg.world,
+            protocol: self.cfg.protocol,
+            event_loggers: self.cfg.event_loggers,
+            channel_memories: default_cms(self.cfg.world),
+            restart: true,
+        };
+        self.handles.extend(start_node(
+            slots,
+            ncfg,
+            self.app.clone(),
+            self.exit_tx.clone(),
+        ));
+    }
+
+    fn teardown(&mut self) {
+        // Kill everything; threads unwind on their mailbox errors.
+        for r in 0..self.cfg.world {
+            self.fabric.kill(NodeId::Computing(Rank(r)));
+            self.fabric.kill(NodeId::Process(Rank(r)));
+        }
+        for i in 0..self.cfg.event_loggers {
+            self.fabric.kill(NodeId::EventLogger(i));
+        }
+        for i in 0..default_cms(self.cfg.world) {
+            self.fabric.kill(NodeId::ChannelMemory(i));
+        }
+        self.fabric.kill(NodeId::CheckpointServer(0));
+        self.fabric.kill(NodeId::CheckpointScheduler);
+        self.fabric.kill(NodeId::Dispatcher);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One-shot convenience: launch, wait, return results.
+pub fn run_cluster<A: MpiApp>(
+    cfg: ClusterConfig,
+    app: A,
+    timeout: Duration,
+) -> Result<Vec<Payload>, ClusterError> {
+    Cluster::launch(cfg, app).wait(timeout)
+}

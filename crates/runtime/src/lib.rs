@@ -1,0 +1,45 @@
+//! # mvr-runtime — the MPICH-V2 runtime
+//!
+//! The live, multithreaded deployment of the protocol: per-node
+//! communication daemons hosting the `mvr-core` engine, MPI-process
+//! threads running user applications over the channel interface, the
+//! reliable services (event loggers, checkpoint server, checkpoint
+//! scheduler), and the dispatcher that launches, monitors, crashes and
+//! reincarnates nodes.
+//!
+//! ```no_run
+//! use mvr_runtime::{run_cluster, ClusterConfig};
+//! use mvr_core::Payload;
+//! use mvr_mpi::ReduceOp;
+//! use std::time::Duration;
+//!
+//! let results = run_cluster(
+//!     ClusterConfig { world: 4, ..Default::default() },
+//!     |mpi: &mut mvr_runtime::NodeMpi, _restored: Option<Payload>| {
+//!         let sum = mpi.allreduce(ReduceOp::Sum, &[mpi.rank().0 as u64])?;
+//!         Ok(Payload::from_vec(sum[0].to_le_bytes().to_vec()))
+//!     },
+//!     Duration::from_secs(10),
+//! )
+//! .unwrap();
+//! assert_eq!(results.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod channel;
+pub mod dispatcher;
+pub mod messages;
+pub mod node;
+pub mod progfile;
+pub mod services;
+
+pub use channel::DaemonChannel;
+pub use dispatcher::{run_cluster, Cluster, ClusterConfig, ClusterError, FaultHandle, RunReport};
+pub use node::{MpiApp, NodeConfig, NodeExit, Outcome, RuntimeProtocol};
+pub use services::SchedulerConfig;
+
+/// The MPI handle type applications receive.
+pub type NodeMpi = mvr_mpi::Mpi<DaemonChannel>;

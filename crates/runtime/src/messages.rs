@@ -1,0 +1,98 @@
+//! Mailbox message types of the runtime's node kinds.
+
+use mvr_core::{CkptReply, CmReply, ElReply, Payload, PeerMsg, Rank, SchedMsg};
+
+/// Everything a communication daemon can receive — the analog of its
+/// `select()` loop over one socket per peer and per service (§4.4).
+#[derive(Clone, Debug)]
+pub enum DaemonMsg {
+    /// From a peer daemon.
+    Peer {
+        /// Sending rank.
+        from: Rank,
+        /// The protocol message.
+        msg: PeerMsg,
+    },
+    /// From the attached MPI process (the "UNIX socket").
+    Proc(ProcRequest),
+    /// From the event logger.
+    El(ElReply),
+    /// From the checkpoint server.
+    Ckpt(CkptReply),
+    /// From the checkpoint scheduler.
+    Sched(SchedMsg),
+    /// From a Channel Memory (MPICH-V1 hosting only).
+    Cm(CmReply),
+}
+
+/// Requests from the MPI process to its daemon, mirroring the channel
+/// interface (`PIbsend`, `PIbrecv`, `PInprobe`, `PIiInit`, `PIiFinish`)
+/// plus the cooperative-checkpoint handshake.
+#[derive(Clone, Debug)]
+pub enum ProcRequest {
+    /// `PIiInit`: the process is up; answer with `InitOk`.
+    Init,
+    /// `PIbsend`: fire-and-forget (acceptance = mailbox delivery).
+    Bsend {
+        /// Destination rank.
+        dst: Rank,
+        /// MPI-layer bytes.
+        bytes: Payload,
+    },
+    /// `PIbrecv`: answer with the next delivery (`Msg`).
+    Brecv,
+    /// `PInprobe`: answer with `Probe`.
+    Nprobe,
+    /// Checkpoint-site poll: answer with `CkptPending`.
+    CkptPoll,
+    /// Serialized MPI + application state for a pending checkpoint.
+    CkptCommit {
+        /// MPI-library state.
+        mpi_state: Payload,
+        /// Application state.
+        app_state: Payload,
+    },
+    /// `PIiFinish`: the process completed; answer with `Done`.
+    Finish,
+}
+
+/// Replies from the daemon to its MPI process.
+#[derive(Clone, Debug)]
+pub enum ProcReply {
+    /// Answer to `Init`.
+    InitOk {
+        /// This node's rank.
+        rank: Rank,
+        /// World size.
+        size: u32,
+        /// MPI-library state restored from a checkpoint, if any.
+        restored_mpi_state: Option<Payload>,
+        /// Application state restored from a checkpoint, if any.
+        restored_app_state: Option<Payload>,
+    },
+    /// A delivery (answer to `Brecv`).
+    Msg {
+        /// Original sender.
+        from: Rank,
+        /// MPI-layer bytes.
+        payload: Payload,
+    },
+    /// Answer to `Nprobe`.
+    Probe(bool),
+    /// Answer to `CkptPoll`.
+    CkptPending(bool),
+    /// Answer to `CkptCommit` (the image is durably stored).
+    CkptCommitted,
+    /// Answer to `Finish`.
+    Done,
+}
+
+/// Messages to the dispatcher's fabric mailbox.
+#[derive(Clone, Debug)]
+pub enum DispatcherMsg {
+    /// A rank's MPI process reached `finalize`.
+    Finalized {
+        /// The finishing rank.
+        rank: Rank,
+    },
+}

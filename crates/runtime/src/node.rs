@@ -1,0 +1,505 @@
+//! A computing node: the communication daemon thread (hosting the
+//! [`V2Engine`]) and the MPI-process thread (running the user
+//! application), connected by the process↔daemon mailbox pair.
+//!
+//! Mirrors §4.4: "the MPI process does not connect directly to all the
+//! other computing nodes. This is the job of a communication daemon
+//! running on the same machine"; and §4.6.1 for the checkpoint handshake
+//! (the daemon triggers, the process supplies its image at a quiescent
+//! point — our cooperative substitution for Condor).
+
+use crate::channel::DaemonChannel;
+use crate::messages::{DaemonMsg, DispatcherMsg, ProcReply, ProcRequest};
+use mvr_ckpt::CkptPacket;
+use mvr_core::engine::{Input, Output};
+use mvr_core::{
+    CkptReply, CkptRequest, ElReply, ElRequest, NodeId, NodeImage, Payload, Rank, SchedMsg,
+    V2Engine,
+};
+use mvr_eventlog::{el_for_rank, ElPacket};
+use mvr_mpi::{Mpi, MpiError, MpiResult};
+use mvr_net::{Fabric, Identity, Mailbox, SendError};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// The application interface: a deterministic MPI program with
+/// serializable state.
+///
+/// Contract (the piecewise-determinism assumption of §4.1): given the
+/// same sequence of deliveries and probe outcomes, `run` must perform the
+/// same MPI calls with the same arguments. Call
+/// [`Mpi::checkpoint_site`] at iteration boundaries so daemon-ordered
+/// checkpoints can be taken; on restart `run` is re-invoked with the
+/// restored state.
+pub trait MpiApp: Send + Sync + 'static {
+    /// Execute the program; return the final result bytes.
+    fn run(&self, mpi: &mut Mpi<DaemonChannel>, restored: Option<Payload>) -> MpiResult<Payload>;
+}
+
+impl<F> MpiApp for F
+where
+    F: Fn(&mut Mpi<DaemonChannel>, Option<Payload>) -> MpiResult<Payload> + Send + Sync + 'static,
+{
+    fn run(&self, mpi: &mut Mpi<DaemonChannel>, restored: Option<Payload>) -> MpiResult<Payload> {
+        self(mpi, restored)
+    }
+}
+
+/// How a node incarnation ended.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The application completed with this result.
+    Finished(Payload),
+    /// The incarnation was crashed (fail-stop); the dispatcher restarts it.
+    Killed,
+    /// The application failed with a real error.
+    Failed(String),
+}
+
+/// Exit report from a node incarnation to the dispatcher.
+#[derive(Clone, Debug)]
+pub struct NodeExit {
+    /// Reporting rank.
+    pub rank: Rank,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+/// Which protocol stack the deployment runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuntimeProtocol {
+    /// MPICH-V2 (the paper's contribution): full fault tolerance.
+    V2,
+    /// MPICH-V1 baseline: Channel Memory logging; restarts replay from
+    /// scratch via the CM (no checkpoint images in this hosting).
+    V1,
+    /// MPICH-P4 baseline: no fault tolerance; crashes are fatal.
+    P4,
+}
+
+/// Static node parameters.
+#[derive(Clone)]
+pub struct NodeConfig {
+    /// This node's rank.
+    pub rank: Rank,
+    /// World size.
+    pub world: u32,
+    /// Protocol stack.
+    pub protocol: RuntimeProtocol,
+    /// Number of event loggers in the deployment (V2).
+    pub event_loggers: u32,
+    /// Number of Channel Memories (V1).
+    pub channel_memories: u32,
+    /// Whether this is a restart (fetch image, download events, recover).
+    pub restart: bool,
+}
+
+/// The fabric registrations of one node incarnation, created *before* the
+/// threads start so peers never race a half-registered node.
+pub struct NodeSlots {
+    daemon_mb: Mailbox<DaemonMsg>,
+    daemon_id: Identity,
+    proc_mb: Mailbox<ProcReply>,
+    proc_id: Identity,
+}
+
+/// Register a (fresh or reincarnated) node on the fabric.
+pub fn register_node(fabric: &Fabric, rank: Rank) -> NodeSlots {
+    let (daemon_mb, daemon_id) = fabric.register::<DaemonMsg>(NodeId::Computing(rank));
+    let (proc_mb, proc_id) = fabric.register::<ProcReply>(NodeId::Process(rank));
+    NodeSlots {
+        daemon_mb,
+        daemon_id,
+        proc_mb,
+        proc_id,
+    }
+}
+
+/// Start the daemon and process threads of a registered node.
+pub fn start_node(
+    slots: NodeSlots,
+    cfg: NodeConfig,
+    app: Arc<dyn MpiApp>,
+    exit_tx: mpsc::Sender<NodeExit>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let NodeSlots {
+        daemon_mb,
+        daemon_id,
+        proc_mb,
+        proc_id,
+    } = slots;
+    let rank = cfg.rank;
+
+    let daemon = std::thread::Builder::new()
+        .name(format!("daemon-{rank}"))
+        .spawn(move || {
+            // A daemon dying any way other than a kill is a bug; a kill
+            // unwinds silently (the dispatcher handles the restart).
+            match cfg.protocol {
+                RuntimeProtocol::V2 => {
+                    let _ = daemon_main(daemon_mb, daemon_id, cfg);
+                }
+                RuntimeProtocol::V1 => crate::baseline::daemon_main_v1(
+                    daemon_mb,
+                    daemon_id,
+                    cfg.rank,
+                    cfg.world,
+                    cfg.channel_memories,
+                ),
+                RuntimeProtocol::P4 => {
+                    crate::baseline::daemon_main_p4(daemon_mb, daemon_id, cfg.rank, cfg.world)
+                }
+            }
+        })
+        .expect("spawn daemon thread");
+
+    let process = std::thread::Builder::new()
+        .name(format!("mpi-{rank}"))
+        .spawn(move || {
+            let chan = DaemonChannel::new(rank, proc_id, proc_mb);
+            let result: MpiResult<Payload> = (|| {
+                let (mut mpi, restored) = Mpi::init(chan)?;
+                let out = app.run(&mut mpi, restored)?;
+                mpi.finalize()?;
+                Ok(out)
+            })();
+            let outcome = match result {
+                Ok(p) => Outcome::Finished(p),
+                Err(MpiError::Killed) => Outcome::Killed,
+                Err(e) => Outcome::Failed(e.to_string()),
+            };
+            // The dispatcher may already be gone during teardown.
+            let _ = exit_tx.send(NodeExit { rank, outcome });
+        })
+        .expect("spawn MPI process thread");
+
+    vec![daemon, process]
+}
+
+/// Errors that terminate a daemon.
+#[derive(Debug)]
+enum DaemonEnd {
+    /// The incarnation was killed (mailbox closed / identity stale).
+    Killed,
+    /// The application violated piecewise determinism during a replay.
+    /// The payload is surfaced in the `Debug` impl when a daemon dies
+    /// this way (a bug in the application or the protocol).
+    #[allow(dead_code)]
+    ReplayDivergence(String),
+}
+
+struct Daemon {
+    engine: V2Engine,
+    identity: Identity,
+    rank: Rank,
+    el_node: NodeId,
+    cs_node: NodeId,
+    sched_node: NodeId,
+    /// Restored process state to hand out at `Init`.
+    restored_mpi: Option<Payload>,
+    restored_app: Option<Payload>,
+    /// `TakeCheckpoint` emitted; waiting for the process to reach a site.
+    ckpt_armed: Option<u64>,
+    /// The process finalized (we only serve the protocol from now on).
+    finalized: bool,
+}
+
+fn daemon_main(
+    mailbox: Mailbox<DaemonMsg>,
+    identity: Identity,
+    cfg: NodeConfig,
+) -> Result<(), DaemonEnd> {
+    let rank = cfg.rank;
+    let el_node = NodeId::EventLogger(el_for_rank(rank, cfg.event_loggers));
+    let cs_node = NodeId::CheckpointServer(0);
+    let sched_node = NodeId::CheckpointScheduler;
+
+    // ---- startup / recovery (ROLLBACK + DownloadEL + RESTART1) ----
+    let mut buffered: Vec<DaemonMsg> = Vec::new();
+    let mut restored_mpi = None;
+    let mut restored_app = None;
+
+    let engine = if cfg.restart {
+        // Fetch the latest image; a dead checkpoint server degrades to a
+        // from-scratch restart ("may restart from scratch, at worst").
+        let image: Option<NodeImage> = match identity.send(
+            cs_node,
+            CkptPacket {
+                from: rank,
+                req: CkptRequest::GetLatest { rank },
+            },
+        ) {
+            Ok(()) => loop {
+                match mailbox.recv() {
+                    Ok(DaemonMsg::Ckpt(CkptReply::Image {
+                        clock: Some(_),
+                        image,
+                    })) => match NodeImage::decode(image.as_slice()) {
+                        Ok(img) => break Some(img),
+                        Err(_) => break None,
+                    },
+                    Ok(DaemonMsg::Ckpt(CkptReply::Image { clock: None, .. })) => break None,
+                    Ok(other) => buffered.push(other),
+                    Err(_) => return Err(DaemonEnd::Killed),
+                }
+            },
+            Err(_) => None,
+        };
+
+        let mut engine = match image {
+            Some(img) => {
+                restored_mpi = Some(img.mpi_state);
+                restored_app = Some(img.app_state);
+                V2Engine::restore(img.engine)
+            }
+            None => V2Engine::fresh(rank, cfg.world),
+        };
+
+        // DownloadEL(H_p): the event logger is the reliable component; if
+        // it is gone the deployment is broken and we just die.
+        let after_clock = engine.clock();
+        identity
+            .send(
+                el_node,
+                ElPacket {
+                    from: rank,
+                    req: ElRequest::Download { rank, after_clock },
+                },
+            )
+            .map_err(|_| DaemonEnd::Killed)?;
+        let events = loop {
+            match mailbox.recv() {
+                Ok(DaemonMsg::El(ElReply::Events(ev))) => break ev,
+                Ok(other) => buffered.push(other),
+                Err(_) => return Err(DaemonEnd::Killed),
+            }
+        };
+        engine.begin_recovery(events);
+        engine
+    } else {
+        V2Engine::fresh(rank, cfg.world)
+    };
+
+    let mut d = Daemon {
+        engine,
+        identity,
+        rank,
+        el_node,
+        cs_node,
+        sched_node,
+        restored_mpi,
+        restored_app,
+        ckpt_armed: None,
+        finalized: false,
+    };
+
+    // Emit the RESTART1 broadcast (and any immediate outputs).
+    d.pump_outputs()?;
+    for msg in buffered {
+        d.handle(msg)?;
+    }
+
+    // ---- main select loop ----
+    loop {
+        let msg = mailbox.recv().map_err(|_| DaemonEnd::Killed)?;
+        d.handle(msg)?;
+    }
+}
+
+impl Daemon {
+    fn handle(&mut self, msg: DaemonMsg) -> Result<(), DaemonEnd> {
+        match msg {
+            DaemonMsg::Peer { from, msg } => {
+                self.engine
+                    .handle(Input::Peer { from, msg })
+                    .map_err(|e| DaemonEnd::ReplayDivergence(e.to_string()))?;
+            }
+            DaemonMsg::Proc(req) => self.handle_proc(req)?,
+            DaemonMsg::El(ElReply::Ack { up_to }) => {
+                self.engine
+                    .handle(Input::ElAck { up_to })
+                    .expect("ack cannot diverge");
+            }
+            DaemonMsg::El(ElReply::Events(_)) => { /* stale download reply */ }
+            DaemonMsg::Ckpt(CkptReply::Stored { clock, .. }) => {
+                self.engine
+                    .handle(Input::CheckpointStored)
+                    .expect("store ack cannot diverge");
+                let _ = self.identity.send(
+                    self.sched_node,
+                    SchedMsg::CheckpointDone {
+                        rank: self.rank,
+                        clock,
+                    },
+                );
+            }
+            DaemonMsg::Ckpt(CkptReply::Image { .. }) => { /* stale fetch reply */ }
+            DaemonMsg::Sched(SchedMsg::StatusRequest) => {
+                let m = self.engine.metrics();
+                let status = SchedMsg::Status {
+                    rank: self.rank,
+                    logged_bytes: self.engine.logged_bytes(),
+                    sent_bytes: m.bytes_sent,
+                    recv_bytes: m.bytes_delivered,
+                };
+                let _ = self.identity.send(self.sched_node, status);
+            }
+            DaemonMsg::Sched(SchedMsg::CheckpointOrder) => {
+                if !self.finalized {
+                    self.engine
+                        .handle(Input::CheckpointOrder)
+                        .expect("order cannot diverge");
+                }
+            }
+            DaemonMsg::Sched(_) => {}
+            DaemonMsg::Cm(_) => { /* V1-only traffic; ignore under V2 */ }
+        }
+        self.pump_outputs()
+    }
+
+    fn handle_proc(&mut self, req: ProcRequest) -> Result<(), DaemonEnd> {
+        match req {
+            ProcRequest::Init => {
+                let reply = ProcReply::InitOk {
+                    rank: self.rank,
+                    size: self.engine.world(),
+                    restored_mpi_state: self.restored_mpi.take(),
+                    restored_app_state: self.restored_app.take(),
+                };
+                self.to_proc(reply)?;
+            }
+            ProcRequest::Bsend { dst, bytes } => {
+                self.engine
+                    .handle(Input::AppSend {
+                        dst,
+                        payload: bytes,
+                    })
+                    .map_err(|e| DaemonEnd::ReplayDivergence(e.to_string()))?;
+            }
+            ProcRequest::Brecv => {
+                self.engine
+                    .handle(Input::AppRecv)
+                    .map_err(|e| DaemonEnd::ReplayDivergence(e.to_string()))?;
+            }
+            ProcRequest::Nprobe => {
+                self.engine
+                    .handle(Input::AppProbe)
+                    .map_err(|e| DaemonEnd::ReplayDivergence(e.to_string()))?;
+            }
+            ProcRequest::CkptPoll => {
+                if self.ckpt_armed.is_none() {
+                    if let Some(clock) = self.engine.try_arm_checkpoint() {
+                        self.ckpt_armed = Some(clock);
+                    }
+                }
+                self.to_proc(ProcReply::CkptPending(self.ckpt_armed.is_some()))?;
+            }
+            ProcRequest::CkptCommit {
+                mpi_state,
+                app_state,
+            } => {
+                let clock = self
+                    .ckpt_armed
+                    .take()
+                    .expect("commit without armed checkpoint");
+                let image = NodeImage {
+                    engine: self.engine.snapshot(),
+                    mpi_state,
+                    app_state,
+                };
+                debug_assert_eq!(image.engine.clock, clock);
+                let _ = self.identity.send(
+                    self.cs_node,
+                    CkptPacket {
+                        from: self.rank,
+                        req: CkptRequest::Put {
+                            rank: self.rank,
+                            clock,
+                            image: image.encode(),
+                        },
+                    },
+                );
+                // The transfer is "overlapped": the process continues
+                // immediately; durability is acked to the engine later.
+                self.to_proc(ProcReply::CkptCommitted)?;
+            }
+            ProcRequest::Finish => {
+                self.finalized = true;
+                let _ = self.identity.send(
+                    NodeId::Dispatcher,
+                    DispatcherMsg::Finalized { rank: self.rank },
+                );
+                self.to_proc(ProcReply::Done)?;
+                // Keep serving the protocol: peers may still need our
+                // sender log for their recovery.
+            }
+        }
+        Ok(())
+    }
+
+    fn to_proc(&self, reply: ProcReply) -> Result<(), DaemonEnd> {
+        match self.identity.send(NodeId::Process(self.rank), reply) {
+            Ok(()) => Ok(()),
+            // The process died with us (kill) — unwind.
+            Err(SendError::SenderDead) => Err(DaemonEnd::Killed),
+            // Process gone but we are alive: teardown race; keep serving.
+            Err(SendError::Disconnected(_)) => Ok(()),
+        }
+    }
+
+    fn pump_outputs(&mut self) -> Result<(), DaemonEnd> {
+        for out in self.engine.drain_outputs() {
+            match out {
+                Output::Transmit { to, msg } => {
+                    match self.identity.send(
+                        NodeId::Computing(to),
+                        DaemonMsg::Peer {
+                            from: self.rank,
+                            msg,
+                        },
+                    ) {
+                        Ok(()) => {}
+                        Err(SendError::SenderDead) => return Err(DaemonEnd::Killed),
+                        // Dead peer: the message stays in SAVED; its
+                        // restart will pull it via RESTART1.
+                        Err(SendError::Disconnected(_)) => {}
+                    }
+                }
+                Output::LogEvents(batch) => {
+                    self.identity
+                        .send(
+                            self.el_node,
+                            ElPacket {
+                                from: self.rank,
+                                req: ElRequest::Log(batch),
+                            },
+                        )
+                        .map_err(|e| match e {
+                            SendError::SenderDead => DaemonEnd::Killed,
+                            // A dead event logger breaks the deployment's
+                            // reliability assumption; halt this node.
+                            SendError::Disconnected(_) => DaemonEnd::Killed,
+                        })?;
+                }
+                Output::Deliver { from, payload } => {
+                    self.to_proc(ProcReply::Msg { from, payload })?;
+                }
+                Output::ProbeAnswer(b) => self.to_proc(ProcReply::Probe(b))?,
+                Output::ElTruncate { up_to } => {
+                    let _ = self.identity.send(
+                        self.el_node,
+                        ElPacket {
+                            from: self.rank,
+                            req: ElRequest::Truncate {
+                                rank: self.rank,
+                                up_to,
+                            },
+                        },
+                    );
+                }
+                Output::ReplayComplete => {}
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,166 @@
+//! The auxiliary service threads of a deployment: event loggers, the
+//! checkpoint server and the checkpoint scheduler (Fig. 3).
+
+use crate::messages::DaemonMsg;
+use mvr_ckpt::{CkptPacket, NodeStatus, Policy, Scheduler};
+use mvr_core::{NodeId, Rank, SchedMsg};
+use mvr_eventlog::ElPacket;
+use mvr_net::{Fabric, RecvError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Spawn `count` event loggers. Each serves the ranks assigned by
+/// [`mvr_eventlog::el_for_rank`].
+pub fn spawn_event_loggers(fabric: &Fabric, count: u32) -> Vec<JoinHandle<()>> {
+    (0..count)
+        .map(|i| {
+            let (mb, identity) = fabric.register::<ElPacket>(NodeId::EventLogger(i));
+            std::thread::Builder::new()
+                .name(format!("el-{i}"))
+                .spawn(move || {
+                    let _ = mvr_eventlog::run_event_logger(mb, move |rank, reply| {
+                        identity
+                            .send(NodeId::Computing(rank), DaemonMsg::El(reply))
+                            .is_ok()
+                    });
+                })
+                .expect("spawn event logger")
+        })
+        .collect()
+}
+
+/// Spawn the checkpoint server.
+pub fn spawn_checkpoint_server(fabric: &Fabric) -> JoinHandle<()> {
+    let (mb, identity) = fabric.register::<CkptPacket>(NodeId::CheckpointServer(0));
+    std::thread::Builder::new()
+        .name("ckpt-server".into())
+        .spawn(move || {
+            let _ = mvr_ckpt::run_checkpoint_server(mb, move |rank, reply| {
+                identity
+                    .send(NodeId::Computing(rank), DaemonMsg::Ckpt(reply))
+                    .is_ok()
+            });
+        })
+        .expect("spawn checkpoint server")
+}
+
+/// Checkpoint-scheduler configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedulerConfig {
+    /// Selection policy.
+    pub policy: Policy,
+    /// Pause between scheduling rounds (the paper's Fig. 11 setup
+    /// checkpoints continuously: use a tiny interval).
+    pub interval: Duration,
+    /// How long to gather status replies each round.
+    pub gather_window: Duration,
+    /// How long to wait for the ordered checkpoint to complete.
+    pub completion_timeout: Duration,
+    /// RNG seed for the random policy.
+    pub seed: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            policy: Policy::RoundRobin,
+            interval: Duration::from_millis(5),
+            gather_window: Duration::from_millis(3),
+            completion_timeout: Duration::from_millis(500),
+            seed: 1,
+        }
+    }
+}
+
+/// Spawn the checkpoint scheduler (§4.6.2): periodically gathers daemon
+/// statuses, picks a victim by policy, orders a checkpoint, and waits for
+/// its completion before ordering the next.
+pub fn spawn_checkpoint_scheduler(
+    fabric: &Fabric,
+    world: u32,
+    cfg: SchedulerConfig,
+) -> JoinHandle<()> {
+    let (mb, identity) = fabric.register::<SchedMsg>(NodeId::CheckpointScheduler);
+    std::thread::Builder::new()
+        .name("ckpt-scheduler".into())
+        .spawn(move || {
+            let mut sched = Scheduler::new(cfg.policy, world, cfg.seed);
+            let mut last_status: Vec<NodeStatus> = Vec::new();
+            loop {
+                // Pause between rounds; a kill during the pause is
+                // detected by the next mailbox operation.
+                match mb.recv_timeout(cfg.interval) {
+                    Err(RecvError::Timeout) => {}
+                    Err(RecvError::Killed) => return,
+                    Ok(_) => {} // stray message between rounds
+                }
+                // Gather statuses.
+                for r in 0..world {
+                    let _ = identity.send(
+                        NodeId::Computing(Rank(r)),
+                        DaemonMsg::Sched(SchedMsg::StatusRequest),
+                    );
+                }
+                let deadline = std::time::Instant::now() + cfg.gather_window;
+                let mut statuses: Vec<NodeStatus> = Vec::new();
+                loop {
+                    let left = deadline.saturating_duration_since(std::time::Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    match mb.recv_timeout(left) {
+                        Ok(SchedMsg::Status {
+                            rank,
+                            logged_bytes,
+                            sent_bytes,
+                            recv_bytes,
+                        }) => {
+                            statuses.push(NodeStatus {
+                                rank,
+                                logged_bytes,
+                                sent_bytes,
+                                recv_bytes,
+                            });
+                        }
+                        Ok(_) => {}
+                        Err(RecvError::Timeout) => break,
+                        Err(RecvError::Killed) => return,
+                    }
+                }
+                if !statuses.is_empty() {
+                    last_status = statuses.clone();
+                }
+                // Order one checkpoint and await completion.
+                let Some(victim) = sched.pick(&statuses) else {
+                    continue;
+                };
+                if identity
+                    .send(
+                        NodeId::Computing(victim),
+                        DaemonMsg::Sched(SchedMsg::CheckpointOrder),
+                    )
+                    .is_err()
+                {
+                    continue; // victim currently dead
+                }
+                let deadline = std::time::Instant::now() + cfg.completion_timeout;
+                loop {
+                    let left = deadline.saturating_duration_since(std::time::Instant::now());
+                    if left.is_zero() {
+                        break; // victim stalled or died: move on
+                    }
+                    match mb.recv_timeout(left) {
+                        Ok(SchedMsg::CheckpointDone { rank, .. }) if rank == victim => {
+                            let st = last_status.iter().find(|s| s.rank == victim).copied();
+                            sched.on_checkpoint_done(victim, st.as_ref());
+                            break;
+                        }
+                        Ok(_) => {}
+                        Err(RecvError::Timeout) => break,
+                        Err(RecvError::Killed) => return,
+                    }
+                }
+            }
+        })
+        .expect("spawn checkpoint scheduler")
+}

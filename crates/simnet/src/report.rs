@@ -1,0 +1,100 @@
+//! Simulation results and instrumentation.
+
+use crate::time::{as_secs_f64, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Where one rank's (virtual) time went — the Table-1 decomposition.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RankBreakdown {
+    /// Busy compute time (including any contention stretch).
+    pub compute: SimTime,
+    /// Time blocked inside blocking sends (`MPI_Send`).
+    pub send: SimTime,
+    /// Time blocked inside blocking receives (`MPI_Recv`).
+    pub recv: SimTime,
+    /// Time blocked inside `MPI_Isend` calls.
+    pub isend: SimTime,
+    /// Time blocked inside `MPI_Irecv` calls (posting only).
+    pub irecv: SimTime,
+    /// Time blocked inside `MPI_Wait` / `MPI_Waitall`.
+    pub wait: SimTime,
+    /// Virtual time at which the rank finished its trace.
+    pub finish: SimTime,
+}
+
+impl RankBreakdown {
+    /// Total communication time (everything but compute).
+    pub fn comm(&self) -> SimTime {
+        self.send + self.recv + self.isend + self.irecv + self.wait
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Completion time of the whole run (max rank finish).
+    pub makespan: SimTime,
+    /// Per-rank time decomposition.
+    pub per_rank: Vec<RankBreakdown>,
+    /// Application messages delivered.
+    pub msgs_delivered: u64,
+    /// Application payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Reception events logged on the event logger(s) (V2 only).
+    pub el_events: u64,
+    /// Peak per-node sender-log occupancy (bytes; V2 only).
+    pub max_log_bytes: u64,
+    /// The sender log spilled past RAM onto disk on some node (V2).
+    pub spilled: bool,
+    /// The 2 GB log capacity was exceeded: the run is infeasible on the
+    /// paper's cluster (reported like the paper reports FT class B).
+    pub infeasible: bool,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+    /// Faults injected.
+    pub faults: u64,
+}
+
+impl SimReport {
+    /// Makespan in seconds.
+    pub fn seconds(&self) -> f64 {
+        as_secs_f64(self.makespan)
+    }
+
+    /// Aggregate communication seconds across ranks (for breakdowns).
+    pub fn comm_seconds(&self) -> f64 {
+        as_secs_f64(self.per_rank.iter().map(|r| r.comm()).sum())
+    }
+
+    /// Aggregate compute seconds across ranks.
+    pub fn compute_seconds(&self) -> f64 {
+        as_secs_f64(self.per_rank.iter().map(|r| r.compute).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_sums_buckets() {
+        let r = RankBreakdown {
+            send: 1,
+            recv: 2,
+            isend: 3,
+            irecv: 4,
+            wait: 5,
+            ..Default::default()
+        };
+        assert_eq!(r.comm(), 15);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let rep = SimReport {
+            makespan: 2_500_000_000,
+            ..Default::default()
+        };
+        assert!((rep.seconds() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Simulated time: nanoseconds in a `u64`, with readable constructors.
+
+/// A point (or span) of virtual time, in nanoseconds.
+pub type SimTime = u64;
+
+/// One microsecond.
+pub const USEC: SimTime = 1_000;
+/// One millisecond.
+pub const MSEC: SimTime = 1_000_000;
+/// One second.
+pub const SEC: SimTime = 1_000_000_000;
+
+/// Microseconds → SimTime.
+#[inline]
+pub fn usecs(n: u64) -> SimTime {
+    n * USEC
+}
+
+/// Milliseconds → SimTime.
+#[inline]
+pub fn msecs(n: u64) -> SimTime {
+    n * MSEC
+}
+
+/// Seconds → SimTime.
+#[inline]
+pub fn secs(n: u64) -> SimTime {
+    n * SEC
+}
+
+/// SimTime → fractional seconds (for reports).
+#[inline]
+pub fn as_secs_f64(t: SimTime) -> f64 {
+    t as f64 / SEC as f64
+}
+
+/// Transfer duration of `bytes` at `bytes_per_sec`, in ns.
+#[inline]
+pub fn transfer_ns(bytes: u64, bytes_per_sec: u64) -> SimTime {
+    if bytes == 0 || bytes_per_sec == 0 {
+        return 0;
+    }
+    // ns = bytes * 1e9 / Bps, computed in u128 to avoid overflow.
+    ((bytes as u128 * SEC as u128) / bytes_per_sec as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(usecs(77), 77_000);
+        assert_eq!(msecs(3), 3_000_000);
+        assert_eq!(secs(2), 2_000_000_000);
+        assert!((as_secs_f64(1_500_000_000) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_time() {
+        // 1 MB at 10 MB/s = 0.1 s.
+        assert_eq!(transfer_ns(1_000_000, 10_000_000), 100 * MSEC);
+        assert_eq!(transfer_ns(0, 10_000_000), 0);
+        assert_eq!(transfer_ns(10, 0), 0);
+        // No overflow for huge transfers.
+        assert!(transfer_ns(u64::MAX / 2, 1) > 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Fault-model scenarios on the simulator across workload families:
+//! conservation and completion under crash schedules, checkpoint
+//! interaction, and replay-specific behaviours.
+
+use mvr_simnet::{
+    secs, simulate, simulate_with_faults, ClusterConfig, FaultPlan, Op, Protocol, TraceBuilder,
+};
+use mvr_workloads::nas::{traces, Class, NasBenchmark};
+use mvr_workloads::token_ring;
+
+fn v2(n: usize) -> ClusterConfig {
+    ClusterConfig::paper_cluster(Protocol::V2, n)
+}
+
+#[test]
+fn every_nas_kernel_survives_a_fault_with_checkpointing() {
+    for bench in NasBenchmark::all() {
+        let p = if bench.valid_procs(4) { 4 } else { 4 };
+        let t = traces(bench, Class::S, p);
+        let base = simulate(v2(p), t.clone());
+        let plan = FaultPlan {
+            faults: vec![(base.makespan / 3, 1)],
+            continuous_checkpointing: true,
+            seed: 5,
+        };
+        let rep = simulate_with_faults(v2(p), t, &plan);
+        assert_eq!(rep.faults, 1, "{}", bench.name());
+        // Completion itself is the invariant (every planned reception was
+        // consumed); replayed re-deliveries make the count >= fault-free.
+        assert!(
+            rep.msgs_delivered >= base.msgs_delivered,
+            "{}: lost messages under faults",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn fault_without_checkpointing_replays_from_scratch() {
+    let t = token_ring(4, 30, 8 << 10);
+    let base = simulate(v2(4), t.clone());
+    let plan = FaultPlan {
+        faults: vec![(base.makespan / 2, 2)],
+        continuous_checkpointing: false,
+        seed: 1,
+    };
+    let rep = simulate_with_faults(v2(4), t, &plan);
+    assert_eq!(rep.checkpoints, 0);
+    assert!(rep.msgs_delivered >= base.msgs_delivered);
+    assert!(rep.makespan > base.makespan);
+}
+
+#[test]
+fn back_to_back_faults_on_the_same_rank() {
+    let t = token_ring(4, 40, 4 << 10);
+    let base = simulate(v2(4), t.clone());
+    let plan = FaultPlan {
+        faults: vec![
+            (base.makespan / 4, 1),
+            (base.makespan / 2, 1),
+            (3 * base.makespan / 4, 1),
+        ],
+        continuous_checkpointing: true,
+        seed: 9,
+    };
+    let rep = simulate_with_faults(v2(4), t, &plan);
+    assert!(
+        rep.faults >= 1,
+        "at least one fault must land (got {})",
+        rep.faults
+    );
+    assert!(rep.msgs_delivered >= base.msgs_delivered);
+}
+
+#[test]
+fn fault_during_checkpoint_transfer_is_survived() {
+    // Make images big and the run short so a crash reliably lands during
+    // an image transfer.
+    let mut cfg = v2(3);
+    cfg.process_state_bytes = 8 << 20;
+    let mut b = Vec::new();
+    for r in 0..3usize {
+        let mut t = TraceBuilder::new();
+        for _ in 0..40 {
+            t.compute(5_000_000);
+            t.sendrecv((r + 1) % 3, 16 << 10, (r + 2) % 3);
+            t.checkpoint_site();
+        }
+        b.push(t.build());
+    }
+    let base = simulate(cfg.clone(), b.clone());
+    let plan = FaultPlan {
+        faults: vec![(base.makespan / 3, 0), (base.makespan / 2, 0)],
+        continuous_checkpointing: true,
+        seed: 3,
+    };
+    let rep = simulate_with_faults(cfg, b, &plan);
+    assert!(rep.msgs_delivered >= base.msgs_delivered);
+}
+
+#[test]
+fn rendezvous_messages_survive_receiver_crash() {
+    // Big (rendezvous) messages in flight when the receiver dies: the
+    // handshake must be re-established by the re-sends.
+    let mut b = Vec::new();
+    for r in 0..2usize {
+        let mut t = TraceBuilder::new();
+        for _ in 0..10 {
+            t.sendrecv(1 - r, 300_000, 1 - r); // > rndv threshold
+            t.checkpoint_site();
+        }
+        b.push(t.build());
+    }
+    let base = simulate(v2(2), b.clone());
+    let plan = FaultPlan {
+        faults: vec![(base.makespan / 3, 1)],
+        continuous_checkpointing: true,
+        seed: 7,
+    };
+    let rep = simulate_with_faults(v2(2), b, &plan);
+    assert!(rep.msgs_delivered >= base.msgs_delivered);
+}
+
+#[test]
+fn v2_log_gc_through_checkpoints_bounds_occupancy() {
+    // With continuous checkpointing, the sender logs are periodically
+    // garbage-collected; without, they grow to the full traffic volume.
+    // Small images keep the checkpoint cadence well inside the run.
+    // (token_ring has no checkpoint sites; build a ring that does.)
+    // Compute gaps leave tx-lane slack so image transfers make progress.
+    let t: Vec<Vec<Op>> = (0..4usize)
+        .map(|r| {
+            let mut b = TraceBuilder::new();
+            for _ in 0..200 {
+                b.compute(10_000_000);
+                let s = b.isend((r + 1) % 4, 64 << 10);
+                b.recv((r + 3) % 4);
+                b.wait(s);
+                b.checkpoint_site();
+            }
+            b.build()
+        })
+        .collect();
+    let mut cfg = v2(4);
+    cfg.process_state_bytes = 64 << 10;
+    let no_ckpt = simulate(cfg.clone(), t.clone());
+    let plan = FaultPlan {
+        continuous_checkpointing: true,
+        seed: 11,
+        ..Default::default()
+    };
+    let with_ckpt = simulate_with_faults(cfg, t, &plan);
+    assert!(with_ckpt.checkpoints > 0);
+    assert!(
+        with_ckpt.max_log_bytes < no_ckpt.max_log_bytes,
+        "GC should bound the log: {} !< {}",
+        with_ckpt.max_log_bytes,
+        no_ckpt.max_log_bytes
+    );
+    assert_eq!(no_ckpt.max_log_bytes, 200 * 64 * 1024);
+}
+
+#[test]
+fn blocking_op_breakdown_is_attributed() {
+    // Compute/send/recv buckets must roughly add up to the makespan for a
+    // serial two-rank exchange.
+    let mut a = TraceBuilder::new();
+    let mut b = TraceBuilder::new();
+    for _ in 0..20 {
+        a.compute(1_000_000);
+        a.send(1, 32 << 10);
+        a.recv(1);
+        b.compute(1_000_000);
+        b.recv(0);
+        b.send(0, 32 << 10);
+    }
+    let rep = simulate(v2(2), vec![a.build(), b.build()]);
+    for r in &rep.per_rank {
+        let accounted = r.compute + r.comm();
+        let frac = accounted as f64 / rep.makespan as f64;
+        assert!(
+            frac > 0.8,
+            "breakdown should cover most of the run, got {frac:.2}"
+        );
+    }
+}
+
+#[test]
+fn isend_cost_attribution_differs_between_p4_and_v2() {
+    // The Table-1 mechanism at unit-test scale.
+    let mk = || {
+        let mut a = TraceBuilder::new();
+        let mut b = TraceBuilder::new();
+        for _ in 0..10 {
+            let s = a.isend(1, 100 << 10);
+            a.wait(s);
+            b.recv(0);
+        }
+        vec![a.build(), b.build()]
+    };
+    let p4 = simulate(ClusterConfig::paper_cluster(Protocol::P4, 2), mk());
+    let v2r = simulate(v2(2), mk());
+    assert!(
+        p4.per_rank[0].isend > 10 * v2r.per_rank[0].isend,
+        "P4 pays in ISend ({} ns) vs V2 ({} ns)",
+        p4.per_rank[0].isend,
+        v2r.per_rank[0].isend
+    );
+    assert!(
+        v2r.per_rank[0].wait > p4.per_rank[0].wait,
+        "V2 pays in Wait ({} ns) vs P4 ({} ns)",
+        v2r.per_rank[0].wait,
+        p4.per_rank[0].wait
+    );
+}
+
+#[test]
+fn multiple_event_loggers_reduce_v2_makespan_on_message_heavy_runs() {
+    let t = traces(NasBenchmark::LU, Class::S, 8);
+    let one = simulate(v2(8), t.clone());
+    let mut cfg = v2(8);
+    cfg.event_loggers = 4;
+    let four = simulate(cfg, t);
+    assert!(
+        four.makespan <= one.makespan,
+        "more ELs cannot hurt: {} vs {}",
+        four.makespan,
+        one.makespan
+    );
+}
+
+#[test]
+fn faults_do_not_occur_after_completion() {
+    let t = token_ring(3, 5, 1024);
+    let base = simulate(v2(3), t.clone());
+    let plan = FaultPlan {
+        faults: vec![(base.makespan + secs(10), 0)],
+        continuous_checkpointing: false,
+        seed: 1,
+    };
+    let rep = simulate_with_faults(v2(3), t, &plan);
+    assert_eq!(rep.faults, 0, "post-completion crash must be a no-op");
+    assert_eq!(rep.makespan, base.makespan);
+}

@@ -1,0 +1,407 @@
+//! Model validation against the paper's measured anchors:
+//! * P4 / V1 / V2 ping-pong latency (77 / ~154 / ~237 µs at 0 bytes);
+//! * P4 / V1 / V2 ping-pong bandwidth (11.3 / ~5.6 / 10.7 MB/s);
+//! * the Fig. 9 duplex advantage of V2 for the Isend/Irecv/Waitall
+//!   pattern;
+//! * Fig. 10 re-execution behaviour (1 restart ≈ ½ reference; all
+//!   restarted slightly below reference);
+//! * Fig. 11 faulty-execution behaviour (smooth degradation, < 2× at 9
+//!   faults).
+
+use mvr_simnet::{
+    secs, simulate, simulate_replay, simulate_with_faults, usecs, ClusterConfig, FaultPlan, Op,
+    Protocol, TraceBuilder, SEC,
+};
+
+fn pingpong(rounds: usize, bytes: u64) -> Vec<Vec<Op>> {
+    let mut a = TraceBuilder::new();
+    let mut b = TraceBuilder::new();
+    for _ in 0..rounds {
+        a.send(1, bytes);
+        a.recv(1);
+        b.recv(0);
+        b.send(0, bytes);
+    }
+    vec![a.build(), b.build()]
+}
+
+/// One-way time in µs for a ping-pong of `bytes`.
+fn one_way_us(protocol: Protocol, bytes: u64) -> f64 {
+    let rounds = 50;
+    let cfg = ClusterConfig::paper_cluster(protocol, 2);
+    let rep = simulate(cfg, pingpong(rounds, bytes));
+    rep.makespan as f64 / (2.0 * rounds as f64) / 1_000.0
+}
+
+/// Ping-pong bandwidth in MB/s for `bytes`.
+fn bandwidth_mbs(protocol: Protocol, bytes: u64) -> f64 {
+    let rounds = 10;
+    let cfg = ClusterConfig::paper_cluster(protocol, 2);
+    let rep = simulate(cfg, pingpong(rounds, bytes));
+    let one_way_s = rep.makespan as f64 / (2.0 * rounds as f64) / SEC as f64;
+    bytes as f64 / one_way_s / 1e6
+}
+
+fn assert_close(val: f64, expect: f64, tol_frac: f64, what: &str) {
+    let err = (val - expect).abs() / expect;
+    assert!(
+        err <= tol_frac,
+        "{what}: got {val:.2}, expected {expect:.2} (±{:.0}%)",
+        tol_frac * 100.0
+    );
+}
+
+#[test]
+fn p4_zero_byte_latency_is_77us() {
+    assert_close(one_way_us(Protocol::P4, 0), 77.0, 0.05, "P4 0-byte latency");
+}
+
+#[test]
+fn v2_zero_byte_latency_is_about_237us() {
+    // 3 serialized messages per direction: payload + event + ack.
+    assert_close(
+        one_way_us(Protocol::V2, 0),
+        237.0,
+        0.10,
+        "V2 0-byte latency",
+    );
+}
+
+#[test]
+fn v1_latency_sits_between_p4_and_v2() {
+    let p4 = one_way_us(Protocol::P4, 0);
+    let v1 = one_way_us(Protocol::V1, 0);
+    let v2 = one_way_us(Protocol::V2, 0);
+    assert!(
+        p4 < v1 && v1 < v2,
+        "expected P4 {p4:.0} < V1 {v1:.0} < V2 {v2:.0}"
+    );
+    assert_close(v1, 154.0, 0.15, "V1 0-byte latency (two hops)");
+}
+
+#[test]
+fn p4_peak_bandwidth_is_11_3_mbs() {
+    assert_close(
+        bandwidth_mbs(Protocol::P4, 4 << 20),
+        11.3,
+        0.05,
+        "P4 4MB bandwidth",
+    );
+}
+
+#[test]
+fn v2_peak_bandwidth_is_about_10_7_mbs() {
+    assert_close(
+        bandwidth_mbs(Protocol::V2, 4 << 20),
+        10.7,
+        0.07,
+        "V2 4MB bandwidth",
+    );
+}
+
+#[test]
+fn v1_bandwidth_is_about_half_of_p4() {
+    let v1 = bandwidth_mbs(Protocol::V1, 4 << 20);
+    let p4 = bandwidth_mbs(Protocol::P4, 4 << 20);
+    let ratio = p4 / v1;
+    assert!(
+        (1.7..=2.3).contains(&ratio),
+        "V1 should halve the bandwidth (store-and-forward): P4 {p4:.1} vs V1 {v1:.1}"
+    );
+}
+
+#[test]
+fn bandwidth_monotonic_in_message_size() {
+    for proto in Protocol::all() {
+        let mut last = 0.0;
+        for bytes in [1_000u64, 10_000, 100_000, 1_000_000] {
+            let bw = bandwidth_mbs(proto, bytes);
+            assert!(
+                bw >= last * 0.95,
+                "{proto:?}: bandwidth should grow with size ({bw:.2} after {last:.2})"
+            );
+            last = bw;
+        }
+    }
+}
+
+/// The Fig. 9 pattern: ping-pong of 10 Isend + 10 Irecv + Waitall.
+fn pattern9(rounds: usize, bytes: u64) -> Vec<Vec<Op>> {
+    let mut out = Vec::new();
+    for me in 0..2usize {
+        let peer = 1 - me;
+        let mut t = TraceBuilder::new();
+        for _ in 0..rounds {
+            for _ in 0..10 {
+                t.isend(peer, bytes);
+            }
+            for _ in 0..10 {
+                t.irecv(peer);
+            }
+            t.waitall();
+        }
+        out.push(t.build());
+    }
+    out
+}
+
+#[test]
+fn fig9_v2_duplex_beats_p4_at_64kb() {
+    let rounds = 5;
+    let bytes = 64 * 1024u64;
+    let run = |p| {
+        let cfg = ClusterConfig::paper_cluster(p, 2);
+        simulate(cfg, pattern9(rounds, bytes)).makespan as f64
+    };
+    let p4 = run(Protocol::P4);
+    let v2 = run(Protocol::V2);
+    let speedup = p4 / v2;
+    assert!(
+        speedup > 1.5,
+        "V2 should approach 2x P4 on the bidirectional pattern, got {speedup:.2}x"
+    );
+    assert!(
+        speedup < 2.4,
+        "speedup cannot exceed the duplex bound, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn fig9_p4_wins_at_small_sizes() {
+    let run = |p| {
+        let cfg = ClusterConfig::paper_cluster(p, 2);
+        simulate(cfg, pattern9(5, 256)).makespan as f64
+    };
+    assert!(
+        run(Protocol::P4) < run(Protocol::V2),
+        "latency-dominated small messages favour P4"
+    );
+}
+
+/// Asynchronous token ring (the Fig. 10 benchmark): every node injects a
+/// token and forwards its neighbour's, `laps` times, with nonblocking ops
+/// — all nodes stay busy.
+fn token_ring(n: usize, laps: usize, bytes: u64) -> Vec<Vec<Op>> {
+    (0..n)
+        .map(|r| {
+            let mut t = TraceBuilder::new();
+            let next = (r + 1) % n;
+            let prev = (r + n - 1) % n;
+            for _ in 0..laps {
+                let s = t.isend(next, bytes);
+                t.recv(prev);
+                t.wait(s);
+            }
+            t.build()
+        })
+        .collect()
+}
+
+#[test]
+fn fig10_single_restart_well_below_the_reference() {
+    // Paper: "re-execution time for one single restart is about half of
+    // the reference" — only the receptions are replayed, with no
+    // event-logger traffic. Our mechanistic model reproduces the
+    // qualitative claim (single restart is the fastest curve, well below
+    // the reference); the exact factor depends on how much the original
+    // emission schedule paced the receptions (see EXPERIMENTS.md).
+    let traces = token_ring(8, 20, 16 * 1024);
+    let cfg = ClusterConfig::paper_cluster(Protocol::V2, 8);
+    let reference = simulate(cfg.clone(), traces.clone()).makespan as f64;
+    let one = simulate_replay(cfg, traces, &[3]).makespan as f64;
+    let ratio = one / reference;
+    assert!(
+        (0.05..=0.80).contains(&ratio),
+        "1-restart should sit clearly below the reference, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn fig10_full_restart_close_to_but_below_reference() {
+    let traces = token_ring(8, 20, 16 * 1024);
+    let cfg = ClusterConfig::paper_cluster(Protocol::V2, 8);
+    let reference = simulate(cfg.clone(), traces.clone()).makespan as f64;
+    let all = simulate_replay(cfg, traces, &[0, 1, 2, 3, 4, 5, 6, 7]).makespan as f64;
+    let ratio = all / reference;
+    assert!(
+        (0.5..1.0).contains(&ratio),
+        "full re-execution is below the reference (no EL traffic), got {ratio:.2}"
+    );
+}
+
+#[test]
+fn fig10_reexecution_time_increases_with_restart_count() {
+    let traces = token_ring(8, 20, 16 * 1024);
+    let cfg = ClusterConfig::paper_cluster(Protocol::V2, 8);
+    let mut last = 0.0;
+    for x in [1usize, 2, 4, 8] {
+        let restarted: Vec<usize> = (0..x).collect();
+        let t = simulate_replay(cfg.clone(), traces.clone(), &restarted).makespan as f64;
+        assert!(
+            t >= last * 0.9,
+            "re-execution time should grow with restarts"
+        );
+        last = t;
+    }
+}
+
+/// A BT-like compute/exchange loop with checkpoint sites.
+fn compute_exchange(n: usize, iters: usize, bytes: u64, compute_ns: u64) -> Vec<Vec<Op>> {
+    (0..n)
+        .map(|r| {
+            let mut t = TraceBuilder::new();
+            let next = (r + 1) % n;
+            let prev = (r + n - 1) % n;
+            for _ in 0..iters {
+                t.compute(compute_ns);
+                t.sendrecv(next, bytes, prev);
+                t.checkpoint_site();
+            }
+            t.build()
+        })
+        .collect()
+}
+
+#[test]
+fn fig11_no_fault_checkpoint_overhead_is_low() {
+    let traces = compute_exchange(4, 50, 64 * 1024, 50_000_000);
+    let mut cfg = ClusterConfig::paper_cluster(Protocol::V2, 4);
+    cfg.process_state_bytes = 2 << 20; // keep images small vs. run length
+    let base = simulate(cfg.clone(), traces.clone()).makespan as f64;
+    let plan = FaultPlan {
+        continuous_checkpointing: true,
+        seed: 7,
+        ..Default::default()
+    };
+    let rep = simulate_with_faults(cfg, traces, &plan);
+    assert!(
+        rep.checkpoints > 0,
+        "continuous checkpointing must checkpoint"
+    );
+    let overhead = rep.makespan as f64 / base;
+    assert!(
+        overhead < 1.30,
+        "checkpointing is overlapped; overhead should be low, got {overhead:.2}x"
+    );
+}
+
+#[test]
+fn fig11_degradation_is_smooth_and_bounded() {
+    let traces = compute_exchange(4, 50, 64 * 1024, 50_000_000);
+    let mut cfg = ClusterConfig::paper_cluster(Protocol::V2, 4);
+    cfg.process_state_bytes = 2 << 20;
+    let base = simulate(cfg.clone(), traces.clone()).makespan as f64;
+    let mut times = Vec::new();
+    for nfaults in [0usize, 3, 6, 9] {
+        let faults: Vec<(u64, usize)> = (0..nfaults)
+            .map(|i| {
+                (
+                    secs(1) + i as u64 * (base as u64 / 12).max(usecs(100)),
+                    i % 4,
+                )
+            })
+            .collect();
+        let plan = FaultPlan {
+            faults,
+            continuous_checkpointing: true,
+            seed: 11,
+        };
+        let rep = simulate_with_faults(cfg.clone(), traces.clone(), &plan);
+        // A crash scheduled while the victim is still down is skipped.
+        assert!(
+            rep.faults as usize >= nfaults.saturating_sub(2),
+            "faults {} of {nfaults}",
+            rep.faults
+        );
+        times.push(rep.makespan as f64);
+    }
+    for w in times.windows(2) {
+        assert!(
+            w[1] >= w[0] * 0.95,
+            "degradation should be monotone-ish: {times:?}"
+        );
+    }
+    assert!(
+        times[3] < 2.5 * base,
+        "9 faults should stay within ~2x of the reference: {:.2}x",
+        times[3] / base
+    );
+}
+
+#[test]
+fn deterministic_given_same_inputs() {
+    let traces = token_ring(4, 10, 8192);
+    let cfg = ClusterConfig::paper_cluster(Protocol::V2, 4);
+    let a = simulate(cfg.clone(), traces.clone());
+    let b = simulate(cfg, traces);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.msgs_delivered, b.msgs_delivered);
+    assert_eq!(a.el_events, b.el_events);
+}
+
+#[test]
+fn conservation_every_message_delivered_once() {
+    let traces = token_ring(5, 12, 4096);
+    let (msgs, bytes) = mvr_simnet::traffic_summary(&traces);
+    for proto in Protocol::all() {
+        let cfg = ClusterConfig::paper_cluster(proto, 5);
+        let rep = simulate(cfg, traces.clone());
+        assert_eq!(rep.msgs_delivered, msgs, "{proto:?}: message conservation");
+        assert_eq!(rep.bytes_delivered, bytes, "{proto:?}: byte conservation");
+    }
+}
+
+#[test]
+fn v2_log_volume_tracks_sent_bytes() {
+    let traces = token_ring(4, 10, 100_000);
+    let cfg = ClusterConfig::paper_cluster(Protocol::V2, 4);
+    let rep = simulate(cfg, traces);
+    // Each rank sends 10 x 100kB (no GC without checkpoints).
+    assert_eq!(rep.max_log_bytes, 1_000_000);
+    assert!(!rep.spilled);
+    assert!(!rep.infeasible);
+}
+
+#[test]
+fn log_capacity_exceeded_marks_infeasible() {
+    let mut cfg = ClusterConfig::paper_cluster(Protocol::V2, 2);
+    cfg.log_ram_budget = 50_000;
+    cfg.log_capacity = 100_000;
+    let traces = pingpong(200, 10_000); // 2 MB each way >> capacity
+    let rep = simulate(cfg, traces);
+    assert!(
+        rep.infeasible,
+        "run must be declared infeasible (the FT-class-B case)"
+    );
+}
+
+#[test]
+fn disk_spill_slows_v2_down() {
+    let mk = |ram: u64| {
+        let mut cfg = ClusterConfig::paper_cluster(Protocol::V2, 2);
+        cfg.log_ram_budget = ram;
+        cfg.log_capacity = u64::MAX;
+        simulate(cfg, pingpong(50, 100_000)).makespan as f64
+    };
+    let fast = mk(u64::MAX);
+    let slow = mk(10_000); // spills almost immediately
+    assert!(
+        slow > fast * 1.3,
+        "disk spill should hurt: {fast} -> {slow}"
+    );
+}
+
+#[test]
+fn rendezvous_kink_exists_for_v2() {
+    // Crossing the 128 kB threshold adds the REQ/CTS handshake (plus its
+    // EL ack under V2): the marginal cost of extra bytes jumps at the
+    // boundary (the Fig. 10 non-linearity between 64 kB and 128 kB).
+    let t = |bytes: u64| one_way_us(Protocol::V2, bytes);
+    let marginal_below = t(120_000) - t(104_000); // 16 kB inside eager
+    let marginal_across = t(136_000) - t(120_000); // 16 kB across the kink
+    assert!(
+        marginal_across > marginal_below * 1.10,
+        "marginal cost should step up across the rendezvous threshold: \
+         {marginal_below:.1}us vs {marginal_across:.1}us"
+    );
+}

@@ -1,0 +1,615 @@
+//! Trace models of the NAS Parallel Benchmarks 2.3 (the paper's §5.2
+//! evaluation set): CG, MG, FT, LU, BT, SP for classes S/W/A/B.
+//!
+//! These are *communication-structure models*, not numerics: each
+//! generator lowers one benchmark's per-iteration message pattern
+//! (counts, sizes, partners, blocking vs nonblocking) and compute volume
+//! into per-rank [`Op`] traces for the simulator. Problem sizes and
+//! iteration counts follow the NPB 2.3 definitions; total operation
+//! counts are the published approximate figures (they set the absolute
+//! time scale; the figures' *shapes* come from the communication
+//! structure). Where the real benchmark's pattern is richer than the
+//! model, the simplification is noted on the generator.
+
+use mvr_simnet::{Op, TraceBuilder};
+use serde::{Deserialize, Serialize};
+
+/// The benchmarks of the paper's Fig. 7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NasBenchmark {
+    /// Conjugate gradient: irregular communication, many small reductions
+    /// — latency-bound (the paper's worst case for V2).
+    CG,
+    /// Multigrid: ghost exchanges across levels, tiny messages at coarse
+    /// levels — latency-sensitive.
+    MG,
+    /// 3-D FFT: all-to-all transposes of the whole dataset — bandwidth
+    /// bound (V2 ≈ P4); class B exceeds the paper's log capacity.
+    FT,
+    /// SSOR wavefronts: very many small blocking messages — message-rate
+    /// bound (the event logger hurts).
+    LU,
+    /// Block-tridiagonal ADI: few large nonblocking exchanges — V2's
+    /// full-duplex daemon wins (the paper's best case).
+    BT,
+    /// Scalar-pentadiagonal ADI: like BT with more, smaller messages.
+    SP,
+}
+
+impl NasBenchmark {
+    /// All six, in the paper's order.
+    pub fn all() -> [NasBenchmark; 6] {
+        [
+            NasBenchmark::CG,
+            NasBenchmark::MG,
+            NasBenchmark::FT,
+            NasBenchmark::LU,
+            NasBenchmark::BT,
+            NasBenchmark::SP,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NasBenchmark::CG => "CG",
+            NasBenchmark::MG => "MG",
+            NasBenchmark::FT => "FT",
+            NasBenchmark::LU => "LU",
+            NasBenchmark::BT => "BT",
+            NasBenchmark::SP => "SP",
+        }
+    }
+
+    /// BT and SP require a square number of processes (paper: "maximum:
+    /// 25 in these cases"); the others powers of two.
+    pub fn valid_procs(&self, p: usize) -> bool {
+        match self {
+            NasBenchmark::BT | NasBenchmark::SP => {
+                let q = (p as f64).sqrt().round() as usize;
+                q * q == p
+            }
+            _ => p.is_power_of_two(),
+        }
+    }
+}
+
+/// NPB problem classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Class {
+    /// Sample (tiny) size.
+    S,
+    /// Workstation size.
+    W,
+    /// Class A.
+    A,
+    /// Class B.
+    B,
+}
+
+impl Class {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Class::S => "S",
+            Class::W => "W",
+            Class::A => "A",
+            Class::B => "B",
+        }
+    }
+}
+
+/// Per-(benchmark, class) parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NasParams {
+    /// Characteristic problem dimension (n for CG; grid edge otherwise).
+    pub dim: u64,
+    /// Third dimension where it differs (FT's nz).
+    pub dim_z: u64,
+    /// Outer iterations.
+    pub niter: u64,
+    /// Total floating-point operations of the whole benchmark
+    /// (approximate published values; sets the absolute time scale only).
+    pub total_flops: f64,
+}
+
+/// The NPB 2.3 size table (dims and iterations per the specification;
+/// flop totals approximate).
+pub fn params(bench: NasBenchmark, class: Class) -> NasParams {
+    use Class::*;
+    use NasBenchmark::*;
+    let (dim, dim_z, niter, gflops) = match (bench, class) {
+        (CG, S) => (1400, 0, 15, 0.066),
+        (CG, W) => (7000, 0, 15, 0.6),
+        (CG, A) => (14000, 0, 15, 1.5),
+        (CG, B) => (75000, 0, 75, 54.9),
+        (MG, S) => (32, 32, 4, 0.01),
+        (MG, W) => (128, 128, 4, 0.6),
+        (MG, A) => (256, 256, 4, 3.6),
+        (MG, B) => (256, 256, 20, 18.1),
+        (FT, S) => (64, 64, 6, 0.2),
+        (FT, W) => (128, 32, 6, 0.6),
+        (FT, A) => (256, 128, 6, 7.1),
+        (FT, B) => (512, 256, 20, 92.8),
+        (LU, S) => (12, 12, 50, 0.1),
+        (LU, W) => (33, 33, 300, 6.1),
+        (LU, A) => (64, 64, 250, 64.6),
+        (LU, B) => (102, 102, 250, 319.6),
+        (BT, S) => (12, 12, 60, 0.3),
+        (BT, W) => (24, 24, 200, 7.8),
+        (BT, A) => (64, 64, 200, 168.3),
+        (BT, B) => (102, 102, 200, 721.5),
+        (SP, S) => (12, 12, 100, 0.3),
+        (SP, W) => (36, 36, 400, 26.0),
+        (SP, A) => (64, 64, 400, 102.0),
+        (SP, B) => (102, 102, 400, 447.1),
+    };
+    NasParams {
+        dim,
+        dim_z,
+        niter,
+        total_flops: gflops * 1e9,
+    }
+}
+
+/// Sustained per-node floating-point rate used to convert flops into
+/// compute time: an Athlon XP 1800+ on NAS-type codes (calibration
+/// constant; absolute scale only).
+pub const FLOP_RATE: f64 = 250e6;
+
+fn compute_ns(flops: f64) -> u64 {
+    (flops / FLOP_RATE * 1e9) as u64
+}
+
+/// Build the per-rank traces of one benchmark instance.
+///
+/// Panics if `p` is invalid for the benchmark (see
+/// [`NasBenchmark::valid_procs`]).
+pub fn traces(bench: NasBenchmark, class: Class, p: usize) -> Vec<Vec<Op>> {
+    assert!(
+        bench.valid_procs(p),
+        "{} cannot run on {p} processes",
+        bench.name()
+    );
+    let prm = params(bench, class);
+    match bench {
+        NasBenchmark::CG => cg_traces(&prm, p),
+        NasBenchmark::MG => mg_traces(&prm, p),
+        NasBenchmark::FT => ft_traces(&prm, p),
+        NasBenchmark::LU => lu_traces(&prm, p),
+        // Doubles shipped per face point: BT sends the 5-component
+        // solution plus 5×5 block-Jacobian boundary data (~30 doubles);
+        // SP's scalar pentadiagonal factors need far less (~12).
+        NasBenchmark::BT => bt_sp_traces(&prm, p, 30),
+        NasBenchmark::SP => bt_sp_traces(&prm, p, 12),
+    }
+}
+
+// ---------------------------------------------------------------------
+// CG — 2D processor grid; row exchanges + column dot-product reductions
+// ---------------------------------------------------------------------
+
+/// NPB CG: `num_proc_cols = 2^ceil(log2(p)/2)`, rows the rest.
+fn cg_grid(p: usize) -> (usize, usize) {
+    let lg = p.trailing_zeros() as usize;
+    let cols = 1usize << lg.div_ceil(2);
+    (p / cols, cols)
+}
+
+/// Model: each outer iteration runs 25 inner CG steps (the NPB
+/// `cgitmax`). Per inner step each rank does a recursive-halving exchange
+/// of its vector chunk along its processor row (log₂ cols exchanges of
+/// n/cols doubles) and two 8-byte dot-product reductions along its column
+/// (log₂ rows exchange rounds each). Simplification: the NPB's transposed
+/// sub-vector exchange is modeled as same-size pairwise exchanges.
+fn cg_traces(prm: &NasParams, p: usize) -> Vec<Vec<Op>> {
+    let (rows, cols) = cg_grid(p);
+    let inner = 25u64;
+    let steps = prm.niter * inner;
+    let flops_per_step = prm.total_flops / (steps as f64) / p as f64;
+    let row_msg = 8 * prm.dim / cols as u64; // doubles in the row exchange
+    (0..p)
+        .map(|r| {
+            let my_row = r / cols;
+            let my_col = r % cols;
+            let mut t = TraceBuilder::new();
+            for _ in 0..steps {
+                t.compute(compute_ns(flops_per_step));
+                // Row exchanges (recursive halving).
+                let mut d = 1;
+                while d < cols {
+                    let partner = my_row * cols + (my_col ^ d);
+                    t.sendrecv(partner, row_msg, partner);
+                    d <<= 1;
+                }
+                // Two dot-product reductions along the column.
+                for _ in 0..2 {
+                    let mut d = 1;
+                    while d < rows {
+                        let partner = ((my_row ^ d) * cols) + my_col;
+                        t.sendrecv(partner, 8, partner);
+                        d <<= 1;
+                    }
+                }
+                t.checkpoint_site();
+            }
+            t.build()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// MG — V-cycles over grid levels; ghost-face exchanges shrink 4x/level
+// ---------------------------------------------------------------------
+
+/// Model: per iteration one V-cycle touching every level from the finest
+/// (dim³) down to 4³ and back; at each level every rank exchanges ghost
+/// faces with 3 neighbours (one per dimension, paired exchanges). Face
+/// bytes scale with (level edge)² / p^(2/3). Coarse levels produce tiny
+/// messages — the latency sensitivity the paper observes.
+fn mg_traces(prm: &NasParams, p: usize) -> Vec<Vec<Op>> {
+    let mut levels = Vec::new();
+    let mut edge = prm.dim;
+    while edge >= 4 {
+        levels.push(edge);
+        edge /= 2;
+    }
+    // Down and up the V-cycle: visit each level twice (except coarsest).
+    let mut visit: Vec<u64> = levels.clone();
+    visit.extend(levels.iter().rev().skip(1));
+    let work_units: f64 = visit.iter().map(|e| (*e as f64).powi(3)).sum();
+    let p_surf = (p as f64).powf(2.0 / 3.0);
+    (0..p)
+        .map(|r| {
+            let mut t = TraceBuilder::new();
+            let neigh = mg_neighbors(r, p);
+            for _ in 0..prm.niter {
+                for &e in &visit {
+                    let flops = prm.total_flops * (e as f64).powi(3)
+                        / work_units
+                        / prm.niter as f64
+                        / p as f64;
+                    t.compute(compute_ns(flops));
+                    let face = ((e * e) as f64 * 8.0 / p_surf).max(8.0) as u64;
+                    // Smoother, residual and transfer each exchange ghosts.
+                    for _pass in 0..3 {
+                        for &(to, from) in &neigh {
+                            t.sendrecv(to, face, from);
+                        }
+                    }
+                }
+                t.checkpoint_site();
+            }
+            t.build()
+        })
+        .collect()
+}
+
+/// Three paired neighbours approximating a 3-D decomposition.
+fn mg_neighbors(r: usize, p: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let strides = [1usize, 2, 4];
+    for s in strides {
+        if s < p {
+            let to = (r + s) % p;
+            let from = (r + p - s) % p;
+            if to != r {
+                out.push((to, from));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// FT — all-to-all transpose of the full dataset each iteration
+// ---------------------------------------------------------------------
+
+/// Model: per iteration one global transpose: a pairwise-shift all-to-all
+/// where every rank sends `total/p²` bytes to every other rank (complex
+/// doubles = 16 B/point), plus a tiny checksum reduction. This is the
+/// paper's bandwidth-bound case, and the log-volume driver that makes
+/// class B infeasible on the paper's cluster.
+fn ft_traces(prm: &NasParams, p: usize) -> Vec<Vec<Op>> {
+    let total_bytes = prm.dim * prm.dim * prm.dim_z * 16;
+    let per_pair = (total_bytes / (p * p) as u64).max(1);
+    let flops_per_iter = prm.total_flops / prm.niter as f64 / p as f64;
+    (0..p)
+        .map(|r| {
+            let mut t = TraceBuilder::new();
+            for _ in 0..prm.niter {
+                t.compute(compute_ns(flops_per_iter));
+                // MPICH-style all-to-all: post everything nonblocking,
+                // then wait (no per-shift synchronization).
+                for shift in 1..p {
+                    let dst = (r + shift) % p;
+                    t.isend(dst, per_pair);
+                }
+                for shift in 1..p {
+                    let src = (r + p - shift) % p;
+                    t.irecv(src);
+                }
+                t.waitall();
+                // Checksum reduction (binomial to rank 0, 16 B).
+                reduce_to_zero(&mut t, r, p, 16);
+                t.checkpoint_site();
+            }
+            t.build()
+        })
+        .collect()
+}
+
+/// Binomial-tree reduction to rank 0 (each non-root sends once to its
+/// parent; internal nodes receive from children first).
+fn reduce_to_zero(t: &mut TraceBuilder, r: usize, p: usize, bytes: u64) {
+    let mut mask = 1usize;
+    while mask < p {
+        if r & mask != 0 {
+            t.send(r - mask, bytes);
+            return;
+        }
+        if r + mask < p {
+            t.recv(r + mask);
+        }
+        mask <<= 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// LU — SSOR wavefronts: very many small blocking messages
+// ---------------------------------------------------------------------
+
+/// Model: 2-D pencil decomposition (px × py). Per iteration, two
+/// triangular sweeps; each sweep walks `dim` k-planes, and per plane a
+/// rank receives its wavefront dependencies from up to two upstream
+/// neighbours and sends to two downstream ones — 5 doubles per boundary
+/// cell (≈ `5·8·dim/px` bytes). The blocking, fine-grained pattern is
+/// what makes V2's per-reception event logging so costly here.
+fn lu_traces(prm: &NasParams, p: usize) -> Vec<Vec<Op>> {
+    let px = 1usize << (p.trailing_zeros() as usize).div_ceil(2);
+    let py = p / px;
+    let msg = 5 * 8 * (prm.dim as usize / px).max(1) as u64;
+    let planes = prm.dim_z;
+    let flops_per_plane = prm.total_flops / (prm.niter as f64) / (2.0 * planes as f64) / p as f64;
+    (0..p)
+        .map(|r| {
+            let (x, y) = (r % px, r / px);
+            let mut t = TraceBuilder::new();
+            for _ in 0..prm.niter {
+                for sweep in 0..2 {
+                    // Lower sweep flows +x,+y (receive from -x/-y, send to
+                    // +x/+y); the upper sweep flows the other way.
+                    let (dn_x, dn_y, up_x, up_y) = if sweep == 0 {
+                        (
+                            (x + 1 < px).then(|| r + 1),
+                            (y + 1 < py).then(|| r + px),
+                            (x > 0).then(|| r - 1),
+                            (y > 0).then(|| r - px),
+                        )
+                    } else {
+                        (
+                            (x > 0).then(|| r - 1),
+                            (y > 0).then(|| r - px),
+                            (x + 1 < px).then(|| r + 1),
+                            (y + 1 < py).then(|| r + px),
+                        )
+                    };
+                    for _plane in 0..planes {
+                        if let Some(u) = up_x {
+                            t.recv(u);
+                        }
+                        if let Some(u) = up_y {
+                            t.recv(u);
+                        }
+                        t.compute(compute_ns(flops_per_plane));
+                        if let Some(d) = dn_x {
+                            t.send(d, msg);
+                        }
+                        if let Some(d) = dn_y {
+                            t.send(d, msg);
+                        }
+                    }
+                }
+                t.checkpoint_site();
+            }
+            t.build()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// BT / SP — ADI face exchanges on a square grid, nonblocking
+// ---------------------------------------------------------------------
+
+/// Model (multi-partition scheme): per iteration, for each of the three
+/// ADI sweep directions, every rank runs `q` pipeline stages; each stage
+/// exchanges one cell face (both ways, nonblocking) with its ±1
+/// neighbours in that direction on the q×q grid. Face bytes =
+/// `doubles_per_point · 8 · (dim/q)²`. The nonblocking bidirectional
+/// pattern is where V2's full-duplex daemon shines (Fig. 9 / Table 1).
+fn bt_sp_traces(prm: &NasParams, p: usize, doubles_per_point: u64) -> Vec<Vec<Op>> {
+    let q = (p as f64).sqrt().round() as usize;
+    let cell_edge = (prm.dim / q as u64).max(1);
+    let face = (doubles_per_point * 8 * cell_edge * cell_edge).max(8);
+    let flops_per_iter = prm.total_flops / prm.niter as f64 / p as f64;
+    (0..p)
+        .map(|r| {
+            let (x, y) = (r % q, r / q);
+            let mut t = TraceBuilder::new();
+            for _ in 0..prm.niter {
+                t.compute(compute_ns(flops_per_iter));
+                for dir in 0..3 {
+                    // x-sweep exchanges with ±1 in x; y-sweep in y;
+                    // z-sweep reuses x (multi-partition cycles cells).
+                    let (plus, minus) = if dir == 1 {
+                        (y * q + (x + 1) % q, y * q + (x + q - 1) % q)
+                    } else {
+                        (((y + 1) % q) * q + x, ((y + q - 1) % q) * q + x)
+                    };
+                    if plus == r || minus == r {
+                        continue; // q == 1
+                    }
+                    let mut _reqs = 0;
+                    for _ in 0..q {
+                        t.isend(plus, face);
+                        t.isend(minus, face);
+                        _reqs += 2;
+                    }
+                    for _ in 0..q {
+                        t.irecv(minus);
+                        t.irecv(plus);
+                    }
+                    t.waitall();
+                }
+                t.checkpoint_site();
+            }
+            t.build()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvr_simnet::{traffic_summary, validate_matching};
+
+    #[test]
+    fn all_models_produce_matched_traces() {
+        for bench in NasBenchmark::all() {
+            for &p in &[4usize, 9, 16] {
+                if !bench.valid_procs(p) {
+                    continue;
+                }
+                let t = traces(bench, Class::S, p);
+                assert_eq!(t.len(), p);
+                validate_matching(&t).unwrap_or_else(|e| panic!("{} S {p}: {e}", bench.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn class_a_models_validate_at_paper_scales() {
+        for bench in NasBenchmark::all() {
+            let ps: &[usize] = match bench {
+                NasBenchmark::BT | NasBenchmark::SP => &[4, 9, 16, 25],
+                _ => &[4, 8, 16, 32],
+            };
+            for &p in ps {
+                let t = traces(bench, Class::A, p);
+                validate_matching(&t).unwrap_or_else(|e| panic!("{} A {p}: {e}", bench.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn ft_moves_the_whole_dataset_per_iteration() {
+        let p = 8;
+        let prm = params(NasBenchmark::FT, Class::A);
+        let t = traces(NasBenchmark::FT, Class::A, p);
+        let (_, bytes) = traffic_summary(&t);
+        let dataset = prm.dim * prm.dim * prm.dim_z * 16;
+        // Each iteration transposes ~the whole dataset (minus the
+        // diagonal blocks that stay local) plus checksum noise.
+        let expect = dataset * prm.niter * (p as u64 - 1) / p as u64;
+        let ratio = bytes as f64 / expect as f64;
+        assert!(
+            (0.9..1.2).contains(&ratio),
+            "FT volume off: {bytes} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn lu_has_many_small_messages() {
+        let t = traces(NasBenchmark::LU, Class::A, 8);
+        let (msgs, bytes) = traffic_summary(&t);
+        let avg = bytes / msgs;
+        assert!(
+            msgs > 100_000,
+            "LU should be message-rate bound, got {msgs}"
+        );
+        assert!(avg < 4096, "LU messages should be small, got {avg} B");
+    }
+
+    #[test]
+    fn bt_messages_are_large_and_nonblocking() {
+        let t = traces(NasBenchmark::BT, Class::A, 9);
+        let (msgs, bytes) = traffic_summary(&t);
+        let avg = bytes / msgs;
+        assert!(avg > 10_000, "BT messages should be large, got {avg} B");
+        // All sends are nonblocking.
+        assert!(t[0].iter().any(|o| matches!(o, Op::Isend { .. })));
+        assert!(!t[0].iter().any(|o| matches!(o, Op::Send { .. })));
+    }
+
+    #[test]
+    fn cg_grid_matches_npb_rule() {
+        assert_eq!(cg_grid(4), (2, 2));
+        assert_eq!(cg_grid(8), (2, 4));
+        assert_eq!(cg_grid(16), (4, 4));
+        assert_eq!(cg_grid(32), (4, 8));
+    }
+
+    #[test]
+    fn param_table_is_consistent() {
+        for bench in NasBenchmark::all() {
+            for class in [Class::S, Class::W, Class::A, Class::B] {
+                let p = params(bench, class);
+                assert!(p.dim > 0 && p.niter > 0 && p.total_flops > 0.0);
+            }
+        }
+        // Class ordering: A <= B in work.
+        for bench in NasBenchmark::all() {
+            assert!(
+                params(bench, Class::A).total_flops < params(bench, Class::B).total_flops,
+                "{}",
+                bench.name()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_proc_counts_rejected() {
+        assert!(!NasBenchmark::BT.valid_procs(8));
+        assert!(NasBenchmark::BT.valid_procs(9));
+        assert!(NasBenchmark::CG.valid_procs(8));
+        assert!(!NasBenchmark::CG.valid_procs(12));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use mvr_simnet::validate_matching;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Every generated trace set is well-formed (matched sends and
+        /// receives per ordered pair) across the whole parameter space.
+        #[test]
+        fn all_generated_traces_are_matched(
+            bench_idx in 0usize..6,
+            class_idx in 0usize..2, // S and W keep the proptest fast
+            procs_idx in 0usize..5,
+        ) {
+            let bench = NasBenchmark::all()[bench_idx];
+            let class = [Class::S, Class::W][class_idx];
+            let p = match bench {
+                NasBenchmark::BT | NasBenchmark::SP => [1usize, 4, 9, 16, 25][procs_idx],
+                _ => [1usize, 2, 4, 8, 16][procs_idx],
+            };
+            if p == 1 {
+                // Single-rank traces have no communication to validate.
+                let t = traces(bench, class, 1);
+                prop_assert_eq!(t.len(), 1);
+            } else {
+                let t = traces(bench, class, p);
+                prop_assert!(
+                    validate_matching(&t).is_ok(),
+                    "{} {} {}", bench.name(), class.name(), p
+                );
+            }
+        }
+    }
+}

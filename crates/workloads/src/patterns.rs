@@ -1,0 +1,92 @@
+//! Microbenchmark trace generators: the ping-pong of Figs. 5/6, the
+//! synthetic bidirectional pattern of Fig. 9, and the token ring of
+//! Fig. 10.
+
+use mvr_simnet::{Op, TraceBuilder};
+
+/// Synchronous ping-pong between ranks 0 and 1 (Figs. 5 and 6).
+pub fn pingpong(rounds: usize, bytes: u64) -> Vec<Vec<Op>> {
+    let mut a = TraceBuilder::new();
+    let mut b = TraceBuilder::new();
+    for _ in 0..rounds {
+        a.send(1, bytes);
+        a.recv(1);
+        b.recv(0);
+        b.send(0, bytes);
+    }
+    vec![a.build(), b.build()]
+}
+
+/// The Fig. 9 synthetic benchmark: "a ping-pong of 10 non-blocking sends
+/// (MPI_ISend), 10 non blocking receives (MPI_IRecv) and then waits for
+/// all these communications to finish (MPI_Waitall)".
+pub fn pattern9(rounds: usize, bytes: u64) -> Vec<Vec<Op>> {
+    (0..2usize)
+        .map(|me| {
+            let peer = 1 - me;
+            let mut t = TraceBuilder::new();
+            for _ in 0..rounds {
+                for _ in 0..10 {
+                    t.isend(peer, bytes);
+                }
+                for _ in 0..10 {
+                    t.irecv(peer);
+                }
+                t.waitall();
+            }
+            t.build()
+        })
+        .collect()
+}
+
+/// The Fig. 10 benchmark: "an asynchronous MPI token ring ran by 8
+/// computing nodes" — every node injects a token and forwards its
+/// neighbour's, with nonblocking sends.
+pub fn token_ring(n: usize, laps: usize, bytes: u64) -> Vec<Vec<Op>> {
+    (0..n)
+        .map(|r| {
+            let mut t = TraceBuilder::new();
+            let next = (r + 1) % n;
+            let prev = (r + n - 1) % n;
+            for _ in 0..laps {
+                let s = t.isend(next, bytes);
+                t.recv(prev);
+                t.wait(s);
+            }
+            t.build()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvr_simnet::{traffic_summary, validate_matching};
+
+    #[test]
+    fn pingpong_matches() {
+        let t = pingpong(10, 4096);
+        validate_matching(&t).unwrap();
+        let (msgs, bytes) = traffic_summary(&t);
+        assert_eq!(msgs, 20);
+        assert_eq!(bytes, 20 * 4096);
+    }
+
+    #[test]
+    fn pattern9_matches() {
+        let t = pattern9(3, 64 * 1024);
+        validate_matching(&t).unwrap();
+        let (msgs, _) = traffic_summary(&t);
+        assert_eq!(msgs, 2 * 3 * 10);
+    }
+
+    #[test]
+    fn token_ring_matches() {
+        for n in [2usize, 5, 8] {
+            let t = token_ring(n, 7, 1024);
+            validate_matching(&t).unwrap();
+            let (msgs, _) = traffic_summary(&t);
+            assert_eq!(msgs, (n * 7) as u64);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! `mpirun` — the user-facing launcher of §4.7: "the user just runs a
+//! parallel program using the standard mpirun command".
+//!
+//! ```text
+//! mpirun -np 4 ring                            # 4 ranks, demo app "ring"
+//! mpirun -np 8 --protocol v1 cg                # MPICH-V1 baseline
+//! mpirun -np 4 --pgfile cluster.pg stencil     # explicit program file
+//! mpirun -np 4 --kill 2@10ms --kill 0@25ms cg  # fault injection
+//! mpirun -np 4 --no-checkpoints ring           # logging only
+//! ```
+//!
+//! Demo applications (deterministic, resumable, self-verifying):
+//! `ring [iters]`, `allreduce [iters]`, `cg [n]`, `stencil [n] [steps]`.
+
+use mpich_v::core::{Payload, Rank};
+use mpich_v::mpi::{MpiResult, ReduceOp, Source, Tag};
+use mpich_v::runtime::progfile;
+use mpich_v::runtime::{Cluster, ClusterConfig, NodeMpi, RuntimeProtocol, SchedulerConfig};
+use mpich_v::workloads as mvr_workloads;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mpirun -np <N> [--protocol v2|v1|p4] [--pgfile <file>] \
+         [--kill <rank>@<ms>ms]... [--no-checkpoints] [--timeout <secs>] \
+         <app> [args...]\n\
+         apps: ring [iters] | allreduce [iters] | cg [n] | stencil [n] [steps]"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    np: u32,
+    protocol: RuntimeProtocol,
+    pgfile: Option<String>,
+    kills: Vec<(Rank, Duration)>,
+    checkpoints: bool,
+    timeout: Duration,
+    app: String,
+    app_args: Vec<u64>,
+}
+
+fn parse_args() -> Options {
+    let mut np = 4u32;
+    let mut protocol = RuntimeProtocol::V2;
+    let mut pgfile = None;
+    let mut kills = Vec::new();
+    let mut checkpoints = true;
+    let mut timeout = Duration::from_secs(120);
+    let mut app = None;
+    let mut app_args = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-np" | "--np" => {
+                np = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--protocol" => {
+                protocol = match args.next().as_deref() {
+                    Some("v2") => RuntimeProtocol::V2,
+                    Some("v1") => RuntimeProtocol::V1,
+                    Some("p4") => RuntimeProtocol::P4,
+                    _ => usage(),
+                };
+            }
+            "--pgfile" => pgfile = Some(args.next().unwrap_or_else(|| usage())),
+            "--kill" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let (rank, when) = spec.split_once('@').unwrap_or_else(|| usage());
+                let rank: u32 = rank.parse().unwrap_or_else(|_| usage());
+                let ms: u64 = when
+                    .trim_end_matches("ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                kills.push((Rank(rank), Duration::from_millis(ms)));
+            }
+            "--no-checkpoints" => checkpoints = false,
+            "--timeout" => {
+                timeout = Duration::from_secs(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => {
+                app = Some(other.to_string());
+                app_args = args.by_ref().filter_map(|v| v.parse().ok()).collect();
+                break;
+            }
+        }
+    }
+    Options {
+        np,
+        protocol,
+        pgfile,
+        kills,
+        checkpoints,
+        timeout,
+        app: app.unwrap_or_else(|| usage()),
+        app_args,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Demo applications
+// ---------------------------------------------------------------------
+
+fn ring(iters: u32) -> impl Fn(&mut NodeMpi, Option<Payload>) -> MpiResult<Payload> {
+    move |mpi, restored| {
+        let me = mpi.rank().0;
+        let n = mpi.size();
+        let next = Rank((me + 1) % n);
+        let prev = Rank((me + n - 1) % n);
+        let (mut i, mut acc): (u32, u64) = match &restored {
+            Some(p) => bincode::deserialize(p.as_slice()).unwrap(),
+            None => (0, 0),
+        };
+        while i < iters {
+            let token = ((i as u64) << 32) | me as u64;
+            let (_, _, body) = mpi.sendrecv(
+                next,
+                7,
+                &token.to_le_bytes(),
+                Source::Rank(prev),
+                Tag::Value(7),
+            )?;
+            acc = acc
+                .wrapping_mul(31)
+                .wrapping_add(u64::from_le_bytes(body.as_slice().try_into().unwrap()));
+            i += 1;
+            mpi.checkpoint_site(&bincode::serialize(&(i, acc)).unwrap())?;
+        }
+        Ok(Payload::from_vec(acc.to_le_bytes().to_vec()))
+    }
+}
+
+fn allreduce_app(iters: u32) -> impl Fn(&mut NodeMpi, Option<Payload>) -> MpiResult<Payload> {
+    move |mpi, restored| {
+        let (mut i, mut acc): (u32, u64) = match &restored {
+            Some(p) => bincode::deserialize(p.as_slice()).unwrap(),
+            None => (0, 0),
+        };
+        while i < iters {
+            let sum = mpi.allreduce(ReduceOp::Sum, &[mpi.rank().0 as u64 + i as u64])?;
+            acc = acc.wrapping_mul(1099511628211).wrapping_add(sum[0]);
+            i += 1;
+            mpi.checkpoint_site(&bincode::serialize(&(i, acc)).unwrap())?;
+        }
+        Ok(Payload::from_vec(acc.to_le_bytes().to_vec()))
+    }
+}
+
+fn main() {
+    let opt = parse_args();
+
+    // Resolve the deployment description.
+    let pf = match &opt.pgfile {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("mpirun: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            match progfile::parse(&text) {
+                Ok(pf) => pf,
+                Err(e) => {
+                    eprintln!("mpirun: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => progfile::default_for(opt.np),
+    };
+    let world = if opt.pgfile.is_some() {
+        pf.world()
+    } else {
+        opt.np
+    };
+
+    let checkpointing = if opt.checkpoints && opt.protocol == RuntimeProtocol::V2 {
+        Some(
+            pf.scheduler
+                .clone()
+                .map(|(_, c)| c)
+                .unwrap_or_else(SchedulerConfig::default),
+        )
+    } else {
+        None
+    };
+    let cfg = ClusterConfig {
+        world,
+        protocol: opt.protocol,
+        event_loggers: pf.event_loggers.len().max(1) as u32,
+        checkpointing,
+        ..Default::default()
+    };
+
+    println!(
+        "mpirun: {} ranks, protocol {:?}, {} event logger(s), checkpoints {}",
+        world,
+        opt.protocol,
+        cfg.event_loggers,
+        if cfg.checkpointing.is_some() {
+            "on"
+        } else {
+            "off"
+        }
+    );
+
+    // Launch the requested demo application.
+    let arg0 = opt.app_args.first().copied();
+    let arg1 = opt.app_args.get(1).copied();
+    let cluster = match opt.app.as_str() {
+        "ring" => Cluster::launch(cfg, ring(arg0.unwrap_or(500) as u32)),
+        "allreduce" => Cluster::launch(cfg, allreduce_app(arg0.unwrap_or(300) as u32)),
+        "cg" => {
+            let ccfg = mvr_workloads_cg_config(arg0.unwrap_or(768) as usize);
+            Cluster::launch(cfg, move |mpi: &mut NodeMpi, restored: Option<Payload>| {
+                let st = restored.map(|p| bincode::deserialize(p.as_slice()).unwrap());
+                let r = mvr_workloads::cg(mpi, &ccfg, st)?;
+                Ok(Payload::from_vec(bincode::serialize(&r).unwrap()))
+            })
+        }
+        "stencil" => {
+            let scfg = mvr_workloads::StencilConfig {
+                n: arg0.unwrap_or(4000) as usize,
+                steps: arg1.unwrap_or(300) as u32,
+            };
+            Cluster::launch(cfg, move |mpi: &mut NodeMpi, restored: Option<Payload>| {
+                let st = restored.map(|p| bincode::deserialize(p.as_slice()).unwrap());
+                let total = mvr_workloads::stencil(mpi, &scfg, st)?;
+                Ok(Payload::from_vec(total.to_le_bytes().to_vec()))
+            })
+        }
+        other => {
+            eprintln!("mpirun: unknown app '{other}'");
+            usage();
+        }
+    };
+
+    // Fault injection.
+    let handle = cluster.fault_handle();
+    let kills = opt.kills.clone();
+    let killer = std::thread::spawn(move || {
+        for (rank, at) in kills {
+            std::thread::sleep(at);
+            println!("mpirun: injecting crash of rank {rank}");
+            handle.kill(rank);
+        }
+    });
+
+    match cluster.wait(opt.timeout) {
+        Ok(results) => {
+            killer.join().ok();
+            for (r, p) in results.iter().enumerate() {
+                println!(
+                    "rank {r}: {} result bytes ({})",
+                    p.len(),
+                    hex8(p.as_slice())
+                );
+            }
+            println!("mpirun: run completed");
+        }
+        Err(e) => {
+            killer.join().ok();
+            eprintln!("mpirun: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn hex8(bytes: &[u8]) -> String {
+    bytes
+        .iter()
+        .take(8)
+        .map(|b| format!("{b:02x}"))
+        .collect::<String>()
+}
+
+fn mvr_workloads_cg_config(n: usize) -> mvr_workloads::CgConfig {
+    mvr_workloads::CgConfig {
+        n,
+        max_iter: (2 * n) as u32,
+        tol: 1e-10,
+    }
+}

@@ -1,0 +1,61 @@
+//! # mpich-v — a Rust reproduction of MPICH-V2
+//!
+//! Full reproduction of *"MPICH-V2: a Fault Tolerant MPI for Volatile
+//! Nodes based on Pessimistic Sender Based Message Logging"* (SC 2003):
+//! the pessimistic sender-based message-logging protocol, a live
+//! fault-tolerant message-passing runtime, the MPICH-V1 / MPICH-P4
+//! comparison stacks, and a calibrated cluster simulator regenerating
+//! every figure and table of the paper's evaluation.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`core`] — the protocol engine (sans-IO);
+//! * [`net`] — the in-process fabric with fail-stop kills;
+//! * [`eventlog`] / [`ckpt`] — the reliable
+//!   services;
+//! * [`mpi`] — the MPI-like library (p2p + collectives);
+//! * [`runtime`] — daemons, dispatcher, `Cluster` API;
+//! * [`simnet`] — the calibrated discrete-event simulator;
+//! * [`workloads`] — microbenchmarks, NAS trace models and
+//!   real kernels.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpich_v::prelude::*;
+//! use std::time::Duration;
+//!
+//! // Four volatile MPI processes with automatic fault tolerance.
+//! let results = run_cluster(
+//!     ClusterConfig { world: 4, ..Default::default() },
+//!     |mpi: &mut NodeMpi, _restored: Option<Payload>| {
+//!         let sum = mpi.allreduce(ReduceOp::Sum, &[mpi.rank().0 as u64])?;
+//!         Ok(Payload::from_vec(sum[0].to_le_bytes().to_vec()))
+//!     },
+//!     Duration::from_secs(30),
+//! )
+//! .unwrap();
+//! assert_eq!(results.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use mvr_ckpt as ckpt;
+pub use mvr_core as core;
+pub use mvr_eventlog as eventlog;
+pub use mvr_mpi as mpi;
+pub use mvr_net as net;
+pub use mvr_runtime as runtime;
+pub use mvr_simnet as simnet;
+pub use mvr_workloads as workloads;
+
+/// The commonly-needed names in one import.
+pub mod prelude {
+    pub use mvr_core::{Payload, Rank};
+    pub use mvr_mpi::{MpiError, MpiResult, ReduceOp, Source, Tag};
+    pub use mvr_runtime::{
+        run_cluster, Cluster, ClusterConfig, FaultHandle, NodeMpi, RuntimeProtocol, SchedulerConfig,
+    };
+    pub use mvr_simnet::{simulate, ClusterConfig as SimClusterConfig, Protocol};
+}

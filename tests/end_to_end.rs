@@ -1,0 +1,216 @@
+//! Cross-crate end-to-end tests:
+//!
+//! * differential testing — the same numeric kernels produce identical
+//!   results on the plain in-process test cluster (no fault tolerance)
+//!   and on the full MPICH-V2 runtime, with and without injected crashes;
+//! * property-based testing — the simulator conserves messages for
+//!   arbitrary well-formed traces under all three protocol models, replay
+//!   never exceeds the reference, and the runtime survives random fault
+//!   schedules with fault-free-equivalent results.
+
+use mpich_v::prelude::*;
+use mpich_v::simnet::{simulate, simulate_replay, Op, TraceBuilder};
+use mpich_v::workloads::{cg, stencil, CgConfig, StencilConfig};
+use mvr_mpi::testing::run_local;
+use proptest::prelude::*;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+// ---------------------------------------------------------------------
+// Differential: test cluster vs fault-tolerant runtime
+// ---------------------------------------------------------------------
+
+#[test]
+fn cg_result_identical_on_both_stacks() {
+    let cfg = CgConfig {
+        n: 400,
+        max_iter: 500,
+        tol: 1e-10,
+    };
+    let reference = run_local(4, |mut mpi| cg(&mut mpi, &cfg, None)).unwrap()[0];
+
+    let results = mpich_v::runtime::run_cluster(
+        ClusterConfig {
+            world: 4,
+            ..Default::default()
+        },
+        move |mpi: &mut NodeMpi, _| {
+            let r = cg(mpi, &cfg, None)?;
+            Ok(Payload::from_vec(bincode::serialize(&r).unwrap()))
+        },
+        TIMEOUT,
+    )
+    .unwrap();
+    let on_runtime: mpich_v::workloads::CgResult =
+        bincode::deserialize(results[0].as_slice()).unwrap();
+    assert_eq!(on_runtime.iterations, reference.iterations);
+    assert!((on_runtime.checksum - reference.checksum).abs() < 1e-9);
+}
+
+#[test]
+fn stencil_result_identical_even_with_a_crash() {
+    let scfg = StencilConfig {
+        n: 1200,
+        steps: 120,
+    };
+    let reference = run_local(3, |mut mpi| stencil(&mut mpi, &scfg, None)).unwrap()[0];
+
+    let cluster = mpich_v::runtime::Cluster::launch(
+        ClusterConfig {
+            world: 3,
+            ..Default::default()
+        },
+        move |mpi: &mut NodeMpi, restored: Option<Payload>| {
+            let st = restored.map(|p| bincode::deserialize(p.as_slice()).unwrap());
+            let total = stencil(mpi, &scfg, st)?;
+            Ok(Payload::from_vec(total.to_le_bytes().to_vec()))
+        },
+    );
+    let handle = cluster.fault_handle();
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(10));
+        handle.kill(Rank(1));
+    });
+    let results = cluster.wait(TIMEOUT).unwrap();
+    killer.join().unwrap();
+    for p in &results {
+        let got = f64::from_le_bytes(p.as_slice().try_into().unwrap());
+        assert!((got - reference).abs() / reference.abs() < 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: simulator conservation for arbitrary traces
+// ---------------------------------------------------------------------
+
+/// A well-formed random trace set: per round, every rank posts
+/// nonblocking sends to arbitrary peers, then receives what it is owed,
+/// then waits — deadlock-free by construction.
+fn arb_traces(max_ranks: usize, max_rounds: usize) -> impl Strategy<Value = Vec<Vec<Op>>> {
+    (2..=max_ranks, 1..=max_rounds).prop_flat_map(|(n, rounds)| {
+        proptest::collection::vec(
+            proptest::collection::vec((0..n, 1u64..200_000), 0..6),
+            rounds,
+        )
+        .prop_map(move |round_plans| {
+            let mut builders: Vec<TraceBuilder> = (0..n).map(|_| TraceBuilder::new()).collect();
+            for plan in &round_plans {
+                // plan: list of (dst_seed, bytes) per sending rank slot.
+                let mut recv_counts = vec![vec![0usize; n]; n]; // [src][dst]
+                for (i, &(dst_seed, bytes)) in plan.iter().enumerate() {
+                    let src = i % n;
+                    let dst = if dst_seed == src {
+                        (dst_seed + 1) % n
+                    } else {
+                        dst_seed
+                    };
+                    builders[src].isend(dst, bytes);
+                    recv_counts[src][dst] += 1;
+                }
+                for (dst, b) in builders.iter_mut().enumerate() {
+                    for (src, counts) in recv_counts.iter().enumerate() {
+                        for _ in 0..counts[dst] {
+                            b.recv(src);
+                        }
+                    }
+                    b.waitall();
+                }
+            }
+            builders.into_iter().map(|b| b.build()).collect::<Vec<_>>()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sim_conserves_messages_for_all_protocols(traces in arb_traces(5, 4)) {
+        mpich_v::simnet::validate_matching(&traces).unwrap();
+        let (msgs, bytes) = mpich_v::simnet::traffic_summary(&traces);
+        for proto in Protocol::all() {
+            let cfg = SimClusterConfig::paper_cluster(proto, traces.len());
+            let rep = simulate(cfg, traces.clone());
+            prop_assert_eq!(rep.msgs_delivered, msgs);
+            prop_assert_eq!(rep.bytes_delivered, bytes);
+        }
+    }
+
+    #[test]
+    fn sim_is_deterministic(traces in arb_traces(4, 3)) {
+        let cfg = SimClusterConfig::paper_cluster(Protocol::V2, traces.len());
+        let a = simulate(cfg.clone(), traces.clone());
+        let b = simulate(cfg, traces);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.el_events, b.el_events);
+    }
+
+    #[test]
+    fn replay_never_exceeds_reference(
+        n in 3usize..8,
+        laps in 2usize..12,
+        bytes in 64u64..100_000,
+        restarts in 1usize..8,
+    ) {
+        let restarts = restarts.min(n);
+        let traces = mpich_v::workloads::token_ring(n, laps, bytes);
+        let cfg = SimClusterConfig::paper_cluster(Protocol::V2, n);
+        let reference = simulate(cfg.clone(), traces.clone()).makespan;
+        let restarted: Vec<usize> = (0..restarts).collect();
+        let replay = simulate_replay(cfg, traces, &restarted).makespan;
+        prop_assert!(
+            replay <= reference + reference / 10,
+            "replay {replay} exceeds reference {reference}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: runtime survives random fault schedules
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn runtime_survives_random_fault_schedules(
+        seed in 0u64..1000,
+        kills in proptest::collection::vec((1u64..40, 0u32..3), 1..4),
+    ) {
+        let world = 3u32;
+        let iters = 250u32;
+        let scfg = StencilConfig { n: 600, steps: iters };
+        let _ = seed;
+        let cluster = mpich_v::runtime::Cluster::launch(
+            ClusterConfig {
+                world,
+                checkpointing: Some(SchedulerConfig::default()),
+                ..Default::default()
+            },
+            move |mpi: &mut NodeMpi, restored: Option<Payload>| {
+                let st = restored.map(|p| bincode::deserialize(p.as_slice()).unwrap());
+                let total = stencil(mpi, &scfg, st)?;
+                Ok(Payload::from_vec(total.to_le_bytes().to_vec()))
+            },
+        );
+        let handle = cluster.fault_handle();
+        let killer = std::thread::spawn(move || {
+            for (delay_ms, victim) in kills {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+                handle.kill(Rank(victim));
+            }
+        });
+        let results = cluster.wait(TIMEOUT).expect("cluster completes");
+        killer.join().unwrap();
+        let expected: f64 = (0..600).map(|i| ((i % 17) as f64) / 17.0 + 1.0).sum();
+        for p in &results {
+            let got = f64::from_le_bytes(p.as_slice().try_into().unwrap());
+            prop_assert!((got - expected).abs() / expected < 1e-9);
+        }
+    }
+}
