@@ -182,6 +182,8 @@ pub fn simulate(policy: Policy, scheme: Scheme, cfg: &PolicySimConfig) -> Policy
                         logged_bytes: saved[i].iter().sum(),
                         sent_bytes: sent_total[i],
                         recv_bytes: recv_total[i],
+                        // The policy simulator has no event-logger model.
+                        ..Default::default()
                     })
                     .collect();
                 if let Some(victim) = sched.pick(&last_status) {

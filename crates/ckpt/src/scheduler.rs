@@ -29,6 +29,14 @@ pub struct NodeStatus {
     pub sent_bytes: u64,
     /// Cumulative bytes received (GC-potential proxy: benefit).
     pub recv_bytes: u64,
+    /// Event batches the daemon shipped to its event logger.
+    pub el_batches: u64,
+    /// Reception events carried by those batches.
+    pub el_events: u64,
+    /// Event-logger acknowledgements the daemon received.
+    pub el_acks: u64,
+    /// Largest single batch shipped, in events.
+    pub el_max_batch: u64,
 }
 
 /// Checkpoint-selection policy.
@@ -169,6 +177,7 @@ mod tests {
             logged_bytes: sent,
             sent_bytes: sent,
             recv_bytes: recv,
+            ..Default::default()
         }
     }
 

@@ -5,7 +5,7 @@
 
 use crate::store::CheckpointStore;
 use mvr_core::{CkptReply, CkptRequest, Rank};
-use mvr_net::{Mailbox, RecvError};
+use mvr_net::Mailbox;
 
 /// One inbound request: who asked, and what.
 #[derive(Clone, Debug)]
@@ -23,11 +23,8 @@ where
     F: FnMut(Rank, CkptReply) -> bool,
 {
     let mut store = CheckpointStore::new();
-    loop {
-        let pkt = match mailbox.recv() {
-            Ok(p) => p,
-            Err(RecvError::Killed) | Err(RecvError::Timeout) => break,
-        };
+    // A kill (or a spurious timeout) ends the service loop.
+    while let Ok(pkt) = mailbox.recv() {
         let r = store.handle(pkt.req);
         let _ = reply(pkt.from, r);
     }

@@ -84,16 +84,13 @@ impl P4Engine {
         self.outputs.push_back(P4Output::ProbeAnswer(pending));
     }
 
-    /// A peer message arrived.
+    /// A peer message arrived. P4 has no recovery traffic; anything but
+    /// data is tolerated and ignored.
     pub fn on_peer(&mut self, from: Rank, msg: PeerMsg) {
-        match msg {
-            PeerMsg::Data(d) => {
-                debug_assert_eq!(d.dst, self.rank);
-                self.recv_buffer.push_back((from, d.payload));
-                self.try_deliver();
-            }
-            // P4 has no recovery traffic; tolerate and ignore.
-            _ => {}
+        if let PeerMsg::Data(d) = msg {
+            debug_assert_eq!(d.dst, self.rank);
+            self.recv_buffer.push_back((from, d.payload));
+            self.try_deliver();
         }
     }
 

@@ -22,7 +22,7 @@
 
 use crate::clock::LogicalClock;
 use crate::envelope::{DataMsg, PeerMsg};
-use crate::event::{EventBatch, ReceptionEvent};
+use crate::event::{BatchPolicy, EventBatch, ReceptionEvent};
 use crate::ids::{MsgId, Rank};
 use crate::metrics::Metrics;
 use crate::payload::Payload;
@@ -72,6 +72,9 @@ pub enum Input {
     CheckpointOrder,
     /// The runtime confirms the checkpoint image was stored durably.
     CheckpointStored,
+    /// The hosting daemon is idle: ship any pending reception events now
+    /// (bounds event latency under a lazy [`BatchPolicy`]).
+    FlushEvents,
 }
 
 /// Commands the engine asks the hosting daemon to perform.
@@ -142,6 +145,13 @@ pub struct V2Engine {
     /// `RESTART2` arrives — the analog of in-flight bytes dying with the
     /// old TCP connection. (`None` = not recovering; all peers accepted.)
     handshaken: Option<std::collections::BTreeSet<Rank>>,
+    /// When to ship accumulated reception events to the event logger.
+    policy: BatchPolicy,
+    /// Delivered-but-not-yet-shipped reception events, in receiver-clock
+    /// order. The gate already counts them as scheduled; they are volatile
+    /// and die with a crash — which is safe, because no transmission can
+    /// have depended on them (the gate stays shut until their EL ack).
+    pending_events: Vec<ReceptionEvent>,
     /// A checkpoint order is pending, waiting for quiescence.
     ckpt_pending: bool,
     /// Clock of the checkpoint currently being stored, plus the per-peer
@@ -156,8 +166,13 @@ pub struct V2Engine {
 
 impl V2Engine {
     /// A fresh engine for the initial launch of `rank` in a world of
-    /// `world` computing processes.
+    /// `world` computing processes, with the default (lazy) batch policy.
     pub fn fresh(rank: Rank, world: u32) -> Self {
+        Self::fresh_with_policy(rank, world, BatchPolicy::default())
+    }
+
+    /// A fresh engine with an explicit event-batching policy.
+    pub fn fresh_with_policy(rank: Rank, world: u32, policy: BatchPolicy) -> Self {
         assert!(rank.0 < world, "rank {rank} out of world {world}");
         V2Engine {
             rank,
@@ -174,6 +189,8 @@ impl V2Engine {
             app_waiting_probe: false,
             probes_since_delivery: 0,
             handshaken: None,
+            policy,
+            pending_events: Vec::new(),
             ckpt_pending: false,
             ckpt_in_flight: None,
             metrics: Metrics::new(),
@@ -235,6 +252,11 @@ impl V2Engine {
                 .map(|e| (e.sender.0, e.sender_clock, e.receiver_clock))
         );
         self.gate.reset();
+        // Unshipped events died with the crash; the deliveries they
+        // described had no externally visible effect (the gate never
+        // opened over them), so dropping them is exactly the pessimism
+        // argument of §4.1.
+        self.pending_events.clear();
         // Until a peer answers the handshake, its data traffic belongs to
         // the old, dead connection and must be discarded.
         self.handshaken = Some(std::collections::BTreeSet::new());
@@ -267,6 +289,7 @@ impl V2Engine {
                 self.ckpt_pending = true;
             }
             Input::CheckpointStored => self.on_checkpoint_stored(),
+            Input::FlushEvents => self.flush_events(),
         }
         Ok(())
     }
@@ -311,6 +334,50 @@ impl V2Engine {
         self.gate.is_open()
     }
 
+    /// The active event-batching policy.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Change the batching policy (e.g. after [`restore`](Self::restore),
+    /// which always starts from the default). Immediately flushes if the
+    /// new policy no longer tolerates the current backlog.
+    pub fn set_batch_policy(&mut self, policy: BatchPolicy) {
+        self.policy = policy;
+        match policy {
+            BatchPolicy::Immediate => self.flush_events(),
+            BatchPolicy::Lazy { max_events } => {
+                if self.pending_events.len() >= max_events.max(1) {
+                    self.flush_events();
+                }
+            }
+        }
+    }
+
+    /// Number of delivered receptions whose events have not been shipped
+    /// to the event logger yet.
+    pub fn pending_event_count(&self) -> usize {
+        self.pending_events.len()
+    }
+
+    /// Ship every pending reception event as one batch. A no-op when the
+    /// backlog is empty.
+    pub fn flush_events(&mut self) {
+        if self.pending_events.is_empty() {
+            return;
+        }
+        let events = std::mem::take(&mut self.pending_events);
+        etrace!(self, "flush {} pending events", events.len());
+        self.metrics.el_batches_sent += 1;
+        self.metrics.el_events_batched += events.len() as u64;
+        self.metrics.el_max_batch_events =
+            self.metrics.el_max_batch_events.max(events.len() as u64);
+        self.outputs.push_back(Output::LogEvents(EventBatch {
+            owner: self.rank,
+            events,
+        }));
+    }
+
     fn peers(&self) -> impl Iterator<Item = Rank> + '_ {
         let me = self.rank;
         (0..self.world).map(Rank).filter(move |&q| q != me)
@@ -350,6 +417,9 @@ impl V2Engine {
         } else {
             self.metrics.gate_deferred_sends += 1;
             self.gated.push_back((to, msg));
+            // The send now waits on the EL ack of the deliveries that shut
+            // the gate; ship their events or the ack can never arrive.
+            self.flush_events();
         }
     }
 
@@ -452,10 +522,19 @@ impl V2Engine {
         self.metrics.events_logged += 1;
         self.metrics.msgs_delivered += 1;
         self.metrics.bytes_delivered += payload.len() as u64;
-        self.outputs.push_back(Output::LogEvents(EventBatch {
-            owner: self.rank,
-            events: vec![ev],
-        }));
+        self.pending_events.push(ev);
+        let must_flush = match self.policy {
+            BatchPolicy::Immediate => true,
+            BatchPolicy::Lazy { max_events } => {
+                // Flush at the size bound, or when transmissions are
+                // already queued behind the gate: their release needs the
+                // EL to ack this very event.
+                self.pending_events.len() >= max_events.max(1) || !self.gated.is_empty()
+            }
+        };
+        if must_flush {
+            self.flush_events();
+        }
         self.outputs.push_back(Output::Deliver { from, payload });
     }
 
@@ -491,6 +570,9 @@ impl V2Engine {
             let w = self.arrived.entry(q).or_insert(0);
             *w = (*w).max(hr);
         }
+        // Replay completion is a forced-flush point (normally a no-op:
+        // replayed deliveries are never re-logged).
+        self.flush_events();
         self.outputs.push_back(Output::ReplayComplete);
     }
 
@@ -635,6 +717,7 @@ impl V2Engine {
     // --- event logger ----------------------------------------------------
 
     fn on_el_ack(&mut self, up_to: u64) {
+        self.metrics.el_acks_received += 1;
         if self.gate.on_ack(up_to) {
             self.flush_gated();
         }
@@ -654,6 +737,10 @@ impl V2Engine {
         if !self.ckpt_pending || self.ckpt_in_flight.is_some() {
             return None;
         }
+        // An ordered checkpoint forces the flush: the quiescence condition
+        // below needs the gate re-openable, and the gate cannot reopen
+        // while the events it waits on sit unshipped.
+        self.flush_events();
         if self.is_replaying() || !self.gate.is_open() || !self.gated.is_empty() {
             return None;
         }
@@ -726,7 +813,8 @@ mod tests {
 
     #[test]
     fn delivery_logs_event_then_gates_next_send() {
-        let mut e = V2Engine::fresh(Rank(1), 2);
+        // Immediate policy: the eager one-round-trip-per-message protocol.
+        let mut e = V2Engine::fresh_with_policy(Rank(1), 2, BatchPolicy::Immediate);
         // A message arrives; the app receives it.
         e.handle(Input::AppRecv).unwrap();
         e.handle(Input::Peer {
@@ -771,7 +859,7 @@ mod tests {
 
     #[test]
     fn probes_counted_and_attached_to_next_event() {
-        let mut e = V2Engine::fresh(Rank(1), 2);
+        let mut e = V2Engine::fresh_with_policy(Rank(1), 2, BatchPolicy::Immediate);
         e.handle(Input::AppProbe).unwrap();
         assert_eq!(outs(&mut e), vec![Output::ProbeAnswer(false)]);
         e.handle(Input::AppProbe).unwrap();
@@ -1041,6 +1129,7 @@ mod tests {
             saved: SenderLog::new(),
         };
         let mut e = V2Engine::restore(snap);
+        e.set_batch_policy(BatchPolicy::Immediate);
         e.begin_recovery(vec![ReceptionEvent {
             sender: Rank(1),
             sender_clock: 1,
@@ -1313,5 +1402,222 @@ mod tests {
         assert_eq!(r.logged_bytes(), e.logged_bytes());
         assert_eq!(r.marks.hr(Rank(1)), e.marks.hr(Rank(1)));
         assert_eq!(r.marks.hs(Rank(1)), e.marks.hs(Rank(1)));
+    }
+
+    fn feed_data(e: &mut V2Engine, from: Rank, h: u64) {
+        e.handle(Input::Peer {
+            from,
+            msg: PeerMsg::Data(DataMsg {
+                id: MsgId::new(from, h),
+                dst: e.rank(),
+                payload: pl(h as u8),
+            }),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn lazy_batching_defers_log_until_send_gates() {
+        let mut e = V2Engine::fresh_with_policy(Rank(1), 2, BatchPolicy::Lazy { max_events: 8 });
+        for h in 1..=2u64 {
+            e.handle(Input::AppRecv).unwrap();
+            feed_data(&mut e, Rank(0), h);
+        }
+        let o = outs(&mut e);
+        assert!(
+            o.iter().all(|x| !matches!(x, Output::LogEvents(_))),
+            "lazy policy must not ship per delivery"
+        );
+        assert_eq!(e.pending_event_count(), 2);
+        assert!(!e.gate_open(), "the gate still closes at delivery");
+
+        // A send queues behind the gate: the batch must flush, the payload
+        // must not.
+        e.handle(Input::AppSend {
+            dst: Rank(0),
+            payload: pl(9),
+        })
+        .unwrap();
+        let o = outs(&mut e);
+        assert!(data_out(&o).is_empty(), "payload leaked past a closed gate");
+        let batch = o
+            .iter()
+            .find_map(|x| match x {
+                Output::LogEvents(b) => Some(b.clone()),
+                _ => None,
+            })
+            .expect("gated send must force a flush");
+        assert_eq!(batch.events.len(), 2);
+        assert!(batch.is_ordered());
+        assert_eq!(e.pending_event_count(), 0);
+
+        // One coalesced ack covers both events and releases the send.
+        e.handle(Input::ElAck { up_to: 2 }).unwrap();
+        assert_eq!(data_out(&outs(&mut e)).len(), 1);
+        let m = e.metrics();
+        assert_eq!(m.el_batches_sent, 1);
+        assert_eq!(m.el_events_batched, 2);
+        assert_eq!(m.el_max_batch_events, 2);
+        assert_eq!(m.el_acks_received, 1);
+    }
+
+    #[test]
+    fn lazy_batch_flushes_at_size_threshold() {
+        let mut e = V2Engine::fresh_with_policy(Rank(1), 2, BatchPolicy::Lazy { max_events: 3 });
+        for h in 1..=3u64 {
+            e.handle(Input::AppRecv).unwrap();
+            feed_data(&mut e, Rank(0), h);
+        }
+        let o = outs(&mut e);
+        let batches: Vec<&EventBatch> = o
+            .iter()
+            .filter_map(|x| match x {
+                Output::LogEvents(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches.len(), 1, "exactly one flush at the threshold");
+        assert_eq!(batches[0].events.len(), 3);
+        assert_eq!(e.pending_event_count(), 0);
+        assert_eq!(e.metrics().el_max_batch_events, 3);
+    }
+
+    /// The load-bearing invariant under any interleaving of deliveries,
+    /// sends, idle flushes and acks: a data transmission never leaves
+    /// while any delivered reception's event is still unacked by the EL.
+    #[test]
+    fn transmit_never_precedes_ack_of_delivered_events() {
+        for seed in 0..64u64 {
+            let mut e =
+                V2Engine::fresh_with_policy(Rank(0), 2, BatchPolicy::Lazy { max_events: 4 });
+            let mut rng = seed;
+            let mut next_h = 1u64; // peer's sender clock
+            let mut shipped = 0u64; // highest rc the EL has seen
+            let mut acked = 0u64; // highest rc the EL has acked
+            let mut delivered = 0u64; // highest rc delivered to the app
+            for _ in 0..40 {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                match (rng >> 33) % 4 {
+                    0 => {
+                        e.handle(Input::AppRecv).unwrap();
+                        feed_data(&mut e, Rank(1), next_h);
+                        next_h += 1;
+                    }
+                    1 => e
+                        .handle(Input::AppSend {
+                            dst: Rank(1),
+                            payload: pl(0),
+                        })
+                        .unwrap(),
+                    2 => e.handle(Input::FlushEvents).unwrap(),
+                    _ => {
+                        // The EL can only ack what it has received.
+                        if shipped > acked {
+                            acked = shipped;
+                            e.handle(Input::ElAck { up_to: acked }).unwrap();
+                        }
+                    }
+                }
+                let mut saw_delivery = false;
+                for o in e.drain_outputs() {
+                    match o {
+                        Output::LogEvents(b) => {
+                            shipped = shipped.max(b.events.last().unwrap().receiver_clock);
+                        }
+                        Output::Deliver { .. } => saw_delivery = true,
+                        Output::Transmit {
+                            msg: PeerMsg::Data(_),
+                            ..
+                        } => {
+                            assert!(
+                                delivered <= acked,
+                                "seed {seed}: transmit with delivery rc {delivered} unacked (acked {acked})"
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+                if saw_delivery {
+                    // Only the delivery in this step can have ticked the
+                    // clock past the previous watermark.
+                    delivered = e.clock();
+                }
+            }
+        }
+    }
+
+    /// A crash while events sit unflushed loses exactly the suffix of
+    /// receptions the EL never saw — and that is safe: the durable prefix
+    /// replays identically, the lost receptions are re-delivered as fresh
+    /// nondeterministic events, and no transmission ever depended on them.
+    #[test]
+    fn crash_between_flushes_preserves_replay_determinism() {
+        let lazy = BatchPolicy::Lazy { max_events: 100 };
+        // Pre-crash run: three receptions; only the first event reaches
+        // the EL (explicit flush), the other two stay pending.
+        let mut e = V2Engine::fresh_with_policy(Rank(0), 2, lazy);
+        for h in 1..=3u64 {
+            e.handle(Input::AppRecv).unwrap();
+            feed_data(&mut e, Rank(1), h);
+            if h == 1 {
+                e.handle(Input::FlushEvents).unwrap();
+            }
+        }
+        let o = outs(&mut e);
+        let durable: Vec<ReceptionEvent> = o
+            .iter()
+            .filter_map(|x| match x {
+                Output::LogEvents(b) => Some(b.events.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(durable.len(), 1, "only the explicit flush shipped");
+        assert_eq!(e.pending_event_count(), 2);
+
+        // Crash, no checkpoint image: recovery replays the EL's durable
+        // prefix only.
+        let mut r = V2Engine::fresh_with_policy(Rank(0), 2, lazy);
+        r.begin_recovery(durable);
+        outs(&mut r);
+        assert!(r.is_replaying());
+        r.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Restart2 { last_received: 0 },
+        })
+        .unwrap();
+        // The peer re-sends everything; re-sends arrive out of order.
+        for h in [3u64, 1, 2] {
+            feed_data(&mut r, Rank(1), h);
+        }
+        // First recv: the logged reception replays exactly as recorded.
+        r.handle(Input::AppRecv).unwrap();
+        let o = outs(&mut r);
+        assert!(o
+            .iter()
+            .any(|x| matches!(x, Output::Deliver { from, payload } if *from == Rank(1) && *payload == pl(1))));
+        assert!(o.iter().any(|x| matches!(x, Output::ReplayComplete)));
+        assert_eq!(r.clock(), 1, "replayed delivery reproduces rc 1");
+        assert_eq!(r.metrics().replayed_deliveries, 1);
+        // The two lost receptions come back as fresh events with new
+        // clocks, in per-pair sender-clock order.
+        let mut redelivered = Vec::new();
+        for _ in 0..2 {
+            r.handle(Input::AppRecv).unwrap();
+            for x in outs(&mut r) {
+                if let Output::Deliver { payload, .. } = x {
+                    redelivered.push(payload);
+                }
+            }
+        }
+        assert_eq!(redelivered, vec![pl(2), pl(3)]);
+        assert_eq!(r.clock(), 3);
+        assert_eq!(
+            r.pending_event_count(),
+            2,
+            "re-received messages are fresh lazily-batched events"
+        );
     }
 }

@@ -161,6 +161,14 @@ pub enum SchedMsg {
         sent_bytes: u64,
         /// Cumulative bytes received so far.
         recv_bytes: u64,
+        /// Event batches shipped to the event logger (lazy batching).
+        el_batches: u64,
+        /// Reception events carried by those batches.
+        el_events: u64,
+        /// Event-logger acknowledgements received.
+        el_acks: u64,
+        /// Largest single batch shipped, in events.
+        el_max_batch: u64,
     },
     /// Scheduler orders the daemon to checkpoint now.
     CheckpointOrder,

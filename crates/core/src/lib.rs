@@ -68,7 +68,7 @@ pub use engine::{Input, Output, V2Engine};
 pub use envelope::{
     CkptReply, CkptRequest, CmReply, CmRequest, DataMsg, ElReply, ElRequest, PeerMsg, SchedMsg,
 };
-pub use event::{EventBatch, ReceptionEvent};
+pub use event::{BatchPolicy, EventBatch, ReceptionEvent};
 pub use ids::{MsgId, NodeId, Rank};
 pub use metrics::Metrics;
 pub use payload::Payload;

@@ -37,6 +37,15 @@ pub struct Metrics {
     pub gc_bytes_freed: u64,
     /// Checkpoints completed.
     pub checkpoints_taken: u64,
+    /// Event batches shipped to the event logger.
+    pub el_batches_sent: u64,
+    /// Events carried by those batches (equals `events_logged` once every
+    /// pending event has been flushed).
+    pub el_events_batched: u64,
+    /// Acknowledgements received from the event logger.
+    pub el_acks_received: u64,
+    /// Largest single batch shipped to the event logger.
+    pub el_max_batch_events: u64,
 }
 
 impl Metrics {

@@ -80,7 +80,12 @@ impl SenderLog {
         let Some(m) = self.per_dst.get_mut(&dst) else {
             return 0;
         };
-        let keep = m.split_off(&(watermark + 1));
+        // `watermark + 1` overflows when watermark == u64::MAX, where the
+        // bound covers the whole log: everything is collectable.
+        let keep = match watermark.checked_add(1) {
+            Some(bound) => m.split_off(&bound),
+            None => BTreeMap::new(),
+        };
         let dropped = std::mem::replace(m, keep);
         let freed: u64 = dropped.values().map(|p| p.len() as u64).sum();
         self.bytes -= freed;
@@ -167,6 +172,17 @@ mod tests {
         assert!(l.get(Rank(1), 5).is_none());
         // Collecting an unknown destination is a no-op.
         assert_eq!(l.collect(Rank(7), 100), 0);
+    }
+
+    #[test]
+    fn collect_at_max_watermark_drops_everything_without_overflow() {
+        // Regression: `split_off(&(watermark + 1))` overflowed (debug
+        // panic) when a peer advertised u64::MAX as its watermark.
+        let mut l = log_with(&[(1, 1, 10), (1, u64::MAX, 20)]);
+        let freed = l.collect(Rank(1), u64::MAX);
+        assert_eq!(freed, 30);
+        assert_eq!(l.bytes_held(), 0);
+        assert_eq!(l.msgs_held(), 0);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! space; this exhausts it (for small configurations).
 
 use mvr_core::engine::{Input, Output};
-use mvr_core::{EngineSnapshot, EventBatch, Payload, PeerMsg, Rank, ReceptionEvent, V2Engine};
+use mvr_core::{
+    BatchPolicy, EngineSnapshot, EventBatch, Payload, PeerMsg, Rank, ReceptionEvent, V2Engine,
+};
 use std::collections::VecDeque;
 
 // ---------------------------------------------------------------------
@@ -51,6 +53,10 @@ fn expected_per_source(scripts: &[Vec<Op>]) -> Vec<Vec<Vec<Payload>>> {
 // The explored world
 // ---------------------------------------------------------------------
 
+/// A checkpoint image: engine snapshot plus the process-side state
+/// (pc, sends_done, received) captured at the same instant.
+type Snapshot = (EngineSnapshot, usize, u32, Vec<(u32, Payload)>);
+
 /// A deliverable in-flight item.
 #[derive(Clone, Debug)]
 enum Flight {
@@ -71,15 +77,16 @@ struct World {
     flights: VecDeque<Flight>,
     /// The reliable event logger: stored events per rank.
     el: Vec<Vec<ReceptionEvent>>,
-    snapshots: Vec<Option<(EngineSnapshot, usize, u32, Vec<(u32, Payload)>)>>,
+    snapshots: Vec<Option<Snapshot>>,
+    policy: BatchPolicy,
 }
 
 impl World {
-    fn new(scripts: Vec<Vec<Op>>) -> Self {
+    fn new(scripts: Vec<Vec<Op>>, policy: BatchPolicy) -> Self {
         let n = scripts.len();
         World {
             engines: (0..n)
-                .map(|r| V2Engine::fresh(Rank(r as u32), n as u32))
+                .map(|r| V2Engine::fresh_with_policy(Rank(r as u32), n as u32, policy))
                 .collect(),
             scripts,
             pc: vec![0; n],
@@ -89,6 +96,7 @@ impl World {
             flights: VecDeque::new(),
             el: vec![Vec::new(); n],
             snapshots: vec![None; n],
+            policy,
         }
     }
 
@@ -235,6 +243,7 @@ impl World {
                 Vec::new(),
             ),
         };
+        engine.set_batch_policy(self.policy);
         let events: Vec<ReceptionEvent> = self.el[v]
             .iter()
             .copied()
@@ -283,9 +292,9 @@ impl World {
     }
 
     fn check_equivalence(&self, expected: &[Vec<Vec<Payload>>]) {
-        for r in 0..self.n() {
+        for (r, got) in self.received.iter().enumerate() {
             let mut per_src: Vec<Vec<Payload>> = vec![Vec::new(); self.n()];
-            for (from, p) in &self.received[r] {
+            for (from, p) in got {
                 per_src[*from as usize].push(p.clone());
             }
             for s in 0..self.n() {
@@ -372,8 +381,20 @@ impl Explorer {
 }
 
 fn run_exploration(scripts: Vec<Vec<Op>>, crashes: u32, ckpts: u32, max_states: u64) -> (u64, u64) {
+    // The eager policy maximizes in-flight EL traffic (one LogEvents/ElAck
+    // pair per delivery) and hence the interleaving space explored.
+    run_exploration_with(scripts, BatchPolicy::Immediate, crashes, ckpts, max_states)
+}
+
+fn run_exploration_with(
+    scripts: Vec<Vec<Op>>,
+    policy: BatchPolicy,
+    crashes: u32,
+    ckpts: u32,
+    max_states: u64,
+) -> (u64, u64) {
     let expected = expected_per_source(&scripts);
-    let mut world = World::new(scripts);
+    let mut world = World::new(scripts, policy);
     world.run_apps();
     let mut ex = Explorer {
         expected,
@@ -445,6 +466,57 @@ fn exhaustive_three_ranks_fanin() {
     let (states, crash_runs) = run_exploration(scripts, 1, 0, 8_000_000);
     assert!(states > 100);
     assert!(crash_runs > 100);
+}
+
+#[test]
+fn exhaustive_lazy_batching_pingpong_with_crashes() {
+    // Same matrix as the eager ping-pong, under a lazy batch policy small
+    // enough to exercise both the threshold flush and the gated-send
+    // flush. Correctness (delivery equivalence across all crash branches)
+    // must be identical; only the state count shrinks — batching removes
+    // per-delivery EL round-trips, which is the point.
+    let scripts = vec![
+        vec![Op::Send(1), Op::Recv, Op::Send(1)],
+        vec![Op::Recv, Op::Send(0), Op::Recv],
+    ];
+    let (states, crash_runs) = run_exploration_with(
+        scripts,
+        BatchPolicy::Lazy { max_events: 2 },
+        1,
+        0,
+        2_000_000,
+    );
+    assert!(states >= 5, "exploration trivially small ({states})");
+    assert!(crash_runs >= 10, "too few crash branches ({crash_runs})");
+}
+
+#[test]
+fn exhaustive_lazy_batching_fanin_with_crashes() {
+    // Fan-in under an effectively unbounded batch: events only flush when
+    // the receiver's own sends queue behind the gate. Crashes at every
+    // state verify that losing a pending (unflushed) batch never loses a
+    // delivery another rank depends on.
+    let scripts = vec![
+        vec![Op::Send(2), Op::Send(2), Op::Recv],
+        vec![Op::Send(2), Op::Send(2), Op::Recv],
+        vec![
+            Op::Recv,
+            Op::Recv,
+            Op::Recv,
+            Op::Recv,
+            Op::Send(0),
+            Op::Send(1),
+        ],
+    ];
+    let (states, crash_runs) = run_exploration_with(
+        scripts,
+        BatchPolicy::Lazy { max_events: 64 },
+        1,
+        0,
+        8_000_000,
+    );
+    assert!(states >= 20, "{states}");
+    assert!(crash_runs >= 50, "{crash_runs}");
 }
 
 #[test]

@@ -24,11 +24,24 @@ pub struct ElServiceStats {
     pub acks: u64,
     /// Downloads served.
     pub downloads: u64,
+    /// `Log` requests merged into a predecessor from the same daemon for
+    /// the same owner during one service pass.
+    pub merged_logs: u64,
+    /// Acks elided by high-watermark coalescing (each merged or coalesced
+    /// `Log` would have produced its own ack under eager service).
+    pub coalesced_acks: u64,
 }
 
 /// Run the event logger until its mailbox is killed (the EL is the
 /// reliable component of the system — killing it in tests models the
 /// "what if the reliable node dies" experiments).
+///
+/// Each service pass blocks for one request, then drains the whole
+/// mailbox backlog. Contiguous `Log` requests from the same daemon for
+/// the same owner are merged into a single store append, and every daemon
+/// gets at most **one** coalesced high-watermark `Ack` per pass — the EL
+/// half of the lazy-batching optimization (the daemon half batches
+/// events; this half batches acks).
 ///
 /// `reply` ships an [`ElReply`] back to the daemon of the given rank; a
 /// failed reply (daemon crashed meanwhile) is ignored, matching a TCP
@@ -42,20 +55,78 @@ where
 {
     let mut store = EventLogStore::new();
     let mut stats = ElServiceStats::default();
-    loop {
-        let pkt = match mailbox.recv() {
+    let mut killed = false;
+    while !killed {
+        let first = match mailbox.recv() {
             Ok(p) => p,
             Err(RecvError::Killed) | Err(RecvError::Timeout) => break,
         };
-        stats.requests += 1;
-        if let Some(r) = store.handle(pkt.req) {
-            match &r {
-                ElReply::Ack { .. } => stats.acks += 1,
-                ElReply::Events(_) => stats.downloads += 1,
+        let mut backlog = vec![first];
+        loop {
+            match mailbox.try_recv() {
+                Ok(Some(p)) => backlog.push(p),
+                Ok(None) => break,
+                Err(_) => {
+                    // Killed mid-drain: finish the requests already taken.
+                    killed = true;
+                    break;
+                }
             }
-            // Best effort: the peer may have died; its restart will
-            // re-download.
-            let _ = reply(pkt.from, r);
+        }
+
+        // One coalesced ack per daemon per pass, in first-log order.
+        let mut pending_acks: Vec<(Rank, u64)> = Vec::new();
+        let mut backlog = backlog.into_iter().peekable();
+        while let Some(pkt) = backlog.next() {
+            stats.requests += 1;
+            match pkt.req {
+                ElRequest::Log(mut batch) => {
+                    // Merge the contiguous run of Log requests from this
+                    // daemon for this owner into one store append.
+                    while let Some(next) = backlog.peek() {
+                        match &next.req {
+                            ElRequest::Log(b)
+                                if next.from == pkt.from && b.owner == batch.owner =>
+                            {
+                                let Some(ElPacket {
+                                    req: ElRequest::Log(b),
+                                    ..
+                                }) = backlog.next()
+                                else {
+                                    unreachable!("peeked a Log")
+                                };
+                                stats.requests += 1;
+                                stats.merged_logs += 1;
+                                stats.coalesced_acks += 1;
+                                batch.events.extend(b.events);
+                            }
+                            _ => break,
+                        }
+                    }
+                    let up_to = store.log(batch);
+                    match pending_acks.iter_mut().find(|(r, _)| *r == pkt.from) {
+                        Some(slot) => {
+                            slot.1 = slot.1.max(up_to);
+                            stats.coalesced_acks += 1;
+                        }
+                        None => pending_acks.push((pkt.from, up_to)),
+                    }
+                }
+                other => {
+                    if let Some(r) = store.handle(other) {
+                        if matches!(r, ElReply::Events(_)) {
+                            stats.downloads += 1;
+                        }
+                        // Best effort: the peer may have died; its restart
+                        // will re-download.
+                        let _ = reply(pkt.from, r);
+                    }
+                }
+            }
+        }
+        for (rank, up_to) in pending_acks {
+            stats.acks += 1;
+            let _ = reply(rank, ElReply::Ack { up_to });
         }
     }
     (store, stats)
@@ -122,5 +193,56 @@ mod tests {
         assert_eq!(stats.acks, 1);
         assert_eq!(stats.downloads, 1);
         assert_eq!(store.events_held(Rank(3)), 1);
+    }
+
+    #[test]
+    fn backlog_drain_merges_logs_and_coalesces_acks() {
+        let fabric = Fabric::new();
+        let el_node = NodeId::EventLogger(0);
+        let (mb, _id) = fabric.register::<ElPacket>(el_node);
+        let (tx, rx) = mpsc::channel::<(Rank, ElReply)>();
+
+        // Fill the mailbox BEFORE the service thread starts: the whole
+        // backlog is then drained in one deterministic service pass.
+        let ev = |rc: u64| ReceptionEvent {
+            sender: Rank(1),
+            sender_clock: rc,
+            receiver_clock: rc,
+            probes: 0,
+        };
+        for rc in 1..=3u64 {
+            fabric
+                .send_from_reliable(
+                    el_node,
+                    ElPacket {
+                        from: Rank(3),
+                        req: ElRequest::Log(EventBatch {
+                            owner: Rank(3),
+                            events: vec![ev(rc)],
+                        }),
+                    },
+                )
+                .unwrap();
+        }
+        let h = thread::spawn(move || {
+            run_event_logger(mb, move |r, reply| tx.send((r, reply)).is_ok())
+        });
+
+        // Exactly one coalesced high-watermark ack for the three logs.
+        let (to, reply) = rx.recv().unwrap();
+        assert_eq!(to, Rank(3));
+        assert_eq!(reply, ElReply::Ack { up_to: 3 });
+
+        fabric.kill(el_node);
+        let (store, stats) = h.join().unwrap();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.acks, 1, "one ack per daemon per drain");
+        assert_eq!(stats.merged_logs, 2, "logs 2 and 3 merged into log 1");
+        assert_eq!(stats.coalesced_acks, 2);
+        assert_eq!(store.events_held(Rank(3)), 3);
+        assert!(
+            rx.try_recv().is_err(),
+            "no further replies may have been produced"
+        );
     }
 }

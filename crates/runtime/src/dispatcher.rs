@@ -15,7 +15,7 @@ use crate::node::{
 use crate::services::{
     spawn_checkpoint_scheduler, spawn_checkpoint_server, spawn_event_loggers, SchedulerConfig,
 };
-use mvr_core::{NodeId, Payload, Rank};
+use mvr_core::{BatchPolicy, NodeId, Payload, Rank};
 use mvr_net::Fabric;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -37,6 +37,8 @@ pub struct ClusterConfig {
     pub auto_restart: bool,
     /// Detection + respawn latency before a reincarnation.
     pub restart_delay: Duration,
+    /// Event-batching policy of the V2 daemons (lazy by default).
+    pub batch: BatchPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -48,6 +50,7 @@ impl Default for ClusterConfig {
             checkpointing: None,
             auto_restart: true,
             restart_delay: Duration::ZERO,
+            batch: BatchPolicy::default(),
         }
     }
 }
@@ -176,6 +179,7 @@ impl Cluster {
                 protocol: cfg.protocol,
                 event_loggers: cfg.event_loggers,
                 channel_memories: default_cms(cfg.world),
+                batch: cfg.batch,
                 restart: false,
             };
             handles.extend(start_node(s, ncfg, app.clone(), exit_tx.clone()));
@@ -301,6 +305,7 @@ impl Cluster {
             protocol: self.cfg.protocol,
             event_loggers: self.cfg.event_loggers,
             channel_memories: default_cms(self.cfg.world),
+            batch: self.cfg.batch,
             restart: true,
         };
         self.handles.extend(start_node(

@@ -13,8 +13,8 @@ use crate::messages::{DaemonMsg, DispatcherMsg, ProcReply, ProcRequest};
 use mvr_ckpt::CkptPacket;
 use mvr_core::engine::{Input, Output};
 use mvr_core::{
-    CkptReply, CkptRequest, ElReply, ElRequest, NodeId, NodeImage, Payload, Rank, SchedMsg,
-    V2Engine,
+    BatchPolicy, CkptReply, CkptRequest, ElReply, ElRequest, NodeId, NodeImage, Payload, Rank,
+    SchedMsg, V2Engine,
 };
 use mvr_eventlog::{el_for_rank, ElPacket};
 use mvr_mpi::{Mpi, MpiError, MpiResult};
@@ -90,6 +90,9 @@ pub struct NodeConfig {
     pub event_loggers: u32,
     /// Number of Channel Memories (V1).
     pub channel_memories: u32,
+    /// Event-batching policy for the V2 engine (lazy flushing amortizes
+    /// the pessimism gate's event-logger round-trips).
+    pub batch: BatchPolicy,
     /// Whether this is a restart (fetch image, download events, recover).
     pub restart: bool,
 }
@@ -250,9 +253,13 @@ fn daemon_main(
             Some(img) => {
                 restored_mpi = Some(img.mpi_state);
                 restored_app = Some(img.app_state);
-                V2Engine::restore(img.engine)
+                // `restore` yields the default policy; apply the
+                // deployment's before any post-restart delivery.
+                let mut e = V2Engine::restore(img.engine);
+                e.set_batch_policy(cfg.batch);
+                e
             }
-            None => V2Engine::fresh(rank, cfg.world),
+            None => V2Engine::fresh_with_policy(rank, cfg.world, cfg.batch),
         };
 
         // DownloadEL(H_p): the event logger is the reliable component; if
@@ -277,7 +284,7 @@ fn daemon_main(
         engine.begin_recovery(events);
         engine
     } else {
-        V2Engine::fresh(rank, cfg.world)
+        V2Engine::fresh_with_policy(rank, cfg.world, cfg.batch)
     };
 
     let mut d = Daemon {
@@ -303,6 +310,23 @@ fn daemon_main(
     loop {
         let msg = mailbox.recv().map_err(|_| DaemonEnd::Killed)?;
         d.handle(msg)?;
+        // Burst-drain the backlog, then flush: under a lazy policy the
+        // events of a burst of deliveries ship as one batch, and an idle
+        // daemon never sits on unlogged events (the latency bound of the
+        // lazy-flush protocol — see DESIGN.md).
+        loop {
+            match mailbox.try_recv() {
+                Ok(Some(msg)) => d.handle(msg)?,
+                Ok(None) => break,
+                Err(_) => return Err(DaemonEnd::Killed),
+            }
+        }
+        if d.engine.pending_event_count() > 0 {
+            d.engine
+                .handle(Input::FlushEvents)
+                .expect("flush cannot diverge");
+            d.pump_outputs()?;
+        }
     }
 }
 
@@ -341,6 +365,10 @@ impl Daemon {
                     logged_bytes: self.engine.logged_bytes(),
                     sent_bytes: m.bytes_sent,
                     recv_bytes: m.bytes_delivered,
+                    el_batches: m.el_batches_sent,
+                    el_events: m.el_events_batched,
+                    el_acks: m.el_acks_received,
+                    el_max_batch: m.el_max_batch_events,
                 };
                 let _ = self.identity.send(self.sched_node, status);
             }
@@ -424,6 +452,12 @@ impl Daemon {
                 self.to_proc(ProcReply::CkptCommitted)?;
             }
             ProcRequest::Finish => {
+                // Ship any still-pending reception events before going
+                // into serve-only mode: the event log must cover every
+                // delivery the finished run consumed.
+                self.engine
+                    .handle(Input::FlushEvents)
+                    .expect("flush cannot diverge");
                 self.finalized = true;
                 let _ = self.identity.send(
                     NodeId::Dispatcher,

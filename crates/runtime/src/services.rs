@@ -114,12 +114,20 @@ pub fn spawn_checkpoint_scheduler(
                             logged_bytes,
                             sent_bytes,
                             recv_bytes,
+                            el_batches,
+                            el_events,
+                            el_acks,
+                            el_max_batch,
                         }) => {
                             statuses.push(NodeStatus {
                                 rank,
                                 logged_bytes,
                                 sent_bytes,
                                 recv_bytes,
+                                el_batches,
+                                el_events,
+                                el_acks,
+                                el_max_batch,
                             });
                         }
                         Ok(_) => {}

@@ -96,6 +96,13 @@ pub struct ClusterConfig {
     pub el_service: SimTime,
     /// Size of one reception-event record on the wire (bytes).
     pub event_bytes: u64,
+    /// V2 only: maximum reception events a daemon accumulates before
+    /// shipping them to the event logger as one batch. `1` reproduces the
+    /// paper's eager per-event logging (the calibration baseline); larger
+    /// values enable lazy batching — events still close the pessimism
+    /// gate at delivery, but the EL round-trip is paid per *batch*, with
+    /// a forced flush whenever a send queues behind the gate.
+    pub el_batch_max: u64,
     /// Number of event loggers (ranks are partitioned round-robin).
     pub event_loggers: usize,
     /// Number of Channel Memories for V1 (the paper used N/4; each CM
@@ -132,6 +139,7 @@ impl ClusterConfig {
             isend_post_cost: usecs(5),
             el_service: usecs(4),
             event_bytes: 20,
+            el_batch_max: 1,
             event_loggers: 1,
             channel_memories: 0,
             ckpt_bandwidth: 11_300_000,

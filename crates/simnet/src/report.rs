@@ -42,6 +42,9 @@ pub struct SimReport {
     pub bytes_delivered: u64,
     /// Reception events logged on the event logger(s) (V2 only).
     pub el_events: u64,
+    /// Batched EL log requests shipped (V2 only; equals `el_events` under
+    /// eager per-event logging, i.e. `el_batch_max == 1`).
+    pub el_requests: u64,
     /// Peak per-node sender-log occupancy (bytes; V2 only).
     pub max_log_bytes: u64,
     /// The sender log spilled past RAM onto disk on some node (V2).

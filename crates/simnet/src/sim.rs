@@ -106,10 +106,10 @@ enum TKind {
         receiver: usize,
         index: u64,
     },
-    /// Reception event to an event logger.
-    ElEvent { owner: usize },
-    /// Event-logger acknowledgement.
-    ElAck { owner: usize },
+    /// Reception events to an event logger (one batched request).
+    ElEvent { owner: usize, events: u64 },
+    /// Event-logger acknowledgement, covering `events` receptions.
+    ElAck { owner: usize, events: u64 },
     /// V1: payload pushed to the receiver's Channel Memory.
     CmPush {
         from: usize,
@@ -278,6 +278,10 @@ struct RankSim {
     waiters: Vec<VecDeque<Waiter>>,
     /// V2 pessimism gate.
     outstanding_acks: u32,
+    /// Reception events delivered but not yet shipped to the EL (lazy
+    /// batching). They already count in `outstanding_acks`; a crash
+    /// loses them harmlessly (no transmission depended on them).
+    pending_el: u64,
     gated: VecDeque<SendSpec>,
     /// Rendezvous sends awaiting CTS.
     rndv_pending: RndvPending,
@@ -321,6 +325,7 @@ impl RankSim {
             reserved_count: vec![0; n],
             waiters: vec![VecDeque::new(); n],
             outstanding_acks: 0,
+            pending_el: 0,
             gated: VecDeque::new(),
             rndv_pending: HashMap::new(),
             resend_q: VecDeque::new(),
@@ -393,6 +398,7 @@ pub struct Sim {
     msgs_delivered: u64,
     bytes_delivered: u64,
     el_events: u64,
+    el_requests: u64,
     checkpoints: u64,
     faults: u64,
     infeasible: bool,
@@ -438,6 +444,7 @@ impl Sim {
             msgs_delivered: 0,
             bytes_delivered: 0,
             el_events: 0,
+            el_requests: 0,
             checkpoints: 0,
             faults: 0,
             infeasible: false,
@@ -507,6 +514,7 @@ impl Sim {
     /// As [`start_transfer`], with completion notifications fired when the
     /// last byte leaves the source (blocking-send unblock + request
     /// completion).
+    #[allow(clippy::too_many_arguments)]
     fn start_transfer_notify(
         &mut self,
         src: Nid,
@@ -718,21 +726,22 @@ impl Sim {
                     self.initiate_payload(sender, receiver, index, bytes, token, op);
                 }
             }
-            TKind::ElEvent { owner } => {
-                // EL service then the ack back.
+            TKind::ElEvent { owner, events } => {
+                // One EL service pass per batch, then one coalesced
+                // high-watermark ack back (the round-trip amortization).
                 let el = self.el_for(owner);
                 self.start_transfer(
                     el,
                     owner,
                     self.cfg.event_bytes,
                     self.cfg.el_service,
-                    TKind::ElAck { owner },
+                    TKind::ElAck { owner, events },
                 );
             }
-            TKind::ElAck { owner } => {
+            TKind::ElAck { owner, events } => {
                 let r = &mut self.ranks[owner];
-                debug_assert!(r.outstanding_acks > 0);
-                r.outstanding_acks = r.outstanding_acks.saturating_sub(1);
+                debug_assert!(r.outstanding_acks as u64 >= events);
+                r.outstanding_acks = r.outstanding_acks.saturating_sub(events as u32);
                 if r.outstanding_acks == 0 {
                     self.drain_gate(owner);
                 }
@@ -956,9 +965,35 @@ impl Sim {
             return;
         }
         self.el_events += 1;
+        // The gate closes at delivery regardless of when the event ships.
         self.ranks[r].outstanding_acks += 1;
+        self.ranks[r].pending_el += 1;
+        // Flush at the size threshold, or immediately when a send is
+        // already queued behind the gate (its ack can otherwise never
+        // arrive). `el_batch_max == 1` is the eager per-event baseline.
+        if self.ranks[r].pending_el >= self.cfg.el_batch_max.max(1)
+            || !self.ranks[r].gated.is_empty()
+        {
+            self.flush_el(r);
+        }
+    }
+
+    /// Ship the pending reception events as one batched EL request.
+    fn flush_el(&mut self, r: usize) {
+        let events = self.ranks[r].pending_el;
+        if events == 0 {
+            return;
+        }
+        self.ranks[r].pending_el = 0;
+        self.el_requests += 1;
         let el = self.el_for(r);
-        self.start_transfer(r, el, self.cfg.event_bytes, 0, TKind::ElEvent { owner: r });
+        self.start_transfer(
+            r,
+            el,
+            events * self.cfg.event_bytes,
+            0,
+            TKind::ElEvent { owner: r, events },
+        );
     }
 
     fn gate_closed(&self, r: usize) -> bool {
@@ -970,6 +1005,9 @@ impl Sim {
     fn send_or_gate(&mut self, r: usize, spec: SendSpec) {
         if self.gate_closed(r) {
             self.ranks[r].gated.push_back(spec);
+            // The send now waits on the EL ack of every delivered event:
+            // ship any still-pending events or the gate never opens.
+            self.flush_el(r);
         } else {
             self.execute_send_spec(r, spec);
         }
@@ -1385,6 +1423,9 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn begin_checkpoint(&mut self, r: usize) {
+        // Mirror the engine: arming a checkpoint forces the pending
+        // events out so the gate can quiesce.
+        self.flush_el(r);
         let image_bytes = self.cfg.process_state_bytes + self.ranks[r].log_bytes;
         let snap = Snapshot {
             pc: self.ranks[r].pc,
@@ -1416,11 +1457,10 @@ impl Sim {
             .expect("snapshot set")
             .consumed_count
             .clone();
-        for u in 0..self.n {
+        for (u, &upto) in consumed.iter().enumerate() {
             if u == r {
                 continue;
             }
-            let upto = consumed[u];
             let from = self.ranks[u].gc_watermark[r];
             let freed: u64 = self.ranks[u].sent_sizes[r]
                 .iter()
@@ -1483,6 +1523,7 @@ impl Sim {
             rk.pc_at_crash = pc_at_crash;
             rk.ckpt_in_progress = false;
             rk.outstanding_acks = 0;
+            rk.pending_el = 0;
             rk.gated.clear();
             rk.rndv_pending.clear();
             rk.resend_q.clear();
@@ -1798,6 +1839,7 @@ impl Sim {
             msgs_delivered: self.msgs_delivered,
             bytes_delivered: self.bytes_delivered,
             el_events: self.el_events,
+            el_requests: self.el_requests,
             max_log_bytes: self
                 .ranks
                 .iter()
@@ -1829,6 +1871,7 @@ pub fn simulate_with_faults(
 /// The Fig.-10 scenario: the run has completed; restart the given ranks
 /// from the *beginning* (no checkpoints) and measure their re-execution.
 /// Non-restarted ranks only serve re-sends from their logs.
+#[allow(clippy::needless_range_loop)] // rank/peer cross-indexing
 pub fn simulate_replay(cfg: ClusterConfig, traces: Vec<Vec<Op>>, restarted: &[usize]) -> SimReport {
     let n = traces.len();
     let restarted: HashSet<usize> = restarted.iter().copied().collect();
@@ -1997,7 +2040,67 @@ mod tests {
         assert_eq!(rep.msgs_delivered, 5);
         assert_eq!(rep.bytes_delivered, 5000);
         assert_eq!(rep.el_events, 5);
+        assert_eq!(rep.el_requests, 5, "eager logging: one request per event");
         assert_eq!(rep.max_log_bytes, 5000);
+    }
+
+    #[test]
+    fn el_batching_coalesces_requests_for_reception_bursts() {
+        // A receive-only rank accumulates events to the batch threshold:
+        // 8 receptions ship as ceil(8/4) = 2 EL requests.
+        let mut a = TraceBuilder::new();
+        for _ in 0..8 {
+            a.send(1, 1000);
+        }
+        let mut b = TraceBuilder::new();
+        for _ in 0..8 {
+            b.recv(0);
+        }
+        let mut c = cfg(Protocol::V2, 2);
+        c.el_batch_max = 4;
+        let rep = simulate(c, vec![a.build(), b.build()]);
+        assert_eq!(rep.el_events, 8);
+        assert_eq!(rep.el_requests, 2, "two 4-event batches");
+        assert_eq!(rep.msgs_delivered, 8);
+    }
+
+    #[test]
+    fn el_batching_flushes_when_a_send_gates() {
+        // Ping-pong under a huge batch threshold: each reply queues
+        // behind the gate, which forces the pending event out — the run
+        // completes (no deadlock) and pays one EL request per reception.
+        let iters = 4u32;
+        let mut a = TraceBuilder::new();
+        let mut b = TraceBuilder::new();
+        for _ in 0..iters {
+            a.send(1, 0);
+            a.recv(1);
+            b.recv(0);
+            b.send(0, 0);
+        }
+        let mut c = cfg(Protocol::V2, 2);
+        c.el_batch_max = 1 << 20;
+        let rep = simulate(c, vec![a.build(), b.build()]);
+        assert_eq!(rep.msgs_delivered, 2 * iters as u64);
+        assert_eq!(rep.el_events, 2 * iters as u64);
+        // B's replies force per-event flushes; A's receptions (no
+        // subsequent gated send except the next ping) flush likewise.
+        assert!(
+            rep.el_requests >= iters as u64,
+            "gated sends must force flushes: {} requests",
+            rep.el_requests
+        );
+    }
+
+    #[test]
+    fn el_batching_preserves_one_way_latency() {
+        // Lazy batching only defers EL traffic; a single one-way message
+        // never waits on the gate, so its latency is unchanged.
+        let eager = simulate(cfg(Protocol::V2, 2), one_send(0)).makespan;
+        let mut c = cfg(Protocol::V2, 2);
+        c.el_batch_max = 64;
+        let lazy = simulate(c, one_send(0)).makespan;
+        assert_eq!(eager, lazy);
     }
 
     #[test]

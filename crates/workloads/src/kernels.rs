@@ -158,9 +158,9 @@ pub fn cg<C: Channel>(
         laplacian_matvec(mpi, &st.p, &mut ap)?;
         let p_ap = dot(mpi, &st.p, &ap)?;
         let alpha = st.rr / p_ap;
-        for i in 0..len {
+        for (i, &api) in ap.iter().enumerate().take(len) {
             st.x[i] += alpha * st.p[i];
-            st.r[i] -= alpha * ap[i];
+            st.r[i] -= alpha * api;
         }
         let rr_new = dot(mpi, &st.r, &st.r)?;
         let beta = rr_new / st.rr;

@@ -174,7 +174,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 6,
         max_shrink_iters: 0,
-        ..ProptestConfig::default()
     })]
 
     #[test]

@@ -1,0 +1,347 @@
+//! Offline stand-in for `bincode`: a self-describing binary encoding of
+//! the vendored serde value tree.
+//!
+//! Not wire-compatible with real bincode — both ends of every encode /
+//! decode in this workspace go through this crate, so only round-trip
+//! fidelity matters (checkpoint images, MPI wire frames, test fixtures).
+
+use serde::value::{from_value, to_value, Value, VariantData};
+use serde::{Deserialize, Serialize};
+use std::fmt::{self, Display};
+
+/// A bincode error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bincode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Encode `value` into bytes.
+pub fn serialize<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    encode(&to_value(value), &mut out);
+    Ok(out)
+}
+
+/// Decode a `T` from bytes produced by [`serialize`].
+pub fn deserialize<'a, T: Deserialize<'a>>(bytes: &'a [u8]) -> Result<T> {
+    let mut input = bytes;
+    let v = decode(&mut input)?;
+    if !input.is_empty() {
+        return Err(Error(format!("{} trailing bytes", input.len())));
+    }
+    from_value(v)
+}
+
+/// Size in bytes of the encoding of `value`.
+pub fn serialized_size<T: Serialize + ?Sized>(value: &T) -> Result<u64> {
+    serialize(value).map(|v| v.len() as u64)
+}
+
+// ---------------------------------------------------------------------
+// Encoding: tag byte + LEB128-style varints for lengths and integers.
+// ---------------------------------------------------------------------
+
+mod tag {
+    pub const UNIT: u8 = 0;
+    pub const FALSE: u8 = 1;
+    pub const TRUE: u8 = 2;
+    pub const U64: u8 = 3;
+    pub const I64: u8 = 4;
+    pub const F64: u8 = 5;
+    pub const CHAR: u8 = 6;
+    pub const STR: u8 = 7;
+    pub const BYTES: u8 = 8;
+    pub const NONE: u8 = 9;
+    pub const SOME: u8 = 10;
+    pub const SEQ: u8 = 11;
+    pub const MAP: u8 = 12;
+    pub const STRUCT: u8 = 13;
+    pub const VARIANT_UNIT: u8 = 14;
+    pub const VARIANT_NEWTYPE: u8 = 15;
+    pub const VARIANT_TUPLE: u8 = 16;
+    pub const VARIANT_STRUCT: u8 = 17;
+}
+
+fn put_varint(mut n: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (n & 0x7f) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_str(s: &str, out: &mut Vec<u8>) {
+    put_varint(s.len() as u64, out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Unit => out.push(tag::UNIT),
+        Value::Bool(false) => out.push(tag::FALSE),
+        Value::Bool(true) => out.push(tag::TRUE),
+        Value::U64(n) => {
+            out.push(tag::U64);
+            put_varint(*n, out);
+        }
+        Value::I64(n) => {
+            // Zigzag so small negatives stay small.
+            out.push(tag::I64);
+            put_varint(((n << 1) ^ (n >> 63)) as u64, out);
+        }
+        Value::F64(x) => {
+            out.push(tag::F64);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Char(c) => {
+            out.push(tag::CHAR);
+            put_varint(*c as u64, out);
+        }
+        Value::Str(s) => {
+            out.push(tag::STR);
+            put_str(s, out);
+        }
+        Value::Bytes(b) => {
+            out.push(tag::BYTES);
+            put_varint(b.len() as u64, out);
+            out.extend_from_slice(b);
+        }
+        Value::None => out.push(tag::NONE),
+        Value::Some(inner) => {
+            out.push(tag::SOME);
+            encode(inner, out);
+        }
+        Value::Seq(items) => {
+            out.push(tag::SEQ);
+            put_varint(items.len() as u64, out);
+            for item in items {
+                encode(item, out);
+            }
+        }
+        Value::Map(pairs) => {
+            out.push(tag::MAP);
+            put_varint(pairs.len() as u64, out);
+            for (k, val) in pairs {
+                encode(k, out);
+                encode(val, out);
+            }
+        }
+        // Structs encode positionally (declaration order), like real
+        // bincode: the decoder zips values against the derive-supplied
+        // field names. Keeps records near the paper's ~20-byte events.
+        Value::Struct(_, fields) => {
+            out.push(tag::SEQ);
+            put_varint(fields.len() as u64, out);
+            for (_, val) in fields {
+                encode(val, out);
+            }
+        }
+        Value::Variant(idx, name, data) => {
+            out.push(match &**data {
+                VariantData::Unit => tag::VARIANT_UNIT,
+                VariantData::Newtype(_) => tag::VARIANT_NEWTYPE,
+                // Struct variants also encode positionally.
+                VariantData::Tuple(_) | VariantData::Struct(_) => tag::VARIANT_TUPLE,
+            });
+            put_varint(*idx as u64, out);
+            put_str(name, out);
+            match &**data {
+                VariantData::Unit => {}
+                VariantData::Newtype(v) => encode(v, out),
+                VariantData::Tuple(items) => {
+                    put_varint(items.len() as u64, out);
+                    for item in items {
+                        encode(item, out);
+                    }
+                }
+                VariantData::Struct(fields) => {
+                    put_varint(fields.len() as u64, out);
+                    for (_, val) in fields {
+                        encode(val, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn take_byte(input: &mut &[u8]) -> Result<u8> {
+    match input.split_first() {
+        Some((&b, rest)) => {
+            *input = rest;
+            Ok(b)
+        }
+        None => Err(Error("unexpected end of input".into())),
+    }
+}
+
+fn take_varint(input: &mut &[u8]) -> Result<u64> {
+    let mut n = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = take_byte(input)?;
+        n |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(n);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(Error("varint overflow".into()));
+        }
+    }
+}
+
+fn take_str(input: &mut &[u8]) -> Result<String> {
+    let len = take_varint(input)? as usize;
+    if input.len() < len {
+        return Err(Error("string length beyond input".into()));
+    }
+    let (s, rest) = input.split_at(len);
+    *input = rest;
+    String::from_utf8(s.to_vec()).map_err(|e| Error(e.to_string()))
+}
+
+fn decode(input: &mut &[u8]) -> Result<Value> {
+    Ok(match take_byte(input)? {
+        tag::UNIT => Value::Unit,
+        tag::FALSE => Value::Bool(false),
+        tag::TRUE => Value::Bool(true),
+        tag::U64 => Value::U64(take_varint(input)?),
+        tag::I64 => {
+            let z = take_varint(input)?;
+            Value::I64(((z >> 1) as i64) ^ -((z & 1) as i64))
+        }
+        tag::F64 => {
+            if input.len() < 8 {
+                return Err(Error("truncated f64".into()));
+            }
+            let (bits, rest) = input.split_at(8);
+            *input = rest;
+            Value::F64(f64::from_bits(u64::from_le_bytes(bits.try_into().unwrap())))
+        }
+        tag::CHAR => {
+            let n = take_varint(input)? as u32;
+            Value::Char(char::from_u32(n).ok_or_else(|| Error("invalid char".into()))?)
+        }
+        tag::STR => Value::Str(take_str(input)?),
+        tag::BYTES => {
+            let len = take_varint(input)? as usize;
+            if input.len() < len {
+                return Err(Error("byte length beyond input".into()));
+            }
+            let (b, rest) = input.split_at(len);
+            *input = rest;
+            Value::Bytes(b.to_vec())
+        }
+        tag::NONE => Value::None,
+        tag::SOME => Value::Some(Box::new(decode(input)?)),
+        tag::SEQ => {
+            let len = take_varint(input)? as usize;
+            let mut items = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                items.push(decode(input)?);
+            }
+            Value::Seq(items)
+        }
+        tag::MAP => {
+            let len = take_varint(input)? as usize;
+            let mut pairs = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                let k = decode(input)?;
+                let v = decode(input)?;
+                pairs.push((k, v));
+            }
+            Value::Map(pairs)
+        }
+        tag::STRUCT => {
+            let name = take_str(input)?;
+            let len = take_varint(input)? as usize;
+            let mut fields = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                let k = take_str(input)?;
+                let v = decode(input)?;
+                fields.push((k, v));
+            }
+            Value::Struct(name, fields)
+        }
+        t @ (tag::VARIANT_UNIT
+        | tag::VARIANT_NEWTYPE
+        | tag::VARIANT_TUPLE
+        | tag::VARIANT_STRUCT) => {
+            let idx = take_varint(input)? as u32;
+            let name = take_str(input)?;
+            let data = match t {
+                tag::VARIANT_UNIT => VariantData::Unit,
+                tag::VARIANT_NEWTYPE => VariantData::Newtype(decode(input)?),
+                tag::VARIANT_TUPLE => {
+                    let len = take_varint(input)? as usize;
+                    let mut items = Vec::with_capacity(len.min(1 << 16));
+                    for _ in 0..len {
+                        items.push(decode(input)?);
+                    }
+                    VariantData::Tuple(items)
+                }
+                _ => {
+                    let len = take_varint(input)? as usize;
+                    let mut fields = Vec::with_capacity(len.min(1 << 16));
+                    for _ in 0..len {
+                        let k = take_str(input)?;
+                        let v = decode(input)?;
+                        fields.push((k, v));
+                    }
+                    VariantData::Struct(fields)
+                }
+            };
+            Value::Variant(idx, name, Box::new(data))
+        }
+        other => return Err(Error(format!("unknown tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars_and_containers() {
+        let v = (42u64, -7i64, 1.5f64, String::from("hi"), vec![1u8, 2, 3]);
+        let enc = serialize(&v).unwrap();
+        let dec: (u64, i64, f64, String, Vec<u8>) = deserialize(&enc).unwrap();
+        assert_eq!(v, dec);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut enc = serialize(&1u64).unwrap();
+        enc.push(0);
+        assert!(deserialize::<u64>(&enc).is_err());
+    }
+}

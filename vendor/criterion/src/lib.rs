@@ -1,0 +1,139 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Exposes the API the workspace benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, `benchmark_group`,
+//! `Bencher::iter`/`iter_batched`, `black_box`, `BatchSize`). Each bench
+//! routine runs a small fixed number of iterations and reports the mean
+//! wall time — a smoke-test harness, not a statistics engine, so bench
+//! binaries stay fast under `cargo test`/`cargo bench` without network
+//! access.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (ignored by this harness).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Per-iteration timing loop handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep bench binaries fast when run by `cargo test`.
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = b.elapsed.as_nanos() as f64 / self.iters.max(1) as f64;
+        println!("bench {name:<40} {:>12.0} ns/iter (n={})", mean, self.iters);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

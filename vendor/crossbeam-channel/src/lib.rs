@@ -1,0 +1,6 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! Declared in a few dev-dependency tables but unused; re-exports
+//! `std::sync::mpsc` under the crossbeam names so basic usage would work.
+
+pub use std::sync::mpsc::{channel as unbounded, Receiver, RecvError, SendError, Sender};

@@ -1,0 +1,24 @@
+//! Offline stand-in for `rand`.
+//!
+//! The workspace declares `rand` in a few dev-dependency tables but does
+//! not call it; tests that need randomness use small local generators so
+//! runs stay deterministic. This crate exists only to satisfy dependency
+//! resolution without network access. A tiny SplitMix64 [`Rng`] is
+//! provided in case future code wants it.
+
+/// A minimal SplitMix64 generator.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

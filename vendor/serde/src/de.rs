@@ -1,0 +1,364 @@
+//! Deserialization half: `Deserialize`/`Deserializer`/`Visitor` and impls
+//! for std types.
+
+use crate::value::{from_value, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt::{self, Display};
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// Errors a [`Deserializer`] may produce.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A deserialization front-end over the self-describing [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    /// Surrender the underlying value tree.
+    fn into_value(self) -> Result<Value, Self::Error>;
+
+    /// Drive a visitor expecting an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        match self.into_value()? {
+            Value::Bytes(b) => visitor.visit_byte_buf(b),
+            Value::Seq(items) => visitor.visit_seq(ValueSeqAccess {
+                items: items.into_iter(),
+                _err: PhantomData,
+            }),
+            other => Err(Self::Error::custom(format_args!(
+                "expected bytes, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Drive a visitor expecting a sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        match self.into_value()? {
+            Value::Seq(items) => visitor.visit_seq(ValueSeqAccess {
+                items: items.into_iter(),
+                _err: PhantomData,
+            }),
+            Value::Bytes(b) => visitor.visit_byte_buf(b),
+            other => Err(Self::Error::custom(format_args!(
+                "expected a sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Sequential access to the elements of a serialized sequence.
+pub trait SeqAccess<'de> {
+    type Error: Error;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+struct ValueSeqAccess<E> {
+    items: std::vec::IntoIter<Value>,
+    _err: PhantomData<E>,
+}
+
+impl<'de, E: Error> SeqAccess<'de> for ValueSeqAccess<E> {
+    type Error = E;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, E> {
+        match self.items.next() {
+            Some(v) => from_value(v).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.items.len())
+    }
+}
+
+/// What a manual `Deserialize` impl expects to see (the serde visitor
+/// pattern, reduced to the callbacks this workspace uses).
+pub trait Visitor<'de>: Sized {
+    type Value;
+
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+        Err(E::custom(Expected(&self)))
+    }
+
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom("unexpected sequence"))
+    }
+}
+
+struct Expected<V>(V);
+
+impl<'de, V: Visitor<'de>> Display for Expected<&V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid type, expected ")?;
+        self.0.expecting(f)
+    }
+}
+
+/// A value reconstructible from the vendored data model.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// `Deserialize` that can be driven without borrowing input — all of our
+/// tree-based deserialization qualifies.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+fn value_as_u64<E: Error>(v: Value) -> Result<u64, E> {
+    match v {
+        Value::U64(n) => Ok(n),
+        Value::I64(n) if n >= 0 => Ok(n as u64),
+        other => Err(E::custom(format_args!(
+            "expected an unsigned integer, found {other:?}"
+        ))),
+    }
+}
+
+fn value_as_i64<E: Error>(v: Value) -> Result<i64, E> {
+    match v {
+        Value::I64(n) => Ok(n),
+        Value::U64(n) => i64::try_from(n)
+            .map_err(|_| E::custom(format_args!("integer {n} out of i64 range"))),
+        other => Err(E::custom(format_args!(
+            "expected an integer, found {other:?}"
+        ))),
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let n = value_as_u64::<D::Error>(d.into_value()?)?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let n = value_as_i64::<D::Error>(d.into_value()?)?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+deserialize_uint!(u8, u16, u32, u64, usize);
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            other => Err(D::Error::custom(format_args!(
+                "expected a float, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_value::<f64, D::Error>(d.into_value()?).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format_args!(
+                "expected a bool, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Char(c) => Ok(c),
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(D::Error::custom(format_args!(
+                "expected a char, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Str(s) => Ok(s),
+            Value::Char(c) => Ok(c.to_string()),
+            other => Err(D::Error::custom(format_args!(
+                "expected a string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Unit => Ok(()),
+            other => Err(D::Error::custom(format_args!(
+                "expected unit, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::None | Value::Unit => Ok(None),
+            Value::Some(inner) => from_value(*inner).map(Some),
+            // Back-ends without an explicit option form hand us the bare
+            // value.
+            other => from_value(other).map(Some),
+        }
+    }
+}
+
+fn value_into_seq<E: Error>(v: Value) -> Result<Vec<Value>, E> {
+    match v {
+        Value::Seq(items) => Ok(items),
+        Value::Bytes(b) => Ok(b.into_iter().map(|x| Value::U64(x as u64)).collect()),
+        other => Err(E::custom(format_args!(
+            "expected a sequence, found {other:?}"
+        ))),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        value_into_seq::<D::Error>(d.into_value()?)?
+            .into_iter()
+            .map(from_value)
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(VecDeque::from)
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+fn value_into_map<E: Error>(v: Value) -> Result<Vec<(Value, Value)>, E> {
+    match v {
+        Value::Map(pairs) => Ok(pairs),
+        Value::Struct(_, fields) => Ok(fields
+            .into_iter()
+            .map(|(k, val)| (Value::Str(k), val))
+            .collect()),
+        other => Err(E::custom(format_args!("expected a map, found {other:?}"))),
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        value_into_map::<D::Error>(d.into_value()?)?
+            .into_iter()
+            .map(|(k, v)| Ok((from_value(k)?, from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Eq + Hash, V: Deserialize<'de>> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        value_into_map::<D::Error>(d.into_value()?)?
+            .into_iter()
+            .map(|(k, v)| Ok((from_value(k)?, from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = Vec::<T>::deserialize(d)?;
+        let n = v.len();
+        v.try_into()
+            .map_err(|_| D::Error::custom(format_args!("expected {N} elements, found {n}")))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:expr; $($t:ident),+))+) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let items = value_into_seq::<D::Error>(d.into_value()?)?;
+                if items.len() != $len {
+                    return Err(D::Error::custom(format_args!(
+                        "expected a tuple of {} elements, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                let mut it = items.into_iter();
+                Ok(($({
+                    let v: $t = from_value(it.next().unwrap())?;
+                    v
+                },)+))
+            }
+        }
+    )+};
+}
+
+deserialize_tuple! {
+    (1; T0)
+    (2; T0, T1)
+    (3; T0, T1, T2)
+    (4; T0, T1, T2, T3)
+    (5; T0, T1, T2, T3, T4)
+    (6; T0, T1, T2, T3, T4, T5)
+}

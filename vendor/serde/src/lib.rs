@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! self-contained serialization framework exposing the serde API surface it
+//! actually uses: the `Serialize`/`Deserialize` traits, derive macros, the
+//! `Serializer`/`Deserializer`/`Visitor` shapes needed by manual impls, and
+//! a self-describing [`value::Value`] tree that `serde_json` and `bincode`
+//! (also vendored) render.
+//!
+//! Unlike real serde there is no zero-copy streaming: every serializer
+//! lowers through the `Value` tree. That is plenty for checkpoint images,
+//! wire frames and results files at test scale.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,244 @@
+//! The self-describing value tree every vendored serializer lowers through.
+
+use crate::de::{self, Deserialize};
+use crate::ser::Serialize;
+
+/// A serialized value: the common intermediate form between `Serialize`
+/// impls and concrete back-ends (`serde_json`, `bincode`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `()` and unit structs.
+    Unit,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Char(char),
+    Str(String),
+    Bytes(Vec<u8>),
+    /// `Option::None`.
+    None,
+    /// `Option::Some`.
+    Some(Box<Value>),
+    /// Sequences, tuples and tuple structs.
+    Seq(Vec<Value>),
+    /// Maps, as ordered key/value pairs.
+    Map(Vec<(Value, Value)>),
+    /// A struct with named fields: `(type_name, fields)`.
+    Struct(String, Vec<(String, Value)>),
+    /// An enum variant: `(variant_index, variant_name, data)`.
+    Variant(u32, String, Box<VariantData>),
+}
+
+/// The payload shape of a serialized enum variant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VariantData {
+    Unit,
+    Newtype(Value),
+    Tuple(Vec<Value>),
+    Struct(Vec<(String, Value)>),
+}
+
+/// Serialize `v` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    match v.serialize(ValueBuilder) {
+        Ok(value) => value,
+        Err(never) => match never {},
+    }
+}
+
+/// Deserialize a `T` out of a [`Value`] tree, reporting failures as `E`.
+pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(v: Value) -> Result<T, E> {
+    T::deserialize(ValueReader {
+        value: v,
+        _err: std::marker::PhantomData,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The Serializer that builds Value trees.
+// ---------------------------------------------------------------------
+
+/// Uninhabited error type: building a `Value` cannot fail.
+#[derive(Debug)]
+pub enum Never {}
+
+impl std::fmt::Display for Never {
+    fn fmt(&self, _f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {}
+    }
+}
+
+impl std::error::Error for Never {}
+
+impl crate::ser::Error for Never {
+    fn custom<T: std::fmt::Display>(_msg: T) -> Self {
+        unreachable!("Value construction is infallible")
+    }
+}
+
+/// The [`crate::Serializer`] whose output is the [`Value`] tree itself.
+pub struct ValueBuilder;
+
+impl crate::ser::Serializer for ValueBuilder {
+    type Ok = Value;
+    type Error = Never;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Never> {
+        Ok(value)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The Deserializer that reads Value trees back.
+// ---------------------------------------------------------------------
+
+/// The [`crate::Deserializer`] over an owned [`Value`] tree, generic in the
+/// caller's error type.
+pub struct ValueReader<E> {
+    value: Value,
+    _err: std::marker::PhantomData<E>,
+}
+
+impl<'de, E: de::Error> crate::de::Deserializer<'de> for ValueReader<E> {
+    type Error = E;
+
+    fn into_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers used by the derive-generated code.
+// ---------------------------------------------------------------------
+
+/// Unpack a `Value::Struct`, tolerating the bare `Map` form and the
+/// positional `Seq` form compact back-ends emit (zipped against the
+/// declaration-order field `names` the derive supplies).
+pub fn into_struct_fields<E: de::Error>(
+    v: Value,
+    type_name: &str,
+    names: &[&str],
+) -> Result<Vec<(String, Value)>, E> {
+    match v {
+        Value::Struct(_, fields) => Ok(fields),
+        Value::Map(pairs) => pairs
+            .into_iter()
+            .map(|(k, val)| match k {
+                Value::Str(s) => Ok((s, val)),
+                other => Err(E::custom(format_args!(
+                    "struct {type_name}: non-string field key {other:?}"
+                ))),
+            })
+            .collect(),
+        Value::Seq(items) if items.len() == names.len() => Ok(names
+            .iter()
+            .map(|n| n.to_string())
+            .zip(items)
+            .collect()),
+        other => Err(E::custom(format_args!(
+            "expected struct {type_name}, found {other:?}"
+        ))),
+    }
+}
+
+/// Remove and deserialize field `name` from a struct's field list.
+pub fn take_field<'de, T: Deserialize<'de>, E: de::Error>(
+    fields: &mut Vec<(String, Value)>,
+    name: &str,
+) -> Result<T, E> {
+    match fields.iter().position(|(k, _)| k == name) {
+        Some(i) => from_value(fields.swap_remove(i).1),
+        None => Err(E::custom(format_args!("missing field `{name}`"))),
+    }
+}
+
+/// Unpack a `Value::Seq` of exactly `len` elements (tuples, tuple structs).
+pub fn into_seq<E: de::Error>(v: Value, len: usize) -> Result<std::vec::IntoIter<Value>, E> {
+    match v {
+        Value::Seq(items) if items.len() == len => Ok(items.into_iter()),
+        Value::Seq(items) => Err(E::custom(format_args!(
+            "expected a sequence of {len} elements, found {}",
+            items.len()
+        ))),
+        other => Err(E::custom(format_args!(
+            "expected a sequence, found {other:?}"
+        ))),
+    }
+}
+
+/// Deserialize the next element of an exploded sequence.
+pub fn seq_next<'de, T: Deserialize<'de>, E: de::Error>(
+    it: &mut std::vec::IntoIter<Value>,
+) -> Result<T, E> {
+    match it.next() {
+        Some(v) => from_value(v),
+        None => Err(E::custom("sequence exhausted")),
+    }
+}
+
+/// Unpack a `Value::Variant` into `(variant_name, data)`.
+pub fn into_variant<E: de::Error>(v: Value, type_name: &str) -> Result<(String, VariantData), E> {
+    match v {
+        Value::Variant(_, name, data) => Ok((name, *data)),
+        // A bare string is accepted as a unit variant (the JSON form).
+        Value::Str(name) => Ok((name, VariantData::Unit)),
+        other => Err(E::custom(format_args!(
+            "expected enum {type_name}, found {other:?}"
+        ))),
+    }
+}
+
+/// Expect a unit variant payload.
+pub fn variant_unit<E: de::Error>(data: VariantData) -> Result<(), E> {
+    match data {
+        VariantData::Unit => Ok(()),
+        other => Err(E::custom(format_args!(
+            "expected unit variant, found {other:?}"
+        ))),
+    }
+}
+
+/// Expect a newtype variant payload.
+pub fn variant_newtype<E: de::Error>(data: VariantData) -> Result<Value, E> {
+    match data {
+        VariantData::Newtype(v) => Ok(v),
+        VariantData::Tuple(mut items) if items.len() == 1 => Ok(items.remove(0)),
+        other => Err(E::custom(format_args!(
+            "expected newtype variant, found {other:?}"
+        ))),
+    }
+}
+
+/// Expect a tuple variant payload of exactly `len` elements.
+pub fn variant_tuple<E: de::Error>(
+    data: VariantData,
+    len: usize,
+) -> Result<std::vec::IntoIter<Value>, E> {
+    match data {
+        VariantData::Tuple(items) if items.len() == len => Ok(items.into_iter()),
+        VariantData::Newtype(v) if len == 1 => Ok(vec![v].into_iter()),
+        other => Err(E::custom(format_args!(
+            "expected tuple variant of {len} elements, found {other:?}"
+        ))),
+    }
+}
+
+/// Expect a struct variant payload, tolerating the positional tuple form
+/// compact back-ends emit.
+pub fn variant_struct<E: de::Error>(
+    data: VariantData,
+    names: &[&str],
+) -> Result<Vec<(String, Value)>, E> {
+    match data {
+        VariantData::Struct(fields) => Ok(fields),
+        VariantData::Tuple(items) if items.len() == names.len() => Ok(names
+            .iter()
+            .map(|n| n.to_string())
+            .zip(items)
+            .collect()),
+        other => Err(E::custom(format_args!(
+            "expected struct variant, found {other:?}"
+        ))),
+    }
+}

@@ -1,0 +1,476 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! non-generic structs and enums this workspace defines, parsing the item
+//! with raw `proc_macro` tokens (the container has no syn/quote). The
+//! generated impls lower through `serde::value::Value`, the vendored
+//! self-describing data model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("::core::compile_error!({msg:?});"),
+    };
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive produced invalid code: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    /// Tuple struct of `n >= 1` fields (1 = newtype, serialized
+    /// transparently like real serde).
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------
+// Parsing (raw token trees; no external parser crates available)
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.i += 1; // '#'
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.i += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let keyword = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match c.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                let kind = if arity == 0 {
+                    Kind::UnitStruct
+                } else {
+                    Kind::TupleStruct(arity)
+                };
+                Ok(Item { name, kind })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                kind: Kind::UnitStruct,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match c.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Field names of a `{ .. }` struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(body);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_visibility();
+        match c.bump() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            _ => break,
+        }
+        // ':'
+        if c.bump().is_none() {
+            break;
+        }
+        // Skip the type: consume until a comma outside angle brackets.
+        let mut depth: i32 = 0;
+        loop {
+            match c.bump() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = (depth - 1).max(0),
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    names
+}
+
+/// Number of fields in a `( .. )` struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    pending = true;
+                }
+                '>' => {
+                    depth = (depth - 1).max(0);
+                    pending = true;
+                }
+                ',' if depth == 0 => {
+                    if pending {
+                        fields += 1;
+                    }
+                    pending = false;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        let name = match c.bump() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found {other}")),
+            None => break,
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                c.i += 1;
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.i += 1;
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        loop {
+            match c.bump() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => continue,
+                None => break,
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "__serializer.serialize_value(::serde::value::Value::Unit)".to_owned(),
+        Kind::TupleStruct(1) => {
+            "__serializer.serialize_value(::serde::value::to_value(&self.0))".to_owned()
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::value::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "__serializer.serialize_value(::serde::value::Value::Seq(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::value::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "__serializer.serialize_value(::serde::value::Value::Struct(\
+                 ::std::string::String::from({name:?}), ::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                let (pattern, data) = match &v.shape {
+                    Shape::Unit => (
+                        format!("{name}::{vname}"),
+                        "::serde::value::VariantData::Unit".to_owned(),
+                    ),
+                    Shape::Tuple(1) => (
+                        format!("{name}::{vname}(__f0)"),
+                        "::serde::value::VariantData::Newtype(::serde::value::to_value(__f0))"
+                            .to_owned(),
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::value::to_value({b})"))
+                            .collect();
+                        (
+                            format!("{name}::{vname}({})", binds.join(", ")),
+                            format!(
+                                "::serde::value::VariantData::Tuple(::std::vec![{}])",
+                                vals.join(", ")
+                            ),
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let vals: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::value::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        (
+                            format!("{name}::{vname} {{ {} }}", fields.join(", ")),
+                            format!(
+                                "::serde::value::VariantData::Struct(::std::vec![{}])",
+                                vals.join(", ")
+                            ),
+                        )
+                    }
+                };
+                arms.push_str(&format!(
+                    "{pattern} => __serializer.serialize_value(\
+                     ::serde::value::Value::Variant({idx}u32, \
+                     ::std::string::String::from({vname:?}), \
+                     ::std::boxed::Box::new({data}))),\n"
+                ));
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => {
+            format!("let _ = __v; ::core::result::Result::Ok({name})")
+        }
+        Kind::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::value::from_value(__v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|_| "::serde::value::seq_next(&mut __it)?".to_owned())
+                .collect();
+            format!(
+                "let mut __it = ::serde::value::into_seq::<__D::Error>(__v, {n})?;\n\
+                 ::core::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::value::take_field(&mut __fields, {f:?})?"))
+                .collect();
+            let names: Vec<String> = fields.iter().map(|f| format!("{f:?}")).collect();
+            format!(
+                "let mut __fields = \
+                 ::serde::value::into_struct_fields::<__D::Error>(__v, {name:?}, &[{}])?;\n\
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                names.join(", "),
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let arm = match &v.shape {
+                    Shape::Unit => format!(
+                        "{vname:?} => {{\n\
+                         ::serde::value::variant_unit::<__D::Error>(__data)?;\n\
+                         ::core::result::Result::Ok({name}::{vname})\n}}"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::value::from_value(\
+                         ::serde::value::variant_newtype::<__D::Error>(__data)?)?))"
+                    ),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|_| "::serde::value::seq_next(&mut __it)?".to_owned())
+                            .collect();
+                        format!(
+                            "{vname:?} => {{\n\
+                             let mut __it = \
+                             ::serde::value::variant_tuple::<__D::Error>(__data, {n})?;\n\
+                             ::core::result::Result::Ok({name}::{vname}({}))\n}}",
+                            elems.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::value::take_field(&mut __fields, {f:?})?")
+                            })
+                            .collect();
+                        let names: Vec<String> =
+                            fields.iter().map(|f| format!("{f:?}")).collect();
+                        format!(
+                            "{vname:?} => {{\n\
+                             let mut __fields = \
+                             ::serde::value::variant_struct::<__D::Error>(__data, &[{}])?;\n\
+                             ::core::result::Result::Ok({name}::{vname} {{ {} }})\n}}",
+                            names.join(", "),
+                            inits.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+                arms.push_str(",\n");
+            }
+            format!(
+                "let (__name, __data) = \
+                 ::serde::value::into_variant::<__D::Error>(__v, {name:?})?;\n\
+                 match __name.as_str() {{\n{arms}\
+                 __other => ::core::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 #[allow(unused_variables)]\n\
+                 let __v = ::serde::Deserializer::into_value(__deserializer)?;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

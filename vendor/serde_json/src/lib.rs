@@ -1,0 +1,230 @@
+//! Offline stand-in for `serde_json`: renders the vendored serde value
+//! tree as JSON. Write-only — the workspace only emits results files.
+
+use serde::value::{to_value, Value, VariantData};
+use serde::Serialize;
+use std::fmt::{self, Display, Write as _};
+
+/// A JSON serialization error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&to_value(value), None, 0, &mut out)?;
+    Ok(out)
+}
+
+/// Serialize `value` as human-readable, 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&to_value(value), Some(2), 0, &mut out)?;
+    Ok(out)
+}
+
+/// Serialize `value` as compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+fn newline(indent: Option<usize>, level: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn render(v: &Value, indent: Option<usize>, level: usize, out: &mut String) -> Result<()> {
+    match v {
+        Value::Unit | Value::None => out.push_str("null"),
+        Value::Some(inner) => render(inner, indent, level, out)?,
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                let s = format!("{x}");
+                out.push_str(&s);
+                // Keep integral floats recognizably floating-point.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Char(c) => render_str(&c.to_string(), out),
+        Value::Str(s) => render_str(s, out),
+        Value::Bytes(b) => {
+            let items: Vec<Value> = b.iter().map(|&x| Value::U64(x as u64)).collect();
+            render_seq(&items, indent, level, out)?;
+        }
+        Value::Seq(items) => render_seq(items, indent, level, out)?,
+        Value::Map(pairs) => {
+            let rendered: Vec<(String, &Value)> = pairs
+                .iter()
+                .map(|(k, v)| key_string(k).map(|s| (s, v)))
+                .collect::<Result<Vec<_>>>()?;
+            render_obj(&rendered, indent, level, out)?;
+        }
+        Value::Struct(_, fields) => {
+            let rendered: Vec<(String, &Value)> =
+                fields.iter().map(|(k, v)| (k.clone(), v)).collect();
+            render_obj(&rendered, indent, level, out)?;
+        }
+        Value::Variant(_, name, data) => match &**data {
+            VariantData::Unit => render_str(name, out),
+            VariantData::Newtype(inner) => {
+                render_obj(&[(name.clone(), inner)], indent, level, out)?
+            }
+            VariantData::Tuple(items) => {
+                let inner = Value::Seq(items.clone());
+                out.push('{');
+                newline(indent, level + 1, out);
+                render_str(name, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(&inner, indent, level + 1, out)?;
+                newline(indent, level, out);
+                out.push('}');
+            }
+            VariantData::Struct(fields) => {
+                let inner = Value::Struct(name.clone(), fields.clone());
+                render_obj(&[(name.clone(), &inner)], indent, level, out)?;
+            }
+        },
+    }
+    Ok(())
+}
+
+fn key_string(k: &Value) -> std::result::Result<String, Error> {
+    match k {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Char(c) => Ok(c.to_string()),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        // Transparent newtype keys (e.g. Rank) arrive as their inner value;
+        // anything structured is not a JSON object key.
+        other => Err(Error(format!("unsupported JSON map key: {other:?}"))),
+    }
+}
+
+fn render_seq(
+    items: &[Value],
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+) -> Result<()> {
+    if items.is_empty() {
+        out.push_str("[]");
+        return Ok(());
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline(indent, level + 1, out);
+        render(item, indent, level + 1, out)?;
+    }
+    newline(indent, level, out);
+    out.push(']');
+    Ok(())
+}
+
+fn render_obj(
+    fields: &[(String, &Value)],
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+) -> Result<()> {
+    if fields.is_empty() {
+        out.push_str("{}");
+        return Ok(());
+    }
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline(indent, level + 1, out);
+        render_str(k, out);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        render(v, indent, level + 1, out)?;
+    }
+    newline(indent, level, out);
+    out.push('}');
+    Ok(())
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_containers() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert_eq!(to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+}
