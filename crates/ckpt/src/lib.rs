@@ -21,5 +21,5 @@ pub mod store;
 
 pub use policy_sim::{compare_all, simulate, PolicySimConfig, PolicySimReport, Scheme};
 pub use scheduler::{NodeStatus, Policy, Scheduler};
-pub use service::{run_checkpoint_server, CkptPacket};
+pub use service::{run_checkpoint_server, run_checkpoint_server_on, CkptPacket};
 pub use store::{CheckpointStore, StoredImage};

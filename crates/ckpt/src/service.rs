@@ -2,6 +2,13 @@
 //! Note §4.3: unlike the EL, the checkpoint server *may* be unreliable —
 //! nodes whose images are lost simply restart from scratch. Tests kill it
 //! to exercise exactly that path.
+//!
+//! The store itself models *stable storage* (the CS writes images to
+//! disk): [`run_checkpoint_server_on`] serves an externally owned store,
+//! so a relaunched CS process resumes with every image it ever acked.
+//! This is what makes event-log truncation after a completed checkpoint
+//! sound — a from-scratch restart is only ever needed for a rank with no
+//! stored image, whose event log is still complete.
 
 use crate::store::CheckpointStore;
 use mvr_core::{CkptReply, CkptRequest, Rank};
@@ -16,18 +23,32 @@ pub struct CkptPacket {
     pub req: CkptRequest,
 }
 
-/// Run the checkpoint server until its mailbox is killed. `reply` ships a
-/// [`CkptReply`] back to the daemon of the given rank.
-pub fn run_checkpoint_server<F>(mailbox: Mailbox<CkptPacket>, mut reply: F) -> CheckpointStore
-where
+/// Run the checkpoint server until its mailbox is killed, serving (and
+/// mutating) an externally owned store — the "disk" that survives a crash
+/// of the server process. `reply` ships a [`CkptReply`] back to the
+/// daemon of the given rank.
+pub fn run_checkpoint_server_on<F>(
+    mailbox: Mailbox<CkptPacket>,
+    store: &mut CheckpointStore,
+    mut reply: F,
+) where
     F: FnMut(Rank, CkptReply) -> bool,
 {
-    let mut store = CheckpointStore::new();
     // A kill (or a spurious timeout) ends the service loop.
     while let Ok(pkt) = mailbox.recv() {
         let r = store.handle(pkt.req);
         let _ = reply(pkt.from, r);
     }
+}
+
+/// As [`run_checkpoint_server_on`], with a fresh private store returned
+/// at shutdown.
+pub fn run_checkpoint_server<F>(mailbox: Mailbox<CkptPacket>, reply: F) -> CheckpointStore
+where
+    F: FnMut(Rank, CkptReply) -> bool,
+{
+    let mut store = CheckpointStore::new();
+    run_checkpoint_server_on(mailbox, &mut store, reply);
     store
 }
 

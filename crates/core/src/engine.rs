@@ -31,7 +31,7 @@ use crate::recovery::Watermarks;
 use crate::replay::{Offer, ProbeVerdict, ReplayError, ReplayPlan};
 use crate::sender_log::SenderLog;
 use crate::snapshot::EngineSnapshot;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 macro_rules! etrace {
     ($self:expr, $($arg:tt)*) => {
@@ -129,11 +129,14 @@ pub struct V2Engine {
     marks: Watermarks,
     gate: PessimismGate,
     mode: Mode,
-    /// Arrived, not-yet-delivered messages (normal mode), in arrival order.
+    /// Arrived, not-yet-delivered messages (normal mode), kept ascending
+    /// in sender clock *per sender* (cross-sender order is free). Arrival
+    /// order cannot be trusted wholesale: an in-flight message emitted to
+    /// a dead incarnation can surface in the new incarnation's mailbox
+    /// ahead of the RESTART resends that precede it in sender-clock
+    /// order, so duplicates are detected by exact membership (plus `HR`
+    /// for delivered clocks), never by a high-watermark on arrivals.
     recv_buffer: VecDeque<(Rank, u64, Payload)>,
-    /// Highest sender clock ever *arrived* per peer (volatile): suppresses
-    /// duplicates of messages still sitting undelivered in `recv_buffer`.
-    arrived: BTreeMap<Rank, u64>,
     /// Data transmissions waiting behind the pessimism gate (FIFO).
     gated: VecDeque<(Rank, PeerMsg)>,
     app_waiting_recv: bool,
@@ -183,7 +186,6 @@ impl V2Engine {
             gate: PessimismGate::new(),
             mode: Mode::Normal,
             recv_buffer: VecDeque::new(),
-            arrived: BTreeMap::new(),
             gated: VecDeque::new(),
             app_waiting_recv: false,
             app_waiting_probe: false,
@@ -205,11 +207,6 @@ impl V2Engine {
         e.clock = LogicalClock::from_value(snapshot.clock);
         e.marks = snapshot.watermarks;
         e.saved = snapshot.saved;
-        // Nothing has arrived since the rollback; duplicates of delivered
-        // messages are caught by HR.
-        for (q, hr) in e.marks.hr_entries().collect::<Vec<_>>() {
-            e.arrived.insert(q, hr);
-        }
         e
     }
 
@@ -235,6 +232,7 @@ impl V2Engine {
     /// on a restored (or fresh, if no image existed) engine before any
     /// application activity.
     pub fn begin_recovery(&mut self, events: Vec<ReceptionEvent>) {
+        self.metrics.recoveries += 1;
         let my_clock = self.clock.value();
         let events: Vec<ReceptionEvent> = events
             .into_iter()
@@ -270,6 +268,7 @@ impl V2Engine {
         let plan = ReplayPlan::new(events);
         if plan.is_done() {
             self.mode = Mode::Normal;
+            self.metrics.replays_completed += 1;
             self.outputs.push_back(Output::ReplayComplete);
         } else {
             self.mode = Mode::Replay(plan);
@@ -391,6 +390,15 @@ impl V2Engine {
             "self-sends must be short-circuited by the MPI layer"
         );
         let h = self.clock.tick();
+        etrace!(
+            self,
+            "app_send dst={} h={} hs={} gate_open={} gated={}",
+            dst,
+            h,
+            self.marks.hs(dst),
+            self.gate.is_open(),
+            self.gated.len()
+        );
         // SAVED is appended unconditionally (Lemma 1: re-executed sends
         // rebuild the log even when their transmission is suppressed).
         self.saved.append(dst, h, payload.clone());
@@ -554,25 +562,37 @@ impl V2Engine {
         let mut futures = plan.into_future_arrivals();
         futures.sort_by_key(|(id, _)| (id.sender, id.sender_clock));
         for (id, payload) in futures {
+            // A "future" at or below HR is no future at all: it duplicates
+            // a delivery the logged history already contains (a peer's
+            // later RESTART resend round can re-offer messages whose
+            // logged position was consumed, or cover clocks the history
+            // recorded under different positions). Exactly-once demands
+            // dropping it — parking it would push a below-watermark
+            // message into the live receive buffer.
+            if id.sender_clock <= self.marks.hr(id.sender) {
+                self.metrics.duplicates_dropped += 1;
+                etrace!(
+                    self,
+                    "drop stale future from {} h={} (hr={})",
+                    id.sender,
+                    id.sender_clock,
+                    self.marks.hr(id.sender)
+                );
+                continue;
+            }
             etrace!(
                 self,
                 "future->buffer from {} h={}",
                 id.sender,
                 id.sender_clock
             );
-            let w = self.arrived.entry(id.sender).or_insert(0);
-            *w = (*w).max(id.sender_clock);
             self.recv_buffer
                 .push_back((id.sender, id.sender_clock, payload));
-        }
-        // Re-seed arrival watermarks from HR for peers without futures.
-        for (q, hr) in self.marks.hr_entries().collect::<Vec<_>>() {
-            let w = self.arrived.entry(q).or_insert(0);
-            *w = (*w).max(hr);
         }
         // Replay completion is a forced-flush point (normally a no-op:
         // replayed deliveries are never re-logged).
         self.flush_events();
+        self.metrics.replays_completed += 1;
         self.outputs.push_back(Output::ReplayComplete);
     }
 
@@ -617,7 +637,7 @@ impl V2Engine {
         let h = data.id.sender_clock;
         etrace!(
             self,
-            "data from {} h={} mode={} hr={} arrived={:?}",
+            "data from {} h={} mode={} hr={} buffered={}",
             from,
             h,
             if self.is_replaying() {
@@ -626,18 +646,31 @@ impl V2Engine {
                 "normal"
             },
             self.marks.hr(from),
-            self.arrived.get(&from)
+            self.recv_buffer.len()
         );
         match &mut self.mode {
             Mode::Normal => {
+                // Exactly-once filter: delivered clocks are below `HR`;
+                // arrived-but-undelivered ones sit in the buffer. Checked
+                // by membership, not watermark — see `recv_buffer`.
                 let already_delivered = self.marks.is_duplicate_from(from, h);
-                let already_arrived = h <= self.arrived.get(&from).copied().unwrap_or(0);
-                if already_delivered || already_arrived {
+                let already_buffered = self
+                    .recv_buffer
+                    .iter()
+                    .any(|(q, hq, _)| *q == from && *hq == h);
+                if already_delivered || already_buffered {
                     self.metrics.duplicates_dropped += 1;
                     return Ok(());
                 }
-                self.arrived.insert(from, h);
-                self.recv_buffer.push_back((from, h, data.payload));
+                // Insert keeping the per-sender clock order: a RESTART
+                // resend can legitimately arrive behind an in-flight copy
+                // of a *later* message from the peer's previous view.
+                let at = self
+                    .recv_buffer
+                    .iter()
+                    .position(|(q, hq, _)| *q == from && *hq > h)
+                    .unwrap_or(self.recv_buffer.len());
+                self.recv_buffer.insert(at, (from, h, data.payload));
                 // A blocked probe can only exist in replay mode; a blocked
                 // recv may now complete.
                 self.progress_delivery()
@@ -687,21 +720,16 @@ impl V2Engine {
                 },
             });
         }
-        // Transmissions still waiting behind the gate will reach the peer
-        // anyway; don't queue a second copy of them.
-        let already_queued: std::collections::HashSet<u64> = self
-            .gated
-            .iter()
-            .filter_map(|(to, msg)| match msg {
-                PeerMsg::Data(d) if *to == from => Some(d.id.sender_clock),
-                _ => None,
-            })
-            .collect();
-        let resends: Vec<_> = self
-            .saved
-            .resend_after(from, last_received)
-            .filter(|s| !already_queued.contains(&s.sender_clock))
-            .collect();
+        // Purge transmissions to the restarting peer still queued behind
+        // the gate: they were addressed to its dead incarnation, and
+        // leaving them in place would emit them *ahead* of the (older)
+        // SAVED resends queued below, breaking the ascending per-peer
+        // wire order the receiver's replay relies on. Every purged
+        // payload the peer still needs is covered by `resend_after`
+        // (emission appends to SAVED before gating); purged clocks at or
+        // below `last_received` were already received and need nothing.
+        self.gated.retain(|(to, _)| *to != from);
+        let resends: Vec<_> = self.saved.resend_after(from, last_received).collect();
         for s in resends {
             self.marks.on_transmit_to(from, s.sender_clock);
             self.metrics.retransmissions += 1;
@@ -714,10 +742,28 @@ impl V2Engine {
         }
     }
 
+    /// The hosting daemon could not hand a data transmission at our clock
+    /// `h` to `to`: the peer's incarnation is gone and the message died
+    /// with its mailbox. Retract the optimistic `HS` advance recorded at
+    /// emission time, or a checkpoint of the inflated mark would suppress
+    /// the healing re-sends across our own later restart (see
+    /// [`Watermarks::rollback_hs_below`]).
+    pub fn on_transmit_dropped(&mut self, to: Rank, h: u64) {
+        etrace!(
+            self,
+            "transmit dropped to={} h={} hs={}",
+            to,
+            h,
+            self.marks.hs(to)
+        );
+        self.marks.rollback_hs_below(to, h);
+    }
+
     // --- event logger ----------------------------------------------------
 
     fn on_el_ack(&mut self, up_to: u64) {
         self.metrics.el_acks_received += 1;
+        etrace!(self, "el_ack up_to={}", up_to);
         if self.gate.on_ack(up_to) {
             self.flush_gated();
         }
@@ -1619,5 +1665,84 @@ mod tests {
             2,
             "re-received messages are fresh lazily-batched events"
         );
+    }
+
+    #[test]
+    fn out_of_order_arrival_buffers_in_clock_order() {
+        // An in-flight message emitted toward a dead incarnation can land
+        // in the new incarnation's mailbox *ahead* of the RESTART resends
+        // of its predecessors. The buffer must re-establish per-sender
+        // clock order and must not mistake the late-arriving earlier
+        // clocks for duplicates.
+        let mut e = V2Engine::fresh(Rank(1), 2);
+        feed_data(&mut e, Rank(0), 3);
+        feed_data(&mut e, Rank(0), 1);
+        // A duplicate of a buffered, undelivered message is recognized by
+        // membership (no arrival high-watermark involved).
+        feed_data(&mut e, Rank(0), 3);
+        assert_eq!(e.metrics().duplicates_dropped, 1);
+        feed_data(&mut e, Rank(0), 2);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            e.handle(Input::AppRecv).unwrap();
+            for x in outs(&mut e) {
+                if let Output::Deliver { payload, .. } = x {
+                    got.push(payload);
+                }
+            }
+        }
+        assert_eq!(got, vec![pl(1), pl(2), pl(3)], "delivered in clock order");
+        // Once delivered, duplicates fall to the HR watermark.
+        feed_data(&mut e, Rank(0), 2);
+        assert_eq!(e.metrics().duplicates_dropped, 2);
+    }
+
+    #[test]
+    fn restart_purges_gated_and_resends_in_clock_order() {
+        // A live re-executed send queued behind the gate must not be
+        // emitted ahead of the older SAVED messages a RESTART1 asks to
+        // re-send: the peer's replay assumes ascending per-pair clocks.
+        let mut e = V2Engine::fresh_with_policy(Rank(0), 2, BatchPolicy::Immediate);
+        for n in [1u8, 2, 3] {
+            e.handle(Input::AppSend {
+                dst: Rank(1),
+                payload: pl(n),
+            })
+            .unwrap();
+        }
+        assert_eq!(data_out(&outs(&mut e)).len(), 3, "gate open: all sent");
+        // A reception closes the gate; the next send is queued.
+        e.handle(Input::AppRecv).unwrap();
+        feed_data(&mut e, Rank(1), 1);
+        e.handle(Input::AppSend {
+            dst: Rank(1),
+            payload: pl(9),
+        })
+        .unwrap();
+        assert!(data_out(&outs(&mut e)).is_empty(), "send gated");
+        // The peer restarts having only received our clock 1.
+        e.handle(Input::Peer {
+            from: Rank(1),
+            msg: PeerMsg::Restart1 { last_received: 1 },
+        })
+        .unwrap();
+        outs(&mut e);
+        e.handle(Input::ElAck { up_to: 4 }).unwrap();
+        let clocks: Vec<u64> = data_out(&outs(&mut e))
+            .iter()
+            .map(|(_, id, _)| id.sender_clock)
+            .collect();
+        let mut sorted = clocks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            clocks, sorted,
+            "post-restart emissions ascend without duplicates"
+        );
+        assert!(
+            clocks.contains(&5),
+            "the purged gated send is re-emitted from SAVED"
+        );
+        assert_eq!(clocks, vec![2, 3, 5]);
     }
 }

@@ -46,6 +46,12 @@ pub struct Metrics {
     pub el_acks_received: u64,
     /// Largest single batch shipped to the event logger.
     pub el_max_batch_events: u64,
+    /// Recoveries begun by this incarnation (`begin_recovery` calls:
+    /// ROLLBACK + DownloadEL entry points).
+    pub recoveries: u64,
+    /// Replays driven to completion (the `ReplayComplete` transitions,
+    /// including trivially-empty replays of from-scratch restarts).
+    pub replays_completed: u64,
 }
 
 impl Metrics {

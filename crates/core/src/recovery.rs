@@ -89,6 +89,23 @@ impl Watermarks {
         self.hs.insert(q, last_received);
     }
 
+    /// A transmission to `q` at our clock `h` was dropped on the floor:
+    /// the peer's incarnation died and the message vanished with its
+    /// mailbox instead of reaching the network. `HS` must stop claiming
+    /// it was transmitted — a checkpoint taken with the inflated mark
+    /// would suppress, across our own later restart, the very re-sends
+    /// that fill the hole, and the receiver would deliver a gapped
+    /// (FIFO-violating) sequence. Roll `HS_p[q]` back below `h`;
+    /// under-counting only costs duplicate re-sends, which the receiver
+    /// independently discards via its `HR` watermark.
+    pub fn rollback_hs_below(&mut self, q: Rank, h: u64) {
+        if let Some(e) = self.hs.get_mut(&q) {
+            if *e >= h {
+                *e = h.saturating_sub(1);
+            }
+        }
+    }
+
     /// Iterate the non-zero `HR` entries (for checkpoint notifications).
     pub fn hr_entries(&self) -> impl Iterator<Item = (Rank, u64)> + '_ {
         self.hr.iter().map(|(&r, &v)| (r, v))

@@ -19,6 +19,7 @@
 //! out at registration; a restarted node registers again and gets a new
 //! generation, so stale incarnations cannot speak for the new one.
 
+use crate::chaos::{Turbulence, TurbulenceConfig, TurbulenceStats};
 use crate::error::{RecvError, SendError};
 use crate::mailbox::{MailCore, Mailbox};
 use mvr_core::NodeId;
@@ -73,6 +74,8 @@ struct Registry {
 #[derive(Clone)]
 pub struct Fabric {
     reg: Arc<RwLock<Registry>>,
+    /// The installed chaos layer, if any (see [`crate::chaos`]).
+    turb: Arc<RwLock<Option<Arc<Turbulence>>>>,
 }
 
 impl Default for Fabric {
@@ -86,6 +89,35 @@ impl Fabric {
     pub fn new() -> Self {
         Fabric {
             reg: Arc::new(RwLock::new(Registry::default())),
+            turb: Arc::new(RwLock::new(None)),
+        }
+    }
+
+    /// Install a seeded chaos layer on the send/deliver path. Replaces any
+    /// previously installed one (counters restart from zero).
+    pub fn install_turbulence(&self, cfg: TurbulenceConfig) {
+        *self.turb.write() = Some(Arc::new(Turbulence::new(cfg)));
+    }
+
+    /// Remove the chaos layer.
+    pub fn clear_turbulence(&self) {
+        *self.turb.write() = None;
+    }
+
+    /// Injection counters of the installed chaos layer, if any.
+    pub fn turbulence_stats(&self) -> Option<TurbulenceStats> {
+        self.turb.read().as_ref().map(|t| t.stats())
+    }
+
+    fn turbulence(&self) -> Option<Arc<Turbulence>> {
+        self.turb.read().clone()
+    }
+
+    /// Execute scheduled (elapsed-time) kills that have come due. Called
+    /// on every turbulent send so a busy fabric fires them promptly.
+    fn fire_due_scheduled(&self, t: &Turbulence) {
+        for group in t.due_scheduled() {
+            self.kill_group(&group);
         }
     }
 
@@ -127,11 +159,23 @@ impl Fabric {
     /// Crash `node`: close and empty its mailbox; all of its future sends
     /// and all sends to it fail until re-registration.
     pub fn kill(&self, node: NodeId) {
+        self.kill_group(std::slice::from_ref(&node));
+    }
+
+    /// Crash a whole fail-stop group *atomically*: every member dies under
+    /// one registry lock, so no observer ever sees the group half-dead
+    /// between member kills. This matters to the dispatcher, which treats
+    /// "daemon dead" as "the whole machine crashed" — a window where the
+    /// daemon is dead but its co-located process still registers as alive
+    /// would let a respawn race the second half of the kill.
+    pub fn kill_group(&self, nodes: &[NodeId]) {
         let mut reg = self.reg.write();
-        if let Some(slot) = reg.slots.get_mut(&node) {
-            if slot.alive {
-                slot.alive = false;
-                (slot.kill)();
+        for node in nodes {
+            if let Some(slot) = reg.slots.get_mut(node) {
+                if slot.alive {
+                    slot.alive = false;
+                    (slot.kill)();
+                }
             }
         }
     }
@@ -170,15 +214,65 @@ impl Fabric {
         to: NodeId,
         msg: M,
     ) -> Result<(), SendError> {
-        // Fail-stop: a killed incarnation may not affect the system.
+        // Fast fail-stop check before the (possibly sleeping) chaos layer;
+        // the authoritative check happens atomically with delivery below.
         if !from.is_live() {
             return Err(SendError::SenderDead);
         }
-        self.deliver(to, msg)
+        if let Some(t) = self.turbulence() {
+            self.fire_due_scheduled(&t);
+            let verdict = t.on_send(from.node, to);
+            if !verdict.delay.is_zero() {
+                // Sleep on the sending thread, before enqueue: per-sender
+                // FIFO is preserved, only interleavings are perturbed.
+                std::thread::sleep(verdict.delay);
+            }
+            if let Some(group) = verdict.kill_sender_group {
+                self.kill_group(&group);
+                return Err(SendError::SenderDead);
+            }
+        }
+        self.deliver_from(Some(from), to, msg)
     }
 
     fn deliver<M: Send + 'static>(&self, to: NodeId, msg: M) -> Result<(), SendError> {
+        self.deliver_from(None, to, msg)
+    }
+
+    fn deliver_from<M: Send + 'static>(
+        &self,
+        from: Option<&Identity>,
+        to: NodeId,
+        msg: M,
+    ) -> Result<(), SendError> {
+        if let Some(t) = self.turbulence() {
+            if let Some(group) = t.on_deliver(to) {
+                // The receiver crashes *while receiving* this message: the
+                // message is lost whole (atomicity) and the node fails stop.
+                self.kill_group(&group);
+                return Err(SendError::Disconnected(to));
+            }
+        }
         let reg = self.reg.read();
+        // Fail-stop, checked atomically with delivery: `kill_group` takes
+        // the registry write lock, so a kill either precedes this send
+        // entirely (we fail `SenderDead` here) or follows a delivery that
+        // completed while the sender was still live. Checking liveness
+        // *outside* this lock left a preemption window in which a killed
+        // incarnation's in-flight send could land in a reincarnated peer's
+        // fresh mailbox — e.g. a zombie daemon's reply arriving in its own
+        // restarted process's inbox ahead of the `InitOk`.
+        if let Some(f) = from {
+            let live = reg
+                .slots
+                .get(&f.node)
+                .filter(|s| s.alive)
+                .map(|s| s.generation)
+                == Some(f.generation);
+            if !live {
+                return Err(SendError::SenderDead);
+            }
+        }
         let slot = reg
             .slots
             .get(&to)
@@ -302,6 +396,42 @@ mod tests {
         let (mb, _id) = f.register::<&'static str>(cn(0));
         f.send_from_reliable(cn(0), "restart").unwrap();
         assert_eq!(mb.recv().unwrap(), "restart");
+    }
+
+    /// Once `kill` returns, nothing more from the killed incarnation may
+    /// arrive anywhere — even from a sender thread that was mid-send when
+    /// the kill struck. Delivery checks liveness under the same registry
+    /// lock the kill takes, so there is no window in which a zombie's
+    /// in-flight send can land in a reincarnated peer's fresh mailbox.
+    #[test]
+    fn no_delivery_from_killed_incarnation_after_kill_returns() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let f = Fabric::new();
+        let (mb_b, _id_b) = f.register::<u64>(cn(1));
+        for round in 0..100u64 {
+            let (_mb_a, id_a) = f.register::<u64>(cn(0));
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop2 = stop.clone();
+            let spammer = thread::spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    if id_a.send(cn(1), round).is_err() {
+                        break;
+                    }
+                }
+            });
+            thread::sleep(Duration::from_micros(200));
+            f.kill(cn(0));
+            // Anything delivered completed before the kill; drain it.
+            while mb_b.try_recv().unwrap().is_some() {}
+            thread::sleep(Duration::from_millis(1));
+            assert_eq!(
+                mb_b.try_recv().unwrap(),
+                None,
+                "zombie send landed after kill returned (round {round})"
+            );
+            stop.store(true, Ordering::Relaxed);
+            spammer.join().unwrap();
+        }
     }
 
     #[test]

@@ -18,10 +18,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod error;
 pub mod fabric;
 pub mod mailbox;
 
+pub use chaos::{fail_stop_group, CountTrigger, ScheduledKill, TurbulenceConfig, TurbulenceStats};
 pub use error::{RecvError, SendError};
 pub use fabric::{Fabric, Identity};
 pub use mailbox::Mailbox;

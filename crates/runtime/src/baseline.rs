@@ -120,7 +120,13 @@ pub fn daemon_main_v1(
                 }
                 ProcRequest::Finish => {
                     finalized = true;
-                    let _ = identity.send(NodeId::Dispatcher, DispatcherMsg::Finalized { rank });
+                    let _ = identity.send(
+                        NodeId::Dispatcher,
+                        DispatcherMsg::Finalized {
+                            rank,
+                            metrics: *engine.metrics(),
+                        },
+                    );
                     let _ = identity.send(NodeId::Process(rank), ProcReply::Done);
                 }
             },
@@ -188,7 +194,13 @@ pub fn daemon_main_p4(mailbox: Mailbox<DaemonMsg>, identity: Identity, rank: Ran
                     let _ = identity.send(NodeId::Process(rank), ProcReply::CkptCommitted);
                 }
                 ProcRequest::Finish => {
-                    let _ = identity.send(NodeId::Dispatcher, DispatcherMsg::Finalized { rank });
+                    let _ = identity.send(
+                        NodeId::Dispatcher,
+                        DispatcherMsg::Finalized {
+                            rank,
+                            metrics: *engine.metrics(),
+                        },
+                    );
                     let _ = identity.send(NodeId::Process(rank), ProcReply::Done);
                 }
             },

@@ -1,0 +1,258 @@
+//! The seeded crash-storm driver: randomized, replayable kill schedules
+//! executed against a live deployment.
+//!
+//! Where `mvr_net::chaos` places faults at exact points of a node's own
+//! message history (count triggers), this module models the *volatile
+//! desktop-grid* environment of the paper: nodes die at random times, in
+//! overlapping bursts, sometimes again while their reincarnation is still
+//! replaying, and occasionally the checkpoint server goes down with them
+//! (§4.3). The whole schedule — gaps, victims, burst sizes, re-kills,
+//! checkpoint-server kills — is a **pure function of one seed**
+//! ([`ChaosConfig::plan`]), so any failing soak run is reproducible from
+//! the seed its harness printed.
+
+use mvr_core::{NodeId, Rank};
+use mvr_net::Fabric;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Parameters of a randomized crash storm.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// The RNG seed the whole schedule derives from.
+    pub seed: u64,
+    /// Total number of rank kills to schedule (re-kills included).
+    pub kills: u32,
+    /// Minimum gap between kill events.
+    pub min_gap: Duration,
+    /// Maximum gap between kill events.
+    pub max_gap: Duration,
+    /// Maximum ranks killed simultaneously in one event (overlapping
+    /// crashes; 1 disables bursts).
+    pub max_burst: u32,
+    /// Percent chance (0–100) that an event also kills the checkpoint
+    /// server (§4.3: affected nodes then restart from scratch).
+    pub cs_kill_pct: u8,
+    /// Percent chance (0–100) that a kill is followed, after a sub-replay
+    /// gap (0.5–3 ms), by a re-kill of the same rank — crashing the
+    /// reincarnation while it is still recovering.
+    pub rekill_pct: u8,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 1,
+            kills: 6,
+            min_gap: Duration::from_millis(4),
+            max_gap: Duration::from_millis(14),
+            max_burst: 2,
+            cs_kill_pct: 0,
+            rekill_pct: 25,
+        }
+    }
+}
+
+/// One scheduled kill event of a chaos plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Gap since the previous event (the first: since launch).
+    pub after: Duration,
+    /// Ranks killed simultaneously.
+    pub victims: Vec<Rank>,
+    /// Whether the checkpoint server is killed too.
+    pub kill_checkpoint_server: bool,
+}
+
+impl ChaosConfig {
+    /// The full kill schedule — a pure function of `(self, world)`. Two
+    /// calls with the same inputs return identical plans; this is the
+    /// replayability contract of the soak harness.
+    pub fn plan(&self, world: u32) -> Vec<ChaosEvent> {
+        assert!(world > 0, "chaos needs at least one rank");
+        let mut rng = rand::Rng::seed_from_u64(self.seed ^ 0xC4A0_5EED);
+        let span_us = self.max_gap.saturating_sub(self.min_gap).as_micros().max(1) as u64;
+        let mut events = Vec::new();
+        let mut remaining = self.kills as u64;
+        while remaining > 0 {
+            let gap = self.min_gap + Duration::from_micros(rng.next_u64() % span_us);
+            let burst = (1 + rng.next_u64() % self.max_burst.max(1) as u64)
+                .min(remaining)
+                .min(world as u64);
+            let mut victims: Vec<Rank> = Vec::new();
+            while victims.len() < burst as usize {
+                let v = Rank((rng.next_u64() % world as u64) as u32);
+                if !victims.contains(&v) {
+                    victims.push(v);
+                }
+            }
+            let cs = rng.next_u64() % 100 < self.cs_kill_pct as u64;
+            remaining -= burst;
+            let rekill = remaining > 0 && rng.next_u64() % 100 < self.rekill_pct as u64;
+            let rekill_victim = victims[0];
+            let rekill_gap = Duration::from_micros(500 + rng.next_u64() % 2500);
+            events.push(ChaosEvent {
+                after: gap,
+                victims,
+                kill_checkpoint_server: cs,
+            });
+            if rekill {
+                remaining -= 1;
+                events.push(ChaosEvent {
+                    after: rekill_gap,
+                    victims: vec![rekill_victim],
+                    kill_checkpoint_server: false,
+                });
+            }
+        }
+        events
+    }
+}
+
+/// What the chaos driver actually did during a run.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// The full planned schedule (print this — plus the seed — to replay).
+    pub plan: Vec<ChaosEvent>,
+    /// Rank kills executed before the run completed.
+    pub rank_kills: u64,
+    /// Checkpoint-server kills executed.
+    pub cs_kills: u64,
+}
+
+/// The background thread walking a [`ChaosConfig::plan`] against the
+/// fabric. Owned by the dispatcher; stopped and joined at teardown.
+pub(crate) struct ChaosDriver {
+    handle: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    plan: Vec<ChaosEvent>,
+    rank_kills: Arc<AtomicU64>,
+    cs_kills: Arc<AtomicU64>,
+}
+
+impl ChaosDriver {
+    pub(crate) fn spawn(fabric: Fabric, cfg: &ChaosConfig, world: u32) -> Self {
+        let plan = cfg.plan(world);
+        let stop = Arc::new(AtomicBool::new(false));
+        let rank_kills = Arc::new(AtomicU64::new(0));
+        let cs_kills = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let plan = plan.clone();
+            let stop = stop.clone();
+            let rank_kills = rank_kills.clone();
+            let cs_kills = cs_kills.clone();
+            std::thread::Builder::new()
+                .name("chaos-driver".into())
+                .spawn(move || {
+                    'events: for ev in &plan {
+                        // Sleep in small chunks so a finished run does not
+                        // wait out the remaining schedule.
+                        let mut left = ev.after;
+                        while !left.is_zero() {
+                            if stop.load(Ordering::Acquire) {
+                                break 'events;
+                            }
+                            let chunk = left.min(Duration::from_millis(2));
+                            std::thread::sleep(chunk);
+                            left = left.saturating_sub(chunk);
+                        }
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        for v in &ev.victims {
+                            // Atomic: the dispatcher must never observe
+                            // the daemon dead while the co-located process
+                            // slot is still alive (it would race a respawn
+                            // into the half-killed group).
+                            fabric.kill_group(&mvr_net::fail_stop_group(*v));
+                            rank_kills.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if ev.kill_checkpoint_server {
+                            fabric.kill(NodeId::CheckpointServer(0));
+                            cs_kills.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+                .expect("spawn chaos driver")
+        };
+        ChaosDriver {
+            handle: Some(handle),
+            stop,
+            plan,
+            rank_kills,
+            cs_kills,
+        }
+    }
+
+    /// Stop the storm, join the thread, and report what was executed.
+    pub(crate) fn finish(mut self) -> ChaosReport {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        ChaosReport {
+            plan: std::mem::take(&mut self.plan),
+            rank_kills: self.rank_kills.load(Ordering::Relaxed),
+            cs_kills: self.cs_kills.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_a_pure_function_of_the_seed() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            kills: 12,
+            max_burst: 3,
+            cs_kill_pct: 20,
+            rekill_pct: 40,
+            ..Default::default()
+        };
+        assert_eq!(cfg.plan(5), cfg.plan(5), "same seed, same plan");
+        let other = ChaosConfig { seed: 43, ..cfg };
+        assert_ne!(cfg.plan(5), other.plan(5), "seed changes the plan");
+    }
+
+    #[test]
+    fn plan_schedules_exactly_the_requested_kills() {
+        for seed in 0..20u64 {
+            let cfg = ChaosConfig {
+                seed,
+                kills: 9,
+                max_burst: 3,
+                rekill_pct: 50,
+                cs_kill_pct: 30,
+                ..Default::default()
+            };
+            let plan = cfg.plan(4);
+            let total: usize = plan.iter().map(|e| e.victims.len()).sum();
+            assert_eq!(total, 9, "seed {seed}");
+            for ev in &plan {
+                assert!(!ev.victims.is_empty());
+                assert!(ev.victims.iter().all(|v| v.0 < 4));
+                // Victims in one burst are distinct (overlap = distinct ranks).
+                let mut vs = ev.victims.clone();
+                vs.dedup();
+                assert_eq!(vs.len(), ev.victims.len());
+            }
+        }
+    }
+
+    #[test]
+    fn burst_size_respects_world_and_config() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            kills: 30,
+            max_burst: 8,
+            ..Default::default()
+        };
+        let plan = cfg.plan(3);
+        assert!(plan.iter().all(|e| e.victims.len() <= 3));
+    }
+}

@@ -6,21 +6,37 @@
 //! disconnections (our fabric kill) and crashed nodes are reincarnated
 //! with `restart = true`, which drives the ROLLBACK → DownloadEL →
 //! RESTART1/RESTART2 → replay recovery.
+//!
+//! The restart policy is non-blocking: crashed ranks are *scheduled* for
+//! respawn at a deadline (detection + relaunch latency, with exponential
+//! backoff on repeat crashes) while the dispatcher keeps processing other
+//! exits — so overlapping crashes of several ranks are handled
+//! concurrently, and a configured `restart_delay` never freezes the
+//! monitor itself. A per-rank restart budget bounds pathological crash
+//! loops, and with `auto_restart` off a crash fails the run immediately
+//! with [`ClusterError::RankLost`] instead of hanging until the timeout.
 
 use crate::baseline::{default_cms, spawn_channel_memories};
+use crate::chaos::{ChaosConfig, ChaosDriver, ChaosReport};
 use crate::messages::DispatcherMsg;
 use crate::node::{
     register_node, start_node, MpiApp, NodeConfig, NodeExit, Outcome, RuntimeProtocol,
 };
 use crate::services::{
-    spawn_checkpoint_scheduler, spawn_checkpoint_server, spawn_event_loggers, SchedulerConfig,
+    spawn_checkpoint_scheduler, spawn_checkpoint_server_on, spawn_event_loggers, SchedulerConfig,
 };
-use mvr_core::{BatchPolicy, NodeId, Payload, Rank};
-use mvr_net::Fabric;
+use mvr_ckpt::CheckpointStore;
+use mvr_core::{BatchPolicy, Metrics, NodeId, Payload, Rank};
+use mvr_net::{Fabric, Mailbox, TurbulenceConfig};
+use parking_lot::Mutex;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Housekeeping cadence of the dispatcher loop while it waits for exits:
+/// due-respawn dispatch, dead-service revival, metrics drain.
+const POLL_TICK: Duration = Duration::from_millis(10);
 
 /// Deployment parameters (the "program file" of §4.7).
 #[derive(Clone)]
@@ -35,10 +51,20 @@ pub struct ClusterConfig {
     pub checkpointing: Option<SchedulerConfig>,
     /// Automatically reincarnate killed nodes.
     pub auto_restart: bool,
-    /// Detection + respawn latency before a reincarnation.
+    /// Detection + respawn latency before a reincarnation. Applied as a
+    /// *scheduled* deadline, not a blocking sleep, and doubled per repeat
+    /// crash of the same rank (capped at 64×).
     pub restart_delay: Duration,
+    /// Maximum reincarnations of a single rank before the run fails with
+    /// [`ClusterError::RestartBudgetExhausted`].
+    pub max_rank_restarts: u32,
     /// Event-batching policy of the V2 daemons (lazy by default).
     pub batch: BatchPolicy,
+    /// Seeded randomized crash storm driven against the deployment.
+    pub chaos: Option<ChaosConfig>,
+    /// Seeded fabric-level turbulence (per-link delays, crash-on-Nth
+    /// send/receive triggers, scheduled kills).
+    pub turbulence: Option<TurbulenceConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -50,7 +76,10 @@ impl Default for ClusterConfig {
             checkpointing: None,
             auto_restart: true,
             restart_delay: Duration::ZERO,
+            max_rank_restarts: 256,
             batch: BatchPolicy::default(),
+            chaos: None,
+            turbulence: None,
         }
     }
 }
@@ -67,6 +96,21 @@ pub enum ClusterError {
         /// Its error.
         error: String,
     },
+    /// A rank crashed while `auto_restart` was off: without the execution
+    /// monitor's relaunch there is no recovery path, so the run fails
+    /// immediately instead of idling until the timeout.
+    RankLost {
+        /// The crashed rank.
+        rank: Rank,
+    },
+    /// A rank exceeded [`ClusterConfig::max_rank_restarts`]
+    /// reincarnations — the configured bound on crash loops.
+    RestartBudgetExhausted {
+        /// The crash-looping rank.
+        rank: Rank,
+        /// Reincarnations performed for it before giving up.
+        restarts: u32,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -75,6 +119,15 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Timeout(s) => write!(f, "cluster run timed out: {s}"),
             ClusterError::AppFailed { rank, error } => {
                 write!(f, "rank {rank} failed: {error}")
+            }
+            ClusterError::RankLost { rank } => {
+                write!(f, "rank {rank} crashed and auto_restart is disabled")
+            }
+            ClusterError::RestartBudgetExhausted { rank, restarts } => {
+                write!(
+                    f,
+                    "rank {rank} exhausted its restart budget ({restarts} restarts)"
+                )
             }
         }
     }
@@ -91,11 +144,11 @@ pub struct FaultHandle {
 }
 
 impl FaultHandle {
-    /// Crash a computing node (daemon + MPI process), fail-stop.
+    /// Crash a computing node (daemon + MPI process), fail-stop. The group
+    /// dies atomically so the dispatcher never sees it half-killed.
     pub fn kill(&self, rank: Rank) {
         assert!(rank.0 < self.world);
-        self.fabric.kill(NodeId::Computing(rank));
-        self.fabric.kill(NodeId::Process(rank));
+        self.fabric.kill_group(&mvr_net::fail_stop_group(rank));
     }
 
     /// Crash the checkpoint server (§4.3: the system survives; affected
@@ -118,12 +171,27 @@ impl FaultHandle {
 }
 
 /// The outcome of a completed run, with recovery statistics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct RunReport {
     /// Per-rank result payloads.
     pub results: Vec<Payload>,
     /// Node reincarnations the dispatcher performed.
     pub restarts: u64,
+    /// Checkpoint-server relaunches the dispatcher performed (§4.3).
+    pub service_restarts: u64,
+    /// Recoveries begun across all finishing incarnations.
+    pub recoveries: u64,
+    /// Replays driven to completion across all finishing incarnations.
+    pub replays_completed: u64,
+    /// Deliveries re-executed from logs during replays.
+    pub replayed_deliveries: u64,
+    /// Duplicate retransmissions discarded by receivers (the exactly-once
+    /// filter).
+    pub duplicates_dropped: u64,
+    /// Messages re-sent from sender logs on RESTART1 requests.
+    pub retransmissions: u64,
+    /// What the chaos driver did, when one was configured.
+    pub chaos: Option<ChaosReport>,
 }
 
 /// A running deployment.
@@ -135,6 +203,14 @@ pub struct Cluster {
     exit_rx: mpsc::Receiver<NodeExit>,
     handles: Vec<JoinHandle<()>>,
     restarts: u64,
+    service_restarts: u64,
+    disp_mb: Mailbox<DispatcherMsg>,
+    final_metrics: Vec<Option<Metrics>>,
+    chaos: Option<ChaosDriver>,
+    chaos_report: Option<ChaosReport>,
+    /// The checkpoint server's stable storage: shared across CS
+    /// incarnations so acked images survive a CS crash.
+    cs_store: Arc<Mutex<CheckpointStore>>,
 }
 
 impl Cluster {
@@ -145,14 +221,20 @@ impl Cluster {
         let (exit_tx, exit_rx) = mpsc::channel();
         let mut handles = Vec::new();
 
-        // Dispatcher mailbox (receives Finalized notifications; kept so
-        // daemon sends succeed, drained at teardown).
-        let (_disp_mb, _disp_id) = fabric.register::<DispatcherMsg>(NodeId::Dispatcher);
+        if let Some(turb) = &cfg.turbulence {
+            fabric.install_turbulence(turb.clone());
+        }
 
+        // Dispatcher mailbox: receives Finalized notifications carrying
+        // each finishing incarnation's engine metrics; drained by the
+        // wait loop into the RunReport.
+        let (disp_mb, _disp_id) = fabric.register::<DispatcherMsg>(NodeId::Dispatcher);
+
+        let cs_store = Arc::new(Mutex::new(CheckpointStore::new()));
         match cfg.protocol {
             RuntimeProtocol::V2 => {
                 handles.extend(spawn_event_loggers(&fabric, cfg.event_loggers));
-                handles.push(spawn_checkpoint_server(&fabric));
+                handles.push(spawn_checkpoint_server_on(&fabric, cs_store.clone()));
                 if let Some(sc) = &cfg.checkpointing {
                     handles.push(spawn_checkpoint_scheduler(&fabric, cfg.world, sc.clone()));
                 }
@@ -185,6 +267,12 @@ impl Cluster {
             handles.extend(start_node(s, ncfg, app.clone(), exit_tx.clone()));
         }
 
+        let chaos = cfg
+            .chaos
+            .as_ref()
+            .map(|c| ChaosDriver::spawn(fabric.clone(), c, cfg.world));
+
+        let world = cfg.world as usize;
         Cluster {
             fabric,
             cfg,
@@ -193,6 +281,12 @@ impl Cluster {
             exit_rx,
             handles,
             restarts: 0,
+            service_restarts: 0,
+            disp_mb,
+            final_metrics: vec![None; world],
+            chaos,
+            chaos_report: None,
+            cs_store,
         }
     }
 
@@ -209,15 +303,27 @@ impl Cluster {
         self.restarts
     }
 
-    /// As [`wait`](Self::wait), additionally reporting how many node
-    /// reincarnations the dispatcher performed.
+    /// As [`wait`](Self::wait), additionally reporting the dispatcher's
+    /// restart counts and the aggregated recovery metrics of every rank's
+    /// finishing incarnation.
     pub fn wait_report(self, timeout: Duration) -> Result<RunReport, ClusterError> {
         let mut me = self;
         let results = me.wait_inner(timeout)?;
-        Ok(RunReport {
-            restarts: me.restarts,
+        let mut report = RunReport {
             results,
-        })
+            restarts: me.restarts,
+            service_restarts: me.service_restarts,
+            chaos: me.chaos_report.take(),
+            ..Default::default()
+        };
+        for m in me.final_metrics.iter().flatten() {
+            report.recoveries += m.recoveries;
+            report.replays_completed += m.replays_completed;
+            report.replayed_deliveries += m.replayed_deliveries;
+            report.duplicates_dropped += m.duplicates_dropped;
+            report.retransmissions += m.retransmissions;
+        }
+        Ok(report)
     }
 
     /// Run the dispatcher loop until every rank has finished (restarting
@@ -227,28 +333,108 @@ impl Cluster {
         self.wait_inner(timeout)
     }
 
+    /// The reincarnation deadline for a rank's `attempt`-th respawn:
+    /// `restart_delay` with exponential backoff, capped at 64×.
+    fn backoff(&self, attempt: u32) -> Duration {
+        self.cfg.restart_delay * (1u32 << attempt.min(6))
+    }
+
+    fn drain_dispatcher_mailbox(&mut self) {
+        while let Ok(Some(msg)) = self.disp_mb.try_recv() {
+            match msg {
+                DispatcherMsg::Finalized { rank, metrics } => {
+                    // Later incarnations overwrite: the finishing state of
+                    // the incarnation that actually completed wins.
+                    self.final_metrics[rank.idx()] = Some(metrics);
+                }
+            }
+        }
+    }
+
     fn wait_inner(&mut self, timeout: Duration) -> Result<Vec<Payload>, ClusterError> {
         let deadline = Instant::now() + timeout;
         let world = self.cfg.world as usize;
         let mut results: Vec<Option<Payload>> = vec![None; world];
         let mut finished = vec![false; world];
+        // A pending (scheduled, not yet performed) respawn per rank.
+        let mut respawn_at: Vec<Option<Instant>> = vec![None; world];
+        // Reincarnations per rank, driving backoff and the budget.
+        let mut attempts = vec![0u32; world];
 
         while finished.iter().any(|f| !f) {
-            let left = deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() {
+            let now = Instant::now();
+
+            // Perform respawns whose deadline has passed.
+            for (r, slot) in respawn_at.iter_mut().enumerate() {
+                if slot.is_some_and(|t| t <= now) {
+                    *slot = None;
+                    self.respawn(Rank(r as u32));
+                }
+            }
+
+            if self.cfg.auto_restart && self.cfg.protocol == RuntimeProtocol::V2 {
+                // Revive killed-but-finished daemons: a finished rank's
+                // daemon still serves its sender log to replaying peers,
+                // so a chaos kill after its Finish must not strand them.
+                // The revived incarnation re-runs deterministically and
+                // re-finishes with the same payload. Revivals do not
+                // consume the restart budget (they stop, silently, once
+                // it is exhausted — peers then time out, which is the
+                // budget doing its job).
+                for r in 0..world {
+                    if finished[r]
+                        && respawn_at[r].is_none()
+                        && attempts[r] < self.cfg.max_rank_restarts
+                        && !self.fabric.is_alive(NodeId::Computing(Rank(r as u32)))
+                    {
+                        respawn_at[r] = Some(now + self.backoff(attempts[r]));
+                        attempts[r] = attempts[r].saturating_add(1);
+                    }
+                }
+                // Relaunch a crashed checkpoint server (§4.3/§4.7). It
+                // resumes from stable storage: every image acked before
+                // the crash is served again, so ranks whose event logs
+                // were truncated against those images stay recoverable.
+                // Only ranks that never checkpointed restart from
+                // scratch — §4.3's "at worst".
+                if !self.fabric.is_alive(NodeId::CheckpointServer(0)) {
+                    self.handles.push(spawn_checkpoint_server_on(
+                        &self.fabric,
+                        self.cs_store.clone(),
+                    ));
+                    self.service_restarts += 1;
+                }
+            }
+
+            self.drain_dispatcher_mailbox();
+
+            if deadline.saturating_duration_since(now).is_zero() {
                 let status: Vec<String> = (0..world)
                     .map(|r| {
                         format!(
-                            "rank {r}: finished={} alive={}",
+                            "rank {r}: finished={} alive={} proc_alive={} restarts={}",
                             finished[r],
-                            self.fabric.is_alive(NodeId::Computing(Rank(r as u32)))
+                            self.fabric.is_alive(NodeId::Computing(Rank(r as u32))),
+                            self.fabric.is_alive(NodeId::Process(Rank(r as u32))),
+                            attempts[r]
                         )
                     })
                     .collect();
                 self.teardown();
                 return Err(ClusterError::Timeout(status.join("; ")));
             }
-            let exit = match self.exit_rx.recv_timeout(left) {
+
+            // Sleep until the next interesting instant: an exit arriving,
+            // a scheduled respawn coming due, the deadline, or the next
+            // housekeeping tick.
+            let mut wake = deadline.min(now + POLL_TICK);
+            if let Some(t) = respawn_at.iter().flatten().min() {
+                wake = wake.min(*t);
+            }
+            let exit = match self
+                .exit_rx
+                .recv_timeout(wake.saturating_duration_since(now))
+            {
                 Ok(e) => e,
                 Err(mpsc::RecvTimeoutError::Timeout) => continue,
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -256,6 +442,19 @@ impl Cluster {
                 }
             };
             let r = exit.rank.idx();
+            if std::env::var("MVR_ENGINE_TRACE").is_ok() {
+                eprintln!(
+                    "[disp] exit rank={} outcome={:?} respawn_at_set={} attempts={}",
+                    r,
+                    match &exit.outcome {
+                        Outcome::Finished(_) => "Finished",
+                        Outcome::Killed => "Killed",
+                        Outcome::Failed(_) => "Failed",
+                    },
+                    respawn_at[r].is_some(),
+                    attempts[r]
+                );
+            }
             match exit.outcome {
                 Outcome::Finished(p) => {
                     results[r] = Some(p);
@@ -273,11 +472,23 @@ impl Cluster {
                             error: "node crashed under MPICH-P4 (no fault tolerance)".into(),
                         });
                     }
-                    if self.cfg.auto_restart {
-                        if !self.cfg.restart_delay.is_zero() {
-                            std::thread::sleep(self.cfg.restart_delay);
-                        }
-                        self.respawn(exit.rank);
+                    if !self.cfg.auto_restart {
+                        self.teardown();
+                        return Err(ClusterError::RankLost { rank: exit.rank });
+                    }
+                    if attempts[r] >= self.cfg.max_rank_restarts {
+                        self.teardown();
+                        return Err(ClusterError::RestartBudgetExhausted {
+                            rank: exit.rank,
+                            restarts: attempts[r],
+                        });
+                    }
+                    // Schedule, don't sleep: other ranks' exits (and
+                    // overlapping crashes) keep being processed while
+                    // this reincarnation waits out its delay.
+                    if respawn_at[r].is_none() {
+                        respawn_at[r] = Some(Instant::now() + self.backoff(attempts[r]));
+                        attempts[r] += 1;
                     }
                 }
                 Outcome::Failed(error) => {
@@ -289,6 +500,7 @@ impl Cluster {
                 }
             }
         }
+        self.drain_dispatcher_mailbox();
         self.teardown();
         Ok(results
             .into_iter()
@@ -297,6 +509,24 @@ impl Cluster {
     }
 
     fn respawn(&mut self, rank: Rank) {
+        // Idempotence: a finished rank killed by chaos is both revived by
+        // the liveness scan *and* reported through its daemon's stale
+        // `Killed` exit — the second scheduled respawn must not run into
+        // the already-live reincarnation. (Only the dispatcher thread
+        // registers ranks, so this check cannot race a registration.)
+        if self.fabric.is_alive(NodeId::Computing(rank)) {
+            if std::env::var("MVR_ENGINE_TRACE").is_ok() {
+                eprintln!("[disp] respawn r{}: skipped, computing alive", rank.0);
+            }
+            return;
+        }
+        if std::env::var("MVR_ENGINE_TRACE").is_ok() {
+            eprintln!("[disp] respawn r{}: reincarnating", rank.0);
+        }
+        // Enforce fail-stop before reincarnating: a kill that raced the
+        // two-step registration below can leave the co-located process
+        // slot alive after its daemon died.
+        self.fabric.kill(NodeId::Process(rank));
         self.restarts += 1;
         let slots = register_node(&self.fabric, rank);
         let ncfg = NodeConfig {
@@ -317,6 +547,11 @@ impl Cluster {
     }
 
     fn teardown(&mut self) {
+        // Stop the storm first so no kill races the shutdown below.
+        if let Some(driver) = self.chaos.take() {
+            self.chaos_report = Some(driver.finish());
+        }
+        self.fabric.clear_turbulence();
         // Kill everything; threads unwind on their mailbox errors.
         for r in 0..self.cfg.world {
             self.fabric.kill(NodeId::Computing(Rank(r)));

@@ -30,6 +30,7 @@
 
 pub mod baseline;
 pub mod channel;
+pub mod chaos;
 pub mod dispatcher;
 pub mod messages;
 pub mod node;
@@ -37,9 +38,15 @@ pub mod progfile;
 pub mod services;
 
 pub use channel::DaemonChannel;
+pub use chaos::{ChaosConfig, ChaosEvent, ChaosReport};
 pub use dispatcher::{run_cluster, Cluster, ClusterConfig, ClusterError, FaultHandle, RunReport};
 pub use node::{MpiApp, NodeConfig, NodeExit, Outcome, RuntimeProtocol};
 pub use services::SchedulerConfig;
+
+// Re-exported so chaos-soak harnesses need only this crate.
+pub use mvr_net::{
+    fail_stop_group, CountTrigger, ScheduledKill, TurbulenceConfig, TurbulenceStats,
+};
 
 /// The MPI handle type applications receive.
 pub type NodeMpi = mvr_mpi::Mpi<DaemonChannel>;

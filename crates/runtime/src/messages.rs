@@ -1,6 +1,6 @@
 //! Mailbox message types of the runtime's node kinds.
 
-use mvr_core::{CkptReply, CmReply, ElReply, Payload, PeerMsg, Rank, SchedMsg};
+use mvr_core::{CkptReply, CmReply, ElReply, Metrics, Payload, PeerMsg, Rank, SchedMsg};
 
 /// Everything a communication daemon can receive — the analog of its
 /// `select()` loop over one socket per peer and per service (§4.4).
@@ -94,5 +94,11 @@ pub enum DispatcherMsg {
     Finalized {
         /// The finishing rank.
         rank: Rank,
+        /// The finishing incarnation's engine counters (replayed
+        /// deliveries, duplicate discards, recoveries, …) so the
+        /// dispatcher can aggregate them into the [`RunReport`].
+        ///
+        /// [`RunReport`]: crate::dispatcher::RunReport
+        metrics: Metrics,
     },
 }

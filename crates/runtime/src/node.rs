@@ -18,9 +18,45 @@ use mvr_core::{
 };
 use mvr_eventlog::{el_for_rank, ElPacket};
 use mvr_mpi::{Mpi, MpiError, MpiResult};
-use mvr_net::{Fabric, Identity, Mailbox, SendError};
+use mvr_net::{Fabric, Identity, Mailbox, RecvError, SendError};
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a restarting daemon waits for the checkpoint server's image
+/// reply before degrading to a from-scratch restart. Covers the window
+/// where the CS died *after* accepting the request (its relaunch starts
+/// with an empty store and would never answer the stale query).
+const CS_FETCH_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Send to a reliable service, retrying transient `Disconnected` errors
+/// with exponential backoff. A dead service being relaunched by the
+/// dispatcher (§4.7) looks, briefly, exactly like a broken deployment;
+/// the retries (≈50 ms total) bridge the relaunch gap. `SenderDead`
+/// (we ourselves were killed) is never retried.
+fn send_service_retrying<M: Clone + Send + 'static>(
+    identity: &Identity,
+    to: NodeId,
+    msg: M,
+    attempts: u32,
+) -> Result<(), SendError> {
+    let mut delay = Duration::from_micros(250);
+    let mut last = SendError::Disconnected(to);
+    for i in 0..attempts {
+        match identity.send(to, msg.clone()) {
+            Ok(()) => return Ok(()),
+            Err(SendError::SenderDead) => return Err(SendError::SenderDead),
+            Err(e @ SendError::Disconnected(_)) => {
+                last = e;
+                if i + 1 < attempts {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+    Err(last)
+}
 
 /// The application interface: a deterministic MPI program with
 /// serializable state.
@@ -132,15 +168,49 @@ pub fn start_node(
         proc_id,
     } = slots;
     let rank = cfg.rank;
+    let daemon_exit_tx = exit_tx.clone();
 
     let daemon = std::thread::Builder::new()
         .name(format!("daemon-{rank}"))
         .spawn(move || {
-            // A daemon dying any way other than a kill is a bug; a kill
-            // unwinds silently (the dispatcher handles the restart).
+            // A kill unwinds silently (the dispatcher handles the
+            // restart). A replay divergence is a bug in the application
+            // or the protocol — report it so the dispatcher fails the
+            // run instead of leaving the MPI process blocked forever on
+            // a daemon that no longer exists.
             match cfg.protocol {
                 RuntimeProtocol::V2 => {
-                    let _ = daemon_main(daemon_mb, daemon_id, cfg);
+                    // A panicking daemon (an engine invariant tripping)
+                    // leaves its fabric slots registered and alive: peers
+                    // keep sending into a mailbox nobody drains and the
+                    // run strands until the dispatcher timeout. Catch the
+                    // unwind and fail the run immediately instead.
+                    let end = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        daemon_main(daemon_mb, daemon_id, cfg)
+                    }));
+                    if std::env::var("MVR_ENGINE_TRACE").is_ok() {
+                        eprintln!("[dmn r{}] daemon exit: {:?}", rank.0, end);
+                    }
+                    match end {
+                        Ok(Err(DaemonEnd::ReplayDivergence(err))) => {
+                            let _ = daemon_exit_tx.send(NodeExit {
+                                rank,
+                                outcome: Outcome::Failed(format!("replay divergence: {err}")),
+                            });
+                        }
+                        Ok(_) => {}
+                        Err(panic) => {
+                            let what = panic
+                                .downcast_ref::<String>()
+                                .map(String::as_str)
+                                .or_else(|| panic.downcast_ref::<&str>().copied())
+                                .unwrap_or("opaque panic payload");
+                            let _ = daemon_exit_tx.send(NodeExit {
+                                rank,
+                                outcome: Outcome::Failed(format!("daemon panicked: {what}")),
+                            });
+                        }
+                    }
                 }
                 RuntimeProtocol::V1 => crate::baseline::daemon_main_v1(
                     daemon_mb,
@@ -184,10 +254,9 @@ pub fn start_node(
 enum DaemonEnd {
     /// The incarnation was killed (mailbox closed / identity stale).
     Killed,
-    /// The application violated piecewise determinism during a replay.
-    /// The payload is surfaced in the `Debug` impl when a daemon dies
-    /// this way (a bug in the application or the protocol).
-    #[allow(dead_code)]
+    /// The application violated piecewise determinism during a replay —
+    /// a bug in the application or the protocol, reported to the
+    /// dispatcher as a run failure.
     ReplayDivergence(String),
 }
 
@@ -225,27 +294,41 @@ fn daemon_main(
     let engine = if cfg.restart {
         // Fetch the latest image; a dead checkpoint server degrades to a
         // from-scratch restart ("may restart from scratch, at worst").
-        let image: Option<NodeImage> = match identity.send(
+        let image: Option<NodeImage> = match send_service_retrying(
+            &identity,
             cs_node,
             CkptPacket {
                 from: rank,
                 req: CkptRequest::GetLatest { rank },
             },
+            4,
         ) {
-            Ok(()) => loop {
-                match mailbox.recv() {
-                    Ok(DaemonMsg::Ckpt(CkptReply::Image {
-                        clock: Some(_),
-                        image,
-                    })) => match NodeImage::decode(image.as_slice()) {
-                        Ok(img) => break Some(img),
-                        Err(_) => break None,
-                    },
-                    Ok(DaemonMsg::Ckpt(CkptReply::Image { clock: None, .. })) => break None,
-                    Ok(other) => buffered.push(other),
-                    Err(_) => return Err(DaemonEnd::Killed),
+            Ok(()) => {
+                // Bounded wait: if the CS dies between accepting the
+                // request and answering, its relaunched instance will
+                // never reply to the stale query — degrade to scratch.
+                let fetch_deadline = Instant::now() + CS_FETCH_TIMEOUT;
+                loop {
+                    let left = fetch_deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break None;
+                    }
+                    match mailbox.recv_timeout(left) {
+                        Ok(DaemonMsg::Ckpt(CkptReply::Image {
+                            clock: Some(_),
+                            image,
+                        })) => match NodeImage::decode(image.as_slice()) {
+                            Ok(img) => break Some(img),
+                            Err(_) => break None,
+                        },
+                        Ok(DaemonMsg::Ckpt(CkptReply::Image { clock: None, .. })) => break None,
+                        Ok(other) => buffered.push(other),
+                        Err(RecvError::Timeout) => break None,
+                        Err(_) => return Err(DaemonEnd::Killed),
+                    }
                 }
-            },
+            }
+            Err(SendError::SenderDead) => return Err(DaemonEnd::Killed),
             Err(_) => None,
         };
 
@@ -263,17 +346,19 @@ fn daemon_main(
         };
 
         // DownloadEL(H_p): the event logger is the reliable component; if
-        // it is gone the deployment is broken and we just die.
+        // it stays gone past the retry window the deployment is broken
+        // and we just die.
         let after_clock = engine.clock();
-        identity
-            .send(
-                el_node,
-                ElPacket {
-                    from: rank,
-                    req: ElRequest::Download { rank, after_clock },
-                },
-            )
-            .map_err(|_| DaemonEnd::Killed)?;
+        send_service_retrying(
+            &identity,
+            el_node,
+            ElPacket {
+                from: rank,
+                req: ElRequest::Download { rank, after_clock },
+            },
+            8,
+        )
+        .map_err(|_| DaemonEnd::Killed)?;
         let events = loop {
             match mailbox.recv() {
                 Ok(DaemonMsg::El(ElReply::Events(ev))) => break ev,
@@ -436,7 +521,10 @@ impl Daemon {
                     app_state,
                 };
                 debug_assert_eq!(image.engine.clock, clock);
-                let _ = self.identity.send(
+                // Best-effort with a short retry: a CS mid-relaunch gets
+                // a second chance; a lost image only costs replay depth.
+                let _ = send_service_retrying(
+                    &self.identity,
                     self.cs_node,
                     CkptPacket {
                         from: self.rank,
@@ -446,6 +534,7 @@ impl Daemon {
                             image: image.encode(),
                         },
                     },
+                    3,
                 );
                 // The transfer is "overlapped": the process continues
                 // immediately; durability is acked to the engine later.
@@ -461,7 +550,10 @@ impl Daemon {
                 self.finalized = true;
                 let _ = self.identity.send(
                     NodeId::Dispatcher,
-                    DispatcherMsg::Finalized { rank: self.rank },
+                    DispatcherMsg::Finalized {
+                        rank: self.rank,
+                        metrics: *self.engine.metrics(),
+                    },
                 );
                 self.to_proc(ProcReply::Done)?;
                 // Keep serving the protocol: peers may still need our
@@ -477,7 +569,12 @@ impl Daemon {
             // The process died with us (kill) — unwind.
             Err(SendError::SenderDead) => Err(DaemonEnd::Killed),
             // Process gone but we are alive: teardown race; keep serving.
-            Err(SendError::Disconnected(_)) => Ok(()),
+            Err(SendError::Disconnected(_)) => {
+                if std::env::var("MVR_ENGINE_TRACE").is_ok() {
+                    eprintln!("[dmn r{}] DROP proc reply (process slot dead)", self.rank.0);
+                }
+                Ok(())
+            }
         }
     }
 
@@ -485,6 +582,10 @@ impl Daemon {
         for out in self.engine.drain_outputs() {
             match out {
                 Output::Transmit { to, msg } => {
+                    let data_clock = match &msg {
+                        mvr_core::PeerMsg::Data(d) => Some(d.id.sender_clock),
+                        _ => None,
+                    };
                     match self.identity.send(
                         NodeId::Computing(to),
                         DaemonMsg::Peer {
@@ -495,25 +596,36 @@ impl Daemon {
                         Ok(()) => {}
                         Err(SendError::SenderDead) => return Err(DaemonEnd::Killed),
                         // Dead peer: the message stays in SAVED; its
-                        // restart will pull it via RESTART1.
-                        Err(SendError::Disconnected(_)) => {}
+                        // restart will pull it via RESTART1. Retract the
+                        // optimistic HS advance so no checkpoint records a
+                        // transmission that never happened (the restart
+                        // handshake heals live state, but a persisted
+                        // inflated mark would suppress the healing
+                        // re-sends after our own restart).
+                        Err(SendError::Disconnected(_)) => {
+                            if let Some(h) = data_clock {
+                                self.engine.on_transmit_dropped(to, h);
+                            }
+                        }
                     }
                 }
                 Output::LogEvents(batch) => {
-                    self.identity
-                        .send(
-                            self.el_node,
-                            ElPacket {
-                                from: self.rank,
-                                req: ElRequest::Log(batch),
-                            },
-                        )
-                        .map_err(|e| match e {
-                            SendError::SenderDead => DaemonEnd::Killed,
-                            // A dead event logger breaks the deployment's
-                            // reliability assumption; halt this node.
-                            SendError::Disconnected(_) => DaemonEnd::Killed,
-                        })?;
+                    send_service_retrying(
+                        &self.identity,
+                        self.el_node,
+                        ElPacket {
+                            from: self.rank,
+                            req: ElRequest::Log(batch),
+                        },
+                        8,
+                    )
+                    .map_err(|e| match e {
+                        SendError::SenderDead => DaemonEnd::Killed,
+                        // An event logger dead past the retry window
+                        // breaks the deployment's reliability assumption;
+                        // halt this node.
+                        SendError::Disconnected(_) => DaemonEnd::Killed,
+                    })?;
                 }
                 Output::Deliver { from, payload } => {
                     self.to_proc(ProcReply::Msg { from, payload })?;

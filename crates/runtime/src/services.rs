@@ -2,10 +2,12 @@
 //! checkpoint server and the checkpoint scheduler (Fig. 3).
 
 use crate::messages::DaemonMsg;
-use mvr_ckpt::{CkptPacket, NodeStatus, Policy, Scheduler};
+use mvr_ckpt::{CheckpointStore, CkptPacket, NodeStatus, Policy, Scheduler};
 use mvr_core::{NodeId, Rank, SchedMsg};
 use mvr_eventlog::ElPacket;
 use mvr_net::{Fabric, RecvError};
+use parking_lot::Mutex;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -29,13 +31,28 @@ pub fn spawn_event_loggers(fabric: &Fabric, count: u32) -> Vec<JoinHandle<()>> {
         .collect()
 }
 
-/// Spawn the checkpoint server.
+/// Spawn the checkpoint server with a private, volatile store.
 pub fn spawn_checkpoint_server(fabric: &Fabric) -> JoinHandle<()> {
+    spawn_checkpoint_server_on(fabric, Arc::new(Mutex::new(CheckpointStore::new())))
+}
+
+/// Spawn the checkpoint server serving a shared store — the *stable
+/// storage* that survives crashes of the server process itself. The
+/// dispatcher passes the same store to every CS incarnation, so images
+/// acked before a crash are served after the relaunch (and event-log
+/// truncation against those images stays sound; see §4.3 notes in
+/// `mvr_ckpt::service`). Incarnations serialize on the store lock: a
+/// relaunch blocks until the killed predecessor has drained out.
+pub fn spawn_checkpoint_server_on(
+    fabric: &Fabric,
+    store: Arc<Mutex<CheckpointStore>>,
+) -> JoinHandle<()> {
     let (mb, identity) = fabric.register::<CkptPacket>(NodeId::CheckpointServer(0));
     std::thread::Builder::new()
         .name("ckpt-server".into())
         .spawn(move || {
-            let _ = mvr_ckpt::run_checkpoint_server(mb, move |rank, reply| {
+            let mut store = store.lock();
+            mvr_ckpt::run_checkpoint_server_on(mb, &mut store, move |rank, reply| {
                 identity
                     .send(NodeId::Computing(rank), DaemonMsg::Ckpt(reply))
                     .is_ok()
