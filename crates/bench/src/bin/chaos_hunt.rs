@@ -10,8 +10,12 @@
 //!
 //! `chaos_hunt <iters> <base>` derives seed `base*1_000_003 + i`; with
 //! `iters == 1`, `base` is the exact seed to replay (as printed by a
-//! failure). `MVR_ENGINE_TRACE=1` dumps per-engine protocol traces.
-//! Complements the release-build `chaos_soak` scenario suite.
+//! failure). Flight recorders run throughout: any failure — cluster
+//! error or payload mismatch — dumps the merged clock-ordered timeline
+//! (JSONL + Chrome trace + triage note) into `chaos_dumps/hunt-<base>/`
+//! and prints the paths. `MVR_ENGINE_TRACE=1` additionally mirrors every
+//! record to stderr as it happens. Complements the release-build
+//! `chaos_soak` scenario suite.
 //!
 //! Triage: a *timeout* whose dump shows live threads and small restart
 //! counts, on a machine oversubscribed well beyond the 5-hunter load,
@@ -22,10 +26,12 @@
 
 use mvr_core::{Payload, Rank};
 use mvr_mpi::{MpiResult, Source, Tag};
+use mvr_obs::{ProtoEvent, RecorderConfig, DISPATCHER_RANK};
 use mvr_runtime::{
     ChaosConfig, Cluster, ClusterConfig, NodeMpi, SchedulerConfig, TurbulenceConfig,
 };
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::time::Duration;
 
 const WORLD: u32 = 4;
@@ -88,6 +94,10 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    // Flight recorders stay on for the whole hunt; any failure dumps the
+    // merged timeline here (per-instance dir so parallel hunters don't
+    // clobber each other's dumps).
+    let dump_dir = PathBuf::from(format!("chaos_dumps/hunt-{base}"));
     for i in 0..iters {
         // With a single iteration, `base` is the exact seed to replay.
         let seed = if iters == 1 {
@@ -111,13 +121,20 @@ fn main() {
                 rekill_pct: 80,
             }),
             turbulence: Some(TurbulenceConfig::delays(seed ^ 0x7A17, 50)),
+            obs: RecorderConfig::enabled(),
+            obs_dump_dir: Some(dump_dir.clone()),
             ..Default::default()
         };
         let cluster = Cluster::launch(cfg, stream_app(MSGS));
+        // Keep a handle on the recorders: payload mismatches are detected
+        // here, after the dispatcher is gone, and still want a timeline.
+        let hub = cluster.recorder_hub();
         let report = match cluster.wait_report(Duration::from_secs(120)) {
             Ok(r) => r,
             Err(e) => {
+                // The dispatcher already dumped the timeline (obs_dump_dir).
                 eprintln!("seed {seed}: cluster error: {e}");
+                eprintln!("triage: flight-recorder dump in {}", dump_dir.display());
                 std::process::exit(1);
             }
         };
@@ -125,7 +142,14 @@ fn main() {
             let got = u64::from_le_bytes(p.as_slice().try_into().expect("8 bytes"));
             let want = expected_stream(r as u32, MSGS);
             if got != want {
-                eprintln!("seed {seed}: rank {r} got {got:#x} want {want:#x}");
+                let detail = format!("seed {seed}: rank {r} got {got:#x} want {want:#x}");
+                eprintln!("{detail}");
+                hub.recorder(DISPATCHER_RANK)
+                    .record(0, ProtoEvent::Divergence { detail });
+                match hub.dump(&dump_dir, "divergence") {
+                    Ok(paths) => eprintln!("triage: {}", paths.summary()),
+                    Err(e) => eprintln!("triage: flight-recorder dump failed: {e}"),
+                }
                 std::process::exit(1);
             }
         }

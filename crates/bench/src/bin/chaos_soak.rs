@@ -16,10 +16,12 @@
 use mvr_bench::{print_table, write_json};
 use mvr_core::{Payload, Rank};
 use mvr_mpi::{MpiResult, Source, Tag};
+use mvr_obs::{ProtoEvent, RecorderConfig, TimingSummary, DISPATCHER_RANK};
 use mvr_runtime::{
     ChaosConfig, Cluster, ClusterConfig, NodeMpi, RunReport, SchedulerConfig, TurbulenceConfig,
 };
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 const WORLD: u32 = 4;
@@ -304,9 +306,17 @@ struct ScenarioResult {
     replayed_deliveries: u64,
     duplicates_dropped: u64,
     retransmissions: u64,
+    timings: TimingSummary,
 }
 
 fn run_scenario(pattern: Pattern, storm: &Storm, seed: u64) -> ScenarioResult {
+    // One dump dir per scenario: a failure leaves its merged timeline
+    // (JSONL + Chrome trace + triage note) here.
+    let dump_dir = PathBuf::from("chaos_dumps").join(format!(
+        "soak-{}-{}-{seed:x}",
+        pattern.name(),
+        storm.name
+    ));
     let cfg = ClusterConfig {
         world: WORLD,
         checkpointing: Some(SchedulerConfig {
@@ -316,28 +326,47 @@ fn run_scenario(pattern: Pattern, storm: &Storm, seed: u64) -> ScenarioResult {
         chaos: Some(storm_chaos(storm, seed)),
         // Seeded per-link jitter rides along in every scenario.
         turbulence: Some(TurbulenceConfig::delays(seed ^ 0x7A17, 50)),
+        obs: RecorderConfig::enabled(),
+        obs_dump_dir: Some(dump_dir.clone()),
         ..Default::default()
     };
     let start = Instant::now();
-    let outcome: Result<RunReport, String> = match pattern {
-        Pattern::Ring => Cluster::launch(cfg, ring_app(RING_ITERS))
-            .wait_report(TIMEOUT)
-            .map_err(|e| e.to_string()),
-        Pattern::Stream => Cluster::launch(cfg, stream_app(STREAM_MSGS))
-            .wait_report(TIMEOUT)
-            .map_err(|e| e.to_string()),
-        Pattern::Fanin => Cluster::launch(cfg, fanin_app(FANIN_MSGS))
-            .wait_report(TIMEOUT)
-            .map_err(|e| e.to_string()),
+    let cluster = match pattern {
+        Pattern::Ring => Cluster::launch(cfg, ring_app(RING_ITERS)),
+        Pattern::Stream => Cluster::launch(cfg, stream_app(STREAM_MSGS)),
+        Pattern::Fanin => Cluster::launch(cfg, fanin_app(FANIN_MSGS)),
     };
+    // Payload divergence is detected here after the dispatcher has torn
+    // down; keep the recorders alive so a mismatch can still dump.
+    let hub = cluster.recorder_hub();
+    let outcome: Result<RunReport, String> =
+        cluster.wait_report(TIMEOUT).map_err(|e| e.to_string());
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let scenario = format!("{}/{}/seed={seed:#x}", pattern.name(), storm.name);
     let (passed, error, report) = match outcome {
         Ok(report) => match verify(pattern, &report.results) {
             Ok(()) => (true, None, Some(report)),
-            Err(e) => (false, Some(format!("payload mismatch: {e}")), Some(report)),
+            Err(e) => {
+                let detail = format!("payload mismatch: {e}");
+                hub.recorder(DISPATCHER_RANK).record(
+                    0,
+                    ProtoEvent::Divergence {
+                        detail: detail.clone(),
+                    },
+                );
+                let note = match hub.dump(&dump_dir, "divergence") {
+                    Ok(paths) => format!(" [{}]", paths.summary()),
+                    Err(io) => format!(" [flight-recorder dump failed: {io}]"),
+                };
+                (false, Some(format!("{detail}{note}")), Some(report))
+            }
         },
-        Err(e) => (false, Some(e), None),
+        // The dispatcher dumped the timeline on its way out (obs_dump_dir).
+        Err(e) => (
+            false,
+            Some(format!("{e} [flight recorder: {}]", dump_dir.display())),
+            None,
+        ),
     };
     let chaos = report.as_ref().and_then(|r| r.chaos.clone());
     ScenarioResult {
@@ -358,6 +387,10 @@ fn run_scenario(pattern: Pattern, storm: &Storm, seed: u64) -> ScenarioResult {
         replayed_deliveries: report.as_ref().map_or(0, |r| r.replayed_deliveries),
         duplicates_dropped: report.as_ref().map_or(0, |r| r.duplicates_dropped),
         retransmissions: report.as_ref().map_or(0, |r| r.retransmissions),
+        timings: report
+            .as_ref()
+            .map(|r| r.timings.summary())
+            .unwrap_or_default(),
     }
 }
 

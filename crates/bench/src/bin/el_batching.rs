@@ -11,6 +11,7 @@
 //! (`el_batch_max = 1`), < 1.0 once batching engages.
 
 use mvr_bench::{print_table, quick_mode, write_json};
+use mvr_obs::HistSummary;
 use mvr_simnet::{simulate, ClusterConfig, Op, Protocol, TraceBuilder};
 use serde::Serialize;
 
@@ -23,6 +24,13 @@ struct Row {
     el_requests: u64,
     round_trips_per_message: f64,
     makespan_s: f64,
+    /// Virtual-time wait behind the pessimism gate (ns quantiles; one
+    /// sample per gated send).
+    gate_wait: HistSummary,
+    /// Virtual-time EL ship→ack round-trip (ns quantiles; one sample per
+    /// batched log request acked before the run drains — final-flush acks
+    /// still in flight at termination are not sampled).
+    el_ack_rtt: HistSummary,
 }
 
 /// A stream: rank 0 pushes `msgs` eager messages at rank 1, which
@@ -111,6 +119,18 @@ fn main() {
                 eager_makespan = rep.makespan;
             }
             let rt = rep.el_requests as f64 / rep.msgs_delivered.max(1) as f64;
+            let gate_wait = rep.gate_wait.summary();
+            let el_ack_rtt = rep.el_ack_rtt.summary();
+            // Every batched log request lands one RTT sample, minus acks
+            // still in flight when the last rank finishes (at most one
+            // final-flush ack per rank).
+            assert!(
+                el_ack_rtt.count <= rep.el_requests
+                    && rep.el_requests - el_ack_rtt.count <= *nodes as u64,
+                "{name}: {} RTT samples vs {} EL requests",
+                el_ack_rtt.count,
+                rep.el_requests
+            );
             rows.push(vec![
                 name.to_string(),
                 batch.to_string(),
@@ -118,6 +138,8 @@ fn main() {
                 rep.el_events.to_string(),
                 rep.el_requests.to_string(),
                 format!("{rt:.3}"),
+                format!("{:.1}", gate_wait.p50 as f64 / 1e3),
+                format!("{:.1}", el_ack_rtt.p50 as f64 / 1e3),
                 format!("{:.2}x", eager_makespan as f64 / rep.makespan.max(1) as f64),
             ]);
             out.push(Row {
@@ -128,6 +150,8 @@ fn main() {
                 el_requests: rep.el_requests,
                 round_trips_per_message: rt,
                 makespan_s: rep.seconds(),
+                gate_wait,
+                el_ack_rtt,
             });
         }
     }
@@ -135,7 +159,15 @@ fn main() {
     print_table(
         "EL batching — event-logger round-trips per application message",
         &[
-            "workload", "batch", "msgs", "events", "requests", "rt/msg", "speedup",
+            "workload",
+            "batch",
+            "msgs",
+            "events",
+            "requests",
+            "rt/msg",
+            "gate_p50_us",
+            "rtt_p50_us",
+            "speedup",
         ],
         &rows,
     );

@@ -37,6 +37,8 @@ pub struct NodeStatus {
     pub el_acks: u64,
     /// Largest single batch shipped, in events.
     pub el_max_batch: u64,
+    /// Latency-histogram summaries for the hot protocol intervals.
+    pub timings: mvr_obs::TimingSummary,
 }
 
 /// Checkpoint-selection policy.

@@ -31,15 +31,8 @@ use crate::recovery::Watermarks;
 use crate::replay::{Offer, ProbeVerdict, ReplayError, ReplayPlan};
 use crate::sender_log::SenderLog;
 use crate::snapshot::EngineSnapshot;
+use mvr_obs::{ProtoEvent, ProtocolTimings, Recorder};
 use std::collections::VecDeque;
-
-macro_rules! etrace {
-    ($self:expr, $($arg:tt)*) => {
-        if std::env::var("MVR_ENGINE_TRACE").is_ok() {
-            eprintln!("[eng r{} c{}] {}", $self.rank.0, $self.clock.value(), format!($($arg)*));
-        }
-    };
-}
 
 /// Stimuli the hosting daemon feeds into the engine.
 #[derive(Clone, Debug)]
@@ -137,8 +130,9 @@ pub struct V2Engine {
     /// order, so duplicates are detected by exact membership (plus `HR`
     /// for delivered clocks), never by a high-watermark on arrivals.
     recv_buffer: VecDeque<(Rank, u64, Payload)>,
-    /// Data transmissions waiting behind the pessimism gate (FIFO).
-    gated: VecDeque<(Rank, PeerMsg)>,
+    /// Data transmissions waiting behind the pessimism gate (FIFO),
+    /// each carrying its enqueue timestamp for the gate-wait histogram.
+    gated: VecDeque<(Rank, PeerMsg, u64)>,
     app_waiting_recv: bool,
     app_waiting_probe: bool,
     /// Unsuccessful probes since the last delivery (§4.5).
@@ -157,14 +151,34 @@ pub struct V2Engine {
     pending_events: Vec<ReceptionEvent>,
     /// A checkpoint order is pending, waiting for quiescence.
     ckpt_pending: bool,
-    /// Clock of the checkpoint currently being stored, plus the per-peer
-    /// HR watermarks captured *at the snapshot instant*. The GC
-    /// notifications must use these — deliveries continue while the image
-    /// transfer is in flight, and a watermark read later would let
-    /// senders drop messages the image does not cover.
-    ckpt_in_flight: Option<(u64, Vec<(Rank, u64)>)>,
+    /// The checkpoint currently being stored, if any.
+    ckpt_in_flight: Option<CkptInFlight>,
     metrics: Metrics,
     outputs: VecDeque<Output>,
+    /// Flight recorder (disabled by default: one atomic load per
+    /// would-be record). Shared with the hosting daemon.
+    obs: Recorder,
+    /// Latency histograms for the four hot protocol intervals.
+    timings: ProtocolTimings,
+    /// Shipped-but-unacked event batches: highest receiver clock the
+    /// batch covers, plus its ship timestamp (EL ack RTT accounting).
+    el_inflight: VecDeque<(u64, u64)>,
+    /// Replay in progress: start timestamp and `replayed_deliveries`
+    /// at recovery begin.
+    replay_started: Option<(u64, u64)>,
+}
+
+/// A checkpoint image in flight to the checkpoint server: the snapshot
+/// clock, plus the per-peer HR watermarks captured *at the snapshot
+/// instant*. The GC notifications must use these — deliveries continue
+/// while the image transfer is in flight, and a watermark read later
+/// would let senders drop messages the image does not cover.
+#[derive(Clone, Debug)]
+struct CkptInFlight {
+    clock: u64,
+    watermarks: Vec<(Rank, u64)>,
+    /// Arm timestamp for the upload-duration histogram.
+    armed_ns: u64,
 }
 
 impl V2Engine {
@@ -197,7 +211,29 @@ impl V2Engine {
             ckpt_in_flight: None,
             metrics: Metrics::new(),
             outputs: VecDeque::new(),
+            obs: Recorder::disabled(),
+            timings: ProtocolTimings::new(),
+            el_inflight: VecDeque::new(),
+            replay_started: None,
         }
+    }
+
+    /// Attach a flight recorder (minted by the deployment's
+    /// `RecorderHub`). The engine emits a structured record per protocol
+    /// transition; with the default disabled recorder each emit is a
+    /// single relaxed atomic load.
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
+    }
+
+    /// The attached flight recorder (engine and daemon share it).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Latency histograms accumulated by this incarnation.
+    pub fn timings(&self) -> &ProtocolTimings {
+        &self.timings
     }
 
     /// Rebuild an engine from a checkpoint image (`ROLLBACK()`), before
@@ -238,26 +274,26 @@ impl V2Engine {
             .into_iter()
             .filter(|e| e.receiver_clock > my_clock)
             .collect();
-        etrace!(
-            self,
-            "begin_recovery: {} events {:?}..{:?}",
-            events.len(),
-            events
-                .first()
-                .map(|e| (e.sender.0, e.sender_clock, e.receiver_clock)),
-            events
-                .last()
-                .map(|e| (e.sender.0, e.sender_clock, e.receiver_clock))
+        self.obs.record(
+            my_clock,
+            ProtoEvent::RecoveryBegin {
+                restored_clock: my_clock,
+            },
         );
         self.gate.reset();
         // Unshipped events died with the crash; the deliveries they
         // described had no externally visible effect (the gate never
         // opened over them), so dropping them is exactly the pessimism
-        // argument of §4.1.
+        // argument of §4.1. Likewise the ship→ack RTT queue: those
+        // batches belong to the dead incarnation.
         self.pending_events.clear();
+        self.el_inflight.clear();
+        self.replay_started = Some((self.obs.now_ns(), self.metrics.replayed_deliveries));
         // Until a peer answers the handshake, its data traffic belongs to
         // the old, dead connection and must be discarded.
         self.handshaken = Some(std::collections::BTreeSet::new());
+        self.obs
+            .record(my_clock, ProtoEvent::Restart1 { rank: self.rank.0 });
         let restart1: Vec<(Rank, u64)> = self.peers().map(|q| (q, self.marks.hr(q))).collect();
         for (q, last_received) in restart1 {
             self.outputs.push_back(Output::Transmit {
@@ -268,10 +304,26 @@ impl V2Engine {
         let plan = ReplayPlan::new(events);
         if plan.is_done() {
             self.mode = Mode::Normal;
+            self.finish_replay_timing();
             self.metrics.replays_completed += 1;
             self.outputs.push_back(Output::ReplayComplete);
         } else {
             self.mode = Mode::Replay(plan);
+        }
+    }
+
+    /// Record the replay-duration sample and the `ReplayDone` event.
+    fn finish_replay_timing(&mut self) {
+        if let Some((start_ns, replayed_before)) = self.replay_started.take() {
+            let replay_ns = self.obs.now_ns().saturating_sub(start_ns);
+            self.timings.replay.record(replay_ns);
+            self.obs.record(
+                self.clock.value(),
+                ProtoEvent::ReplayDone {
+                    replayed: self.metrics.replayed_deliveries - replayed_before,
+                    replay_ns,
+                },
+            );
         }
     }
 
@@ -366,11 +418,19 @@ impl V2Engine {
             return;
         }
         let events = std::mem::take(&mut self.pending_events);
-        etrace!(self, "flush {} pending events", events.len());
         self.metrics.el_batches_sent += 1;
         self.metrics.el_events_batched += events.len() as u64;
         self.metrics.el_max_batch_events =
             self.metrics.el_max_batch_events.max(events.len() as u64);
+        let up_to = events.last().expect("non-empty batch").receiver_clock;
+        self.el_inflight.push_back((up_to, self.obs.now_ns()));
+        self.obs.record(
+            self.clock.value(),
+            ProtoEvent::ElShip {
+                events: events.len() as u64,
+                up_to,
+            },
+        );
         self.outputs.push_back(Output::LogEvents(EventBatch {
             owner: self.rank,
             events,
@@ -390,14 +450,13 @@ impl V2Engine {
             "self-sends must be short-circuited by the MPI layer"
         );
         let h = self.clock.tick();
-        etrace!(
-            self,
-            "app_send dst={} h={} hs={} gate_open={} gated={}",
-            dst,
+        self.obs.record(
             h,
-            self.marks.hs(dst),
-            self.gate.is_open(),
-            self.gated.len()
+            ProtoEvent::Send {
+                to: dst.0,
+                clock: h,
+                bytes: payload.len() as u64,
+            },
         );
         // SAVED is appended unconditionally (Lemma 1: re-executed sends
         // rebuild the log even when their transmission is suppressed).
@@ -424,7 +483,14 @@ impl V2Engine {
             self.outputs.push_back(Output::Transmit { to, msg });
         } else {
             self.metrics.gate_deferred_sends += 1;
-            self.gated.push_back((to, msg));
+            self.gated.push_back((to, msg, self.obs.now_ns()));
+            self.obs.record(
+                self.clock.value(),
+                ProtoEvent::GateDefer {
+                    to: to.0,
+                    queued: self.gated.len() as u64,
+                },
+            );
             // The send now waits on the EL ack of the deliveries that shut
             // the gate; ship their events or the ack can never arrive.
             self.flush_events();
@@ -432,12 +498,27 @@ impl V2Engine {
     }
 
     fn flush_gated(&mut self) {
-        if !self.gate.is_open() {
+        if !self.gate.is_open() || self.gated.is_empty() {
             return;
         }
-        while let Some((to, msg)) = self.gated.pop_front() {
+        let now = self.obs.now_ns();
+        let mut released = 0u64;
+        let mut oldest_wait = 0u64;
+        while let Some((to, msg, enqueued_ns)) = self.gated.pop_front() {
+            let waited = now.saturating_sub(enqueued_ns);
+            self.metrics.gate_wait_ns += waited;
+            self.timings.gate_wait.record(waited);
+            oldest_wait = oldest_wait.max(waited);
+            released += 1;
             self.outputs.push_back(Output::Transmit { to, msg });
         }
+        self.obs.record(
+            self.clock.value(),
+            ProtoEvent::GateOpen {
+                released,
+                waited_ns: oldest_wait,
+            },
+        );
     }
 
     // --- receive path ----------------------------------------------------
@@ -495,6 +576,13 @@ impl V2Engine {
                         self.metrics.msgs_delivered += 1;
                         self.metrics.replayed_deliveries += 1;
                         self.metrics.bytes_delivered += payload.len() as u64;
+                        self.obs.record(
+                            rc,
+                            ProtoEvent::ReplayStep {
+                                from: ev.sender.0,
+                                receiver_clock: rc,
+                            },
+                        );
                         self.outputs.push_back(Output::Deliver {
                             from: ev.sender,
                             payload,
@@ -510,8 +598,16 @@ impl V2Engine {
 
     /// Normal-mode delivery: tick, log the 4-field event, gate, deliver.
     fn deliver_normal(&mut self, from: Rank, sender_clock: u64, payload: Payload) {
-        etrace!(self, "deliver_normal from {} h={}", from, sender_clock);
         let rc = self.clock.tick();
+        self.obs.record(
+            rc,
+            ProtoEvent::Deliver {
+                from: from.0,
+                sender_clock,
+                receiver_clock: rc,
+                replay: false,
+            },
+        );
         let hr_before = self.marks.hr(from);
         let fresh = self.marks.on_delivery_from(from, sender_clock);
         debug_assert!(
@@ -571,27 +667,22 @@ impl V2Engine {
             // message into the live receive buffer.
             if id.sender_clock <= self.marks.hr(id.sender) {
                 self.metrics.duplicates_dropped += 1;
-                etrace!(
-                    self,
-                    "drop stale future from {} h={} (hr={})",
-                    id.sender,
-                    id.sender_clock,
-                    self.marks.hr(id.sender)
+                self.obs.record(
+                    self.clock.value(),
+                    ProtoEvent::DuplicateDropped {
+                        from: id.sender.0,
+                        sender_clock: id.sender_clock,
+                    },
                 );
                 continue;
             }
-            etrace!(
-                self,
-                "future->buffer from {} h={}",
-                id.sender,
-                id.sender_clock
-            );
             self.recv_buffer
                 .push_back((id.sender, id.sender_clock, payload));
         }
         // Replay completion is a forced-flush point (normally a no-op:
         // replayed deliveries are never re-logged).
         self.flush_events();
+        self.finish_replay_timing();
         self.metrics.replays_completed += 1;
         self.outputs.push_back(Output::ReplayComplete);
     }
@@ -605,6 +696,13 @@ impl V2Engine {
                     if !hs.contains(&from) {
                         // Old-connection leftover racing our recovery.
                         self.metrics.duplicates_dropped += 1;
+                        self.obs.record(
+                            self.clock.value(),
+                            ProtoEvent::DuplicateDropped {
+                                from: from.0,
+                                sender_clock: data.id.sender_clock,
+                            },
+                        );
                         return Ok(());
                     }
                 }
@@ -625,7 +723,15 @@ impl V2Engine {
                 Ok(())
             }
             PeerMsg::CkptNotify { watermark } => {
-                self.metrics.gc_bytes_freed += self.saved.collect(from, watermark);
+                let freed = self.saved.collect(from, watermark);
+                self.metrics.gc_bytes_freed += freed;
+                self.obs.record(
+                    self.clock.value(),
+                    ProtoEvent::CkptGc {
+                        peer: from.0,
+                        bytes_freed: freed,
+                    },
+                );
                 Ok(())
             }
         }
@@ -635,19 +741,6 @@ impl V2Engine {
         debug_assert_eq!(data.id.sender, from, "spoofed sender");
         debug_assert_eq!(data.dst, self.rank, "misrouted message");
         let h = data.id.sender_clock;
-        etrace!(
-            self,
-            "data from {} h={} mode={} hr={} buffered={}",
-            from,
-            h,
-            if self.is_replaying() {
-                "replay"
-            } else {
-                "normal"
-            },
-            self.marks.hr(from),
-            self.recv_buffer.len()
-        );
         match &mut self.mode {
             Mode::Normal => {
                 // Exactly-once filter: delivered clocks are below `HR`;
@@ -660,6 +753,13 @@ impl V2Engine {
                     .any(|(q, hq, _)| *q == from && *hq == h);
                 if already_delivered || already_buffered {
                     self.metrics.duplicates_dropped += 1;
+                    self.obs.record(
+                        self.clock.value(),
+                        ProtoEvent::DuplicateDropped {
+                            from: from.0,
+                            sender_clock: h,
+                        },
+                    );
                     return Ok(());
                 }
                 // Insert keeping the per-sender clock order: a RESTART
@@ -678,6 +778,13 @@ impl V2Engine {
             Mode::Replay(plan) => {
                 if self.marks.is_duplicate_from(from, h) {
                     self.metrics.duplicates_dropped += 1;
+                    self.obs.record(
+                        self.clock.value(),
+                        ProtoEvent::DuplicateDropped {
+                            from: from.0,
+                            sender_clock: h,
+                        },
+                    );
                     return Ok(());
                 }
                 match plan.offer(data.id, data.payload) {
@@ -711,6 +818,13 @@ impl V2Engine {
     /// additionally answers with `RESTART2`.
     fn on_restart_watermark(&mut self, from: Rank, last_received: u64, reply: bool) {
         self.marks.set_hs_from_restart(from, last_received);
+        self.obs.record(
+            self.clock.value(),
+            ProtoEvent::Restart2 {
+                peer: from.0,
+                watermark: last_received,
+            },
+        );
         if reply {
             let mine = self.marks.hr(from);
             self.outputs.push_back(Output::Transmit {
@@ -728,7 +842,7 @@ impl V2Engine {
         // payload the peer still needs is covered by `resend_after`
         // (emission appends to SAVED before gating); purged clocks at or
         // below `last_received` were already received and need nothing.
-        self.gated.retain(|(to, _)| *to != from);
+        self.gated.retain(|(to, _, _)| *to != from);
         let resends: Vec<_> = self.saved.resend_after(from, last_received).collect();
         for s in resends {
             self.marks.on_transmit_to(from, s.sender_clock);
@@ -749,13 +863,6 @@ impl V2Engine {
     /// the healing re-sends across our own later restart (see
     /// [`Watermarks::rollback_hs_below`]).
     pub fn on_transmit_dropped(&mut self, to: Rank, h: u64) {
-        etrace!(
-            self,
-            "transmit dropped to={} h={} hs={}",
-            to,
-            h,
-            self.marks.hs(to)
-        );
         self.marks.rollback_hs_below(to, h);
     }
 
@@ -763,7 +870,32 @@ impl V2Engine {
 
     fn on_el_ack(&mut self, up_to: u64) {
         self.metrics.el_acks_received += 1;
-        etrace!(self, "el_ack up_to={}", up_to);
+        // Retire every shipped batch the (possibly coalesced,
+        // high-watermark) ack covers, crediting each with its own
+        // ship→ack round-trip.
+        let now = self.obs.now_ns();
+        let mut batches_retired = 0u64;
+        let mut oldest_rtt = 0u64;
+        while let Some(&(batch_up_to, shipped_ns)) = self.el_inflight.front() {
+            if batch_up_to > up_to {
+                break;
+            }
+            self.el_inflight.pop_front();
+            let rtt = now.saturating_sub(shipped_ns);
+            self.metrics.el_batches_acked += 1;
+            self.metrics.el_ack_rtt_ns += rtt;
+            self.timings.el_ack_rtt.record(rtt);
+            oldest_rtt = oldest_rtt.max(rtt);
+            batches_retired += 1;
+        }
+        self.obs.record(
+            self.clock.value(),
+            ProtoEvent::ElAck {
+                up_to,
+                batches_retired,
+                rtt_ns: oldest_rtt,
+            },
+        );
         if self.gate.on_ack(up_to) {
             self.flush_gated();
         }
@@ -793,15 +925,40 @@ impl V2Engine {
         self.ckpt_pending = false;
         let clock = self.clock.value();
         let watermarks: Vec<(Rank, u64)> = self.peers().map(|q| (q, self.marks.hr(q))).collect();
-        self.ckpt_in_flight = Some((clock, watermarks));
+        self.obs.record(
+            clock,
+            ProtoEvent::CkptBegin {
+                seq: self.metrics.checkpoints_taken + 1,
+                bytes: self.saved.bytes_held(),
+            },
+        );
+        self.ckpt_in_flight = Some(CkptInFlight {
+            clock,
+            watermarks,
+            armed_ns: self.obs.now_ns(),
+        });
         Some(clock)
     }
 
     fn on_checkpoint_stored(&mut self) {
-        let Some((clock, watermarks)) = self.ckpt_in_flight.take() else {
+        let Some(CkptInFlight {
+            clock,
+            watermarks,
+            armed_ns,
+        }) = self.ckpt_in_flight.take()
+        else {
             return;
         };
         self.metrics.checkpoints_taken += 1;
+        let store_ns = self.obs.now_ns().saturating_sub(armed_ns);
+        self.timings.ckpt_store.record(store_ns);
+        self.obs.record(
+            self.clock.value(),
+            ProtoEvent::CkptCommit {
+                seq: self.metrics.checkpoints_taken,
+                store_ns,
+            },
+        );
         // §4.6.1: notify every other daemon so they can garbage-collect
         // the messages we received before this checkpoint — "before" being
         // the snapshot instant, not the (later) durability ack.
@@ -1695,6 +1852,79 @@ mod tests {
         // Once delivered, duplicates fall to the HR watermark.
         feed_data(&mut e, Rank(0), 2);
         assert_eq!(e.metrics().duplicates_dropped, 2);
+    }
+
+    #[test]
+    fn gate_wait_and_el_rtt_counted_with_flight_records() {
+        use mvr_obs::RecorderConfig;
+        let mut e = V2Engine::fresh_with_policy(Rank(1), 2, BatchPolicy::Immediate);
+        e.set_recorder(Recorder::new(1, RecorderConfig::enabled()));
+        // A delivery closes the gate and ships its event.
+        e.handle(Input::AppRecv).unwrap();
+        feed_data(&mut e, Rank(0), 1);
+        // A send queues behind the gate.
+        e.handle(Input::AppSend {
+            dst: Rank(0),
+            payload: pl(9),
+        })
+        .unwrap();
+        outs(&mut e);
+        // The ack retires the batch and opens the gate.
+        e.handle(Input::ElAck { up_to: 1 }).unwrap();
+        assert_eq!(data_out(&outs(&mut e)).len(), 1);
+        let m = *e.metrics();
+        assert_eq!(m.el_batches_sent, 1);
+        assert_eq!(m.el_batches_acked, 1, "ship/ack balance at quiescence");
+        assert_eq!(m.gate_deferred_sends, 1);
+        let t = e.timings().summary();
+        assert_eq!(t.gate_wait.count, 1, "one released send sampled");
+        assert_eq!(t.el_ack_rtt.count, 1, "one retired batch sampled");
+        assert_eq!(m.gate_wait_ns, t.gate_wait.sum);
+        assert_eq!(m.el_ack_rtt_ns, t.el_ack_rtt.sum);
+        // The recorder saw the protocol sequence and validates clean.
+        let tl = e.recorder().snapshot();
+        let kinds: Vec<&str> = tl.iter().map(|r| r.event.kind()).collect();
+        for want in ["deliver", "el-ship", "gate-defer", "el-ack", "gate-open"] {
+            assert!(kinds.contains(&want), "missing {want} in {kinds:?}");
+        }
+        mvr_obs::validate_records(&tl).expect("schema-clean timeline");
+    }
+
+    #[test]
+    fn coalesced_ack_retires_every_covered_batch() {
+        let mut e = V2Engine::fresh_with_policy(Rank(1), 2, BatchPolicy::Lazy { max_events: 8 });
+        // Two separate flushes ship two batches.
+        e.handle(Input::AppRecv).unwrap();
+        feed_data(&mut e, Rank(0), 1);
+        e.handle(Input::FlushEvents).unwrap();
+        e.handle(Input::AppRecv).unwrap();
+        feed_data(&mut e, Rank(0), 2);
+        e.handle(Input::FlushEvents).unwrap();
+        outs(&mut e);
+        assert_eq!(e.metrics().el_batches_sent, 2);
+        // One coalesced high-watermark ack covers both.
+        e.handle(Input::ElAck { up_to: 2 }).unwrap();
+        let m = e.metrics();
+        assert_eq!(m.el_acks_received, 1, "the EL coalesced");
+        assert_eq!(m.el_batches_acked, 2, "both batches retired");
+        assert_eq!(e.timings().el_ack_rtt.count(), 2);
+    }
+
+    #[test]
+    fn recovery_clears_stale_el_rtt_queue() {
+        let mut e = V2Engine::fresh_with_policy(Rank(0), 2, BatchPolicy::Immediate);
+        e.handle(Input::AppRecv).unwrap();
+        feed_data(&mut e, Rank(1), 1);
+        outs(&mut e);
+        assert_eq!(e.metrics().el_batches_sent, 1);
+        // Crash without the ack: the new incarnation must not credit the
+        // dead batch to a later ack.
+        let mut r = V2Engine::fresh(Rank(0), 2);
+        r.begin_recovery(vec![]);
+        outs(&mut r);
+        r.handle(Input::ElAck { up_to: 5 }).unwrap();
+        assert_eq!(r.metrics().el_batches_acked, 0);
+        assert_eq!(r.timings().el_ack_rtt.count(), 0);
     }
 
     #[test]

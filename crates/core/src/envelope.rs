@@ -145,6 +145,11 @@ pub enum CkptReply {
 }
 
 /// Messages between the checkpoint scheduler and computing daemons.
+//
+// `Status` dwarfs the other variants (it carries four histogram
+// summaries), but these messages are rare — one per rank per scheduler
+// round — and transient, so the size skew costs nothing worth a Box.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SchedMsg {
     /// Scheduler asks a daemon for its logging status (§4.6.2: "it asks the
@@ -169,6 +174,9 @@ pub enum SchedMsg {
         el_acks: u64,
         /// Largest single batch shipped, in events.
         el_max_batch: u64,
+        /// Latency-histogram summaries for the hot protocol intervals
+        /// (gate wait, EL ack RTT, checkpoint upload, replay).
+        timings: mvr_obs::TimingSummary,
     },
     /// Scheduler orders the daemon to checkpoint now.
     CheckpointOrder,

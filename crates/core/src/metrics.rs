@@ -22,6 +22,10 @@ pub struct Metrics {
     pub events_logged: u64,
     /// Transmissions that had to queue behind the pessimism gate.
     pub gate_deferred_sends: u64,
+    /// Total nanoseconds deferred transmissions spent queued behind the
+    /// gate (summed per released send; the distribution lives in the
+    /// engine's `ProtocolTimings`).
+    pub gate_wait_ns: u64,
     /// Incoming messages dropped as duplicates.
     pub duplicates_dropped: u64,
     /// Old messages re-sent from the sender log during a peer's recovery.
@@ -42,8 +46,17 @@ pub struct Metrics {
     /// Events carried by those batches (equals `events_logged` once every
     /// pending event has been flushed).
     pub el_events_batched: u64,
-    /// Acknowledgements received from the event logger.
+    /// Acknowledgements received from the event logger. The EL
+    /// coalesces high-watermark acks, so this can be *smaller* than
+    /// `el_batches_sent`; use `el_batches_acked` for ship/ack balance.
     pub el_acks_received: u64,
+    /// Shipped batches retired by an EL ack covering their highest
+    /// receiver clock. At quiescence (all batches acked, none lost to a
+    /// crash) this equals `el_batches_sent`.
+    pub el_batches_acked: u64,
+    /// Total nanoseconds of ship→ack round-trip, summed per retired
+    /// batch (the distribution lives in the engine's `ProtocolTimings`).
+    pub el_ack_rtt_ns: u64,
     /// Largest single batch shipped to the event logger.
     pub el_max_batch_events: u64,
     /// Recoveries begun by this incarnation (`begin_recovery` calls:

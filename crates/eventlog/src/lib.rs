@@ -17,5 +17,5 @@
 pub mod service;
 pub mod store;
 
-pub use service::{run_event_logger, ElPacket, ElServiceStats};
+pub use service::{run_event_logger, run_event_logger_counted, ElPacket, ElServiceStats};
 pub use store::{el_for_rank, EventLogStore};

@@ -5,6 +5,8 @@
 use crate::store::EventLogStore;
 use mvr_core::{ElReply, ElRequest, Rank};
 use mvr_net::{Mailbox, RecvError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One inbound request: who asked, and what.
 #[derive(Clone, Debug)]
@@ -46,9 +48,24 @@ pub struct ElServiceStats {
 /// `reply` ships an [`ElReply`] back to the daemon of the given rank; a
 /// failed reply (daemon crashed meanwhile) is ignored, matching a TCP
 /// write error to a dead peer.
-pub fn run_event_logger<F>(
+pub fn run_event_logger<F>(mailbox: Mailbox<ElPacket>, reply: F) -> (EventLogStore, ElServiceStats)
+where
+    F: FnMut(Rank, ElReply) -> bool,
+{
+    run_event_logger_counted(mailbox, reply, Arc::new(AtomicU64::new(0)))
+}
+
+/// As [`run_event_logger`], additionally publishing the store's
+/// cumulative *unique*-event count ([`EventLogStore::total_logged`])
+/// into `events_ever` after every service pass. The counter is monotone
+/// across duplicates, replays and truncations, which makes it the
+/// stable side of the conservation invariant the chaos tests assert:
+/// the EL never double-counts a logical delivery, no matter how many
+/// times crash recovery re-logs it.
+pub fn run_event_logger_counted<F>(
     mailbox: Mailbox<ElPacket>,
     mut reply: F,
+    events_ever: Arc<AtomicU64>,
 ) -> (EventLogStore, ElServiceStats)
 where
     F: FnMut(Rank, ElReply) -> bool,
@@ -124,6 +141,11 @@ where
                 }
             }
         }
+        // Publish the unique-event count before the acks leave: once a
+        // daemon has seen an ack, the covered events are visible in the
+        // counter (the "acked implies counted" ordering the conservation
+        // tests rely on).
+        events_ever.store(store.total_logged(), Ordering::Release);
         for (rank, up_to) in pending_acks {
             stats.acks += 1;
             let _ = reply(rank, ElReply::Ack { up_to });

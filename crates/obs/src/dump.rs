@@ -1,0 +1,464 @@
+//! Crash-dump writers and validators: the merged JSONL timeline, the
+//! Chrome-trace/Perfetto export, schema validation, and first-divergence
+//! triage.
+//!
+//! The vendored `serde_json` is write-only (no parser), so validation
+//! works structurally: every record is round-tripped through bincode
+//! and re-rendered to JSON for byte comparison against the dump file,
+//! and the per-rank logical clocks are checked for monotonicity
+//! (allowing the resets that legitimately accompany recovery).
+
+use crate::event::{FlightRecord, ProtoEvent};
+use serde::Serialize;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Where a dump landed, plus enough metadata for triage notes.
+#[derive(Clone, Debug)]
+pub struct DumpPaths {
+    /// The merged clock-ordered JSONL timeline.
+    pub jsonl: PathBuf,
+    /// The Chrome-trace/Perfetto export.
+    pub trace: PathBuf,
+    /// Records written.
+    pub records: usize,
+    /// Records lost to ring-buffer wraparound before the dump.
+    pub dropped: u64,
+    /// First-divergence triage, if the timeline contains an anomaly.
+    pub triage: Option<Triage>,
+}
+
+impl DumpPaths {
+    /// One-paragraph triage note naming the dump paths and, when
+    /// present, the rank and protocol phase of the first divergence.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "flight recorder: {} records ({} lost to wraparound)\n  timeline: {}\n  perfetto: {}",
+            self.records,
+            self.dropped,
+            self.jsonl.display(),
+            self.trace.display(),
+        );
+        match &self.triage {
+            Some(t) => s.push_str(&format!("\n  {t}")),
+            None => s.push_str("\n  no anomaly recorded in timeline"),
+        }
+        s
+    }
+}
+
+/// The first anomaly in a merged timeline: which rank diverged first,
+/// and in which protocol phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Triage {
+    /// Rank of the first anomalous record ([`crate::event::DISPATCHER_RANK`]
+    /// for harness-level records).
+    pub rank: u32,
+    /// Protocol phase of the anomaly (see [`ProtoEvent::phase`]).
+    pub phase: &'static str,
+    /// Event kind of the anomaly.
+    pub kind: &'static str,
+    /// Timestamp of the anomaly.
+    pub ts_ns: u64,
+    /// Rendered event for the triage note.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Triage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rank = if self.rank == crate::event::DISPATCHER_RANK {
+            "harness".to_string()
+        } else {
+            format!("rank {}", self.rank)
+        };
+        write!(
+            f,
+            "first divergence: {} in phase `{}` ({}, t={}ns): {}",
+            rank, self.phase, self.kind, self.ts_ns, self.detail
+        )
+    }
+}
+
+/// Find the first anomaly in a ts-ordered timeline. Explicit
+/// [`ProtoEvent::Divergence`] records win over chaos kills: a kill is
+/// an injected fault, a divergence is the protocol failing to mask it.
+pub fn triage(timeline: &[FlightRecord]) -> Option<Triage> {
+    let pick = |rec: &FlightRecord| Triage {
+        rank: rec.rank,
+        phase: rec.event.phase(),
+        kind: rec.event.kind(),
+        ts_ns: rec.ts_ns,
+        detail: format!("{:?}", rec.event),
+    };
+    timeline
+        .iter()
+        .find(|r| matches!(r.event, ProtoEvent::Divergence { .. }))
+        .or_else(|| timeline.iter().find(|r| r.event.is_anomaly()))
+        .map(pick)
+}
+
+/// Render one record as its canonical JSONL line (no trailing newline).
+pub fn jsonl_line(rec: &FlightRecord) -> String {
+    serde_json::to_string(rec).expect("FlightRecord serializes to JSON")
+}
+
+/// Write the merged timeline as JSONL, one record per line.
+pub fn write_jsonl(path: &Path, timeline: &[FlightRecord]) -> std::io::Result<()> {
+    let mut out = String::new();
+    for rec in timeline {
+        out.push_str(&jsonl_line(rec));
+        out.push('\n');
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
+}
+
+/// Instant ("i") trace event: one per flight record, on the rank's
+/// track. Serialized individually and joined by hand because the
+/// vendored `serde_json` has no heterogeneous `Value` serializer.
+#[derive(Serialize)]
+struct InstantEvent {
+    name: String,
+    cat: String,
+    ph: String,
+    s: String,
+    ts: f64,
+    pid: u64,
+    tid: u64,
+    args: EventArgs,
+}
+
+/// Complete ("X") trace event: a slice spanning a measured duration.
+#[derive(Serialize)]
+struct CompleteEvent {
+    name: String,
+    cat: String,
+    ph: String,
+    ts: f64,
+    dur: f64,
+    pid: u64,
+    tid: u64,
+    args: ClockArgs,
+}
+
+#[derive(Serialize)]
+struct EventArgs {
+    clock: u64,
+    event: ProtoEvent,
+}
+
+#[derive(Serialize)]
+struct ClockArgs {
+    clock: u64,
+}
+
+/// Duration embedded in a completion event, if any: `(label, ns)`.
+/// These become Chrome-trace `"X"` (complete) slices ending at the
+/// record's timestamp.
+fn embedded_duration(ev: &ProtoEvent) -> Option<(&'static str, u64)> {
+    match ev {
+        ProtoEvent::GateOpen { waited_ns, .. } if *waited_ns > 0 => Some(("gate-wait", *waited_ns)),
+        ProtoEvent::ElAck { rtt_ns, .. } if *rtt_ns > 0 => Some(("el-ack-rtt", *rtt_ns)),
+        ProtoEvent::CkptCommit { store_ns, .. } if *store_ns > 0 => Some(("ckpt-store", *store_ns)),
+        ProtoEvent::ReplayDone { replay_ns, .. } if *replay_ns > 0 => Some(("replay", *replay_ns)),
+        _ => None,
+    }
+}
+
+/// Write the timeline in Chrome trace event format (load the file in
+/// Perfetto / `chrome://tracing`). Every record becomes an instant
+/// event on its rank's track; records carrying a measured duration
+/// (gate open, EL ack, checkpoint commit, replay done) additionally
+/// become complete (`"X"`) slices spanning that duration.
+pub fn write_chrome_trace(path: &Path, timeline: &[FlightRecord]) -> std::io::Result<()> {
+    let as_io =
+        |e: serde_json::Error| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string());
+    let mut events: Vec<String> = Vec::with_capacity(timeline.len());
+    for rec in timeline {
+        let ts_us = rec.ts_ns as f64 / 1000.0;
+        events.push(
+            serde_json::to_string(&InstantEvent {
+                name: rec.event.kind().to_string(),
+                cat: rec.event.phase().to_string(),
+                ph: "i".to_string(),
+                s: "t".to_string(),
+                ts: ts_us,
+                pid: rec.rank as u64,
+                tid: 0,
+                args: EventArgs {
+                    clock: rec.clock,
+                    event: rec.event.clone(),
+                },
+            })
+            .map_err(as_io)?,
+        );
+        if let Some((label, ns)) = embedded_duration(&rec.event) {
+            let dur_us = ns as f64 / 1000.0;
+            events.push(
+                serde_json::to_string(&CompleteEvent {
+                    name: label.to_string(),
+                    cat: rec.event.phase().to_string(),
+                    ph: "X".to_string(),
+                    ts: ts_us - dur_us,
+                    dur: dur_us,
+                    pid: rec.rank as u64,
+                    tid: 1,
+                    args: ClockArgs { clock: rec.clock },
+                })
+                .map_err(as_io)?,
+            );
+        }
+    }
+    let body = format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        events.join(",")
+    );
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(body.as_bytes())
+}
+
+/// Validate a merged timeline against the event schema:
+///
+/// 1. every record survives a bincode serialize/deserialize round-trip
+///    unchanged (the schema is self-consistent);
+/// 2. per rank, timestamps are non-decreasing;
+/// 3. per rank, logical clocks are non-decreasing *except* across a
+///    recovery boundary (`restart1` / `recovery-begin` / `respawn`
+///    records legitimately reset the clock to the restored checkpoint).
+///
+/// Returns a description of the first violation.
+pub fn validate_records(timeline: &[FlightRecord]) -> Result<(), String> {
+    use std::collections::HashMap;
+    for rec in timeline {
+        let enc = bincode::serialize(rec)
+            .map_err(|e| format!("record failed to serialize: {e} ({rec:?})"))?;
+        let dec: FlightRecord = bincode::deserialize(&enc)
+            .map_err(|e| format!("record failed to deserialize: {e} ({rec:?})"))?;
+        if dec != *rec {
+            return Err(format!(
+                "bincode round-trip changed record: {rec:?} -> {dec:?}"
+            ));
+        }
+    }
+    let mut last: HashMap<u32, (u64, u64)> = HashMap::new(); // rank -> (ts, clock)
+    for rec in timeline {
+        if let Some(&(ts, clock)) = last.get(&rec.rank) {
+            if rec.ts_ns < ts {
+                return Err(format!(
+                    "rank {} timestamp went backwards: {} -> {} ({:?})",
+                    rec.rank, ts, rec.ts_ns, rec.event
+                ));
+            }
+            let recovery_boundary = matches!(
+                rec.event,
+                ProtoEvent::Restart1 { .. }
+                    | ProtoEvent::RecoveryBegin { .. }
+                    | ProtoEvent::RespawnScheduled { .. }
+            );
+            if rec.clock < clock && !recovery_boundary {
+                return Err(format!(
+                    "rank {} clock went backwards outside recovery: {} -> {} ({:?})",
+                    rec.rank, clock, rec.clock, rec.event
+                ));
+            }
+        }
+        last.insert(rec.rank, (rec.ts_ns, rec.clock));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rank: u32, clock: u64, ts_ns: u64, event: ProtoEvent) -> FlightRecord {
+        FlightRecord {
+            rank,
+            clock,
+            ts_ns,
+            event,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_clean_timeline() {
+        let tl = vec![
+            rec(
+                0,
+                1,
+                10,
+                ProtoEvent::Send {
+                    to: 1,
+                    clock: 1,
+                    bytes: 8,
+                },
+            ),
+            rec(
+                1,
+                1,
+                20,
+                ProtoEvent::Deliver {
+                    from: 0,
+                    sender_clock: 1,
+                    receiver_clock: 1,
+                    replay: false,
+                },
+            ),
+            rec(
+                0,
+                2,
+                30,
+                ProtoEvent::Send {
+                    to: 1,
+                    clock: 2,
+                    bytes: 8,
+                },
+            ),
+        ];
+        assert!(validate_records(&tl).is_ok());
+        assert!(triage(&tl).is_none());
+    }
+
+    #[test]
+    fn validate_allows_clock_reset_at_recovery() {
+        let tl = vec![
+            rec(
+                2,
+                9,
+                10,
+                ProtoEvent::Send {
+                    to: 0,
+                    clock: 9,
+                    bytes: 8,
+                },
+            ),
+            rec(2, 0, 20, ProtoEvent::Restart1 { rank: 2 }),
+            rec(2, 4, 30, ProtoEvent::RecoveryBegin { restored_clock: 4 }),
+            rec(
+                2,
+                5,
+                40,
+                ProtoEvent::ReplayStep {
+                    from: 0,
+                    receiver_clock: 5,
+                },
+            ),
+        ];
+        assert!(validate_records(&tl).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_backwards_clock() {
+        let tl = vec![
+            rec(
+                0,
+                5,
+                10,
+                ProtoEvent::Send {
+                    to: 1,
+                    clock: 5,
+                    bytes: 8,
+                },
+            ),
+            rec(
+                0,
+                3,
+                20,
+                ProtoEvent::Send {
+                    to: 1,
+                    clock: 3,
+                    bytes: 8,
+                },
+            ),
+        ];
+        let err = validate_records(&tl).unwrap_err();
+        assert!(err.contains("clock went backwards"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_backwards_timestamp() {
+        let tl = vec![
+            rec(
+                0,
+                1,
+                20,
+                ProtoEvent::Send {
+                    to: 1,
+                    clock: 1,
+                    bytes: 8,
+                },
+            ),
+            rec(
+                0,
+                2,
+                10,
+                ProtoEvent::Send {
+                    to: 1,
+                    clock: 2,
+                    bytes: 8,
+                },
+            ),
+        ];
+        assert!(validate_records(&tl).unwrap_err().contains("timestamp"));
+    }
+
+    #[test]
+    fn triage_prefers_divergence_over_kill() {
+        let tl = vec![
+            rec(
+                3,
+                0,
+                10,
+                ProtoEvent::ChaosKill {
+                    victim: 3,
+                    rekill: false,
+                },
+            ),
+            rec(
+                crate::event::DISPATCHER_RANK,
+                0,
+                50,
+                ProtoEvent::Divergence {
+                    detail: "rank 1 sum mismatch".into(),
+                },
+            ),
+        ];
+        let t = triage(&tl).unwrap();
+        assert_eq!(t.kind, "divergence");
+        assert_eq!(t.phase, "divergence");
+        assert!(t.to_string().contains("harness"));
+        // Without the divergence, the kill is the first anomaly.
+        let t2 = triage(&tl[..1]).unwrap();
+        assert_eq!(t2.kind, "chaos-kill");
+        assert_eq!(t2.rank, 3);
+    }
+
+    #[test]
+    fn dump_files_render() {
+        let dir = std::env::temp_dir().join("mvr-obs-dump-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tl = vec![
+            rec(0, 1, 1000, ProtoEvent::GateDefer { to: 1, queued: 1 }),
+            rec(
+                0,
+                1,
+                5000,
+                ProtoEvent::GateOpen {
+                    released: 1,
+                    waited_ns: 4000,
+                },
+            ),
+        ];
+        let jsonl = dir.join("t.jsonl");
+        let trace = dir.join("t.trace.json");
+        write_jsonl(&jsonl, &tl).unwrap();
+        write_chrome_trace(&trace, &tl).unwrap();
+        let body = std::fs::read_to_string(&jsonl).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        assert_eq!(body.lines().next().unwrap(), jsonl_line(&tl[0]));
+        let tr = std::fs::read_to_string(&trace).unwrap();
+        assert!(tr.contains("traceEvents"));
+        assert!(tr.contains("\"ph\":\"X\""));
+        assert!(tr.contains("gate-wait"));
+    }
+}

@@ -1,0 +1,333 @@
+//! The structured protocol event schema.
+//!
+//! One [`FlightRecord`] is appended to a rank's ring buffer per
+//! protocol transition. The event vocabulary mirrors §4 of the paper:
+//! the pessimism gate, event-logger traffic, uncoordinated checkpoints,
+//! the RESTART handshake and ordered replay — plus the chaos layer's
+//! interventions, which is what makes a post-mortem timeline readable.
+
+use serde::{Deserialize, Serialize};
+
+/// A structured protocol event. Numeric fields are raw `u32`/`u64`
+/// (ranks, clocks, byte counts) so the schema has no dependency on the
+/// protocol crates.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtoEvent {
+    /// Application send left the engine (clock-ticked, payload on wire).
+    Send {
+        /// Destination rank.
+        to: u32,
+        /// Sender logical clock stamped on the message.
+        clock: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A send queued behind the closed pessimism gate (WAITLOGGED).
+    GateDefer {
+        /// Destination rank of the deferred send.
+        to: u32,
+        /// Number of sends now waiting behind the gate.
+        queued: u64,
+    },
+    /// The gate opened (EL ack covered every owed event) and released
+    /// the queued sends.
+    GateOpen {
+        /// Sends released by this opening.
+        released: u64,
+        /// Nanoseconds the oldest released send waited.
+        waited_ns: u64,
+    },
+    /// A message was delivered to the application.
+    Deliver {
+        /// Source rank.
+        from: u32,
+        /// Sender clock of the delivered message.
+        sender_clock: u64,
+        /// Receiver clock assigned to the delivery.
+        receiver_clock: u64,
+        /// `true` when delivered during ordered replay.
+        replay: bool,
+    },
+    /// A duplicate incoming message was dropped.
+    DuplicateDropped {
+        /// Source rank.
+        from: u32,
+        /// Sender clock of the duplicate.
+        sender_clock: u64,
+    },
+    /// A batch of reception events shipped to the event logger.
+    ElShip {
+        /// Events carried by the batch.
+        events: u64,
+        /// Highest receiver clock covered by the batch.
+        up_to: u64,
+    },
+    /// An event-logger acknowledgement arrived.
+    ElAck {
+        /// Highest receiver clock the ack covers.
+        up_to: u64,
+        /// Shipped batches retired by this (possibly coalesced) ack.
+        batches_retired: u64,
+        /// Round-trip nanoseconds of the oldest retired batch
+        /// (0 when the ack retired nothing).
+        rtt_ns: u64,
+    },
+    /// Checkpoint armed: image serialized, upload begun.
+    CkptBegin {
+        /// Sequence number of the checkpoint.
+        seq: u64,
+        /// Sender-log bytes held at the snapshot instant (the dominant
+        /// protocol-side component of the image).
+        bytes: u64,
+    },
+    /// Checkpoint acknowledged by the checkpoint server.
+    CkptCommit {
+        /// Sequence number of the checkpoint.
+        seq: u64,
+        /// Nanoseconds between arm and commit (upload duration).
+        store_ns: u64,
+    },
+    /// Sender-log garbage collection driven by a peer's CkptNotify.
+    CkptGc {
+        /// Peer whose watermark advanced.
+        peer: u32,
+        /// Bytes freed from the sender log.
+        bytes_freed: u64,
+    },
+    /// RESTART phase 1: a restarting rank announced itself.
+    Restart1 {
+        /// The restarting rank.
+        rank: u32,
+    },
+    /// RESTART phase 2: watermark exchanged with a peer.
+    Restart2 {
+        /// Peer rank the watermark was exchanged with.
+        peer: u32,
+        /// The exchanged high-watermark clock.
+        watermark: u64,
+    },
+    /// Recovery began: checkpoint image restored, EL download issued.
+    RecoveryBegin {
+        /// Receiver clock restored from the checkpoint image.
+        restored_clock: u64,
+    },
+    /// One ordered replay step consumed a logged reception event.
+    ReplayStep {
+        /// Source rank of the replayed message.
+        from: u32,
+        /// Receiver clock of the replayed delivery.
+        receiver_clock: u64,
+    },
+    /// Ordered replay finished; the engine switched to normal mode.
+    ReplayDone {
+        /// Deliveries performed during the replay.
+        replayed: u64,
+        /// Nanoseconds spent replaying.
+        replay_ns: u64,
+    },
+    /// The chaos layer killed a node.
+    ChaosKill {
+        /// Victim rank (computing ranks only; services use
+        /// [`ProtoEvent::ServiceKill`]).
+        victim: u32,
+        /// `true` when the victim was already restarting (a re-kill).
+        rekill: bool,
+    },
+    /// The chaos layer killed a service node.
+    ServiceKill {
+        /// Human-readable service name ("cs", "el0", ...).
+        service: String,
+    },
+    /// A daemon incarnation exited cleanly (app finished).
+    Finish {
+        /// Final receiver clock.
+        clock: u64,
+    },
+    /// The dispatcher detected a daemon death and scheduled a respawn.
+    RespawnScheduled {
+        /// Rank being respawned.
+        rank: u32,
+        /// Restart count for this rank so far.
+        attempt: u64,
+    },
+    /// An invariant violation or payload divergence detected by a
+    /// harness; recorded immediately before a dump.
+    Divergence {
+        /// What diverged, in prose.
+        detail: String,
+    },
+}
+
+impl ProtoEvent {
+    /// Coarse protocol phase this event belongs to — used by triage to
+    /// name the phase of the first divergence.
+    pub fn phase(&self) -> &'static str {
+        match self {
+            ProtoEvent::Send { .. } => "send",
+            ProtoEvent::GateDefer { .. } | ProtoEvent::GateOpen { .. } => "gate",
+            ProtoEvent::Deliver { .. } | ProtoEvent::DuplicateDropped { .. } => "deliver",
+            ProtoEvent::ElShip { .. } | ProtoEvent::ElAck { .. } => "event-log",
+            ProtoEvent::CkptBegin { .. }
+            | ProtoEvent::CkptCommit { .. }
+            | ProtoEvent::CkptGc { .. } => "checkpoint",
+            ProtoEvent::Restart1 { .. }
+            | ProtoEvent::Restart2 { .. }
+            | ProtoEvent::RecoveryBegin { .. } => "recovery",
+            ProtoEvent::ReplayStep { .. } | ProtoEvent::ReplayDone { .. } => "replay",
+            ProtoEvent::ChaosKill { .. } | ProtoEvent::ServiceKill { .. } => "chaos",
+            ProtoEvent::Finish { .. } | ProtoEvent::RespawnScheduled { .. } => "lifecycle",
+            ProtoEvent::Divergence { .. } => "divergence",
+        }
+    }
+
+    /// Short kebab-case name of the event kind (Chrome-trace label).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtoEvent::Send { .. } => "send",
+            ProtoEvent::GateDefer { .. } => "gate-defer",
+            ProtoEvent::GateOpen { .. } => "gate-open",
+            ProtoEvent::Deliver { .. } => "deliver",
+            ProtoEvent::DuplicateDropped { .. } => "dup-dropped",
+            ProtoEvent::ElShip { .. } => "el-ship",
+            ProtoEvent::ElAck { .. } => "el-ack",
+            ProtoEvent::CkptBegin { .. } => "ckpt-begin",
+            ProtoEvent::CkptCommit { .. } => "ckpt-commit",
+            ProtoEvent::CkptGc { .. } => "ckpt-gc",
+            ProtoEvent::Restart1 { .. } => "restart1",
+            ProtoEvent::Restart2 { .. } => "restart2",
+            ProtoEvent::RecoveryBegin { .. } => "recovery-begin",
+            ProtoEvent::ReplayStep { .. } => "replay-step",
+            ProtoEvent::ReplayDone { .. } => "replay-done",
+            ProtoEvent::ChaosKill { .. } => "chaos-kill",
+            ProtoEvent::ServiceKill { .. } => "service-kill",
+            ProtoEvent::Finish { .. } => "finish",
+            ProtoEvent::RespawnScheduled { .. } => "respawn",
+            ProtoEvent::Divergence { .. } => "divergence",
+        }
+    }
+
+    /// `true` for events that mark a fault or detected anomaly — the
+    /// candidates for "first divergence" in triage.
+    pub fn is_anomaly(&self) -> bool {
+        matches!(
+            self,
+            ProtoEvent::ChaosKill { .. }
+                | ProtoEvent::ServiceKill { .. }
+                | ProtoEvent::Divergence { .. }
+        )
+    }
+}
+
+/// One entry in a flight recorder: who, when (logical and physical),
+/// and what.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightRecord {
+    /// Rank the record belongs to (`u32::MAX` for the dispatcher /
+    /// harness pseudo-rank).
+    pub rank: u32,
+    /// The rank's logical clock at the time of the event (receiver
+    /// clock for engine events; 0 where no clock applies).
+    pub clock: u64,
+    /// Monotonic nanoseconds since the deployment's recorder epoch.
+    pub ts_ns: u64,
+    /// The structured event.
+    pub event: ProtoEvent,
+}
+
+/// Pseudo-rank used for records emitted by the dispatcher, the chaos
+/// driver and harnesses rather than a computing rank.
+pub const DISPATCHER_RANK: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip_all_kinds() {
+        let samples = vec![
+            ProtoEvent::Send {
+                to: 1,
+                clock: 2,
+                bytes: 3,
+            },
+            ProtoEvent::GateDefer { to: 1, queued: 4 },
+            ProtoEvent::GateOpen {
+                released: 4,
+                waited_ns: 900,
+            },
+            ProtoEvent::Deliver {
+                from: 0,
+                sender_clock: 9,
+                receiver_clock: 10,
+                replay: true,
+            },
+            ProtoEvent::DuplicateDropped {
+                from: 2,
+                sender_clock: 5,
+            },
+            ProtoEvent::ElShip {
+                events: 8,
+                up_to: 44,
+            },
+            ProtoEvent::ElAck {
+                up_to: 44,
+                batches_retired: 2,
+                rtt_ns: 1200,
+            },
+            ProtoEvent::CkptBegin {
+                seq: 3,
+                bytes: 4096,
+            },
+            ProtoEvent::CkptCommit {
+                seq: 3,
+                store_ns: 88_000,
+            },
+            ProtoEvent::CkptGc {
+                peer: 1,
+                bytes_freed: 512,
+            },
+            ProtoEvent::Restart1 { rank: 2 },
+            ProtoEvent::Restart2 {
+                peer: 0,
+                watermark: 17,
+            },
+            ProtoEvent::RecoveryBegin { restored_clock: 12 },
+            ProtoEvent::ReplayStep {
+                from: 1,
+                receiver_clock: 13,
+            },
+            ProtoEvent::ReplayDone {
+                replayed: 5,
+                replay_ns: 70_000,
+            },
+            ProtoEvent::ChaosKill {
+                victim: 3,
+                rekill: false,
+            },
+            ProtoEvent::ServiceKill {
+                service: "cs".into(),
+            },
+            ProtoEvent::Finish { clock: 99 },
+            ProtoEvent::RespawnScheduled {
+                rank: 3,
+                attempt: 2,
+            },
+            ProtoEvent::Divergence {
+                detail: "rank 1 payload mismatch".into(),
+            },
+        ];
+        for (i, ev) in samples.into_iter().enumerate() {
+            let rec = FlightRecord {
+                rank: i as u32,
+                clock: i as u64,
+                ts_ns: 1000 + i as u64,
+                event: ev,
+            };
+            let enc = bincode::serialize(&rec).unwrap();
+            let dec: FlightRecord = bincode::deserialize(&enc).unwrap();
+            assert_eq!(rec, dec);
+            assert!(!rec.event.kind().is_empty());
+            assert!(!rec.event.phase().is_empty());
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! HDR-style log-bucketed latency histograms.
+//!
+//! Values (nanoseconds, but the histogram is unit-agnostic) land in
+//! buckets with 16 linear sub-buckets per power of two, bounding the
+//! relative quantile error at 1/16 ≈ 6.25% while keeping the whole
+//! `u64` range representable in under 1000 buckets. Histograms merge
+//! by bucket-wise addition, so per-rank histograms aggregate into
+//! cluster-wide distributions losslessly.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear sub-buckets per octave (power of two). 16 sub-buckets bound
+/// the relative error of any reported quantile at 1/16.
+const SUBS: usize = 16;
+/// Total buckets: values `< 16` get exact unit buckets, then 60
+/// octaves of 16 sub-buckets cover the rest of the `u64` range.
+const NUM_BUCKETS: usize = SUBS * 61;
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (msb - 4)) & 0xF) as usize;
+        SUBS * (msb - 3) + sub
+    }
+}
+
+/// Lower bound of the value range covered by bucket `idx`.
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUBS {
+        idx as u64
+    } else {
+        let msb = idx / SUBS + 3;
+        let sub = (idx % SUBS) as u64;
+        (1u64 << msb) | (sub << (msb - 4))
+    }
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Bucket-floor estimate of quantile `q` in `[0, 1]`. Exact for
+    /// values below 16; within 6.25% above.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_floor(idx);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// All-integer summary suitable for `Eq`-deriving wire messages.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Compact all-integer histogram summary. Rides in status wire
+/// messages (`SchedMsg::Status`, `NodeStatus`) and benchmark JSON.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (0 if empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (bucket-floor estimate).
+    pub p50: u64,
+    /// 90th percentile (bucket-floor estimate).
+    pub p90: u64,
+    /// 99th percentile (bucket-floor estimate).
+    pub p99: u64,
+}
+
+impl HistSummary {
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = 0;
+        for idx in 1..NUM_BUCKETS {
+            let f = bucket_floor(idx);
+            assert!(f > prev, "floor not monotone at {idx}");
+            prev = f;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        // Every value maps into the bucket whose floor is <= value.
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 1000, 123_456_789, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            assert!(bucket_floor(idx) <= v);
+            if idx + 1 < NUM_BUCKETS {
+                assert!(bucket_floor(idx + 1) > v);
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn quantile_within_relative_error() {
+        let mut h = LogHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 1000); // 1µs .. 10ms in ns
+        }
+        let p50 = h.quantile(0.5);
+        let exact = 5_000_000u64;
+        assert!(
+            (p50 as f64 - exact as f64).abs() / exact as f64 <= 1.0 / 16.0 + 1e-9,
+            "p50 {p50} too far from {exact}"
+        );
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for i in 0..500u64 {
+            let v = i * i % 10_007;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+        assert_eq!(a.summary(), c.summary());
+    }
+
+    #[test]
+    fn summary_roundtrips() {
+        let mut h = LogHistogram::new();
+        h.record(42);
+        h.record(4242);
+        let s = h.summary();
+        let enc = bincode::serialize(&s).unwrap();
+        assert_eq!(s, bincode::deserialize::<HistSummary>(&enc).unwrap());
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 4284);
+        assert_eq!(s.mean(), 2142);
+    }
+}

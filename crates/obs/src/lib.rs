@@ -1,0 +1,35 @@
+//! `mvr-obs` — the observability layer threaded through every protocol
+//! component: a lock-light per-engine flight recorder of structured
+//! protocol events, HDR-style mergeable latency histograms for the hot
+//! protocol intervals, and a crash dump path that merges the recorders
+//! of all involved ranks into a clock-ordered JSONL timeline plus a
+//! Chrome-trace/Perfetto export.
+//!
+//! The crate is a leaf: it speaks raw `u32` ranks so that `mvr-core`
+//! (and everything above it) can depend on it without a cycle.
+//!
+//! Design constraints honoured here:
+//! - the disabled-recorder fast path is a single relaxed atomic load
+//!   (`Recorder::record` returns before touching the ring lock), so
+//!   benchmark figures are unaffected when tracing is off;
+//! - every record carries rank, logical clock and a monotonic
+//!   timestamp taken from an epoch shared across the whole deployment
+//!   (via [`RecorderHub`]), so merged timelines order correctly;
+//! - histogram summaries are all-integer ([`HistSummary`]) so they can
+//!   ride in wire messages that derive `Eq`.
+
+#![warn(missing_docs)]
+
+mod dump;
+mod event;
+mod hist;
+mod recorder;
+mod timings;
+
+pub use dump::{
+    jsonl_line, triage, validate_records, write_chrome_trace, write_jsonl, DumpPaths, Triage,
+};
+pub use event::{FlightRecord, ProtoEvent, DISPATCHER_RANK};
+pub use hist::{HistSummary, LogHistogram};
+pub use recorder::{Recorder, RecorderConfig, RecorderHub};
+pub use timings::{ProtocolTimings, TimingSummary};

@@ -1,0 +1,373 @@
+//! The flight recorder: a lock-light per-engine ring buffer of
+//! [`FlightRecord`]s, plus the [`RecorderHub`] that owns the shared
+//! monotonic epoch and collects every recorder for post-mortem dumps.
+
+use crate::dump::{self, DumpPaths};
+use crate::event::{FlightRecord, ProtoEvent};
+use parking_lot::Mutex;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How a deployment's recorders behave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Record events at all. When `false`, [`Recorder::record`] is a
+    /// single relaxed atomic load — the benchmark-safe fast path.
+    pub enabled: bool,
+    /// Ring capacity per recorder; the oldest records are overwritten
+    /// once full (the overwrite count is preserved for triage).
+    pub capacity: usize,
+    /// Mirror every record to stderr as it is written — the successor
+    /// of the old `MVR_ENGINE_TRACE=1` eprintln spew.
+    pub trace_stderr: bool,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            enabled: false,
+            capacity: 4096,
+            trace_stderr: false,
+        }
+    }
+}
+
+impl RecorderConfig {
+    /// Recording on, stderr mirroring off.
+    pub fn enabled() -> Self {
+        RecorderConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
+struct Ring {
+    buf: Vec<FlightRecord>,
+    capacity: usize,
+    /// Next write position once the ring has wrapped.
+    head: usize,
+    /// Records overwritten after the ring filled.
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            buf: Vec::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, rec: FlightRecord) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Records oldest → newest.
+    fn snapshot(&self) -> Vec<FlightRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+struct Shared {
+    rank: u32,
+    enabled: AtomicBool,
+    trace_stderr: AtomicBool,
+    epoch: Instant,
+    ring: Mutex<Ring>,
+}
+
+/// A cloneable handle to one rank's flight recorder. Cloning shares
+/// the underlying ring, so a daemon and the engine it hosts write into
+/// the same timeline.
+#[derive(Clone)]
+pub struct Recorder(Arc<Shared>);
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("rank", &self.0.rank)
+            .field("enabled", &self.0.enabled.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A standalone recorder with its own epoch (tests, single-process
+    /// tools). Deployments should mint recorders from a [`RecorderHub`]
+    /// so all timelines share one epoch.
+    pub fn new(rank: u32, cfg: RecorderConfig) -> Self {
+        Self::with_epoch(rank, cfg, Instant::now())
+    }
+
+    /// A permanently-disabled recorder: the engine default, costing one
+    /// relaxed atomic load per would-be record.
+    pub fn disabled() -> Self {
+        Self::new(u32::MAX, RecorderConfig::default())
+    }
+
+    fn with_epoch(rank: u32, cfg: RecorderConfig, epoch: Instant) -> Self {
+        Recorder(Arc::new(Shared {
+            rank,
+            enabled: AtomicBool::new(cfg.enabled),
+            trace_stderr: AtomicBool::new(cfg.trace_stderr),
+            epoch,
+            ring: Mutex::new(Ring::new(cfg.capacity)),
+        }))
+    }
+
+    /// Whether records are currently being kept.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Rank this recorder writes records for.
+    pub fn rank(&self) -> u32 {
+        self.0.rank
+    }
+
+    /// Whether records are mirrored to stderr. Host code gates its own
+    /// free-form debug lines behind the same switch, so `--trace-stderr`
+    /// keeps the whole old `MVR_ENGINE_TRACE=1` spew.
+    #[inline]
+    pub fn trace_stderr(&self) -> bool {
+        self.0.trace_stderr.load(Ordering::Relaxed)
+    }
+
+    /// Monotonic nanoseconds since the deployment epoch. Usable even
+    /// when recording is disabled — the engines' duration histograms
+    /// read time through this single source.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.0.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Append a record. The disabled fast path is a branch on one
+    /// relaxed atomic load; no lock is touched.
+    #[inline]
+    pub fn record(&self, clock: u64, event: ProtoEvent) {
+        if !self.0.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.record_slow(clock, event);
+    }
+
+    #[cold]
+    fn record_slow(&self, clock: u64, event: ProtoEvent) {
+        let rec = FlightRecord {
+            rank: self.0.rank,
+            clock,
+            ts_ns: self.now_ns(),
+            event,
+        };
+        if self.0.trace_stderr.load(Ordering::Relaxed) {
+            eprintln!(
+                "[mvr r{} c{} t{}ns] {}: {:?}",
+                rec.rank,
+                rec.clock,
+                rec.ts_ns,
+                rec.event.kind(),
+                rec.event
+            );
+        }
+        self.0.ring.lock().push(rec);
+    }
+
+    /// Copy of the ring, oldest → newest.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        self.0.ring.lock().snapshot()
+    }
+
+    /// Records overwritten after the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.0.ring.lock().dropped
+    }
+}
+
+/// The deployment-wide registry of flight recorders. Owns the shared
+/// monotonic epoch (so merged timelines order correctly across ranks)
+/// and survives individual incarnations: a rank that restarts gets a
+/// fresh recorder handle writing into the same registry, so the dump
+/// contains every incarnation's records.
+pub struct RecorderHub {
+    cfg: RecorderConfig,
+    epoch: Instant,
+    recorders: Mutex<Vec<Recorder>>,
+}
+
+impl std::fmt::Debug for RecorderHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecorderHub")
+            .field("cfg", &self.cfg)
+            .field("recorders", &self.recorders.lock().len())
+            .finish()
+    }
+}
+
+impl RecorderHub {
+    /// A hub minting recorders with the given configuration.
+    pub fn new(cfg: RecorderConfig) -> Arc<Self> {
+        Arc::new(RecorderHub {
+            cfg,
+            epoch: Instant::now(),
+            recorders: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Whether minted recorders keep records.
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Mint (and register) a recorder for `rank`. Call once per
+    /// incarnation; all incarnations' records end up in the dump.
+    pub fn recorder(&self, rank: u32) -> Recorder {
+        let r = Recorder::with_epoch(rank, self.cfg, self.epoch);
+        self.recorders.lock().push(r.clone());
+        r
+    }
+
+    /// Merged snapshot of every registered recorder, ordered by
+    /// timestamp (ties broken by rank then clock).
+    pub fn timeline(&self) -> Vec<FlightRecord> {
+        let mut all: Vec<FlightRecord> = self
+            .recorders
+            .lock()
+            .iter()
+            .flat_map(|r| r.snapshot())
+            .collect();
+        all.sort_by_key(|r| (r.ts_ns, r.rank, r.clock));
+        all
+    }
+
+    /// Total records overwritten across all rings (reported in the
+    /// dump so a truncated timeline is never mistaken for a full one).
+    pub fn dropped(&self) -> u64 {
+        self.recorders.lock().iter().map(|r| r.dropped()).sum()
+    }
+
+    /// Collect every recorder and write the merged clock-ordered JSONL
+    /// timeline plus the Chrome-trace/Perfetto export under `dir`,
+    /// named `<tag>.jsonl` / `<tag>.trace.json`.
+    pub fn dump(&self, dir: &Path, tag: &str) -> std::io::Result<DumpPaths> {
+        let timeline = self.timeline();
+        std::fs::create_dir_all(dir)?;
+        let jsonl = dir.join(format!("{tag}.jsonl"));
+        let trace = dir.join(format!("{tag}.trace.json"));
+        dump::write_jsonl(&jsonl, &timeline)?;
+        dump::write_chrome_trace(&trace, &timeline)?;
+        Ok(DumpPaths {
+            jsonl,
+            trace,
+            records: timeline.len(),
+            dropped: self.dropped(),
+            triage: dump::triage(&timeline),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_keeps_nothing() {
+        let r = Recorder::disabled();
+        r.record(
+            1,
+            ProtoEvent::Send {
+                to: 0,
+                clock: 1,
+                bytes: 8,
+            },
+        );
+        assert!(r.snapshot().is_empty());
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let r = Recorder::new(
+            0,
+            RecorderConfig {
+                enabled: true,
+                capacity: 4,
+                trace_stderr: false,
+            },
+        );
+        for i in 0..10u64 {
+            r.record(
+                i,
+                ProtoEvent::Send {
+                    to: 1,
+                    clock: i,
+                    bytes: 1,
+                },
+            );
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        // Oldest → newest: clocks 6, 7, 8, 9.
+        let clocks: Vec<u64> = snap.iter().map(|f| f.clock).collect();
+        assert_eq!(clocks, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn hub_merges_across_ranks_in_ts_order() {
+        let hub = RecorderHub::new(RecorderConfig::enabled());
+        let a = hub.recorder(0);
+        let b = hub.recorder(1);
+        a.record(
+            1,
+            ProtoEvent::Send {
+                to: 1,
+                clock: 1,
+                bytes: 8,
+            },
+        );
+        b.record(
+            1,
+            ProtoEvent::Deliver {
+                from: 0,
+                sender_clock: 1,
+                receiver_clock: 1,
+                replay: false,
+            },
+        );
+        a.record(
+            2,
+            ProtoEvent::Send {
+                to: 1,
+                clock: 2,
+                bytes: 8,
+            },
+        );
+        let tl = hub.timeline();
+        assert_eq!(tl.len(), 3);
+        assert!(tl.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let r = Recorder::new(3, RecorderConfig::enabled());
+        let r2 = r.clone();
+        r.record(1, ProtoEvent::Restart1 { rank: 3 });
+        r2.record(2, ProtoEvent::Finish { clock: 2 });
+        assert_eq!(r.snapshot().len(), 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Per-engine latency histograms for the four hot protocol intervals.
+
+use crate::hist::{HistSummary, LogHistogram};
+use serde::{Deserialize, Serialize};
+
+/// The four hot-interval histograms the protocol maintains per engine:
+/// gate-wait time, EL ack round-trip, checkpoint upload duration and
+/// replay duration. Mergeable across ranks and incarnations.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolTimings {
+    /// Time sends spent queued behind the closed pessimism gate.
+    pub gate_wait: LogHistogram,
+    /// Round-trip from shipping an event batch to the EL ack covering it.
+    pub el_ack_rtt: LogHistogram,
+    /// Checkpoint arm → checkpoint-server commit duration.
+    pub ckpt_store: LogHistogram,
+    /// Recovery-begin → replay-complete duration.
+    pub replay: LogHistogram,
+}
+
+impl ProtocolTimings {
+    /// Empty timings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold another set of timings into this one.
+    pub fn merge(&mut self, other: &ProtocolTimings) {
+        self.gate_wait.merge(&other.gate_wait);
+        self.el_ack_rtt.merge(&other.el_ack_rtt);
+        self.ckpt_store.merge(&other.ckpt_store);
+        self.replay.merge(&other.replay);
+    }
+
+    /// Compact all-integer summaries for status messages and JSON.
+    pub fn summary(&self) -> TimingSummary {
+        TimingSummary {
+            gate_wait: self.gate_wait.summary(),
+            el_ack_rtt: self.el_ack_rtt.summary(),
+            ckpt_store: self.ckpt_store.summary(),
+            replay: self.replay.summary(),
+        }
+    }
+}
+
+/// All-integer summaries of [`ProtocolTimings`] — rides in
+/// `Eq`-deriving wire messages and `BENCH_*.json`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingSummary {
+    /// Gate-wait distribution summary.
+    pub gate_wait: HistSummary,
+    /// EL ack RTT distribution summary.
+    pub el_ack_rtt: HistSummary,
+    /// Checkpoint upload duration summary.
+    pub ckpt_store: HistSummary,
+    /// Replay duration summary.
+    pub replay: HistSummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ProtocolTimings::new();
+        let mut b = ProtocolTimings::new();
+        a.gate_wait.record(100);
+        b.gate_wait.record(300);
+        b.replay.record(1_000_000);
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.gate_wait.count, 2);
+        assert_eq!(s.gate_wait.sum, 400);
+        assert_eq!(s.replay.count, 1);
+        assert_eq!(s.el_ack_rtt.count, 0);
+    }
+}

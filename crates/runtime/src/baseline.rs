@@ -125,6 +125,7 @@ pub fn daemon_main_v1(
                         DispatcherMsg::Finalized {
                             rank,
                             metrics: *engine.metrics(),
+                            timings: Default::default(),
                         },
                     );
                     let _ = identity.send(NodeId::Process(rank), ProcReply::Done);
@@ -199,6 +200,7 @@ pub fn daemon_main_p4(mailbox: Mailbox<DaemonMsg>, identity: Identity, rank: Ran
                         DispatcherMsg::Finalized {
                             rank,
                             metrics: *engine.metrics(),
+                            timings: Default::default(),
                         },
                     );
                     let _ = identity.send(NodeId::Process(rank), ProcReply::Done);

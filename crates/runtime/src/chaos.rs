@@ -13,6 +13,7 @@
 
 use mvr_core::{NodeId, Rank};
 use mvr_net::Fabric;
+use mvr_obs::{ProtoEvent, Recorder};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -64,6 +65,9 @@ pub struct ChaosEvent {
     pub victims: Vec<Rank>,
     /// Whether the checkpoint server is killed too.
     pub kill_checkpoint_server: bool,
+    /// Whether this event re-kills a rank whose reincarnation is
+    /// (likely) still replaying.
+    pub rekill: bool,
 }
 
 impl ChaosConfig {
@@ -97,6 +101,7 @@ impl ChaosConfig {
                 after: gap,
                 victims,
                 kill_checkpoint_server: cs,
+                rekill: false,
             });
             if rekill {
                 remaining -= 1;
@@ -104,6 +109,7 @@ impl ChaosConfig {
                     after: rekill_gap,
                     victims: vec![rekill_victim],
                     kill_checkpoint_server: false,
+                    rekill: true,
                 });
             }
         }
@@ -133,7 +139,7 @@ pub(crate) struct ChaosDriver {
 }
 
 impl ChaosDriver {
-    pub(crate) fn spawn(fabric: Fabric, cfg: &ChaosConfig, world: u32) -> Self {
+    pub(crate) fn spawn(fabric: Fabric, cfg: &ChaosConfig, world: u32, obs: Recorder) -> Self {
         let plan = cfg.plan(world);
         let stop = Arc::new(AtomicBool::new(false));
         let rank_kills = Arc::new(AtomicU64::new(0));
@@ -167,10 +173,23 @@ impl ChaosDriver {
                             // slot is still alive (it would race a respawn
                             // into the half-killed group).
                             fabric.kill_group(&mvr_net::fail_stop_group(*v));
+                            obs.record(
+                                0,
+                                ProtoEvent::ChaosKill {
+                                    victim: v.0,
+                                    rekill: ev.rekill,
+                                },
+                            );
                             rank_kills.fetch_add(1, Ordering::Relaxed);
                         }
                         if ev.kill_checkpoint_server {
                             fabric.kill(NodeId::CheckpointServer(0));
+                            obs.record(
+                                0,
+                                ProtoEvent::ServiceKill {
+                                    service: "cs".into(),
+                                },
+                            );
                             cs_kills.fetch_add(1, Ordering::Relaxed);
                         }
                     }

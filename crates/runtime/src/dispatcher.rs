@@ -28,7 +28,11 @@ use crate::services::{
 use mvr_ckpt::CheckpointStore;
 use mvr_core::{BatchPolicy, Metrics, NodeId, Payload, Rank};
 use mvr_net::{Fabric, Mailbox, TurbulenceConfig};
+use mvr_obs::{
+    ProtoEvent, ProtocolTimings, Recorder, RecorderConfig, RecorderHub, DISPATCHER_RANK,
+};
 use parking_lot::Mutex;
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -65,6 +69,17 @@ pub struct ClusterConfig {
     /// Seeded fabric-level turbulence (per-link delays, crash-on-Nth
     /// send/receive triggers, scheduled kills).
     pub turbulence: Option<TurbulenceConfig>,
+    /// Flight-recorder settings for every engine, the dispatcher and the
+    /// chaos driver. Disabled by default — the fast path is one relaxed
+    /// atomic load per would-be record. `MVR_ENGINE_TRACE=1` in the
+    /// environment force-enables recording with the stderr mirror (the
+    /// successor of the old ad-hoc eprintln tracing).
+    pub obs: RecorderConfig,
+    /// When set, a failing run (timeout, app failure, lost rank,
+    /// exhausted restart budget) automatically dumps the merged
+    /// flight-recorder timeline — JSONL plus Chrome-trace/Perfetto
+    /// export — into this directory, printing the triage note to stderr.
+    pub obs_dump_dir: Option<PathBuf>,
 }
 
 impl Default for ClusterConfig {
@@ -80,6 +95,8 @@ impl Default for ClusterConfig {
             batch: BatchPolicy::default(),
             chaos: None,
             turbulence: None,
+            obs: RecorderConfig::default(),
+            obs_dump_dir: None,
         }
     }
 }
@@ -190,6 +207,12 @@ pub struct RunReport {
     pub duplicates_dropped: u64,
     /// Messages re-sent from sender logs on RESTART1 requests.
     pub retransmissions: u64,
+    /// Latency histograms (gate wait, EL ack RTT, checkpoint upload,
+    /// replay) merged across every rank's finishing incarnation.
+    pub timings: ProtocolTimings,
+    /// Full engine counters of each rank's finishing incarnation, in
+    /// rank order — the raw material of the conservation invariants.
+    pub rank_metrics: Vec<Metrics>,
     /// What the chaos driver did, when one was configured.
     pub chaos: Option<ChaosReport>,
 }
@@ -206,11 +229,18 @@ pub struct Cluster {
     service_restarts: u64,
     disp_mb: Mailbox<DispatcherMsg>,
     final_metrics: Vec<Option<Metrics>>,
+    final_timings: Vec<Option<ProtocolTimings>>,
     chaos: Option<ChaosDriver>,
     chaos_report: Option<ChaosReport>,
+    /// Registry of every incarnation's flight recorder (shared epoch).
+    hub: Arc<RecorderHub>,
+    /// The dispatcher's own recorder (pseudo-rank `DISPATCHER_RANK`).
+    disp_rec: Recorder,
     /// The checkpoint server's stable storage: shared across CS
     /// incarnations so acked images survive a CS crash.
     cs_store: Arc<Mutex<CheckpointStore>>,
+    /// One unique-event counter per event logger (V2 only).
+    el_events_ever: Vec<Arc<std::sync::atomic::AtomicU64>>,
 }
 
 impl Cluster {
@@ -220,6 +250,16 @@ impl Cluster {
         let app: Arc<dyn MpiApp> = Arc::new(app);
         let (exit_tx, exit_rx) = mpsc::channel();
         let mut handles = Vec::new();
+
+        // MVR_ENGINE_TRACE compatibility: the old env switch now turns
+        // the flight recorder on with its stderr mirror.
+        let mut obs_cfg = cfg.obs;
+        if std::env::var("MVR_ENGINE_TRACE").is_ok() {
+            obs_cfg.enabled = true;
+            obs_cfg.trace_stderr = true;
+        }
+        let hub = RecorderHub::new(obs_cfg);
+        let disp_rec = hub.recorder(DISPATCHER_RANK);
 
         if let Some(turb) = &cfg.turbulence {
             fabric.install_turbulence(turb.clone());
@@ -231,9 +271,12 @@ impl Cluster {
         let (disp_mb, _disp_id) = fabric.register::<DispatcherMsg>(NodeId::Dispatcher);
 
         let cs_store = Arc::new(Mutex::new(CheckpointStore::new()));
+        let mut el_events_ever = Vec::new();
         match cfg.protocol {
             RuntimeProtocol::V2 => {
-                handles.extend(spawn_event_loggers(&fabric, cfg.event_loggers));
+                let (el_handles, el_counters) = spawn_event_loggers(&fabric, cfg.event_loggers);
+                handles.extend(el_handles);
+                el_events_ever = el_counters;
                 handles.push(spawn_checkpoint_server_on(&fabric, cs_store.clone()));
                 if let Some(sc) = &cfg.checkpointing {
                     handles.push(spawn_checkpoint_scheduler(&fabric, cfg.world, sc.clone()));
@@ -263,6 +306,7 @@ impl Cluster {
                 channel_memories: default_cms(cfg.world),
                 batch: cfg.batch,
                 restart: false,
+                recorder: hub.recorder(r as u32),
             };
             handles.extend(start_node(s, ncfg, app.clone(), exit_tx.clone()));
         }
@@ -270,7 +314,7 @@ impl Cluster {
         let chaos = cfg
             .chaos
             .as_ref()
-            .map(|c| ChaosDriver::spawn(fabric.clone(), c, cfg.world));
+            .map(|c| ChaosDriver::spawn(fabric.clone(), c, cfg.world, disp_rec.clone()));
 
         let world = cfg.world as usize;
         Cluster {
@@ -284,10 +328,28 @@ impl Cluster {
             service_restarts: 0,
             disp_mb,
             final_metrics: vec![None; world],
+            final_timings: vec![None; world],
             chaos,
             chaos_report: None,
+            hub,
+            disp_rec,
             cs_store,
+            el_events_ever,
         }
+    }
+
+    /// The deployment's flight-recorder registry. Harnesses clone this
+    /// before `wait`/`wait_report` (which consume the cluster) so they
+    /// can record their own divergences and force a dump afterwards.
+    pub fn recorder_hub(&self) -> Arc<RecorderHub> {
+        self.hub.clone()
+    }
+
+    /// Per-event-logger live counters of cumulative unique events
+    /// logged. Clone before `wait`/`wait_report`; read after the run to
+    /// assert delivery-conservation invariants.
+    pub fn el_event_counters(&self) -> Vec<Arc<std::sync::atomic::AtomicU64>> {
+        self.el_events_ever.clone()
     }
 
     /// A fault-injection handle.
@@ -323,6 +385,10 @@ impl Cluster {
             report.duplicates_dropped += m.duplicates_dropped;
             report.retransmissions += m.retransmissions;
         }
+        for t in me.final_timings.iter().flatten() {
+            report.timings.merge(t);
+        }
+        report.rank_metrics = me.final_metrics.iter().flatten().copied().collect();
         Ok(report)
     }
 
@@ -342,10 +408,37 @@ impl Cluster {
     fn drain_dispatcher_mailbox(&mut self) {
         while let Ok(Some(msg)) = self.disp_mb.try_recv() {
             match msg {
-                DispatcherMsg::Finalized { rank, metrics } => {
+                DispatcherMsg::Finalized {
+                    rank,
+                    metrics,
+                    timings,
+                } => {
                     // Later incarnations overwrite: the finishing state of
                     // the incarnation that actually completed wins.
                     self.final_metrics[rank.idx()] = Some(metrics);
+                    self.final_timings[rank.idx()] = Some(timings);
+                }
+            }
+        }
+    }
+
+    /// Record a run failure as a harness-level `Divergence` and, when a
+    /// dump directory is configured and recording is on, write the merged
+    /// flight-recorder timeline there. The triage note — naming the dump
+    /// paths and the rank/protocol-phase of the first divergence — goes
+    /// to stderr so it lands next to the failing harness's output.
+    fn fail_dump(&mut self, detail: &str) {
+        self.disp_rec.record(
+            0,
+            ProtoEvent::Divergence {
+                detail: detail.to_string(),
+            },
+        );
+        if let Some(dir) = self.cfg.obs_dump_dir.clone() {
+            if self.hub.is_enabled() {
+                match self.hub.dump(&dir, "crash") {
+                    Ok(paths) => eprintln!("{}", paths.summary()),
+                    Err(e) => eprintln!("flight-recorder dump failed: {e}"),
                 }
             }
         }
@@ -389,6 +482,13 @@ impl Cluster {
                     {
                         respawn_at[r] = Some(now + self.backoff(attempts[r]));
                         attempts[r] = attempts[r].saturating_add(1);
+                        self.disp_rec.record(
+                            0,
+                            ProtoEvent::RespawnScheduled {
+                                rank: r as u32,
+                                attempt: attempts[r] as u64,
+                            },
+                        );
                     }
                 }
                 // Relaunch a crashed checkpoint server (§4.3/§4.7). It
@@ -420,8 +520,10 @@ impl Cluster {
                         )
                     })
                     .collect();
+                let err = ClusterError::Timeout(status.join("; "));
+                self.fail_dump(&err.to_string());
                 self.teardown();
-                return Err(ClusterError::Timeout(status.join("; ")));
+                return Err(err);
             }
 
             // Sleep until the next interesting instant: an exit arriving,
@@ -442,7 +544,7 @@ impl Cluster {
                 }
             };
             let r = exit.rank.idx();
-            if std::env::var("MVR_ENGINE_TRACE").is_ok() {
+            if self.disp_rec.trace_stderr() {
                 eprintln!(
                     "[disp] exit rank={} outcome={:?} respawn_at_set={} attempts={}",
                     r,
@@ -466,22 +568,28 @@ impl Cluster {
                     if self.cfg.protocol == RuntimeProtocol::P4 {
                         // No fault tolerance: a crash kills the run, as
                         // with the real MPICH-P4.
-                        self.teardown();
-                        return Err(ClusterError::AppFailed {
+                        let err = ClusterError::AppFailed {
                             rank: exit.rank,
                             error: "node crashed under MPICH-P4 (no fault tolerance)".into(),
-                        });
+                        };
+                        self.fail_dump(&err.to_string());
+                        self.teardown();
+                        return Err(err);
                     }
                     if !self.cfg.auto_restart {
+                        let err = ClusterError::RankLost { rank: exit.rank };
+                        self.fail_dump(&err.to_string());
                         self.teardown();
-                        return Err(ClusterError::RankLost { rank: exit.rank });
+                        return Err(err);
                     }
                     if attempts[r] >= self.cfg.max_rank_restarts {
-                        self.teardown();
-                        return Err(ClusterError::RestartBudgetExhausted {
+                        let err = ClusterError::RestartBudgetExhausted {
                             rank: exit.rank,
                             restarts: attempts[r],
-                        });
+                        };
+                        self.fail_dump(&err.to_string());
+                        self.teardown();
+                        return Err(err);
                     }
                     // Schedule, don't sleep: other ranks' exits (and
                     // overlapping crashes) keep being processed while
@@ -489,14 +597,23 @@ impl Cluster {
                     if respawn_at[r].is_none() {
                         respawn_at[r] = Some(Instant::now() + self.backoff(attempts[r]));
                         attempts[r] += 1;
+                        self.disp_rec.record(
+                            0,
+                            ProtoEvent::RespawnScheduled {
+                                rank: r as u32,
+                                attempt: attempts[r] as u64,
+                            },
+                        );
                     }
                 }
                 Outcome::Failed(error) => {
-                    self.teardown();
-                    return Err(ClusterError::AppFailed {
+                    let err = ClusterError::AppFailed {
                         rank: exit.rank,
                         error,
-                    });
+                    };
+                    self.fail_dump(&err.to_string());
+                    self.teardown();
+                    return Err(err);
                 }
             }
         }
@@ -515,12 +632,12 @@ impl Cluster {
         // the already-live reincarnation. (Only the dispatcher thread
         // registers ranks, so this check cannot race a registration.)
         if self.fabric.is_alive(NodeId::Computing(rank)) {
-            if std::env::var("MVR_ENGINE_TRACE").is_ok() {
+            if self.disp_rec.trace_stderr() {
                 eprintln!("[disp] respawn r{}: skipped, computing alive", rank.0);
             }
             return;
         }
-        if std::env::var("MVR_ENGINE_TRACE").is_ok() {
+        if self.disp_rec.trace_stderr() {
             eprintln!("[disp] respawn r{}: reincarnating", rank.0);
         }
         // Enforce fail-stop before reincarnating: a kill that raced the
@@ -537,6 +654,7 @@ impl Cluster {
             channel_memories: default_cms(self.cfg.world),
             batch: self.cfg.batch,
             restart: true,
+            recorder: self.hub.recorder(rank.0),
         };
         self.handles.extend(start_node(
             slots,

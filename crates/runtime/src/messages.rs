@@ -4,6 +4,11 @@ use mvr_core::{CkptReply, CmReply, ElReply, Metrics, Payload, PeerMsg, Rank, Sch
 
 /// Everything a communication daemon can receive — the analog of its
 /// `select()` loop over one socket per peer and per service (§4.4).
+//
+// `Sched(SchedMsg::Status)` dwarfs the other variants (it carries four
+// histogram summaries), but status messages are rare — one per rank per
+// scheduler round — so the size skew costs nothing worth a Box.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum DaemonMsg {
     /// From a peer daemon.
@@ -100,5 +105,8 @@ pub enum DispatcherMsg {
         ///
         /// [`RunReport`]: crate::dispatcher::RunReport
         metrics: Metrics,
+        /// The incarnation's latency histograms (gate wait, EL ack RTT,
+        /// checkpoint upload, replay), merged into the run report.
+        timings: mvr_obs::ProtocolTimings,
     },
 }

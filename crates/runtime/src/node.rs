@@ -131,6 +131,10 @@ pub struct NodeConfig {
     pub batch: BatchPolicy,
     /// Whether this is a restart (fetch image, download events, recover).
     pub restart: bool,
+    /// Flight recorder this incarnation writes protocol events into.
+    /// The dispatcher mints one per incarnation from the deployment's
+    /// [`mvr_obs::RecorderHub`] so dumps merge across restarts.
+    pub recorder: mvr_obs::Recorder,
 }
 
 /// The fabric registrations of one node incarnation, created *before* the
@@ -185,17 +189,25 @@ pub fn start_node(
                     // keep sending into a mailbox nobody drains and the
                     // run strands until the dispatcher timeout. Catch the
                     // unwind and fail the run immediately instead.
+                    let obs = cfg.recorder.clone();
                     let end = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         daemon_main(daemon_mb, daemon_id, cfg)
                     }));
-                    if std::env::var("MVR_ENGINE_TRACE").is_ok() {
+                    if obs.trace_stderr() {
                         eprintln!("[dmn r{}] daemon exit: {:?}", rank.0, end);
                     }
                     match end {
                         Ok(Err(DaemonEnd::ReplayDivergence(err))) => {
+                            let detail = format!("replay divergence: {err}");
+                            obs.record(
+                                0,
+                                mvr_obs::ProtoEvent::Divergence {
+                                    detail: detail.clone(),
+                                },
+                            );
                             let _ = daemon_exit_tx.send(NodeExit {
                                 rank,
-                                outcome: Outcome::Failed(format!("replay divergence: {err}")),
+                                outcome: Outcome::Failed(detail),
                             });
                         }
                         Ok(_) => {}
@@ -205,9 +217,16 @@ pub fn start_node(
                                 .map(String::as_str)
                                 .or_else(|| panic.downcast_ref::<&str>().copied())
                                 .unwrap_or("opaque panic payload");
+                            let detail = format!("daemon panicked: {what}");
+                            obs.record(
+                                0,
+                                mvr_obs::ProtoEvent::Divergence {
+                                    detail: detail.clone(),
+                                },
+                            );
                             let _ = daemon_exit_tx.send(NodeExit {
                                 rank,
-                                outcome: Outcome::Failed(format!("daemon panicked: {what}")),
+                                outcome: Outcome::Failed(detail),
                             });
                         }
                     }
@@ -344,6 +363,9 @@ fn daemon_main(
             }
             None => V2Engine::fresh_with_policy(rank, cfg.world, cfg.batch),
         };
+        // Attach the flight recorder before `begin_recovery` so the
+        // RESTART1 / recovery-begin records land in the timeline.
+        engine.set_recorder(cfg.recorder.clone());
 
         // DownloadEL(H_p): the event logger is the reliable component; if
         // it stays gone past the retry window the deployment is broken
@@ -369,7 +391,9 @@ fn daemon_main(
         engine.begin_recovery(events);
         engine
     } else {
-        V2Engine::fresh_with_policy(rank, cfg.world, cfg.batch)
+        let mut engine = V2Engine::fresh_with_policy(rank, cfg.world, cfg.batch);
+        engine.set_recorder(cfg.recorder.clone());
+        engine
     };
 
     let mut d = Daemon {
@@ -454,6 +478,7 @@ impl Daemon {
                     el_events: m.el_events_batched,
                     el_acks: m.el_acks_received,
                     el_max_batch: m.el_max_batch_events,
+                    timings: self.engine.timings().summary(),
                 };
                 let _ = self.identity.send(self.sched_node, status);
             }
@@ -548,11 +573,16 @@ impl Daemon {
                     .handle(Input::FlushEvents)
                     .expect("flush cannot diverge");
                 self.finalized = true;
+                let clock = self.engine.clock();
+                self.engine
+                    .recorder()
+                    .record(clock, mvr_obs::ProtoEvent::Finish { clock });
                 let _ = self.identity.send(
                     NodeId::Dispatcher,
                     DispatcherMsg::Finalized {
                         rank: self.rank,
                         metrics: *self.engine.metrics(),
+                        timings: self.engine.timings().clone(),
                     },
                 );
                 self.to_proc(ProcReply::Done)?;
@@ -570,7 +600,7 @@ impl Daemon {
             Err(SendError::SenderDead) => Err(DaemonEnd::Killed),
             // Process gone but we are alive: teardown race; keep serving.
             Err(SendError::Disconnected(_)) => {
-                if std::env::var("MVR_ENGINE_TRACE").is_ok() {
+                if self.engine.recorder().trace_stderr() {
                     eprintln!("[dmn r{}] DROP proc reply (process slot dead)", self.rank.0);
                 }
                 Ok(())

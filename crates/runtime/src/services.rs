@@ -7,28 +7,43 @@ use mvr_core::{NodeId, Rank, SchedMsg};
 use mvr_eventlog::ElPacket;
 use mvr_net::{Fabric, RecvError};
 use parking_lot::Mutex;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Spawn `count` event loggers. Each serves the ranks assigned by
-/// [`mvr_eventlog::el_for_rank`].
-pub fn spawn_event_loggers(fabric: &Fabric, count: u32) -> Vec<JoinHandle<()>> {
-    (0..count)
+/// [`mvr_eventlog::el_for_rank`]. The second return value holds one
+/// live counter per logger exposing its cumulative *unique*-event count
+/// ([`mvr_eventlog::run_event_logger_counted`]) — the conservation
+/// tests read these after a run to check that crash recovery never
+/// double-logged a logical delivery.
+pub fn spawn_event_loggers(
+    fabric: &Fabric,
+    count: u32,
+) -> (Vec<JoinHandle<()>>, Vec<Arc<AtomicU64>>) {
+    let counters: Vec<Arc<AtomicU64>> = (0..count).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let handles = (0..count)
         .map(|i| {
             let (mb, identity) = fabric.register::<ElPacket>(NodeId::EventLogger(i));
+            let counter = counters[i as usize].clone();
             std::thread::Builder::new()
                 .name(format!("el-{i}"))
                 .spawn(move || {
-                    let _ = mvr_eventlog::run_event_logger(mb, move |rank, reply| {
-                        identity
-                            .send(NodeId::Computing(rank), DaemonMsg::El(reply))
-                            .is_ok()
-                    });
+                    let _ = mvr_eventlog::run_event_logger_counted(
+                        mb,
+                        move |rank, reply| {
+                            identity
+                                .send(NodeId::Computing(rank), DaemonMsg::El(reply))
+                                .is_ok()
+                        },
+                        counter,
+                    );
                 })
                 .expect("spawn event logger")
         })
-        .collect()
+        .collect();
+    (handles, counters)
 }
 
 /// Spawn the checkpoint server with a private, volatile store.
@@ -135,6 +150,7 @@ pub fn spawn_checkpoint_scheduler(
                             el_events,
                             el_acks,
                             el_max_batch,
+                            timings,
                         }) => {
                             statuses.push(NodeStatus {
                                 rank,
@@ -145,6 +161,7 @@ pub fn spawn_checkpoint_scheduler(
                                 el_events,
                                 el_acks,
                                 el_max_batch,
+                                timings,
                             });
                         }
                         Ok(_) => {}

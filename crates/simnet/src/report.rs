@@ -1,6 +1,7 @@
 //! Simulation results and instrumentation.
 
 use crate::time::{as_secs_f64, SimTime};
+use mvr_obs::LogHistogram;
 use serde::{Deserialize, Serialize};
 
 /// Where one rank's (virtual) time went — the Table-1 decomposition.
@@ -56,6 +57,17 @@ pub struct SimReport {
     pub checkpoints: u64,
     /// Faults injected.
     pub faults: u64,
+    /// Virtual-time wait behind the pessimism gate, one sample per send
+    /// that found the gate closed (V2 only). Sends that passed straight
+    /// through contribute no sample — matching the live engine's
+    /// `gate_wait` accounting.
+    pub gate_wait: LogHistogram,
+    /// Virtual-time EL round-trip, one sample per batched log request:
+    /// ship → service → coalesced ack back at the daemon (V2 only).
+    /// Acks still in flight when the last rank finishes are not sampled,
+    /// so the count may trail [`SimReport::el_requests`] by up to one
+    /// final-flush ack per rank.
+    pub el_ack_rtt: LogHistogram,
 }
 
 impl SimReport {

@@ -107,9 +107,19 @@ enum TKind {
         index: u64,
     },
     /// Reception events to an event logger (one batched request).
-    ElEvent { owner: usize, events: u64 },
+    /// `shipped` is the instant the daemon put the batch on the wire —
+    /// carried through to the ack so the round-trip can be measured.
+    ElEvent {
+        owner: usize,
+        events: u64,
+        shipped: SimTime,
+    },
     /// Event-logger acknowledgement, covering `events` receptions.
-    ElAck { owner: usize, events: u64 },
+    ElAck {
+        owner: usize,
+        events: u64,
+        shipped: SimTime,
+    },
     /// V1: payload pushed to the receiver's Channel Memory.
     CmPush {
         from: usize,
@@ -282,7 +292,9 @@ struct RankSim {
     /// batching). They already count in `outstanding_acks`; a crash
     /// loses them harmlessly (no transmission depended on them).
     pending_el: u64,
-    gated: VecDeque<SendSpec>,
+    /// Sends parked behind the closed gate, with the instant each was
+    /// parked (for the gate-wait histogram).
+    gated: VecDeque<(SendSpec, SimTime)>,
     /// Rendezvous sends awaiting CTS.
     rndv_pending: RndvPending,
     /// Recovery re-sends, streamed sequentially (FIFO on the daemon's
@@ -401,6 +413,10 @@ pub struct Sim {
     el_requests: u64,
     checkpoints: u64,
     faults: u64,
+    /// Virtual-time protocol latency histograms (V2 only; see
+    /// [`SimReport::gate_wait`] / [`SimReport::el_ack_rtt`]).
+    gate_wait: mvr_obs::LogHistogram,
+    el_ack_rtt: mvr_obs::LogHistogram,
     infeasible: bool,
     // Continuous checkpointing
     ckpt_continuous: bool,
@@ -447,6 +463,8 @@ impl Sim {
             el_requests: 0,
             checkpoints: 0,
             faults: 0,
+            gate_wait: mvr_obs::LogHistogram::default(),
+            el_ack_rtt: mvr_obs::LogHistogram::default(),
             infeasible: false,
             ckpt_continuous: false,
             ckpt_rng: 1,
@@ -726,7 +744,11 @@ impl Sim {
                     self.initiate_payload(sender, receiver, index, bytes, token, op);
                 }
             }
-            TKind::ElEvent { owner, events } => {
+            TKind::ElEvent {
+                owner,
+                events,
+                shipped,
+            } => {
                 // One EL service pass per batch, then one coalesced
                 // high-watermark ack back (the round-trip amortization).
                 let el = self.el_for(owner);
@@ -735,10 +757,19 @@ impl Sim {
                     owner,
                     self.cfg.event_bytes,
                     self.cfg.el_service,
-                    TKind::ElAck { owner, events },
+                    TKind::ElAck {
+                        owner,
+                        events,
+                        shipped,
+                    },
                 );
             }
-            TKind::ElAck { owner, events } => {
+            TKind::ElAck {
+                owner,
+                events,
+                shipped,
+            } => {
+                self.el_ack_rtt.record(self.now.saturating_sub(shipped));
                 let r = &mut self.ranks[owner];
                 debug_assert!(r.outstanding_acks as u64 >= events);
                 r.outstanding_acks = r.outstanding_acks.saturating_sub(events as u32);
@@ -992,7 +1023,11 @@ impl Sim {
             el,
             events * self.cfg.event_bytes,
             0,
-            TKind::ElEvent { owner: r, events },
+            TKind::ElEvent {
+                owner: r,
+                events,
+                shipped: self.now,
+            },
         );
     }
 
@@ -1004,7 +1039,7 @@ impl Sim {
 
     fn send_or_gate(&mut self, r: usize, spec: SendSpec) {
         if self.gate_closed(r) {
-            self.ranks[r].gated.push_back(spec);
+            self.ranks[r].gated.push_back((spec, self.now));
             // The send now waits on the EL ack of every delivered event:
             // ship any still-pending events or the gate never opens.
             self.flush_el(r);
@@ -1015,9 +1050,10 @@ impl Sim {
 
     fn drain_gate(&mut self, r: usize) {
         while self.ranks[r].outstanding_acks == 0 {
-            let Some(spec) = self.ranks[r].gated.pop_front() else {
+            let Some((spec, parked)) = self.ranks[r].gated.pop_front() else {
                 break;
             };
+            self.gate_wait.record(self.now.saturating_sub(parked));
             self.execute_send_spec(r, spec);
         }
     }
@@ -1850,6 +1886,8 @@ impl Sim {
             infeasible: self.infeasible,
             checkpoints: self.checkpoints,
             faults: self.faults,
+            gate_wait: self.gate_wait,
+            el_ack_rtt: self.el_ack_rtt,
         }
     }
 }
