@@ -309,7 +309,7 @@ struct ScenarioResult {
     timings: TimingSummary,
 }
 
-fn run_scenario(pattern: Pattern, storm: &Storm, seed: u64) -> ScenarioResult {
+fn run_scenario(pattern: Pattern, storm: &Storm, seed: u64, dump_ok: bool) -> ScenarioResult {
     // One dump dir per scenario: a failure leaves its merged timeline
     // (JSONL + Chrome trace + triage note) here.
     let dump_dir = PathBuf::from("chaos_dumps").join(format!(
@@ -345,7 +345,17 @@ fn run_scenario(pattern: Pattern, storm: &Storm, seed: u64) -> ScenarioResult {
     let scenario = format!("{}/{}/seed={seed:#x}", pattern.name(), storm.name);
     let (passed, error, report) = match outcome {
         Ok(report) => match verify(pattern, &report.results) {
-            Ok(()) => (true, None, Some(report)),
+            Ok(()) => {
+                // `--dump` leaves the timeline of *successful* runs too,
+                // for offline span/critical-path analysis (obs_analyze).
+                if dump_ok {
+                    match hub.dump(&dump_dir, "soak") {
+                        Ok(paths) => println!("  dumped: {}", paths.jsonl.display()),
+                        Err(io) => eprintln!("  flight-recorder dump failed: {io}"),
+                    }
+                }
+                (true, None, Some(report))
+            }
             Err(e) => {
                 let detail = format!("payload mismatch: {e}");
                 hub.recorder(DISPATCHER_RANK).record(
@@ -396,6 +406,7 @@ fn run_scenario(pattern: Pattern, storm: &Storm, seed: u64) -> ScenarioResult {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke" || a == "--quick");
+    let dump_ok = std::env::args().any(|a| a == "--dump");
     let patterns = [Pattern::Ring, Pattern::Stream, Pattern::Fanin];
     let seeds: &[u64] = if smoke {
         &[0xC0FFEE]
@@ -423,7 +434,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut failures = 0usize;
     for (p, storm, seed) in scenarios {
-        let r = run_scenario(p, storm, seed);
+        let r = run_scenario(p, storm, seed, dump_ok);
         println!(
             "  [{}] {}  kills={} restarts={} replays={} dup_drop={} {:.0}ms{}",
             if r.passed { "ok" } else { "FAIL" },

@@ -19,7 +19,10 @@
 
 use mvr_core::{Payload, Rank};
 use mvr_mpi::{MpiResult, Source, Tag};
-use mvr_obs::{jsonl_line, validate_records, ProtoEvent, RecorderConfig, DISPATCHER_RANK};
+use mvr_obs::{
+    header_line, jsonl_line, validate_records, DumpHeader, ProtoEvent, RecorderConfig,
+    DISPATCHER_RANK,
+};
 use mvr_runtime::{
     ChaosConfig, Cluster, ClusterConfig, NodeMpi, SchedulerConfig, TurbulenceConfig,
 };
@@ -104,6 +107,7 @@ fn main() {
         turbulence: Some(TurbulenceConfig::delays(SEED ^ 0x7A17, 50)),
         obs: RecorderConfig::enabled(),
         obs_dump_dir: Some(dump_dir.clone()),
+        monitor: true,
         ..Default::default()
     };
     let cluster = Cluster::launch(cfg, stream_app(MSGS));
@@ -147,11 +151,16 @@ fn main() {
         fail(&format!("schema validation: {e}"));
     }
 
-    // 3. The dumped JSONL is exactly the canonical rendering, one record
-    // per line, clock-ordered.
+    // 3. The dumped JSONL is exactly the canonical rendering: one
+    // header line carrying the drop count, then one record per line,
+    // clock-ordered.
     let dumped = std::fs::read_to_string(&paths.jsonl)
         .unwrap_or_else(|e| fail(&format!("read {}: {e}", paths.jsonl.display())));
-    let mut canonical = String::new();
+    let mut canonical = header_line(DumpHeader {
+        records: timeline.len() as u64,
+        dropped: paths.dropped,
+    });
+    canonical.push('\n');
     for rec in &timeline {
         canonical.push_str(&jsonl_line(rec));
         canonical.push('\n');
@@ -159,8 +168,11 @@ fn main() {
     if dumped != canonical {
         fail("dumped JSONL differs from canonical re-rendering");
     }
-    if dumped.lines().count() != paths.records {
+    if dumped.lines().count() != paths.records + 1 {
         fail("JSONL line count disagrees with reported record count");
+    }
+    if paths.dropped > 0 {
+        fail("recorder ring wrapped during the smoke scenario; raise its capacity");
     }
 
     // 4. Perfetto export present and non-trivial.

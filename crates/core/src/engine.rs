@@ -31,7 +31,7 @@ use crate::recovery::Watermarks;
 use crate::replay::{Offer, ProbeVerdict, ReplayError, ReplayPlan};
 use crate::sender_log::SenderLog;
 use crate::snapshot::EngineSnapshot;
-use mvr_obs::{ProtoEvent, ProtocolTimings, Recorder};
+use mvr_obs::{ProtoEvent, ProtocolTimings, Recorder, SendDisposition};
 use std::collections::VecDeque;
 
 /// Stimuli the hosting daemon feeds into the engine.
@@ -422,12 +422,14 @@ impl V2Engine {
         self.metrics.el_events_batched += events.len() as u64;
         self.metrics.el_max_batch_events =
             self.metrics.el_max_batch_events.max(events.len() as u64);
+        let from_clock = events.first().expect("non-empty batch").receiver_clock;
         let up_to = events.last().expect("non-empty batch").receiver_clock;
         self.el_inflight.push_back((up_to, self.obs.now_ns()));
         self.obs.record(
             self.clock.value(),
             ProtoEvent::ElShip {
                 events: events.len() as u64,
+                from_clock,
                 up_to,
             },
         );
@@ -450,21 +452,31 @@ impl V2Engine {
             "self-sends must be short-circuited by the MPI layer"
         );
         let h = self.clock.tick();
-        self.obs.record(
-            h,
-            ProtoEvent::Send {
-                to: dst.0,
-                clock: h,
-                bytes: payload.len() as u64,
-            },
-        );
+        let bytes = payload.len() as u64;
         // SAVED is appended unconditionally (Lemma 1: re-executed sends
         // rebuild the log even when their transmission is suppressed).
         self.saved.append(dst, h, payload.clone());
         self.metrics.msgs_sent += 1;
-        self.metrics.bytes_sent += payload.len() as u64;
+        self.metrics.bytes_sent += bytes;
         if self.marks.should_transmit_to(dst, h) {
             self.marks.on_transmit_to(dst, h);
+            // The disposition is decided by the same predicate
+            // `send_data` uses, so the record matches what the gate
+            // actually did with the payload.
+            let disposition = if self.gate.is_open() && self.gated.is_empty() {
+                SendDisposition::Wire
+            } else {
+                SendDisposition::Gated
+            };
+            self.obs.record(
+                h,
+                ProtoEvent::Send {
+                    to: dst.0,
+                    clock: h,
+                    bytes,
+                    disposition,
+                },
+            );
             let msg = PeerMsg::Data(DataMsg {
                 id: MsgId::new(self.rank, h),
                 dst,
@@ -473,6 +485,15 @@ impl V2Engine {
             self.send_data(dst, msg);
         } else {
             self.metrics.transmissions_suppressed += 1;
+            self.obs.record(
+                h,
+                ProtoEvent::Send {
+                    to: dst.0,
+                    clock: h,
+                    bytes,
+                    disposition: SendDisposition::Suppressed,
+                },
+            );
         }
     }
 
@@ -483,11 +504,16 @@ impl V2Engine {
             self.outputs.push_back(Output::Transmit { to, msg });
         } else {
             self.metrics.gate_deferred_sends += 1;
+            let deferred_clock = match &msg {
+                PeerMsg::Data(d) => d.id.sender_clock,
+                _ => 0,
+            };
             self.gated.push_back((to, msg, self.obs.now_ns()));
             self.obs.record(
                 self.clock.value(),
                 ProtoEvent::GateDefer {
                     to: to.0,
+                    clock: deferred_clock,
                     queued: self.gated.len() as u64,
                 },
             );
@@ -580,6 +606,7 @@ impl V2Engine {
                             rc,
                             ProtoEvent::ReplayStep {
                                 from: ev.sender.0,
+                                sender_clock: ev.sender_clock,
                                 receiver_clock: rc,
                             },
                         );

@@ -43,6 +43,14 @@ impl DumpPaths {
             Some(t) => s.push_str(&format!("\n  {t}")),
             None => s.push_str("\n  no anomaly recorded in timeline"),
         }
+        if self.dropped > 0 {
+            s.push_str(&format!(
+                "\n  WARNING: {} record(s) lost to ring wraparound — the timeline \
+                 is truncated; causal analysis may report spurious orphan spans. \
+                 Raise the recorder ring capacity.",
+                self.dropped
+            ));
+        }
         s
     }
 }
@@ -102,9 +110,38 @@ pub fn jsonl_line(rec: &FlightRecord) -> String {
     serde_json::to_string(rec).expect("FlightRecord serializes to JSON")
 }
 
-/// Write the merged timeline as JSONL, one record per line.
-pub fn write_jsonl(path: &Path, timeline: &[FlightRecord]) -> std::io::Result<()> {
-    let mut out = String::new();
+/// Metadata carried by the first line of a JSONL dump, so a reader can
+/// tell a complete timeline from a ring-truncated one without access to
+/// the live hub.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct DumpHeader {
+    /// Records in the dump body (lines after the header).
+    pub records: u64,
+    /// Records lost to ring wraparound before the dump was taken.
+    /// Non-zero means the timeline is truncated and causal analysis
+    /// can report spurious orphan spans.
+    pub dropped: u64,
+}
+
+#[derive(Serialize)]
+struct HeaderLine {
+    header: DumpHeader,
+}
+
+/// Render the dump-header line (no trailing newline):
+/// `{"header":{"records":N,"dropped":N}}`.
+pub fn header_line(header: DumpHeader) -> String {
+    serde_json::to_string(&HeaderLine { header }).expect("DumpHeader serializes to JSON")
+}
+
+/// Write the merged timeline as JSONL: one header line, then one record
+/// per line.
+pub fn write_jsonl(path: &Path, timeline: &[FlightRecord], dropped: u64) -> std::io::Result<()> {
+    let mut out = header_line(DumpHeader {
+        records: timeline.len() as u64,
+        dropped,
+    });
+    out.push('\n');
     for rec in timeline {
         out.push_str(&jsonl_line(rec));
         out.push('\n');
@@ -280,19 +317,19 @@ mod tests {
         }
     }
 
+    fn send(to: u32, clock: u64, bytes: u64) -> ProtoEvent {
+        ProtoEvent::Send {
+            to,
+            clock,
+            bytes,
+            disposition: crate::event::SendDisposition::Wire,
+        }
+    }
+
     #[test]
     fn validate_accepts_clean_timeline() {
         let tl = vec![
-            rec(
-                0,
-                1,
-                10,
-                ProtoEvent::Send {
-                    to: 1,
-                    clock: 1,
-                    bytes: 8,
-                },
-            ),
+            rec(0, 1, 10, send(1, 1, 8)),
             rec(
                 1,
                 1,
@@ -304,16 +341,7 @@ mod tests {
                     replay: false,
                 },
             ),
-            rec(
-                0,
-                2,
-                30,
-                ProtoEvent::Send {
-                    to: 1,
-                    clock: 2,
-                    bytes: 8,
-                },
-            ),
+            rec(0, 2, 30, send(1, 2, 8)),
         ];
         assert!(validate_records(&tl).is_ok());
         assert!(triage(&tl).is_none());
@@ -322,16 +350,7 @@ mod tests {
     #[test]
     fn validate_allows_clock_reset_at_recovery() {
         let tl = vec![
-            rec(
-                2,
-                9,
-                10,
-                ProtoEvent::Send {
-                    to: 0,
-                    clock: 9,
-                    bytes: 8,
-                },
-            ),
+            rec(2, 9, 10, send(0, 9, 8)),
             rec(2, 0, 20, ProtoEvent::Restart1 { rank: 2 }),
             rec(2, 4, 30, ProtoEvent::RecoveryBegin { restored_clock: 4 }),
             rec(
@@ -340,6 +359,7 @@ mod tests {
                 40,
                 ProtoEvent::ReplayStep {
                     from: 0,
+                    sender_clock: 9,
                     receiver_clock: 5,
                 },
             ),
@@ -349,56 +369,14 @@ mod tests {
 
     #[test]
     fn validate_rejects_backwards_clock() {
-        let tl = vec![
-            rec(
-                0,
-                5,
-                10,
-                ProtoEvent::Send {
-                    to: 1,
-                    clock: 5,
-                    bytes: 8,
-                },
-            ),
-            rec(
-                0,
-                3,
-                20,
-                ProtoEvent::Send {
-                    to: 1,
-                    clock: 3,
-                    bytes: 8,
-                },
-            ),
-        ];
+        let tl = vec![rec(0, 5, 10, send(1, 5, 8)), rec(0, 3, 20, send(1, 3, 8))];
         let err = validate_records(&tl).unwrap_err();
         assert!(err.contains("clock went backwards"), "{err}");
     }
 
     #[test]
     fn validate_rejects_backwards_timestamp() {
-        let tl = vec![
-            rec(
-                0,
-                1,
-                20,
-                ProtoEvent::Send {
-                    to: 1,
-                    clock: 1,
-                    bytes: 8,
-                },
-            ),
-            rec(
-                0,
-                2,
-                10,
-                ProtoEvent::Send {
-                    to: 1,
-                    clock: 2,
-                    bytes: 8,
-                },
-            ),
-        ];
+        let tl = vec![rec(0, 1, 20, send(1, 1, 8)), rec(0, 2, 10, send(1, 2, 8))];
         assert!(validate_records(&tl).unwrap_err().contains("timestamp"));
     }
 
@@ -438,7 +416,16 @@ mod tests {
         let dir = std::env::temp_dir().join("mvr-obs-dump-test");
         std::fs::create_dir_all(&dir).unwrap();
         let tl = vec![
-            rec(0, 1, 1000, ProtoEvent::GateDefer { to: 1, queued: 1 }),
+            rec(
+                0,
+                1,
+                1000,
+                ProtoEvent::GateDefer {
+                    to: 1,
+                    clock: 1,
+                    queued: 1,
+                },
+            ),
             rec(
                 0,
                 1,
@@ -451,14 +438,41 @@ mod tests {
         ];
         let jsonl = dir.join("t.jsonl");
         let trace = dir.join("t.trace.json");
-        write_jsonl(&jsonl, &tl).unwrap();
+        write_jsonl(&jsonl, &tl, 3).unwrap();
         write_chrome_trace(&trace, &tl).unwrap();
         let body = std::fs::read_to_string(&jsonl).unwrap();
-        assert_eq!(body.lines().count(), 2);
-        assert_eq!(body.lines().next().unwrap(), jsonl_line(&tl[0]));
+        assert_eq!(body.lines().count(), 3);
+        let mut lines = body.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            header_line(DumpHeader {
+                records: 2,
+                dropped: 3,
+            })
+        );
+        assert_eq!(lines.next().unwrap(), jsonl_line(&tl[0]));
         let tr = std::fs::read_to_string(&trace).unwrap();
         assert!(tr.contains("traceEvents"));
         assert!(tr.contains("\"ph\":\"X\""));
         assert!(tr.contains("gate-wait"));
+    }
+
+    #[test]
+    fn summary_warns_loudly_on_drops() {
+        let paths = DumpPaths {
+            jsonl: PathBuf::from("/tmp/x.jsonl"),
+            trace: PathBuf::from("/tmp/x.trace.json"),
+            records: 10,
+            dropped: 0,
+            triage: None,
+        };
+        assert!(!paths.summary().contains("WARNING"));
+        let truncated = DumpPaths {
+            dropped: 7,
+            ..paths
+        };
+        let s = truncated.summary();
+        assert!(s.contains("WARNING"), "{s}");
+        assert!(s.contains("7 record(s) lost"), "{s}");
     }
 }

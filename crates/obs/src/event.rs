@@ -8,24 +8,45 @@
 
 use serde::{Deserialize, Serialize};
 
+/// What happened to an application send at emission time — the
+/// span-correlation field the lifecycle stitcher and the online gate
+/// monitor key on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SendDisposition {
+    /// Transmitted immediately (gate open, nothing queued).
+    Wire,
+    /// Queued behind the closed pessimism gate; a later `GateOpen`
+    /// releases it.
+    Gated,
+    /// Re-executed send whose transmission was suppressed (the peer's
+    /// RESTART watermark already covers it); only SAVED is rebuilt.
+    Suppressed,
+}
+
 /// A structured protocol event. Numeric fields are raw `u32`/`u64`
 /// (ranks, clocks, byte counts) so the schema has no dependency on the
 /// protocol crates.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ProtoEvent {
-    /// Application send left the engine (clock-ticked, payload on wire).
+    /// Application send left the engine (clock-ticked, logged to SAVED).
     Send {
         /// Destination rank.
         to: u32,
-        /// Sender logical clock stamped on the message.
+        /// Sender logical clock stamped on the message — together with
+        /// the recording rank, the lifecycle-span key.
         clock: u64,
         /// Payload bytes.
         bytes: u64,
+        /// Whether the payload hit the wire, queued behind the gate, or
+        /// was suppressed as an already-received re-execution.
+        disposition: SendDisposition,
     },
     /// A send queued behind the closed pessimism gate (WAITLOGGED).
     GateDefer {
         /// Destination rank of the deferred send.
         to: u32,
+        /// Sender clock of the deferred data message (span key).
+        clock: u64,
         /// Number of sends now waiting behind the gate.
         queued: u64,
     },
@@ -59,6 +80,9 @@ pub enum ProtoEvent {
     ElShip {
         /// Events carried by the batch.
         events: u64,
+        /// Lowest receiver clock covered by the batch (span stitching
+        /// attributes each delivered receiver clock to its batch).
+        from_clock: u64,
         /// Highest receiver clock covered by the batch.
         up_to: u64,
     },
@@ -115,6 +139,8 @@ pub enum ProtoEvent {
     ReplayStep {
         /// Source rank of the replayed message.
         from: u32,
+        /// Sender clock of the replayed message (span key).
+        sender_clock: u64,
         /// Receiver clock of the replayed delivery.
         receiver_clock: u64,
     },
@@ -206,6 +232,36 @@ impl ProtoEvent {
         }
     }
 
+    /// Stable ordinal of the event kind (declaration order). Used as the
+    /// final tie-break when merging timelines, so two records carrying
+    /// the same timestamp, rank and logical clock still order
+    /// deterministically — a prerequisite for byte-stable dumps of
+    /// seeded (and virtual-time) runs.
+    pub fn kind_index(&self) -> u8 {
+        match self {
+            ProtoEvent::Send { .. } => 0,
+            ProtoEvent::GateDefer { .. } => 1,
+            ProtoEvent::GateOpen { .. } => 2,
+            ProtoEvent::Deliver { .. } => 3,
+            ProtoEvent::DuplicateDropped { .. } => 4,
+            ProtoEvent::ElShip { .. } => 5,
+            ProtoEvent::ElAck { .. } => 6,
+            ProtoEvent::CkptBegin { .. } => 7,
+            ProtoEvent::CkptCommit { .. } => 8,
+            ProtoEvent::CkptGc { .. } => 9,
+            ProtoEvent::Restart1 { .. } => 10,
+            ProtoEvent::Restart2 { .. } => 11,
+            ProtoEvent::RecoveryBegin { .. } => 12,
+            ProtoEvent::ReplayStep { .. } => 13,
+            ProtoEvent::ReplayDone { .. } => 14,
+            ProtoEvent::ChaosKill { .. } => 15,
+            ProtoEvent::ServiceKill { .. } => 16,
+            ProtoEvent::Finish { .. } => 17,
+            ProtoEvent::RespawnScheduled { .. } => 18,
+            ProtoEvent::Divergence { .. } => 19,
+        }
+    }
+
     /// `true` for events that mark a fault or detected anomaly — the
     /// candidates for "first divergence" in triage.
     pub fn is_anomaly(&self) -> bool {
@@ -249,8 +305,19 @@ mod tests {
                 to: 1,
                 clock: 2,
                 bytes: 3,
+                disposition: SendDisposition::Wire,
             },
-            ProtoEvent::GateDefer { to: 1, queued: 4 },
+            ProtoEvent::Send {
+                to: 1,
+                clock: 3,
+                bytes: 3,
+                disposition: SendDisposition::Suppressed,
+            },
+            ProtoEvent::GateDefer {
+                to: 1,
+                clock: 2,
+                queued: 4,
+            },
             ProtoEvent::GateOpen {
                 released: 4,
                 waited_ns: 900,
@@ -267,6 +334,7 @@ mod tests {
             },
             ProtoEvent::ElShip {
                 events: 8,
+                from_clock: 37,
                 up_to: 44,
             },
             ProtoEvent::ElAck {
@@ -294,6 +362,7 @@ mod tests {
             ProtoEvent::RecoveryBegin { restored_clock: 12 },
             ProtoEvent::ReplayStep {
                 from: 1,
+                sender_clock: 6,
                 receiver_clock: 13,
             },
             ProtoEvent::ReplayDone {
@@ -316,6 +385,7 @@ mod tests {
                 detail: "rank 1 payload mismatch".into(),
             },
         ];
+        let mut kinds = std::collections::BTreeSet::new();
         for (i, ev) in samples.into_iter().enumerate() {
             let rec = FlightRecord {
                 rank: i as u32,
@@ -328,6 +398,10 @@ mod tests {
             assert_eq!(rec, dec);
             assert!(!rec.event.kind().is_empty());
             assert!(!rec.event.phase().is_empty());
+            kinds.insert((rec.event.kind_index(), rec.event.kind()));
         }
+        // kind_index is injective over the vocabulary (the two Send
+        // samples share one ordinal by design).
+        assert_eq!(kinds.len(), 20);
     }
 }

@@ -1,0 +1,156 @@
+//! A dependency-free live health endpoint.
+//!
+//! One `std::net::TcpListener` on a background thread serving whatever
+//! page the owner last [`publish`](HealthServer::publish)ed, as
+//! Prometheus-style text exposition (`text/plain; version=0.0.4`). The
+//! dispatcher publishes a fresh snapshot every poll tick, so a soak
+//! run can be watched with `curl` while it executes. Rendering the
+//! page is the owner's business — this module only owns the socket.
+
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A tiny HTTP/1.0 server for one plain-text page.
+pub struct HealthServer {
+    addr: SocketAddr,
+    page: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HealthServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl HealthServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving. The initial page says the endpoint is starting.
+    pub fn bind(addr: &str) -> std::io::Result<HealthServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let page = Arc::new(Mutex::new(String::from(
+            "# mvr_up 0 (dispatcher has not published yet)\n",
+        )));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = std::thread::Builder::new()
+            .name("mvr-health".into())
+            .spawn({
+                let page = page.clone();
+                let stop = stop.clone();
+                move || serve(listener, page, stop)
+            })?;
+        Ok(HealthServer {
+            addr: local,
+            page,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves the port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replace the served page.
+    pub fn publish(&self, body: String) {
+        *self.page.lock() = body;
+    }
+
+    /// Stop the server thread and release the socket.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HealthServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve(listener: TcpListener, page: Arc<Mutex<String>>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let body = page.lock().clone();
+                let _ = respond(stream, &body);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn respond(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(250)))?;
+    // Drain (part of) the request; the path is irrelevant — there is
+    // exactly one page.
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let resp = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(resp.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_published_page() {
+        let srv = HealthServer::bind("127.0.0.1:0").unwrap();
+        srv.publish("mvr_up 1\nmvr_ranks_alive 4\n".into());
+        let resp = scrape(srv.local_addr());
+        assert!(resp.starts_with("HTTP/1.0 200 OK"), "{resp}");
+        assert!(resp.contains("text/plain"), "{resp}");
+        assert!(resp.contains("mvr_ranks_alive 4"), "{resp}");
+        // Publishing again replaces the page.
+        srv.publish("mvr_up 0\n".into());
+        let resp2 = scrape(srv.local_addr());
+        assert!(resp2.contains("mvr_up 0"), "{resp2}");
+        srv.stop();
+    }
+
+    #[test]
+    fn stop_releases_the_port() {
+        let srv = HealthServer::bind("127.0.0.1:0").unwrap();
+        let addr = srv.local_addr();
+        srv.stop();
+        // The listener is gone: rebinding the same port succeeds.
+        let again = TcpListener::bind(addr);
+        assert!(again.is_ok());
+    }
+}

@@ -245,6 +245,56 @@ mod tests {
     }
 
     #[test]
+    fn value_zero_lands_in_exact_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        let s = h.summary();
+        assert_eq!((s.min, s.p50, s.p99, s.max), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn u64_max_saturates_without_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX); // sum would overflow without saturation
+        h.record(1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX); // saturated, not wrapped
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 1);
+        // The top bucket's floor is the best estimate the bucketing can
+        // give; it must be huge and must not panic.
+        let top = h.quantile(1.0);
+        assert!(top >= bucket_floor(NUM_BUCKETS - 1));
+    }
+
+    #[test]
+    fn merging_saturated_top_buckets_preserves_count() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for _ in 0..10 {
+            a.record(u64::MAX);
+            b.record(u64::MAX);
+        }
+        b.record(7);
+        a.merge(&b);
+        // Counts are exact even where sums saturate.
+        assert_eq!(a.count(), 21);
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.min(), 7);
+        assert_eq!(a.max(), u64::MAX);
+        let s = a.summary();
+        assert_eq!(s.count, 21);
+        assert_eq!(s.p99, bucket_floor(NUM_BUCKETS - 1));
+    }
+
+    #[test]
     fn summary_roundtrips() {
         let mut h = LogHistogram::new();
         h.record(42);

@@ -1,0 +1,608 @@
+//! A minimal JSON reader for flight-recorder dumps.
+//!
+//! The vendored `serde_json` stand-in is write-only, so `obs_analyze`
+//! needs its own way back from a `.jsonl` dump to [`FlightRecord`]s.
+//! This is a small recursive-descent parser over exactly the JSON the
+//! dump writer emits — objects, arrays, strings, booleans and unsigned
+//! integers — plus a decoder for the externally-tagged [`ProtoEvent`]
+//! rendering (`{"Send":{...}}`, unit enum variants as bare strings).
+
+use crate::dump::DumpHeader;
+use crate::event::{FlightRecord, ProtoEvent, SendDisposition};
+
+/// A parsed JSON value (only the shapes the dump writer produces).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the only number shape in a dump).
+    Int(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|_| Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null").map(|_| Json::Null),
+            Some(b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(
+            self.peek(),
+            Some(b'.') | Some(b'e') | Some(b'E') | Some(b'-') | Some(b'+')
+        ) {
+            return Err(self.err("non-integer numbers do not appear in dumps"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are UTF-8");
+        text.parse::<u64>()
+            .map(Json::Int)
+            .map_err(|e| self.err(&format!("bad integer `{text}`: {e}")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: the writer never emits
+                            // them (it escapes only controls), but
+                            // accept them for robustness.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                self.eat_lit("\\u")?;
+                                let lo = self.hex4()?;
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| self.err("bad \\u escape"))?);
+                            continue; // hex4 advanced pos already
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unharmed: advance
+                    // to the next char boundary.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let cp = u32::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+}
+
+/// Parse one JSON document.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+fn field_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer field `{key}` in {obj:?}"))
+}
+
+fn field_u32(obj: &Json, key: &str) -> Result<u32, String> {
+    u32::try_from(field_u64(obj, key)?).map_err(|_| format!("field `{key}` exceeds u32"))
+}
+
+fn field_bool(obj: &Json, key: &str) -> Result<bool, String> {
+    obj.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing bool field `{key}` in {obj:?}"))
+}
+
+fn field_str(obj: &Json, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field `{key}` in {obj:?}"))
+}
+
+fn decode_disposition(v: &Json) -> Result<SendDisposition, String> {
+    match v.as_str() {
+        Some("Wire") => Ok(SendDisposition::Wire),
+        Some("Gated") => Ok(SendDisposition::Gated),
+        Some("Suppressed") => Ok(SendDisposition::Suppressed),
+        _ => Err(format!("bad SendDisposition: {v:?}")),
+    }
+}
+
+fn decode_event(v: &Json) -> Result<ProtoEvent, String> {
+    let Json::Obj(fields) = v else {
+        return Err(format!("event is not an object: {v:?}"));
+    };
+    let [(name, body)] = fields.as_slice() else {
+        return Err(format!("event object must have exactly one tag: {v:?}"));
+    };
+    Ok(match name.as_str() {
+        "Send" => ProtoEvent::Send {
+            to: field_u32(body, "to")?,
+            clock: field_u64(body, "clock")?,
+            bytes: field_u64(body, "bytes")?,
+            disposition: decode_disposition(
+                body.get("disposition")
+                    .ok_or_else(|| format!("missing disposition in {body:?}"))?,
+            )?,
+        },
+        "GateDefer" => ProtoEvent::GateDefer {
+            to: field_u32(body, "to")?,
+            clock: field_u64(body, "clock")?,
+            queued: field_u64(body, "queued")?,
+        },
+        "GateOpen" => ProtoEvent::GateOpen {
+            released: field_u64(body, "released")?,
+            waited_ns: field_u64(body, "waited_ns")?,
+        },
+        "Deliver" => ProtoEvent::Deliver {
+            from: field_u32(body, "from")?,
+            sender_clock: field_u64(body, "sender_clock")?,
+            receiver_clock: field_u64(body, "receiver_clock")?,
+            replay: field_bool(body, "replay")?,
+        },
+        "DuplicateDropped" => ProtoEvent::DuplicateDropped {
+            from: field_u32(body, "from")?,
+            sender_clock: field_u64(body, "sender_clock")?,
+        },
+        "ElShip" => ProtoEvent::ElShip {
+            events: field_u64(body, "events")?,
+            from_clock: field_u64(body, "from_clock")?,
+            up_to: field_u64(body, "up_to")?,
+        },
+        "ElAck" => ProtoEvent::ElAck {
+            up_to: field_u64(body, "up_to")?,
+            batches_retired: field_u64(body, "batches_retired")?,
+            rtt_ns: field_u64(body, "rtt_ns")?,
+        },
+        "CkptBegin" => ProtoEvent::CkptBegin {
+            seq: field_u64(body, "seq")?,
+            bytes: field_u64(body, "bytes")?,
+        },
+        "CkptCommit" => ProtoEvent::CkptCommit {
+            seq: field_u64(body, "seq")?,
+            store_ns: field_u64(body, "store_ns")?,
+        },
+        "CkptGc" => ProtoEvent::CkptGc {
+            peer: field_u32(body, "peer")?,
+            bytes_freed: field_u64(body, "bytes_freed")?,
+        },
+        "Restart1" => ProtoEvent::Restart1 {
+            rank: field_u32(body, "rank")?,
+        },
+        "Restart2" => ProtoEvent::Restart2 {
+            peer: field_u32(body, "peer")?,
+            watermark: field_u64(body, "watermark")?,
+        },
+        "RecoveryBegin" => ProtoEvent::RecoveryBegin {
+            restored_clock: field_u64(body, "restored_clock")?,
+        },
+        "ReplayStep" => ProtoEvent::ReplayStep {
+            from: field_u32(body, "from")?,
+            sender_clock: field_u64(body, "sender_clock")?,
+            receiver_clock: field_u64(body, "receiver_clock")?,
+        },
+        "ReplayDone" => ProtoEvent::ReplayDone {
+            replayed: field_u64(body, "replayed")?,
+            replay_ns: field_u64(body, "replay_ns")?,
+        },
+        "ChaosKill" => ProtoEvent::ChaosKill {
+            victim: field_u32(body, "victim")?,
+            rekill: field_bool(body, "rekill")?,
+        },
+        "ServiceKill" => ProtoEvent::ServiceKill {
+            service: field_str(body, "service")?,
+        },
+        "Finish" => ProtoEvent::Finish {
+            clock: field_u64(body, "clock")?,
+        },
+        "RespawnScheduled" => ProtoEvent::RespawnScheduled {
+            rank: field_u32(body, "rank")?,
+            attempt: field_u64(body, "attempt")?,
+        },
+        "Divergence" => ProtoEvent::Divergence {
+            detail: field_str(body, "detail")?,
+        },
+        other => return Err(format!("unknown event tag `{other}`")),
+    })
+}
+
+/// Decode one JSONL record line.
+pub fn parse_record_line(line: &str) -> Result<FlightRecord, String> {
+    let v = parse(line)?;
+    Ok(FlightRecord {
+        rank: field_u32(&v, "rank")?,
+        clock: field_u64(&v, "clock")?,
+        ts_ns: field_u64(&v, "ts_ns")?,
+        event: decode_event(
+            v.get("event")
+                .ok_or_else(|| format!("missing `event` in {line}"))?,
+        )?,
+    })
+}
+
+/// Decode a header line, or `None` if the line is not a header.
+pub fn parse_header_line(line: &str) -> Option<DumpHeader> {
+    let v = parse(line).ok()?;
+    let h = v.get("header")?;
+    Some(DumpHeader {
+        records: h.get("records")?.as_u64()?,
+        dropped: h.get("dropped")?.as_u64()?,
+    })
+}
+
+/// Decode a whole JSONL dump: optional header line, then records.
+/// Headerless dumps (pre-header format) still parse.
+pub fn parse_dump(text: &str) -> Result<(Option<DumpHeader>, Vec<FlightRecord>), String> {
+    let mut header = None;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if let Some(h) = parse_header_line(line) {
+                header = Some(h);
+                continue;
+            }
+        }
+        records.push(parse_record_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dump::{header_line, jsonl_line};
+
+    #[test]
+    fn scalars_and_containers_parse() {
+        assert_eq!(parse("42").unwrap(), Json::Int(42));
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse(" null ").unwrap(), Json::Null);
+        assert_eq!(
+            parse("[1,2,3]").unwrap(),
+            Json::Arr(vec![Json::Int(1), Json::Int(2), Json::Int(3)])
+        );
+        let obj = parse(r#"{"a":1,"b":"x"}"#).unwrap();
+        assert_eq!(obj.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(obj.get("b").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = parse(r#""quote \" slash \\ nl \n tab \t u \u0007""#).unwrap();
+        assert_eq!(v.as_str(), Some("quote \" slash \\ nl \n tab \t u \u{7}"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1.5").is_err());
+        assert!(parse("42 extra").is_err());
+    }
+
+    #[test]
+    fn every_event_kind_roundtrips_through_the_writer() {
+        let samples = vec![
+            ProtoEvent::Send {
+                to: 1,
+                clock: 5,
+                bytes: 64,
+                disposition: SendDisposition::Gated,
+            },
+            ProtoEvent::GateDefer {
+                to: 1,
+                clock: 5,
+                queued: 2,
+            },
+            ProtoEvent::GateOpen {
+                released: 2,
+                waited_ns: 900,
+            },
+            ProtoEvent::Deliver {
+                from: 0,
+                sender_clock: 5,
+                receiver_clock: 9,
+                replay: false,
+            },
+            ProtoEvent::DuplicateDropped {
+                from: 0,
+                sender_clock: 5,
+            },
+            ProtoEvent::ElShip {
+                events: 3,
+                from_clock: 7,
+                up_to: 9,
+            },
+            ProtoEvent::ElAck {
+                up_to: 9,
+                batches_retired: 1,
+                rtt_ns: 1200,
+            },
+            ProtoEvent::CkptBegin { seq: 2, bytes: 100 },
+            ProtoEvent::CkptCommit {
+                seq: 2,
+                store_ns: 500,
+            },
+            ProtoEvent::CkptGc {
+                peer: 1,
+                bytes_freed: 40,
+            },
+            ProtoEvent::Restart1 { rank: 3 },
+            ProtoEvent::Restart2 {
+                peer: 1,
+                watermark: 8,
+            },
+            ProtoEvent::RecoveryBegin { restored_clock: 4 },
+            ProtoEvent::ReplayStep {
+                from: 0,
+                sender_clock: 5,
+                receiver_clock: 6,
+            },
+            ProtoEvent::ReplayDone {
+                replayed: 4,
+                replay_ns: 8000,
+            },
+            ProtoEvent::ChaosKill {
+                victim: 2,
+                rekill: true,
+            },
+            ProtoEvent::ServiceKill {
+                service: "el0".into(),
+            },
+            ProtoEvent::Finish { clock: 20 },
+            ProtoEvent::RespawnScheduled {
+                rank: 2,
+                attempt: 1,
+            },
+            ProtoEvent::Divergence {
+                detail: "sum mismatch \"x\"\n".into(),
+            },
+        ];
+        for (i, event) in samples.into_iter().enumerate() {
+            let rec = FlightRecord {
+                rank: i as u32,
+                clock: i as u64,
+                ts_ns: 10_000 + i as u64,
+                event,
+            };
+            let line = jsonl_line(&rec);
+            let back = parse_record_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, rec, "{line}");
+        }
+    }
+
+    #[test]
+    fn dump_with_header_parses() {
+        let rec = FlightRecord {
+            rank: 0,
+            clock: 1,
+            ts_ns: 10,
+            event: ProtoEvent::Finish { clock: 1 },
+        };
+        let text = format!(
+            "{}\n{}\n",
+            header_line(crate::dump::DumpHeader {
+                records: 1,
+                dropped: 2,
+            }),
+            jsonl_line(&rec)
+        );
+        let (header, records) = parse_dump(&text).unwrap();
+        assert_eq!(
+            header,
+            Some(DumpHeader {
+                records: 1,
+                dropped: 2,
+            })
+        );
+        assert_eq!(records, vec![rec]);
+    }
+
+    #[test]
+    fn headerless_dump_still_parses() {
+        let rec = FlightRecord {
+            rank: 0,
+            clock: 1,
+            ts_ns: 10,
+            event: ProtoEvent::Restart1 { rank: 0 },
+        };
+        let (header, records) = parse_dump(&format!("{}\n", jsonl_line(&rec))).unwrap();
+        assert_eq!(header, None);
+        assert_eq!(records, vec![rec]);
+    }
+}

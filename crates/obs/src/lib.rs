@@ -20,16 +20,27 @@
 
 #![warn(missing_docs)]
 
+mod causal;
 mod dump;
 mod event;
+mod health;
 mod hist;
+mod jsonparse;
+mod monitor;
 mod recorder;
+mod span;
 mod timings;
 
+pub use causal::{write_flow_trace, CausalGraph, CriticalPath, CriticalStep, EdgeCat};
 pub use dump::{
-    jsonl_line, triage, validate_records, write_chrome_trace, write_jsonl, DumpPaths, Triage,
+    header_line, jsonl_line, triage, validate_records, write_chrome_trace, write_jsonl, DumpHeader,
+    DumpPaths, Triage,
 };
-pub use event::{FlightRecord, ProtoEvent, DISPATCHER_RANK};
+pub use event::{FlightRecord, ProtoEvent, SendDisposition, DISPATCHER_RANK};
+pub use health::HealthServer;
 pub use hist::{HistSummary, LogHistogram};
+pub use jsonparse::{parse, parse_dump, parse_header_line, parse_record_line, Json};
+pub use monitor::{InvariantMonitor, RecordSink, Violation};
 pub use recorder::{Recorder, RecorderConfig, RecorderHub};
+pub use span::{DeliveryLeg, Orphan, OrphanKind, Span, SpanKey, SpanSet};
 pub use timings::{ProtocolTimings, TimingSummary};

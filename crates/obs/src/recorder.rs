@@ -4,6 +4,7 @@
 
 use crate::dump::{self, DumpPaths};
 use crate::event::{FlightRecord, ProtoEvent};
+use crate::monitor::RecordSink;
 use parking_lot::Mutex;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -88,6 +89,9 @@ struct Shared {
     trace_stderr: AtomicBool,
     epoch: Instant,
     ring: Mutex<Ring>,
+    /// Live consumer of records (the online invariant monitor). Fired
+    /// inline on the recording thread's slow path, after the ring push.
+    sink: Option<Arc<dyn RecordSink>>,
 }
 
 /// A cloneable handle to one rank's flight recorder. Cloning shares
@@ -120,12 +124,22 @@ impl Recorder {
     }
 
     fn with_epoch(rank: u32, cfg: RecorderConfig, epoch: Instant) -> Self {
+        Self::with_epoch_sink(rank, cfg, epoch, None)
+    }
+
+    fn with_epoch_sink(
+        rank: u32,
+        cfg: RecorderConfig,
+        epoch: Instant,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Self {
         Recorder(Arc::new(Shared {
             rank,
             enabled: AtomicBool::new(cfg.enabled),
             trace_stderr: AtomicBool::new(cfg.trace_stderr),
             epoch,
             ring: Mutex::new(Ring::new(cfg.capacity)),
+            sink,
         }))
     }
 
@@ -166,14 +180,33 @@ impl Recorder {
         self.record_slow(clock, event);
     }
 
+    /// Append a record at an explicit timestamp instead of wall time.
+    /// The simulator uses this to write virtual-time records, so its
+    /// dumps are byte-stable across runs of the same seed.
+    #[inline]
+    pub fn record_at(&self, clock: u64, ts_ns: u64, event: ProtoEvent) {
+        if !self.0.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.push(FlightRecord {
+            rank: self.0.rank,
+            clock,
+            ts_ns,
+            event,
+        });
+    }
+
     #[cold]
     fn record_slow(&self, clock: u64, event: ProtoEvent) {
-        let rec = FlightRecord {
+        self.push(FlightRecord {
             rank: self.0.rank,
             clock,
             ts_ns: self.now_ns(),
             event,
-        };
+        });
+    }
+
+    fn push(&self, rec: FlightRecord) {
         if self.0.trace_stderr.load(Ordering::Relaxed) {
             eprintln!(
                 "[mvr r{} c{} t{}ns] {}: {:?}",
@@ -183,6 +216,9 @@ impl Recorder {
                 rec.event.kind(),
                 rec.event
             );
+        }
+        if let Some(sink) = &self.0.sink {
+            sink.observe(&rec);
         }
         self.0.ring.lock().push(rec);
     }
@@ -207,6 +243,7 @@ pub struct RecorderHub {
     cfg: RecorderConfig,
     epoch: Instant,
     recorders: Mutex<Vec<Recorder>>,
+    sink: Mutex<Option<Arc<dyn RecordSink>>>,
 }
 
 impl std::fmt::Debug for RecorderHub {
@@ -225,7 +262,15 @@ impl RecorderHub {
             cfg,
             epoch: Instant::now(),
             recorders: Mutex::new(Vec::new()),
+            sink: Mutex::new(None),
         })
+    }
+
+    /// Attach a live record sink (the online invariant monitor).
+    /// Recorders minted *after* this call feed the sink inline from
+    /// their recording threads; call before spawning any nodes.
+    pub fn set_sink(&self, sink: Arc<dyn RecordSink>) {
+        *self.sink.lock() = Some(sink);
     }
 
     /// Whether minted recorders keep records.
@@ -236,13 +281,15 @@ impl RecorderHub {
     /// Mint (and register) a recorder for `rank`. Call once per
     /// incarnation; all incarnations' records end up in the dump.
     pub fn recorder(&self, rank: u32) -> Recorder {
-        let r = Recorder::with_epoch(rank, self.cfg, self.epoch);
+        let r = Recorder::with_epoch_sink(rank, self.cfg, self.epoch, self.sink.lock().clone());
         self.recorders.lock().push(r.clone());
         r
     }
 
     /// Merged snapshot of every registered recorder, ordered by
-    /// timestamp (ties broken by rank then clock).
+    /// timestamp (ties broken by rank, then logical clock, then event
+    /// kind, so equal-timestamp records from a virtual-time run merge
+    /// deterministically and dumps are byte-stable per seed).
     pub fn timeline(&self) -> Vec<FlightRecord> {
         let mut all: Vec<FlightRecord> = self
             .recorders
@@ -250,7 +297,7 @@ impl RecorderHub {
             .iter()
             .flat_map(|r| r.snapshot())
             .collect();
-        all.sort_by_key(|r| (r.ts_ns, r.rank, r.clock));
+        all.sort_by_key(|r| (r.ts_ns, r.rank, r.clock, r.event.kind_index()));
         all
     }
 
@@ -268,7 +315,7 @@ impl RecorderHub {
         std::fs::create_dir_all(dir)?;
         let jsonl = dir.join(format!("{tag}.jsonl"));
         let trace = dir.join(format!("{tag}.trace.json"));
-        dump::write_jsonl(&jsonl, &timeline)?;
+        dump::write_jsonl(&jsonl, &timeline, self.dropped())?;
         dump::write_chrome_trace(&trace, &timeline)?;
         Ok(DumpPaths {
             jsonl,
@@ -283,18 +330,21 @@ impl RecorderHub {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::SendDisposition;
+
+    fn send(to: u32, clock: u64, bytes: u64) -> ProtoEvent {
+        ProtoEvent::Send {
+            to,
+            clock,
+            bytes,
+            disposition: SendDisposition::Wire,
+        }
+    }
 
     #[test]
     fn disabled_recorder_keeps_nothing() {
         let r = Recorder::disabled();
-        r.record(
-            1,
-            ProtoEvent::Send {
-                to: 0,
-                clock: 1,
-                bytes: 8,
-            },
-        );
+        r.record(1, send(0, 1, 8));
         assert!(r.snapshot().is_empty());
         assert!(!r.is_enabled());
     }
@@ -310,14 +360,7 @@ mod tests {
             },
         );
         for i in 0..10u64 {
-            r.record(
-                i,
-                ProtoEvent::Send {
-                    to: 1,
-                    clock: i,
-                    bytes: 1,
-                },
-            );
+            r.record(i, send(1, i, 1));
         }
         let snap = r.snapshot();
         assert_eq!(snap.len(), 4);
@@ -332,14 +375,7 @@ mod tests {
         let hub = RecorderHub::new(RecorderConfig::enabled());
         let a = hub.recorder(0);
         let b = hub.recorder(1);
-        a.record(
-            1,
-            ProtoEvent::Send {
-                to: 1,
-                clock: 1,
-                bytes: 8,
-            },
-        );
+        a.record(1, send(1, 1, 8));
         b.record(
             1,
             ProtoEvent::Deliver {
@@ -349,17 +385,36 @@ mod tests {
                 replay: false,
             },
         );
-        a.record(
-            2,
-            ProtoEvent::Send {
-                to: 1,
-                clock: 2,
-                bytes: 8,
-            },
-        );
+        a.record(2, send(1, 2, 8));
         let tl = hub.timeline();
         assert_eq!(tl.len(), 3);
         assert!(tl.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn equal_ts_ties_break_by_rank_clock_kind() {
+        let hub = RecorderHub::new(RecorderConfig::enabled());
+        let a = hub.recorder(0);
+        let b = hub.recorder(1);
+        // All four records share ts_ns=500; merge order must be fully
+        // determined by (rank, clock, kind_index).
+        b.record_at(2, 500, ProtoEvent::Finish { clock: 2 });
+        a.record_at(
+            3,
+            500,
+            ProtoEvent::GateOpen {
+                released: 1,
+                waited_ns: 7,
+            },
+        );
+        a.record_at(3, 500, send(1, 3, 8));
+        a.record_at(1, 500, ProtoEvent::Restart1 { rank: 0 });
+        let tl = hub.timeline();
+        let keys: Vec<(u32, u64, u8)> = tl
+            .iter()
+            .map(|r| (r.rank, r.clock, r.event.kind_index()))
+            .collect();
+        assert_eq!(keys, vec![(0, 1, 10), (0, 3, 0), (0, 3, 2), (1, 2, 17)]);
     }
 
     #[test]

@@ -1,0 +1,621 @@
+//! Per-message lifecycle spans stitched from a merged flight-recorder
+//! timeline.
+//!
+//! A span follows one application message — keyed by `(sender,
+//! sender_clock)`, the paper's message identifier — through its whole
+//! life: send (with gate disposition) → gate defer/open → delivery →
+//! reception-event ship to the EL → EL ack, plus any replayed
+//! re-deliveries after a crash. Spans are what turn 50 000 interleaved
+//! records into per-message latency attribution, and their *absence*
+//! is diagnostic: an orphan (a delivery with no send, a wire send with
+//! no delivery, a gated send never released) localizes either a ring
+//! truncation or a protocol bug.
+
+use crate::event::{FlightRecord, ProtoEvent, SendDisposition};
+use crate::hist::LogHistogram;
+use std::collections::{BTreeMap, HashMap};
+
+/// Span key: `(sender rank, sender logical clock at emission)`.
+pub type SpanKey = (u32, u64);
+
+/// One delivery of a span's message (a message can be delivered once
+/// per receiver incarnation: normally first, by replay after a crash).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeliveryLeg {
+    /// Receiving rank.
+    pub receiver: u32,
+    /// Receiver clock assigned to the delivery.
+    pub receiver_clock: u64,
+    /// Timestamp of the delivery record.
+    pub ts_ns: u64,
+    /// `true` when the delivery happened during ordered replay.
+    pub replay: bool,
+    /// Timestamp of the `ElShip` batch carrying this delivery's
+    /// reception event, once observed.
+    pub el_ship_ts: Option<u64>,
+    /// Timestamp of the `ElAck` covering this delivery's reception
+    /// event, once observed.
+    pub el_ack_ts: Option<u64>,
+}
+
+/// The lifecycle of one application message.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Destination rank (from the send record).
+    pub to: Option<u32>,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Timestamp of the first send record.
+    pub send_ts: Option<u64>,
+    /// Disposition of every send record carrying this key (a key is
+    /// re-sent when a crashed sender re-executes).
+    pub dispositions: Vec<SendDisposition>,
+    /// Timestamp of the `GateDefer` record, when the send queued
+    /// behind the closed pessimism gate.
+    pub gate_defer_ts: Option<u64>,
+    /// Timestamp of the `GateOpen` that released the deferred send.
+    pub gate_open_ts: Option<u64>,
+    /// Every observed delivery of the message, oldest first.
+    pub deliveries: Vec<DeliveryLeg>,
+}
+
+impl Span {
+    /// Nanoseconds from send to first delivery.
+    pub fn wire_latency_ns(&self) -> Option<u64> {
+        let send = self.send_ts?;
+        let d = self.deliveries.first()?;
+        Some(d.ts_ns.saturating_sub(send))
+    }
+
+    /// Nanoseconds the send waited behind the pessimism gate.
+    pub fn gate_wait_ns(&self) -> Option<u64> {
+        Some(self.gate_open_ts?.saturating_sub(self.gate_defer_ts?))
+    }
+
+    /// Ship→ack round-trip of the first delivery's reception event.
+    pub fn el_rtt_ns(&self) -> Option<u64> {
+        let d = self.deliveries.first()?;
+        Some(d.el_ack_ts?.saturating_sub(d.el_ship_ts?))
+    }
+
+    /// Whether any send record put the payload on the wire (directly
+    /// or after a gate release).
+    pub fn transmitted(&self) -> bool {
+        self.dispositions
+            .iter()
+            .any(|d| !matches!(d, SendDisposition::Suppressed))
+    }
+}
+
+/// Why a span is incomplete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrphanKind {
+    /// A delivery or replay referenced a key with no send record —
+    /// a truncated ring or a fabricated message.
+    SendlessDelivery,
+    /// A transmitted (wire or gated) send was never delivered anywhere.
+    UndeliveredSend,
+    /// A gated send's rank finished cleanly without ever releasing it.
+    StuckGate,
+}
+
+impl OrphanKind {
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OrphanKind::SendlessDelivery => "sendless-delivery",
+            OrphanKind::UndeliveredSend => "undelivered-send",
+            OrphanKind::StuckGate => "stuck-gate",
+        }
+    }
+}
+
+/// One orphan span edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Orphan {
+    /// The span's key.
+    pub key: SpanKey,
+    /// What is missing.
+    pub kind: OrphanKind,
+    /// Human-readable account.
+    pub detail: String,
+}
+
+/// Every span of a timeline plus the orphans found while stitching.
+#[derive(Debug, Default)]
+pub struct SpanSet {
+    /// Spans by key, ordered.
+    pub spans: BTreeMap<SpanKey, Span>,
+    /// Incomplete spans (zero on a clean, completed, untruncated run).
+    pub orphans: Vec<Orphan>,
+}
+
+/// Per-rank stitching state, reset at each incarnation boundary.
+#[derive(Default)]
+struct RankStitch {
+    /// Keys deferred behind the gate, not yet released.
+    open_defers: Vec<SpanKey>,
+    /// Delivered receiver clocks awaiting their `ElShip`.
+    awaiting_ship: Vec<(u64, SpanKey)>,
+    /// Shipped receiver clocks awaiting their `ElAck`.
+    awaiting_ack: Vec<(u64, SpanKey)>,
+    /// Whether the rank's (last) incarnation recorded a clean finish.
+    finished: bool,
+    /// Keys still deferred when the rank finished.
+    stuck_candidates: Vec<SpanKey>,
+}
+
+impl SpanSet {
+    /// Stitch a merged, per-rank-ordered timeline into spans.
+    pub fn build(timeline: &[FlightRecord]) -> SpanSet {
+        let mut spans: BTreeMap<SpanKey, Span> = BTreeMap::new();
+        let mut ranks: HashMap<u32, RankStitch> = HashMap::new();
+        for rec in timeline {
+            match &rec.event {
+                ProtoEvent::Send {
+                    to,
+                    clock,
+                    bytes,
+                    disposition,
+                } => {
+                    let s = spans.entry((rec.rank, *clock)).or_default();
+                    s.to = Some(*to);
+                    s.bytes = *bytes;
+                    s.send_ts.get_or_insert(rec.ts_ns);
+                    s.dispositions.push(*disposition);
+                }
+                ProtoEvent::GateDefer { clock, .. } => {
+                    let key = (rec.rank, *clock);
+                    spans
+                        .entry(key)
+                        .or_default()
+                        .gate_defer_ts
+                        .get_or_insert(rec.ts_ns);
+                    ranks.entry(rec.rank).or_default().open_defers.push(key);
+                }
+                ProtoEvent::GateOpen { .. } => {
+                    let st = ranks.entry(rec.rank).or_default();
+                    for key in st.open_defers.drain(..) {
+                        if let Some(s) = spans.get_mut(&key) {
+                            s.gate_open_ts.get_or_insert(rec.ts_ns);
+                        }
+                    }
+                }
+                ProtoEvent::Deliver {
+                    from,
+                    sender_clock,
+                    receiver_clock,
+                    replay,
+                } => {
+                    let key = (*from, *sender_clock);
+                    spans.entry(key).or_default().deliveries.push(DeliveryLeg {
+                        receiver: rec.rank,
+                        receiver_clock: *receiver_clock,
+                        ts_ns: rec.ts_ns,
+                        replay: *replay,
+                        el_ship_ts: None,
+                        el_ack_ts: None,
+                    });
+                    if !replay {
+                        ranks
+                            .entry(rec.rank)
+                            .or_default()
+                            .awaiting_ship
+                            .push((*receiver_clock, key));
+                    }
+                }
+                ProtoEvent::ReplayStep {
+                    from,
+                    sender_clock,
+                    receiver_clock,
+                } => {
+                    let key = (*from, *sender_clock);
+                    spans.entry(key).or_default().deliveries.push(DeliveryLeg {
+                        receiver: rec.rank,
+                        receiver_clock: *receiver_clock,
+                        ts_ns: rec.ts_ns,
+                        replay: true,
+                        el_ship_ts: None,
+                        el_ack_ts: None,
+                    });
+                }
+                ProtoEvent::ElShip {
+                    from_clock, up_to, ..
+                } => {
+                    let st = ranks.entry(rec.rank).or_default();
+                    let mut kept = Vec::new();
+                    for (rc, key) in st.awaiting_ship.drain(..) {
+                        if rc >= *from_clock && rc <= *up_to {
+                            if let Some(leg) = last_leg(&mut spans, key, rec.rank, rc) {
+                                leg.el_ship_ts = Some(rec.ts_ns);
+                            }
+                            st.awaiting_ack.push((rc, key));
+                        } else {
+                            kept.push((rc, key));
+                        }
+                    }
+                    st.awaiting_ship = kept;
+                }
+                ProtoEvent::ElAck { up_to, .. } => {
+                    let st = ranks.entry(rec.rank).or_default();
+                    let mut kept = Vec::new();
+                    for (rc, key) in st.awaiting_ack.drain(..) {
+                        if rc <= *up_to {
+                            if let Some(leg) = last_leg(&mut spans, key, rec.rank, rc) {
+                                leg.el_ack_ts = Some(rec.ts_ns);
+                            }
+                        } else {
+                            kept.push((rc, key));
+                        }
+                    }
+                    st.awaiting_ack = kept;
+                }
+                ProtoEvent::Restart1 { .. } | ProtoEvent::RecoveryBegin { .. } => {
+                    // Dead incarnation's in-flight stitching state dies
+                    // with it (its unshipped events were dropped by the
+                    // engine for the same reason).
+                    let st = ranks.entry(rec.rank).or_default();
+                    st.open_defers.clear();
+                    st.awaiting_ship.clear();
+                    st.awaiting_ack.clear();
+                    st.finished = false;
+                }
+                ProtoEvent::Finish { .. } => {
+                    let st = ranks.entry(rec.rank).or_default();
+                    st.finished = true;
+                    st.stuck_candidates = st.open_defers.clone();
+                }
+                _ => {}
+            }
+        }
+        let mut orphans = Vec::new();
+        for (key, span) in &spans {
+            if !span.deliveries.is_empty() && span.send_ts.is_none() {
+                orphans.push(Orphan {
+                    key: *key,
+                    kind: OrphanKind::SendlessDelivery,
+                    detail: format!(
+                        "delivered to rank {} but no send record for ({}, {})",
+                        span.deliveries[0].receiver, key.0, key.1
+                    ),
+                });
+            } else if span.transmitted() && span.deliveries.is_empty() {
+                orphans.push(Orphan {
+                    key: *key,
+                    kind: OrphanKind::UndeliveredSend,
+                    detail: format!(
+                        "({}, {}) put on the wire to rank {} but never delivered",
+                        key.0,
+                        key.1,
+                        span.to.map(|t| t as i64).unwrap_or(-1)
+                    ),
+                });
+            }
+        }
+        for st in ranks.values() {
+            if !st.finished {
+                continue;
+            }
+            for key in &st.stuck_candidates {
+                let stuck = spans
+                    .get(key)
+                    .map(|s| s.deliveries.is_empty() && s.gate_open_ts.is_none())
+                    .unwrap_or(false);
+                if stuck {
+                    orphans.push(Orphan {
+                        key: *key,
+                        kind: OrphanKind::StuckGate,
+                        detail: format!(
+                            "({}, {}) still gated when its rank finished",
+                            key.0, key.1
+                        ),
+                    });
+                }
+            }
+        }
+        orphans.sort_by_key(|o| o.key);
+        orphans.dedup();
+        SpanSet { spans, orphans }
+    }
+
+    /// Deliveries across all spans (replays included).
+    pub fn total_deliveries(&self) -> usize {
+        self.spans.values().map(|s| s.deliveries.len()).sum()
+    }
+
+    /// Multi-line human report: span counts, latency percentiles per
+    /// component, slowest spans, orphans.
+    pub fn report(&self, top: usize) -> String {
+        let mut wire = LogHistogram::new();
+        let mut gate = LogHistogram::new();
+        let mut el = LogHistogram::new();
+        let mut replayed = 0usize;
+        let mut suppressed = 0usize;
+        let mut gated = 0usize;
+        for s in self.spans.values() {
+            if let Some(ns) = s.wire_latency_ns() {
+                wire.record(ns);
+            }
+            if let Some(ns) = s.gate_wait_ns() {
+                gate.record(ns);
+            }
+            if let Some(ns) = s.el_rtt_ns() {
+                el.record(ns);
+            }
+            replayed += s.deliveries.iter().filter(|d| d.replay).count();
+            suppressed += s
+                .dispositions
+                .iter()
+                .filter(|d| matches!(d, SendDisposition::Suppressed))
+                .count();
+            gated += s
+                .dispositions
+                .iter()
+                .filter(|d| matches!(d, SendDisposition::Gated))
+                .count();
+        }
+        let mut out = format!(
+            "spans: {} keys, {} deliveries ({} replayed), {} gated sends, {} suppressed re-sends\n",
+            self.spans.len(),
+            self.total_deliveries(),
+            replayed,
+            gated,
+            suppressed,
+        );
+        for (label, h) in [
+            ("send→deliver", &wire),
+            ("gate-wait", &gate),
+            ("el ship→ack", &el),
+        ] {
+            let s = h.summary();
+            if s.count > 0 {
+                out.push_str(&format!(
+                    "  {label}: n={} p50={}ns p99={}ns max={}ns\n",
+                    s.count, s.p50, s.p99, s.max
+                ));
+            } else {
+                out.push_str(&format!("  {label}: n=0\n"));
+            }
+        }
+        let mut slowest: Vec<(u64, SpanKey)> = self
+            .spans
+            .iter()
+            .filter_map(|(k, s)| s.wire_latency_ns().map(|ns| (ns, *k)))
+            .collect();
+        slowest.sort_by(|a, b| b.cmp(a));
+        for (ns, key) in slowest.iter().take(top) {
+            let s = &self.spans[key];
+            out.push_str(&format!(
+                "  slow: ({}, {}) → rank {} {}ns (gate {}ns)\n",
+                key.0,
+                key.1,
+                s.to.unwrap_or(u32::MAX),
+                ns,
+                s.gate_wait_ns().unwrap_or(0),
+            ));
+        }
+        if self.orphans.is_empty() {
+            out.push_str("  orphan edges: none\n");
+        } else {
+            out.push_str(&format!("  orphan edges: {}\n", self.orphans.len()));
+            for o in self.orphans.iter().take(top.max(8)) {
+                out.push_str(&format!("    [{}] {}\n", o.kind.name(), o.detail));
+            }
+        }
+        out
+    }
+}
+
+/// The newest delivery leg of `key` on `receiver` with `receiver_clock`.
+fn last_leg(
+    spans: &mut BTreeMap<SpanKey, Span>,
+    key: SpanKey,
+    receiver: u32,
+    receiver_clock: u64,
+) -> Option<&mut DeliveryLeg> {
+    spans
+        .get_mut(&key)?
+        .deliveries
+        .iter_mut()
+        .rev()
+        .find(|d| d.receiver == receiver && d.receiver_clock == receiver_clock && !d.replay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rank: u32, clock: u64, ts_ns: u64, event: ProtoEvent) -> FlightRecord {
+        FlightRecord {
+            rank,
+            clock,
+            ts_ns,
+            event,
+        }
+    }
+
+    fn send(to: u32, clock: u64, disposition: SendDisposition) -> ProtoEvent {
+        ProtoEvent::Send {
+            to,
+            clock,
+            bytes: 8,
+            disposition,
+        }
+    }
+
+    fn deliver(from: u32, sc: u64, rc: u64) -> ProtoEvent {
+        ProtoEvent::Deliver {
+            from,
+            sender_clock: sc,
+            receiver_clock: rc,
+            replay: false,
+        }
+    }
+
+    #[test]
+    fn full_lifecycle_stitches() {
+        let tl = vec![
+            rec(0, 1, 100, send(1, 1, SendDisposition::Wire)),
+            rec(1, 1, 250, deliver(0, 1, 1)),
+            rec(
+                1,
+                1,
+                300,
+                ProtoEvent::ElShip {
+                    events: 1,
+                    from_clock: 1,
+                    up_to: 1,
+                },
+            ),
+            rec(
+                1,
+                1,
+                900,
+                ProtoEvent::ElAck {
+                    up_to: 1,
+                    batches_retired: 1,
+                    rtt_ns: 600,
+                },
+            ),
+        ];
+        let set = SpanSet::build(&tl);
+        assert!(set.orphans.is_empty());
+        let span = &set.spans[&(0, 1)];
+        assert_eq!(span.wire_latency_ns(), Some(150));
+        assert_eq!(span.el_rtt_ns(), Some(600));
+        assert_eq!(span.deliveries.len(), 1);
+        assert!(set.report(3).contains("orphan edges: none"));
+    }
+
+    #[test]
+    fn gated_send_attributes_gate_wait() {
+        let tl = vec![
+            rec(0, 2, 100, send(1, 2, SendDisposition::Gated)),
+            rec(
+                0,
+                2,
+                110,
+                ProtoEvent::GateDefer {
+                    to: 1,
+                    clock: 2,
+                    queued: 1,
+                },
+            ),
+            rec(
+                0,
+                2,
+                500,
+                ProtoEvent::GateOpen {
+                    released: 1,
+                    waited_ns: 390,
+                },
+            ),
+            rec(1, 1, 700, deliver(0, 2, 1)),
+        ];
+        let set = SpanSet::build(&tl);
+        assert!(set.orphans.is_empty());
+        assert_eq!(set.spans[&(0, 2)].gate_wait_ns(), Some(390));
+    }
+
+    #[test]
+    fn replay_adds_second_leg() {
+        let tl = vec![
+            rec(0, 1, 100, send(1, 1, SendDisposition::Wire)),
+            rec(1, 1, 200, deliver(0, 1, 1)),
+            rec(1, 0, 500, ProtoEvent::Restart1 { rank: 1 }),
+            rec(1, 0, 510, ProtoEvent::RecoveryBegin { restored_clock: 0 }),
+            rec(
+                1,
+                1,
+                600,
+                ProtoEvent::ReplayStep {
+                    from: 0,
+                    sender_clock: 1,
+                    receiver_clock: 1,
+                },
+            ),
+        ];
+        let set = SpanSet::build(&tl);
+        assert!(set.orphans.is_empty());
+        let span = &set.spans[&(0, 1)];
+        assert_eq!(span.deliveries.len(), 2);
+        assert!(span.deliveries[1].replay);
+    }
+
+    #[test]
+    fn sendless_delivery_is_orphan() {
+        let set = SpanSet::build(&[rec(1, 1, 200, deliver(0, 9, 1))]);
+        assert_eq!(set.orphans.len(), 1);
+        assert_eq!(set.orphans[0].kind, OrphanKind::SendlessDelivery);
+        assert_eq!(set.orphans[0].key, (0, 9));
+    }
+
+    #[test]
+    fn undelivered_wire_send_is_orphan() {
+        let set = SpanSet::build(&[rec(0, 1, 100, send(1, 1, SendDisposition::Wire))]);
+        assert_eq!(set.orphans.len(), 1);
+        assert_eq!(set.orphans[0].kind, OrphanKind::UndeliveredSend);
+    }
+
+    #[test]
+    fn suppressed_only_send_is_not_orphan() {
+        // A suppressed re-send whose original delivery is in the dump.
+        let tl = vec![
+            rec(0, 1, 100, send(1, 1, SendDisposition::Wire)),
+            rec(1, 1, 200, deliver(0, 1, 1)),
+            rec(0, 1, 900, send(1, 1, SendDisposition::Suppressed)),
+        ];
+        let set = SpanSet::build(&tl);
+        assert!(set.orphans.is_empty());
+        assert_eq!(set.spans[&(0, 1)].dispositions.len(), 2);
+    }
+
+    #[test]
+    fn stuck_gate_at_finish_is_orphan() {
+        let tl = vec![
+            rec(0, 2, 100, send(1, 2, SendDisposition::Gated)),
+            rec(
+                0,
+                2,
+                110,
+                ProtoEvent::GateDefer {
+                    to: 1,
+                    clock: 2,
+                    queued: 1,
+                },
+            ),
+            rec(0, 2, 500, ProtoEvent::Finish { clock: 2 }),
+        ];
+        let set = SpanSet::build(&tl);
+        assert!(set
+            .orphans
+            .iter()
+            .any(|o| o.kind == OrphanKind::StuckGate && o.key == (0, 2)));
+    }
+
+    #[test]
+    fn crashed_incarnation_gated_send_is_not_stuck() {
+        // The defer dies with the incarnation; the re-executed send
+        // delivers. No orphan.
+        let tl = vec![
+            rec(0, 2, 100, send(1, 2, SendDisposition::Gated)),
+            rec(
+                0,
+                2,
+                110,
+                ProtoEvent::GateDefer {
+                    to: 1,
+                    clock: 2,
+                    queued: 1,
+                },
+            ),
+            rec(0, 0, 300, ProtoEvent::Restart1 { rank: 0 }),
+            rec(0, 0, 310, ProtoEvent::RecoveryBegin { restored_clock: 0 }),
+            rec(0, 2, 400, send(1, 2, SendDisposition::Wire)),
+            rec(1, 1, 600, deliver(0, 2, 1)),
+            rec(0, 2, 700, ProtoEvent::Finish { clock: 2 }),
+        ];
+        let set = SpanSet::build(&tl);
+        assert!(set.orphans.is_empty(), "{:?}", set.orphans);
+    }
+}

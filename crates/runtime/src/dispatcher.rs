@@ -29,7 +29,8 @@ use mvr_ckpt::CheckpointStore;
 use mvr_core::{BatchPolicy, Metrics, NodeId, Payload, Rank};
 use mvr_net::{Fabric, Mailbox, TurbulenceConfig};
 use mvr_obs::{
-    ProtoEvent, ProtocolTimings, Recorder, RecorderConfig, RecorderHub, DISPATCHER_RANK,
+    HealthServer, InvariantMonitor, ProtoEvent, ProtocolTimings, Recorder, RecorderConfig,
+    RecorderHub, Violation, DISPATCHER_RANK,
 };
 use parking_lot::Mutex;
 use std::path::PathBuf;
@@ -80,6 +81,19 @@ pub struct ClusterConfig {
     /// flight-recorder timeline — JSONL plus Chrome-trace/Perfetto
     /// export — into this directory, printing the triage note to stderr.
     pub obs_dump_dir: Option<PathBuf>,
+    /// Run the online invariant monitor: every flight record is checked
+    /// live against the pessimism-gate, watermark-monotonicity and
+    /// exactly-once invariants, and the run halts with
+    /// [`ClusterError::InvariantViolated`] on the first violation.
+    /// Implies flight recording (the monitor consumes the records).
+    /// Off by default — benchmark figures are unaffected.
+    pub monitor: bool,
+    /// Serve a live Prometheus-style text health page on this address
+    /// (e.g. `"127.0.0.1:0"`) for the duration of the run: protocol
+    /// latency histograms, EL counters, restart-budget state and
+    /// per-rank liveness/incarnations, refreshed every dispatcher tick.
+    /// Off by default.
+    pub health_addr: Option<String>,
 }
 
 impl Default for ClusterConfig {
@@ -97,6 +111,8 @@ impl Default for ClusterConfig {
             turbulence: None,
             obs: RecorderConfig::default(),
             obs_dump_dir: None,
+            monitor: false,
+            health_addr: None,
         }
     }
 }
@@ -128,6 +144,12 @@ pub enum ClusterError {
         /// Reincarnations performed for it before giving up.
         restarts: u32,
     },
+    /// The online invariant monitor ([`ClusterConfig::monitor`]) caught
+    /// a protocol-invariant violation; the run halted at the first one.
+    InvariantViolated {
+        /// The first violation, with rank, clocks and detail.
+        violation: Violation,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -145,6 +167,9 @@ impl std::fmt::Display for ClusterError {
                     f,
                     "rank {rank} exhausted its restart budget ({restarts} restarts)"
                 )
+            }
+            ClusterError::InvariantViolated { violation } => {
+                write!(f, "protocol invariant violated: {violation}")
             }
         }
     }
@@ -241,6 +266,10 @@ pub struct Cluster {
     cs_store: Arc<Mutex<CheckpointStore>>,
     /// One unique-event counter per event logger (V2 only).
     el_events_ever: Vec<Arc<std::sync::atomic::AtomicU64>>,
+    /// Online invariant monitor, when enabled (sinks every record).
+    monitor: Option<Arc<InvariantMonitor>>,
+    /// Live health endpoint, when enabled.
+    health: Option<HealthServer>,
 }
 
 impl Cluster {
@@ -258,7 +287,25 @@ impl Cluster {
             obs_cfg.enabled = true;
             obs_cfg.trace_stderr = true;
         }
+        // The monitor consumes live records, so it implies recording.
+        if cfg.monitor {
+            obs_cfg.enabled = true;
+        }
         let hub = RecorderHub::new(obs_cfg);
+        // Attach the monitor before minting ANY recorder: only recorders
+        // minted after `set_sink` feed it.
+        let monitor = if cfg.monitor {
+            let m = InvariantMonitor::new();
+            hub.set_sink(m.clone());
+            Some(m)
+        } else {
+            None
+        };
+        let health = cfg.health_addr.as_deref().and_then(|addr| {
+            HealthServer::bind(addr)
+                .map_err(|e| eprintln!("health endpoint bind({addr}) failed: {e}"))
+                .ok()
+        });
         let disp_rec = hub.recorder(DISPATCHER_RANK);
 
         if let Some(turb) = &cfg.turbulence {
@@ -335,7 +382,15 @@ impl Cluster {
             disp_rec,
             cs_store,
             el_events_ever,
+            monitor,
+            health,
         }
+    }
+
+    /// Address of the live health endpoint, when one is serving
+    /// ([`ClusterConfig::health_addr`]); resolves `:0` bindings.
+    pub fn health_addr(&self) -> Option<std::net::SocketAddr> {
+        self.health.as_ref().map(|h| h.local_addr())
     }
 
     /// The deployment's flight-recorder registry. Harnesses clone this
@@ -456,6 +511,23 @@ impl Cluster {
 
         while finished.iter().any(|f| !f) {
             let now = Instant::now();
+
+            // Halt at the first invariant violation the online monitor
+            // caught since the previous tick.
+            if let Some(v) = self.monitor.as_ref().and_then(|m| m.violation()) {
+                let err = ClusterError::InvariantViolated { violation: v };
+                self.fail_dump(&err.to_string());
+                self.teardown();
+                return Err(err);
+            }
+
+            // Refresh the live health page.
+            if self.health.is_some() {
+                let page = self.render_health(&finished, &attempts, true);
+                if let Some(h) = &self.health {
+                    h.publish(page);
+                }
+            }
 
             // Perform respawns whose deadline has passed.
             for (r, slot) in respawn_at.iter_mut().enumerate() {
@@ -618,11 +690,101 @@ impl Cluster {
             }
         }
         self.drain_dispatcher_mailbox();
+        // A violation recorded after the last poll tick (e.g. by the
+        // final rank's finishing burst) must still fail the run.
+        if let Some(v) = self.monitor.as_ref().and_then(|m| m.violation()) {
+            let err = ClusterError::InvariantViolated { violation: v };
+            self.fail_dump(&err.to_string());
+            self.teardown();
+            return Err(err);
+        }
+        if self.health.is_some() {
+            let page = self.render_health(&finished, &attempts, false);
+            if let Some(h) = &self.health {
+                h.publish(page);
+            }
+        }
         self.teardown();
         Ok(results
             .into_iter()
             .map(|p| p.expect("all finished"))
             .collect())
+    }
+
+    /// Render the Prometheus-style text health page: run state, restart
+    /// budget, per-rank liveness/incarnations, EL counters, monitor
+    /// progress and the merged protocol latency histograms.
+    fn render_health(&self, finished: &[bool], attempts: &[u32], running: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(out, "# mpich-v2 runtime live health");
+        let _ = writeln!(out, "mvr_up {}", if running { 1 } else { 0 });
+        let _ = writeln!(out, "mvr_world {}", self.cfg.world);
+        let _ = writeln!(out, "mvr_restarts_total {}", self.restarts);
+        let _ = writeln!(out, "mvr_service_restarts_total {}", self.service_restarts);
+        let _ = writeln!(
+            out,
+            "mvr_restart_budget_per_rank {}",
+            self.cfg.max_rank_restarts
+        );
+        for (r, (&fin, &att)) in finished.iter().zip(attempts).enumerate() {
+            let alive = self.fabric.is_alive(NodeId::Computing(Rank(r as u32)));
+            let _ = writeln!(
+                out,
+                "mvr_rank_alive{{rank=\"{r}\"}} {}",
+                if alive { 1 } else { 0 }
+            );
+            let _ = writeln!(
+                out,
+                "mvr_rank_finished{{rank=\"{r}\"}} {}",
+                if fin { 1 } else { 0 }
+            );
+            let _ = writeln!(out, "mvr_rank_incarnations{{rank=\"{r}\"}} {att}");
+            let _ = writeln!(
+                out,
+                "mvr_rank_restart_budget_remaining{{rank=\"{r}\"}} {}",
+                self.cfg.max_rank_restarts.saturating_sub(att)
+            );
+        }
+        for (i, c) in self.el_events_ever.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "mvr_el_events_total{{el=\"{i}\"}} {}",
+                c.load(std::sync::atomic::Ordering::Relaxed)
+            );
+        }
+        match &self.monitor {
+            Some(m) => {
+                let _ = writeln!(out, "mvr_monitor_enabled 1");
+                let _ = writeln!(out, "mvr_monitor_records_total {}", m.records_seen());
+                let _ = writeln!(
+                    out,
+                    "mvr_monitor_violations {}",
+                    if m.violation().is_some() { 1 } else { 0 }
+                );
+            }
+            None => {
+                let _ = writeln!(out, "mvr_monitor_enabled 0");
+            }
+        }
+        let mut timings = ProtocolTimings::new();
+        for t in self.final_timings.iter().flatten() {
+            timings.merge(t);
+        }
+        for (name, h) in [
+            ("gate_wait", &timings.gate_wait),
+            ("el_ack_rtt", &timings.el_ack_rtt),
+            ("ckpt_store", &timings.ckpt_store),
+            ("replay", &timings.replay),
+        ] {
+            let s = h.summary();
+            let _ = writeln!(out, "mvr_timing_count{{interval=\"{name}\"}} {}", s.count);
+            let _ = writeln!(out, "mvr_timing_sum_ns{{interval=\"{name}\"}} {}", s.sum);
+            let _ = writeln!(out, "mvr_timing_p50_ns{{interval=\"{name}\"}} {}", s.p50);
+            let _ = writeln!(out, "mvr_timing_p99_ns{{interval=\"{name}\"}} {}", s.p99);
+            let _ = writeln!(out, "mvr_timing_max_ns{{interval=\"{name}\"}} {}", s.max);
+        }
+        out
     }
 
     fn respawn(&mut self, rank: Rank) {

@@ -314,6 +314,21 @@ struct RankSim {
     next_token: u64,
     finish: Option<SimTime>,
     breakdown: RankBreakdown,
+    // --- flight-recorder bookkeeping (records are only written when a
+    // recorder hub is attached; the counters are cheap either way) ---
+    /// Monotone per-rank sender clock; assigned once per (dst, index)
+    /// and reused on re-execution, so spans key stably across crashes.
+    send_clock: u64,
+    /// Per destination: index → assigned sender clock.
+    sent_clocks: Vec<Vec<u64>>,
+    /// Monotone receiver clock (never reset across incarnations).
+    recv_clock: u64,
+    /// Receiver-clock watermarks of in-flight EL batches (FIFO).
+    el_ship_q: VecDeque<u64>,
+    ckpt_seq: u64,
+    ckpt_begin_t: SimTime,
+    replayed_n: u64,
+    replay_start_t: SimTime,
 }
 
 impl RankSim {
@@ -352,6 +367,14 @@ impl RankSim {
             next_token: 0,
             finish: None,
             breakdown: RankBreakdown::default(),
+            send_clock: 0,
+            sent_clocks: vec![Vec::new(); n],
+            recv_clock: 0,
+            el_ship_q: VecDeque::new(),
+            ckpt_seq: 0,
+            ckpt_begin_t: 0,
+            replayed_n: 0,
+            replay_start_t: 0,
         }
     }
 
@@ -417,6 +440,10 @@ pub struct Sim {
     /// [`SimReport::gate_wait`] / [`SimReport::el_ack_rtt`]).
     gate_wait: mvr_obs::LogHistogram,
     el_ack_rtt: mvr_obs::LogHistogram,
+    /// Per-rank flight recorders (empty when no hub is attached).
+    obs: Vec<mvr_obs::Recorder>,
+    /// Pseudo-rank recorder for fault-plan interventions.
+    obs_dispatch: Option<mvr_obs::Recorder>,
     infeasible: bool,
     // Continuous checkpointing
     ckpt_continuous: bool,
@@ -465,11 +492,46 @@ impl Sim {
             faults: 0,
             gate_wait: mvr_obs::LogHistogram::default(),
             el_ack_rtt: mvr_obs::LogHistogram::default(),
+            obs: Vec::new(),
+            obs_dispatch: None,
             infeasible: false,
             ckpt_continuous: false,
             ckpt_rng: 1,
             ckpt_victim: None,
         }
+    }
+
+    /// Mint one recorder per rank (plus a dispatcher pseudo-rank for
+    /// fault-plan interventions) from `hub`. Records are written with
+    /// [`mvr_obs::Recorder::record_at`] at the *virtual* clock, so a
+    /// seeded run dumps a byte-identical timeline on every execution.
+    pub fn attach_recorder(&mut self, hub: &mvr_obs::RecorderHub) {
+        self.obs = (0..self.n).map(|r| hub.recorder(r as u32)).collect();
+        self.obs_dispatch = Some(hub.recorder(mvr_obs::DISPATCHER_RANK));
+    }
+
+    /// Write a record for `r` at the current virtual time.
+    fn rec(&self, r: usize, clock: u64, ev: mvr_obs::ProtoEvent) {
+        if let Some(rc) = self.obs.get(r) {
+            rc.record_at(clock, self.now, ev);
+        }
+    }
+
+    /// As [`Sim::rec`] at an explicit virtual timestamp (used to order
+    /// a `GateOpen` strictly after the `ElAck` that produced it).
+    fn rec_at(&self, r: usize, clock: u64, ts: SimTime, ev: mvr_obs::ProtoEvent) {
+        if let Some(rc) = self.obs.get(r) {
+            rc.record_at(clock, ts, ev);
+        }
+    }
+
+    /// Sender clock assigned to `(u → v, index)`, with a deterministic
+    /// fallback for pre-seeded logs (`simulate_replay` finished ranks).
+    fn sender_clock_of(&self, u: usize, v: usize, index: u64) -> u64 {
+        self.ranks[u].sent_clocks[v]
+            .get(index as usize)
+            .copied()
+            .unwrap_or(index + 1)
     }
 
     fn el_for(&self, rank: usize) -> Nid {
@@ -769,11 +831,24 @@ impl Sim {
                 events,
                 shipped,
             } => {
-                self.el_ack_rtt.record(self.now.saturating_sub(shipped));
-                let r = &mut self.ranks[owner];
-                debug_assert!(r.outstanding_acks as u64 >= events);
-                r.outstanding_acks = r.outstanding_acks.saturating_sub(events as u32);
-                if r.outstanding_acks == 0 {
+                let rtt = self.now.saturating_sub(shipped);
+                self.el_ack_rtt.record(rtt);
+                let up_to = {
+                    let r = &mut self.ranks[owner];
+                    debug_assert!(r.outstanding_acks as u64 >= events);
+                    r.outstanding_acks = r.outstanding_acks.saturating_sub(events as u32);
+                    r.el_ship_q.pop_front().unwrap_or(r.recv_clock)
+                };
+                self.rec(
+                    owner,
+                    up_to,
+                    mvr_obs::ProtoEvent::ElAck {
+                        up_to,
+                        batches_retired: 1,
+                        rtt_ns: rtt,
+                    },
+                );
+                if self.ranks[owner].outstanding_acks == 0 {
                     self.drain_gate(owner);
                 }
             }
@@ -944,6 +1019,37 @@ impl Sim {
         self.ranks[r].consumed_count[src] = idx + 1;
         self.msgs_delivered += 1;
         self.bytes_delivered += bytes;
+        let sender_clock = self.sender_clock_of(src, r, idx);
+        let (rc, replaying) = {
+            let rk = &mut self.ranks[r];
+            rk.recv_clock += 1;
+            if rk.replaying() {
+                rk.replayed_n += 1;
+            }
+            (rk.recv_clock, rk.replaying())
+        };
+        if replaying {
+            self.rec(
+                r,
+                rc,
+                mvr_obs::ProtoEvent::ReplayStep {
+                    from: src as u32,
+                    sender_clock,
+                    receiver_clock: rc,
+                },
+            );
+        } else {
+            self.rec(
+                r,
+                rc,
+                mvr_obs::ProtoEvent::Deliver {
+                    from: src as u32,
+                    sender_clock,
+                    receiver_clock: rc,
+                    replay: false,
+                },
+            );
+        }
         // The delivery is a reception event (V2, live mode only).
         self.log_reception_if_live(r);
     }
@@ -1017,6 +1123,22 @@ impl Sim {
         }
         self.ranks[r].pending_el = 0;
         self.el_requests += 1;
+        // The batch covers the most recent `events` receiver clocks:
+        // live deliveries since the previous ship (replay never pends).
+        // Saturating: CTS receptions count as events but assign no
+        // receiver clock, so the range can be narrower than `events`.
+        let up_to = self.ranks[r].recv_clock;
+        let from_clock = (up_to + 1).saturating_sub(events);
+        self.ranks[r].el_ship_q.push_back(up_to);
+        self.rec(
+            r,
+            up_to,
+            mvr_obs::ProtoEvent::ElShip {
+                events,
+                from_clock,
+                up_to,
+            },
+        );
         let el = self.el_for(r);
         self.start_transfer(
             r,
@@ -1039,7 +1161,25 @@ impl Sim {
 
     fn send_or_gate(&mut self, r: usize, spec: SendSpec) {
         if self.gate_closed(r) {
+            let deferred = match &spec {
+                SendSpec::Payload { dst, index, .. } | SendSpec::RndvData { dst, index, .. } => {
+                    Some((*dst, self.sender_clock_of(r, *dst, *index)))
+                }
+                SendSpec::Cts { .. } => None,
+            };
             self.ranks[r].gated.push_back((spec, self.now));
+            if let Some((dst, clock)) = deferred {
+                let queued = self.ranks[r].gated.len() as u64;
+                self.rec(
+                    r,
+                    clock,
+                    mvr_obs::ProtoEvent::GateDefer {
+                        to: dst as u32,
+                        clock,
+                        queued,
+                    },
+                );
+            }
             // The send now waits on the EL ack of every delivered event:
             // ship any still-pending events or the gate never opens.
             self.flush_el(r);
@@ -1049,12 +1189,32 @@ impl Sim {
     }
 
     fn drain_gate(&mut self, r: usize) {
+        let mut released = 0u64;
+        let mut oldest_wait = 0u64;
         while self.ranks[r].outstanding_acks == 0 {
             let Some((spec, parked)) = self.ranks[r].gated.pop_front() else {
                 break;
             };
-            self.gate_wait.record(self.now.saturating_sub(parked));
+            let waited = self.now.saturating_sub(parked);
+            self.gate_wait.record(waited);
+            oldest_wait = oldest_wait.max(waited);
+            released += 1;
             self.execute_send_spec(r, spec);
+        }
+        if released > 0 {
+            // +1 ns so the opening sorts strictly after the ElAck record
+            // that covered the owed events — the merged timeline then
+            // replays cleanly through the offline invariant monitor.
+            let rc = self.ranks[r].recv_clock;
+            self.rec_at(
+                r,
+                rc,
+                self.now + 1,
+                mvr_obs::ProtoEvent::GateOpen {
+                    released,
+                    waited_ns: oldest_wait,
+                },
+            );
         }
     }
 
@@ -1185,6 +1345,15 @@ impl Sim {
         if rk.sent_sizes[dst].len() <= index as usize {
             rk.sent_sizes[dst].push(bytes);
         }
+        // Assign (or recall, on re-execution) the span-key sender clock.
+        let clock = match rk.sent_clocks[dst].get(index as usize) {
+            Some(&c) => c,
+            None => {
+                rk.send_clock += 1;
+                rk.sent_clocks[dst].push(rk.send_clock);
+                rk.send_clock
+            }
+        };
         // Sender-based copy (V2): charge the copy and grow the log — also
         // during re-execution (the log must be rebuilt, Lemma 1).
         let mut copy = 0;
@@ -1217,6 +1386,23 @@ impl Sim {
                 .get(&index)
                 .map(|a| a.consumable())
                 .unwrap_or(false);
+        let disposition = if suppressed {
+            mvr_obs::SendDisposition::Suppressed
+        } else if self.gate_closed(r) {
+            mvr_obs::SendDisposition::Gated
+        } else {
+            mvr_obs::SendDisposition::Wire
+        };
+        self.rec(
+            r,
+            clock,
+            mvr_obs::ProtoEvent::Send {
+                to: dst as u32,
+                clock,
+                bytes,
+                disposition,
+            },
+        );
         if suppressed {
             if let Some(tk) = token {
                 self.push_tx_done(self.now + copy, r, tk);
@@ -1308,12 +1494,30 @@ impl Sim {
             if let Mode::Replay { until } = self.ranks[r].mode {
                 if self.ranks[r].pc >= until {
                     self.ranks[r].mode = Mode::Live;
+                    let (replayed, replay_ns, rc) = {
+                        let rk = &self.ranks[r];
+                        (
+                            rk.replayed_n,
+                            self.now.saturating_sub(rk.replay_start_t),
+                            rk.recv_clock,
+                        )
+                    };
+                    self.rec(
+                        r,
+                        rc,
+                        mvr_obs::ProtoEvent::ReplayDone {
+                            replayed,
+                            replay_ns,
+                        },
+                    );
                 }
             }
             let pc = self.ranks[r].pc;
             if pc >= self.ranks[r].trace.len() {
                 self.ranks[r].finish = Some(self.now);
                 self.ranks[r].breakdown.finish = self.now;
+                let rc = self.ranks[r].recv_clock;
+                self.rec(r, rc, mvr_obs::ProtoEvent::Finish { clock: rc });
                 return;
             }
             let op = self.ranks[r].trace[pc];
@@ -1474,6 +1678,20 @@ impl Sim {
         self.ranks[r].ckpt_ordered = false;
         self.ranks[r].ckpt_in_progress = true;
         self.ranks[r].snapshot = Some(snap);
+        let (seq, log_bytes, rc) = {
+            let rk = &mut self.ranks[r];
+            rk.ckpt_seq += 1;
+            rk.ckpt_begin_t = self.now;
+            (rk.ckpt_seq, rk.log_bytes, rk.recv_clock)
+        };
+        self.rec(
+            r,
+            rc,
+            mvr_obs::ProtoEvent::CkptBegin {
+                seq,
+                bytes: log_bytes,
+            },
+        );
         // Image transfer competes with application traffic on the tx lane
         // but execution continues (overlapped, §4.6.1).
         self.start_transfer(r, self.cs_nid, image_bytes, 0, TKind::CkptImage { rank: r });
@@ -1485,6 +1703,15 @@ impl Sim {
         }
         self.ranks[r].ckpt_in_progress = false;
         self.checkpoints += 1;
+        let (seq, store_ns, rc) = {
+            let rk = &self.ranks[r];
+            (
+                rk.ckpt_seq,
+                self.now.saturating_sub(rk.ckpt_begin_t),
+                rk.recv_clock,
+            )
+        };
+        self.rec(r, rc, mvr_obs::ProtoEvent::CkptCommit { seq, store_ns });
         // Garbage collection: every sender drops messages r consumed
         // before the checkpoint (§4.6.1).
         let consumed = self.ranks[r]
@@ -1505,6 +1732,17 @@ impl Sim {
                 .sum();
             self.ranks[u].gc_watermark[r] = upto.max(from);
             self.ranks[u].log_bytes = self.ranks[u].log_bytes.saturating_sub(freed);
+            if freed > 0 {
+                let urc = self.ranks[u].recv_clock;
+                self.rec(
+                    u,
+                    urc,
+                    mvr_obs::ProtoEvent::CkptGc {
+                        peer: r as u32,
+                        bytes_freed: freed,
+                    },
+                );
+            }
         }
         if self.ckpt_continuous && self.ckpt_victim == Some(r) {
             self.pick_ckpt_victim();
@@ -1564,12 +1802,23 @@ impl Sim {
             rk.rndv_pending.clear();
             rk.resend_q.clear();
             rk.resend_token = None;
+            rk.el_ship_q.clear();
             rk.reqs.clear();
             rk.incomplete_reqs.clear();
             for s in 0..self.n {
                 rk.arrivals[s].clear();
                 rk.waiters[s].clear();
             }
+        }
+        if let Some(d) = &self.obs_dispatch {
+            d.record_at(
+                0,
+                self.now,
+                mvr_obs::ProtoEvent::ChaosKill {
+                    victim: v as u32,
+                    rekill: false,
+                },
+            );
         }
         self.tx[v].reset(self.now);
         self.rx[v].reset(self.now);
@@ -1617,7 +1866,16 @@ impl Sim {
                 Mode::Replay { until }
             };
             rk.finish = None;
+            rk.replayed_n = 0;
+            rk.replay_start_t = self.now;
         }
+        let rc = self.ranks[v].recv_clock;
+        self.rec(
+            v,
+            rc,
+            mvr_obs::ProtoEvent::RecoveryBegin { restored_clock: rc },
+        );
+        self.rec(v, rc, mvr_obs::ProtoEvent::Restart1 { rank: v as u32 });
         // RESTART1: every live peer re-sends what v's restored state has
         // not received.
         self.enqueue_retransmits_to(v);
@@ -2168,6 +2426,95 @@ mod tests {
         let with = simulate(cfg(Protocol::V2, 2), mk(true)).makespan;
         let without = simulate(cfg(Protocol::V2, 2), mk(false)).makespan;
         assert_eq!(with, without, "unarmed checkpoint sites cost nothing");
+    }
+
+    /// Render the dump exactly as `RecorderHub::dump` writes it.
+    fn canonical_dump(hub: &mvr_obs::RecorderHub) -> String {
+        let timeline = hub.timeline();
+        let mut out = mvr_obs::header_line(mvr_obs::DumpHeader {
+            records: timeline.len() as u64,
+            dropped: hub.dropped(),
+        });
+        for rec in &timeline {
+            out.push_str(&mvr_obs::jsonl_line(rec));
+        }
+        out
+    }
+
+    fn chaotic_v2_dump(seed: u64) -> String {
+        // A faulted, continuously-checkpointing V2 run: exercises Send /
+        // GateDefer / GateOpen / Deliver / ElShip / ElAck / Ckpt* /
+        // ChaosKill / Restart1 / ReplayStep / Finish records.
+        let iters = 6;
+        let mut a = TraceBuilder::new();
+        let mut b = TraceBuilder::new();
+        for _ in 0..iters {
+            a.send(1, 2048);
+            a.recv(1);
+            a.checkpoint_site();
+            b.recv(0);
+            b.send(0, 2048);
+            b.checkpoint_site();
+        }
+        let hub = mvr_obs::RecorderHub::new(mvr_obs::RecorderConfig::enabled());
+        let mut sim = Sim::new(cfg(Protocol::V2, 2), vec![a.build(), b.build()]);
+        sim.attach_recorder(&hub);
+        let plan = FaultPlan {
+            faults: vec![(3_000_000, 1)],
+            continuous_checkpointing: true,
+            seed,
+        };
+        let rep = sim.run_with_plan(&plan);
+        assert!(!rep.infeasible);
+        assert_eq!(rep.faults, 1);
+        canonical_dump(&hub)
+    }
+
+    #[test]
+    fn seeded_run_dumps_are_byte_stable() {
+        let d1 = chaotic_v2_dump(42);
+        let d2 = chaotic_v2_dump(42);
+        assert_eq!(d1, d2, "same seed must render byte-identical dumps");
+        assert!(d1.contains("\"Deliver\""), "dump has deliveries");
+        assert!(d1.contains("\"ElAck\""), "dump has EL acks");
+        assert!(d1.contains("\"ChaosKill\""), "dump has the injected kill");
+        assert!(d1.contains("\"Restart1\""), "dump has the restart");
+    }
+
+    #[test]
+    fn virtual_time_records_survive_the_span_stitcher() {
+        // The merged virtual-time timeline must stitch into spans with
+        // no orphan edges and replay cleanly through the invariant
+        // monitor — the same bar the acceptance pipeline holds real
+        // dumps to.
+        let iters = 4;
+        let mut a = TraceBuilder::new();
+        let mut b = TraceBuilder::new();
+        for _ in 0..iters {
+            a.send(1, 512);
+            a.recv(1);
+            b.recv(0);
+            b.send(0, 512);
+        }
+        let hub = mvr_obs::RecorderHub::new(mvr_obs::RecorderConfig::enabled());
+        let mut sim = Sim::new(cfg(Protocol::V2, 2), vec![a.build(), b.build()]);
+        sim.attach_recorder(&hub);
+        sim.run_with_plan(&FaultPlan::default());
+        let timeline = hub.timeline();
+        let spans = mvr_obs::SpanSet::build(&timeline);
+        assert!(
+            spans.orphans.is_empty(),
+            "orphan edges in sim timeline: {:?}",
+            spans.orphans
+        );
+        assert_eq!(spans.spans.len(), 2 * iters, "one span per message");
+        let monitor = mvr_obs::InvariantMonitor::new();
+        monitor.observe_all(&timeline);
+        assert!(
+            monitor.violation().is_none(),
+            "sim timeline must be invariant-clean: {:?}",
+            monitor.violation()
+        );
     }
 
     #[test]
