@@ -55,7 +55,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mvr_core::{NodeId, Payload};
+    use mvr_core::{ImageBlob, NodeId, Payload};
     use mvr_net::Fabric;
     use std::sync::mpsc;
     use std::thread;
@@ -77,7 +77,10 @@ mod tests {
                     req: CkptRequest::Put {
                         rank: Rank(2),
                         clock: 9,
-                        image: Payload::filled(1, 64),
+                        image: ImageBlob {
+                            meta: Payload::empty(),
+                            segments: vec![Payload::filled(1, 64)],
+                        },
                     },
                 },
             )

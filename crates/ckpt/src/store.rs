@@ -5,7 +5,7 @@
 //! daemons." We keep the latest image per rank (plus a bounded history for
 //! diagnostics) and serve `GetLatest` on restart.
 
-use mvr_core::{CkptReply, CkptRequest, Payload, Rank};
+use mvr_core::{CkptReply, CkptRequest, ImageBlob, Rank};
 use std::collections::BTreeMap;
 
 /// One stored image.
@@ -13,8 +13,9 @@ use std::collections::BTreeMap;
 pub struct StoredImage {
     /// Logical clock of the image.
     pub clock: u64,
-    /// Serialized [`mvr_core::NodeImage`].
-    pub image: Payload,
+    /// The image as a zero-copy segment blob
+    /// ([`mvr_core::NodeImage::encode_blob`]).
+    pub image: ImageBlob,
 }
 
 /// Pure checkpoint-server state.
@@ -47,7 +48,7 @@ impl CheckpointStore {
     }
 
     /// Store an image; newer clocks replace the latest.
-    pub fn put(&mut self, rank: Rank, clock: u64, image: Payload) {
+    pub fn put(&mut self, rank: Rank, clock: u64, image: ImageBlob) {
         self.bytes_written += image.len() as u64;
         let new = StoredImage { clock, image };
         if let Some(old) = self.latest.insert(rank, new.clone()) {
@@ -84,7 +85,7 @@ impl CheckpointStore {
                 },
                 None => CkptReply::Image {
                     clock: None,
-                    image: Payload::empty(),
+                    image: ImageBlob::empty(),
                 },
             },
         }
@@ -109,12 +110,21 @@ impl CheckpointStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mvr_core::Payload;
+
+    /// A dummy blob of exactly `len` bytes, all `fill`.
+    fn blob(fill: u8, len: usize) -> ImageBlob {
+        ImageBlob {
+            meta: Payload::empty(),
+            segments: vec![Payload::filled(fill, len)],
+        }
+    }
 
     #[test]
     fn put_get_roundtrip() {
         let mut s = CheckpointStore::new();
         assert!(s.get_latest(Rank(0)).is_none());
-        s.put(Rank(0), 10, Payload::filled(1, 100));
+        s.put(Rank(0), 10, blob(1, 100));
         let img = s.get_latest(Rank(0)).unwrap();
         assert_eq!(img.clock, 10);
         assert_eq!(img.image.len(), 100);
@@ -123,8 +133,8 @@ mod tests {
     #[test]
     fn newer_clock_replaces_latest() {
         let mut s = CheckpointStore::new();
-        s.put(Rank(0), 10, Payload::filled(1, 100));
-        s.put(Rank(0), 20, Payload::filled(2, 50));
+        s.put(Rank(0), 10, blob(1, 100));
+        s.put(Rank(0), 20, blob(2, 50));
         assert_eq!(s.get_latest(Rank(0)).unwrap().clock, 20);
         assert_eq!(s.bytes_written(), 150);
         assert_eq!(s.bytes_held(), 50);
@@ -133,8 +143,8 @@ mod tests {
     #[test]
     fn stale_put_does_not_regress() {
         let mut s = CheckpointStore::new();
-        s.put(Rank(0), 20, Payload::filled(2, 50));
-        s.put(Rank(0), 10, Payload::filled(1, 100));
+        s.put(Rank(0), 20, blob(2, 50));
+        s.put(Rank(0), 10, blob(1, 100));
         assert_eq!(s.get_latest(Rank(0)).unwrap().clock, 20);
     }
 
@@ -146,7 +156,7 @@ mod tests {
             r,
             CkptReply::Image {
                 clock: None,
-                image: Payload::empty()
+                image: ImageBlob::empty()
             }
         );
     }
@@ -157,7 +167,7 @@ mod tests {
         let r = s.handle(CkptRequest::Put {
             rank: Rank(1),
             clock: 5,
-            image: Payload::filled(0, 10),
+            image: blob(0, 10),
         });
         assert_eq!(
             r,
@@ -173,7 +183,7 @@ mod tests {
     fn history_is_bounded() {
         let mut s = CheckpointStore::with_history(2);
         for c in 1..=5 {
-            s.put(Rank(0), c, Payload::filled(c as u8, 10));
+            s.put(Rank(0), c, blob(c as u8, 10));
         }
         assert_eq!(s.history.get(&Rank(0)).unwrap().len(), 2);
         assert_eq!(s.get_latest(Rank(0)).unwrap().clock, 5);

@@ -10,6 +10,7 @@
 use crate::event::{EventBatch, ReceptionEvent};
 use crate::ids::{MsgId, Rank};
 use crate::payload::Payload;
+use crate::snapshot::ImageBlob;
 use serde::{Deserialize, Serialize};
 
 /// An application message as it travels between two communication daemons.
@@ -113,8 +114,9 @@ pub enum CkptRequest {
         rank: Rank,
         /// Logical clock of the image.
         clock: u64,
-        /// Serialized [`crate::snapshot::NodeImage`].
-        image: Payload,
+        /// The image as a zero-copy segment blob
+        /// ([`crate::snapshot::NodeImage::encode_blob`]).
+        image: ImageBlob,
     },
     /// Fetch the latest stored image for `rank` (on restart).
     GetLatest {
@@ -139,8 +141,8 @@ pub enum CkptReply {
     Image {
         /// The image clock, if any.
         clock: Option<u64>,
-        /// The serialized image (empty when `clock` is `None`).
-        image: Payload,
+        /// The image blob (empty when `clock` is `None`).
+        image: ImageBlob,
     },
 }
 
@@ -265,7 +267,10 @@ mod tests {
         let req = CkptRequest::Put {
             rank: Rank(0),
             clock: 99,
-            image: Payload::filled(7, 128),
+            image: ImageBlob {
+                meta: Payload::filled(7, 16),
+                segments: vec![Payload::filled(1, 128), Payload::filled(2, 64)],
+            },
         };
         let enc = bincode::serialize(&req).unwrap();
         assert_eq!(req, bincode::deserialize::<CkptRequest>(&enc).unwrap());

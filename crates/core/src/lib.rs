@@ -76,4 +76,4 @@ pub use pessimism::PessimismGate;
 pub use recovery::Watermarks;
 pub use replay::{Offer, ProbeVerdict, ReplayError, ReplayPlan};
 pub use sender_log::{SavedMsg, SenderLog};
-pub use snapshot::{EngineSnapshot, NodeImage};
+pub use snapshot::{EngineSnapshot, ImageBlob, NodeImage};

@@ -45,12 +45,16 @@ impl SenderLog {
 
     /// Record an emission. Idempotent for a given `(dst, clock)`: during
     /// re-execution the same deterministic send re-appends the same message
-    /// (Lemma 1) and must not double-count.
+    /// (Lemma 1) and must not double-count. The payload is moved in (a
+    /// `Payload` clone is only a refcount bump, but the move keeps the hot
+    /// path allocation-free even if the representation ever changes).
     pub fn append(&mut self, dst: Rank, sender_clock: u64, payload: Payload) {
-        let entry = self.per_dst.entry(dst).or_default();
-        if entry.insert(sender_clock, payload.clone()).is_none() {
-            self.bytes += payload.len() as u64;
-            self.total_appended += payload.len() as u64;
+        use std::collections::btree_map::Entry;
+        let len = payload.len() as u64;
+        if let Entry::Vacant(slot) = self.per_dst.entry(dst).or_default().entry(sender_clock) {
+            slot.insert(payload);
+            self.bytes += len;
+            self.total_appended += len;
             self.total_msgs += 1;
         }
     }
@@ -118,6 +122,32 @@ impl SenderLog {
             .iter()
             .filter(|(_, m)| !m.is_empty())
             .map(|(&r, _)| r)
+    }
+
+    /// Every held entry in `(dst, clock)` order, payloads *borrowed* —
+    /// the checkpoint path clones these into image segments, which for
+    /// the refcounted [`Payload`] is a pointer bump, not a byte copy.
+    /// Unlike [`SenderLog::resend_after`] this covers clock 0 too.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (Rank, u64, &Payload)> + '_ {
+        self.per_dst
+            .iter()
+            .flat_map(|(&dst, m)| m.iter().map(move |(&clock, p)| (dst, clock, p)))
+    }
+
+    /// Rebuild a log from checkpoint-image segments, restoring the
+    /// cumulative counters that the current entries alone cannot recover
+    /// (collected entries still count toward `*_appended`).
+    pub fn from_entries<I>(entries: I, total_appended: u64, total_msgs: u64) -> Self
+    where
+        I: IntoIterator<Item = (Rank, u64, Payload)>,
+    {
+        let mut log = SenderLog::new();
+        for (dst, clock, payload) in entries {
+            log.append(dst, clock, payload);
+        }
+        log.total_appended = total_appended;
+        log.total_msgs = total_msgs;
+        log
     }
 }
 
@@ -191,6 +221,26 @@ mod tests {
         l.collect(Rank(1), 10);
         let d: Vec<Rank> = l.destinations().collect();
         assert_eq!(d, vec![Rank(2)]);
+    }
+
+    #[test]
+    fn iter_entries_covers_clock_zero_and_rebuild_restores_counters() {
+        let mut l = log_with(&[(1, 0, 10), (1, 5, 20), (2, 3, 7)]);
+        l.collect(Rank(2), 3); // drop one entry; cumulative counters keep it
+        let entries: Vec<(Rank, u64, Payload)> = l
+            .iter_entries()
+            .map(|(d, c, p)| (d, c, p.clone()))
+            .collect();
+        assert_eq!(
+            entries.iter().map(|&(d, c, _)| (d, c)).collect::<Vec<_>>(),
+            vec![(Rank(1), 0), (Rank(1), 5)]
+        );
+        let rebuilt = SenderLog::from_entries(entries, l.bytes_appended(), l.msgs_appended());
+        assert_eq!(rebuilt.bytes_held(), l.bytes_held());
+        assert_eq!(rebuilt.msgs_held(), l.msgs_held());
+        assert_eq!(rebuilt.bytes_appended(), 37);
+        assert_eq!(rebuilt.msgs_appended(), 3);
+        assert!(rebuilt.get(Rank(1), 0).is_some());
     }
 
     #[test]

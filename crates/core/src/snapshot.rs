@@ -44,6 +44,65 @@ pub struct NodeImage {
     pub app_state: Payload,
 }
 
+/// A zero-copy checkpoint image: a small bincode-encoded metadata header
+/// plus the image's byte segments as *refcounted* [`Payload`] handles.
+///
+/// [`NodeImage::encode`] flattens the whole image — sender log included —
+/// through bincode's `serialize_bytes`, memcpy-ing every logged payload
+/// into one fresh buffer. For a log-heavy image (the common case: §4.1
+/// requires the `SAVED` set inside the checkpoint) that copy dominates
+/// checkpoint cost. `ImageBlob` instead ships each logged payload as a
+/// clone of the *same* `Bytes` the sender log already holds: building the
+/// blob allocates only the metadata header, no payload bytes move.
+///
+/// Segment order is fixed: every sender-log payload in `(dst, clock)`
+/// order (the order [`SenderLog::iter_entries`] yields, mirrored by
+/// `log_dirs` in the header), then `mpi_state`, then `app_state`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageBlob {
+    /// Bincode-encoded `ImageMeta` header.
+    pub meta: Payload,
+    /// The image's byte segments (see segment order above).
+    pub segments: Vec<Payload>,
+}
+
+/// The header of an [`ImageBlob`]: everything in a [`NodeImage`] except
+/// the raw payload bytes, plus the directory locating each segment.
+#[derive(Serialize, Deserialize)]
+struct ImageMeta {
+    rank: Rank,
+    world: u32,
+    clock: u64,
+    watermarks: Watermarks,
+    /// Per destination, the sender clocks of its logged payloads, in
+    /// order — pairs with the leading segments one-to-one.
+    log_dirs: Vec<(Rank, Vec<u64>)>,
+    log_total_appended: u64,
+    log_total_msgs: u64,
+}
+
+impl ImageBlob {
+    /// A blob carrying no image (the checkpoint server's "no image
+    /// stored" reply).
+    pub fn empty() -> Self {
+        ImageBlob {
+            meta: Payload::empty(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// Whether this blob carries no image at all.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty() && self.segments.is_empty()
+    }
+
+    /// Total bytes carried (header + all segments) — the store's byte
+    /// accounting and the scheduler's transfer-cost estimate.
+    pub fn len(&self) -> usize {
+        self.meta.len() + self.segments.iter().map(|s| s.len()).sum::<usize>()
+    }
+}
+
 impl NodeImage {
     /// Encode to bytes for shipping to the checkpoint server.
     pub fn encode(&self) -> Payload {
@@ -55,9 +114,76 @@ impl NodeImage {
         bincode::deserialize(bytes)
     }
 
+    /// Encode as an [`ImageBlob`] without copying any payload bytes: the
+    /// sender log's payloads and the state blobs become refcount-bumped
+    /// segments of the same underlying buffers.
+    pub fn encode_blob(&self) -> ImageBlob {
+        let mut log_dirs: Vec<(Rank, Vec<u64>)> = Vec::new();
+        let mut segments = Vec::new();
+        for (dst, clock, payload) in self.engine.saved.iter_entries() {
+            match log_dirs.last_mut() {
+                Some((d, clocks)) if *d == dst => clocks.push(clock),
+                _ => log_dirs.push((dst, vec![clock])),
+            }
+            segments.push(payload.clone());
+        }
+        segments.push(self.mpi_state.clone());
+        segments.push(self.app_state.clone());
+        let meta = ImageMeta {
+            rank: self.engine.rank,
+            world: self.engine.world,
+            clock: self.engine.clock,
+            watermarks: self.engine.watermarks.clone(),
+            log_dirs,
+            log_total_appended: self.engine.saved.bytes_appended(),
+            log_total_msgs: self.engine.saved.msgs_appended(),
+        };
+        ImageBlob {
+            meta: Payload::from_vec(
+                bincode::serialize(&meta).expect("ImageMeta serialization cannot fail"),
+            ),
+            segments,
+        }
+    }
+
+    /// Decode an [`ImageBlob`] back into an image. The rebuilt sender log
+    /// shares the blob's segment buffers — still no byte copies.
+    pub fn decode_blob(blob: &ImageBlob) -> Result<Self, bincode::Error> {
+        let meta: ImageMeta = bincode::deserialize(&blob.meta)?;
+        let n_logged: usize = meta.log_dirs.iter().map(|(_, c)| c.len()).sum();
+        if blob.segments.len() != n_logged + 2 {
+            return Err(<bincode::Error as serde::de::Error>::custom(format!(
+                "truncated image blob: {} segments, expected {}",
+                blob.segments.len(),
+                n_logged + 2
+            )));
+        }
+        let mut segs = blob.segments.iter();
+        let entries = meta.log_dirs.iter().flat_map(|(dst, clocks)| {
+            clocks
+                .iter()
+                .map(|&c| (*dst, c, segs.next().expect("counted above").clone()))
+                .collect::<Vec<_>>()
+        });
+        let saved = SenderLog::from_entries(entries, meta.log_total_appended, meta.log_total_msgs);
+        let mpi_state = segs.next().expect("counted above").clone();
+        let app_state = segs.next().expect("counted above").clone();
+        Ok(NodeImage {
+            engine: EngineSnapshot {
+                rank: meta.rank,
+                world: meta.world,
+                clock: meta.clock,
+                watermarks: meta.watermarks,
+                saved,
+            },
+            mpi_state,
+            app_state,
+        })
+    }
+
     /// Total encoded size in bytes (for scheduler cost estimation).
     pub fn size_bytes(&self) -> usize {
-        self.encode().len()
+        self.encode_blob().len()
     }
 }
 
@@ -90,6 +216,102 @@ mod tests {
         assert_eq!(dec.engine.watermarks.hr(Rank(1)), 3);
         assert!(dec.engine.saved.get(Rank(1), 4).is_some());
         assert_eq!(dec.app_state, Payload::from_vec(vec![4, 5]));
+    }
+
+    #[test]
+    fn blob_roundtrip_preserves_everything() {
+        let mut saved = SenderLog::new();
+        saved.append(Rank(1), 0, Payload::filled(3, 16)); // clock 0 must survive
+        saved.append(Rank(1), 4, Payload::filled(9, 32));
+        saved.append(Rank(2), 7, Payload::filled(5, 8));
+        let mut marks = Watermarks::new();
+        marks.on_delivery_from(Rank(1), 3);
+        marks.on_transmit_to(Rank(1), 4);
+        let img = NodeImage {
+            engine: EngineSnapshot {
+                rank: Rank(0),
+                world: 4,
+                clock: 17,
+                watermarks: marks,
+                saved,
+            },
+            mpi_state: Payload::from_vec(vec![1, 2, 3]),
+            app_state: Payload::from_vec(vec![4, 5]),
+        };
+        let blob = img.encode_blob();
+        assert_eq!(blob.segments.len(), 3 + 2);
+        let dec = NodeImage::decode_blob(&blob).unwrap();
+        assert_eq!(dec.engine.rank, Rank(0));
+        assert_eq!(dec.engine.world, 4);
+        assert_eq!(dec.engine.clock, 17);
+        assert_eq!(dec.engine.watermarks.hr(Rank(1)), 3);
+        assert!(dec.engine.saved.get(Rank(1), 0).is_some());
+        assert!(dec.engine.saved.get(Rank(1), 4).is_some());
+        assert!(dec.engine.saved.get(Rank(2), 7).is_some());
+        assert_eq!(dec.engine.saved.bytes_held(), 56);
+        assert_eq!(dec.engine.saved.msgs_appended(), 3);
+        assert_eq!(dec.mpi_state, img.mpi_state);
+        assert_eq!(dec.app_state, img.app_state);
+    }
+
+    #[test]
+    fn blob_encode_and_decode_share_payload_buffers() {
+        // The whole point: encoding an image and decoding it back never
+        // copies payload bytes — segments alias the source buffers.
+        let big = Payload::filled(1, 4096);
+        let mut saved = SenderLog::new();
+        saved.append(Rank(1), 2, big.clone());
+        let img = NodeImage {
+            engine: EngineSnapshot {
+                rank: Rank(0),
+                world: 2,
+                clock: 5,
+                watermarks: Watermarks::new(),
+                saved,
+            },
+            mpi_state: Payload::filled(2, 512),
+            app_state: Payload::empty(),
+        };
+        let blob = img.encode_blob();
+        assert_eq!(
+            blob.segments[0].as_slice().as_ptr(),
+            big.as_slice().as_ptr()
+        );
+        assert_eq!(
+            blob.segments[1].as_slice().as_ptr(),
+            img.mpi_state.as_slice().as_ptr()
+        );
+        let dec = NodeImage::decode_blob(&blob).unwrap();
+        assert_eq!(
+            dec.engine
+                .saved
+                .get(Rank(1), 2)
+                .unwrap()
+                .as_slice()
+                .as_ptr(),
+            big.as_slice().as_ptr()
+        );
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        let mut saved = SenderLog::new();
+        saved.append(Rank(1), 1, Payload::filled(0, 8));
+        let img = NodeImage {
+            engine: EngineSnapshot {
+                rank: Rank(0),
+                world: 2,
+                clock: 1,
+                watermarks: Watermarks::new(),
+                saved,
+            },
+            mpi_state: Payload::empty(),
+            app_state: Payload::empty(),
+        };
+        let mut blob = img.encode_blob();
+        blob.segments.pop();
+        assert!(NodeImage::decode_blob(&blob).is_err());
+        assert!(NodeImage::decode_blob(&ImageBlob::empty()).is_err());
     }
 
     #[test]

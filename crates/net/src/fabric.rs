@@ -18,23 +18,113 @@
 //! Each (node, incarnation) is identified by an [`Identity`] token handed
 //! out at registration; a restarted node registers again and gets a new
 //! generation, so stale incarnations cannot speak for the new one.
+//!
+//! ## Hot path (since the SPSC-ring rework)
+//!
+//! The registry `RwLock` is off the per-message path. A sender resolves
+//! `(dst, generation)` once, caches a lock-free SPSC lane into the
+//! receiver's mailbox, and every subsequent send is: one atomic
+//! fail-stop check, one killed-receiver check, a wait-free ring write,
+//! and a depth-counter bump. The cache is validated per send against the
+//! receiver's killed flag, so a reincarnated destination forces one
+//! re-resolve and a fresh lane (rings are generation-bound — a stale
+//! lane can never feed a newer incarnation's mailbox).
+//!
+//! Fail-stop is enforced without the registry lock by a per-incarnation
+//! `SendGuard`: senders wrap every lane push in an `in_flight` window
+//! and re-check `alive` inside it; `kill` flips `alive` and then spins
+//! until `in_flight` drains (all four accesses SeqCst — the classic
+//! store-buffer handshake). So once `kill` returns, every send of the
+//! killed incarnation has either fully landed (it was accepted before
+//! the crash) or will fail `SenderDead` — no zombie delivery after the
+//! kill, exactly as the registry-lock version guaranteed.
 
 use crate::chaos::{Turbulence, TurbulenceConfig, TurbulenceStats};
 use crate::error::{RecvError, SendError};
-use crate::mailbox::{MailCore, Mailbox};
+use crate::mailbox::{Lane, MailCore, Mailbox};
+use crate::ring::DEFAULT_RING_CAPACITY;
 use mvr_core::NodeId;
 use parking_lot::RwLock;
 use std::any::Any;
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Per-incarnation fail-stop fence shared between the registry slot and
+/// the incarnation's [`Identity`].
+pub(crate) struct SendGuard {
+    alive: AtomicBool,
+    in_flight: AtomicUsize,
+}
+
+impl SendGuard {
+    fn new() -> Arc<Self> {
+        Arc::new(SendGuard {
+            alive: AtomicBool::new(true),
+            in_flight: AtomicUsize::new(0),
+        })
+    }
+
+    /// Fence this incarnation and wait for in-flight pushes to land.
+    fn kill_and_quiesce(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+        let mut spins = 0u32;
+        while self.in_flight.load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// One cached route: a type-erased `Lane<M>` bound to the destination
+/// incarnation that was live at resolve time.
+struct Route {
+    lane: Box<dyn Any + Send>,
+}
+
+/// Cached view of the installed turbulence layer, refreshed by epoch.
+struct TurbCache {
+    epoch: u64,
+    layer: Option<Arc<Turbulence>>,
+}
+
 /// The sending credential of one node incarnation.
-#[derive(Clone)]
+///
+/// Cloning yields an independent handle with an empty route cache: each
+/// handle owns its SPSC lanes (single-producer contract), so per-sender
+/// FIFO is guaranteed per handle — which matches the paper's model of
+/// one channel per daemon socket.
 pub struct Identity {
     /// The node this incarnation embodies.
     pub node: NodeId,
     generation: u64,
     fabric: Fabric,
+    guard: Arc<SendGuard>,
+    routes: RefCell<HashMap<NodeId, Route>>,
+    turb: RefCell<TurbCache>,
+}
+
+impl Clone for Identity {
+    fn clone(&self) -> Self {
+        Identity {
+            node: self.node,
+            generation: self.generation,
+            fabric: self.fabric.clone(),
+            guard: self.guard.clone(),
+            // Fresh caches: lanes are single-producer and must not be
+            // shared across handles.
+            routes: RefCell::new(HashMap::new()),
+            turb: RefCell::new(TurbCache {
+                epoch: u64::MAX,
+                layer: None,
+            }),
+        }
+    }
 }
 
 impl std::fmt::Debug for Identity {
@@ -46,12 +136,22 @@ impl std::fmt::Debug for Identity {
 impl Identity {
     /// Send `msg` to `to`'s current incarnation.
     pub fn send<M: Send + 'static>(&self, to: NodeId, msg: M) -> Result<(), SendError> {
+        self.fabric.send_checked(self, to, msg).map_err(|(e, _m)| e)
+    }
+
+    /// Like [`send`](Self::send), but hands the message back on failure
+    /// so retry loops need no per-attempt clone.
+    pub fn send_reclaim<M: Send + 'static>(
+        &self,
+        to: NodeId,
+        msg: M,
+    ) -> Result<(), (SendError, M)> {
         self.fabric.send_checked(self, to, msg)
     }
 
-    /// Whether this incarnation is still the live one.
+    /// Whether this incarnation is still the live one. Lock-free.
     pub fn is_live(&self) -> bool {
-        self.fabric.generation_of(self.node) == Some(self.generation)
+        self.guard.alive.load(Ordering::SeqCst)
     }
 }
 
@@ -62,6 +162,8 @@ struct Slot {
     core: Box<dyn Any + Send + Sync>,
     /// Type-erased kill hook (closes + empties the mailbox).
     kill: Box<dyn Fn() + Send + Sync>,
+    /// Fail-stop fence of this incarnation's *outbound* traffic.
+    guard: Arc<SendGuard>,
 }
 
 #[derive(Default)]
@@ -76,6 +178,10 @@ pub struct Fabric {
     reg: Arc<RwLock<Registry>>,
     /// The installed chaos layer, if any (see [`crate::chaos`]).
     turb: Arc<RwLock<Option<Arc<Turbulence>>>>,
+    /// Bumped on every install/clear so senders can cache the layer.
+    turb_epoch: Arc<AtomicU64>,
+    /// Fast-path capacity of newly created SPSC lanes.
+    ring_capacity: Arc<AtomicUsize>,
 }
 
 impl Default for Fabric {
@@ -90,18 +196,29 @@ impl Fabric {
         Fabric {
             reg: Arc::new(RwLock::new(Registry::default())),
             turb: Arc::new(RwLock::new(None)),
+            turb_epoch: Arc::new(AtomicU64::new(0)),
+            ring_capacity: Arc::new(AtomicUsize::new(DEFAULT_RING_CAPACITY)),
         }
+    }
+
+    /// Set the fast-path capacity of SPSC lanes created from now on
+    /// (rounded up to a power of two). Tiny capacities force the spill
+    /// lane constantly — used by the chaos suite to storm backpressure.
+    pub fn set_ring_capacity(&self, capacity: usize) {
+        self.ring_capacity.store(capacity.max(2), Ordering::SeqCst);
     }
 
     /// Install a seeded chaos layer on the send/deliver path. Replaces any
     /// previously installed one (counters restart from zero).
     pub fn install_turbulence(&self, cfg: TurbulenceConfig) {
         *self.turb.write() = Some(Arc::new(Turbulence::new(cfg)));
+        self.turb_epoch.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Remove the chaos layer.
     pub fn clear_turbulence(&self) {
         *self.turb.write() = None;
+        self.turb_epoch.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Injection counters of the installed chaos layer, if any.
@@ -111,6 +228,18 @@ impl Fabric {
 
     fn turbulence(&self) -> Option<Arc<Turbulence>> {
         self.turb.read().clone()
+    }
+
+    /// The turbulence layer as seen through `id`'s epoch cache: one
+    /// atomic load per send while the layer is unchanged.
+    fn turbulence_cached(&self, id: &Identity) -> Option<Arc<Turbulence>> {
+        let epoch = self.turb_epoch.load(Ordering::SeqCst);
+        let mut cache = id.turb.borrow_mut();
+        if cache.epoch != epoch {
+            cache.layer = self.turbulence();
+            cache.epoch = epoch;
+        }
+        cache.layer.clone()
     }
 
     /// Execute scheduled (elapsed-time) kills that have come due. Called
@@ -127,8 +256,9 @@ impl Fabric {
     /// Panics if the node is currently registered and alive — a node must
     /// be [`kill`](Self::kill)ed before being reincarnated.
     pub fn register<M: Send + 'static>(&self, node: NodeId) -> (Mailbox<M>, Identity) {
-        let core = MailCore::<M>::new();
-        let mailbox = Mailbox { core: core.clone() };
+        let core = MailCore::<M>::new(self.ring_capacity.load(Ordering::SeqCst));
+        let mailbox = Mailbox::new(core.clone());
+        let guard = SendGuard::new();
         let mut reg = self.reg.write();
         if let Some(slot) = reg.slots.get(&node) {
             assert!(!slot.alive, "node {node} is already registered and alive");
@@ -143,6 +273,7 @@ impl Fabric {
                 alive: true,
                 core: Box::new(core),
                 kill: Box::new(move || kill_core.kill()),
+                guard: guard.clone(),
             },
         );
         drop(reg);
@@ -152,6 +283,12 @@ impl Fabric {
                 node,
                 generation,
                 fabric: self.clone(),
+                guard,
+                routes: RefCell::new(HashMap::new()),
+                turb: RefCell::new(TurbCache {
+                    epoch: u64::MAX,
+                    layer: None,
+                }),
             },
         )
     }
@@ -168,16 +305,40 @@ impl Fabric {
     /// "daemon dead" as "the whole machine crashed" — a window where the
     /// daemon is dead but its co-located process still registers as alive
     /// would let a respawn race the second half of the kill.
+    ///
+    /// Returns only after every member's outbound traffic has quiesced:
+    /// a sender mid-push when the kill struck has either completed (the
+    /// message counts as delivered before the crash) or failed
+    /// `SenderDead` — nothing of the killed incarnations lands later.
     pub fn kill_group(&self, nodes: &[NodeId]) {
-        let mut reg = self.reg.write();
-        for node in nodes {
-            if let Some(slot) = reg.slots.get_mut(node) {
-                if slot.alive {
-                    slot.alive = false;
-                    (slot.kill)();
+        let mut guards = Vec::with_capacity(nodes.len());
+        {
+            let mut reg = self.reg.write();
+            for node in nodes {
+                if let Some(slot) = reg.slots.get_mut(node) {
+                    if slot.alive {
+                        slot.alive = false;
+                        slot.guard.alive.store(false, Ordering::SeqCst);
+                        (slot.kill)();
+                        guards.push(slot.guard.clone());
+                    }
                 }
             }
         }
+        // Quiesce outside the registry lock: in-flight pushes never take
+        // it, so this cannot deadlock, and readers are not held up.
+        for guard in guards {
+            guard.kill_and_quiesce();
+        }
+    }
+
+    /// Generation of `node`'s live incarnation, if any (diagnostic).
+    pub fn generation_of(&self, node: NodeId) -> Option<u64> {
+        let reg = self.reg.read();
+        reg.slots
+            .get(&node)
+            .filter(|s| s.alive)
+            .map(|s| s.generation)
     }
 
     /// Whether `node` currently has a live incarnation.
@@ -190,89 +351,21 @@ impl Fabric {
             .unwrap_or(false)
     }
 
-    fn generation_of(&self, node: NodeId) -> Option<u64> {
-        let reg = self.reg.read();
-        reg.slots
-            .get(&node)
-            .filter(|s| s.alive)
-            .map(|s| s.generation)
-    }
-
     /// Send from an anonymous, always-live origin (used by the dispatcher,
-    /// which is reliable by assumption).
+    /// which is reliable by assumption). Goes through the mailbox's
+    /// multi-producer control lane.
     pub fn send_from_reliable<M: Send + 'static>(
         &self,
         to: NodeId,
         msg: M,
     ) -> Result<(), SendError> {
-        self.deliver(to, msg)
-    }
-
-    fn send_checked<M: Send + 'static>(
-        &self,
-        from: &Identity,
-        to: NodeId,
-        msg: M,
-    ) -> Result<(), SendError> {
-        // Fast fail-stop check before the (possibly sleeping) chaos layer;
-        // the authoritative check happens atomically with delivery below.
-        if !from.is_live() {
-            return Err(SendError::SenderDead);
-        }
-        if let Some(t) = self.turbulence() {
-            self.fire_due_scheduled(&t);
-            let verdict = t.on_send(from.node, to);
-            if !verdict.delay.is_zero() {
-                // Sleep on the sending thread, before enqueue: per-sender
-                // FIFO is preserved, only interleavings are perturbed.
-                std::thread::sleep(verdict.delay);
-            }
-            if let Some(group) = verdict.kill_sender_group {
-                self.kill_group(&group);
-                return Err(SendError::SenderDead);
-            }
-        }
-        self.deliver_from(Some(from), to, msg)
-    }
-
-    fn deliver<M: Send + 'static>(&self, to: NodeId, msg: M) -> Result<(), SendError> {
-        self.deliver_from(None, to, msg)
-    }
-
-    fn deliver_from<M: Send + 'static>(
-        &self,
-        from: Option<&Identity>,
-        to: NodeId,
-        msg: M,
-    ) -> Result<(), SendError> {
         if let Some(t) = self.turbulence() {
             if let Some(group) = t.on_deliver(to) {
-                // The receiver crashes *while receiving* this message: the
-                // message is lost whole (atomicity) and the node fails stop.
                 self.kill_group(&group);
                 return Err(SendError::Disconnected(to));
             }
         }
         let reg = self.reg.read();
-        // Fail-stop, checked atomically with delivery: `kill_group` takes
-        // the registry write lock, so a kill either precedes this send
-        // entirely (we fail `SenderDead` here) or follows a delivery that
-        // completed while the sender was still live. Checking liveness
-        // *outside* this lock left a preemption window in which a killed
-        // incarnation's in-flight send could land in a reincarnated peer's
-        // fresh mailbox — e.g. a zombie daemon's reply arriving in its own
-        // restarted process's inbox ahead of the `InitOk`.
-        if let Some(f) = from {
-            let live = reg
-                .slots
-                .get(&f.node)
-                .filter(|s| s.alive)
-                .map(|s| s.generation)
-                == Some(f.generation);
-            if !live {
-                return Err(SendError::SenderDead);
-            }
-        }
         let slot = reg
             .slots
             .get(&to)
@@ -282,11 +375,122 @@ impl Fabric {
             .core
             .downcast_ref::<Arc<MailCore<M>>>()
             .unwrap_or_else(|| panic!("node {to} registered with a different message type"));
-        if core.push(msg) {
+        if core.push_control(msg) {
             Ok(())
         } else {
             Err(SendError::Disconnected(to))
         }
+    }
+
+    fn send_checked<M: Send + 'static>(
+        &self,
+        from: &Identity,
+        to: NodeId,
+        msg: M,
+    ) -> Result<(), (SendError, M)> {
+        // Fast fail-stop check before the (possibly sleeping) chaos layer;
+        // the authoritative check happens inside the in_flight window.
+        if !from.is_live() {
+            return Err((SendError::SenderDead, msg));
+        }
+        if let Some(t) = self.turbulence_cached(from) {
+            self.fire_due_scheduled(&t);
+            let verdict = t.on_send(from.node, to);
+            if !verdict.delay.is_zero() {
+                // Sleep on the sending thread, before enqueue: per-sender
+                // FIFO is preserved, only interleavings are perturbed.
+                std::thread::sleep(verdict.delay);
+            }
+            if let Some(group) = verdict.kill_sender_group {
+                self.kill_group(&group);
+                return Err((SendError::SenderDead, msg));
+            }
+            if let Some(group) = t.on_deliver(to) {
+                // The receiver crashes *while receiving* this message: the
+                // message is lost whole (atomicity) and the node fails stop.
+                self.kill_group(&group);
+                return Err((SendError::Disconnected(to), msg));
+            }
+        }
+        // Cached lane first; on miss or a dead lane, resolve through the
+        // registry once and retry. (The cache borrow must end before
+        // `resolve_and_push` re-borrows the cache mutably.)
+        let mut msg = msg;
+        {
+            let routes = from.routes.borrow();
+            if let Some(route) = routes.get(&to) {
+                let lane = route.lane.downcast_ref::<Lane<M>>().unwrap_or_else(|| {
+                    panic!("node {to} registered with a different message type")
+                });
+                if !lane.is_closed() {
+                    match self.guarded_push(from, to, lane, msg) {
+                        Ok(()) => return Ok(()),
+                        Err((SendError::Disconnected(_), m)) => {
+                            // Receiver died under us; re-resolve (it may
+                            // already have a live reincarnation).
+                            msg = m;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                } // stale lane: fall through to re-resolve
+            }
+        }
+        self.resolve_and_push(from, to, msg)
+    }
+
+    /// Slow path: look the destination up in the registry, attach a
+    /// fresh SPSC lane to its current incarnation, cache it, push.
+    fn resolve_and_push<M: Send + 'static>(
+        &self,
+        from: &Identity,
+        to: NodeId,
+        msg: M,
+    ) -> Result<(), (SendError, M)> {
+        let lane = {
+            let reg = self.reg.read();
+            let slot = match reg.slots.get(&to).filter(|s| s.alive) {
+                Some(s) => s,
+                None => {
+                    from.routes.borrow_mut().remove(&to);
+                    return Err((SendError::Disconnected(to), msg));
+                }
+            };
+            let core = slot
+                .core
+                .downcast_ref::<Arc<MailCore<M>>>()
+                .unwrap_or_else(|| panic!("node {to} registered with a different message type"));
+            Lane::attach(core)
+        };
+        let res = self.guarded_push(from, to, &lane, msg);
+        from.routes.borrow_mut().insert(
+            to,
+            Route {
+                lane: Box::new(lane),
+            },
+        );
+        res
+    }
+
+    /// Push inside the sender's fail-stop window (see module docs).
+    fn guarded_push<M: Send + 'static>(
+        &self,
+        from: &Identity,
+        to: NodeId,
+        lane: &Lane<M>,
+        msg: M,
+    ) -> Result<(), (SendError, M)> {
+        let g = &from.guard;
+        g.in_flight.fetch_add(1, Ordering::SeqCst);
+        let res = if !g.alive.load(Ordering::SeqCst) {
+            Err((SendError::SenderDead, msg))
+        } else {
+            match lane.push(msg) {
+                Ok(()) => Ok(()),
+                Err(m) => Err((SendError::Disconnected(to), m)),
+            }
+        };
+        g.in_flight.fetch_sub(1, Ordering::SeqCst);
+        res
     }
 
     /// Blocking receive helper that maps a kill into `RecvError::Killed`.
@@ -324,6 +528,16 @@ mod tests {
     }
 
     #[test]
+    fn send_reclaim_hands_the_message_back() {
+        let f = Fabric::new();
+        let (_mb, id) = f.register::<String>(cn(0));
+        let msg = String::from("precious");
+        let (err, back) = id.send_reclaim(cn(9), msg).unwrap_err();
+        assert_eq!(err, SendError::Disconnected(cn(9)));
+        assert_eq!(back, "precious");
+    }
+
+    #[test]
     fn kill_disconnects_both_directions() {
         let f = Fabric::new();
         let (mb1, id1) = f.register::<u32>(cn(1));
@@ -344,14 +558,37 @@ mod tests {
         let f = Fabric::new();
         let (_mb, old_id) = f.register::<u32>(cn(1));
         let (_mb0, id0) = f.register::<u32>(cn(0));
+        // Warm id0's route cache toward the first incarnation.
+        id0.send(cn(1), 7u32).unwrap();
         f.kill(cn(1));
         let (mb2, new_id) = f.register::<u32>(cn(1));
         assert!(new_id.is_live());
         assert!(!old_id.is_live());
+        // The cached (now dead) lane is replaced transparently.
         id0.send(cn(1), 42u32).unwrap();
         assert_eq!(mb2.recv().unwrap(), 42);
         // The zombie still cannot speak.
         assert_eq!(old_id.send(cn(0), 1u32), Err(SendError::SenderDead));
+    }
+
+    /// A message parked in a stale incarnation's lane must never surface
+    /// in the reincarnation's mailbox.
+    #[test]
+    fn stale_incarnation_lane_never_feeds_the_reincarnation() {
+        let f = Fabric::new();
+        let (mb_old, _id1) = f.register::<u32>(cn(1));
+        let (_mb0, id0) = f.register::<u32>(cn(0));
+        // Queue into the first incarnation's lane, undelivered.
+        id0.send(cn(1), 111u32).unwrap();
+        let old_gen = f.generation_of(cn(1)).unwrap();
+        f.kill(cn(1));
+        drop(mb_old);
+        let (mb_new, _id1b) = f.register::<u32>(cn(1));
+        assert!(f.generation_of(cn(1)).unwrap() > old_gen);
+        id0.send(cn(1), 222u32).unwrap();
+        // Only the post-reincarnation message arrives.
+        assert_eq!(mb_new.recv().unwrap(), 222);
+        assert_eq!(mb_new.try_recv().unwrap(), None);
     }
 
     #[test]
@@ -390,6 +627,40 @@ mod tests {
         assert_eq!(count, 2000);
     }
 
+    /// Same FIFO property with a tiny ring capacity, so every sender
+    /// wraps its ring and overflows into the spill lane constantly.
+    #[test]
+    fn per_sender_fifo_across_fabric_under_backpressure() {
+        let f = Fabric::new();
+        f.set_ring_capacity(2);
+        let (mb, _id1) = f.register::<(u32, u32)>(cn(1));
+        let mut handles = Vec::new();
+        for s in 0..4u32 {
+            let (_mb_s, id) = f.register::<(u32, u32)>(cn(10 + s));
+            handles.push(thread::spawn(move || {
+                for i in 0..2000u32 {
+                    id.send(cn(1), (s, i)).unwrap();
+                }
+            }));
+        }
+        let mut last = [None::<u32>; 4];
+        let mut count = 0;
+        let mut buf = Vec::with_capacity(64);
+        while count < 8000 {
+            buf.clear();
+            count += mb.recv_many(&mut buf, 64).unwrap();
+            for &(s, i) in &buf {
+                if let Some(prev) = last[s as usize] {
+                    assert_eq!(prev + 1, i, "per-sender FIFO under backpressure");
+                }
+                last[s as usize] = Some(i);
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
     #[test]
     fn dispatcher_can_always_send() {
         let f = Fabric::new();
@@ -400,9 +671,10 @@ mod tests {
 
     /// Once `kill` returns, nothing more from the killed incarnation may
     /// arrive anywhere — even from a sender thread that was mid-send when
-    /// the kill struck. Delivery checks liveness under the same registry
-    /// lock the kill takes, so there is no window in which a zombie's
-    /// in-flight send can land in a reincarnated peer's fresh mailbox.
+    /// the kill struck. The sender wraps every lane push in a SeqCst
+    /// `in_flight` window and `kill` quiesces it, so there is no window
+    /// in which a zombie's in-flight send can land in a reincarnated
+    /// peer's fresh mailbox.
     #[test]
     fn no_delivery_from_killed_incarnation_after_kill_returns() {
         use std::sync::atomic::{AtomicBool, Ordering};
@@ -443,5 +715,19 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         f2.kill(cn(0));
         assert_eq!(h.join().unwrap(), Err(RecvError::Killed));
+    }
+
+    #[test]
+    fn cloned_identity_gets_its_own_lanes_and_still_delivers() {
+        let f = Fabric::new();
+        let (mb, _id1) = f.register::<u32>(cn(1));
+        let (_mb0, id0) = f.register::<u32>(cn(0));
+        id0.send(cn(1), 1u32).unwrap();
+        let id0b = id0.clone();
+        id0b.send(cn(1), 2u32).unwrap();
+        id0.send(cn(1), 3u32).unwrap();
+        let mut got = [mb.recv().unwrap(), mb.recv().unwrap(), mb.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, [1, 2, 3]);
     }
 }

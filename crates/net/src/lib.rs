@@ -22,6 +22,7 @@ pub mod chaos;
 pub mod error;
 pub mod fabric;
 pub mod mailbox;
+pub(crate) mod ring;
 
 pub use chaos::{fail_stop_group, CountTrigger, ScheduledKill, TurbulenceConfig, TurbulenceStats};
 pub use error::{RecvError, SendError};

@@ -94,6 +94,11 @@ pub struct ClusterConfig {
     /// per-rank liveness/incarnations, refreshed every dispatcher tick.
     /// Off by default.
     pub health_addr: Option<String>,
+    /// Fast-path capacity (messages) of each SPSC fabric ring, applied
+    /// to every mailbox registered after launch. `None` keeps the fabric
+    /// default (256). Tiny capacities force the overflow spill lane —
+    /// used by the backpressure chaos tests.
+    pub ring_capacity: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -113,6 +118,7 @@ impl Default for ClusterConfig {
             obs_dump_dir: None,
             monitor: false,
             health_addr: None,
+            ring_capacity: None,
         }
     }
 }
@@ -308,6 +314,9 @@ impl Cluster {
         });
         let disp_rec = hub.recorder(DISPATCHER_RANK);
 
+        if let Some(cap) = cfg.ring_capacity {
+            fabric.set_ring_capacity(cap);
+        }
         if let Some(turb) = &cfg.turbulence {
             fabric.install_turbulence(turb.clone());
         }
@@ -722,6 +731,8 @@ impl Cluster {
         let _ = writeln!(out, "mvr_world {}", self.cfg.world);
         let _ = writeln!(out, "mvr_restarts_total {}", self.restarts);
         let _ = writeln!(out, "mvr_service_restarts_total {}", self.service_restarts);
+        // Lock-free (atomic depth counter): safe to sample every tick.
+        let _ = writeln!(out, "mvr_dispatcher_mailbox_depth {}", self.disp_mb.len());
         let _ = writeln!(
             out,
             "mvr_restart_budget_per_rank {}",

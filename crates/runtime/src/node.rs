@@ -29,12 +29,17 @@ use std::time::{Duration, Instant};
 /// with an empty store and would never answer the stale query).
 const CS_FETCH_TIMEOUT: Duration = Duration::from_millis(250);
 
+/// Upper bound on one batched drain of the daemon mailbox. Bounds the
+/// latency of the post-drain event flush during a sustained flood; an
+/// oversize backlog simply takes another (already-woken) pass.
+const DAEMON_DRAIN_BATCH: usize = 128;
+
 /// Send to a reliable service, retrying transient `Disconnected` errors
 /// with exponential backoff. A dead service being relaunched by the
 /// dispatcher (§4.7) looks, briefly, exactly like a broken deployment;
 /// the retries (≈50 ms total) bridge the relaunch gap. `SenderDead`
 /// (we ourselves were killed) is never retried.
-fn send_service_retrying<M: Clone + Send + 'static>(
+fn send_service_retrying<M: Send + 'static>(
     identity: &Identity,
     to: NodeId,
     msg: M,
@@ -42,12 +47,18 @@ fn send_service_retrying<M: Clone + Send + 'static>(
 ) -> Result<(), SendError> {
     let mut delay = Duration::from_micros(250);
     let mut last = SendError::Disconnected(to);
+    // `send_reclaim` hands the message back on failure, so retries move
+    // the same value instead of cloning per attempt (a checkpoint Put
+    // carries the whole image blob — cloning it three times was real
+    // work even with refcounted segments).
+    let mut msg = msg;
     for i in 0..attempts {
-        match identity.send(to, msg.clone()) {
+        match identity.send_reclaim(to, msg) {
             Ok(()) => return Ok(()),
-            Err(SendError::SenderDead) => return Err(SendError::SenderDead),
-            Err(e @ SendError::Disconnected(_)) => {
+            Err((SendError::SenderDead, _)) => return Err(SendError::SenderDead),
+            Err((e @ SendError::Disconnected(_), m)) => {
                 last = e;
+                msg = m;
                 if i + 1 < attempts {
                     std::thread::sleep(delay);
                     delay = (delay * 2).min(Duration::from_millis(20));
@@ -336,7 +347,7 @@ fn daemon_main(
                         Ok(DaemonMsg::Ckpt(CkptReply::Image {
                             clock: Some(_),
                             image,
-                        })) => match NodeImage::decode(image.as_slice()) {
+                        })) => match NodeImage::decode_blob(&image) {
                             Ok(img) => break Some(img),
                             Err(_) => break None,
                         },
@@ -416,19 +427,18 @@ fn daemon_main(
     }
 
     // ---- main select loop ----
+    // `recv_many` blocks for the first message, then drains the backlog
+    // in one batched pass — one wakeup amortizes across a burst. Under a
+    // lazy policy the events of a burst of deliveries ship as one batch,
+    // and an idle daemon never sits on unlogged events (the latency
+    // bound of the lazy-flush protocol — see DESIGN.md).
+    let mut batch: Vec<DaemonMsg> = Vec::with_capacity(DAEMON_DRAIN_BATCH);
     loop {
-        let msg = mailbox.recv().map_err(|_| DaemonEnd::Killed)?;
-        d.handle(msg)?;
-        // Burst-drain the backlog, then flush: under a lazy policy the
-        // events of a burst of deliveries ship as one batch, and an idle
-        // daemon never sits on unlogged events (the latency bound of the
-        // lazy-flush protocol — see DESIGN.md).
-        loop {
-            match mailbox.try_recv() {
-                Ok(Some(msg)) => d.handle(msg)?,
-                Ok(None) => break,
-                Err(_) => return Err(DaemonEnd::Killed),
-            }
+        mailbox
+            .recv_many(&mut batch, DAEMON_DRAIN_BATCH)
+            .map_err(|_| DaemonEnd::Killed)?;
+        for msg in batch.drain(..) {
+            d.handle(msg)?;
         }
         if d.engine.pending_event_count() > 0 {
             d.engine
@@ -556,7 +566,9 @@ impl Daemon {
                         req: CkptRequest::Put {
                             rank: self.rank,
                             clock,
-                            image: image.encode(),
+                            // Zero-copy: segments alias the sender log's
+                            // own buffers; nothing is serialized here.
+                            image: image.encode_blob(),
                         },
                     },
                     3,

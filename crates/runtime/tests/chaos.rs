@@ -390,6 +390,40 @@ fn seeded_chaos_storm_completes_with_correct_results() {
 }
 
 #[test]
+fn chaos_storm_under_ring_backpressure() {
+    // Storm with the fabric's SPSC rings shrunk to 2 slots: bursts
+    // overflow the ring fast path into the spill lane constantly, so
+    // kills land while lanes hold spilled messages and producers race the
+    // drain. Kill-empties-channels (§4.1) and per-sender FIFO must hold
+    // across the ring→spill→ring seam; the closed-form ring accumulator
+    // proves exactly-once, correctly-ordered delivery end to end.
+    let (n, iters) = (4, 300);
+    let chaos = ChaosConfig {
+        seed: 0xBACC,
+        kills: 4,
+        max_burst: 2,
+        rekill_pct: 30,
+        ..Default::default()
+    };
+    let cluster = Cluster::launch(
+        ClusterConfig {
+            world: n,
+            checkpointing: ckpt_cfg(),
+            ring_capacity: Some(2),
+            chaos: Some(chaos.clone()),
+            turbulence: Some(TurbulenceConfig::delays(0xBACC, 60)),
+            ..Default::default()
+        },
+        ring_app(iters),
+    );
+    let report = cluster
+        .wait_report(TIMEOUT)
+        .unwrap_or_else(|e| panic!("backpressure storm seed {:#x} failed: {e}", chaos.seed));
+    check_ring_results(&report.results, n, iters);
+    assert!(report.restarts >= 1, "the storm must have killed someone");
+}
+
+#[test]
 fn chaos_storm_with_turbulence_delays() {
     // Storm + seeded link jitter together: the harshest standard setup of
     // the soak harness, pinned here at small scale as a regression.
