@@ -119,6 +119,7 @@ fn main() {
                 max_burst: 2,
                 cs_kill_pct: 0,
                 rekill_pct: 80,
+                ..Default::default()
             }),
             turbulence: Some(TurbulenceConfig::delays(seed ^ 0x7A17, 50)),
             obs: RecorderConfig::enabled(),

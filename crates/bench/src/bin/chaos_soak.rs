@@ -10,7 +10,7 @@
 //! a pure function of the printed seed, so any failure is reproducible
 //! by rerunning with that seed.
 //!
-//! `--smoke` runs the CI subset; the full sweep is 24 scenarios.
+//! `--smoke` runs the CI subset; the full sweep is 30 scenarios.
 //! Output: a text table plus `results/BENCH_chaos.json`.
 
 use mvr_bench::{print_table, write_json};
@@ -235,7 +235,16 @@ struct Storm {
     max_burst: u32,
     rekill_pct: u8,
     cs_kill_pct: u8,
+    /// Chance each kill event also SIGKILLs an event-logger replica.
+    /// Non-zero storms run on a sharded, replicated EL deployment
+    /// (`EL_SHARDS` x `EL_REPLICAS`) so quorum failover is what masks
+    /// the loss.
+    el_kill_pct: u8,
 }
+
+/// EL topology for storms that kill replicas (quorum of 2 per shard).
+const EL_SHARDS: u32 = 2;
+const EL_REPLICAS: u32 = 2;
 
 const STORMS: &[Storm] = &[
     // A handful of isolated faults.
@@ -245,6 +254,7 @@ const STORMS: &[Storm] = &[
         max_burst: 1,
         rekill_pct: 0,
         cs_kill_pct: 0,
+        el_kill_pct: 0,
     },
     // Overlapping multi-rank crashes (concurrent recoveries).
     Storm {
@@ -253,6 +263,7 @@ const STORMS: &[Storm] = &[
         max_burst: 2,
         rekill_pct: 20,
         cs_kill_pct: 0,
+        el_kill_pct: 0,
     },
     // Aggressive re-kills: reincarnations die again mid-replay.
     Storm {
@@ -261,6 +272,7 @@ const STORMS: &[Storm] = &[
         max_burst: 1,
         rekill_pct: 80,
         cs_kill_pct: 0,
+        el_kill_pct: 0,
     },
     // Checkpoint-server kills mid-checkpoint traffic (§4.3).
     Storm {
@@ -269,6 +281,17 @@ const STORMS: &[Storm] = &[
         max_burst: 2,
         rekill_pct: 30,
         cs_kill_pct: 50,
+        el_kill_pct: 0,
+    },
+    // Event-logger replica kills on a sharded, replicated deployment:
+    // the gate must ride out sub-quorum windows until revival.
+    Storm {
+        name: "el-storm",
+        kills: 3,
+        max_burst: 1,
+        rekill_pct: 20,
+        cs_kill_pct: 0,
+        el_kill_pct: 75,
     },
 ];
 
@@ -279,6 +302,12 @@ fn storm_chaos(storm: &Storm, seed: u64) -> ChaosConfig {
         max_burst: storm.max_burst,
         rekill_pct: storm.rekill_pct,
         cs_kill_pct: storm.cs_kill_pct,
+        el_kill_pct: storm.el_kill_pct,
+        el_total: if storm.el_kill_pct > 0 {
+            EL_SHARDS * EL_REPLICAS
+        } else {
+            0
+        },
         ..Default::default()
     }
 }
@@ -301,6 +330,7 @@ struct ScenarioResult {
     service_restarts: u64,
     rank_kills: u64,
     cs_kills: u64,
+    el_kills: u64,
     recoveries: u64,
     replays_completed: u64,
     replayed_deliveries: u64,
@@ -317,8 +347,15 @@ fn run_scenario(pattern: Pattern, storm: &Storm, seed: u64, dump_ok: bool) -> Sc
         pattern.name(),
         storm.name
     ));
+    let (el_shards, el_replicas) = if storm.el_kill_pct > 0 {
+        (EL_SHARDS, EL_REPLICAS)
+    } else {
+        (1, 1)
+    };
     let cfg = ClusterConfig {
         world: WORLD,
+        el_shards,
+        el_replicas,
         checkpointing: Some(SchedulerConfig {
             interval: Duration::from_millis(1),
             ..Default::default()
@@ -392,6 +429,7 @@ fn run_scenario(pattern: Pattern, storm: &Storm, seed: u64, dump_ok: bool) -> Sc
         service_restarts: report.as_ref().map_or(0, |r| r.service_restarts),
         rank_kills: chaos.as_ref().map_or(0, |c| c.rank_kills),
         cs_kills: chaos.as_ref().map_or(0, |c| c.cs_kills),
+        el_kills: chaos.as_ref().map_or(0, |c| c.el_kills),
         recoveries: report.as_ref().map_or(0, |r| r.recoveries),
         replays_completed: report.as_ref().map_or(0, |r| r.replays_completed),
         replayed_deliveries: report.as_ref().map_or(0, |r| r.replayed_deliveries),
@@ -458,6 +496,7 @@ fn main() {
             format!("{:#x}", r.seed),
             r.rank_kills.to_string(),
             r.cs_kills.to_string(),
+            r.el_kills.to_string(),
             r.restarts.to_string(),
             r.replays_completed.to_string(),
             r.replayed_deliveries.to_string(),
@@ -472,7 +511,7 @@ fn main() {
     print_table(
         "Chaos soak — seeded crash storms, exactly-once delivery verified",
         &[
-            "pattern", "storm", "seed", "kills", "cs", "restarts", "replays", "replayed",
+            "pattern", "storm", "seed", "kills", "cs", "el", "restarts", "replays", "replayed",
             "dup-drop", "retx", "ms", "verdict",
         ],
         &rows,

@@ -103,6 +103,7 @@ fn main() {
             max_burst: 2,
             cs_kill_pct: 0,
             rekill_pct: 50,
+            ..Default::default()
         }),
         turbulence: Some(TurbulenceConfig::delays(SEED ^ 0x7A17, 50)),
         obs: RecorderConfig::enabled(),

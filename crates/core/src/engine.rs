@@ -61,6 +61,17 @@ pub enum Input {
         /// Highest durable receiver clock.
         up_to: u64,
     },
+    /// One replica of this rank's event-logger shard acknowledged
+    /// durability up to the given receiver clock. The gate only trusts
+    /// the *quorum* watermark derived from these (see
+    /// [`V2Engine::set_el_replication`]); with `el_replicas <= 1` this
+    /// degenerates to [`Input::ElAck`].
+    ElReplicaAck {
+        /// Replica index within this rank's shard.
+        replica: u32,
+        /// Highest receiver clock that replica has durably stored.
+        up_to: u64,
+    },
     /// The checkpoint scheduler ordered a checkpoint.
     CheckpointOrder,
     /// The runtime confirms the checkpoint image was stored durably.
@@ -166,6 +177,17 @@ pub struct V2Engine {
     /// Shipped-but-unacked event batches: highest receiver clock the
     /// batch covers, plus its ship timestamp (EL ack RTT accounting).
     el_inflight: VecDeque<(u64, u64)>,
+    /// Replication factor of this rank's EL shard (1 = unreplicated).
+    el_replicas: u32,
+    /// Acks required before the gate trusts a watermark.
+    el_quorum: u32,
+    /// Per-replica monotone acked watermarks (`el_replicas` entries;
+    /// empty when unreplicated — `Input::ElAck` bypasses this).
+    el_replica_acked: Vec<u64>,
+    /// Highest quorum watermark already advanced past (dedupes quorum
+    /// recomputation: only a strictly newer watermark re-enters
+    /// [`on_el_ack`](Self::on_el_ack)).
+    el_quorum_acked: u64,
     /// Replay in progress: start timestamp and `replayed_deliveries`
     /// at recovery begin.
     replay_started: Option<(u64, u64)>,
@@ -218,8 +240,33 @@ impl V2Engine {
             obs: Recorder::disabled(),
             timings: ProtocolTimings::new(),
             el_inflight: VecDeque::new(),
+            el_replicas: 1,
+            el_quorum: 1,
+            el_replica_acked: Vec::new(),
+            el_quorum_acked: 0,
             replay_started: None,
         }
+    }
+
+    /// Configure EL replication (applied by the runtime after
+    /// [`fresh`](Self::fresh) or [`restore`](Self::restore), like
+    /// [`set_batch_policy`](Self::set_batch_policy)). With
+    /// `replicas <= 1` the engine keeps the unreplicated single-ack
+    /// behavior byte-for-byte.
+    pub fn set_el_replication(&mut self, replicas: u32, quorum: u32) {
+        let replicas = replicas.max(1);
+        assert!(
+            quorum >= 1 && quorum <= replicas,
+            "quorum {quorum} out of range for {replicas} replicas"
+        );
+        self.el_replicas = replicas;
+        self.el_quorum = quorum;
+        self.el_replica_acked = if replicas > 1 {
+            vec![0; replicas as usize]
+        } else {
+            Vec::new()
+        };
+        self.el_quorum_acked = 0;
     }
 
     /// Attach a flight recorder (minted by the deployment's
@@ -292,6 +339,10 @@ impl V2Engine {
         // batches belong to the dead incarnation.
         self.pending_events.clear();
         self.el_inflight.clear();
+        // The replicas' acked watermarks described the dead
+        // incarnation's ledger view; the new incarnation re-earns them.
+        self.el_replica_acked.iter_mut().for_each(|w| *w = 0);
+        self.el_quorum_acked = 0;
         self.replay_started = Some((self.obs.now_ns(), self.metrics.replayed_deliveries));
         // Until a peer answers the handshake, its data traffic belongs to
         // the old, dead connection and must be discarded.
@@ -340,6 +391,7 @@ impl V2Engine {
             Input::AppProbe => self.on_app_probe(),
             Input::Peer { from, msg } => self.on_peer(from, msg)?,
             Input::ElAck { up_to } => self.on_el_ack(up_to),
+            Input::ElReplicaAck { replica, up_to } => self.on_el_replica_ack(replica, up_to),
             Input::CheckpointOrder => {
                 self.ckpt_pending = true;
             }
@@ -979,6 +1031,49 @@ impl V2Engine {
         }
         if self.gate.on_ack(up_to) {
             self.flush_gated();
+        }
+    }
+
+    /// One replica of this rank's shard acked. The pessimism gate may
+    /// only trust a receiver clock once a quorum of replicas has stored
+    /// it — the Q-th largest per-replica watermark — so a single
+    /// replica crash neither loses a gate-released dependency nor
+    /// stalls the gate (the surviving majority keeps acking).
+    fn on_el_replica_ack(&mut self, replica: u32, up_to: u64) {
+        if self.el_replicas <= 1 {
+            // Unreplicated: the replica ack *is* the ack.
+            self.on_el_ack(up_to);
+            return;
+        }
+        self.metrics.el_acks_received += 1;
+        self.obs.record(
+            self.clock.value(),
+            ProtoEvent::ElReplicaAck {
+                // The engine only ever talks to its own shard; the
+                // hosting daemon rewrites the shard index when it
+                // forwards dumps, so 0 here means "my shard".
+                shard: 0,
+                replica,
+                up_to,
+            },
+        );
+        let Some(slot) = self.el_replica_acked.get_mut(replica as usize) else {
+            return;
+        };
+        // Monotone: a reordered stale ack may not regress the replica.
+        *slot = (*slot).max(up_to);
+        let mut sorted = self.el_replica_acked.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let quorum_w = sorted[(self.el_quorum as usize - 1).min(sorted.len() - 1)];
+        if quorum_w > self.el_quorum_acked {
+            self.el_quorum_acked = quorum_w;
+            // Feed the quorum watermark through the single-ack path:
+            // batch retirement, RTT accounting, adaptive widening and
+            // the gate all see exactly one (coalesced) ack per quorum
+            // advance. The extra el_acks_received bump above keeps the
+            // per-replica traffic visible in the metrics.
+            self.metrics.el_acks_received -= 1;
+            self.on_el_ack(quorum_w);
         }
     }
 
@@ -1743,6 +1838,163 @@ mod tests {
         assert_eq!(m.el_events_batched, 2);
         assert_eq!(m.el_max_batch_events, 2);
         assert_eq!(m.el_acks_received, 1);
+    }
+
+    #[test]
+    fn replica_acks_open_gate_only_at_quorum() {
+        let mut e = V2Engine::fresh(Rank(1), 2);
+        e.set_el_replication(3, 2);
+        e.handle(Input::AppRecv).unwrap();
+        feed_data(&mut e, Rank(0), 1);
+        e.handle(Input::AppSend {
+            dst: Rank(0),
+            payload: pl(9),
+        })
+        .unwrap();
+        assert!(data_out(&outs(&mut e)).is_empty(), "gate closed: no data");
+
+        // One replica ack is not a quorum: the gate must stay shut.
+        e.handle(Input::ElReplicaAck {
+            replica: 0,
+            up_to: 1,
+        })
+        .unwrap();
+        assert!(!e.gate_open());
+        assert!(data_out(&outs(&mut e)).is_empty());
+        assert_eq!(e.metrics().el_batches_acked, 0);
+
+        // The second replica completes the quorum and releases the send.
+        e.handle(Input::ElReplicaAck {
+            replica: 1,
+            up_to: 1,
+        })
+        .unwrap();
+        assert!(e.gate_open());
+        assert_eq!(data_out(&outs(&mut e)).len(), 1);
+        let m = e.metrics();
+        assert_eq!(m.el_acks_received, 2, "each replica ack counts once");
+        assert_eq!(m.el_batches_acked, 1, "the batch retires exactly once");
+
+        // The straggler's ack of the same watermark must not re-open or
+        // re-retire anything.
+        e.handle(Input::ElReplicaAck {
+            replica: 2,
+            up_to: 1,
+        })
+        .unwrap();
+        let m = e.metrics();
+        assert_eq!(m.el_acks_received, 3);
+        assert_eq!(m.el_batches_acked, 1);
+    }
+
+    #[test]
+    fn replica_ack_is_plain_ack_when_unreplicated() {
+        // Without set_el_replication the replica-addressed ack must be
+        // byte-identical to Input::ElAck — the R=1 deployment cannot
+        // change behavior.
+        let mut e = V2Engine::fresh(Rank(1), 2);
+        e.handle(Input::AppRecv).unwrap();
+        feed_data(&mut e, Rank(0), 1);
+        e.handle(Input::AppSend {
+            dst: Rank(0),
+            payload: pl(9),
+        })
+        .unwrap();
+        outs(&mut e);
+        e.handle(Input::ElReplicaAck {
+            replica: 0,
+            up_to: 1,
+        })
+        .unwrap();
+        assert!(e.gate_open());
+        assert_eq!(data_out(&outs(&mut e)).len(), 1);
+        assert_eq!(e.metrics().el_acks_received, 1);
+        assert_eq!(e.metrics().el_batches_acked, 1);
+    }
+
+    #[test]
+    fn stale_replica_ack_cannot_regress_the_quorum() {
+        let mut e = V2Engine::fresh_with_policy(Rank(1), 2, BatchPolicy::Immediate);
+        e.set_el_replication(2, 2);
+        for h in 1..=2u64 {
+            e.handle(Input::AppRecv).unwrap();
+            feed_data(&mut e, Rank(0), h);
+        }
+        outs(&mut e);
+        e.handle(Input::ElReplicaAck {
+            replica: 0,
+            up_to: 2,
+        })
+        .unwrap();
+        // A reordered stale ack from the same replica...
+        e.handle(Input::ElReplicaAck {
+            replica: 0,
+            up_to: 1,
+        })
+        .unwrap();
+        // ...must not have clobbered its watermark: replica 1 at 2
+        // completes the quorum at 2, retiring both shipped batches.
+        e.handle(Input::ElReplicaAck {
+            replica: 1,
+            up_to: 2,
+        })
+        .unwrap();
+        assert!(e.gate_open());
+        assert_eq!(e.metrics().el_batches_acked, 2);
+    }
+
+    #[test]
+    fn recovery_resets_replica_quorum_state() {
+        let mut e = V2Engine::fresh(Rank(1), 2);
+        e.set_el_replication(2, 2);
+        e.handle(Input::AppRecv).unwrap();
+        feed_data(&mut e, Rank(0), 1);
+        for r in 0..2 {
+            e.handle(Input::ElReplicaAck {
+                replica: r,
+                up_to: 1,
+            })
+            .unwrap();
+        }
+        assert!(e.gate_open());
+        outs(&mut e);
+
+        // Restart: the new incarnation re-earns its quorum from zero —
+        // a fresh delivery at the same clock gates until both replicas
+        // re-ack it.
+        let snap = EngineSnapshot {
+            rank: Rank(1),
+            world: 2,
+            clock: 0,
+            watermarks: Watermarks::new(),
+            saved: SenderLog::new(),
+        };
+        let mut r = V2Engine::restore(snap);
+        r.set_el_replication(2, 2);
+        r.begin_recovery(vec![]);
+        outs(&mut r);
+        // Re-establish the peer connection so fresh data is accepted.
+        r.handle(Input::Peer {
+            from: Rank(0),
+            msg: PeerMsg::Restart2 { last_received: 0 },
+        })
+        .unwrap();
+        outs(&mut r);
+        r.handle(Input::AppRecv).unwrap();
+        feed_data(&mut r, Rank(0), 1);
+        assert!(!r.gate_open());
+        r.handle(Input::ElReplicaAck {
+            replica: 0,
+            up_to: 1,
+        })
+        .unwrap();
+        assert!(!r.gate_open(), "one ack is not a quorum after restart");
+        r.handle(Input::ElReplicaAck {
+            replica: 1,
+            up_to: 1,
+        })
+        .unwrap();
+        assert!(r.gate_open());
     }
 
     #[test]

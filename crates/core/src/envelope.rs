@@ -67,6 +67,41 @@ pub enum PeerMsg {
     },
 }
 
+/// Address of one event-logger replica in a sharded, replicated EL
+/// deployment: the shard (consistent-hash partition of receiver ranks)
+/// and the replica index within it. The unsharded deployment is the
+/// degenerate `{shard: 0, replica: 0}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ElAddr {
+    /// Shard index (consistent-hash partition of receiver ranks).
+    pub shard: u32,
+    /// Replica index within the shard.
+    pub replica: u32,
+}
+
+impl ElAddr {
+    /// Flat service index used by registries that enumerate every
+    /// replica of every shard (`flat = shard * replicas + replica`).
+    pub fn flat(self, replicas: u32) -> u32 {
+        self.shard * replicas.max(1) + self.replica
+    }
+
+    /// Inverse of [`flat`](Self::flat).
+    pub fn from_flat(flat: u32, replicas: u32) -> Self {
+        let r = replicas.max(1);
+        ElAddr {
+            shard: flat / r,
+            replica: flat % r,
+        }
+    }
+}
+
+impl std::fmt::Display for ElAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "el-s{}r{}", self.shard, self.replica)
+    }
+}
+
 /// Requests a computing daemon sends to its event logger.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ElRequest {
@@ -250,6 +285,26 @@ mod tests {
         let r = PeerMsg::Restart1 { last_received: 42 };
         let enc = bincode::serialize(&r).unwrap();
         assert_eq!(r, bincode::deserialize::<PeerMsg>(&enc).unwrap());
+    }
+
+    #[test]
+    fn el_addr_flat_roundtrip() {
+        for replicas in 1..4u32 {
+            for shard in 0..3 {
+                for replica in 0..replicas {
+                    let a = ElAddr { shard, replica };
+                    assert_eq!(ElAddr::from_flat(a.flat(replicas), replicas), a);
+                }
+            }
+        }
+        // R=0 is treated as R=1 (the unreplicated deployment).
+        assert_eq!(
+            ElAddr::from_flat(2, 0),
+            ElAddr {
+                shard: 2,
+                replica: 0
+            }
+        );
     }
 
     #[test]

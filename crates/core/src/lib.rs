@@ -66,7 +66,8 @@ pub mod spec;
 pub use clock::LogicalClock;
 pub use engine::{Input, Output, V2Engine};
 pub use envelope::{
-    CkptReply, CkptRequest, CmReply, CmRequest, DataMsg, ElReply, ElRequest, PeerMsg, SchedMsg,
+    CkptReply, CkptRequest, CmReply, CmRequest, DataMsg, ElAddr, ElReply, ElRequest, PeerMsg,
+    SchedMsg,
 };
 pub use event::{BatchPolicy, EventBatch, ReceptionEvent};
 pub use ids::{MsgId, NodeId, Rank};

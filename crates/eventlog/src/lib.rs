@@ -14,8 +14,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod router;
 pub mod service;
 pub mod store;
 
-pub use service::{run_event_logger, run_event_logger_counted, ElPacket, ElServiceStats};
+pub use router::{merged_unique_events, quorum_of, QuorumTracker, ShardMap};
+pub use service::{
+    run_event_logger, run_event_logger_counted, run_event_logger_on, ElPacket, ElServiceStats,
+};
 pub use store::{el_for_rank, EventLogStore};

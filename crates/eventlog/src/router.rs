@@ -1,0 +1,253 @@
+//! Shard routing and replica quorum accounting for the sharded Event
+//! Logger.
+//!
+//! The paper's constraint (§4.5) is that "every communication daemon
+//! must be connected to exactly one event logger" and that "event
+//! loggers do not have to communicate with each other". Sharding by
+//! receiver rank preserves both: a daemon's reception events are all
+//! owned by its own rank, so the consistent-hash [`ShardMap`] assigns
+//! each daemon exactly one shard, and shards never exchange state.
+//! Within a shard, R replicas each hold the full shard ledger; the
+//! pessimism gate opens when a majority quorum of them has acked, so a
+//! single replica crash neither stalls the gate nor loses any
+//! quorum-acked event (write quorum ∩ read quorum is non-empty).
+
+use mvr_core::Rank;
+
+/// 64-bit FNV-1a with a splitmix64 finalizer, the hash behind the
+/// consistent-hash ring. Chosen for determinism across runs and
+/// platforms — the map must be a pure function of `(shards,)` so
+/// daemons, dispatcher and recovery all agree on shard ownership
+/// without coordination. Raw FNV-1a clusters badly on the u64 ring for
+/// the short, mostly-zero keys used here (sequential ranks land on one
+/// shard); the finalizer's avalanche spreads them uniformly.
+fn ring_hash(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Deterministic consistent-hash map from receiver rank to EL shard.
+///
+/// Each shard contributes [`ShardMap::VNODES`] points on a 64-bit ring;
+/// a rank is owned by the first point at or after its own hash
+/// (wrapping). With one shard the map is trivially constant, so the
+/// `el_shards = 1` deployment is byte-identical to the unsharded one.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    shards: u32,
+    /// Sorted `(point, shard)` ring.
+    ring: Vec<(u64, u32)>,
+}
+
+impl ShardMap {
+    /// Virtual nodes per shard — enough to keep the rank partition
+    /// within a few percent of uniform at paper scale (32 nodes).
+    pub const VNODES: u32 = 16;
+
+    /// Build the ring for `shards` shards. Panics if `shards == 0`.
+    pub fn new(shards: u32) -> Self {
+        assert!(shards > 0, "at least one event-logger shard is required");
+        let mut ring = Vec::with_capacity((shards * Self::VNODES) as usize);
+        for s in 0..shards {
+            for v in 0..Self::VNODES {
+                let mut key = [0u8; 8];
+                key[..4].copy_from_slice(&s.to_le_bytes());
+                key[4..].copy_from_slice(&v.to_le_bytes());
+                ring.push((ring_hash(&key), s));
+            }
+        }
+        ring.sort_unstable();
+        // Identical points (astronomically unlikely) resolve to the
+        // lowest shard, deterministically.
+        ring.dedup_by_key(|e| e.0);
+        ShardMap { shards, ring }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `rank`'s reception events.
+    pub fn shard_for(&self, rank: Rank) -> u32 {
+        if self.shards == 1 {
+            return 0;
+        }
+        let h = ring_hash(&rank.0.to_le_bytes());
+        let idx = self.ring.partition_point(|&(p, _)| p < h);
+        self.ring[if idx == self.ring.len() { 0 } else { idx }].1
+    }
+}
+
+/// Majority quorum size for `replicas` replicas (`R/2 + 1`); one
+/// replica is its own quorum.
+pub fn quorum_of(replicas: u32) -> u32 {
+    replicas.max(1) / 2 + 1
+}
+
+/// Per-replica ack watermarks of one shard, folded into the quorum
+/// watermark the pessimism gate may trust.
+///
+/// Each replica's acked high watermark is monotone (the EL acks
+/// coalesced high watermarks). The quorum watermark is the Q-th largest
+/// of the per-replica watermarks: every receiver clock at or below it
+/// has been acked by at least Q replicas, so it survives any R − Q
+/// crashes.
+#[derive(Clone, Debug)]
+pub struct QuorumTracker {
+    acked: Vec<u64>,
+    quorum: u32,
+}
+
+impl QuorumTracker {
+    /// Tracker for `replicas` replicas with majority quorum.
+    pub fn new(replicas: u32) -> Self {
+        QuorumTracker {
+            acked: vec![0; replicas.max(1) as usize],
+            quorum: quorum_of(replicas),
+        }
+    }
+
+    /// The quorum size.
+    pub fn quorum(&self) -> u32 {
+        self.quorum
+    }
+
+    /// Record replica `replica` acking up to `up_to` (monotone max) and
+    /// return the resulting quorum watermark.
+    pub fn record(&mut self, replica: u32, up_to: u64) -> u64 {
+        if let Some(slot) = self.acked.get_mut(replica as usize) {
+            *slot = (*slot).max(up_to);
+        }
+        self.watermark()
+    }
+
+    /// The Q-th largest per-replica watermark.
+    pub fn watermark(&self) -> u64 {
+        let mut sorted = self.acked.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        sorted[(self.quorum as usize - 1).min(sorted.len() - 1)]
+    }
+
+    /// Reset every replica watermark (recovery begins a fresh ledger
+    /// view for the restarted incarnation).
+    pub fn reset(&mut self) {
+        self.acked.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+/// Cluster-wide unique-event view over flat-indexed per-replica ledger
+/// counts (`flat = shard * replicas + replica`): replicas of one shard
+/// hold copies of the same events, so a shard's unique count is the max
+/// over its replicas and the cluster total is the sum over shards. With
+/// `replicas = 1` this degenerates to a plain sum.
+pub fn merged_unique_events(per_replica: &[u64], replicas: usize) -> u64 {
+    let r = replicas.max(1);
+    per_replica
+        .chunks(r)
+        .map(|shard| shard.iter().copied().max().unwrap_or(0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_is_constant() {
+        let m = ShardMap::new(1);
+        for r in 0..64 {
+            assert_eq!(m.shard_for(Rank(r)), 0);
+        }
+    }
+
+    #[test]
+    fn map_is_deterministic_and_total() {
+        let a = ShardMap::new(4);
+        let b = ShardMap::new(4);
+        for r in 0..256 {
+            let s = a.shard_for(Rank(r));
+            assert!(s < 4);
+            assert_eq!(s, b.shard_for(Rank(r)), "pure function of (shards, rank)");
+        }
+    }
+
+    #[test]
+    fn map_is_roughly_balanced() {
+        let m = ShardMap::new(4);
+        let mut counts = [0usize; 4];
+        for r in 0..1024 {
+            counts[m.shard_for(Rank(r)) as usize] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (100..=500).contains(&c),
+                "shard {s} owns {c} of 1024 ranks — ring badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn every_shard_owns_someone_at_paper_scale() {
+        let m = ShardMap::new(4);
+        let mut seen = [false; 4];
+        for r in 0..32 {
+            seen[m.shard_for(Rank(r)) as usize] = true;
+        }
+        assert_eq!(seen, [true; 4], "32 ranks must touch all 4 shards");
+    }
+
+    #[test]
+    fn quorum_sizes() {
+        assert_eq!(quorum_of(1), 1);
+        assert_eq!(quorum_of(2), 2);
+        assert_eq!(quorum_of(3), 2);
+        assert_eq!(quorum_of(4), 3);
+        assert_eq!(quorum_of(5), 3);
+    }
+
+    #[test]
+    fn quorum_watermark_advances_on_qth_ack() {
+        // R=3, Q=2: the watermark follows the second-highest replica.
+        let mut t = QuorumTracker::new(3);
+        assert_eq!(t.record(0, 10), 0, "one ack is not a quorum");
+        assert_eq!(t.record(1, 7), 7, "two of three acked ≥ 7");
+        assert_eq!(t.record(2, 12), 10);
+        assert_eq!(t.record(1, 12), 12);
+    }
+
+    #[test]
+    fn replica_watermarks_are_monotone() {
+        let mut t = QuorumTracker::new(2);
+        t.record(0, 9);
+        // A stale (reordered) ack may not regress the replica watermark.
+        assert_eq!(t.record(0, 4), 0);
+        assert_eq!(t.record(1, 9), 9);
+        t.reset();
+        assert_eq!(t.watermark(), 0);
+    }
+
+    #[test]
+    fn single_replica_is_its_own_quorum() {
+        let mut t = QuorumTracker::new(1);
+        assert_eq!(t.quorum(), 1);
+        assert_eq!(t.record(0, 5), 5, "R=1 reduces to the unreplicated ack");
+    }
+
+    #[test]
+    fn merged_unique_view() {
+        // 2 shards × 2 replicas, flat-indexed. Replica copies dedupe by
+        // max; shards sum.
+        assert_eq!(merged_unique_events(&[10, 8, 4, 4], 2), 14);
+        // R=1: plain sum.
+        assert_eq!(merged_unique_events(&[3, 5], 1), 8);
+        assert_eq!(merged_unique_events(&[], 2), 0);
+    }
+}

@@ -5,6 +5,7 @@
 use crate::store::EventLogStore;
 use mvr_core::{ElReply, ElRequest, Rank};
 use mvr_net::{Mailbox, RecvError};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -18,9 +19,16 @@ pub struct ElPacket {
 }
 
 /// Statistics of one event-logger instance.
+///
+/// The counters reconcile: every inbound packet is accounted exactly
+/// once, so `requests + merged_logs` equals packets received, and every
+/// `Log` packet either produced an ack or had it coalesced away, so
+/// `acks + coalesced_acks` equals `Log` packets received.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ElServiceStats {
-    /// Requests processed.
+    /// Requests processed after merging: a contiguous same-daemon
+    /// same-owner `Log` run counts as one request (its merged-away
+    /// packets are counted in `merged_logs`, not here).
     pub requests: u64,
     /// Acks produced.
     pub acks: u64,
@@ -64,19 +72,58 @@ where
 /// times crash recovery re-logs it.
 pub fn run_event_logger_counted<F>(
     mailbox: Mailbox<ElPacket>,
-    mut reply: F,
+    reply: F,
     events_ever: Arc<AtomicU64>,
 ) -> (EventLogStore, ElServiceStats)
 where
     F: FnMut(Rank, ElReply) -> bool,
 {
-    let mut store = EventLogStore::new();
+    let store = Arc::new(Mutex::new(EventLogStore::new()));
+    let stats = run_event_logger_on(mailbox, reply, events_ever, store.clone());
+    let store = Arc::try_unwrap(store)
+        .map(Mutex::into_inner)
+        .unwrap_or_else(|arc| arc.lock().clone());
+    (store, stats)
+}
+
+/// As [`run_event_logger_counted`], but serving a caller-owned shared
+/// ledger instead of a loop-local one. This is the replica shape: the
+/// dispatcher keeps the `Arc` so that when a replica crashes, its ledger
+/// survives the service thread — the revived replica catches up by
+/// [`EventLogStore::absorb`]ing a live peer's snapshot into the same
+/// store before its fresh service loop starts. The store lock is taken
+/// once per service pass, never per packet.
+pub fn run_event_logger_on<F>(
+    mailbox: Mailbox<ElPacket>,
+    mut reply: F,
+    events_ever: Arc<AtomicU64>,
+    store: Arc<Mutex<EventLogStore>>,
+) -> ElServiceStats
+where
+    F: FnMut(Rank, ElReply) -> bool,
+{
     let mut stats = ElServiceStats::default();
+    // Revival announcement: a replica that starts over a non-empty
+    // ledger (it absorbed a live peer's snapshot after a crash) re-acks
+    // every owner's watermark unsolicited. Daemons whose pessimism gates
+    // stalled during the sub-quorum window fold these into their quorum
+    // trackers and reopen without waiting for new traffic — without
+    // this, a fully quiesced deployment could deadlock on a gate no new
+    // Log request will ever come along to ack. Fresh replicas start
+    // empty, so the launch path announces nothing.
+    // (Announcements are unsolicited, so they are deliberately absent
+    // from `stats.acks` — that counter reconciles against Log packets.)
+    for (rank, up_to) in store.lock().watermarks() {
+        let _ = reply(rank, ElReply::Ack { up_to });
+    }
     let mut killed = false;
     while !killed {
         let first = match mailbox.recv() {
             Ok(p) => p,
-            Err(RecvError::Killed) | Err(RecvError::Timeout) => break,
+            // A transient timeout is not a shutdown: the reliable node
+            // keeps serving. Only a fail-stop kill ends the loop.
+            Err(RecvError::Timeout) => continue,
+            Err(RecvError::Killed) => break,
         };
         let mut backlog = vec![first];
         loop {
@@ -93,13 +140,17 @@ where
 
         // One coalesced ack per daemon per pass, in first-log order.
         let mut pending_acks: Vec<(Rank, u64)> = Vec::new();
+        let mut store = store.lock();
         let mut backlog = backlog.into_iter().peekable();
         while let Some(pkt) = backlog.next() {
             stats.requests += 1;
             match pkt.req {
                 ElRequest::Log(mut batch) => {
                     // Merge the contiguous run of Log requests from this
-                    // daemon for this owner into one store append.
+                    // daemon for this owner into one store append. The
+                    // merged-away packets are accounted in `merged_logs`
+                    // only — counting them in `requests` too would
+                    // double-book every packet of the run.
                     while let Some(next) = backlog.peek() {
                         match &next.req {
                             ElRequest::Log(b)
@@ -112,7 +163,6 @@ where
                                 else {
                                     unreachable!("peeked a Log")
                                 };
-                                stats.requests += 1;
                                 stats.merged_logs += 1;
                                 stats.coalesced_acks += 1;
                                 batch.events.extend(b.events);
@@ -146,12 +196,13 @@ where
         // counter (the "acked implies counted" ordering the conservation
         // tests rely on).
         events_ever.store(store.total_logged(), Ordering::Release);
+        drop(store);
         for (rank, up_to) in pending_acks {
             stats.acks += 1;
             let _ = reply(rank, ElReply::Ack { up_to });
         }
     }
-    (store, stats)
+    stats
 }
 
 #[cfg(test)]
@@ -257,14 +308,107 @@ mod tests {
 
         fabric.kill(el_node);
         let (store, stats) = h.join().unwrap();
-        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.requests, 1, "the merged run is one request");
         assert_eq!(stats.acks, 1, "one ack per daemon per drain");
         assert_eq!(stats.merged_logs, 2, "logs 2 and 3 merged into log 1");
         assert_eq!(stats.coalesced_acks, 2);
+        assert_eq!(
+            stats.requests + stats.merged_logs,
+            3,
+            "every packet accounted exactly once"
+        );
         assert_eq!(store.events_held(Rank(3)), 3);
         assert!(
             rx.try_recv().is_err(),
             "no further replies may have been produced"
         );
+    }
+
+    #[test]
+    fn stats_reconcile_across_interleaved_daemons() {
+        // Two daemons interleave Log packets in one backlog drain:
+        //   A, A (contiguous: merged), B, A, B — the non-contiguous
+        //   re-logs are separate requests whose acks coalesce into the
+        //   daemon's pending high-watermark slot. The counters must
+        //   reconcile packet-for-packet:
+        //   requests + merged_logs == packets received,
+        //   acks + coalesced_acks == Log packets received.
+        let fabric = Fabric::new();
+        let el_node = NodeId::EventLogger(0);
+        let (mb, _id) = fabric.register::<ElPacket>(el_node);
+        let (tx, rx) = mpsc::channel::<(Rank, ElReply)>();
+        let log = |from: u32, rc: u64| ElPacket {
+            from: Rank(from),
+            req: ElRequest::Log(EventBatch {
+                owner: Rank(from),
+                events: vec![ReceptionEvent {
+                    sender: Rank(9),
+                    sender_clock: rc,
+                    receiver_clock: rc,
+                    probes: 0,
+                }],
+            }),
+        };
+        for pkt in [log(1, 1), log(1, 2), log(2, 1), log(1, 3), log(2, 2)] {
+            fabric.send_from_reliable(el_node, pkt).unwrap();
+        }
+        let h = thread::spawn(move || {
+            run_event_logger(mb, move |r, reply| tx.send((r, reply)).is_ok())
+        });
+        // One coalesced high-watermark ack per daemon.
+        let mut acks = [rx.recv().unwrap(), rx.recv().unwrap()];
+        acks.sort_by_key(|(r, _)| r.0);
+        assert_eq!(acks[0], (Rank(1), ElReply::Ack { up_to: 3 }));
+        assert_eq!(acks[1], (Rank(2), ElReply::Ack { up_to: 2 }));
+
+        fabric.kill(el_node);
+        let (store, stats) = h.join().unwrap();
+        let packets = 5;
+        let log_packets = 5;
+        assert_eq!(stats.requests + stats.merged_logs, packets);
+        assert_eq!(stats.acks + stats.coalesced_acks, log_packets);
+        assert_eq!(stats.requests, 4, "A-run, B, A, B");
+        assert_eq!(stats.merged_logs, 1, "only A1+A2 are contiguous");
+        assert_eq!(stats.acks, 2);
+        assert_eq!(stats.coalesced_acks, 3);
+        assert_eq!(store.events_held(Rank(1)), 3);
+        assert_eq!(store.events_held(Rank(2)), 2);
+    }
+
+    #[test]
+    fn shared_store_survives_the_service_loop() {
+        // The replica shape: the caller owns the ledger; killing the
+        // service leaves every logged event in the shared store.
+        let fabric = Fabric::new();
+        let el_node = NodeId::EventLogger(7);
+        let (mb, _id) = fabric.register::<ElPacket>(el_node);
+        let store = Arc::new(Mutex::new(EventLogStore::new()));
+        let events_ever = Arc::new(AtomicU64::new(0));
+        let (st2, ev2) = (store.clone(), events_ever.clone());
+        let h = thread::spawn(move || run_event_logger_on(mb, |_, _| true, ev2, st2));
+        fabric
+            .send_from_reliable(
+                el_node,
+                ElPacket {
+                    from: Rank(0),
+                    req: ElRequest::Log(EventBatch {
+                        owner: Rank(0),
+                        events: vec![ReceptionEvent {
+                            sender: Rank(1),
+                            sender_clock: 1,
+                            receiver_clock: 1,
+                            probes: 0,
+                        }],
+                    }),
+                },
+            )
+            .unwrap();
+        while events_ever.load(Ordering::Acquire) == 0 {
+            thread::yield_now();
+        }
+        fabric.kill(el_node);
+        let stats = h.join().unwrap();
+        assert_eq!(stats.acks, 1);
+        assert_eq!(store.lock().total_logged(), 1, "ledger outlives the loop");
     }
 }

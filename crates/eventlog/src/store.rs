@@ -90,6 +90,60 @@ impl EventLogStore {
         }
     }
 
+    /// Merge everything `other` holds that this store lacks — replica
+    /// catch-up from a live peer's snapshot. Per rank the two event
+    /// lists (both receiver-clock ordered) are merge-deduplicated by
+    /// receiver clock, so a revived replica that absorbs any quorum
+    /// member holds every quorum-acked event again. Newly absorbed
+    /// events count toward [`total_logged`](Self::total_logged) exactly
+    /// once; returns how many were new.
+    pub fn absorb(&mut self, other: &EventLogStore) -> u64 {
+        let mut added = 0u64;
+        for (rank, theirs) in &other.events {
+            let mine = self.events.entry(*rank).or_default();
+            if mine.is_empty() {
+                mine.extend(theirs.iter().copied());
+                added += theirs.len() as u64;
+                continue;
+            }
+            let mut merged = Vec::with_capacity(mine.len() + theirs.len());
+            let (mut i, mut j) = (0, 0);
+            while i < mine.len() && j < theirs.len() {
+                let (a, b) = (mine[i], theirs[j]);
+                if a.receiver_clock == b.receiver_clock {
+                    merged.push(a);
+                    i += 1;
+                    j += 1;
+                } else if a.receiver_clock < b.receiver_clock {
+                    merged.push(a);
+                    i += 1;
+                } else {
+                    merged.push(b);
+                    j += 1;
+                    added += 1;
+                }
+            }
+            merged.extend_from_slice(&mine[i..]);
+            for &b in &theirs[j..] {
+                merged.push(b);
+                added += 1;
+            }
+            *mine = merged;
+        }
+        self.total_logged += added;
+        added
+    }
+
+    /// Each owner rank's durable high watermark (highest receiver clock
+    /// held). Ranks whose events were all truncated away are skipped —
+    /// their durability is the checkpoint's, not the log's.
+    pub fn watermarks(&self) -> Vec<(Rank, u64)> {
+        self.events
+            .iter()
+            .filter_map(|(r, v)| v.last().map(|e| (*r, e.receiver_clock)))
+            .collect()
+    }
+
     /// Events currently held for `rank`.
     pub fn events_held(&self, rank: Rank) -> usize {
         self.events.get(&rank).map(Vec::len).unwrap_or(0)
@@ -207,6 +261,48 @@ mod tests {
     #[should_panic]
     fn zero_els_rejected() {
         el_for_rank(Rank(0), 0);
+    }
+
+    #[test]
+    fn absorb_merges_and_deduplicates() {
+        // A revived replica (holding a stale prefix) absorbs a live
+        // peer: the union is receiver-clock ordered, duplicates are
+        // free, and total_logged counts each unique event once.
+        let mut revived = EventLogStore::new();
+        revived.log(batch(0, vec![ev(1, 1, 1), ev(1, 2, 2)]));
+        let mut peer = EventLogStore::new();
+        peer.log(batch(
+            0,
+            vec![ev(1, 1, 1), ev(1, 2, 2), ev(1, 3, 3), ev(1, 4, 4)],
+        ));
+        peer.log(batch(5, vec![ev(2, 1, 1)]));
+        let added = revived.absorb(&peer);
+        assert_eq!(added, 3, "clocks 3, 4 for rank 0 and clock 1 for rank 5");
+        assert_eq!(revived.events_held(Rank(0)), 4);
+        assert_eq!(revived.events_held(Rank(5)), 1);
+        assert_eq!(revived.total_logged(), 5);
+        let d = revived.download(Rank(0), 0);
+        let clocks: Vec<u64> = d.iter().map(|e| e.receiver_clock).collect();
+        assert_eq!(clocks, vec![1, 2, 3, 4], "merge keeps clock order");
+        // Absorbing again is idempotent.
+        assert_eq!(revived.absorb(&peer), 0);
+        assert_eq!(revived.total_logged(), 5);
+    }
+
+    #[test]
+    fn absorb_interleaved_gaps() {
+        // The peer holds events on both sides of the survivor's range.
+        let mut a = EventLogStore::new();
+        a.log(batch(0, vec![ev(1, 2, 2), ev(1, 3, 3)]));
+        let mut b = EventLogStore::new();
+        b.log(batch(0, vec![ev(1, 1, 1), ev(1, 4, 4)]));
+        assert_eq!(a.absorb(&b), 2);
+        let clocks: Vec<u64> = a
+            .download(Rank(0), 0)
+            .iter()
+            .map(|e| e.receiver_clock)
+            .collect();
+        assert_eq!(clocks, vec![1, 2, 3, 4]);
     }
 
     #[test]

@@ -182,6 +182,28 @@ pub enum ProtoEvent {
         /// What diverged, in prose.
         detail: String,
     },
+    /// One event-logger replica acknowledged a shipped batch. Only
+    /// emitted when the EL is replicated (`el_replicas > 1`); the
+    /// quorum-level [`ProtoEvent::ElAck`] still marks the gate-visible
+    /// watermark advance.
+    ElReplicaAck {
+        /// Shard the replica belongs to.
+        shard: u32,
+        /// Replica index within the shard.
+        replica: u32,
+        /// Highest receiver clock this replica has durably stored.
+        up_to: u64,
+    },
+    /// The dispatcher revived a dead event-logger replica and it caught
+    /// up from a surviving peer's ledger snapshot.
+    ElReplicaRevive {
+        /// Shard the replica belongs to.
+        shard: u32,
+        /// Replica index within the shard.
+        replica: u32,
+        /// Events absorbed from the peer snapshot during catch-up.
+        caught_up: u64,
+    },
 }
 
 impl ProtoEvent {
@@ -192,7 +214,10 @@ impl ProtoEvent {
             ProtoEvent::Send { .. } => "send",
             ProtoEvent::GateDefer { .. } | ProtoEvent::GateOpen { .. } => "gate",
             ProtoEvent::Deliver { .. } | ProtoEvent::DuplicateDropped { .. } => "deliver",
-            ProtoEvent::ElShip { .. } | ProtoEvent::ElAck { .. } => "event-log",
+            ProtoEvent::ElShip { .. }
+            | ProtoEvent::ElAck { .. }
+            | ProtoEvent::ElReplicaAck { .. }
+            | ProtoEvent::ElReplicaRevive { .. } => "event-log",
             ProtoEvent::CkptBegin { .. }
             | ProtoEvent::CkptCommit { .. }
             | ProtoEvent::CkptGc { .. } => "checkpoint",
@@ -229,6 +254,8 @@ impl ProtoEvent {
             ProtoEvent::Finish { .. } => "finish",
             ProtoEvent::RespawnScheduled { .. } => "respawn",
             ProtoEvent::Divergence { .. } => "divergence",
+            ProtoEvent::ElReplicaAck { .. } => "el-replica-ack",
+            ProtoEvent::ElReplicaRevive { .. } => "el-replica-revive",
         }
     }
 
@@ -259,6 +286,8 @@ impl ProtoEvent {
             ProtoEvent::Finish { .. } => 17,
             ProtoEvent::RespawnScheduled { .. } => 18,
             ProtoEvent::Divergence { .. } => 19,
+            ProtoEvent::ElReplicaAck { .. } => 20,
+            ProtoEvent::ElReplicaRevive { .. } => 21,
         }
     }
 
@@ -384,6 +413,16 @@ mod tests {
             ProtoEvent::Divergence {
                 detail: "rank 1 payload mismatch".into(),
             },
+            ProtoEvent::ElReplicaAck {
+                shard: 1,
+                replica: 0,
+                up_to: 44,
+            },
+            ProtoEvent::ElReplicaRevive {
+                shard: 1,
+                replica: 1,
+                caught_up: 37,
+            },
         ];
         let mut kinds = std::collections::BTreeSet::new();
         for (i, ev) in samples.into_iter().enumerate() {
@@ -402,6 +441,6 @@ mod tests {
         }
         // kind_index is injective over the vocabulary (the two Send
         // samples share one ordinal by design).
-        assert_eq!(kinds.len(), 20);
+        assert_eq!(kinds.len(), 22);
     }
 }

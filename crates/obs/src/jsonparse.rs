@@ -393,6 +393,16 @@ fn decode_event(v: &Json) -> Result<ProtoEvent, String> {
         "Divergence" => ProtoEvent::Divergence {
             detail: field_str(body, "detail")?,
         },
+        "ElReplicaAck" => ProtoEvent::ElReplicaAck {
+            shard: field_u32(body, "shard")?,
+            replica: field_u32(body, "replica")?,
+            up_to: field_u64(body, "up_to")?,
+        },
+        "ElReplicaRevive" => ProtoEvent::ElReplicaRevive {
+            shard: field_u32(body, "shard")?,
+            replica: field_u32(body, "replica")?,
+            caught_up: field_u64(body, "caught_up")?,
+        },
         other => return Err(format!("unknown event tag `{other}`")),
     })
 }
@@ -551,6 +561,16 @@ mod tests {
             },
             ProtoEvent::Divergence {
                 detail: "sum mismatch \"x\"\n".into(),
+            },
+            ProtoEvent::ElReplicaAck {
+                shard: 2,
+                replica: 1,
+                up_to: 33,
+            },
+            ProtoEvent::ElReplicaRevive {
+                shard: 0,
+                replica: 1,
+                caught_up: 12,
             },
         ];
         for (i, event) in samples.into_iter().enumerate() {

@@ -72,6 +72,11 @@ struct RankState {
     last_recv_clock: Option<u64>,
     /// Per-sender `HR` watermark rebuilt this incarnation.
     hr: HashMap<u32, u64>,
+    /// Per-replica durable watermark from `ElReplicaAck` records, keyed
+    /// `(shard, replica)`. EL ledgers outlive rank incarnations *and*
+    /// replica revivals (a revived replica absorbs its live peers before
+    /// re-acking), so these never regress — not cleared by `restart`.
+    replica_acked: HashMap<(u32, u32), u64>,
 }
 
 impl RankState {
@@ -265,9 +270,30 @@ impl InvariantMonitor {
             }
             ProtoEvent::ElAck { up_to, .. } => {
                 // Coalesced high-watermark ack: everything at or below
-                // `up_to` is durable at the EL.
+                // `up_to` is durable at the EL (the quorum of replicas,
+                // when logging is replicated).
                 let still_owed = rs.unacked.split_off(&(up_to.saturating_add(1)));
                 rs.unacked = still_owed;
+            }
+            ProtoEvent::ElReplicaAck {
+                shard,
+                replica,
+                up_to,
+            } => {
+                // Per-replica durable watermarks only grow: the ledger
+                // survives rank restarts, and revival absorbs every live
+                // peer before the replica speaks again. A regression
+                // means a replica came back with holes below its ack.
+                let slot = rs.replica_acked.entry((*shard, *replica)).or_insert(0);
+                if *up_to < *slot {
+                    return Some((
+                        "replica-ack-monotonic",
+                        format!(
+                            "replica ({shard}, {replica}) acked {up_to} below                              its previous watermark {slot}"
+                        ),
+                    ));
+                }
+                *slot = *up_to;
             }
             ProtoEvent::Restart1 { .. } => {
                 rs.restart(None);
@@ -470,6 +496,51 @@ mod tests {
         assert_eq!(v.invariant, "pessimism-gate");
         assert_eq!(v.ts_ns, 20);
         assert_eq!(m.records_seen(), 2);
+    }
+
+    #[test]
+    fn replica_ack_watermark_regression_is_flagged() {
+        let m = InvariantMonitor::new();
+        let ack = |replica, up_to| ProtoEvent::ElReplicaAck {
+            shard: 0,
+            replica,
+            up_to,
+        };
+        // Per-replica watermarks grow independently; equal re-acks are
+        // fine (coalesced announcements), regression is not.
+        m.observe_all(&[
+            rec(1, 5, 10, ack(0, 5)),
+            rec(1, 9, 20, ack(1, 9)),
+            rec(1, 9, 30, ack(0, 5)),
+            rec(1, 12, 40, ack(0, 12)),
+        ]);
+        assert_eq!(m.violation(), None);
+        m.observe_all(&[rec(1, 3, 50, ack(0, 3))]);
+        let v = m.violation().expect("regression must be flagged");
+        assert_eq!(v.invariant, "replica-ack-monotonic");
+        assert_eq!(v.ts_ns, 50);
+    }
+
+    #[test]
+    fn replica_watermarks_survive_rank_restart() {
+        // The ledger outlives the incarnation: a restart must not let a
+        // stale-looking (but legitimate) re-ack trip the rule, nor reset
+        // the floor under a real regression.
+        let m = InvariantMonitor::new();
+        let ack = |up_to| ProtoEvent::ElReplicaAck {
+            shard: 0,
+            replica: 0,
+            up_to,
+        };
+        m.observe_all(&[
+            rec(2, 8, 10, ack(8)),
+            rec(2, 0, 20, ProtoEvent::Restart1 { rank: 2 }),
+            rec(2, 0, 30, ProtoEvent::RecoveryBegin { restored_clock: 4 }),
+            rec(2, 8, 40, ack(8)),
+        ]);
+        assert_eq!(m.violation(), None, "re-acking the same watermark is fine");
+        m.observe_all(&[rec(2, 2, 50, ack(2))]);
+        assert!(m.violation().is_some(), "floor survives the restart");
     }
 
     #[test]

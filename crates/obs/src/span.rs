@@ -33,8 +33,13 @@ pub struct DeliveryLeg {
     /// Timestamp of the `ElShip` batch carrying this delivery's
     /// reception event, once observed.
     pub el_ship_ts: Option<u64>,
+    /// Timestamp of the first (sub-quorum) `ElReplicaAck` covering this
+    /// delivery's reception event, once observed. Only recorded under
+    /// replicated logging; unreplicated acks go straight to `el_ack_ts`.
+    pub el_replica_ack_ts: Option<u64>,
     /// Timestamp of the `ElAck` covering this delivery's reception
-    /// event, once observed.
+    /// event, once observed. Under replicated logging this is the
+    /// *quorum* ack — the one that can reopen the gate.
     pub el_ack_ts: Option<u64>,
 }
 
@@ -73,9 +78,19 @@ impl Span {
     }
 
     /// Ship→ack round-trip of the first delivery's reception event.
+    /// Under replicated logging the ack is the quorum ack.
     pub fn el_rtt_ns(&self) -> Option<u64> {
         let d = self.deliveries.first()?;
         Some(d.el_ack_ts?.saturating_sub(d.el_ship_ts?))
+    }
+
+    /// Nanoseconds between the first replica's ack and the quorum ack
+    /// for the first delivery's reception event — the price of waiting
+    /// for a majority instead of trusting one copy. `None` when the
+    /// logging is unreplicated (no `ElReplicaAck` leg exists).
+    pub fn quorum_wait_ns(&self) -> Option<u64> {
+        let d = self.deliveries.first()?;
+        Some(d.el_ack_ts?.saturating_sub(d.el_replica_ack_ts?))
     }
 
     /// Whether any send record put the payload on the wire (directly
@@ -194,6 +209,7 @@ impl SpanSet {
                         ts_ns: rec.ts_ns,
                         replay: *replay,
                         el_ship_ts: None,
+                        el_replica_ack_ts: None,
                         el_ack_ts: None,
                     });
                     if !replay {
@@ -216,6 +232,7 @@ impl SpanSet {
                         ts_ns: rec.ts_ns,
                         replay: true,
                         el_ship_ts: None,
+                        el_replica_ack_ts: None,
                         el_ack_ts: None,
                     });
                 }
@@ -235,6 +252,20 @@ impl SpanSet {
                         }
                     }
                     st.awaiting_ship = kept;
+                }
+                ProtoEvent::ElReplicaAck { up_to, .. } => {
+                    // A sub-quorum ack: the event is durable on one
+                    // replica but cannot reopen the gate yet. Stamp the
+                    // first such ack and keep waiting for the quorum
+                    // `ElAck`.
+                    let st = ranks.entry(rec.rank).or_default();
+                    for (rc, key) in st.awaiting_ack.iter() {
+                        if *rc <= *up_to {
+                            if let Some(leg) = last_leg(&mut spans, *key, rec.rank, *rc) {
+                                leg.el_replica_ack_ts.get_or_insert(rec.ts_ns);
+                            }
+                        }
+                    }
                 }
                 ProtoEvent::ElAck { up_to, .. } => {
                     let st = ranks.entry(rec.rank).or_default();
@@ -617,5 +648,51 @@ mod tests {
         ];
         let set = SpanSet::build(&tl);
         assert!(set.orphans.is_empty(), "{:?}", set.orphans);
+    }
+
+    #[test]
+    fn replicated_ack_stitches_quorum_wait() {
+        // First replica acks at t=500, quorum ack lands at t=900: the
+        // span carries both legs and quorum_wait_ns is the difference.
+        let tl = vec![
+            rec(0, 1, 100, send(1, 1, SendDisposition::Wire)),
+            rec(1, 1, 250, deliver(0, 1, 1)),
+            rec(
+                1,
+                1,
+                300,
+                ProtoEvent::ElShip {
+                    events: 1,
+                    from_clock: 1,
+                    up_to: 1,
+                },
+            ),
+            rec(
+                1,
+                1,
+                500,
+                ProtoEvent::ElReplicaAck {
+                    shard: 0,
+                    replica: 1,
+                    up_to: 1,
+                },
+            ),
+            rec(
+                1,
+                1,
+                900,
+                ProtoEvent::ElAck {
+                    up_to: 1,
+                    batches_retired: 1,
+                    rtt_ns: 600,
+                },
+            ),
+        ];
+        let set = SpanSet::build(&tl);
+        assert!(set.orphans.is_empty(), "{:?}", set.orphans);
+        let span = &set.spans[&(0, 1)];
+        assert_eq!(span.el_rtt_ns(), Some(600), "RTT runs to the quorum ack");
+        assert_eq!(span.quorum_wait_ns(), Some(400));
+        assert_eq!(span.deliveries[0].el_replica_ack_ts, Some(500));
     }
 }

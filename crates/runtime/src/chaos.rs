@@ -40,6 +40,16 @@ pub struct ChaosConfig {
     /// gap (0.5–3 ms), by a re-kill of the same rank — crashing the
     /// reincarnation while it is still recovering.
     pub rekill_pct: u8,
+    /// Percent chance (0–100) that an event also kills one event-logger
+    /// replica (picked uniformly among `el_total` flat indices). Only
+    /// meaningful on replicated deployments (`el_replicas > 1`), where
+    /// the surviving quorum keeps the pessimism gates open and the
+    /// dispatcher revives the victim; with 0 the plan draws no extra RNG
+    /// values, so schedules of EL-oblivious configs are unchanged.
+    pub el_kill_pct: u8,
+    /// Total EL replicas (`shards × replicas`, flat) the storm may pick
+    /// from. 0 disables EL kills regardless of `el_kill_pct`.
+    pub el_total: u32,
 }
 
 impl Default for ChaosConfig {
@@ -52,6 +62,8 @@ impl Default for ChaosConfig {
             max_burst: 2,
             cs_kill_pct: 0,
             rekill_pct: 25,
+            el_kill_pct: 0,
+            el_total: 0,
         }
     }
 }
@@ -68,6 +80,8 @@ pub struct ChaosEvent {
     /// Whether this event re-kills a rank whose reincarnation is
     /// (likely) still replaying.
     pub rekill: bool,
+    /// Flat index of an event-logger replica killed by this event, if any.
+    pub kill_el_replica: Option<u32>,
 }
 
 impl ChaosConfig {
@@ -93,6 +107,14 @@ impl ChaosConfig {
                 }
             }
             let cs = rng.next_u64() % 100 < self.cs_kill_pct as u64;
+            // EL-kill draws are guarded so EL-oblivious configs consume
+            // exactly the same RNG sequence as before the field existed.
+            let el = if self.el_kill_pct > 0 && self.el_total > 0 {
+                (rng.next_u64() % 100 < self.el_kill_pct as u64)
+                    .then(|| (rng.next_u64() % self.el_total as u64) as u32)
+            } else {
+                None
+            };
             remaining -= burst;
             let rekill = remaining > 0 && rng.next_u64() % 100 < self.rekill_pct as u64;
             let rekill_victim = victims[0];
@@ -102,6 +124,7 @@ impl ChaosConfig {
                 victims,
                 kill_checkpoint_server: cs,
                 rekill: false,
+                kill_el_replica: el,
             });
             if rekill {
                 remaining -= 1;
@@ -110,6 +133,7 @@ impl ChaosConfig {
                     victims: vec![rekill_victim],
                     kill_checkpoint_server: false,
                     rekill: true,
+                    kill_el_replica: None,
                 });
             }
         }
@@ -126,6 +150,8 @@ pub struct ChaosReport {
     pub rank_kills: u64,
     /// Checkpoint-server kills executed.
     pub cs_kills: u64,
+    /// Event-logger replica kills executed.
+    pub el_kills: u64,
 }
 
 /// The background thread walking a [`ChaosConfig::plan`] against the
@@ -136,6 +162,7 @@ pub(crate) struct ChaosDriver {
     plan: Vec<ChaosEvent>,
     rank_kills: Arc<AtomicU64>,
     cs_kills: Arc<AtomicU64>,
+    el_kills: Arc<AtomicU64>,
 }
 
 impl ChaosDriver {
@@ -144,11 +171,13 @@ impl ChaosDriver {
         let stop = Arc::new(AtomicBool::new(false));
         let rank_kills = Arc::new(AtomicU64::new(0));
         let cs_kills = Arc::new(AtomicU64::new(0));
+        let el_kills = Arc::new(AtomicU64::new(0));
         let handle = {
             let plan = plan.clone();
             let stop = stop.clone();
             let rank_kills = rank_kills.clone();
             let cs_kills = cs_kills.clone();
+            let el_kills = el_kills.clone();
             std::thread::Builder::new()
                 .name("chaos-driver".into())
                 .spawn(move || {
@@ -192,6 +221,16 @@ impl ChaosDriver {
                             );
                             cs_kills.fetch_add(1, Ordering::Relaxed);
                         }
+                        if let Some(flat) = ev.kill_el_replica {
+                            fabric.kill(NodeId::EventLogger(flat));
+                            obs.record(
+                                0,
+                                ProtoEvent::ServiceKill {
+                                    service: format!("el{flat}"),
+                                },
+                            );
+                            el_kills.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 })
                 .expect("spawn chaos driver")
@@ -202,6 +241,7 @@ impl ChaosDriver {
             plan,
             rank_kills,
             cs_kills,
+            el_kills,
         }
     }
 
@@ -215,6 +255,7 @@ impl ChaosDriver {
             plan: std::mem::take(&mut self.plan),
             rank_kills: self.rank_kills.load(Ordering::Relaxed),
             cs_kills: self.cs_kills.load(Ordering::Relaxed),
+            el_kills: self.el_kills.load(Ordering::Relaxed),
         }
     }
 }
@@ -261,6 +302,40 @@ mod tests {
                 assert_eq!(vs.len(), ev.victims.len());
             }
         }
+    }
+
+    #[test]
+    fn el_kills_are_planned_only_when_enabled() {
+        let base = ChaosConfig {
+            seed: 11,
+            kills: 10,
+            max_burst: 2,
+            cs_kill_pct: 20,
+            rekill_pct: 40,
+            ..Default::default()
+        };
+        // el_kill_pct == 0 draws no RNG values: the schedule of an
+        // EL-oblivious config is bit-identical whatever el_total says.
+        let with_total = ChaosConfig {
+            el_total: 8,
+            ..base.clone()
+        };
+        assert_eq!(base.plan(4), with_total.plan(4));
+        let storm = ChaosConfig {
+            el_kill_pct: 100,
+            el_total: 8,
+            ..base.clone()
+        };
+        let plan = storm.plan(4);
+        assert!(plan
+            .iter()
+            .filter(|e| !e.rekill)
+            .all(|e| e.kill_el_replica.is_some()));
+        assert!(plan.iter().filter_map(|e| e.kill_el_replica).all(|f| f < 8));
+        assert!(plan
+            .iter()
+            .filter(|e| e.rekill)
+            .all(|e| e.kill_el_replica.is_none()));
     }
 
     #[test]

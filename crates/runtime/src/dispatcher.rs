@@ -23,14 +23,16 @@ use crate::node::{
     register_node, start_node, MpiApp, NodeConfig, NodeExit, Outcome, RuntimeProtocol,
 };
 use crate::services::{
-    spawn_checkpoint_scheduler, spawn_checkpoint_server_on, spawn_event_loggers, SchedulerConfig,
+    spawn_checkpoint_scheduler, spawn_checkpoint_server_on, spawn_el_replica, spawn_event_loggers,
+    SchedulerConfig,
 };
 use mvr_ckpt::CheckpointStore;
-use mvr_core::{BatchPolicy, Metrics, NodeId, Payload, Rank};
+use mvr_core::{BatchPolicy, ElAddr, Metrics, NodeId, Payload, Rank};
+use mvr_eventlog::{EventLogStore, ShardMap};
 use mvr_net::{Fabric, Mailbox, TurbulenceConfig};
 use mvr_obs::{
-    HealthServer, InvariantMonitor, ProtoEvent, ProtocolTimings, Recorder, RecorderConfig,
-    RecorderHub, Violation, DISPATCHER_RANK,
+    HealthServer, InvariantMonitor, LogHistogram, ProtoEvent, ProtocolTimings, Recorder,
+    RecorderConfig, RecorderHub, Violation, DISPATCHER_RANK,
 };
 use parking_lot::Mutex;
 use std::path::PathBuf;
@@ -50,8 +52,15 @@ pub struct ClusterConfig {
     pub world: u32,
     /// Protocol stack (V2 default; V1/P4 are the paper's baselines).
     pub protocol: RuntimeProtocol,
-    /// Number of event loggers (ranks are partitioned across them).
-    pub event_loggers: u32,
+    /// Number of event-logger shards (ranks are partitioned across them
+    /// by the consistent-hash [`mvr_eventlog::ShardMap`]).
+    pub el_shards: u32,
+    /// Replicas per event-logger shard. Above 1, each shard's ledger is
+    /// held R-way, daemons fan writes out to every replica, and the
+    /// pessimism gate opens on a majority quorum of acks — so a single
+    /// replica crash neither stalls the gate nor ends the run (the
+    /// dispatcher revives the replica and it catches up from a peer).
+    pub el_replicas: u32,
     /// Enable the checkpoint subsystem with this scheduler configuration.
     pub checkpointing: Option<SchedulerConfig>,
     /// Automatically reincarnate killed nodes.
@@ -106,7 +115,8 @@ impl Default for ClusterConfig {
         ClusterConfig {
             world: 4,
             protocol: RuntimeProtocol::V2,
-            event_loggers: 1,
+            el_shards: 1,
+            el_replicas: 1,
             checkpointing: None,
             auto_restart: true,
             restart_delay: Duration::ZERO,
@@ -189,6 +199,7 @@ impl std::error::Error for ClusterError {}
 pub struct FaultHandle {
     fabric: Fabric,
     world: u32,
+    el_replicas: u32,
 }
 
 impl FaultHandle {
@@ -205,11 +216,20 @@ impl FaultHandle {
         self.fabric.kill(NodeId::CheckpointServer(0));
     }
 
-    /// Crash an event logger. The EL is the component the deployment
-    /// *assumes* reliable (§4.3); killing it stalls pessimistic logging —
-    /// provided for tests that document this reliance.
+    /// Crash an event logger by flat index. Unreplicated, the EL is the
+    /// component the deployment *assumes* reliable (§4.3) and killing
+    /// it stalls pessimistic logging — provided for tests that document
+    /// this reliance. With `el_replicas > 1` the dispatcher revives the
+    /// replica and the surviving quorum keeps the gates open.
     pub fn kill_event_logger(&self, index: u32) {
         self.fabric.kill(NodeId::EventLogger(index));
+    }
+
+    /// Crash one replica of an event-logger shard.
+    pub fn kill_el_replica(&self, shard: u32, replica: u32) {
+        self.fabric.kill(NodeId::EventLogger(
+            ElAddr { shard, replica }.flat(self.el_replicas),
+        ));
     }
 
     /// Is the rank's current incarnation alive?
@@ -270,8 +290,13 @@ pub struct Cluster {
     /// The checkpoint server's stable storage: shared across CS
     /// incarnations so acked images survive a CS crash.
     cs_store: Arc<Mutex<CheckpointStore>>,
-    /// One unique-event counter per event logger (V2 only).
+    /// One unique-event counter per event-logger replica, flat-indexed
+    /// (V2 only).
     el_events_ever: Vec<Arc<std::sync::atomic::AtomicU64>>,
+    /// Each EL replica's shared ledger, flat-indexed. The store outlives
+    /// its service thread, so a killed replica keeps its events and a
+    /// revival absorbs a live peer's ledger into it before respawning.
+    el_stores: Vec<Arc<Mutex<EventLogStore>>>,
     /// Online invariant monitor, when enabled (sinks every record).
     monitor: Option<Arc<InvariantMonitor>>,
     /// Live health endpoint, when enabled.
@@ -328,11 +353,14 @@ impl Cluster {
 
         let cs_store = Arc::new(Mutex::new(CheckpointStore::new()));
         let mut el_events_ever = Vec::new();
+        let mut el_stores = Vec::new();
         match cfg.protocol {
             RuntimeProtocol::V2 => {
-                let (el_handles, el_counters) = spawn_event_loggers(&fabric, cfg.event_loggers);
+                let (el_handles, el_counters, stores) =
+                    spawn_event_loggers(&fabric, cfg.el_shards, cfg.el_replicas);
                 handles.extend(el_handles);
                 el_events_ever = el_counters;
+                el_stores = stores;
                 handles.push(spawn_checkpoint_server_on(&fabric, cs_store.clone()));
                 if let Some(sc) = &cfg.checkpointing {
                     handles.push(spawn_checkpoint_scheduler(&fabric, cfg.world, sc.clone()));
@@ -358,7 +386,8 @@ impl Cluster {
                 rank: Rank(r as u32),
                 world: cfg.world,
                 protocol: cfg.protocol,
-                event_loggers: cfg.event_loggers,
+                el_shards: cfg.el_shards,
+                el_replicas: cfg.el_replicas,
                 channel_memories: default_cms(cfg.world),
                 batch: cfg.batch,
                 restart: false,
@@ -391,6 +420,7 @@ impl Cluster {
             disp_rec,
             cs_store,
             el_events_ever,
+            el_stores,
             monitor,
             health,
         }
@@ -421,6 +451,7 @@ impl Cluster {
         FaultHandle {
             fabric: self.fabric.clone(),
             world: self.cfg.world,
+            el_replicas: self.cfg.el_replicas.max(1),
         }
     }
 
@@ -584,6 +615,68 @@ impl Cluster {
                         self.cs_store.clone(),
                     ));
                     self.service_restarts += 1;
+                }
+                // Revive crashed event-logger replicas — replicated
+                // deployments only. With R = 1 a dead EL stays dead
+                // and the system stalls at the pessimism gate (§4.5:
+                // the EL is assumed reliable; the R = 1 tests pin that
+                // stall). With R > 1 the survivors keep serving the
+                // quorum, and the dead replica is respawned on its
+                // surviving ledger after absorbing a live same-shard
+                // peer's snapshot, so it returns holding every event
+                // the quorum ever acked.
+                if self.cfg.el_replicas > 1 {
+                    let replicas = self.cfg.el_replicas;
+                    for shard in 0..self.cfg.el_shards {
+                        for replica in 0..replicas {
+                            let addr = ElAddr { shard, replica };
+                            let flat = addr.flat(replicas);
+                            if self.fabric.is_alive(NodeId::EventLogger(flat)) {
+                                continue;
+                            }
+                            // Absorb EVERY live peer, not just one:
+                            // with overlapping EL crash windows the
+                            // peers may hold different subsets, and an
+                            // ack watermark computed over a ledger with
+                            // holes would falsely claim the missing
+                            // events durable. The union over all live
+                            // peers is hole-free whenever at most
+                            // R − Q replicas are down at once (any
+                            // event's write set of ≥ Q intersects the
+                            // ≥ Q live peers).
+                            let snapshots: Vec<EventLogStore> = (0..replicas)
+                                .filter(|&p| p != replica)
+                                .map(|p| ElAddr { shard, replica: p }.flat(replicas))
+                                .filter(|&f| self.fabric.is_alive(NodeId::EventLogger(f)))
+                                .map(|f| self.el_stores[f as usize].lock().clone())
+                                .collect();
+                            let caught_up = {
+                                let mut store = self.el_stores[flat as usize].lock();
+                                for snap in &snapshots {
+                                    store.absorb(snap);
+                                }
+                                store.total_logged()
+                            };
+                            self.el_events_ever[flat as usize]
+                                .store(caught_up, std::sync::atomic::Ordering::Relaxed);
+                            self.handles.push(spawn_el_replica(
+                                &self.fabric,
+                                addr,
+                                replicas,
+                                self.el_events_ever[flat as usize].clone(),
+                                self.el_stores[flat as usize].clone(),
+                            ));
+                            self.service_restarts += 1;
+                            self.disp_rec.record(
+                                0,
+                                ProtoEvent::ElReplicaRevive {
+                                    shard,
+                                    replica,
+                                    caught_up,
+                                },
+                            );
+                        }
+                    }
                 }
             }
 
@@ -764,6 +857,47 @@ impl Cluster {
                 c.load(std::sync::atomic::Ordering::Relaxed)
             );
         }
+        // Per-shard merged view: a shard's unique-event count is the max
+        // across its replicas (each counter is monotone over the same
+        // dedup domain; the max is what a read quorum would reconstruct).
+        if !self.el_events_ever.is_empty() {
+            let replicas = self.cfg.el_replicas.max(1) as usize;
+            let per_replica: Vec<u64> = self
+                .el_events_ever
+                .iter()
+                .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+                .collect();
+            for (shard, chunk) in per_replica.chunks(replicas).enumerate() {
+                let _ = writeln!(
+                    out,
+                    "mvr_el_shard_unique_events{{shard=\"{shard}\"}} {}",
+                    chunk.iter().copied().max().unwrap_or(0)
+                );
+            }
+            // Per-shard ack RTT: fold each rank's ack-RTT histogram into
+            // the shard the consistent hash assigns it to.
+            let shards = self.cfg.el_shards.max(1);
+            let map = ShardMap::new(shards);
+            let mut per_shard = vec![LogHistogram::default(); shards as usize];
+            for (r, t) in self.final_timings.iter().enumerate() {
+                if let Some(t) = t {
+                    per_shard[map.shard_for(Rank(r as u32)) as usize].merge(&t.el_ack_rtt);
+                }
+            }
+            for (shard, h) in per_shard.iter().enumerate() {
+                let s = h.summary();
+                let _ = writeln!(
+                    out,
+                    "mvr_el_shard_ack_rtt_count{{shard=\"{shard}\"}} {}",
+                    s.count
+                );
+                let _ = writeln!(
+                    out,
+                    "mvr_el_shard_ack_rtt_p99_ns{{shard=\"{shard}\"}} {}",
+                    s.p99
+                );
+            }
+        }
         match &self.monitor {
             Some(m) => {
                 let _ = writeln!(out, "mvr_monitor_enabled 1");
@@ -823,7 +957,8 @@ impl Cluster {
             rank,
             world: self.cfg.world,
             protocol: self.cfg.protocol,
-            event_loggers: self.cfg.event_loggers,
+            el_shards: self.cfg.el_shards,
+            el_replicas: self.cfg.el_replicas,
             channel_memories: default_cms(self.cfg.world),
             batch: self.cfg.batch,
             restart: true,
@@ -848,7 +983,7 @@ impl Cluster {
             self.fabric.kill(NodeId::Computing(Rank(r)));
             self.fabric.kill(NodeId::Process(Rank(r)));
         }
-        for i in 0..self.cfg.event_loggers {
+        for i in 0..self.cfg.el_shards * self.cfg.el_replicas.max(1) {
             self.fabric.kill(NodeId::EventLogger(i));
         }
         for i in 0..default_cms(self.cfg.world) {

@@ -47,6 +47,10 @@ pub use services::SchedulerConfig;
 pub use mvr_net::{
     fail_stop_group, CountTrigger, ScheduledKill, TurbulenceConfig, TurbulenceStats,
 };
+// Re-exported so conservation harnesses can reason about the shard
+// topology (which shard owns a rank, merged unique-event views) without
+// depending on mvr-eventlog directly.
+pub use mvr_eventlog::{merged_unique_events, quorum_of, ShardMap};
 
 /// The MPI handle type applications receive.
 pub type NodeMpi = mvr_mpi::Mpi<DaemonChannel>;

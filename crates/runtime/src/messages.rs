@@ -1,6 +1,6 @@
 //! Mailbox message types of the runtime's node kinds.
 
-use mvr_core::{CkptReply, CmReply, ElReply, Metrics, Payload, PeerMsg, Rank, SchedMsg};
+use mvr_core::{CkptReply, CmReply, ElAddr, ElReply, Metrics, Payload, PeerMsg, Rank, SchedMsg};
 
 /// Everything a communication daemon can receive — the analog of its
 /// `select()` loop over one socket per peer and per service (§4.4).
@@ -20,8 +20,15 @@ pub enum DaemonMsg {
     },
     /// From the attached MPI process (the "UNIX socket").
     Proc(ProcRequest),
-    /// From the event logger.
-    El(ElReply),
+    /// From an event-logger replica. `from` identifies the shard
+    /// replica so the daemon can fold per-replica acks into the quorum
+    /// watermark its pessimism gate trusts.
+    El {
+        /// The answering replica.
+        from: ElAddr,
+        /// The reply.
+        reply: ElReply,
+    },
     /// From the checkpoint server.
     Ckpt(CkptReply),
     /// From the checkpoint scheduler.

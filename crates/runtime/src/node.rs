@@ -13,10 +13,10 @@ use crate::messages::{DaemonMsg, DispatcherMsg, ProcReply, ProcRequest};
 use mvr_ckpt::CkptPacket;
 use mvr_core::engine::{Input, Output};
 use mvr_core::{
-    BatchPolicy, CkptReply, CkptRequest, ElReply, ElRequest, NodeId, NodeImage, Payload, Rank,
-    SchedMsg, V2Engine,
+    BatchPolicy, CkptReply, CkptRequest, ElAddr, ElReply, ElRequest, NodeId, NodeImage, Payload,
+    Rank, ReceptionEvent, SchedMsg, V2Engine,
 };
-use mvr_eventlog::{el_for_rank, ElPacket};
+use mvr_eventlog::{quorum_of, ElPacket, ShardMap};
 use mvr_mpi::{Mpi, MpiError, MpiResult};
 use mvr_net::{Fabric, Identity, Mailbox, RecvError, SendError};
 use std::sync::mpsc;
@@ -133,8 +133,12 @@ pub struct NodeConfig {
     pub world: u32,
     /// Protocol stack.
     pub protocol: RuntimeProtocol,
-    /// Number of event loggers in the deployment (V2).
-    pub event_loggers: u32,
+    /// Number of event-logger shards in the deployment (V2); ranks are
+    /// partitioned across shards by consistent hashing.
+    pub el_shards: u32,
+    /// Replicas per event-logger shard (V2). Above 1, the pessimism
+    /// gate opens on a majority quorum of replica acks.
+    pub el_replicas: u32,
     /// Number of Channel Memories (V1).
     pub channel_memories: u32,
     /// Event-batching policy for the V2 engine (lazy flushing amortizes
@@ -294,7 +298,12 @@ struct Daemon {
     engine: V2Engine,
     identity: Identity,
     rank: Rank,
-    el_node: NodeId,
+    /// Every replica of this rank's event-logger shard, flat-indexed by
+    /// replica (§4.5: a daemon talks to exactly one shard).
+    el_nodes: Vec<NodeId>,
+    /// Replica acks needed before shipped events count as durable.
+    /// Replication factor (1 = the unreplicated single-EL deployment).
+    el_replicas: u32,
     cs_node: NodeId,
     sched_node: NodeId,
     /// Restored process state to hand out at `Init`.
@@ -306,13 +315,52 @@ struct Daemon {
     finalized: bool,
 }
 
+/// Union-merge several replicas' `DownloadEL` answers (each receiver-
+/// clock ordered) into one deduplicated, ordered event list. Any
+/// replica missed by a write quorum lacks at most the events the
+/// others hold, so the union over a read quorum recovers every
+/// quorum-acked event.
+fn merge_downloads(mut lists: Vec<Vec<ReceptionEvent>>) -> Vec<ReceptionEvent> {
+    if lists.len() <= 1 {
+        return lists.pop().unwrap_or_default();
+    }
+    let mut merged: Vec<ReceptionEvent> = Vec::new();
+    for list in lists {
+        let mut out = Vec::with_capacity(merged.len() + list.len());
+        let (mut i, mut j) = (0, 0);
+        while i < merged.len() && j < list.len() {
+            let (a, b) = (merged[i], list[j]);
+            if a.receiver_clock == b.receiver_clock {
+                out.push(a);
+                i += 1;
+                j += 1;
+            } else if a.receiver_clock < b.receiver_clock {
+                out.push(a);
+                i += 1;
+            } else {
+                out.push(b);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&merged[i..]);
+        out.extend_from_slice(&list[j..]);
+        merged = out;
+    }
+    merged
+}
+
 fn daemon_main(
     mailbox: Mailbox<DaemonMsg>,
     identity: Identity,
     cfg: NodeConfig,
 ) -> Result<(), DaemonEnd> {
     let rank = cfg.rank;
-    let el_node = NodeId::EventLogger(el_for_rank(rank, cfg.event_loggers));
+    let el_replicas = cfg.el_replicas.max(1);
+    let el_quorum = quorum_of(el_replicas);
+    let shard = ShardMap::new(cfg.el_shards.max(1)).shard_for(rank);
+    let el_nodes: Vec<NodeId> = (0..el_replicas)
+        .map(|replica| NodeId::EventLogger(ElAddr { shard, replica }.flat(el_replicas)))
+        .collect();
     let cs_node = NodeId::CheckpointServer(0);
     let sched_node = NodeId::CheckpointScheduler;
 
@@ -377,33 +425,57 @@ fn daemon_main(
         // Attach the flight recorder before `begin_recovery` so the
         // RESTART1 / recovery-begin records land in the timeline.
         engine.set_recorder(cfg.recorder.clone());
+        engine.set_el_replication(el_replicas, el_quorum);
 
-        // DownloadEL(H_p): the event logger is the reliable component; if
-        // it stays gone past the retry window the deployment is broken
-        // and we just die.
+        // DownloadEL(H_p): with replication, ask every replica of our
+        // shard and union-merge a read quorum of answers — the write
+        // quorum that acked each event intersects it, so the merge holds
+        // every quorum-acked event even if one replica's copy is stale.
+        // Up to R − Q replicas may be dead (mid-revival); unreplicated
+        // (R = 1) the EL is the reliable component and a send failure
+        // past the retry window means the deployment is broken.
         let after_clock = engine.clock();
-        send_service_retrying(
-            &identity,
-            el_node,
-            ElPacket {
-                from: rank,
-                req: ElRequest::Download { rank, after_clock },
-            },
-            8,
-        )
-        .map_err(|_| DaemonEnd::Killed)?;
-        let events = loop {
+        let mut asked = 0u32;
+        for el_node in &el_nodes {
+            if send_service_retrying(
+                &identity,
+                *el_node,
+                ElPacket {
+                    from: rank,
+                    req: ElRequest::Download { rank, after_clock },
+                },
+                8,
+            )
+            .is_ok()
+            {
+                asked += 1;
+            }
+        }
+        if asked < el_quorum {
+            return Err(DaemonEnd::Killed);
+        }
+        let mut answered: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        let mut downloads: Vec<Vec<ReceptionEvent>> = Vec::new();
+        while (answered.len() as u32) < el_quorum.min(asked) {
             match mailbox.recv() {
-                Ok(DaemonMsg::El(ElReply::Events(ev))) => break ev,
+                Ok(DaemonMsg::El {
+                    from,
+                    reply: ElReply::Events(ev),
+                }) => {
+                    if answered.insert(from.replica) {
+                        downloads.push(ev);
+                    }
+                }
                 Ok(other) => buffered.push(other),
                 Err(_) => return Err(DaemonEnd::Killed),
             }
-        };
-        engine.begin_recovery(events);
+        }
+        engine.begin_recovery(merge_downloads(downloads));
         engine
     } else {
         let mut engine = V2Engine::fresh_with_policy(rank, cfg.world, cfg.batch);
         engine.set_recorder(cfg.recorder.clone());
+        engine.set_el_replication(el_replicas, el_quorum);
         engine
     };
 
@@ -411,7 +483,8 @@ fn daemon_main(
         engine,
         identity,
         rank,
-        el_node,
+        el_nodes,
+        el_replicas,
         cs_node,
         sched_node,
         restored_mpi,
@@ -458,12 +531,27 @@ impl Daemon {
                     .map_err(|e| DaemonEnd::ReplayDivergence(e.to_string()))?;
             }
             DaemonMsg::Proc(req) => self.handle_proc(req)?,
-            DaemonMsg::El(ElReply::Ack { up_to }) => {
-                self.engine
-                    .handle(Input::ElAck { up_to })
-                    .expect("ack cannot diverge");
+            DaemonMsg::El {
+                from,
+                reply: ElReply::Ack { up_to },
+            } => {
+                // Replicated: per-replica acks feed the engine's quorum
+                // tracker; the gate only opens on the quorum watermark.
+                // Unreplicated: byte-identical to the single-ack path.
+                let input = if self.el_replicas > 1 {
+                    Input::ElReplicaAck {
+                        replica: from.replica,
+                        up_to,
+                    }
+                } else {
+                    Input::ElAck { up_to }
+                };
+                self.engine.handle(input).expect("ack cannot diverge");
             }
-            DaemonMsg::El(ElReply::Events(_)) => { /* stale download reply */ }
+            DaemonMsg::El {
+                reply: ElReply::Events(_),
+                ..
+            } => { /* stale download reply */ }
             DaemonMsg::Ckpt(CkptReply::Stored { clock, .. }) => {
                 self.engine
                     .handle(Input::CheckpointStored)
@@ -652,38 +740,64 @@ impl Daemon {
                     }
                 }
                 Output::LogEvents(batch) => {
-                    send_service_retrying(
-                        &self.identity,
-                        self.el_node,
-                        ElPacket {
-                            from: self.rank,
-                            req: ElRequest::Log(batch),
-                        },
-                        8,
-                    )
-                    .map_err(|e| match e {
-                        SendError::SenderDead => DaemonEnd::Killed,
-                        // An event logger dead past the retry window
-                        // breaks the deployment's reliability assumption;
-                        // halt this node.
-                        SendError::Disconnected(_) => DaemonEnd::Killed,
-                    })?;
+                    // Fan the batch out to every replica of our shard; a
+                    // write is durable once a quorum *acks* it — the
+                    // gate enforces that, so a sub-quorum fan-out (some
+                    // replicas dead mid-revival) is tolerable here: the
+                    // gate simply stays closed until the revived
+                    // replica's catch-up announcement re-acks. Only a
+                    // fan-out that reached no replica at all (R = 1:
+                    // the one EL dead past the retry window) breaks the
+                    // deployment's reliability assumption; halt.
+                    let mut stored = 0u32;
+                    let last = self.el_nodes.len() - 1;
+                    let mut batch = Some(batch);
+                    for (i, el_node) in self.el_nodes.iter().enumerate() {
+                        // The last replica takes the batch by move, so
+                        // the unreplicated hot path stays clone-free.
+                        let b = if i == last {
+                            batch.take().expect("batch moved early")
+                        } else {
+                            batch.as_ref().expect("batch moved early").clone()
+                        };
+                        match send_service_retrying(
+                            &self.identity,
+                            *el_node,
+                            ElPacket {
+                                from: self.rank,
+                                req: ElRequest::Log(b),
+                            },
+                            8,
+                        ) {
+                            Ok(()) => stored += 1,
+                            Err(SendError::SenderDead) => return Err(DaemonEnd::Killed),
+                            // A dead replica mid-revival: the quorum
+                            // below decides whether we can proceed.
+                            Err(SendError::Disconnected(_)) => {}
+                        }
+                    }
+                    if stored == 0 {
+                        return Err(DaemonEnd::Killed);
+                    }
                 }
                 Output::Deliver { from, payload } => {
                     self.to_proc(ProcReply::Msg { from, payload })?;
                 }
                 Output::ProbeAnswer(b) => self.to_proc(ProcReply::Probe(b))?,
                 Output::ElTruncate { up_to } => {
-                    let _ = self.identity.send(
-                        self.el_node,
-                        ElPacket {
-                            from: self.rank,
-                            req: ElRequest::Truncate {
-                                rank: self.rank,
-                                up_to,
+                    // Best-effort storage reclamation on every replica.
+                    for el_node in &self.el_nodes {
+                        let _ = self.identity.send(
+                            *el_node,
+                            ElPacket {
+                                from: self.rank,
+                                req: ElRequest::Truncate {
+                                    rank: self.rank,
+                                    up_to,
+                                },
                             },
-                        },
-                    );
+                        );
+                    }
                 }
                 Output::ReplayComplete => {}
             }

@@ -3,8 +3,8 @@
 
 use crate::messages::DaemonMsg;
 use mvr_ckpt::{CheckpointStore, CkptPacket, NodeStatus, Policy, Scheduler};
-use mvr_core::{NodeId, Rank, SchedMsg};
-use mvr_eventlog::ElPacket;
+use mvr_core::{ElAddr, NodeId, Rank, SchedMsg};
+use mvr_eventlog::{ElPacket, EventLogStore};
 use mvr_net::{Fabric, RecvError};
 use parking_lot::Mutex;
 use std::sync::atomic::AtomicU64;
@@ -12,38 +12,82 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Spawn `count` event loggers. Each serves the ranks assigned by
-/// [`mvr_eventlog::el_for_rank`]. The second return value holds one
-/// live counter per logger exposing its cumulative *unique*-event count
-/// ([`mvr_eventlog::run_event_logger_counted`]) — the conservation
-/// tests read these after a run to check that crash recovery never
-/// double-logged a logical delivery.
+/// Spawn one event-logger replica serving `addr`'s shard on a shared
+/// ledger. The ledger [`EventLogStore`] outlives the service thread —
+/// the dispatcher keeps the `Arc` so a killed replica's events survive
+/// its thread, and a revival absorbs a live peer's ledger into the same
+/// store before respawning on it. Replies are stamped with `addr` so
+/// daemons can attribute acks to replicas for quorum accounting.
+pub fn spawn_el_replica(
+    fabric: &Fabric,
+    addr: ElAddr,
+    replicas: u32,
+    counter: Arc<AtomicU64>,
+    store: Arc<Mutex<EventLogStore>>,
+) -> JoinHandle<()> {
+    let flat = addr.flat(replicas);
+    let (mb, identity) = fabric.register::<ElPacket>(NodeId::EventLogger(flat));
+    // Unreplicated deployments keep the historical thread names.
+    let name = if replicas <= 1 {
+        format!("el-{}", addr.shard)
+    } else {
+        addr.to_string()
+    };
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let _ = mvr_eventlog::run_event_logger_on(
+                mb,
+                move |rank, reply| {
+                    identity
+                        .send(NodeId::Computing(rank), DaemonMsg::El { from: addr, reply })
+                        .is_ok()
+                },
+                counter,
+                store,
+            );
+        })
+        .expect("spawn event logger")
+}
+
+/// Spawn `shards × replicas` event-logger replicas, flat-indexed
+/// (`flat = shard * replicas + replica`). Ranks are partitioned across
+/// shards by the consistent-hash [`mvr_eventlog::ShardMap`]; every
+/// replica of a shard holds the full shard ledger. The second return
+/// value holds one live counter per replica exposing its cumulative
+/// *unique*-event count — the conservation tests fold these into the
+/// merged cluster view ([`mvr_eventlog::merged_unique_events`]) to
+/// check that crash recovery never double-logged a logical delivery.
+/// The third holds each replica's shared ledger for crash-surviving
+/// revival.
+#[allow(clippy::type_complexity)]
 pub fn spawn_event_loggers(
     fabric: &Fabric,
-    count: u32,
-) -> (Vec<JoinHandle<()>>, Vec<Arc<AtomicU64>>) {
-    let counters: Vec<Arc<AtomicU64>> = (0..count).map(|_| Arc::new(AtomicU64::new(0))).collect();
-    let handles = (0..count)
-        .map(|i| {
-            let (mb, identity) = fabric.register::<ElPacket>(NodeId::EventLogger(i));
-            let counter = counters[i as usize].clone();
-            std::thread::Builder::new()
-                .name(format!("el-{i}"))
-                .spawn(move || {
-                    let _ = mvr_eventlog::run_event_logger_counted(
-                        mb,
-                        move |rank, reply| {
-                            identity
-                                .send(NodeId::Computing(rank), DaemonMsg::El(reply))
-                                .is_ok()
-                        },
-                        counter,
-                    );
-                })
-                .expect("spawn event logger")
+    shards: u32,
+    replicas: u32,
+) -> (
+    Vec<JoinHandle<()>>,
+    Vec<Arc<AtomicU64>>,
+    Vec<Arc<Mutex<EventLogStore>>>,
+) {
+    let replicas = replicas.max(1);
+    let total = (shards * replicas) as usize;
+    let counters: Vec<Arc<AtomicU64>> = (0..total).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let stores: Vec<Arc<Mutex<EventLogStore>>> = (0..total)
+        .map(|_| Arc::new(Mutex::new(EventLogStore::new())))
+        .collect();
+    let handles = (0..total as u32)
+        .map(|flat| {
+            spawn_el_replica(
+                fabric,
+                ElAddr::from_flat(flat, replicas),
+                replicas,
+                counters[flat as usize].clone(),
+                stores[flat as usize].clone(),
+            )
         })
         .collect();
-    (handles, counters)
+    (handles, counters, stores)
 }
 
 /// Spawn the checkpoint server with a private, volatile store.

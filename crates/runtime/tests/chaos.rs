@@ -12,7 +12,7 @@ use mvr_core::{NodeId, Payload, Rank};
 use mvr_mpi::{MpiResult, Source, Tag};
 use mvr_runtime::{
     fail_stop_group, ChaosConfig, Cluster, ClusterConfig, ClusterError, CountTrigger, NodeMpi,
-    SchedulerConfig, TurbulenceConfig,
+    SchedulerConfig, ShardMap, TurbulenceConfig,
 };
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -421,6 +421,95 @@ fn chaos_storm_under_ring_backpressure() {
         .unwrap_or_else(|e| panic!("backpressure storm seed {:#x} failed: {e}", chaos.seed));
     check_ring_results(&report.results, n, iters);
     assert!(report.restarts >= 1, "the storm must have killed someone");
+}
+
+// ---------------------------------------------------------------------
+// Replicated event loggers: quorum failover
+// ---------------------------------------------------------------------
+
+#[test]
+fn el_replica_kill_mid_run_is_masked_by_quorum_failover() {
+    // The sharded/replicated acceptance scenario: 4 shards × 2 replicas,
+    // continuous checkpointing, the online invariant monitor on, and one
+    // replica of rank 0's shard killed mid-run. With R = 2 the quorum is
+    // 2, so the daemons' gates stall during the sub-quorum window; the
+    // dispatcher revives the replica on its surviving ledger (absorbing
+    // the live peer's snapshot), its catch-up announcement re-acks the
+    // watermarks, and the run completes with fault-free results. A
+    // monitor violation would fail the wait, so success implies the
+    // invariants held throughout the failover.
+    let (n, iters) = (4, 300);
+    let cluster = Cluster::launch(
+        ClusterConfig {
+            world: n,
+            el_shards: 4,
+            el_replicas: 2,
+            checkpointing: ckpt_cfg(),
+            monitor: true,
+            ..Default::default()
+        },
+        ring_app(iters),
+    );
+    let handle = cluster.fault_handle();
+    let shard = ShardMap::new(4).shard_for(Rank(0));
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(15));
+        handle.kill_el_replica(shard, 1);
+    });
+    let report = cluster
+        .wait_report(TIMEOUT)
+        .expect("an EL replica kill must be masked by the quorum");
+    killer.join().unwrap();
+    check_ring_results(&report.results, n, iters);
+    assert!(
+        report.service_restarts >= 1,
+        "the dispatcher must have revived the killed replica"
+    );
+    assert_eq!(
+        report.restarts, 0,
+        "no rank may die because an EL replica did"
+    );
+}
+
+#[test]
+fn chaos_storm_with_el_replica_kills() {
+    // Rank kills and EL replica kills interleaved by the seeded driver:
+    // every non-rekill event also takes down one of the four replicas
+    // (2 shards × 2). Revival + catch-up must keep masking while ranks
+    // crash and replay concurrently.
+    let (n, iters) = (4, 300);
+    let chaos = ChaosConfig {
+        seed: 0xE1,
+        kills: 3,
+        el_kill_pct: 100,
+        el_total: 4,
+        ..Default::default()
+    };
+    let cluster = Cluster::launch(
+        ClusterConfig {
+            world: n,
+            el_shards: 2,
+            el_replicas: 2,
+            checkpointing: ckpt_cfg(),
+            chaos: Some(chaos.clone()),
+            ..Default::default()
+        },
+        ring_app(iters),
+    );
+    let report = cluster
+        .wait_report(TIMEOUT)
+        .unwrap_or_else(|e| panic!("EL storm seed {:#x} failed: {e}", chaos.seed));
+    check_ring_results(&report.results, n, iters);
+    let storm = report.chaos.expect("chaos driver ran");
+    assert!(
+        storm.el_kills >= 1,
+        "at least one EL replica kill must have executed"
+    );
+    assert_eq!(
+        storm.plan,
+        chaos.plan(n),
+        "EL kills must be replayable from the seed"
+    );
 }
 
 #[test]

@@ -27,7 +27,8 @@
 use mvr_core::{Payload, Rank};
 use mvr_mpi::{MpiResult, Source, Tag};
 use mvr_runtime::{
-    ChaosConfig, Cluster, ClusterConfig, NodeMpi, RunReport, SchedulerConfig, TurbulenceConfig,
+    merged_unique_events, ChaosConfig, Cluster, ClusterConfig, NodeMpi, RunReport, SchedulerConfig,
+    TurbulenceConfig,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::Ordering;
@@ -252,4 +253,56 @@ fn conservation_under_seeded_chaos() {
             "seed {seed:#x}: EL lost events: {el_unique} < {logical}"
         );
     }
+}
+
+#[test]
+fn conservation_across_shard_ledgers_with_replicas() {
+    // Sharded, replicated event logging under a storm that also kills EL
+    // replicas. The cluster-wide unique-event count is NOT the sum of
+    // the flat counters (each shard's ledger exists R times); it is the
+    // per-shard max across replicas, summed across shards — exactly what
+    // `merged_unique_events` computes. Rank crashes, replica crashes,
+    // retransmissions and replica catch-up absorption must all leave
+    // that merged count at the fault-free delivery count: exactly-once
+    // holds per shard ledger, and absorption never double-counts.
+    const REPLICAS: u32 = 2;
+    const SHARDS: u32 = 4;
+    let cluster = Cluster::launch(
+        ClusterConfig {
+            world: WORLD,
+            el_shards: SHARDS,
+            el_replicas: REPLICAS,
+            checkpointing: Some(SchedulerConfig {
+                interval: Duration::from_millis(1),
+                ..Default::default()
+            }),
+            chaos: Some(ChaosConfig {
+                seed: 0xC0FFEE,
+                kills: 4,
+                rekill_pct: 30,
+                el_kill_pct: 50,
+                el_total: SHARDS * REPLICAS,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+        ring_app(ITERS),
+    );
+    let counters = cluster.el_event_counters();
+    let report = cluster.wait_report(TIMEOUT).expect("sharded storm masked");
+    check_results(&report);
+    check_cross_layer_identities(&report, "sharded");
+
+    let per_replica: Vec<u64> = counters.iter().map(|c| c.load(Ordering::Acquire)).collect();
+    assert_eq!(per_replica.len(), (SHARDS * REPLICAS) as usize);
+    let el_unique = merged_unique_events(&per_replica, REPLICAS as usize);
+    let logical = (WORLD * ITERS) as u64;
+    assert!(
+        el_unique <= logical,
+        "shard ledgers over-counted: {el_unique} > {logical}"
+    );
+    assert!(
+        el_unique >= logical - (16 * WORLD) as u64,
+        "shard ledgers lost events: {el_unique} < {logical}"
+    );
 }

@@ -69,7 +69,7 @@ fn multiple_event_loggers_partition_the_ranks() {
     // communication daemon must be connected to exactly one event logger."
     let cfg = ClusterConfig {
         world: 6,
-        event_loggers: 3,
+        el_shards: 3,
         ..Default::default()
     };
     let app = |mpi: &mut NodeMpi, _restored: Option<Payload>| {
@@ -230,7 +230,7 @@ fn sixteen_rank_ring_with_scattered_kills() {
     // A larger deployment: 16 ranks (32 threads + services), three kills.
     let cfg = ClusterConfig {
         world: 16,
-        event_loggers: 2,
+        el_shards: 2,
         ..Default::default()
     };
     let app = |mpi: &mut NodeMpi, _restored: Option<Payload>| {

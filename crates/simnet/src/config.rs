@@ -112,8 +112,16 @@ pub struct ClusterConfig {
     pub el_batch_adaptive: bool,
     /// Gate-wait p99 budget for adaptive widening (virtual ns).
     pub el_gate_budget_ns: u64,
-    /// Number of event loggers (ranks are partitioned round-robin).
+    /// Number of event-logger shards (ranks are partitioned round-robin).
     pub event_loggers: usize,
+    /// V2 only: replicas per event-logger shard. Each shipped batch fans
+    /// out to every replica of the owner's shard and the pessimism gate
+    /// reopens on the *quorum* ack (majority of replicas), so replication
+    /// multiplies EL wire traffic and rank tx-lane pressure without
+    /// stretching the gate when replicas are symmetric. `1` reproduces
+    /// the paper's unreplicated deployment on the exact same event
+    /// sequence (the figure-5/6 calibration baseline).
+    pub el_replicas: usize,
     /// Number of Channel Memories for V1 (the paper used N/4; each CM
     /// serves ranks round-robin). 0 means one CM per rank.
     pub channel_memories: usize,
@@ -152,6 +160,7 @@ impl ClusterConfig {
             el_batch_adaptive: false,
             el_gate_budget_ns: 100_000,
             event_loggers: 1,
+            el_replicas: 1,
             channel_memories: 0,
             ckpt_bandwidth: 11_300_000,
             restart_overhead: crate::time::msecs(500),

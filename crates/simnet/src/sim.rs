@@ -106,15 +106,20 @@ enum TKind {
         receiver: usize,
         index: u64,
     },
-    /// Reception events to an event logger (one batched request).
-    /// `shipped` is the instant the daemon put the batch on the wire —
-    /// carried through to the ack so the round-trip can be measured.
+    /// Reception events to an event-logger replica (one copy of a
+    /// batched request; with replication the same batch rides `R`
+    /// transfers, one per replica of the owner's shard). `shipped` is
+    /// the instant the daemon put the batch on the wire — carried
+    /// through to the ack so the round-trip can be measured.
     ElEvent {
         owner: usize,
         events: u64,
         shipped: SimTime,
+        replica: usize,
     },
     /// Event-logger acknowledgement, covering `events` receptions.
+    /// The batch retires on the quorum-th ack; stragglers only tally
+    /// (replica lanes are symmetric, so the ack needs no replica id).
     ElAck {
         owner: usize,
         events: u64,
@@ -325,6 +330,10 @@ struct RankSim {
     recv_clock: u64,
     /// Receiver-clock watermarks of in-flight EL batches (FIFO).
     el_ship_q: VecDeque<u64>,
+    /// Replica acks tallied for the head in-flight batch (acks arrive
+    /// batch-FIFO because every replica lane is symmetric and the
+    /// owner's tx lane serializes the fan-out in batch order).
+    el_ack_tally: u32,
     /// Live batch threshold under `el_batch_adaptive` (unused otherwise):
     /// doubled on under-budget acks, halved on gate deferrals.
     el_limit: u64,
@@ -374,6 +383,7 @@ impl RankSim {
             sent_clocks: vec![Vec::new(); n],
             recv_clock: 0,
             el_ship_q: VecDeque::new(),
+            el_ack_tally: 0,
             el_limit: 1,
             ckpt_seq: 0,
             ckpt_begin_t: 0,
@@ -460,7 +470,7 @@ impl Sim {
     pub fn new(cfg: ClusterConfig, traces: Vec<Vec<Op>>) -> Self {
         let n = traces.len();
         assert_eq!(cfg.nodes, n, "config.nodes must match trace count");
-        let num_els = cfg.event_loggers.max(1);
+        let num_els = cfg.event_loggers.max(1) * cfg.el_replicas.max(1);
         let num_cms = if cfg.channel_memories == 0 {
             n
         } else {
@@ -538,8 +548,19 @@ impl Sim {
             .unwrap_or(index + 1)
     }
 
-    fn el_for(&self, rank: usize) -> Nid {
-        self.el_base + rank % (self.cm_base - self.el_base)
+    /// Node id of `replica` within the shard serving `rank`. Shards
+    /// partition ranks round-robin (a cost model, not the runtime's
+    /// consistent hash); a shard's replicas occupy contiguous ids.
+    fn el_nid(&self, rank: usize, replica: usize) -> Nid {
+        let reps = self.cfg.el_replicas.max(1);
+        let shards = (self.cm_base - self.el_base) / reps;
+        self.el_base + (rank % shards) * reps + replica
+    }
+
+    /// Acks that must arrive before a batch retires: a majority of the
+    /// shard's replicas, so one is exactly the unreplicated behaviour.
+    fn el_quorum(&self) -> u32 {
+        (self.cfg.el_replicas.max(1) / 2 + 1) as u32
     }
 
     fn cm_for(&self, rank: usize) -> Nid {
@@ -814,10 +835,12 @@ impl Sim {
                 owner,
                 events,
                 shipped,
+                replica,
             } => {
-                // One EL service pass per batch, then one coalesced
-                // high-watermark ack back (the round-trip amortization).
-                let el = self.el_for(owner);
+                // One EL service pass per batch per replica, then one
+                // coalesced high-watermark ack back from each (the
+                // round-trip amortization).
+                let el = self.el_nid(owner, replica);
                 self.start_transfer(
                     el,
                     owner,
@@ -835,6 +858,27 @@ impl Sim {
                 events,
                 shipped,
             } => {
+                // Quorum gate: the head batch retires on the Q-th replica
+                // ack; sub-quorum acks and post-quorum stragglers only
+                // move the tally. Replica lanes are symmetric and the
+                // owner's tx lane serializes the fan-out in batch order,
+                // so acks arrive batch-FIFO and a modular tally suffices.
+                // With one replica Q == 1 and every ack retires a batch —
+                // the paper's unreplicated path, on identical events.
+                let reps = self.cfg.el_replicas.max(1) as u32;
+                let quorum = self.el_quorum();
+                let tally = {
+                    let rk = &mut self.ranks[owner];
+                    rk.el_ack_tally += 1;
+                    let t = rk.el_ack_tally;
+                    if t == reps {
+                        rk.el_ack_tally = 0;
+                    }
+                    t
+                };
+                if tally != quorum {
+                    return;
+                }
                 let rtt = self.now.saturating_sub(shipped);
                 self.el_ack_rtt.record(rtt);
                 // Adaptive widening: while released sends have waited
@@ -1156,18 +1200,25 @@ impl Sim {
                 up_to,
             },
         );
-        let el = self.el_for(r);
-        self.start_transfer(
-            r,
-            el,
-            events * self.cfg.event_bytes,
-            0,
-            TKind::ElEvent {
-                owner: r,
-                events,
-                shipped: self.now,
-            },
-        );
+        // Fan the batch out to every replica of the shard; the owner's
+        // tx lane serializes the copies, which is the real cost of
+        // replication (the quorum ack lands no later than the single
+        // ack did, replicas being symmetric).
+        for replica in 0..self.cfg.el_replicas.max(1) {
+            let el = self.el_nid(r, replica);
+            self.start_transfer(
+                r,
+                el,
+                events * self.cfg.event_bytes,
+                0,
+                TKind::ElEvent {
+                    owner: r,
+                    events,
+                    shipped: self.now,
+                    replica,
+                },
+            );
+        }
     }
 
     fn gate_closed(&self, r: usize) -> bool {
@@ -1822,6 +1873,7 @@ impl Sim {
             rk.ckpt_in_progress = false;
             rk.outstanding_acks = 0;
             rk.pending_el = 0;
+            rk.el_ack_tally = 0;
             rk.gated.clear();
             rk.rndv_pending.clear();
             rk.resend_q.clear();
@@ -2340,10 +2392,57 @@ mod tests {
     fn el_partition_is_stable() {
         let sim = Sim::new(cfg(Protocol::V2, 8), vec![Vec::new(); 8]);
         for r in 0..8 {
-            let el = sim.el_for(r);
+            let el = sim.el_nid(r, 0);
             assert!(el >= sim.el_base && el < sim.cm_base);
-            assert_eq!(el, sim.el_for(r));
+            assert_eq!(el, sim.el_nid(r, 0));
         }
+    }
+
+    #[test]
+    fn el_replica_addressing_is_contiguous_per_shard() {
+        let mut c = cfg(Protocol::V2, 8);
+        c.event_loggers = 2;
+        c.el_replicas = 3;
+        let sim = Sim::new(c, vec![Vec::new(); 8]);
+        assert_eq!(sim.cm_base - sim.el_base, 6, "2 shards x 3 replicas");
+        for r in 0..8 {
+            let shard = r % 2;
+            for rep in 0..3 {
+                assert_eq!(sim.el_nid(r, rep), sim.el_base + shard * 3 + rep);
+            }
+        }
+        assert_eq!(sim.el_quorum(), 2, "majority of 3");
+    }
+
+    #[test]
+    fn el_replication_costs_traffic_but_not_the_gate() {
+        // The same event sequence ships R wire copies per batch, but the
+        // gate reopens on the quorum ack of symmetric replicas: logical
+        // counts and RTT samples are replica-invariant, and the makespan
+        // only pays the fan-out serialization (never improves).
+        let run = |reps: usize| {
+            let mut c = cfg(Protocol::V2, 2);
+            c.el_replicas = reps;
+            let mut a = TraceBuilder::new();
+            let mut b = TraceBuilder::new();
+            for _ in 0..20 {
+                a.send(1, 1024);
+                b.recv(0);
+            }
+            simulate(c, vec![a.build(), b.build()])
+        };
+        let base = run(1);
+        let tri = run(3);
+        assert_eq!(tri.el_events, base.el_events, "logical events");
+        assert_eq!(tri.el_requests, base.el_requests, "batches shipped");
+        // One RTT sample per *retired* batch, taken at the quorum ack.
+        // Quorum acks land later than a lone ack (the fan-out serializes
+        // on the owner's tx lane), so more tail batches can still be in
+        // flight at finish — the count may trail, never exceed.
+        assert!(tri.el_ack_rtt.count() <= base.el_ack_rtt.count());
+        assert!(base.el_ack_rtt.count() <= base.el_requests);
+        assert_eq!(tri.msgs_delivered, base.msgs_delivered);
+        assert!(tri.makespan >= base.makespan, "replication is never free");
     }
 
     #[test]

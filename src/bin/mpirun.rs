@@ -195,7 +195,7 @@ fn main() {
     let cfg = ClusterConfig {
         world,
         protocol: opt.protocol,
-        event_loggers: pf.event_loggers.len().max(1) as u32,
+        el_shards: pf.event_loggers.len().max(1) as u32,
         checkpointing,
         ..Default::default()
     };
@@ -204,7 +204,7 @@ fn main() {
         "mpirun: {} ranks, protocol {:?}, {} event logger(s), checkpoints {}",
         world,
         opt.protocol,
-        cfg.event_loggers,
+        cfg.el_shards,
         if cfg.checkpointing.is_some() {
             "on"
         } else {
