@@ -11,17 +11,22 @@
 //! by rerunning with that seed.
 //!
 //! `--smoke` runs the CI subset; the full sweep is 30 scenarios.
+//! `--proc-storm` adds the multi-process preset: the same seeded storm
+//! plans delivered as **real SIGKILLs** to real OS processes over the
+//! TCP socket backend (this binary re-executes itself as the children).
 //! Output: a text table plus `results/BENCH_chaos.json`.
 
 use mvr_bench::{print_table, write_json};
 use mvr_core::{Payload, Rank};
 use mvr_mpi::{MpiResult, Source, Tag};
 use mvr_obs::{ProtoEvent, RecorderConfig, TimingSummary, DISPATCHER_RANK};
+use mvr_runtime::proc::{maybe_run_child, run_proc, ProcOptions};
 use mvr_runtime::{
     ChaosConfig, Cluster, ClusterConfig, NodeMpi, RunReport, SchedulerConfig, TurbulenceConfig,
 };
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const WORLD: u32 = 4;
@@ -442,9 +447,146 @@ fn run_scenario(pattern: Pattern, storm: &Storm, seed: u64, dump_ok: bool) -> Sc
     }
 }
 
+// ---------------------------------------------------------------------
+// Multi-process preset: the same storm planning, delivered as real
+// SIGKILLs to real OS processes over the TCP socket backend.
+// ---------------------------------------------------------------------
+
+const PROC_ITERS: u32 = 120;
+const PROC_EL_REPLICAS: u32 = 3;
+
+/// Storm plan for the process preset. Gaps are stretched relative to
+/// the in-process storms — real processes take tens of milliseconds to
+/// boot, and the interesting kills are the mid-stream ones. Still a
+/// pure function of the seed: rerunning replays the identical SIGKILL
+/// schedule.
+fn proc_storm_chaos(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        kills: 2,
+        min_gap: Duration::from_millis(30),
+        max_gap: Duration::from_millis(120),
+        max_burst: 1,
+        rekill_pct: 0,
+        cs_kill_pct: 25,
+        el_kill_pct: 50,
+        el_total: PROC_EL_REPLICAS,
+    }
+}
+
+fn run_proc_scenario(seed: u64) -> ScenarioResult {
+    let chaos = proc_storm_chaos(seed);
+    // The plan is pure: count what the storm will do before running it.
+    let plan = chaos.plan(WORLD);
+    let rank_kills: u64 = plan.iter().map(|e| e.victims.len() as u64).sum();
+    let cs_kills = plan.iter().filter(|e| e.kill_checkpoint_server).count() as u64;
+    let el_kills = plan.iter().filter(|e| e.kill_el_replica.is_some()).count() as u64;
+
+    let mut opts = ProcOptions::new(WORLD, format!("soak-ring {PROC_ITERS}"));
+    opts.el_shards = 1;
+    opts.el_replicas = PROC_EL_REPLICAS;
+    opts.timeout = TIMEOUT;
+    opts.chaos = Some(chaos);
+
+    let start = Instant::now();
+    let outcome = run_proc(opts);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let scenario = format!("ring/proc-storm/seed={seed:#x}");
+    let (passed, error, restarts, service_restarts) = match outcome {
+        Ok(report) => {
+            let mut verdict = Ok(());
+            for (r, p) in report.results.iter().enumerate() {
+                let got = p
+                    .as_slice()
+                    .try_into()
+                    .map(u64::from_le_bytes)
+                    .map_err(|_| format!("rank {r}: bad payload length"));
+                let want = expected_ring(r as u32, WORLD, PROC_ITERS);
+                match got {
+                    Ok(g) if g == want => {}
+                    Ok(g) => {
+                        verdict = Err(format!("rank {r}: got {g:#x}, want {want:#x}"));
+                        break;
+                    }
+                    Err(e) => {
+                        verdict = Err(e);
+                        break;
+                    }
+                }
+            }
+            if verdict.is_ok() && !report.violations.is_empty() {
+                verdict = Err(format!("violations: {:?}", report.violations));
+            }
+            (
+                verdict.is_ok(),
+                verdict.err(),
+                report.restarts as u64,
+                report.service_restarts as u64,
+            )
+        }
+        Err(e) => (false, Some(e.to_string()), 0, 0),
+    };
+    ScenarioResult {
+        scenario,
+        pattern: "ring",
+        storm: "proc-storm",
+        seed,
+        world: WORLD,
+        passed,
+        error,
+        wall_ms,
+        restarts,
+        service_restarts,
+        rank_kills,
+        cs_kills,
+        el_kills,
+        recoveries: restarts,
+        replays_completed: 0,
+        replayed_deliveries: 0,
+        duplicates_dropped: 0,
+        retransmissions: 0,
+        timings: TimingSummary::default(),
+    }
+}
+
+fn table_row(r: &ScenarioResult) -> Vec<String> {
+    vec![
+        r.pattern.to_string(),
+        r.storm.to_string(),
+        format!("{:#x}", r.seed),
+        r.rank_kills.to_string(),
+        r.cs_kills.to_string(),
+        r.el_kills.to_string(),
+        r.restarts.to_string(),
+        r.replays_completed.to_string(),
+        r.replayed_deliveries.to_string(),
+        r.duplicates_dropped.to_string(),
+        r.retransmissions.to_string(),
+        format!("{:.0}", r.wall_ms),
+        if r.passed { "ok" } else { "FAIL" }.to_string(),
+    ]
+}
+
 fn main() {
+    // Re-entry point for the process preset's children: every rank, EL
+    // replica and checkpoint server of a `--proc-storm` run is this
+    // same binary.
+    if maybe_run_child(&|spec: &str| {
+        let mut it = spec.split_whitespace();
+        match it.next() {
+            Some("soak-ring") => {
+                let iters: u32 = it.next()?.parse().ok()?;
+                Some(Arc::new(ring_app(iters)) as Arc<dyn mvr_runtime::MpiApp>)
+            }
+            _ => None,
+        }
+    }) {
+        return;
+    }
+
     let smoke = std::env::args().any(|a| a == "--smoke" || a == "--quick");
     let dump_ok = std::env::args().any(|a| a == "--dump");
+    let proc_storm = std::env::args().any(|a| a == "--proc-storm");
     let patterns = [Pattern::Ring, Pattern::Stream, Pattern::Fanin];
     let seeds: &[u64] = if smoke {
         &[0xC0FFEE]
@@ -490,22 +632,38 @@ fn main() {
         if !r.passed {
             failures += 1;
         }
-        rows.push(vec![
-            r.pattern.to_string(),
-            r.storm.to_string(),
-            format!("{:#x}", r.seed),
-            r.rank_kills.to_string(),
-            r.cs_kills.to_string(),
-            r.el_kills.to_string(),
-            r.restarts.to_string(),
-            r.replays_completed.to_string(),
-            r.replayed_deliveries.to_string(),
-            r.duplicates_dropped.to_string(),
-            r.retransmissions.to_string(),
-            format!("{:.0}", r.wall_ms),
-            if r.passed { "ok" } else { "FAIL" }.to_string(),
-        ]);
+        rows.push(table_row(&r));
         results.push(r);
+    }
+
+    if proc_storm {
+        println!(
+            "proc-storm: {} seed(s), socket backend — the storm plan lands as real SIGKILLs",
+            seeds.len()
+        );
+        for &seed in seeds {
+            let r = run_proc_scenario(seed);
+            println!(
+                "  [{}] {}  kills={} cs={} el={} restarts={} svc={} {:.0}ms{}",
+                if r.passed { "ok" } else { "FAIL" },
+                r.scenario,
+                r.rank_kills,
+                r.cs_kills,
+                r.el_kills,
+                r.restarts,
+                r.service_restarts,
+                r.wall_ms,
+                r.error
+                    .as_deref()
+                    .map(|e| format!("  <-- {e}"))
+                    .unwrap_or_default(),
+            );
+            if !r.passed {
+                failures += 1;
+            }
+            rows.push(table_row(&r));
+            results.push(r);
+        }
     }
 
     print_table(

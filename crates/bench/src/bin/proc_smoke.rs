@@ -1,0 +1,210 @@
+//! Multi-process deployment smoke: one pinned, seeded scenario on the
+//! socket backend — 4 real `mpirun`-style OS processes plus a
+//! replicated event logger and a checkpoint server, with a real
+//! `SIGKILL` of one rank *and* one event-logger replica mid-stream.
+//!
+//! The run must complete with recovery (≥1 rank reincarnation, ≥1
+//! service revival), produce bit-exact ring payloads, report zero
+//! invariant violations from the live monitors, and leave a merged
+//! flight-recorder dump that passes the offline strict audit (schema,
+//! span closure, invariants) — the same checks `obs_analyze --strict`
+//! applies.
+//!
+//! This binary re-executes itself as the rank/EL/CS children
+//! (`maybe_run_child`), exactly like `mpirun --backend socket`.
+
+use mvr_bench::write_json;
+use mvr_core::{Payload, Rank};
+use mvr_mpi::{MpiResult, Source, Tag};
+use mvr_obs::{parse_dump, validate_records, InvariantMonitor, SpanSet};
+use mvr_runtime::proc::{maybe_run_child, run_proc, ProcOptions};
+use mvr_runtime::NodeMpi;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WORLD: u32 = 4;
+const ITERS: u32 = 120;
+
+#[derive(Clone, Serialize, Deserialize)]
+struct IterState {
+    iter: u32,
+    acc: u64,
+}
+
+/// The soak ring: sendrecv around the ring, fold the token, checkpoint
+/// every iteration. Closed-form expected payload per rank.
+fn ring_app(iters: u32) -> impl Fn(&mut NodeMpi, Option<Payload>) -> MpiResult<Payload> {
+    move |mpi, restored| {
+        let mut st: IterState = match &restored {
+            Some(p) => bincode::deserialize(p.as_slice()).expect("valid state"),
+            None => IterState { iter: 0, acc: 0 },
+        };
+        let me = mpi.rank().0;
+        let n = mpi.size();
+        let next = Rank((me + 1) % n);
+        let prev = Rank((me + n - 1) % n);
+        while st.iter < iters {
+            let token = ((st.iter as u64) << 32) | me as u64;
+            let (_, _, body) = mpi.sendrecv(
+                next,
+                7,
+                &token.to_le_bytes(),
+                Source::Rank(prev),
+                Tag::Value(7),
+            )?;
+            let v = u64::from_le_bytes(body.as_slice().try_into().expect("8 bytes"));
+            st.acc = st.acc.wrapping_mul(31).wrapping_add(v);
+            st.iter += 1;
+            mpi.checkpoint_site(&bincode::serialize(&st).expect("serializable"))?;
+        }
+        Ok(Payload::from_vec(st.acc.to_le_bytes().to_vec()))
+    }
+}
+
+fn expected_ring(me: u32, n: u32, iters: u32) -> u64 {
+    let prev = (me + n - 1) % n;
+    let mut acc: u64 = 0;
+    for i in 0..iters {
+        acc = acc
+            .wrapping_mul(31)
+            .wrapping_add(((i as u64) << 32) | prev as u64);
+    }
+    acc
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("proc_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// The strict offline audit over the merged dump — the checks behind
+/// `obs_analyze --strict`, applied in-process.
+fn strict_audit(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("read {}: {e}", path.display())));
+    let (header, timeline) =
+        parse_dump(&text).unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+    if let Some(h) = header {
+        if h.dropped > 0 {
+            fail(&format!("{} record(s) lost to ring wraparound", h.dropped));
+        }
+    }
+    if let Err(e) = validate_records(&timeline) {
+        fail(&format!("schema validation: {e}"));
+    }
+    let spans = SpanSet::build(&timeline);
+    if !spans.orphans.is_empty() {
+        fail(&format!("{} orphan span edge(s)", spans.orphans.len()));
+    }
+    let monitor = InvariantMonitor::new();
+    monitor.observe_all(&timeline);
+    if let Some(v) = monitor.violation() {
+        fail(&format!("invariant `{}` violated: {v}", v.invariant));
+    }
+    println!(
+        "proc_smoke: strict audit ok ({} records, {} spans)",
+        timeline.len(),
+        spans.spans.len()
+    );
+}
+
+#[derive(Serialize)]
+struct SmokeResult {
+    world: u32,
+    iters: u32,
+    restarts: u32,
+    service_restarts: u32,
+    detections: usize,
+    records_audited: bool,
+    wall_ms: f64,
+}
+
+fn main() {
+    // Child re-entry: rank/EL/CS processes come back through here.
+    if maybe_run_child(&|spec: &str| {
+        let mut it = spec.split_whitespace();
+        match it.next() {
+            Some("soak-ring") => {
+                let iters: u32 = it.next()?.parse().ok()?;
+                Some(Arc::new(ring_app(iters)) as Arc<dyn mvr_runtime::MpiApp>)
+            }
+            _ => None,
+        }
+    }) {
+        return;
+    }
+
+    let obs_dir = PathBuf::from("results").join("proc_smoke_obs");
+    let _ = std::fs::remove_dir_all(&obs_dir);
+
+    let mut opts = ProcOptions::new(WORLD, format!("soak-ring {ITERS}"));
+    opts.el_shards = 1;
+    opts.el_replicas = 3;
+    opts.timeout = Duration::from_secs(90);
+    // The pinned fault plan: a rank dies mid-stream, then an EL replica
+    // dies while the quorum gate is hot. Both are real SIGKILLs.
+    opts.kills = vec![(Rank(1), Duration::from_millis(45))];
+    opts.el_kills = vec![(2, Duration::from_millis(70))];
+    opts.obs_dir = Some(obs_dir);
+
+    println!(
+        "proc_smoke: world={WORLD}, EL 1x3, SIGKILL cn1@45ms + el2@70ms, ring {ITERS} (socket backend)"
+    );
+    let start = Instant::now();
+    let report = match run_proc(opts) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("deployment failed: {e}")),
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Recovery happened and converged to the fault-free payloads.
+    for (r, p) in report.results.iter().enumerate() {
+        let got = u64::from_le_bytes(
+            p.as_slice()
+                .try_into()
+                .unwrap_or_else(|_| fail(&format!("rank {r}: bad payload length"))),
+        );
+        let want = expected_ring(r as u32, WORLD, ITERS);
+        if got != want {
+            fail(&format!("rank {r}: got {got:#x}, want {want:#x}"));
+        }
+    }
+    if report.restarts < 1 {
+        fail("expected at least one rank reincarnation");
+    }
+    if report.service_restarts < 1 {
+        fail("expected at least one EL replica revival");
+    }
+    if report.detections.is_empty() {
+        fail("expected fail-stop detections");
+    }
+    if !report.violations.is_empty() {
+        fail(&format!("invariant violations: {:?}", report.violations));
+    }
+    let Some(dump) = &report.merged_dump else {
+        fail("no merged flight-recorder dump");
+    };
+    strict_audit(dump);
+
+    for (peer, cause) in &report.detections {
+        println!("proc_smoke: detected loss of {peer} ({cause})");
+    }
+    println!(
+        "proc_smoke: ok — {} rank restart(s), {} service restart(s), {:.0}ms",
+        report.restarts, report.service_restarts, wall_ms
+    );
+    write_json(
+        "BENCH_proc_smoke",
+        &SmokeResult {
+            world: WORLD,
+            iters: ITERS,
+            restarts: report.restarts,
+            service_restarts: report.service_restarts,
+            detections: report.detections.len(),
+            records_audited: true,
+            wall_ms,
+        },
+    );
+}

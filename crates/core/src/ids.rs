@@ -85,6 +85,50 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Error parsing a [`NodeId`] from its wire name (see [`NodeId`]'s
+/// `FromStr`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseNodeIdError(String);
+
+impl fmt::Display for ParseNodeIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid node id {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseNodeIdError {}
+
+impl std::str::FromStr for NodeId {
+    type Err = ParseNodeIdError;
+
+    /// Parse the compact names `Display` emits (`cn7`, `proc7`, `el0`,
+    /// `cs0`, `sc`, `disp`, `cm3`) — used by progfiles and child-process
+    /// role environment variables, so the address a supervisor prints is
+    /// exactly the one a child parses back.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseNodeIdError(s.to_string());
+        let num = |rest: &str| rest.parse::<u32>().map_err(|_| err());
+        match s {
+            "sc" => return Ok(NodeId::CheckpointScheduler),
+            "disp" => return Ok(NodeId::Dispatcher),
+            _ => {}
+        }
+        if let Some(rest) = s.strip_prefix("proc") {
+            Ok(NodeId::Process(Rank(num(rest)?)))
+        } else if let Some(rest) = s.strip_prefix("cn") {
+            Ok(NodeId::Computing(Rank(num(rest)?)))
+        } else if let Some(rest) = s.strip_prefix("el") {
+            Ok(NodeId::EventLogger(num(rest)?))
+        } else if let Some(rest) = s.strip_prefix("cs") {
+            Ok(NodeId::CheckpointServer(num(rest)?))
+        } else if let Some(rest) = s.strip_prefix("cm") {
+            Ok(NodeId::ChannelMemory(num(rest)?))
+        } else {
+            Err(err())
+        }
+    }
+}
+
 /// The unique identifier of a message: the sender plus the sender's logical
 /// clock when the `send` action ran. Because a process's clock strictly
 /// increases, `MsgId`s are unique and, per (sender, receiver) pair, emitted
@@ -155,6 +199,26 @@ mod tests {
         assert_eq!(format!("{}", NodeId::CheckpointScheduler), "sc");
         assert_eq!(format!("{}", NodeId::Dispatcher), "disp");
         assert_eq!(format!("{}", NodeId::ChannelMemory(3)), "cm3");
+    }
+
+    #[test]
+    fn node_id_parses_its_own_display() {
+        let all = [
+            NodeId::Computing(Rank(7)),
+            NodeId::Process(Rank(2)),
+            NodeId::EventLogger(0),
+            NodeId::CheckpointServer(1),
+            NodeId::CheckpointScheduler,
+            NodeId::Dispatcher,
+            NodeId::ChannelMemory(3),
+        ];
+        for id in all {
+            assert_eq!(format!("{id}").parse::<NodeId>().unwrap(), id);
+        }
+        assert!("".parse::<NodeId>().is_err());
+        assert!("cn".parse::<NodeId>().is_err());
+        assert!("xyz9".parse::<NodeId>().is_err());
+        assert!("el-1".parse::<NodeId>().is_err());
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Length-prefixed wire framing for the socket transport.
+//!
+//! Every frame is `header ‖ payload`. The 16-byte little-endian header
+//! carries a magic, a codec version, per-frame flags, the payload
+//! length, and an FNV-1a checksum of the payload:
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic  (0x564D, "MV")
+//!      2     1  version (1)
+//!      3     1  flags   (bit 0 = ping, bit 1 = hello)
+//!      4     4  payload length
+//!      8     8  FNV-1a-64 checksum of the payload
+//! ```
+//!
+//! The decoder is incremental (feed it whatever `read` returned, pull
+//! complete frames out) and **never panics on malformed input**: a bad
+//! magic, an unknown version, an oversized length declaration or a
+//! checksum mismatch each surface as a typed [`FrameError`], and a
+//! stream that ends mid-frame is reported as [`FrameError::Truncated`]
+//! by [`FrameDecoder::finish`]. Once a decoder has returned an error
+//! the stream is unsynchronized and must be dropped — exactly the
+//! fail-stop reaction the transport wants.
+
+use std::fmt;
+
+/// First two header bytes, little-endian `0x564D` — `"MV"` on the wire.
+pub const FRAME_MAGIC: u16 = 0x564D;
+
+/// Codec version this build writes and accepts.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Header length in bytes.
+pub const FRAME_HEADER_LEN: usize = 16;
+
+/// Default upper bound on a payload (checkpoint images dominate frame
+/// sizes; 64 MiB leaves generous headroom while still rejecting a
+/// corrupt length prefix before it allocates the machine away).
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// Frame flag: an empty keep-alive ping (feeds the peer's read-silence
+/// detector, carries no message).
+pub const FLAG_PING: u8 = 0b01;
+
+/// Frame flag: a transport-level handshake (payload identifies the
+/// sending node), not an application message.
+pub const FLAG_HELLO: u8 = 0b10;
+
+/// Typed decode errors. Any of these means the byte stream is corrupt
+/// or hostile; the connection must be dropped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first two header bytes were not [`FRAME_MAGIC`].
+    BadMagic {
+        /// What arrived instead.
+        found: u16,
+    },
+    /// The version byte named a codec this build does not speak.
+    BadVersion {
+        /// What arrived instead.
+        found: u8,
+    },
+    /// The header declared a payload larger than the decoder's bound.
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The decoder's configured maximum.
+        max: usize,
+    },
+    /// The payload checksum did not match the header's.
+    BadChecksum {
+        /// Checksum the header promised.
+        expected: u64,
+        /// Checksum of the bytes that actually arrived.
+        found: u64,
+    },
+    /// The stream ended in the middle of a frame (EOF mid-header or
+    /// mid-payload). Only reported by [`FrameDecoder::finish`].
+    Truncated {
+        /// Bytes still buffered when the stream ended.
+        have: usize,
+        /// Bytes the current frame still needed.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic { found } => write!(f, "bad frame magic {found:#06x}"),
+            FrameError::BadVersion { found } => write!(f, "unsupported frame version {found}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame payload {len} bytes exceeds bound {max}")
+            }
+            FrameError::BadChecksum { expected, found } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#x}, payload {found:#x}"
+                )
+            }
+            FrameError::Truncated { have, needed } => {
+                write!(
+                    f,
+                    "stream truncated mid-frame ({have} buffered, {needed} more needed)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Header flags ([`FLAG_PING`], [`FLAG_HELLO`], or 0 for data).
+    pub flags: u8,
+    /// Payload bytes (verified against the header checksum).
+    pub payload: Vec<u8>,
+}
+
+/// FNV-1a 64-bit over `bytes` — cheap, dependency-free corruption
+/// detection (TCP already guards against line noise; this guards
+/// against framing bugs and truncated writes).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encode one frame into `out` (header + payload appended).
+pub fn encode_frame_into(flags: u8, payload: &[u8], out: &mut Vec<u8>) {
+    out.reserve(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.push(FRAME_VERSION);
+    out.push(flags);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encode one frame as a fresh buffer.
+pub fn encode_frame(flags: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    encode_frame_into(flags, payload, &mut out);
+    out
+}
+
+/// Incremental frame decoder: push raw bytes in, pull verified frames
+/// out. Sticky on error — after any [`FrameError`] the stream has lost
+/// sync and every further call returns the same error.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted opportunistically).
+    pos: usize,
+    max_payload: usize,
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing the default payload bound.
+    pub fn new() -> Self {
+        Self::with_max_payload(MAX_FRAME_PAYLOAD)
+    }
+
+    /// A decoder with an explicit payload bound.
+    pub fn with_max_payload(max_payload: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_payload,
+            poisoned: None,
+        }
+    }
+
+    /// Feed raw stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_some() {
+            return;
+        }
+        // Compact once the consumed prefix dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered and not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn poison(&mut self, e: FrameError) -> FrameError {
+        self.poisoned = Some(e.clone());
+        e
+    }
+
+    /// Try to decode the next complete frame. `Ok(None)` means more
+    /// bytes are needed — not an error until the stream actually ends
+    /// (see [`finish`](Self::finish)).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = u16::from_le_bytes([avail[0], avail[1]]);
+        if magic != FRAME_MAGIC {
+            return Err(self.poison(FrameError::BadMagic { found: magic }));
+        }
+        let version = avail[2];
+        if version != FRAME_VERSION {
+            return Err(self.poison(FrameError::BadVersion { found: version }));
+        }
+        let flags = avail[3];
+        let len = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]) as usize;
+        if len > self.max_payload {
+            let max = self.max_payload;
+            return Err(self.poison(FrameError::Oversized { len, max }));
+        }
+        let expected = u64::from_le_bytes(avail[8..16].try_into().expect("8 header bytes"));
+        if avail.len() < FRAME_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = avail[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
+        let found = fnv1a(&payload);
+        if found != expected {
+            return Err(self.poison(FrameError::BadChecksum { expected, found }));
+        }
+        self.pos += FRAME_HEADER_LEN + len;
+        Ok(Some(Frame { flags, payload }))
+    }
+
+    /// Declare the stream ended (EOF). Leftover bytes mean the peer
+    /// died mid-frame.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        let have = self.buffered();
+        if have == 0 {
+            return Ok(());
+        }
+        let needed = if have < FRAME_HEADER_LEN {
+            FRAME_HEADER_LEN - have
+        } else {
+            let avail = &self.buf[self.pos..];
+            let len = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]) as usize;
+            (FRAME_HEADER_LEN + len).saturating_sub(have)
+        };
+        Err(FrameError::Truncated { have, needed })
+    }
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_all(bytes: &[u8]) -> Result<Vec<Frame>, FrameError> {
+        let mut dec = FrameDecoder::new();
+        dec.push(bytes);
+        let mut out = Vec::new();
+        while let Some(f) = dec.next_frame()? {
+            out.push(f);
+        }
+        dec.finish()?;
+        Ok(out)
+    }
+
+    #[test]
+    fn roundtrip_single_and_multiple_frames() {
+        let a = encode_frame(0, b"hello");
+        let b = encode_frame(FLAG_PING, b"");
+        let c = encode_frame(0, &vec![7u8; 10_000]);
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        stream.extend_from_slice(&c);
+        let frames = decode_all(&stream).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].payload, b"hello");
+        assert_eq!(frames[1].flags, FLAG_PING);
+        assert!(frames[1].payload.is_empty());
+        assert_eq!(frames[2].payload.len(), 10_000);
+    }
+
+    #[test]
+    fn roundtrip_survives_any_split_point() {
+        let mut stream = encode_frame(0, b"first");
+        stream.extend_from_slice(&encode_frame(FLAG_HELLO, b"second payload"));
+        for split in 0..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            dec.push(&stream[..split]);
+            let mut got = Vec::new();
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+            dec.push(&stream[split..]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+            dec.finish().unwrap();
+            assert_eq!(got.len(), 2, "split at {split}");
+            assert_eq!(got[0].payload, b"first");
+            assert_eq!(got[1].payload, b"second payload");
+        }
+    }
+
+    #[test]
+    fn corruption_injection_every_byte_yields_typed_error_not_panic() {
+        let clean = encode_frame(0, b"corruption target payload");
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0xA5;
+            let mut dec = FrameDecoder::new();
+            dec.push(&bad);
+            // Either a typed decode error, or (length-field corruption
+            // shrinking the frame) a parse that then trips the checksum
+            // or leaves truncated residue. Never a panic, never a clean
+            // full-length frame with altered bytes going unnoticed.
+            match dec.next_frame() {
+                Err(
+                    FrameError::BadMagic { .. }
+                    | FrameError::BadVersion { .. }
+                    | FrameError::Oversized { .. }
+                    | FrameError::BadChecksum { .. },
+                ) => {}
+                Err(FrameError::Truncated { .. }) => unreachable!("only finish() truncates"),
+                Ok(None) => {
+                    // Length grew: stream is now short — finish must flag it.
+                    assert!(dec.finish().is_err(), "byte {i}: silent acceptance");
+                }
+                Ok(Some(frame)) => {
+                    // A shrunk length can still checksum-match only for
+                    // the degenerate empty prefix — the flags byte is the
+                    // one header byte with no integrity coverage.
+                    assert!(
+                        i == 3 && frame.payload == b"corruption target payload",
+                        "byte {i}: corrupted frame decoded cleanly"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_declaration_rejected_before_buffering_payload() {
+        let mut dec = FrameDecoder::with_max_payload(1024);
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        hdr.push(FRAME_VERSION);
+        hdr.push(0);
+        hdr.extend_from_slice(&(u32::MAX).to_le_bytes());
+        hdr.extend_from_slice(&0u64.to_le_bytes());
+        dec.push(&hdr);
+        match dec.next_frame() {
+            Err(FrameError::Oversized { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // Sticky: the decoder stays poisoned.
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn truncated_stream_reported_at_finish() {
+        let frame = encode_frame(0, b"full frame");
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame[..frame.len() - 3]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        match dec.finish() {
+            Err(FrameError::Truncated { have, needed }) => {
+                assert!(have > 0);
+                assert_eq!(needed, 3);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // Mid-header truncation too.
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame[..5]);
+        assert!(matches!(dec.finish(), Err(FrameError::Truncated { .. })));
+    }
+
+    #[test]
+    fn checksum_catches_payload_swap() {
+        let mut f = encode_frame(0, b"payload-a");
+        let other = encode_frame(0, b"payload-b");
+        // Splice payload B under header A.
+        f.truncate(FRAME_HEADER_LEN);
+        f.extend_from_slice(&other[FRAME_HEADER_LEN..]);
+        let mut dec = FrameDecoder::new();
+        dec.push(&f);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = FrameError::Oversized { len: 9, max: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(FrameError::BadMagic { found: 0xDEAD }
+            .to_string()
+            .contains("magic"));
+    }
+}

@@ -21,10 +21,18 @@
 pub mod chaos;
 pub mod error;
 pub mod fabric;
+pub mod frame;
 pub mod mailbox;
+pub mod mem;
 pub(crate) mod ring;
+pub mod tcp;
+pub mod transport;
 
 pub use chaos::{fail_stop_group, CountTrigger, ScheduledKill, TurbulenceConfig, TurbulenceStats};
 pub use error::{RecvError, SendError};
 pub use fabric::{Fabric, Identity};
+pub use frame::{encode_frame, Frame, FrameDecoder, FrameError};
 pub use mailbox::Mailbox;
+pub use mem::{MemNet, MemTransport};
+pub use tcp::{TcpConfig, TcpTransport};
+pub use transport::{DownCause, Transport, TransportError, TransportEvent};

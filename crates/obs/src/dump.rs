@@ -304,6 +304,84 @@ pub fn validate_records(timeline: &[FlightRecord]) -> Result<(), String> {
     Ok(())
 }
 
+/// A [`RecordSink`](crate::monitor::RecordSink) that streams every
+/// record to a JSONL file, flushing per record. Multi-process children
+/// attach one so their timeline survives a `SIGKILL` — the ring buffer
+/// dies with the process, the streamed file does not. The file carries
+/// no header line; [`merge_dump_files`] supplies one when merging.
+pub struct JsonlStreamSink {
+    file: parking_lot::Mutex<std::fs::File>,
+}
+
+impl JsonlStreamSink {
+    /// Create (truncate) `path` and stream records into it.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(JsonlStreamSink {
+            file: parking_lot::Mutex::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl crate::monitor::RecordSink for JsonlStreamSink {
+    fn observe(&self, rec: &FlightRecord) {
+        let mut line = jsonl_line(rec);
+        line.push('\n');
+        let mut f = self.file.lock();
+        // A failed write only costs observability; never the run.
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.flush();
+    }
+}
+
+/// Fan one record out to several sinks (e.g. the online invariant
+/// monitor plus a [`JsonlStreamSink`]).
+pub struct TeeSink(pub Vec<std::sync::Arc<dyn crate::monitor::RecordSink>>);
+
+impl crate::monitor::RecordSink for TeeSink {
+    fn observe(&self, rec: &FlightRecord) {
+        for sink in &self.0 {
+            sink.observe(rec);
+        }
+    }
+}
+
+/// Merge several JSONL dumps (with or without header lines) into one
+/// timeline ordered by the hub comparator `(ts_ns, rank, clock,
+/// kind_index)`, writing the result with a fresh header whose `dropped`
+/// is the sum of the inputs'. Missing input files are skipped — a child
+/// killed before it wrote anything contributes nothing, not an error.
+pub fn merge_dump_files(inputs: &[PathBuf], output: &Path) -> std::io::Result<DumpHeader> {
+    let mut all: Vec<FlightRecord> = Vec::new();
+    let mut dropped = 0u64;
+    for path in inputs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        let (header, records) = crate::jsonparse::parse_dump(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        dropped += header.map(|h| h.dropped).unwrap_or(0);
+        all.extend(records);
+    }
+    all.sort_by_key(|r| (r.ts_ns, r.rank, r.clock, r.event.kind_index()));
+    if let Some(parent) = output.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    write_jsonl(output, &all, dropped)?;
+    Ok(DumpHeader {
+        records: all.len() as u64,
+        dropped,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +533,36 @@ mod tests {
         assert!(tr.contains("traceEvents"));
         assert!(tr.contains("\"ph\":\"X\""));
         assert!(tr.contains("gate-wait"));
+    }
+
+    #[test]
+    fn stream_sink_and_merge_roundtrip() {
+        use crate::monitor::RecordSink;
+        let dir = std::env::temp_dir().join("mvr-obs-merge-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a_path = dir.join("child-a.jsonl");
+        let b_path = dir.join("child-b.jsonl");
+        let a = JsonlStreamSink::create(&a_path).unwrap();
+        let b = JsonlStreamSink::create(&b_path).unwrap();
+        a.observe(&rec(0, 2, 300, send(1, 2, 8)));
+        a.observe(&rec(0, 3, 900, ProtoEvent::Finish { clock: 3 }));
+        b.observe(&rec(1, 1, 100, ProtoEvent::Restart1 { rank: 1 }));
+        drop((a, b));
+        let merged = dir.join("merged.jsonl");
+        let header =
+            merge_dump_files(&[a_path, b_path, dir.join("never-written.jsonl")], &merged).unwrap();
+        assert_eq!(
+            header,
+            DumpHeader {
+                records: 3,
+                dropped: 0
+            }
+        );
+        let (h, records) =
+            crate::jsonparse::parse_dump(&std::fs::read_to_string(&merged).unwrap()).unwrap();
+        assert_eq!(h, Some(header));
+        let ts: Vec<u64> = records.iter().map(|r| r.ts_ns).collect();
+        assert_eq!(ts, vec![100, 300, 900]);
     }
 
     #[test]

@@ -204,6 +204,23 @@ pub enum ProtoEvent {
         /// Events absorbed from the peer snapshot during catch-up.
         caught_up: u64,
     },
+    /// A transport-level peer link came up (socket backend handshake
+    /// completed, or an in-memory endpoint attached).
+    TransportUp {
+        /// Wire name of the peer node (`cn3`, `el0`, `cs0`, ...).
+        peer: String,
+        /// Incarnation the peer announced in its hello.
+        incarnation: u64,
+    },
+    /// A transport-level peer link was declared dead — the socket
+    /// fail-stop detector's verdict (EOF, read-timeout, dial failure),
+    /// which the supervisor maps onto rank-lost / replica-dead handling.
+    TransportDown {
+        /// Wire name of the peer node.
+        peer: String,
+        /// Diagnostic cause string ("eof", "read-timeout", ...).
+        cause: String,
+    },
 }
 
 impl ProtoEvent {
@@ -228,6 +245,7 @@ impl ProtoEvent {
             ProtoEvent::ChaosKill { .. } | ProtoEvent::ServiceKill { .. } => "chaos",
             ProtoEvent::Finish { .. } | ProtoEvent::RespawnScheduled { .. } => "lifecycle",
             ProtoEvent::Divergence { .. } => "divergence",
+            ProtoEvent::TransportUp { .. } | ProtoEvent::TransportDown { .. } => "transport",
         }
     }
 
@@ -256,6 +274,8 @@ impl ProtoEvent {
             ProtoEvent::Divergence { .. } => "divergence",
             ProtoEvent::ElReplicaAck { .. } => "el-replica-ack",
             ProtoEvent::ElReplicaRevive { .. } => "el-replica-revive",
+            ProtoEvent::TransportUp { .. } => "transport-up",
+            ProtoEvent::TransportDown { .. } => "transport-down",
         }
     }
 
@@ -288,6 +308,8 @@ impl ProtoEvent {
             ProtoEvent::Divergence { .. } => 19,
             ProtoEvent::ElReplicaAck { .. } => 20,
             ProtoEvent::ElReplicaRevive { .. } => 21,
+            ProtoEvent::TransportUp { .. } => 22,
+            ProtoEvent::TransportDown { .. } => 23,
         }
     }
 
@@ -423,6 +445,14 @@ mod tests {
                 replica: 1,
                 caught_up: 37,
             },
+            ProtoEvent::TransportUp {
+                peer: "cn3".into(),
+                incarnation: 2,
+            },
+            ProtoEvent::TransportDown {
+                peer: "el0".into(),
+                cause: "read-timeout".into(),
+            },
         ];
         let mut kinds = std::collections::BTreeSet::new();
         for (i, ev) in samples.into_iter().enumerate() {
@@ -441,6 +471,6 @@ mod tests {
         }
         // kind_index is injective over the vocabulary (the two Send
         // samples share one ordinal by design).
-        assert_eq!(kinds.len(), 22);
+        assert_eq!(kinds.len(), 24);
     }
 }

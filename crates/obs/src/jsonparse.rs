@@ -403,6 +403,14 @@ fn decode_event(v: &Json) -> Result<ProtoEvent, String> {
             replica: field_u32(body, "replica")?,
             caught_up: field_u64(body, "caught_up")?,
         },
+        "TransportUp" => ProtoEvent::TransportUp {
+            peer: field_str(body, "peer")?,
+            incarnation: field_u64(body, "incarnation")?,
+        },
+        "TransportDown" => ProtoEvent::TransportDown {
+            peer: field_str(body, "peer")?,
+            cause: field_str(body, "cause")?,
+        },
         other => return Err(format!("unknown event tag `{other}`")),
     })
 }
@@ -571,6 +579,14 @@ mod tests {
                 shard: 0,
                 replica: 1,
                 caught_up: 12,
+            },
+            ProtoEvent::TransportUp {
+                peer: "cn2".into(),
+                incarnation: 1,
+            },
+            ProtoEvent::TransportDown {
+                peer: "cn2".into(),
+                cause: "eof".into(),
             },
         ];
         for (i, event) in samples.into_iter().enumerate() {

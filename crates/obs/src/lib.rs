@@ -33,14 +33,14 @@ mod timings;
 
 pub use causal::{write_flow_trace, CausalGraph, CriticalPath, CriticalStep, EdgeCat};
 pub use dump::{
-    header_line, jsonl_line, triage, validate_records, write_chrome_trace, write_jsonl, DumpHeader,
-    DumpPaths, Triage,
+    header_line, jsonl_line, merge_dump_files, triage, validate_records, write_chrome_trace,
+    write_jsonl, DumpHeader, DumpPaths, JsonlStreamSink, TeeSink, Triage,
 };
 pub use event::{FlightRecord, ProtoEvent, SendDisposition, DISPATCHER_RANK};
 pub use health::HealthServer;
 pub use hist::{HistSummary, LogHistogram};
 pub use jsonparse::{parse, parse_dump, parse_header_line, parse_record_line, Json};
 pub use monitor::{InvariantMonitor, RecordSink, Violation};
-pub use recorder::{Recorder, RecorderConfig, RecorderHub};
+pub use recorder::{epoch_from_unix_ns, unix_now_ns, Recorder, RecorderConfig, RecorderHub};
 pub use span::{DeliveryLeg, Orphan, OrphanKind, Span, SpanKey, SpanSet};
 pub use timings::{ProtocolTimings, TimingSummary};

@@ -258,9 +258,17 @@ impl std::fmt::Debug for RecorderHub {
 impl RecorderHub {
     /// A hub minting recorders with the given configuration.
     pub fn new(cfg: RecorderConfig) -> Arc<Self> {
+        Self::with_epoch(cfg, Instant::now())
+    }
+
+    /// A hub whose recorders stamp timestamps relative to an explicit
+    /// epoch. Multi-process deployments translate one wall-clock epoch
+    /// (broadcast by the supervisor) into a local `Instant` per process,
+    /// so the merged cross-process timeline orders correctly.
+    pub fn with_epoch(cfg: RecorderConfig, epoch: Instant) -> Arc<Self> {
         Arc::new(RecorderHub {
             cfg,
-            epoch: Instant::now(),
+            epoch,
             recorders: Mutex::new(Vec::new()),
             sink: Mutex::new(None),
         })
@@ -325,6 +333,28 @@ impl RecorderHub {
             triage: dump::triage(&timeline),
         })
     }
+}
+
+/// Nanoseconds since `UNIX_EPOCH` right now — the form a supervisor
+/// broadcasts its recorder epoch in (an `Instant` cannot cross a
+/// process boundary).
+pub fn unix_now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_nanos() as u64
+}
+
+/// Translate a shared wall-clock epoch (nanoseconds since `UNIX_EPOCH`,
+/// broadcast by the supervising process) into a local [`Instant`] lying
+/// the same distance in the past, so `now_ns()` values agree across
+/// processes up to wall-clock skew. An epoch from the future clamps to
+/// now rather than panicking.
+pub fn epoch_from_unix_ns(epoch_unix_ns: u64) -> Instant {
+    let now = Instant::now();
+    let elapsed = unix_now_ns().saturating_sub(epoch_unix_ns);
+    now.checked_sub(std::time::Duration::from_nanos(elapsed))
+        .unwrap_or(now)
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ pub mod chaos;
 pub mod dispatcher;
 pub mod messages;
 pub mod node;
+pub mod proc;
 pub mod progfile;
 pub mod services;
 

@@ -92,6 +92,14 @@ where
     }
 }
 
+// Lets launchers resolve an app once (e.g. from a CLI spec) and hand
+// the same `Arc` to either the in-process or the multi-process backend.
+impl MpiApp for Arc<dyn MpiApp> {
+    fn run(&self, mpi: &mut Mpi<DaemonChannel>, restored: Option<Payload>) -> MpiResult<Payload> {
+        (**self).run(mpi, restored)
+    }
+}
+
 /// How a node incarnation ended.
 #[derive(Clone, Debug)]
 pub enum Outcome {

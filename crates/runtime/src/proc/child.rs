@@ -1,0 +1,434 @@
+//! Child-process side of the multi-process deployment.
+//!
+//! `mpirun --backend socket` re-executes its own binary once per
+//! deployment node with an `MVR_PROC_ROLE` environment describing what
+//! to host; [`maybe_run_child`] is the early-main hook that detects this
+//! and never returns for children. Each child binds a **fresh ephemeral
+//! port** (bind `:0`), announces it to the supervisor with a `Hello`,
+//! and receives the full address map back — which is why reincarnation
+//! never fights `TIME_WAIT`: a revived replica or restarted rank simply
+//! announces a new port instead of rebinding the old one.
+//!
+//! The protocol code running inside a child is the unchanged in-process
+//! runtime; only the [`super::gateway`] is socket-aware.
+
+use super::gateway::{Control, Gateway, GatewayRole, Topology};
+use super::wire::WireMsg;
+use crate::node::{register_node, start_node, MpiApp, NodeConfig, Outcome, RuntimeProtocol};
+use crate::services::{spawn_checkpoint_server_on, spawn_el_replica};
+use mvr_core::{ElAddr, NodeId, Rank};
+use mvr_net::{Fabric, TcpConfig, TcpTransport, Transport};
+use mvr_obs::{epoch_from_unix_ns, JsonlStreamSink, RecorderConfig, RecorderHub};
+use parking_lot::Mutex;
+use std::sync::atomic::AtomicU64;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Exit code when startup never completed (no address map, bad env).
+pub const EXIT_STARTUP: i32 = 3;
+/// Exit code when the supervisor's endpoint died under the child.
+pub const EXIT_ORPHANED: i32 = 86;
+
+/// Environment variable carrying the role spec
+/// (`cn:<rank>` | `el:<shard>:<replica>` | `cs`).
+pub const ENV_ROLE: &str = "MVR_PROC_ROLE";
+/// Supervisor's `host:port`.
+pub const ENV_PARENT: &str = "MVR_PROC_PARENT";
+/// Shared recorder epoch, unix nanoseconds.
+pub const ENV_EPOCH_NS: &str = "MVR_PROC_EPOCH_NS";
+/// Supervisor-assigned incarnation of this child.
+pub const ENV_INCARNATION: &str = "MVR_PROC_INCARNATION";
+/// World size.
+pub const ENV_WORLD: &str = "MVR_PROC_WORLD";
+/// Event-logger shards.
+pub const ENV_SHARDS: &str = "MVR_PROC_SHARDS";
+/// Replicas per shard.
+pub const ENV_REPLICAS: &str = "MVR_PROC_REPLICAS";
+/// Set to `1` when this incarnation must recover (rank) or catch up
+/// from a sibling (EL replica).
+pub const ENV_RESTART: &str = "MVR_PROC_RESTART";
+/// Directory for the crash-surviving JSONL event stream (optional).
+pub const ENV_OBS: &str = "MVR_PROC_OBS";
+/// Application spec, e.g. `ring 500` (rank children only).
+pub const ENV_APP: &str = "MVR_PROC_APP";
+/// Declared `host:port` to bind on first launch (from a program file).
+/// Reincarnations ignore it and bind ephemeral — the `TIME_WAIT` fix.
+pub const ENV_BIND: &str = "MVR_PROC_BIND";
+/// Fail-stop detector read-timeout override, milliseconds (optional).
+pub const ENV_FAIL_AFTER_MS: &str = "MVR_PROC_FAIL_AFTER_MS";
+
+fn env(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    env(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn die(detail: &str) -> ! {
+    eprintln!("mvr child: {detail}");
+    std::process::exit(EXIT_STARTUP);
+}
+
+/// Detector configuration shared by supervisor and children, with the
+/// read-timeout threshold overridable from the environment.
+pub fn transport_config() -> TcpConfig {
+    let mut cfg = TcpConfig::default();
+    if let Some(ms) = env(ENV_FAIL_AFTER_MS).and_then(|v| v.parse().ok()) {
+        cfg.fail_after = Duration::from_millis(ms);
+        cfg.heartbeat = (cfg.fail_after / 4).max(Duration::from_millis(5));
+    }
+    cfg
+}
+
+/// The early-main hook: when `MVR_PROC_ROLE` is set this process is a
+/// deployment child — run the role and **never return**. Returns
+/// `false` (quickly, no side effects) in ordinary invocations.
+///
+/// `make_app` resolves the `MVR_PROC_APP` spec to the application a
+/// rank child runs; EL/CS children never call it.
+pub fn maybe_run_child(make_app: &dyn Fn(&str) -> Option<Arc<dyn MpiApp>>) -> bool {
+    let role = match env(ENV_ROLE) {
+        Some(r) => r,
+        None => return false,
+    };
+    let parent = env(ENV_PARENT).unwrap_or_else(|| die("missing MVR_PROC_PARENT"));
+    let parts: Vec<&str> = role.split(':').collect();
+    match parts.as_slice() {
+        ["cn", rank] => {
+            let rank = Rank(rank.parse().unwrap_or_else(|_| die("bad rank in role")));
+            run_rank(rank, &parent, make_app)
+        }
+        ["el", shard, replica] => {
+            let addr = ElAddr {
+                shard: shard.parse().unwrap_or_else(|_| die("bad shard in role")),
+                replica: replica
+                    .parse()
+                    .unwrap_or_else(|_| die("bad replica in role")),
+            };
+            run_el(addr, &parent)
+        }
+        ["cs"] => run_cs(&parent),
+        _ => die(&format!("unknown role spec '{role}'")),
+    }
+}
+
+struct ChildEnv {
+    topo: Topology,
+    replicas: u32,
+    incarnation: u64,
+    restart: bool,
+    epoch_ns: u64,
+    obs_dir: Option<String>,
+}
+
+fn child_env() -> ChildEnv {
+    let world = env_u64(ENV_WORLD, 0) as u32;
+    if world == 0 {
+        die("missing MVR_PROC_WORLD");
+    }
+    let shards = env_u64(ENV_SHARDS, 1) as u32;
+    let replicas = env_u64(ENV_REPLICAS, 1) as u32;
+    ChildEnv {
+        topo: Topology {
+            world,
+            el_total: shards * replicas,
+        },
+        replicas,
+        incarnation: env_u64(ENV_INCARNATION, 0),
+        restart: env(ENV_RESTART).as_deref() == Some("1"),
+        epoch_ns: env_u64(ENV_EPOCH_NS, 0),
+        obs_dir: env(ENV_OBS),
+    }
+}
+
+/// Bind the endpoint on an ephemeral port, route to the supervisor,
+/// start the gateway and announce ourselves.
+fn open_endpoint(
+    node: NodeId,
+    parent: &str,
+    fabric: &Fabric,
+    role: GatewayRole,
+    ce: &ChildEnv,
+) -> Gateway {
+    // A program file may declare a fixed first-launch port; respawned
+    // incarnations always take a fresh ephemeral one, so revival never
+    // waits out `TIME_WAIT` on the previous incarnation's socket.
+    let declared = env(ENV_BIND).filter(|_| ce.incarnation == 0);
+    let transport = declared
+        .and_then(|addr| {
+            TcpTransport::bind(node, &addr, ce.incarnation, transport_config())
+                .map_err(|e| eprintln!("mvr child: declared bind {addr}: {e}; using ephemeral"))
+                .ok()
+        })
+        .map_or_else(
+            || TcpTransport::bind(node, "127.0.0.1:0", ce.incarnation, transport_config()),
+            Ok,
+        )
+        .unwrap_or_else(|e| die(&format!("bind failed: {e}")));
+    let local = transport
+        .local_addr()
+        .unwrap_or_else(|| die("no local addr"));
+    let transport: Arc<dyn Transport> = Arc::new(transport);
+    transport.set_route(NodeId::Dispatcher, parent.to_string());
+    let gateway = Gateway::start(transport, fabric, role, ce.topo);
+    gateway.send_to(
+        NodeId::Dispatcher,
+        &WireMsg::Hello {
+            node,
+            addr: local,
+            incarnation: ce.incarnation,
+        },
+    );
+    gateway
+}
+
+/// Block until the supervisor's address map covers the *whole*
+/// deployment (every peer this node may ever address). Acting on a
+/// partial map would let an early sender hit `NoRoute` and silently
+/// lose a frame on a healthy channel — a loss the protocol only
+/// repairs through the failure path, so it must never happen outside
+/// one. This holds at restart too: recovery opens with `Restart1` and
+/// `DownloadEL` traffic, and a concurrently-down peer's entry returns
+/// with its reincarnation's hello (each hello re-broadcasts the map),
+/// so the wait terminates. Startup is abandoned after `deadline`.
+fn await_address_map(gateway: &Gateway, me: NodeId, ce: &ChildEnv, deadline: Duration) {
+    let mut required: Vec<NodeId> = vec![NodeId::Dispatcher];
+    required.extend((0..ce.topo.world).map(|r| NodeId::Computing(Rank(r))));
+    required.extend((0..ce.topo.el_total).map(NodeId::EventLogger));
+    required.push(NodeId::CheckpointServer(0));
+    required.retain(|n| *n != me);
+    let until = Instant::now() + deadline;
+    loop {
+        let left = until.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            die("no complete address map from supervisor");
+        }
+        match gateway.control().recv_timeout(left) {
+            Ok(Control::Msg {
+                msg: WireMsg::AddressMap(entries),
+                ..
+            }) => {
+                if required.iter().all(|n| entries.iter().any(|(e, _)| e == n)) {
+                    return;
+                }
+            }
+            Ok(_) => continue,
+            Err(_) => die("gateway stopped before address map"),
+        }
+    }
+}
+
+fn run_rank(rank: Rank, parent: &str, make_app: &dyn Fn(&str) -> Option<Arc<dyn MpiApp>>) -> ! {
+    let ce = child_env();
+    let app_spec = env(ENV_APP).unwrap_or_else(|| die("missing MVR_PROC_APP"));
+    let app = make_app(&app_spec).unwrap_or_else(|| die(&format!("unknown app '{app_spec}'")));
+
+    let fabric = Fabric::new();
+    let slots = register_node(&fabric, rank);
+    let gateway = open_endpoint(
+        NodeId::Computing(rank),
+        parent,
+        &fabric,
+        GatewayRole::Rank(rank),
+        &ce,
+    );
+    await_address_map(
+        &gateway,
+        NodeId::Computing(rank),
+        &ce,
+        Duration::from_secs(15),
+    );
+
+    // Per-incarnation recorder over the deployment-wide epoch; streamed
+    // record-by-record so a SIGKILL loses nothing already written.
+    let hub = RecorderHub::with_epoch(
+        if ce.obs_dir.is_some() {
+            RecorderConfig::enabled()
+        } else {
+            RecorderConfig::default()
+        },
+        epoch_from_unix_ns(ce.epoch_ns),
+    );
+    if let Some(dir) = &ce.obs_dir {
+        let path = format!("{dir}/cn{}-i{}.jsonl", rank.0, ce.incarnation);
+        if let Ok(sink) = JsonlStreamSink::create(std::path::Path::new(&path)) {
+            hub.set_sink(Arc::new(sink));
+        }
+    }
+
+    let (exit_tx, exit_rx) = mpsc::channel();
+    let _threads = start_node(
+        slots,
+        NodeConfig {
+            rank,
+            world: ce.topo.world,
+            protocol: RuntimeProtocol::V2,
+            el_shards: ce.topo.el_total / ce.replicas.max(1),
+            el_replicas: ce.replicas,
+            channel_memories: 0,
+            batch: Default::default(),
+            restart: ce.restart,
+            recorder: hub.recorder(rank.0),
+        },
+        app,
+        exit_tx,
+    );
+
+    // Serve until the supervisor says we are done: a finished rank keeps
+    // its endpoint up (peers may still replay against us), exactly like
+    // a finished in-process node keeps its mailbox registered.
+    loop {
+        if let Ok(exit) = exit_rx.try_recv() {
+            match exit.outcome {
+                Outcome::Finished(result) => {
+                    gateway.send_to(NodeId::Dispatcher, &WireMsg::RankResult { rank, result });
+                }
+                Outcome::Failed(detail) => {
+                    gateway.send_to(NodeId::Dispatcher, &WireMsg::RankFailed { rank, detail });
+                    std::thread::sleep(Duration::from_millis(50)); // let it flush
+                    std::process::exit(1);
+                }
+                // Fabric-level kills do not exist in the socket backend;
+                // real crashes arrive as SIGKILL, not as an exit report.
+                Outcome::Killed => {}
+            }
+        }
+        match gateway.control().recv_timeout(Duration::from_millis(5)) {
+            Ok(Control::Msg {
+                msg: WireMsg::Shutdown,
+                ..
+            }) => std::process::exit(0),
+            Ok(Control::PeerDown {
+                peer: NodeId::Dispatcher,
+                ..
+            }) => std::process::exit(EXIT_ORPHANED),
+            // Peer-rank losses are the supervisor's to adjudicate; the
+            // protocol sees them as in-flight loss + eventual Restart1.
+            Ok(_) | Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => std::process::exit(EXIT_ORPHANED),
+        }
+    }
+}
+
+fn run_el(addr: ElAddr, parent: &str) -> ! {
+    let ce = child_env();
+    let flat = addr.flat(ce.replicas);
+    let fabric = Fabric::new();
+    let gateway = open_endpoint(
+        NodeId::EventLogger(flat),
+        parent,
+        &fabric,
+        GatewayRole::EventLogger(flat),
+        &ce,
+    );
+    await_address_map(
+        &gateway,
+        NodeId::EventLogger(flat),
+        &ce,
+        Duration::from_secs(15),
+    );
+
+    let store = Arc::new(Mutex::new(mvr_eventlog::EventLogStore::new()));
+
+    // Revival: catch up from a same-shard sibling before opening for
+    // business, then tell the supervisor how much we absorbed (§4.5's
+    // replicated-ledger failover, now across real processes).
+    if ce.restart && ce.replicas > 1 {
+        for k in 0..ce.replicas {
+            if k != addr.replica {
+                let sib = addr.shard * ce.replicas + k;
+                gateway.send_to(
+                    NodeId::EventLogger(sib),
+                    &WireMsg::ElFetch { shard: addr.shard },
+                );
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut caught_up = None;
+        while caught_up.is_none() && Instant::now() < deadline {
+            match gateway.control().recv_timeout(Duration::from_millis(20)) {
+                Ok(Control::Msg {
+                    msg: WireMsg::ElSnapshot { store: snap },
+                    ..
+                }) => caught_up = Some(store.lock().absorb(&snap)),
+                Ok(_) | Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => std::process::exit(EXIT_ORPHANED),
+            }
+        }
+        gateway.send_to(
+            NodeId::Dispatcher,
+            &WireMsg::ElRevived {
+                shard: addr.shard,
+                replica: addr.replica,
+                caught_up: caught_up.unwrap_or(0),
+            },
+        );
+    }
+
+    let counter = Arc::new(AtomicU64::new(0));
+    let _handle = spawn_el_replica(&fabric, addr, ce.replicas, counter, store.clone());
+
+    loop {
+        match gateway.control().recv_timeout(Duration::from_millis(25)) {
+            Ok(Control::Msg {
+                from,
+                msg: WireMsg::ElFetch { .. },
+            }) => {
+                // A reviving sibling wants our ledger.
+                let snap = store.lock().clone();
+                gateway.send_to(from, &WireMsg::ElSnapshot { store: snap });
+            }
+            Ok(Control::Msg {
+                msg: WireMsg::Shutdown,
+                ..
+            }) => std::process::exit(0),
+            Ok(Control::PeerDown {
+                peer: NodeId::Dispatcher,
+                ..
+            }) => std::process::exit(EXIT_ORPHANED),
+            Ok(_) | Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => std::process::exit(EXIT_ORPHANED),
+        }
+    }
+}
+
+fn run_cs(parent: &str) -> ! {
+    let ce = child_env();
+    let fabric = Fabric::new();
+    let gateway = open_endpoint(
+        NodeId::CheckpointServer(0),
+        parent,
+        &fabric,
+        GatewayRole::CheckpointServer,
+        &ce,
+    );
+    await_address_map(
+        &gateway,
+        NodeId::CheckpointServer(0),
+        &ce,
+        Duration::from_secs(15),
+    );
+
+    // A reincarnated checkpoint server starts empty: the paper's §4.3
+    // verdict applies ("affected nodes restart from scratch, at worst").
+    // Real deployments would back this with a disk directory.
+    let store = Arc::new(Mutex::new(mvr_ckpt::CheckpointStore::new()));
+    let _handle = spawn_checkpoint_server_on(&fabric, store);
+
+    loop {
+        match gateway.control().recv_timeout(Duration::from_millis(25)) {
+            Ok(Control::Msg {
+                msg: WireMsg::Shutdown,
+                ..
+            }) => std::process::exit(0),
+            Ok(Control::PeerDown {
+                peer: NodeId::Dispatcher,
+                ..
+            }) => std::process::exit(EXIT_ORPHANED),
+            Ok(_) | Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => std::process::exit(EXIT_ORPHANED),
+        }
+    }
+}

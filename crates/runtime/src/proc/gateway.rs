@@ -1,0 +1,502 @@
+//! The transport↔fabric bridge of the multi-process deployment.
+//!
+//! Each OS process runs the **unchanged** in-process runtime (daemon,
+//! MPI process, service threads) over a private [`Fabric`]; the gateway
+//! splices that fabric onto a [`Transport`] endpoint:
+//!
+//! - **outbound** — for every node that lives in *another* process it
+//!   registers a proxy mailbox on the local fabric and drains it from a
+//!   forwarder thread, flattening each envelope into a [`WireMsg`] frame
+//!   sent to the transport peer hosting the destination;
+//! - **inbound** — a pump thread polls the transport, decodes frames and
+//!   injects data-plane messages straight into the local real mailboxes
+//!   via [`Fabric::send_from_reliable`]. Control-plane traffic (hello,
+//!   address maps, results, revival chatter) and fail-stop detector
+//!   events ([`TransportEvent::PeerUp`]/[`PeerDown`]) surface on the
+//!   [`Control`] channel for the role-specific glue to consume.
+//!
+//! Because the protocol threads only ever talk to mailboxes, recovery,
+//! the EL quorum failover and the invariant monitor run identically over
+//! sockets and over the in-process fabric — the gateway is pure plumbing
+//! with no protocol knowledge beyond the envelope-to-wire mapping.
+//!
+//! [`PeerDown`]: TransportEvent::PeerDown
+
+use super::wire::WireMsg;
+use crate::messages::{DaemonMsg, DispatcherMsg};
+use mvr_ckpt::CkptPacket;
+use mvr_core::{NodeId, Rank, SchedMsg};
+use mvr_eventlog::ElPacket;
+use mvr_net::{DownCause, Fabric, Transport, TransportEvent};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which node kind this process hosts — decides the proxy set and the
+/// inbound routing table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GatewayRole {
+    /// A computing node (daemon + MPI process) of rank `0`'s field.
+    Rank(Rank),
+    /// An event-logger replica, by flat index.
+    EventLogger(u32),
+    /// The checkpoint server.
+    CheckpointServer,
+    /// The supervising dispatcher (hosts the checkpoint scheduler).
+    Supervisor,
+}
+
+/// Deployment shape the gateway needs to enumerate remote nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct Topology {
+    /// Number of computing nodes.
+    pub world: u32,
+    /// Flat event-logger replica count (`shards × replicas`).
+    pub el_total: u32,
+}
+
+/// Everything the role glue (child main loop or supervisor) consumes
+/// from the gateway: control-plane wire messages and detector events.
+// `WireMsg` dominates the size, but this is the low-rate control plane
+// (hellos, verdicts, results) — boxing would cost an allocation per
+// message and box-patterns at every match for no measurable win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum Control {
+    /// A control-plane message from `from`'s endpoint.
+    Msg {
+        /// Sending endpoint.
+        from: NodeId,
+        /// The message.
+        msg: WireMsg,
+    },
+    /// A transport link to `peer` came up.
+    PeerUp {
+        /// The peer endpoint.
+        peer: NodeId,
+        /// Its hello incarnation.
+        incarnation: u64,
+    },
+    /// The fail-stop detector declared `peer` down.
+    PeerDown {
+        /// The peer endpoint.
+        peer: NodeId,
+        /// The incarnation the verdict is about; a supervisor that has
+        /// already launched a newer one treats the verdict as stale.
+        incarnation: u64,
+        /// Why (EOF, read timeout, I/O error, …).
+        cause: DownCause,
+    },
+}
+
+/// Map a fabric destination to the transport endpoint hosting it.
+///
+/// Computing node and its MPI process share one OS process; the
+/// checkpoint scheduler lives inside the supervising dispatcher.
+pub fn host_of(dest: NodeId) -> NodeId {
+    match dest {
+        NodeId::Computing(r) | NodeId::Process(r) => NodeId::Computing(r),
+        NodeId::CheckpointScheduler | NodeId::Dispatcher => NodeId::Dispatcher,
+        other => other,
+    }
+}
+
+/// A running bridge between one fabric and one transport endpoint.
+pub struct Gateway {
+    transport: Arc<dyn Transport>,
+    control_rx: Receiver<Control>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Gateway {
+    /// Register the role's proxy mailboxes on `fabric`, start the
+    /// forwarder threads and the inbound pump, and return the gateway.
+    ///
+    /// Local real mailboxes (the daemon's, a replica's, the scheduler's)
+    /// must be registered by the caller — before or after this call;
+    /// inbound injection simply drops frames for destinations that are
+    /// not (yet, anymore) registered, which the protocol treats as
+    /// in-flight loss.
+    pub fn start(
+        transport: Arc<dyn Transport>,
+        fabric: &Fabric,
+        role: GatewayRole,
+        topo: Topology,
+    ) -> Gateway {
+        let (control_tx, control_rx) = std::sync::mpsc::channel();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        match role {
+            GatewayRole::Rank(me) => {
+                for q in (0..topo.world).map(Rank) {
+                    if q != me {
+                        forward::<DaemonMsg>(fabric, &transport, NodeId::Computing(q), |m| {
+                            match m {
+                                DaemonMsg::Peer { from, msg } => Some(WireMsg::Peer { from, msg }),
+                                // Service replies never originate here.
+                                _ => None,
+                            }
+                        });
+                    }
+                }
+                for f in 0..topo.el_total {
+                    forward::<ElPacket>(fabric, &transport, NodeId::EventLogger(f), |p| {
+                        Some(WireMsg::ElReq {
+                            from: p.from,
+                            req: p.req,
+                        })
+                    });
+                }
+                forward::<CkptPacket>(fabric, &transport, NodeId::CheckpointServer(0), |p| {
+                    Some(WireMsg::CkptReq {
+                        from: p.from,
+                        req: p.req,
+                    })
+                });
+                forward::<SchedMsg>(fabric, &transport, NodeId::CheckpointScheduler, |m| {
+                    Some(WireMsg::SchedToScheduler { msg: m })
+                });
+                forward::<DispatcherMsg>(fabric, &transport, NodeId::Dispatcher, |m| {
+                    let DispatcherMsg::Finalized {
+                        rank,
+                        metrics,
+                        timings,
+                    } = m;
+                    Some(WireMsg::Finalized {
+                        rank,
+                        metrics,
+                        timings,
+                    })
+                });
+            }
+            GatewayRole::EventLogger(_) => {
+                // Replicas answer daemons; every daemon is remote.
+                for q in (0..topo.world).map(Rank) {
+                    forward::<DaemonMsg>(fabric, &transport, NodeId::Computing(q), |m| match m {
+                        DaemonMsg::El { from, reply } => Some(WireMsg::ElRep { from, reply }),
+                        _ => None,
+                    });
+                }
+            }
+            GatewayRole::CheckpointServer => {
+                for q in (0..topo.world).map(Rank) {
+                    forward::<DaemonMsg>(fabric, &transport, NodeId::Computing(q), |m| match m {
+                        DaemonMsg::Ckpt(reply) => Some(WireMsg::CkptRep { reply }),
+                        _ => None,
+                    });
+                }
+            }
+            GatewayRole::Supervisor => {
+                // The scheduler's orders/status-requests to every daemon.
+                for q in (0..topo.world).map(Rank) {
+                    forward::<DaemonMsg>(fabric, &transport, NodeId::Computing(q), |m| match m {
+                        DaemonMsg::Sched(msg) => Some(WireMsg::SchedToDaemon { msg }),
+                        _ => None,
+                    });
+                }
+            }
+        }
+
+        spawn_pump(
+            transport.clone(),
+            fabric.clone(),
+            role,
+            control_tx,
+            stop.clone(),
+        );
+
+        Gateway {
+            transport,
+            control_rx,
+            stop,
+        }
+    }
+
+    /// The control/detector stream for the role glue to drain.
+    pub fn control(&self) -> &Receiver<Control> {
+        &self.control_rx
+    }
+
+    /// Send a control-plane message to `node`'s endpoint directly.
+    pub fn send_to(&self, node: NodeId, msg: &WireMsg) {
+        let _ = self.transport.send(host_of(node), msg.encode());
+    }
+
+    /// Install routes (host:port per endpoint), skipping our own entry.
+    pub fn set_routes(&self, entries: &[(NodeId, String)]) {
+        let me = self.transport.local_node();
+        for (node, addr) in entries {
+            if *node != me {
+                self.transport.set_route(*node, addr.clone());
+            }
+        }
+    }
+
+    /// The underlying transport endpoint.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Stop the pump thread and shut the transport down.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.transport.shutdown();
+    }
+}
+
+/// Register a proxy mailbox for remote `node` and drain it from a
+/// forwarder thread, mapping each envelope to its wire form. Envelopes
+/// the closure maps to `None` are dropped (they cannot legitimately
+/// target a remote node of this role).
+fn forward<M: Send + 'static>(
+    fabric: &Fabric,
+    transport: &Arc<dyn Transport>,
+    node: NodeId,
+    map: impl Fn(M) -> Option<WireMsg> + Send + 'static,
+) {
+    let (mb, _identity) = fabric.register::<M>(node);
+    let transport = transport.clone();
+    let dest = host_of(node);
+    std::thread::Builder::new()
+        .name(format!("gw-{node}"))
+        .spawn(move || {
+            while let Ok(m) = mb.recv() {
+                if let Some(wire) = map(m) {
+                    // Send errors (peer down, endpoint closed) are
+                    // in-flight loss; the protocol's retransmission and
+                    // recovery paths own that case.
+                    let _ = transport.send(dest, wire.encode());
+                }
+            }
+        })
+        .expect("spawn gateway forwarder");
+}
+
+/// The inbound pump: transport events → local mailboxes / control.
+fn spawn_pump(
+    transport: Arc<dyn Transport>,
+    fabric: Fabric,
+    role: GatewayRole,
+    control: Sender<Control>,
+    stop: Arc<AtomicBool>,
+) {
+    std::thread::Builder::new()
+        .name("gw-pump".into())
+        .spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let ev = match transport.poll_event(Duration::from_millis(25)) {
+                    Some(ev) => ev,
+                    None => continue,
+                };
+                let fwd = match ev {
+                    TransportEvent::Frame { from, payload } => match WireMsg::decode(&payload) {
+                        Ok(msg) => route(&fabric, role, &transport, from, msg),
+                        // Undecodable payload on an authenticated frame:
+                        // surface as a corrupt-peer detector event. The
+                        // frame came over a live link, so the verdict is
+                        // about whatever incarnation is current —
+                        // u64::MAX keeps it from being dropped as stale.
+                        Err(e) => Some(Control::PeerDown {
+                            peer: from,
+                            incarnation: u64::MAX,
+                            cause: DownCause::Corrupt(e),
+                        }),
+                    },
+                    TransportEvent::PeerUp { peer, incarnation } => {
+                        Some(Control::PeerUp { peer, incarnation })
+                    }
+                    TransportEvent::PeerDown {
+                        peer,
+                        incarnation,
+                        cause,
+                    } => Some(Control::PeerDown {
+                        peer,
+                        incarnation,
+                        cause,
+                    }),
+                };
+                if let Some(c) = fwd {
+                    if control.send(c).is_err() {
+                        return; // glue dropped the gateway
+                    }
+                }
+            }
+        })
+        .expect("spawn gateway pump");
+}
+
+/// Inject one inbound message: data plane into the fabric, control
+/// plane up to the glue. Returns the control event to forward, if any.
+fn route(
+    fabric: &Fabric,
+    role: GatewayRole,
+    transport: &Arc<dyn Transport>,
+    from: NodeId,
+    msg: WireMsg,
+) -> Option<Control> {
+    match (role, msg) {
+        // Address maps are applied here so data can flow immediately;
+        // the glue still sees them (children gate startup on the first).
+        (_, WireMsg::AddressMap(entries)) => {
+            let me = transport.local_node();
+            for (node, addr) in &entries {
+                if *node != me {
+                    transport.set_route(*node, addr.clone());
+                }
+            }
+            Some(Control::Msg {
+                from,
+                msg: WireMsg::AddressMap(entries),
+            })
+        }
+
+        (GatewayRole::Rank(me), WireMsg::Peer { from, msg }) => {
+            let _ = fabric.send_from_reliable(NodeId::Computing(me), DaemonMsg::Peer { from, msg });
+            None
+        }
+        (GatewayRole::Rank(me), WireMsg::ElRep { from, reply }) => {
+            let _ = fabric.send_from_reliable(NodeId::Computing(me), DaemonMsg::El { from, reply });
+            None
+        }
+        (GatewayRole::Rank(me), WireMsg::CkptRep { reply }) => {
+            let _ = fabric.send_from_reliable(NodeId::Computing(me), DaemonMsg::Ckpt(reply));
+            None
+        }
+        (GatewayRole::Rank(me), WireMsg::SchedToDaemon { msg }) => {
+            let _ = fabric.send_from_reliable(NodeId::Computing(me), DaemonMsg::Sched(msg));
+            None
+        }
+
+        (GatewayRole::EventLogger(flat), WireMsg::ElReq { from, req }) => {
+            let _ = fabric.send_from_reliable(NodeId::EventLogger(flat), ElPacket { from, req });
+            None
+        }
+
+        (GatewayRole::CheckpointServer, WireMsg::CkptReq { from, req }) => {
+            let _ =
+                fabric.send_from_reliable(NodeId::CheckpointServer(0), CkptPacket { from, req });
+            None
+        }
+
+        (GatewayRole::Supervisor, WireMsg::SchedToScheduler { msg }) => {
+            // Ignored when checkpointing is off (no scheduler mailbox).
+            let _ = fabric.send_from_reliable(NodeId::CheckpointScheduler, msg);
+            None
+        }
+
+        // Everything else — hello, shutdown, results, revival chatter,
+        // violations — is the glue's business.
+        (_, msg) => Some(Control::Msg { from, msg }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvr_core::PeerMsg;
+    use mvr_net::MemNet;
+
+    /// Two "processes" (separate fabrics) bridged over the in-memory
+    /// transport: a peer message crosses proxy → wire → injection.
+    #[test]
+    fn peer_message_crosses_the_bridge() {
+        let net = MemNet::new();
+        let topo = Topology {
+            world: 2,
+            el_total: 1,
+        };
+
+        let fab0 = Fabric::new();
+        let fab1 = Fabric::new();
+        let t0: Arc<dyn Transport> = Arc::new(net.attach(NodeId::Computing(Rank(0))));
+        let t1: Arc<dyn Transport> = Arc::new(net.attach(NodeId::Computing(Rank(1))));
+        let _gw0 = Gateway::start(t0, &fab0, GatewayRole::Rank(Rank(0)), topo);
+        let _gw1 = Gateway::start(t1, &fab1, GatewayRole::Rank(Rank(1)), topo);
+
+        // Rank 1's real daemon mailbox, on its own fabric.
+        let (mb1, _id1) = fab1.register::<DaemonMsg>(NodeId::Computing(Rank(1)));
+
+        // Code on fabric 0 sends to "Computing(1)" — the gateway proxy.
+        fab0.send_from_reliable(
+            NodeId::Computing(Rank(1)),
+            DaemonMsg::Peer {
+                from: Rank(0),
+                msg: PeerMsg::Restart1 { last_received: 42 },
+            },
+        )
+        .expect("proxy registered");
+
+        let got = mb1
+            .recv_timeout(Duration::from_secs(2))
+            .expect("message crossed");
+        match got {
+            DaemonMsg::Peer {
+                from,
+                msg: PeerMsg::Restart1 { last_received },
+            } => {
+                assert_eq!(from, Rank(0));
+                assert_eq!(last_received, 42);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    /// The supervisor side routes scheduler chatter both ways and
+    /// surfaces results on the control channel.
+    #[test]
+    fn supervisor_routing_and_control() {
+        let net = MemNet::new();
+        let topo = Topology {
+            world: 1,
+            el_total: 1,
+        };
+
+        let sup_fab = Fabric::new();
+        let rank_fab = Fabric::new();
+        let ts: Arc<dyn Transport> = Arc::new(net.attach(NodeId::Dispatcher));
+        let tr: Arc<dyn Transport> = Arc::new(net.attach(NodeId::Computing(Rank(0))));
+        let gw_sup = Gateway::start(ts, &sup_fab, GatewayRole::Supervisor, topo);
+        let _gw_rank = Gateway::start(tr, &rank_fab, GatewayRole::Rank(Rank(0)), topo);
+
+        // Scheduler (on the supervisor fabric) orders rank 0 to
+        // checkpoint; the rank's daemon mailbox sees it.
+        let (daemon_mb, _id) = rank_fab.register::<DaemonMsg>(NodeId::Computing(Rank(0)));
+        sup_fab
+            .send_from_reliable(
+                NodeId::Computing(Rank(0)),
+                DaemonMsg::Sched(mvr_core::SchedMsg::CheckpointOrder),
+            )
+            .expect("supervisor proxy registered");
+        match daemon_mb.recv_timeout(Duration::from_secs(2)) {
+            Ok(DaemonMsg::Sched(mvr_core::SchedMsg::CheckpointOrder)) => {}
+            other => panic!("wrong message: {other:?}"),
+        }
+
+        // The rank's gateway forwards a result; the supervisor glue
+        // reads it off the control channel.
+        let wire = WireMsg::RankResult {
+            rank: Rank(0),
+            result: mvr_core::Payload::from_vec(vec![9]),
+        };
+        _gw_rank.send_to(NodeId::Dispatcher, &wire);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            match gw_sup
+                .control()
+                .recv_timeout(deadline.saturating_duration_since(std::time::Instant::now()))
+            {
+                Ok(Control::Msg {
+                    msg: WireMsg::RankResult { rank, result },
+                    ..
+                }) => {
+                    assert_eq!(rank, Rank(0));
+                    assert_eq!(result.as_slice(), &[9]);
+                    break;
+                }
+                Ok(_) => continue,
+                Err(e) => panic!("no result on control channel: {e}"),
+            }
+        }
+    }
+}

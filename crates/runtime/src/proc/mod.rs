@@ -1,0 +1,25 @@
+//! Real multi-process deployment: the socket backend of the runtime.
+//!
+//! The in-process fabric remains the default (and the benchmarking
+//! substrate — figures 5/6 are byte-identical with or without this
+//! module compiled); `mpirun --backend socket` instead launches every
+//! deployment node as a real OS process:
+//!
+//! - [`wire`] — the bincode-framed cross-process protocol;
+//! - [`gateway`] — the transport↔fabric bridge each process runs;
+//! - [`child`] — role runners re-executed from the launcher binary;
+//! - [`parent`] — the supervising dispatcher: process launch, address
+//!   maps, fail-stop detection, respawn with backoff, real-`SIGKILL`
+//!   chaos, graceful teardown, dump merging;
+//! - [`sig`] — the minimal `kill(2)`/`signal(2)` FFI this needs.
+
+pub mod child;
+pub mod gateway;
+pub mod parent;
+pub mod sig;
+pub mod wire;
+
+pub use child::{maybe_run_child, transport_config};
+pub use gateway::{Control, Gateway, GatewayRole, Topology};
+pub use parent::{run_proc, ProcError, ProcOptions, ProcReport};
+pub use wire::WireMsg;

@@ -1,0 +1,925 @@
+//! The supervising dispatcher of the multi-process deployment: spawns
+//! ranks, event-logger replicas and the checkpoint server as **real OS
+//! processes**, watches them through the socket fail-stop detector, and
+//! maps detector verdicts onto the same recovery actions the in-process
+//! dispatcher takes — respawn with backoff for ranks, immediate revival
+//! for service replicas.
+//!
+//! Failure authority is deliberately centralized here (mirroring the
+//! paper's dispatcher, §4.2): children never act on their own peer-down
+//! observations — a lost link is indistinguishable from in-flight loss,
+//! which the protocol already tolerates — so only the supervisor turns
+//! "socket died" into "node died", respawn decisions stay
+//! race-free, and a network blip cannot split the deployment.
+//!
+//! Chaos kills are **real `SIGKILL`s** delivered on the schedule of
+//! [`ChaosConfig::plan`] — the same pure-function-of-seed plan the
+//! in-process storm replays, so a pinned plan reproduces identically
+//! over sockets.
+
+use super::child::{
+    transport_config, ENV_APP, ENV_EPOCH_NS, ENV_FAIL_AFTER_MS, ENV_INCARNATION, ENV_OBS,
+    ENV_PARENT, ENV_REPLICAS, ENV_RESTART, ENV_ROLE, ENV_SHARDS, ENV_WORLD,
+};
+use super::gateway::{Control, Gateway, GatewayRole, Topology};
+use super::sig;
+use super::wire::WireMsg;
+use crate::chaos::ChaosConfig;
+use crate::services::{spawn_checkpoint_scheduler, SchedulerConfig};
+use mvr_core::{Metrics, NodeId, Payload, Rank};
+use mvr_net::{Fabric, TcpTransport, Transport};
+use mvr_obs::{
+    merge_dump_files, unix_now_ns, HealthServer, JsonlStreamSink, ProtoEvent, Recorder,
+    RecorderConfig, RecorderHub, DISPATCHER_RANK,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one multi-process run.
+#[derive(Clone, Debug)]
+pub struct ProcOptions {
+    /// Number of computing ranks.
+    pub world: u32,
+    /// Event-logger shards.
+    pub el_shards: u32,
+    /// Replicas per shard.
+    pub el_replicas: u32,
+    /// Checkpoint subsystem (scheduler runs inside the supervisor).
+    pub checkpointing: Option<SchedulerConfig>,
+    /// Application spec handed to rank children (`"ring 500"`).
+    pub app_spec: String,
+    /// Wall-clock budget for the whole run.
+    pub timeout: Duration,
+    /// Timed real-`SIGKILL`s of ranks (`--kill r@ms`).
+    pub kills: Vec<(Rank, Duration)>,
+    /// Timed real-`SIGKILL`s of EL replicas, by flat index.
+    pub el_kills: Vec<(u32, Duration)>,
+    /// Timed real-`SIGKILL`s of the checkpoint server.
+    pub cs_kills: Vec<Duration>,
+    /// Seeded crash storm, replayed as real signals.
+    pub chaos: Option<ChaosConfig>,
+    /// Base detection-to-respawn delay (doubled per repeat crash).
+    pub restart_delay: Duration,
+    /// Restart budget per rank.
+    pub max_rank_restarts: u32,
+    /// Directory for per-process JSONL event streams + merged dump.
+    pub obs_dir: Option<PathBuf>,
+    /// Bind a live health endpoint here (e.g. `"127.0.0.1:0"`).
+    pub health_addr: Option<String>,
+    /// Fail-stop detector read-timeout override for every endpoint.
+    pub fail_after: Option<Duration>,
+    /// Declared first-launch bind addresses from a program file's
+    /// `host:port` entries ([`crate::progfile::ProgramFile::bind_map`]).
+    pub binds: Vec<(NodeId, String)>,
+    /// Binary to re-exec as children (usually `current_exe`).
+    pub exe: PathBuf,
+}
+
+impl ProcOptions {
+    /// A small default deployment running `app_spec` with `world` ranks.
+    pub fn new(world: u32, app_spec: impl Into<String>) -> ProcOptions {
+        ProcOptions {
+            world,
+            el_shards: 1,
+            el_replicas: 1,
+            checkpointing: Some(SchedulerConfig::default()),
+            app_spec: app_spec.into(),
+            timeout: Duration::from_secs(120),
+            kills: Vec::new(),
+            el_kills: Vec::new(),
+            cs_kills: Vec::new(),
+            chaos: None,
+            restart_delay: Duration::from_millis(2),
+            max_rank_restarts: 40,
+            obs_dir: None,
+            health_addr: None,
+            fail_after: None,
+            binds: Vec::new(),
+            exe: std::env::current_exe().unwrap_or_else(|_| PathBuf::from("mpirun")),
+        }
+    }
+}
+
+/// What a completed multi-process run reports.
+#[derive(Debug)]
+pub struct ProcReport {
+    /// Application results, rank order.
+    pub results: Vec<Payload>,
+    /// Rank reincarnations performed.
+    pub restarts: u32,
+    /// Service (EL replica / CS) reincarnations performed.
+    pub service_restarts: u32,
+    /// Fail-stop detections `(peer, cause)` in detection order,
+    /// teardown-phase disconnects excluded.
+    pub detections: Vec<(String, String)>,
+    /// Per-rank engine metrics from the final incarnations.
+    pub rank_metrics: Vec<(Rank, Metrics)>,
+    /// Violations reported by children (normally empty).
+    pub violations: Vec<(String, String)>,
+    /// Path of the merged flight-recorder dump, when `obs_dir` was set.
+    pub merged_dump: Option<PathBuf>,
+}
+
+/// Why a multi-process run failed.
+#[derive(Debug)]
+pub enum ProcError {
+    /// The wall-clock budget expired.
+    Timeout,
+    /// A rank's application reported an error.
+    RankFailed {
+        /// The failing rank.
+        rank: Rank,
+        /// Its error.
+        detail: String,
+    },
+    /// A rank crashed more often than the restart budget allows.
+    RestartBudgetExhausted(Rank),
+    /// Child launch / endpoint setup failed.
+    Launch(String),
+    /// `SIGINT`/`SIGTERM` hit the supervisor; children were torn down.
+    Interrupted,
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcError::Timeout => write!(f, "run timed out"),
+            ProcError::RankFailed { rank, detail } => {
+                write!(f, "rank {rank} failed: {detail}")
+            }
+            ProcError::RestartBudgetExhausted(r) => {
+                write!(f, "rank {r} exhausted its restart budget")
+            }
+            ProcError::Launch(e) => write!(f, "launch failed: {e}"),
+            ProcError::Interrupted => write!(f, "interrupted; children torn down"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+/// One scheduled real-signal kill.
+#[derive(Clone, Debug)]
+struct PlannedKill {
+    at: Duration,
+    target: NodeId,
+    rekill: bool,
+}
+
+/// Supervisor-side state of one child slot.
+struct Slot {
+    child: Option<Child>,
+    pid: u32,
+    incarnation: u64,
+    addr: Option<String>,
+    restarts: u32,
+    /// Down verdict for the current incarnation already handled
+    /// (detector and reaper can both observe the same death).
+    down_handled: bool,
+    respawn_at: Option<Instant>,
+}
+
+/// Run a full multi-process deployment to completion. See module docs.
+pub fn run_proc(opts: ProcOptions) -> Result<ProcReport, ProcError> {
+    let mut sup = Supervisor::launch(&opts)?;
+    let verdict = sup.supervise(&opts);
+    // Graceful teardown in every outcome: broadcast Shutdown, wait with
+    // a deadline, escalate SIGTERM → SIGKILL, reap everything.
+    sup.teardown();
+    let report = sup.take_report(&opts);
+    match verdict {
+        Ok(()) => report,
+        Err(e) => Err(e),
+    }
+}
+
+struct Supervisor {
+    gateway: Gateway,
+    local_addr: String,
+    fabric: Fabric,
+    hub: Arc<RecorderHub>,
+    recorder: Recorder,
+    slots: HashMap<NodeId, Slot>,
+    results: Vec<Option<Payload>>,
+    rank_metrics: Vec<(Rank, Metrics)>,
+    detections: Vec<(String, String)>,
+    violations: Vec<(String, String)>,
+    restarts: u32,
+    service_restarts: u32,
+    epoch_ns: u64,
+    health: Option<HealthServer>,
+    shutting_down: bool,
+}
+
+impl Supervisor {
+    fn launch(opts: &ProcOptions) -> Result<Supervisor, ProcError> {
+        sig::install_shutdown_handler();
+        let epoch_ns = unix_now_ns();
+        let hub = RecorderHub::with_epoch(
+            if opts.obs_dir.is_some() {
+                RecorderConfig::enabled()
+            } else {
+                RecorderConfig::default()
+            },
+            mvr_obs::epoch_from_unix_ns(epoch_ns),
+        );
+        if let Some(dir) = &opts.obs_dir {
+            std::fs::create_dir_all(dir).map_err(|e| ProcError::Launch(format!("obs dir: {e}")))?;
+            if let Ok(sink) = JsonlStreamSink::create(&dir.join("disp.jsonl")) {
+                hub.set_sink(Arc::new(sink));
+            }
+        }
+        let recorder = hub.recorder(DISPATCHER_RANK);
+
+        let mut cfg = transport_config();
+        if let Some(fa) = opts.fail_after {
+            cfg.fail_after = fa;
+            cfg.heartbeat = (fa / 4).max(Duration::from_millis(5));
+        }
+        let transport = TcpTransport::bind(NodeId::Dispatcher, "127.0.0.1:0", 0, cfg)
+            .map_err(|e| ProcError::Launch(format!("bind: {e}")))?;
+        let local_addr = transport
+            .local_addr()
+            .ok_or_else(|| ProcError::Launch("no local addr".into()))?;
+        let transport: Arc<dyn Transport> = Arc::new(transport);
+
+        let fabric = Fabric::new();
+        let topo = Topology {
+            world: opts.world,
+            el_total: opts.el_shards * opts.el_replicas,
+        };
+        let gateway = Gateway::start(transport, &fabric, GatewayRole::Supervisor, topo);
+        if let Some(sched) = &opts.checkpointing {
+            spawn_checkpoint_scheduler(&fabric, opts.world, sched.clone());
+        }
+
+        let health = match &opts.health_addr {
+            Some(addr) => Some(
+                HealthServer::bind(addr)
+                    .map_err(|e| ProcError::Launch(format!("health endpoint: {e}")))?,
+            ),
+            None => None,
+        };
+        if let Some(h) = &health {
+            println!("mpirun: health endpoint at http://{}/", h.local_addr());
+        }
+
+        let mut sup = Supervisor {
+            gateway,
+            local_addr,
+            fabric,
+            hub,
+            recorder,
+            slots: HashMap::new(),
+            results: (0..opts.world).map(|_| None).collect(),
+            rank_metrics: Vec::new(),
+            detections: Vec::new(),
+            violations: Vec::new(),
+            restarts: 0,
+            service_restarts: 0,
+            epoch_ns,
+            health,
+            shutting_down: false,
+        };
+
+        let mut nodes: Vec<NodeId> = (0..opts.world)
+            .map(|r| NodeId::Computing(Rank(r)))
+            .collect();
+        for f in 0..topo.el_total {
+            nodes.push(NodeId::EventLogger(f));
+        }
+        nodes.push(NodeId::CheckpointServer(0));
+        for node in nodes {
+            sup.spawn_child(opts, node, 0, false)?;
+        }
+        Ok(sup)
+    }
+
+    fn role_spec(node: NodeId, opts: &ProcOptions) -> String {
+        match node {
+            NodeId::Computing(r) => format!("cn:{}", r.0),
+            NodeId::EventLogger(f) => {
+                format!("el:{}:{}", f / opts.el_replicas, f % opts.el_replicas)
+            }
+            NodeId::CheckpointServer(_) => "cs".into(),
+            other => panic!("not a child role: {other}"),
+        }
+    }
+
+    fn spawn_child(
+        &mut self,
+        opts: &ProcOptions,
+        node: NodeId,
+        incarnation: u64,
+        restart: bool,
+    ) -> Result<(), ProcError> {
+        let mut cmd = Command::new(&opts.exe);
+        cmd.env(ENV_ROLE, Self::role_spec(node, opts))
+            .env(ENV_PARENT, &self.local_addr)
+            .env(ENV_EPOCH_NS, self.epoch_ns.to_string())
+            .env(ENV_INCARNATION, incarnation.to_string())
+            .env(ENV_WORLD, opts.world.to_string())
+            .env(ENV_SHARDS, opts.el_shards.to_string())
+            .env(ENV_REPLICAS, opts.el_replicas.to_string())
+            .env(ENV_APP, &opts.app_spec)
+            .stdin(Stdio::null());
+        if restart {
+            cmd.env(ENV_RESTART, "1");
+        }
+        if incarnation == 0 {
+            if let Some((_, addr)) = opts.binds.iter().find(|(n, _)| *n == node) {
+                cmd.env(super::child::ENV_BIND, addr);
+            }
+        }
+        if let Some(dir) = &opts.obs_dir {
+            cmd.env(ENV_OBS, dir);
+        }
+        if let Some(fa) = opts.fail_after {
+            cmd.env(ENV_FAIL_AFTER_MS, fa.as_millis().to_string());
+        }
+        // Enforce the fail-stop verdict before replacing the slot: if
+        // the detector declared the old incarnation dead while the OS
+        // process still lingers (wedged rather than exited), two
+        // incarnations of the same rank must never run concurrently.
+        if let Some(mut old) = self.slots.get_mut(&node).and_then(|s| s.child.take()) {
+            sig::send_signal(old.id(), sig::SIGKILL);
+            let _ = old.wait();
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| ProcError::Launch(format!("spawn {node}: {e}")))?;
+        let pid = child.id();
+        println!("mpirun: launched {node} pid={pid} incarnation={incarnation}");
+        self.slots.insert(
+            node,
+            Slot {
+                child: Some(child),
+                pid,
+                incarnation,
+                addr: None,
+                restarts: self.slots.get(&node).map(|s| s.restarts).unwrap_or(0),
+                down_handled: false,
+                respawn_at: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Current address map: every known child address plus our own.
+    fn address_map(&self) -> WireMsg {
+        let mut entries: Vec<(NodeId, String)> =
+            vec![(NodeId::Dispatcher, self.local_addr.clone())];
+        for (node, slot) in &self.slots {
+            if let Some(addr) = &slot.addr {
+                entries.push((*node, addr.clone()));
+            }
+        }
+        WireMsg::AddressMap(entries)
+    }
+
+    fn broadcast_address_map(&self) {
+        let map = self.address_map();
+        for (node, slot) in &self.slots {
+            if slot.addr.is_some() {
+                self.gateway.send_to(*node, &map);
+            }
+        }
+    }
+
+    /// Flatten the option kills and the chaos plan into one absolute
+    /// schedule — a pure function of the options, so a pinned plan
+    /// replays the identical signal sequence.
+    fn kill_schedule(opts: &ProcOptions) -> Vec<PlannedKill> {
+        let mut kills: Vec<PlannedKill> = Vec::new();
+        for (r, at) in &opts.kills {
+            kills.push(PlannedKill {
+                at: *at,
+                target: NodeId::Computing(*r),
+                rekill: false,
+            });
+        }
+        for (f, at) in &opts.el_kills {
+            kills.push(PlannedKill {
+                at: *at,
+                target: NodeId::EventLogger(*f),
+                rekill: false,
+            });
+        }
+        for at in &opts.cs_kills {
+            kills.push(PlannedKill {
+                at: *at,
+                target: NodeId::CheckpointServer(0),
+                rekill: false,
+            });
+        }
+        if let Some(chaos) = &opts.chaos {
+            let mut t = Duration::ZERO;
+            for ev in chaos.plan(opts.world) {
+                t += ev.after;
+                for v in &ev.victims {
+                    kills.push(PlannedKill {
+                        at: t,
+                        target: NodeId::Computing(*v),
+                        rekill: ev.rekill,
+                    });
+                }
+                if ev.kill_checkpoint_server {
+                    kills.push(PlannedKill {
+                        at: t,
+                        target: NodeId::CheckpointServer(0),
+                        rekill: false,
+                    });
+                }
+                if let Some(f) = ev.kill_el_replica {
+                    kills.push(PlannedKill {
+                        at: t,
+                        target: NodeId::EventLogger(f),
+                        rekill: false,
+                    });
+                }
+            }
+        }
+        kills.sort_by_key(|k| k.at);
+        kills
+    }
+
+    fn supervise(&mut self, opts: &ProcOptions) -> Result<(), ProcError> {
+        let start = Instant::now();
+        let mut kills = Self::kill_schedule(opts);
+        let mut next_health = Instant::now();
+
+        loop {
+            let now = Instant::now();
+            if now.duration_since(start) > opts.timeout {
+                return Err(ProcError::Timeout);
+            }
+            if sig::shutdown_requested() {
+                println!("mpirun: interrupt — tearing children down");
+                return Err(ProcError::Interrupted);
+            }
+
+            // Deliver due planned kills — real SIGKILLs.
+            while kills
+                .first()
+                .is_some_and(|k| now.duration_since(start) >= k.at)
+            {
+                let k = kills.remove(0);
+                self.deliver_kill(&k);
+            }
+
+            // Reap exited children; unexpected deaths feed the same
+            // down-handling as the socket detector (whichever is first).
+            self.reap_children(opts)?;
+
+            // Due respawns.
+            let due: Vec<NodeId> = self
+                .slots
+                .iter()
+                .filter(|(_, s)| s.respawn_at.is_some_and(|t| t <= now))
+                .map(|(n, _)| *n)
+                .collect();
+            for node in due {
+                let inc = self.slots[&node].incarnation + 1;
+                if let Some(slot) = self.slots.get_mut(&node) {
+                    slot.respawn_at = None;
+                }
+                self.spawn_child(opts, node, inc, true)?;
+                match node {
+                    NodeId::Computing(_) => self.restarts += 1,
+                    _ => self.service_restarts += 1,
+                }
+            }
+
+            if self.health.is_some() && now >= next_health {
+                self.publish_health(start);
+                next_health = now + Duration::from_millis(100);
+            }
+
+            // Drain the control plane.
+            match self
+                .gateway
+                .control()
+                .recv_timeout(Duration::from_millis(2))
+            {
+                Ok(ctl) => self.handle_control(opts, ctl)?,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(ProcError::Launch("gateway pump died".into()))
+                }
+            }
+
+            if kills.is_empty() && self.results.iter().all(|r| r.is_some()) {
+                return Ok(());
+            }
+        }
+    }
+
+    fn deliver_kill(&mut self, k: &PlannedKill) {
+        let Some(slot) = self.slots.get(&k.target) else {
+            return;
+        };
+        if slot.child.is_none() {
+            return; // currently down; its respawn is already scheduled
+        }
+        println!("mpirun: SIGKILL {} pid={}", k.target, slot.pid);
+        match k.target {
+            NodeId::Computing(r) => self.recorder.record(
+                0,
+                ProtoEvent::ChaosKill {
+                    victim: r.0,
+                    rekill: k.rekill,
+                },
+            ),
+            NodeId::EventLogger(f) => self.recorder.record(
+                0,
+                ProtoEvent::ServiceKill {
+                    service: format!("el{f}"),
+                },
+            ),
+            _ => self.recorder.record(
+                0,
+                ProtoEvent::ServiceKill {
+                    service: "cs".into(),
+                },
+            ),
+        }
+        sig::send_signal(slot.pid, sig::SIGKILL);
+    }
+
+    fn reap_children(&mut self, opts: &ProcOptions) -> Result<(), ProcError> {
+        let nodes: Vec<NodeId> = self.slots.keys().copied().collect();
+        for node in nodes {
+            let slot = self.slots.get_mut(&node).expect("slot exists");
+            let Some(child) = slot.child.as_mut() else {
+                continue;
+            };
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    let kind = exit_kind(&status);
+                    slot.child = None;
+                    if !self.shutting_down && !slot.down_handled {
+                        println!("mpirun: {node} exited ({kind})");
+                        self.handle_down(opts, node, kind)?;
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// One death, one verdict: called by detector PeerDown or reaper,
+    /// whichever fires first for this incarnation.
+    fn handle_down(
+        &mut self,
+        opts: &ProcOptions,
+        node: NodeId,
+        cause: String,
+    ) -> Result<(), ProcError> {
+        let Some(slot) = self.slots.get_mut(&node) else {
+            return Ok(());
+        };
+        if slot.down_handled {
+            return Ok(());
+        }
+        slot.down_handled = true;
+        slot.addr = None;
+        self.detections.push((format!("{node}"), cause));
+        match node {
+            NodeId::Computing(r) => {
+                // A rank that already delivered its result does not come
+                // back; the survivors are only waiting for teardown.
+                if self.results[r.0 as usize].is_some() {
+                    return Ok(());
+                }
+                let slot = self.slots.get_mut(&node).expect("slot exists");
+                let attempt = slot.restarts as u64 + 1;
+                if slot.restarts >= opts.max_rank_restarts {
+                    return Err(ProcError::RestartBudgetExhausted(r));
+                }
+                slot.restarts += 1;
+                // The dispatcher's backoff idiom: doubled per repeat
+                // crash of the same rank, capped at 64×.
+                let factor = 1u32 << (slot.restarts - 1).min(6);
+                slot.respawn_at = Some(Instant::now() + opts.restart_delay * factor);
+                self.recorder
+                    .record(0, ProtoEvent::RespawnScheduled { rank: r.0, attempt });
+            }
+            _ => {
+                slot.restarts += 1;
+                slot.respawn_at = Some(Instant::now() + opts.restart_delay);
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_control(&mut self, opts: &ProcOptions, ctl: Control) -> Result<(), ProcError> {
+        match ctl {
+            Control::Msg { from: _, msg } => match msg {
+                WireMsg::Hello {
+                    node,
+                    addr,
+                    incarnation,
+                } => {
+                    self.gateway.transport().set_route(node, addr.clone());
+                    if let Some(slot) = self.slots.get_mut(&node) {
+                        // A hello from a superseded incarnation (e.g. a
+                        // zombie that raced its own SIGKILL) is ignored.
+                        if incarnation == slot.incarnation {
+                            slot.addr = Some(addr);
+                            self.broadcast_address_map();
+                        }
+                    }
+                }
+                WireMsg::RankResult { rank, result } => {
+                    if let Some(cell) = self.results.get_mut(rank.0 as usize) {
+                        *cell = Some(result);
+                    }
+                }
+                WireMsg::RankFailed { rank, detail } => {
+                    return Err(ProcError::RankFailed { rank, detail });
+                }
+                WireMsg::Finalized {
+                    rank,
+                    metrics,
+                    timings: _,
+                } => {
+                    self.rank_metrics.retain(|(r, _)| *r != rank);
+                    self.rank_metrics.push((rank, metrics));
+                }
+                WireMsg::ElRevived {
+                    shard,
+                    replica,
+                    caught_up,
+                } => {
+                    self.recorder.record(
+                        0,
+                        ProtoEvent::ElReplicaRevive {
+                            shard,
+                            replica,
+                            caught_up,
+                        },
+                    );
+                }
+                WireMsg::Violation { node, detail } => {
+                    self.recorder.record(
+                        0,
+                        ProtoEvent::Divergence {
+                            detail: detail.clone(),
+                        },
+                    );
+                    self.violations.push((node, detail));
+                }
+                // Data-plane messages are routed inside the gateway;
+                // anything else here is stray control noise.
+                _ => {}
+            },
+            Control::PeerUp { peer, incarnation } => {
+                self.recorder.record(
+                    0,
+                    ProtoEvent::TransportUp {
+                        peer: format!("{peer}"),
+                        incarnation,
+                    },
+                );
+            }
+            Control::PeerDown {
+                peer,
+                incarnation,
+                cause,
+            } => {
+                self.recorder.record(
+                    0,
+                    ProtoEvent::TransportDown {
+                        peer: format!("{peer}"),
+                        cause: format!("{cause}"),
+                    },
+                );
+                // A verdict naming an incarnation older than the one we
+                // launched is about a death already handled — e.g. the
+                // synthetic down the transport emits when a respawned
+                // child's hello supersedes a lingering old link. Acting
+                // on it would re-kill the healthy replacement and turn
+                // one failure into a respawn storm.
+                let stale = self
+                    .slots
+                    .get(&peer)
+                    .is_some_and(|s| incarnation < s.incarnation);
+                if !self.shutting_down && !stale {
+                    self.handle_down(opts, peer, format!("{cause}"))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn publish_health(&self, start: Instant) {
+        let Some(h) = &self.health else { return };
+        let mut page = String::new();
+        page.push_str(&format!(
+            "# mvr multi-process deployment, up {:?}\nmvr_up 1\n",
+            start.elapsed()
+        ));
+        page.push_str(&format!(
+            "mvr_proc_results {}\nmvr_proc_restarts {}\nmvr_proc_service_restarts {}\nmvr_proc_detections {}\n",
+            self.results.iter().filter(|r| r.is_some()).count(),
+            self.restarts,
+            self.service_restarts,
+            self.detections.len(),
+        ));
+        let mut nodes: Vec<&NodeId> = self.slots.keys().collect();
+        nodes.sort();
+        for node in nodes {
+            let s = &self.slots[node];
+            page.push_str(&format!(
+                "mvr_proc_child{{node=\"{node}\",incarnation=\"{}\"}} {}\n",
+                s.incarnation,
+                if s.child.is_some() && s.addr.is_some() {
+                    1
+                } else {
+                    0
+                }
+            ));
+        }
+        h.publish(page);
+    }
+
+    /// Graceful teardown: `Shutdown` broadcast → bounded wait → SIGTERM
+    /// → bounded wait → SIGKILL → reap. No orphans, whatever happened.
+    fn teardown(&mut self) {
+        self.shutting_down = true;
+        for (node, slot) in &self.slots {
+            if slot.child.is_some() && slot.addr.is_some() {
+                self.gateway.send_to(*node, &WireMsg::Shutdown);
+            }
+        }
+        let mut phase = 0; // 0 = polite, 1 = SIGTERM sent, 2 = SIGKILL sent
+        let mut deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let mut alive = 0;
+            for slot in self.slots.values_mut() {
+                if let Some(child) = slot.child.as_mut() {
+                    match child.try_wait() {
+                        Ok(Some(_)) => slot.child = None,
+                        _ => alive += 1,
+                    }
+                }
+            }
+            if alive == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                phase += 1;
+                let sig_no = if phase == 1 {
+                    sig::SIGTERM
+                } else {
+                    sig::SIGKILL
+                };
+                for slot in self.slots.values() {
+                    if slot.child.is_some() {
+                        sig::send_signal(slot.pid, sig_no);
+                    }
+                }
+                if phase >= 2 {
+                    // SIGKILL cannot be ignored: block on the reaps.
+                    for slot in self.slots.values_mut() {
+                        if let Some(mut child) = slot.child.take() {
+                            let _ = child.wait();
+                        }
+                    }
+                    break;
+                }
+                deadline = Instant::now() + Duration::from_secs(1);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.gateway.stop();
+        if let Some(h) = self.health.take() {
+            h.stop();
+        }
+        // Keep the supervisor's fabric alive until here so the scheduler
+        // thread can drain; it dies with the process otherwise.
+        let _ = &self.fabric;
+    }
+
+    fn take_report(&mut self, opts: &ProcOptions) -> Result<ProcReport, ProcError> {
+        let merged_dump = match &opts.obs_dir {
+            Some(dir) => {
+                let mut inputs: Vec<PathBuf> = std::fs::read_dir(dir)
+                    .map(|rd| {
+                        rd.filter_map(|e| e.ok())
+                            .map(|e| e.path())
+                            .filter(|p| {
+                                p.extension().is_some_and(|x| x == "jsonl")
+                                    && p.file_name().is_some_and(|n| n != "merged.jsonl")
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                inputs.sort();
+                let out = dir.join("merged.jsonl");
+                match merge_dump_files(&inputs, &out) {
+                    Ok(_) => Some(out),
+                    Err(e) => {
+                        eprintln!("mpirun: dump merge failed: {e}");
+                        None
+                    }
+                }
+            }
+            None => None,
+        };
+        let _ = &self.hub;
+        let mut results = Vec::with_capacity(self.results.len());
+        for (r, cell) in std::mem::take(&mut self.results).into_iter().enumerate() {
+            match cell {
+                Some(p) => results.push(p),
+                None => return Err(ProcError::Launch(format!("rank {r} produced no result"))),
+            }
+        }
+        let mut rank_metrics = std::mem::take(&mut self.rank_metrics);
+        rank_metrics.sort_by_key(|(r, _)| r.0);
+        Ok(ProcReport {
+            results,
+            restarts: self.restarts,
+            service_restarts: self.service_restarts,
+            detections: std::mem::take(&mut self.detections),
+            rank_metrics,
+            violations: std::mem::take(&mut self.violations),
+            merged_dump,
+        })
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        // Orphan safety: whatever path unwound us, no child survives.
+        for slot in self.slots.values_mut() {
+            if let Some(mut child) = slot.child.take() {
+                sig::send_signal(slot.pid, sig::SIGKILL);
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Classify how a child exited (clean / error code / signal).
+fn exit_kind(status: &std::process::ExitStatus) -> String {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig_no) = status.signal() {
+            return match sig_no {
+                sig::SIGKILL => "killed (SIGKILL)".into(),
+                sig::SIGTERM => "terminated (SIGTERM)".into(),
+                other => format!("signal {other}"),
+            };
+        }
+    }
+    match status.code() {
+        Some(0) => "clean exit".into(),
+        Some(code) => format!("exit code {code}"),
+        None => "unknown exit".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_schedule_is_plan_pure() {
+        let mut opts = ProcOptions::new(4, "ring 10");
+        opts.kills = vec![(Rank(1), Duration::from_millis(10))];
+        opts.chaos = Some(ChaosConfig {
+            seed: 7,
+            kills: 5,
+            el_kill_pct: 50,
+            el_total: 2,
+            cs_kill_pct: 30,
+            ..Default::default()
+        });
+        let a = Supervisor::kill_schedule(&opts);
+        let b = Supervisor::kill_schedule(&opts);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.target, y.target);
+            assert_eq!(x.rekill, y.rekill);
+        }
+        // Sorted by time.
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn exit_kind_classifies_codes() {
+        let st = std::process::Command::new("true").status().unwrap();
+        assert_eq!(exit_kind(&st), "clean exit");
+        let st = std::process::Command::new("false").status().unwrap();
+        assert_eq!(exit_kind(&st), "exit code 1");
+    }
+}

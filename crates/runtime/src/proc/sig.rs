@@ -1,0 +1,94 @@
+//! Minimal Unix signal plumbing for the multi-process deployment — raw
+//! `kill(2)`/`signal(2)` FFI so the supervisor can deliver real
+//! `SIGKILL`s (chaos), escalate `SIGTERM` on slow teardown, and itself
+//! die gracefully on `SIGINT`/`SIGTERM` without orphaning children.
+//!
+//! Deliberately libc-free: the runtime links no external crates beyond
+//! the vendored workspace set, and the four calls needed here are stable
+//! C ABI on every Unix we target. On non-Unix hosts everything degrades
+//! to no-ops (the socket backend is Unix-only; the in-process fabric is
+//! the portable default).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGINT` — interactive interrupt (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGKILL` — unblockable kill; what chaos events deliver.
+pub const SIGKILL: i32 = 9;
+/// `SIGTERM` — polite termination request.
+pub const SIGTERM: i32 = 15;
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    // A lock-free atomic store is async-signal-safe; nothing else
+    // happens in handler context.
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn send_signal(pid: u32, sig: i32) -> bool {
+        if pid == 0 {
+            return false; // never signal "every process in our group"
+        }
+        unsafe { kill(pid as i32, sig) == 0 }
+    }
+
+    pub fn install_shutdown_handler() {
+        unsafe {
+            signal(super::SIGINT, on_signal as *const () as usize);
+            signal(super::SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn send_signal(_pid: u32, _sig: i32) -> bool {
+        false
+    }
+    pub fn install_shutdown_handler() {}
+}
+
+/// Send `sig` to `pid`. Returns whether the kernel accepted it (false
+/// also when the process is already gone). With `sig == 0` this is a
+/// pure liveness probe: true iff the process still exists.
+pub fn send_signal(pid: u32, sig: i32) -> bool {
+    imp::send_signal(pid, sig)
+}
+
+/// Install `SIGINT`/`SIGTERM` handlers that set a flag readable via
+/// [`shutdown_requested`] — the supervisor polls it and runs the
+/// graceful teardown (signal children, deadline, escalate, reap).
+pub fn install_shutdown_handler() {
+    imp::install_shutdown_handler()
+}
+
+/// Whether a `SIGINT`/`SIGTERM` arrived since
+/// [`install_shutdown_handler`].
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(unix)]
+    fn signal_zero_probes_liveness() {
+        let me = std::process::id();
+        assert!(send_signal(me, 0), "we are alive");
+        // PID 0 is refused outright (would target the process group).
+        assert!(!send_signal(0, 0));
+    }
+}

@@ -18,11 +18,16 @@
 //! sc store01 policy=rr interval_ms=5
 //! ```
 //!
-//! Hostnames are recorded but purely decorative in this in-process
-//! deployment (DESIGN.md §2); counts and options are what matter.
+//! Hostnames are decorative in the in-process deployment (DESIGN.md
+//! §2): counts and options are what matter. The socket backend
+//! (`mpirun --backend socket`) additionally honours `host:port` entries
+//! as *first-launch* bind addresses ([`ProgramFile::bind_map`]);
+//! reincarnations always rebind a fresh ephemeral port — announced via
+//! their `Hello` — so revival never fights `TIME_WAIT` on the old one.
 
 use crate::services::SchedulerConfig;
 use mvr_ckpt::Policy;
+use mvr_core::{NodeId, Rank};
 use std::time::Duration;
 
 /// A parsed deployment description.
@@ -42,6 +47,44 @@ impl ProgramFile {
     /// World size.
     pub fn world(&self) -> u32 {
         self.computing.len() as u32
+    }
+
+    /// First-launch bind addresses for the socket backend: every
+    /// machine entry written as `host:port` maps to its deployment
+    /// node. Entries without a port (plain hostnames) bind ephemeral.
+    /// With replicated event loggers, an `el` line's declared port goes
+    /// to replica 0 of its shard; other replicas bind ephemeral.
+    pub fn bind_map(&self, el_replicas: u32) -> Vec<(NodeId, String)> {
+        let mut map = Vec::new();
+        for (i, entry) in self.computing.iter().enumerate() {
+            if host_port(entry).is_some() {
+                map.push((NodeId::Computing(Rank(i as u32)), entry.clone()));
+            }
+        }
+        for (shard, entry) in self.event_loggers.iter().enumerate() {
+            if host_port(entry).is_some() {
+                let flat = shard as u32 * el_replicas.max(1);
+                map.push((NodeId::EventLogger(flat), entry.clone()));
+            }
+        }
+        if let Some(entry) = self.checkpoint_servers.first() {
+            if host_port(entry).is_some() {
+                map.push((NodeId::CheckpointServer(0), entry.clone()));
+            }
+        }
+        map
+    }
+}
+
+/// Split a machine entry into hostname and declared port, when the
+/// entry carries one (`"node01:4711"` → `("node01", 4711)`).
+pub fn host_port(entry: &str) -> Option<(&str, u16)> {
+    let (host, port) = entry.rsplit_once(':')?;
+    let port: u16 = port.parse().ok()?;
+    if host.is_empty() {
+        None
+    } else {
+        Some((host, port))
     }
 }
 
@@ -242,6 +285,27 @@ sc store01 policy=adaptive interval_ms=7 seed=3
             .unwrap_err()
             .message
             .contains("no options"));
+    }
+
+    #[test]
+    fn host_port_entries_feed_the_bind_map() {
+        let pf =
+            parse("cn node01:4000\ncn node02\nel logger01:5000\nel logger02\ncs store01:6000\n")
+                .unwrap();
+        assert_eq!(host_port("node01:4000"), Some(("node01", 4000)));
+        assert_eq!(host_port("node02"), None);
+        assert_eq!(host_port(":4000"), None);
+        assert_eq!(host_port("node01:notaport"), None);
+
+        let map = pf.bind_map(2);
+        assert_eq!(
+            map,
+            vec![
+                (NodeId::Computing(Rank(0)), "node01:4000".to_string()),
+                (NodeId::EventLogger(0), "logger01:5000".to_string()),
+                (NodeId::CheckpointServer(0), "store01:6000".to_string()),
+            ]
+        );
     }
 
     #[test]

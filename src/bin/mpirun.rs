@@ -7,104 +7,169 @@
 //! mpirun -np 4 --pgfile cluster.pg stencil     # explicit program file
 //! mpirun -np 4 --kill 2@10ms --kill 0@25ms cg  # fault injection
 //! mpirun -np 4 --no-checkpoints ring           # logging only
+//! mpirun -np 4 --backend socket ring           # real OS processes + TCP
 //! ```
+//!
+//! Two deployment backends share every flag:
+//! - `inproc` (default): the in-process fabric — threads in one
+//!   process, the benchmarking substrate;
+//! - `socket`: every rank, event-logger replica and the checkpoint
+//!   server is a **real OS process** speaking length-prefixed frames
+//!   over TCP, watched by a socket fail-stop detector; `--kill` become
+//!   real `SIGKILL`s and recovery runs across process boundaries.
 //!
 //! Demo applications (deterministic, resumable, self-verifying):
 //! `ring [iters]`, `allreduce [iters]`, `cg [n]`, `stencil [n] [steps]`.
 
 use mpich_v::core::{Payload, Rank};
 use mpich_v::mpi::{MpiResult, ReduceOp, Source, Tag};
+use mpich_v::runtime::proc::{maybe_run_child, run_proc, ProcOptions};
 use mpich_v::runtime::progfile;
-use mpich_v::runtime::{Cluster, ClusterConfig, NodeMpi, RuntimeProtocol, SchedulerConfig};
+use mpich_v::runtime::{Cluster, ClusterConfig, MpiApp, NodeMpi, RuntimeProtocol, SchedulerConfig};
 use mpich_v::workloads as mvr_workloads;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mpirun -np <N> [--protocol v2|v1|p4] [--pgfile <file>] \
-         [--kill <rank>@<ms>ms]... [--no-checkpoints] [--timeout <secs>] \
-         <app> [args...]\n\
+        "usage: mpirun -np <N> [--protocol v2|v1|p4] [--backend inproc|socket] \
+         [--pgfile <file>] [--kill <rank>@<ms>ms]... [--el-kill <flat>@<ms>ms]... \
+         [--cs-kill <ms>ms]... [--el-replicas <R>] [--no-checkpoints] \
+         [--timeout <secs>] [--obs-dir <dir>] [--health <addr>] \
+         [--fail-after <ms>] <app> [args...]\n\
          apps: ring [iters] | allreduce [iters] | cg [n] | stencil [n] [steps]"
     );
     std::process::exit(2);
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    InProcess,
+    Socket,
+}
+
 struct Options {
     np: u32,
     protocol: RuntimeProtocol,
+    backend: Backend,
     pgfile: Option<String>,
     kills: Vec<(Rank, Duration)>,
+    el_kills: Vec<(u32, Duration)>,
+    cs_kills: Vec<Duration>,
+    el_replicas: u32,
     checkpoints: bool,
     timeout: Duration,
+    obs_dir: Option<String>,
+    health: Option<String>,
+    fail_after: Option<Duration>,
     app: String,
     app_args: Vec<u64>,
 }
 
-fn parse_args() -> Options {
-    let mut np = 4u32;
-    let mut protocol = RuntimeProtocol::V2;
-    let mut pgfile = None;
-    let mut kills = Vec::new();
-    let mut checkpoints = true;
-    let mut timeout = Duration::from_secs(120);
-    let mut app = None;
-    let mut app_args = Vec::new();
+fn parse_at_ms(spec: &str) -> Option<(u32, Duration)> {
+    let (idx, when) = spec.split_once('@')?;
+    let idx: u32 = idx.parse().ok()?;
+    let ms: u64 = when.trim_end_matches("ms").parse().ok()?;
+    Some((idx, Duration::from_millis(ms)))
+}
 
+fn parse_args() -> Options {
+    let mut opt = Options {
+        np: 4,
+        protocol: RuntimeProtocol::V2,
+        backend: Backend::InProcess,
+        pgfile: None,
+        kills: Vec::new(),
+        el_kills: Vec::new(),
+        cs_kills: Vec::new(),
+        el_replicas: 1,
+        checkpoints: true,
+        timeout: Duration::from_secs(120),
+        obs_dir: None,
+        health: None,
+        fail_after: None,
+        app: String::new(),
+        app_args: Vec::new(),
+    };
+
+    let mut app = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "-np" | "--np" => {
-                np = args
+                opt.np = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
             "--protocol" => {
-                protocol = match args.next().as_deref() {
+                opt.protocol = match args.next().as_deref() {
                     Some("v2") => RuntimeProtocol::V2,
                     Some("v1") => RuntimeProtocol::V1,
                     Some("p4") => RuntimeProtocol::P4,
                     _ => usage(),
                 };
             }
-            "--pgfile" => pgfile = Some(args.next().unwrap_or_else(|| usage())),
+            "--backend" => {
+                opt.backend = match args.next().as_deref() {
+                    Some("inproc") | Some("in-process") => Backend::InProcess,
+                    Some("socket") | Some("tcp") => Backend::Socket,
+                    _ => usage(),
+                };
+            }
+            "--pgfile" => opt.pgfile = Some(args.next().unwrap_or_else(|| usage())),
             "--kill" => {
                 let spec = args.next().unwrap_or_else(|| usage());
-                let (rank, when) = spec.split_once('@').unwrap_or_else(|| usage());
-                let rank: u32 = rank.parse().unwrap_or_else(|_| usage());
-                let ms: u64 = when
+                let (rank, at) = parse_at_ms(&spec).unwrap_or_else(|| usage());
+                opt.kills.push((Rank(rank), at));
+            }
+            "--el-kill" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                opt.el_kills
+                    .push(parse_at_ms(&spec).unwrap_or_else(|| usage()));
+            }
+            "--cs-kill" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let ms: u64 = spec
                     .trim_end_matches("ms")
                     .parse()
                     .unwrap_or_else(|_| usage());
-                kills.push((Rank(rank), Duration::from_millis(ms)));
+                opt.cs_kills.push(Duration::from_millis(ms));
             }
-            "--no-checkpoints" => checkpoints = false,
+            "--el-replicas" => {
+                opt.el_replicas = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-checkpoints" => opt.checkpoints = false,
             "--timeout" => {
-                timeout = Duration::from_secs(
+                opt.timeout = Duration::from_secs(
                     args.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--obs-dir" => opt.obs_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--health" => opt.health = Some(args.next().unwrap_or_else(|| usage())),
+            "--fail-after" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.trim_end_matches("ms").parse().ok())
+                    .unwrap_or_else(|| usage());
+                opt.fail_after = Some(Duration::from_millis(ms));
+            }
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => usage(),
             other => {
                 app = Some(other.to_string());
-                app_args = args.by_ref().filter_map(|v| v.parse().ok()).collect();
+                opt.app_args = args.by_ref().filter_map(|v| v.parse().ok()).collect();
                 break;
             }
         }
     }
-    Options {
-        np,
-        protocol,
-        pgfile,
-        kills,
-        checkpoints,
-        timeout,
-        app: app.unwrap_or_else(|| usage()),
-        app_args,
-    }
+    opt.app = app.unwrap_or_else(|| usage());
+    opt
 }
 
 // ---------------------------------------------------------------------
@@ -156,7 +221,51 @@ fn allreduce_app(iters: u32) -> impl Fn(&mut NodeMpi, Option<Payload>) -> MpiRes
     }
 }
 
+/// Resolve an application spec (`"ring 40"`) to a runnable app. Used by
+/// the launcher itself and — via the child hook — by every re-executed
+/// rank process, so both backends run the very same application object.
+fn make_app(spec: &str) -> Option<Arc<dyn MpiApp>> {
+    let mut parts = spec.split_whitespace();
+    let name = parts.next()?;
+    let args: Vec<u64> = parts.filter_map(|v| v.parse().ok()).collect();
+    let arg0 = args.first().copied();
+    let arg1 = args.get(1).copied();
+    match name {
+        "ring" => Some(Arc::new(ring(arg0.unwrap_or(500) as u32))),
+        "allreduce" => Some(Arc::new(allreduce_app(arg0.unwrap_or(300) as u32))),
+        "cg" => {
+            let ccfg = mvr_workloads_cg_config(arg0.unwrap_or(768) as usize);
+            Some(Arc::new(
+                move |mpi: &mut NodeMpi, restored: Option<Payload>| {
+                    let st = restored.map(|p| bincode::deserialize(p.as_slice()).unwrap());
+                    let r = mvr_workloads::cg(mpi, &ccfg, st)?;
+                    Ok(Payload::from_vec(bincode::serialize(&r).unwrap()))
+                },
+            ))
+        }
+        "stencil" => {
+            let scfg = mvr_workloads::StencilConfig {
+                n: arg0.unwrap_or(4000) as usize,
+                steps: arg1.unwrap_or(300) as u32,
+            };
+            Some(Arc::new(
+                move |mpi: &mut NodeMpi, restored: Option<Payload>| {
+                    let st = restored.map(|p| bincode::deserialize(p.as_slice()).unwrap());
+                    let total = mvr_workloads::stencil(mpi, &scfg, st)?;
+                    Ok(Payload::from_vec(total.to_le_bytes().to_vec()))
+                },
+            ))
+        }
+        _ => None,
+    }
+}
+
 fn main() {
+    // Child hook first: `--backend socket` re-executes this binary per
+    // deployment node with MVR_PROC_ROLE set; those invocations run the
+    // role and never return.
+    maybe_run_child(&make_app);
+
     let opt = parse_args();
 
     // Resolve the deployment description.
@@ -192,56 +301,56 @@ fn main() {
     } else {
         None
     };
+    let el_shards = pf.event_loggers.len().max(1) as u32;
+
+    println!(
+        "mpirun: {} ranks, protocol {:?}, backend {}, {} event logger shard(s) x{}, checkpoints {}",
+        world,
+        opt.protocol,
+        match opt.backend {
+            Backend::InProcess => "inproc",
+            Backend::Socket => "socket",
+        },
+        el_shards,
+        opt.el_replicas,
+        if checkpointing.is_some() { "on" } else { "off" }
+    );
+
+    let spec = std::iter::once(opt.app.clone())
+        .chain(opt.app_args.iter().map(|v| v.to_string()))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let Some(app) = make_app(&spec) else {
+        eprintln!("mpirun: unknown app '{}'", opt.app);
+        usage();
+    };
+
+    match opt.backend {
+        Backend::InProcess => run_inproc(&opt, world, el_shards, checkpointing, app),
+        Backend::Socket => run_socket(&opt, &pf, world, el_shards, checkpointing, &spec),
+    }
+}
+
+fn run_inproc(
+    opt: &Options,
+    world: u32,
+    el_shards: u32,
+    checkpointing: Option<SchedulerConfig>,
+    app: Arc<dyn MpiApp>,
+) {
+    if !opt.el_kills.is_empty() || !opt.cs_kills.is_empty() {
+        eprintln!("mpirun: --el-kill/--cs-kill need --backend socket");
+        std::process::exit(2);
+    }
     let cfg = ClusterConfig {
         world,
         protocol: opt.protocol,
-        el_shards: pf.event_loggers.len().max(1) as u32,
+        el_shards,
+        el_replicas: opt.el_replicas,
         checkpointing,
         ..Default::default()
     };
-
-    println!(
-        "mpirun: {} ranks, protocol {:?}, {} event logger(s), checkpoints {}",
-        world,
-        opt.protocol,
-        cfg.el_shards,
-        if cfg.checkpointing.is_some() {
-            "on"
-        } else {
-            "off"
-        }
-    );
-
-    // Launch the requested demo application.
-    let arg0 = opt.app_args.first().copied();
-    let arg1 = opt.app_args.get(1).copied();
-    let cluster = match opt.app.as_str() {
-        "ring" => Cluster::launch(cfg, ring(arg0.unwrap_or(500) as u32)),
-        "allreduce" => Cluster::launch(cfg, allreduce_app(arg0.unwrap_or(300) as u32)),
-        "cg" => {
-            let ccfg = mvr_workloads_cg_config(arg0.unwrap_or(768) as usize);
-            Cluster::launch(cfg, move |mpi: &mut NodeMpi, restored: Option<Payload>| {
-                let st = restored.map(|p| bincode::deserialize(p.as_slice()).unwrap());
-                let r = mvr_workloads::cg(mpi, &ccfg, st)?;
-                Ok(Payload::from_vec(bincode::serialize(&r).unwrap()))
-            })
-        }
-        "stencil" => {
-            let scfg = mvr_workloads::StencilConfig {
-                n: arg0.unwrap_or(4000) as usize,
-                steps: arg1.unwrap_or(300) as u32,
-            };
-            Cluster::launch(cfg, move |mpi: &mut NodeMpi, restored: Option<Payload>| {
-                let st = restored.map(|p| bincode::deserialize(p.as_slice()).unwrap());
-                let total = mvr_workloads::stencil(mpi, &scfg, st)?;
-                Ok(Payload::from_vec(total.to_le_bytes().to_vec()))
-            })
-        }
-        other => {
-            eprintln!("mpirun: unknown app '{other}'");
-            usage();
-        }
-    };
+    let cluster = Cluster::launch(cfg, app);
 
     // Fault injection.
     let handle = cluster.fault_handle();
@@ -257,13 +366,7 @@ fn main() {
     match cluster.wait(opt.timeout) {
         Ok(results) => {
             killer.join().ok();
-            for (r, p) in results.iter().enumerate() {
-                println!(
-                    "rank {r}: {} result bytes ({})",
-                    p.len(),
-                    hex8(p.as_slice())
-                );
-            }
+            print_results(&results);
             println!("mpirun: run completed");
         }
         Err(e) => {
@@ -271,6 +374,68 @@ fn main() {
             eprintln!("mpirun: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+fn run_socket(
+    opt: &Options,
+    pf: &progfile::ProgramFile,
+    world: u32,
+    el_shards: u32,
+    checkpointing: Option<SchedulerConfig>,
+    spec: &str,
+) {
+    if opt.protocol != RuntimeProtocol::V2 {
+        eprintln!("mpirun: --backend socket supports protocol v2 only");
+        std::process::exit(2);
+    }
+    let mut popts = ProcOptions::new(world, spec);
+    popts.el_shards = el_shards;
+    popts.el_replicas = opt.el_replicas;
+    popts.checkpointing = checkpointing;
+    popts.timeout = opt.timeout;
+    popts.kills = opt.kills.clone();
+    popts.el_kills = opt.el_kills.clone();
+    popts.cs_kills = opt.cs_kills.clone();
+    popts.obs_dir = opt.obs_dir.clone().map(Into::into);
+    popts.health_addr = opt.health.clone();
+    popts.fail_after = opt.fail_after;
+    popts.binds = pf.bind_map(opt.el_replicas);
+
+    match run_proc(popts) {
+        Ok(report) => {
+            print_results(&report.results);
+            for (peer, cause) in &report.detections {
+                println!("mpirun: detected loss of {peer} ({cause})");
+            }
+            if let Some(dump) = &report.merged_dump {
+                println!("mpirun: merged flight-recorder dump at {}", dump.display());
+            }
+            println!(
+                "mpirun: run completed ({} rank restarts, {} service restarts)",
+                report.restarts, report.service_restarts
+            );
+            if !report.violations.is_empty() {
+                for (node, detail) in &report.violations {
+                    eprintln!("mpirun: VIOLATION on {node}: {detail}");
+                }
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("mpirun: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_results(results: &[Payload]) {
+    for (r, p) in results.iter().enumerate() {
+        println!(
+            "rank {r}: {} result bytes ({})",
+            p.len(),
+            hex8(p.as_slice())
+        );
     }
 }
 

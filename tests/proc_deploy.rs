@@ -1,0 +1,234 @@
+//! Multi-process deployment tests: real `mpirun` child processes over
+//! the TCP socket backend, real SIGKILLs, and the socket fail-stop
+//! detector feeding recovery — the deployment story of MPICH-V2 §4.7
+//! exercised across genuine OS process boundaries.
+//!
+//! Every test drives the built `mpirun` binary (CARGO_BIN_EXE), so the
+//! full path is covered: progfile → process launch → hello/address-map
+//! handshake → framed TCP data plane → supervisor verdicts → respawn.
+
+use mpich_v::runtime::proc::sig;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+fn mpirun() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mpirun"))
+}
+
+fn run_capture(args: &[&str]) -> (String, Option<i32>) {
+    let out = mpirun()
+        .args(args)
+        .output()
+        .expect("mpirun binary must launch");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (text, out.status.code())
+}
+
+/// The per-rank result lines (`rank N: ...`), the backend-independent
+/// observable output of a run.
+fn result_lines(text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|l| l.starts_with("rank "))
+        .map(|l| l.to_string())
+        .collect()
+}
+
+#[test]
+fn socket_backend_matches_in_process_results() {
+    let (inproc, code_a) = run_capture(&["-np", "4", "--timeout", "60", "ring", "40"]);
+    let (socket, code_b) = run_capture(&[
+        "-np",
+        "4",
+        "--backend",
+        "socket",
+        "--timeout",
+        "60",
+        "ring",
+        "40",
+    ]);
+    assert_eq!(code_a, Some(0), "in-process run failed:\n{inproc}");
+    assert_eq!(code_b, Some(0), "socket run failed:\n{socket}");
+    let a = result_lines(&inproc);
+    let b = result_lines(&socket);
+    assert_eq!(a.len(), 4, "expected 4 rank results:\n{inproc}");
+    assert_eq!(
+        a, b,
+        "backends must compute identical results:\ninproc:\n{inproc}\nsocket:\n{socket}"
+    );
+}
+
+#[test]
+fn sigkill_mid_stream_is_detected_and_recovered() {
+    let start = Instant::now();
+    let (text, code) = run_capture(&[
+        "-np",
+        "4",
+        "--backend",
+        "socket",
+        "--timeout",
+        "60",
+        "--fail-after",
+        "250",
+        "--kill",
+        "1@30ms",
+        "ring",
+        "60",
+    ]);
+    let elapsed = start.elapsed();
+    assert_eq!(code, Some(0), "run must recover and complete:\n{text}");
+    // The kill really happened and was adjudicated — by the reaper or
+    // the socket detector, whichever observed it first.
+    assert!(
+        text.contains("mpirun: SIGKILL cn1"),
+        "planned kill missing:\n{text}"
+    );
+    assert!(
+        text.contains("detected loss of cn1"),
+        "fail-stop verdict missing:\n{text}"
+    );
+    // Detection fed recovery: exactly one reincarnation of the victim.
+    assert!(
+        text.contains("launched cn1") && text.contains("incarnation=1"),
+        "respawn missing:\n{text}"
+    );
+    assert!(
+        !text.contains("incarnation=2"),
+        "one SIGKILL must cost exactly one respawn (no verdict storm):\n{text}"
+    );
+    assert_eq!(
+        result_lines(&text).len(),
+        4,
+        "all ranks must deliver results after recovery:\n{text}"
+    );
+    // Mid-stream loss was repaired well inside the run budget — the
+    // detector did not wait out the full supervision timeout.
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "recovery took {elapsed:?}"
+    );
+}
+
+#[test]
+fn el_replica_sigkill_revives_and_completes() {
+    let (text, code) = run_capture(&[
+        "-np",
+        "4",
+        "--backend",
+        "socket",
+        "--timeout",
+        "60",
+        "--el-replicas",
+        "3",
+        "--el-kill",
+        "1@40ms",
+        "ring",
+        "60",
+    ]);
+    assert_eq!(
+        code,
+        Some(0),
+        "run must survive an EL replica loss:\n{text}"
+    );
+    assert!(
+        text.contains("mpirun: SIGKILL el1"),
+        "planned EL kill missing:\n{text}"
+    );
+    assert!(
+        text.contains("launched el1") && text.contains("incarnation=1"),
+        "EL replica revival missing:\n{text}"
+    );
+    assert_eq!(result_lines(&text).len(), 4, "results missing:\n{text}");
+}
+
+/// Read lines from `child`'s stdout on a helper thread, forwarding each
+/// over a channel so the test can wait with deadlines.
+fn stream_stdout(child: &mut Child) -> mpsc::Receiver<String> {
+    let stdout = child.stdout.take().expect("stdout piped");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines().map_while(Result::ok) {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    rx
+}
+
+#[test]
+fn sigint_tears_down_without_orphans() {
+    // An app far too long to finish on its own: the only way this run
+    // ends in bounded time is the interrupt path.
+    let mut child = mpirun()
+        .args([
+            "-np",
+            "4",
+            "--backend",
+            "socket",
+            "--timeout",
+            "300",
+            "ring",
+            "100000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("mpirun spawns");
+    let lines = stream_stdout(&mut child);
+
+    // Collect child pids as the supervisor announces them; all 6 (4
+    // ranks + 1 EL + 1 CS) must be up before we interrupt.
+    let mut pids: Vec<u32> = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while pids.len() < 6 && Instant::now() < deadline {
+        match lines.recv_timeout(Duration::from_millis(200)) {
+            Ok(line) => {
+                if let Some(rest) = line.split("pid=").nth(1) {
+                    let pid: u32 = rest
+                        .split_whitespace()
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .expect("pid parses");
+                    pids.push(pid);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    assert_eq!(pids.len(), 6, "expected all children announced");
+
+    assert!(sig::send_signal(child.id(), sig::SIGINT), "SIGINT delivery");
+
+    // The supervisor must wind everything down promptly: Shutdown
+    // broadcast, escalation to SIGTERM/SIGKILL only as needed, reaps.
+    let wait_deadline = Instant::now() + Duration::from_secs(20);
+    let status = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(st) => break st,
+            None if Instant::now() < wait_deadline => std::thread::sleep(Duration::from_millis(20)),
+            None => {
+                let _ = child.kill();
+                panic!("mpirun did not exit after SIGINT");
+            }
+        }
+    };
+    assert_eq!(status.code(), Some(1), "interrupted run reports failure");
+
+    // No orphans: every announced child pid must be gone. Signal 0 is
+    // the POSIX liveness probe — false means no such process.
+    // (A tiny grace period covers pid-table churn right at exit.)
+    std::thread::sleep(Duration::from_millis(100));
+    for pid in pids {
+        assert!(
+            !sig::send_signal(pid, 0),
+            "child pid {pid} survived teardown"
+        );
+    }
+}
