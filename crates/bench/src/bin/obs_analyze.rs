@@ -89,6 +89,16 @@ fn main() {
                 );
                 strict_failures.push(format!("{} records dropped", h.dropped));
             }
+            if !h.offsets.is_empty() {
+                // Skew corrections the merge already applied: the body's
+                // timestamps include these per-rank shifts.
+                let rendered: Vec<String> = h
+                    .offsets
+                    .iter()
+                    .map(|o| format!("rank {}: {:+.3}ms", o.rank, o.offset_ns as f64 / 1e6))
+                    .collect();
+                println!("  clock-skew offsets applied: {}", rendered.join(", "));
+            }
         }
         None => println!("  note: headerless dump (pre-header format); drop count unknown"),
     }

@@ -157,9 +157,10 @@ fn main() {
     // clock-ordered.
     let dumped = std::fs::read_to_string(&paths.jsonl)
         .unwrap_or_else(|e| fail(&format!("read {}: {e}", paths.jsonl.display())));
-    let mut canonical = header_line(DumpHeader {
+    let mut canonical = header_line(&DumpHeader {
         records: timeline.len() as u64,
         dropped: paths.dropped,
+        offsets: Vec::new(),
     });
     canonical.push('\n');
     for rec in &timeline {

@@ -20,8 +20,10 @@ use mvr_obs::{parse_dump, validate_records, InvariantMonitor, SpanSet};
 use mvr_runtime::proc::{maybe_run_child, run_proc, ProcOptions};
 use mvr_runtime::NodeMpi;
 use serde::{Deserialize, Serialize};
+use std::io::{Read as _, Write as _};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const WORLD: u32 = 4;
@@ -110,6 +112,83 @@ fn strict_audit(path: &std::path::Path) {
     );
 }
 
+/// One plain-HTTP GET of the supervisor's health page.
+fn scrape_health(addr: &str) -> Option<String> {
+    let mut conn = std::net::TcpStream::connect(addr).ok()?;
+    conn.set_read_timeout(Some(Duration::from_millis(500)))
+        .ok()?;
+    conn.write_all(b"GET / HTTP/1.0\r\n\r\n").ok()?;
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).ok()?;
+    let (_, body) = raw.split_once("\r\n\r\n")?;
+    Some(body.to_string())
+}
+
+/// Background scraper of the aggregated health endpoint: discovers the
+/// ephemeral port through the address file, then polls the page until
+/// told to stop, keeping the latest body. This is the live-telemetry
+/// check — the series below exist only while the run is in flight.
+fn spawn_health_scraper(
+    addr_file: PathBuf,
+    stop: Arc<AtomicBool>,
+    page: Arc<Mutex<Option<(String, String)>>>,
+) -> std::thread::JoinHandle<u32> {
+    std::thread::spawn(move || {
+        let mut scrapes = 0u32;
+        let mut addr = None;
+        while !stop.load(Ordering::Relaxed) {
+            if addr.is_none() {
+                addr = std::fs::read_to_string(&addr_file)
+                    .ok()
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty());
+            }
+            if let Some(a) = &addr {
+                if let Some(body) = scrape_health(a) {
+                    scrapes += 1;
+                    *page.lock().expect("page lock") = Some((a.clone(), body));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        scrapes
+    })
+}
+
+/// The mid-run health page must carry the whole aggregated story:
+/// per-rank liveness, live-telemetry counters for every rank child,
+/// monitor progress — and no telemetry drops anywhere.
+fn check_health_page(addr: &str, body: &str) {
+    println!("proc_smoke: health endpoint http://{addr}/ (mid-run scrape)");
+    for r in 0..WORLD {
+        if !body.contains(&format!("mvr_rank_alive{{rank=\"{r}\"}}")) {
+            fail(&format!(
+                "health page lacks mvr_rank_alive for rank {r}:\n{body}"
+            ));
+        }
+        if !body.contains(&format!("mvr_telemetry_records_total{{node=\"cn{r}\"}}")) {
+            fail(&format!(
+                "health page lacks cn{r} telemetry series:\n{body}"
+            ));
+        }
+    }
+    if !body.contains("mvr_monitor_enabled 1") {
+        fail(&format!("live monitor not running:\n{body}"));
+    }
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("mvr_telemetry_dropped_total") {
+            let drops: u64 = rest
+                .split_whitespace()
+                .last()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            if drops > 0 {
+                fail(&format!("unexpected telemetry drops: {line}"));
+            }
+        }
+    }
+}
+
 #[derive(Serialize)]
 struct SmokeResult {
     world: u32,
@@ -147,7 +226,16 @@ fn main() {
     // dies while the quorum gate is hot. Both are real SIGKILLs.
     opts.kills = vec![(Rank(1), Duration::from_millis(45))];
     opts.el_kills = vec![(2, Duration::from_millis(70))];
-    opts.obs_dir = Some(obs_dir);
+    opts.obs_dir = Some(obs_dir.clone());
+    // Aggregated live health on an ephemeral port, discovered through
+    // the address file and scraped while the run is in flight.
+    std::fs::create_dir_all(&obs_dir).unwrap_or_else(|e| fail(&format!("obs dir: {e}")));
+    let addr_file = obs_dir.join("health.addr");
+    opts.health_addr = Some("127.0.0.1:0".into());
+    opts.health_addr_file = Some(addr_file.clone());
+    let stop = Arc::new(AtomicBool::new(false));
+    let page = Arc::new(Mutex::new(None));
+    let scraper = spawn_health_scraper(addr_file, stop.clone(), page.clone());
 
     println!(
         "proc_smoke: world={WORLD}, EL 1x3, SIGKILL cn1@45ms + el2@70ms, ring {ITERS} (socket backend)"
@@ -158,6 +246,17 @@ fn main() {
         Err(e) => fail(&format!("deployment failed: {e}")),
     };
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper joins");
+    if scrapes == 0 {
+        fail("health endpoint was never scraped mid-run");
+    }
+    let (addr, body) = page
+        .lock()
+        .expect("page lock")
+        .take()
+        .unwrap_or_else(|| fail("no health page captured"));
+    check_health_page(&addr, &body);
 
     // Recovery happened and converged to the fault-free payloads.
     for (r, p) in report.results.iter().enumerate() {
@@ -187,6 +286,18 @@ fn main() {
         fail("no merged flight-recorder dump");
     };
     strict_audit(dump);
+    // The live stream shipped complete: no child staged past capacity.
+    for (node, snap) in &report.telemetry {
+        if snap.dropped_total > 0 {
+            fail(&format!(
+                "{node} dropped {} telemetry record(s)",
+                snap.dropped_total
+            ));
+        }
+    }
+    if let Some(merge) = &report.merge {
+        println!("proc_smoke: {}", merge.skew.summary());
+    }
 
     for (peer, cause) in &report.detections {
         println!("proc_smoke: detected loss of {peer} ({cause})");

@@ -34,7 +34,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::thread;
@@ -99,6 +99,9 @@ struct Shared {
     routes: Mutex<HashMap<NodeId, String>>,
     peers: Mutex<HashMap<NodeId, PeerState>>,
     closed: AtomicBool,
+    /// Application frames accepted by `send` but not yet written to a
+    /// socket (or dropped by fail-stop) — what `flush` waits on.
+    inflight: AtomicU64,
 }
 
 impl Shared {
@@ -216,6 +219,7 @@ impl TcpTransport {
             routes: Mutex::new(HashMap::new()),
             peers: Mutex::new(HashMap::new()),
             closed: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
         });
         let accept_shared = shared.clone();
         thread::Builder::new()
@@ -282,8 +286,24 @@ impl Transport for TcpTransport {
                 e.insert(tx)
             }
         };
-        tx.send(Cmd::Frame(frame))
-            .map_err(|_| TransportError::Closed)
+        self.shared.inflight.fetch_add(1, Ordering::AcqRel);
+        tx.send(Cmd::Frame(frame)).map_err(|_| {
+            self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            TransportError::Closed
+        })
+    }
+
+    fn flush(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.shared.inflight.load(Ordering::Acquire) == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline || self.shared.closed() {
+                return self.shared.inflight.load(Ordering::Acquire) == 0;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
     }
 
     fn poll_event(&self, timeout: Duration) -> Option<TransportEvent> {
@@ -474,8 +494,11 @@ fn writer_actor(peer: NodeId, rx: Receiver<Cmd>, shared: Arc<Shared>) {
                         // Fail-stop: stale frames must not reach a
                         // future reincarnation.
                         while let Ok(cmd) = rx.try_recv() {
-                            if matches!(cmd, Cmd::Reroute) {
-                                break;
+                            match cmd {
+                                Cmd::Reroute => break,
+                                Cmd::Frame(_) => {
+                                    shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                                }
                             }
                         }
                     }
@@ -492,7 +515,10 @@ fn writer_actor(peer: NodeId, rx: Receiver<Cmd>, shared: Arc<Shared>) {
         }
         match rx.recv_timeout(cfg.heartbeat) {
             Ok(Cmd::Frame(frame)) => {
-                if let Err(_e) = conn.as_mut().expect("connected").write_all(&frame) {
+                let result = conn.as_mut().expect("connected").write_all(&frame);
+                // Written or lost, the frame left the queue either way.
+                shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                if result.is_err() {
                     // Transient write failure: drop the stream and let
                     // the redial path decide transient vs. fail-stop.
                     // The frame is lost — fail-stop links do not hide
@@ -621,6 +647,32 @@ mod tests {
             TransportEvent::Frame { payload, .. } if payload == b"pong"
         ))
         .is_some());
+    }
+
+    #[test]
+    fn flush_drains_outbound_queues() {
+        let a = TcpTransport::bind(cn(0), "127.0.0.1:0", 1, quick_cfg()).unwrap();
+        let b = TcpTransport::bind(cn(1), "127.0.0.1:0", 1, quick_cfg()).unwrap();
+        a.set_route(cn(1), b.local_addr().unwrap());
+        for i in 0..50u8 {
+            a.send(cn(1), vec![i; 512]).unwrap();
+        }
+        assert!(
+            a.flush(Duration::from_secs(5)),
+            "queued frames must drain to the OS"
+        );
+        // Everything handed to the OS before flush returned arrives.
+        let mut got = 0;
+        while got < 50 {
+            match wait_for(&b, Duration::from_secs(5), |e| {
+                matches!(e, TransportEvent::Frame { .. })
+            }) {
+                Some(TransportEvent::Frame { .. }) => got += 1,
+                _ => panic!("only {got}/50 frames arrived"),
+            }
+        }
+        // An idle transport flushes immediately.
+        assert!(a.flush(Duration::from_millis(1)));
     }
 
     #[test]

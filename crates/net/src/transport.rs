@@ -149,6 +149,18 @@ pub trait Transport: Send + Sync {
     /// asynchronous and fail-stop.
     fn send(&self, peer: NodeId, payload: Vec<u8>) -> Result<(), TransportError>;
 
+    /// Wait up to `timeout` for every frame accepted by [`send`] to be
+    /// handed to the OS (or dropped by a fail-stop verdict). Returns
+    /// `true` once the outbound queues are empty, `false` on timeout.
+    /// The explicit teardown primitive: a process about to `exit`
+    /// flushes instead of sleeping an arbitrary grace period. Backends
+    /// that deliver synchronously return `true` immediately.
+    ///
+    /// [`send`]: Transport::send
+    fn flush(&self, _timeout: Duration) -> bool {
+        true
+    }
+
     /// Wait up to `timeout` for the next transport event.
     fn poll_event(&self, timeout: Duration) -> Option<TransportEvent>;
 

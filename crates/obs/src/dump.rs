@@ -9,8 +9,9 @@
 //! (allowing the resets that legitimately accompany recovery).
 
 use crate::event::{FlightRecord, ProtoEvent};
+use crate::skew::{RankOffset, SkewEstimate};
 use serde::Serialize;
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 
 /// Where a dump landed, plus enough metadata for triage notes.
@@ -113,7 +114,7 @@ pub fn jsonl_line(rec: &FlightRecord) -> String {
 /// Metadata carried by the first line of a JSONL dump, so a reader can
 /// tell a complete timeline from a ring-truncated one without access to
 /// the live hub.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
 pub struct DumpHeader {
     /// Records in the dump body (lines after the header).
     pub records: u64,
@@ -121,6 +122,10 @@ pub struct DumpHeader {
     /// Non-zero means the timeline is truncated and causal analysis
     /// can report spurious orphan spans.
     pub dropped: u64,
+    /// Per-rank clock offsets the skew-corrected merge applied to the
+    /// body's timestamps (see [`crate::estimate_skew`]). Empty for
+    /// single-process dumps and skew-free merges.
+    pub offsets: Vec<RankOffset>,
 }
 
 #[derive(Serialize)]
@@ -129,17 +134,31 @@ struct HeaderLine {
 }
 
 /// Render the dump-header line (no trailing newline):
-/// `{"header":{"records":N,"dropped":N}}`.
-pub fn header_line(header: DumpHeader) -> String {
-    serde_json::to_string(&HeaderLine { header }).expect("DumpHeader serializes to JSON")
+/// `{"header":{"records":N,"dropped":N,"offsets":[...]}}`.
+pub fn header_line(header: &DumpHeader) -> String {
+    serde_json::to_string(&HeaderLine {
+        header: header.clone(),
+    })
+    .expect("DumpHeader serializes to JSON")
 }
 
 /// Write the merged timeline as JSONL: one header line, then one record
 /// per line.
 pub fn write_jsonl(path: &Path, timeline: &[FlightRecord], dropped: u64) -> std::io::Result<()> {
-    let mut out = header_line(DumpHeader {
+    write_jsonl_with_offsets(path, timeline, dropped, Vec::new())
+}
+
+/// [`write_jsonl`] with applied skew offsets recorded in the header.
+pub fn write_jsonl_with_offsets(
+    path: &Path,
+    timeline: &[FlightRecord],
+    dropped: u64,
+    offsets: Vec<RankOffset>,
+) -> std::io::Result<()> {
+    let mut out = header_line(&DumpHeader {
         records: timeline.len() as u64,
         dropped,
+        offsets,
     });
     out.push('\n');
     for rec in timeline {
@@ -304,35 +323,89 @@ pub fn validate_records(timeline: &[FlightRecord]) -> Result<(), String> {
     Ok(())
 }
 
+struct StreamState {
+    file: std::fs::File,
+    /// Lines rendered but not yet handed to `write(2)`. Only non-empty
+    /// in buffered mode (`flush_every > 1`).
+    buf: String,
+    pending: u32,
+}
+
+impl StreamState {
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        // A failed write only costs observability; never the run.
+        let _ = self.file.write_all(self.buf.as_bytes());
+        let _ = self.file.flush();
+        self.buf.clear();
+        self.pending = 0;
+    }
+}
+
 /// A [`RecordSink`](crate::monitor::RecordSink) that streams every
-/// record to a JSONL file, flushing per record. Multi-process children
-/// attach one so their timeline survives a `SIGKILL` — the ring buffer
-/// dies with the process, the streamed file does not. The file carries
-/// no header line; [`merge_dump_files`] supplies one when merging.
+/// record to a JSONL file. Multi-process children attach one so their
+/// timeline survives a `SIGKILL` — the ring buffer dies with the
+/// process, the streamed file does not. The file carries no header
+/// line; [`merge_dump_files`] supplies one when merging.
+///
+/// The default cadence writes each record out immediately (one
+/// `write(2)` per record — what makes the stream SIGKILL-durable). A
+/// buffered cadence (`flush_every > 1`) batches rendered lines and
+/// writes every N records, on any [`ProtoEvent::Finish`], on an
+/// explicit [`flush`](crate::monitor::RecordSink::flush), and on drop —
+/// trading up to N−1 records of SIGKILL durability for N× fewer
+/// syscalls on the recording thread.
 pub struct JsonlStreamSink {
-    file: parking_lot::Mutex<std::fs::File>,
+    flush_every: u32,
+    state: parking_lot::Mutex<StreamState>,
 }
 
 impl JsonlStreamSink {
-    /// Create (truncate) `path` and stream records into it.
+    /// Create (truncate) `path` and stream records into it, flushing
+    /// per record (the durable default).
     pub fn create(path: &Path) -> std::io::Result<Self> {
+        Self::with_flush_every(path, 1)
+    }
+
+    /// Create (truncate) `path`, writing out every `flush_every`
+    /// records (0 is treated as 1).
+    pub fn with_flush_every(path: &Path, flush_every: u32) -> std::io::Result<Self> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
         Ok(JsonlStreamSink {
-            file: parking_lot::Mutex::new(std::fs::File::create(path)?),
+            flush_every: flush_every.max(1),
+            state: parking_lot::Mutex::new(StreamState {
+                file: std::fs::File::create(path)?,
+                buf: String::new(),
+                pending: 0,
+            }),
         })
     }
 }
 
 impl crate::monitor::RecordSink for JsonlStreamSink {
     fn observe(&self, rec: &FlightRecord) {
-        let mut line = jsonl_line(rec);
-        line.push('\n');
-        let mut f = self.file.lock();
-        // A failed write only costs observability; never the run.
-        let _ = f.write_all(line.as_bytes());
-        let _ = f.flush();
+        let line = jsonl_line(rec);
+        let mut st = self.state.lock();
+        st.buf.push_str(&line);
+        st.buf.push('\n');
+        st.pending += 1;
+        if st.pending >= self.flush_every || matches!(rec.event, ProtoEvent::Finish { .. }) {
+            st.flush();
+        }
+    }
+
+    fn flush(&self) {
+        self.state.lock().flush();
+    }
+}
+
+impl Drop for JsonlStreamSink {
+    fn drop(&mut self) {
+        self.state.lock().flush();
     }
 }
 
@@ -346,39 +419,112 @@ impl crate::monitor::RecordSink for TeeSink {
             sink.observe(rec);
         }
     }
+
+    fn flush(&self) {
+        for sink in &self.0 {
+            sink.flush();
+        }
+    }
+}
+
+/// What [`merge_dump_files`] produced: the written artifacts, the
+/// header counters, the skew estimate it applied, and first-divergence
+/// triage over the corrected timeline.
+#[derive(Clone, Debug)]
+pub struct MergeSummary {
+    /// The merged, skew-corrected JSONL timeline.
+    pub jsonl: PathBuf,
+    /// The Chrome-trace/Perfetto export of the merged timeline.
+    pub trace: PathBuf,
+    /// Records in the merged dump.
+    pub records: u64,
+    /// Summed drop count across the inputs.
+    pub dropped: u64,
+    /// The clock-skew estimate (offsets already applied to the output).
+    pub skew: SkewEstimate,
+    /// First-divergence triage over the corrected timeline.
+    pub triage: Option<Triage>,
+}
+
+impl MergeSummary {
+    /// Multi-line human summary for supervisor output.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "merged dump: {} records ({} dropped)\n  timeline: {}\n  perfetto: {}\n  {}",
+            self.records,
+            self.dropped,
+            self.jsonl.display(),
+            self.trace.display(),
+            self.skew.summary(),
+        );
+        if let Some(t) = &self.triage {
+            s.push_str(&format!("\n  {t}"));
+        }
+        s
+    }
 }
 
 /// Merge several JSONL dumps (with or without header lines) into one
 /// timeline ordered by the hub comparator `(ts_ns, rank, clock,
-/// kind_index)`, writing the result with a fresh header whose `dropped`
-/// is the sum of the inputs'. Missing input files are skipped — a child
-/// killed before it wrote anything contributes nothing, not an error.
-pub fn merge_dump_files(inputs: &[PathBuf], output: &Path) -> std::io::Result<DumpHeader> {
+/// kind_index)`. Inputs are parsed line-wise through a [`BufRead`], so
+/// a long soak run's dumps are never all held as raw text at once.
+/// Missing input files are skipped — a child killed before it wrote
+/// anything contributes nothing, not an error.
+///
+/// Before writing, per-rank clock offsets are estimated from the
+/// timeline's causal edges ([`crate::estimate_skew`]) and applied, so
+/// cross-process skew cannot render a delivery before its send; the
+/// applied offsets land in the output header. A Perfetto export of the
+/// corrected timeline is written next to the JSONL.
+pub fn merge_dump_files(inputs: &[PathBuf], output: &Path) -> std::io::Result<MergeSummary> {
     let mut all: Vec<FlightRecord> = Vec::new();
     let mut dropped = 0u64;
     for path in inputs {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
             Err(e) => return Err(e),
         };
-        let (header, records) = crate::jsonparse::parse_dump(&text).map_err(|e| {
+        let invalid = |e: String| {
             std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 format!("{}: {e}", path.display()),
             )
-        })?;
-        dropped += header.map(|h| h.dropped).unwrap_or(0);
-        all.extend(records);
+        };
+        for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if i == 0 {
+                if let Some(h) = crate::jsonparse::parse_header_line(line) {
+                    dropped += h.dropped;
+                    continue;
+                }
+            }
+            all.push(
+                crate::jsonparse::parse_record_line(line)
+                    .map_err(|e| invalid(format!("line {}: {e}", i + 1)))?,
+            );
+        }
     }
+    let skew = crate::skew::estimate_skew(&all);
+    crate::skew::apply_offsets(&mut all, &skew.offsets);
     all.sort_by_key(|r| (r.ts_ns, r.rank, r.clock, r.event.kind_index()));
     if let Some(parent) = output.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    write_jsonl(output, &all, dropped)?;
-    Ok(DumpHeader {
+    write_jsonl_with_offsets(output, &all, dropped, skew.header_offsets())?;
+    let trace = output.with_extension("trace.json");
+    write_chrome_trace(&trace, &all)?;
+    Ok(MergeSummary {
+        jsonl: output.to_path_buf(),
+        trace,
         records: all.len() as u64,
         dropped,
+        skew,
+        triage: triage(&all),
     })
 }
 
@@ -523,9 +669,10 @@ mod tests {
         let mut lines = body.lines();
         assert_eq!(
             lines.next().unwrap(),
-            header_line(DumpHeader {
+            header_line(&DumpHeader {
                 records: 2,
                 dropped: 3,
+                offsets: Vec::new(),
             })
         );
         assert_eq!(lines.next().unwrap(), jsonl_line(&tl[0]));
@@ -549,20 +696,98 @@ mod tests {
         b.observe(&rec(1, 1, 100, ProtoEvent::Restart1 { rank: 1 }));
         drop((a, b));
         let merged = dir.join("merged.jsonl");
-        let header =
+        let summary =
             merge_dump_files(&[a_path, b_path, dir.join("never-written.jsonl")], &merged).unwrap();
-        assert_eq!(
-            header,
-            DumpHeader {
-                records: 3,
-                dropped: 0
-            }
-        );
+        assert_eq!(summary.records, 3);
+        assert_eq!(summary.dropped, 0);
+        assert!(!summary.skew.is_correction());
+        assert!(summary.trace.exists(), "{:?}", summary.trace);
         let (h, records) =
             crate::jsonparse::parse_dump(&std::fs::read_to_string(&merged).unwrap()).unwrap();
-        assert_eq!(h, Some(header));
+        assert_eq!(
+            h,
+            Some(DumpHeader {
+                records: 3,
+                dropped: 0,
+                offsets: Vec::new(),
+            })
+        );
         let ts: Vec<u64> = records.iter().map(|r| r.ts_ns).collect();
         assert_eq!(ts, vec![100, 300, 900]);
+        assert!(summary.summary().contains("merged dump: 3 records"));
+    }
+
+    #[test]
+    fn merge_corrects_skewed_inputs_and_reports_offsets() {
+        use crate::monitor::RecordSink;
+        let dir = std::env::temp_dir().join("mvr-obs-merge-skew-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a_path = dir.join("skew-a.jsonl");
+        let b_path = dir.join("skew-b.jsonl");
+        let a = JsonlStreamSink::create(&a_path).unwrap();
+        let b = JsonlStreamSink::create(&b_path).unwrap();
+        // Rank 0 sends at t=6ms; rank 1 (clock 5ms behind) delivers at
+        // an apparent t=2ms — an inversion the merge must repair.
+        a.observe(&rec(0, 1, 6_000_000, send(1, 1, 8)));
+        b.observe(&rec(
+            1,
+            1,
+            2_000_000,
+            ProtoEvent::Deliver {
+                from: 0,
+                sender_clock: 1,
+                receiver_clock: 1,
+                replay: false,
+            },
+        ));
+        drop((a, b));
+        let merged = dir.join("merged.jsonl");
+        let summary = merge_dump_files(&[a_path, b_path], &merged).unwrap();
+        assert_eq!(summary.skew.inversions_before, 1);
+        assert_eq!(summary.skew.inversions_after, 0);
+        assert_eq!(summary.skew.offsets[&1], 4_000_000);
+        let body = std::fs::read_to_string(&merged).unwrap();
+        let (h, records) = crate::jsonparse::parse_dump(&body).unwrap();
+        let h = h.expect("header");
+        assert_eq!(
+            h.offsets,
+            vec![crate::skew::RankOffset {
+                rank: 1,
+                offset_ns: 4_000_000,
+            }]
+        );
+        // Corrected order: send strictly precedes deliver.
+        assert_eq!(records[0].rank, 0);
+        assert_eq!(records[1].ts_ns, 6_000_000);
+        assert_eq!(crate::skew::count_inversions(&records), 0);
+    }
+
+    #[test]
+    fn buffered_stream_sink_flushes_on_cadence_finish_and_drop() {
+        use crate::monitor::RecordSink;
+        let dir = std::env::temp_dir().join("mvr-obs-buffered-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("buffered.jsonl");
+        let sink = JsonlStreamSink::with_flush_every(&path, 3).unwrap();
+        sink.observe(&rec(0, 1, 10, send(1, 1, 8)));
+        sink.observe(&rec(0, 2, 20, send(1, 2, 8)));
+        // Below the cadence: nothing written out yet.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        sink.observe(&rec(0, 3, 30, send(1, 3, 8)));
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3);
+        // A Finish flushes early regardless of cadence.
+        sink.observe(&rec(0, 4, 40, ProtoEvent::Finish { clock: 4 }));
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 4);
+        // Explicit flush and drop cover partial batches.
+        sink.observe(&rec(0, 5, 50, send(1, 5, 8)));
+        sink.flush();
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 5);
+        sink.observe(&rec(0, 6, 60, send(1, 6, 8)));
+        drop(sink);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 6);
+        let (_, records) = crate::jsonparse::parse_dump(&body).unwrap();
+        assert_eq!(records.len(), 6);
     }
 
     #[test]

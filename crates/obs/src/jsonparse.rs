@@ -3,12 +3,14 @@
 //! The vendored `serde_json` stand-in is write-only, so `obs_analyze`
 //! needs its own way back from a `.jsonl` dump to [`FlightRecord`]s.
 //! This is a small recursive-descent parser over exactly the JSON the
-//! dump writer emits — objects, arrays, strings, booleans and unsigned
-//! integers — plus a decoder for the externally-tagged [`ProtoEvent`]
+//! dump writer emits — objects, arrays, strings, booleans and integers
+//! (unsigned record fields plus the signed clock offsets in the dump
+//! header) — plus a decoder for the externally-tagged [`ProtoEvent`]
 //! rendering (`{"Send":{...}}`, unit enum variants as bare strings).
 
 use crate::dump::DumpHeader;
 use crate::event::{FlightRecord, ProtoEvent, SendDisposition};
+use crate::skew::RankOffset;
 
 /// A parsed JSON value (only the shapes the dump writer produces).
 #[derive(Clone, Debug, PartialEq)]
@@ -17,8 +19,10 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// An unsigned integer (the only number shape in a dump).
+    /// A non-negative integer (every record field).
     Int(u64),
+    /// A negative integer (clock offsets in the dump header).
+    NegInt(i64),
     /// A string.
     Str(String),
     /// An array.
@@ -36,10 +40,19 @@ impl Json {
         }
     }
 
-    /// The value as `u64`, if it is an integer.
+    /// The value as `u64`, if it is a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer of either sign.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => i64::try_from(*v).ok(),
+            Json::NegInt(v) => Some(*v),
             _ => None,
         }
     }
@@ -112,7 +125,7 @@ impl<'a> Parser<'a> {
             Some(b't') => self.eat_lit("true").map(|_| Json::Bool(true)),
             Some(b'f') => self.eat_lit("false").map(|_| Json::Bool(false)),
             Some(b'n') => self.eat_lit("null").map(|_| Json::Null),
-            Some(b'0'..=b'9') => self.number(),
+            Some(b'0'..=b'9') | Some(b'-') => self.number(),
             Some(c) => Err(self.err(&format!("unexpected `{}`", c as char))),
             None => Err(self.err("unexpected end of input")),
         }
@@ -169,8 +182,16 @@ impl<'a> Parser<'a> {
 
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected digits after `-`"));
         }
         if matches!(
             self.peek(),
@@ -179,9 +200,15 @@ impl<'a> Parser<'a> {
             return Err(self.err("non-integer numbers do not appear in dumps"));
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are UTF-8");
-        text.parse::<u64>()
-            .map(Json::Int)
-            .map_err(|e| self.err(&format!("bad integer `{text}`: {e}")))
+        if negative {
+            text.parse::<i64>()
+                .map(Json::NegInt)
+                .map_err(|e| self.err(&format!("bad integer `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Json::Int)
+                .map_err(|e| self.err(&format!("bad integer `{text}`: {e}")))
+        }
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -275,6 +302,12 @@ fn field_u64(obj: &Json, key: &str) -> Result<u64, String> {
 
 fn field_u32(obj: &Json, key: &str) -> Result<u32, String> {
     u32::try_from(field_u64(obj, key)?).map_err(|_| format!("field `{key}` exceeds u32"))
+}
+
+fn field_i64(obj: &Json, key: &str) -> Result<i64, String> {
+    obj.get(key)
+        .and_then(Json::as_i64)
+        .ok_or_else(|| format!("missing integer field `{key}` in {obj:?}"))
 }
 
 fn field_bool(obj: &Json, key: &str) -> Result<bool, String> {
@@ -429,13 +462,25 @@ pub fn parse_record_line(line: &str) -> Result<FlightRecord, String> {
     })
 }
 
-/// Decode a header line, or `None` if the line is not a header.
+/// Decode a header line, or `None` if the line is not a header. The
+/// `offsets` field is optional: dumps written before the skew-corrected
+/// merge (and every single-process dump) carry none.
 pub fn parse_header_line(line: &str) -> Option<DumpHeader> {
     let v = parse(line).ok()?;
     let h = v.get("header")?;
+    let mut offsets = Vec::new();
+    if let Some(Json::Arr(items)) = h.get("offsets") {
+        for item in items {
+            offsets.push(RankOffset {
+                rank: field_u32(item, "rank").ok()?,
+                offset_ns: field_i64(item, "offset_ns").ok()?,
+            });
+        }
+    }
     Some(DumpHeader {
         records: h.get("records")?.as_u64()?,
         dropped: h.get("dropped")?.as_u64()?,
+        offsets,
     })
 }
 
@@ -468,6 +513,10 @@ mod tests {
     #[test]
     fn scalars_and_containers_parse() {
         assert_eq!(parse("42").unwrap(), Json::Int(42));
+        assert_eq!(parse("-42").unwrap(), Json::NegInt(-42));
+        assert_eq!(parse("-42").unwrap().as_i64(), Some(-42));
+        assert_eq!(parse("42").unwrap().as_i64(), Some(42));
+        assert_eq!(parse("-42").unwrap().as_u64(), None);
         assert_eq!(parse("true").unwrap(), Json::Bool(true));
         assert_eq!(parse(" null ").unwrap(), Json::Null);
         assert_eq!(
@@ -491,6 +540,8 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("1.5").is_err());
         assert!(parse("42 extra").is_err());
+        assert!(parse("-").is_err());
+        assert!(parse("-1.5").is_err());
     }
 
     #[test]
@@ -612,9 +663,10 @@ mod tests {
         };
         let text = format!(
             "{}\n{}\n",
-            header_line(crate::dump::DumpHeader {
+            header_line(&crate::dump::DumpHeader {
                 records: 1,
                 dropped: 2,
+                offsets: Vec::new(),
             }),
             jsonl_line(&rec)
         );
@@ -624,9 +676,32 @@ mod tests {
             Some(DumpHeader {
                 records: 1,
                 dropped: 2,
+                offsets: Vec::new(),
             })
         );
         assert_eq!(records, vec![rec]);
+    }
+
+    #[test]
+    fn header_offsets_roundtrip_including_negative() {
+        let hdr = crate::dump::DumpHeader {
+            records: 3,
+            dropped: 0,
+            offsets: vec![
+                RankOffset {
+                    rank: 1,
+                    offset_ns: 5_000_000,
+                },
+                RankOffset {
+                    rank: 2,
+                    offset_ns: -250,
+                },
+            ],
+        };
+        let line = header_line(&hdr);
+        assert!(line.contains("-250"), "{line}");
+        let back = parse_header_line(&line).expect("header parses");
+        assert_eq!(back, hdr);
     }
 
     #[test]

@@ -28,13 +28,15 @@ mod hist;
 mod jsonparse;
 mod monitor;
 mod recorder;
+mod skew;
 mod span;
+mod telemetry;
 mod timings;
 
 pub use causal::{write_flow_trace, CausalGraph, CriticalPath, CriticalStep, EdgeCat};
 pub use dump::{
     header_line, jsonl_line, merge_dump_files, triage, validate_records, write_chrome_trace,
-    write_jsonl, DumpHeader, DumpPaths, JsonlStreamSink, TeeSink, Triage,
+    write_jsonl, DumpHeader, DumpPaths, JsonlStreamSink, MergeSummary, TeeSink, Triage,
 };
 pub use event::{FlightRecord, ProtoEvent, SendDisposition, DISPATCHER_RANK};
 pub use health::HealthServer;
@@ -42,5 +44,7 @@ pub use hist::{HistSummary, LogHistogram};
 pub use jsonparse::{parse, parse_dump, parse_header_line, parse_record_line, Json};
 pub use monitor::{InvariantMonitor, RecordSink, Violation};
 pub use recorder::{epoch_from_unix_ns, unix_now_ns, Recorder, RecorderConfig, RecorderHub};
+pub use skew::{apply_offsets, count_inversions, estimate_skew, RankOffset, SkewEstimate};
 pub use span::{DeliveryLeg, Orphan, OrphanKind, Span, SpanKey, SpanSet};
+pub use telemetry::{TelemetrySink, TelemetrySnapshot};
 pub use timings::{ProtocolTimings, TimingSummary};

@@ -23,6 +23,11 @@ pub struct RecorderConfig {
     /// Mirror every record to stderr as it is written — the successor
     /// of the old `MVR_ENGINE_TRACE=1` eprintln spew.
     pub trace_stderr: bool,
+    /// Flush cadence for streaming JSONL sinks fed by this deployment's
+    /// recorders: write out every N records. 1 (the default) writes per
+    /// record — the SIGKILL-durable discipline; larger values batch
+    /// syscalls at the cost of up to N−1 records on an abrupt kill.
+    pub stream_flush_every: u32,
 }
 
 impl Default for RecorderConfig {
@@ -31,6 +36,7 @@ impl Default for RecorderConfig {
             enabled: false,
             capacity: 4096,
             trace_stderr: false,
+            stream_flush_every: 1,
         }
     }
 }
@@ -281,6 +287,15 @@ impl RecorderHub {
         *self.sink.lock() = Some(sink);
     }
 
+    /// Flush the attached sink's buffers, if any — the explicit
+    /// teardown a child performs before `exit` instead of sleeping and
+    /// hoping the stream drained.
+    pub fn flush_sink(&self) {
+        if let Some(sink) = self.sink.lock().as_ref() {
+            sink.flush();
+        }
+    }
+
     /// Whether minted recorders keep records.
     pub fn is_enabled(&self) -> bool {
         self.cfg.enabled
@@ -386,7 +401,7 @@ mod tests {
             RecorderConfig {
                 enabled: true,
                 capacity: 4,
-                trace_stderr: false,
+                ..Default::default()
             },
         );
         for i in 0..10u64 {

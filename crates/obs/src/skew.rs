@@ -1,0 +1,371 @@
+//! Clock-skew estimation for merged cross-process timelines.
+//!
+//! Each child process of a socket-backend deployment stamps its flight
+//! records against its own translation of the supervisor's wall-clock
+//! epoch ([`epoch_from_unix_ns`](crate::epoch_from_unix_ns)), so real
+//! clock skew between hosts leaks straight into the merged timeline: a
+//! delivery can appear *before* its send, and critical-path attribution
+//! over such a timeline lies. The fix is the classic NTP/trace-
+//! correction move: the dump already contains causal edges — a `Send`
+//! on rank *a* must precede the matching `Deliver`/`ReplayStep` on rank
+//! *b* — and every such edge bounds the offset difference between the
+//! two ranks' clocks. Solving those bounds yields per-rank offsets that
+//! restore send ≤ deliver everywhere the skew (not the physics) was the
+//! problem.
+//!
+//! The solver is deliberately minimal-correction: offsets start at zero
+//! and are only ever *raised* to satisfy a violated bound (longest-path
+//! relaxation, Bellman-Ford style), so a skew-free timeline solves to
+//! all-zero offsets and byte-identical output. Bounds from ranks with
+//! no inversions stay slack and cost nothing.
+
+use crate::event::{FlightRecord, ProtoEvent, DISPATCHER_RANK};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// One rank's estimated clock offset, as published in the dump header.
+/// `offset_ns` is *added* to every timestamp the rank recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankOffset {
+    /// The rank the offset applies to.
+    pub rank: u32,
+    /// Nanoseconds added to the rank's timestamps in the corrected
+    /// merge. Non-negative with the raise-only solver, but kept signed:
+    /// the header format is honest about the quantity's nature.
+    pub offset_ns: i64,
+}
+
+/// The result of a skew-estimation pass over a merged timeline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SkewEstimate {
+    /// Per-rank offsets (ranks absent from the map are uncorrected).
+    pub offsets: BTreeMap<u32, i64>,
+    /// Causal send→deliver edges matched in the timeline.
+    pub edges: usize,
+    /// Deliver-before-send timestamp inversions in the raw timeline.
+    pub inversions_before: usize,
+    /// Inversions remaining after applying the offsets (0 unless the
+    /// bound system was infeasible, e.g. clocks drifted mid-run).
+    pub inversions_after: usize,
+}
+
+impl SkewEstimate {
+    /// `true` when at least one rank needs a non-zero correction.
+    pub fn is_correction(&self) -> bool {
+        self.offsets.values().any(|&o| o != 0)
+    }
+
+    /// The offsets in header form, non-zero entries only.
+    pub fn header_offsets(&self) -> Vec<RankOffset> {
+        self.offsets
+            .iter()
+            .filter(|(_, &o)| o != 0)
+            .map(|(&rank, &offset_ns)| RankOffset { rank, offset_ns })
+            .collect()
+    }
+
+    /// One-line human summary for supervisor and tooling output.
+    pub fn summary(&self) -> String {
+        if !self.is_correction() {
+            return format!(
+                "clock skew: none detected ({} causal edges, 0 inversions)",
+                self.edges
+            );
+        }
+        let offs: Vec<String> = self
+            .offsets
+            .iter()
+            .filter(|(_, &o)| o != 0)
+            .map(|(r, o)| format!("rank {r}: {:+.3}ms", *o as f64 / 1e6))
+            .collect();
+        format!(
+            "clock skew: corrected {} -> {} inversion(s) over {} causal edges [{}]",
+            self.inversions_before,
+            self.inversions_after,
+            self.edges,
+            offs.join(", ")
+        )
+    }
+}
+
+/// A matched causal edge: the earliest `Send` of a `(sender, receiver,
+/// sender_clock)` key and one `Deliver`/`ReplayStep` consuming it.
+struct CausalPair {
+    send_rank: u32,
+    send_ts: u64,
+    recv_rank: u32,
+    recv_ts: u64,
+}
+
+/// Match sends to deliveries. Suppressed sends are excluded — a
+/// re-executed send whose transmission the peer's watermark suppressed
+/// *follows* the delivery it names, so pairing it would manufacture a
+/// false constraint. For duplicate keys the earliest send wins (a
+/// re-executed wire send is causally after the original), and every
+/// delivery occurrence (fresh or replayed) is paired: each one is
+/// causally after the earliest send.
+fn causal_pairs(timeline: &[FlightRecord]) -> Vec<CausalPair> {
+    let mut sends: HashMap<(u32, u32, u64), u64> = HashMap::new();
+    for rec in timeline {
+        if rec.rank == DISPATCHER_RANK {
+            continue;
+        }
+        if let ProtoEvent::Send {
+            to,
+            clock,
+            disposition,
+            ..
+        } = &rec.event
+        {
+            if *disposition == crate::event::SendDisposition::Suppressed {
+                continue;
+            }
+            let slot = sends.entry((rec.rank, *to, *clock)).or_insert(rec.ts_ns);
+            if rec.ts_ns < *slot {
+                *slot = rec.ts_ns;
+            }
+        }
+    }
+    let mut pairs = Vec::new();
+    for rec in timeline {
+        if rec.rank == DISPATCHER_RANK {
+            continue;
+        }
+        let (from, sender_clock) = match &rec.event {
+            ProtoEvent::Deliver {
+                from, sender_clock, ..
+            }
+            | ProtoEvent::ReplayStep {
+                from, sender_clock, ..
+            } => (*from, *sender_clock),
+            _ => continue,
+        };
+        if let Some(&send_ts) = sends.get(&(from, rec.rank, sender_clock)) {
+            pairs.push(CausalPair {
+                send_rank: from,
+                send_ts,
+                recv_rank: rec.rank,
+                recv_ts: rec.ts_ns,
+            });
+        }
+    }
+    pairs
+}
+
+fn inversions(pairs: &[CausalPair], offsets: &BTreeMap<u32, i64>) -> usize {
+    pairs
+        .iter()
+        .filter(|p| {
+            let s = p.send_ts as i64 + offsets.get(&p.send_rank).copied().unwrap_or(0);
+            let r = p.recv_ts as i64 + offsets.get(&p.recv_rank).copied().unwrap_or(0);
+            r < s
+        })
+        .count()
+}
+
+/// Count deliver-before-send timestamp inversions in a raw (or already
+/// corrected) timeline — the skew-visibility metric the merge reports.
+pub fn count_inversions(timeline: &[FlightRecord]) -> usize {
+    inversions(&causal_pairs(timeline), &BTreeMap::new())
+}
+
+/// Estimate per-rank clock offsets from the causal edges in `timeline`.
+///
+/// Every matched pair demands `send_ts + off[s] <= recv_ts + off[r]`,
+/// i.e. `off[r] - off[s] >= send_ts - recv_ts`; per ordered rank pair
+/// the tightest such lower bound is kept. Offsets start at zero and a
+/// longest-path relaxation raises them until every bound holds (at most
+/// `ranks` sweeps — further sweeps only chase an infeasible system, so
+/// the loop stops there and reports residual inversions instead).
+pub fn estimate_skew(timeline: &[FlightRecord]) -> SkewEstimate {
+    let pairs = causal_pairs(timeline);
+    let mut bounds: BTreeMap<(u32, u32), i64> = BTreeMap::new();
+    let mut offsets: BTreeMap<u32, i64> = BTreeMap::new();
+    for p in &pairs {
+        let lb = p.send_ts as i64 - p.recv_ts as i64;
+        let slot = bounds.entry((p.send_rank, p.recv_rank)).or_insert(lb);
+        if lb > *slot {
+            *slot = lb;
+        }
+        offsets.entry(p.send_rank).or_insert(0);
+        offsets.entry(p.recv_rank).or_insert(0);
+    }
+    let inversions_before = inversions(&pairs, &BTreeMap::new());
+    let sweeps = offsets.len() + 1;
+    for _ in 0..sweeps {
+        let mut changed = false;
+        for (&(a, b), &lb) in &bounds {
+            let off_a = offsets[&a];
+            let off_b = offsets[&b];
+            if off_b - off_a < lb {
+                offsets.insert(b, off_a + lb);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inversions_after = inversions(&pairs, &offsets);
+    SkewEstimate {
+        offsets,
+        edges: pairs.len(),
+        inversions_before,
+        inversions_after,
+    }
+}
+
+/// Apply per-rank offsets to a timeline in place. Shifting every record
+/// of a rank by one constant preserves per-rank timestamp monotonicity;
+/// callers re-sort by the merge key afterwards.
+pub fn apply_offsets(timeline: &mut [FlightRecord], offsets: &BTreeMap<u32, i64>) {
+    if offsets.values().all(|&o| o == 0) {
+        return;
+    }
+    for rec in timeline.iter_mut() {
+        if let Some(&off) = offsets.get(&rec.rank) {
+            rec.ts_ns = (rec.ts_ns as i64).saturating_add(off).max(0) as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SendDisposition;
+
+    fn rec(rank: u32, clock: u64, ts_ns: u64, event: ProtoEvent) -> FlightRecord {
+        FlightRecord {
+            rank,
+            clock,
+            ts_ns,
+            event,
+        }
+    }
+
+    fn send(to: u32, clock: u64) -> ProtoEvent {
+        ProtoEvent::Send {
+            to,
+            clock,
+            bytes: 8,
+            disposition: SendDisposition::Wire,
+        }
+    }
+
+    fn deliver(from: u32, sc: u64, rc: u64) -> ProtoEvent {
+        ProtoEvent::Deliver {
+            from,
+            sender_clock: sc,
+            receiver_clock: rc,
+            replay: false,
+        }
+    }
+
+    #[test]
+    fn skew_free_timeline_solves_to_zero_offsets() {
+        let tl = vec![
+            rec(0, 1, 100, send(1, 1)),
+            rec(1, 1, 250, deliver(0, 1, 1)),
+            rec(1, 2, 300, send(0, 2)),
+            rec(0, 2, 450, deliver(1, 2, 2)),
+        ];
+        let est = estimate_skew(&tl);
+        assert_eq!(est.edges, 2);
+        assert_eq!(est.inversions_before, 0);
+        assert!(!est.is_correction(), "{est:?}");
+        assert!(est.header_offsets().is_empty());
+        assert_eq!(count_inversions(&tl), 0);
+    }
+
+    #[test]
+    fn skewed_receiver_is_raised_until_causality_holds() {
+        // Rank 1's clock runs 5ms behind: its deliveries appear before
+        // rank 0's sends.
+        let tl = vec![
+            rec(0, 1, 5_000_000, send(1, 1)),
+            rec(1, 1, 100_000, deliver(0, 1, 1)),
+            rec(0, 2, 5_200_000, send(1, 2)),
+            rec(1, 2, 300_000, deliver(0, 2, 2)),
+        ];
+        let mut est = estimate_skew(&tl);
+        assert_eq!(est.inversions_before, 2);
+        assert_eq!(est.inversions_after, 0);
+        assert!(est.is_correction());
+        // The minimal raise puts rank 1 exactly at the tightest bound.
+        assert_eq!(est.offsets[&1], 5_000_000 - 100_000);
+        assert_eq!(est.offsets[&0], 0);
+        let mut corrected = tl.clone();
+        apply_offsets(&mut corrected, &est.offsets);
+        assert_eq!(count_inversions(&corrected), 0);
+        assert!(est.summary().contains("corrected 2 -> 0"));
+        // Header form carries only the non-zero entries.
+        let hdr = est.header_offsets();
+        assert_eq!(hdr.len(), 1);
+        assert_eq!(hdr[0].rank, 1);
+        est.offsets.clear();
+        assert!(est.summary().contains("none") || est.edges > 0);
+    }
+
+    #[test]
+    fn chained_skew_propagates_through_intermediate_ranks() {
+        // 0 -> 1 -> 2 where both 1 and 2 lag; the relaxation must
+        // propagate 1's raise into 2's bound.
+        let tl = vec![
+            rec(0, 1, 10_000_000, send(1, 1)),
+            rec(1, 1, 1_000_000, deliver(0, 1, 1)),
+            rec(1, 2, 1_100_000, send(2, 2)),
+            rec(2, 1, 200_000, deliver(1, 2, 1)),
+        ];
+        let est = estimate_skew(&tl);
+        assert_eq!(est.inversions_after, 0);
+        assert_eq!(est.offsets[&1], 9_000_000);
+        // Corrected send at 1: 1_100_000 + 9_000_000 = 10_100_000, so
+        // rank 2 must be raised past it.
+        assert_eq!(est.offsets[&2], 9_900_000);
+    }
+
+    #[test]
+    fn suppressed_sends_do_not_create_false_edges() {
+        // The delivery precedes the (re-executed, suppressed) send; the
+        // pair must not be matched, or the solver would "correct" a
+        // perfectly healthy timeline.
+        let tl = vec![
+            rec(1, 1, 100, deliver(0, 7, 1)),
+            rec(
+                0,
+                7,
+                900,
+                ProtoEvent::Send {
+                    to: 1,
+                    clock: 7,
+                    bytes: 8,
+                    disposition: SendDisposition::Suppressed,
+                },
+            ),
+        ];
+        let est = estimate_skew(&tl);
+        assert_eq!(est.edges, 0);
+        assert!(!est.is_correction());
+    }
+
+    #[test]
+    fn replay_steps_pair_with_the_original_send() {
+        let tl = vec![
+            rec(0, 3, 7_000_000, send(1, 3)),
+            rec(
+                1,
+                1,
+                500_000,
+                ProtoEvent::ReplayStep {
+                    from: 0,
+                    sender_clock: 3,
+                    receiver_clock: 1,
+                },
+            ),
+        ];
+        let est = estimate_skew(&tl);
+        assert_eq!(est.edges, 1);
+        assert_eq!(est.inversions_before, 1);
+        assert_eq!(est.inversions_after, 0);
+    }
+}

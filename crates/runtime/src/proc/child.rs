@@ -18,9 +18,12 @@ use crate::node::{register_node, start_node, MpiApp, NodeConfig, Outcome, Runtim
 use crate::services::{spawn_checkpoint_server_on, spawn_el_replica};
 use mvr_core::{ElAddr, NodeId, Rank};
 use mvr_net::{Fabric, TcpConfig, TcpTransport, Transport};
-use mvr_obs::{epoch_from_unix_ns, JsonlStreamSink, RecorderConfig, RecorderHub};
+use mvr_obs::{
+    epoch_from_unix_ns, JsonlStreamSink, ProtoEvent, RecordSink, RecorderConfig, RecorderHub,
+    SendDisposition, TeeSink, TelemetrySink, TelemetrySnapshot,
+};
 use parking_lot::Mutex;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -57,6 +60,26 @@ pub const ENV_APP: &str = "MVR_PROC_APP";
 pub const ENV_BIND: &str = "MVR_PROC_BIND";
 /// Fail-stop detector read-timeout override, milliseconds (optional).
 pub const ENV_FAIL_AFTER_MS: &str = "MVR_PROC_FAIL_AFTER_MS";
+/// Signed nanosecond shift applied to this child's recorder epoch —
+/// injected clock skew for testing the skew-corrected merge. A
+/// positive value makes the child's timestamps read early (a clock
+/// running behind), which the merge solver must raise back.
+pub const ENV_EPOCH_SKEW_NS: &str = "MVR_PROC_EPOCH_SKEW_NS";
+/// Set to `1` to make a rank child record a deliberate pessimism-gate
+/// violation at startup — the end-to-end probe of the parent's live
+/// cluster-wide invariant monitor.
+pub const ENV_INJECT_VIOLATION: &str = "MVR_PROC_INJECT_VIOLATION";
+/// Flush cadence of the durable JSONL stream (default 1: one
+/// `write(2)` per record, the SIGKILL-durable setting).
+pub const ENV_STREAM_FLUSH_EVERY: &str = "MVR_PROC_STREAM_FLUSH_EVERY";
+
+/// Staging capacity of the live telemetry buffer between drains.
+const TELEMETRY_CAPACITY: usize = 8192;
+/// Records per `WireMsg::Telemetry` frame.
+const TELEMETRY_BATCH: usize = 512;
+/// Snapshot-only frames are shipped at least this often even when no
+/// records are staged, so the parent's aggregated health stays fresh.
+const TELEMETRY_CADENCE: Duration = Duration::from_millis(100);
 
 fn env(name: &str) -> Option<String> {
     std::env::var(name).ok()
@@ -120,7 +143,20 @@ struct ChildEnv {
     incarnation: u64,
     restart: bool,
     epoch_ns: u64,
+    epoch_skew_ns: i64,
+    inject_violation: bool,
+    stream_flush_every: u32,
     obs_dir: Option<String>,
+}
+
+impl ChildEnv {
+    /// The recorder epoch this child actually uses: the deployment-wide
+    /// epoch shifted by any injected skew. A positive skew moves the
+    /// epoch later, so every timestamp this child records reads early —
+    /// exactly what a slow wall clock does to a real node.
+    fn local_epoch_ns(&self) -> u64 {
+        self.epoch_ns.saturating_add_signed(self.epoch_skew_ns)
+    }
 }
 
 fn child_env() -> ChildEnv {
@@ -139,7 +175,35 @@ fn child_env() -> ChildEnv {
         incarnation: env_u64(ENV_INCARNATION, 0),
         restart: env(ENV_RESTART).as_deref() == Some("1"),
         epoch_ns: env_u64(ENV_EPOCH_NS, 0),
+        epoch_skew_ns: env(ENV_EPOCH_SKEW_NS)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        inject_violation: env(ENV_INJECT_VIOLATION).as_deref() == Some("1"),
+        stream_flush_every: env_u64(ENV_STREAM_FLUSH_EVERY, 1).max(1) as u32,
         obs_dir: env(ENV_OBS),
+    }
+}
+
+/// Drain the telemetry buffer into `WireMsg::Telemetry` frames for the
+/// supervisor. Always ships at least one frame (possibly record-free)
+/// so the cumulative snapshot — counters, histograms, drop count —
+/// reaches the parent even across quiet stretches.
+fn ship_telemetry(gateway: &Gateway, tel: &TelemetrySink, node: &str, incarnation: u64) {
+    loop {
+        let records = tel.drain(TELEMETRY_BATCH);
+        let done = records.len() < TELEMETRY_BATCH;
+        gateway.send_to(
+            NodeId::Dispatcher,
+            &WireMsg::Telemetry {
+                node: node.to_string(),
+                incarnation,
+                records,
+                snapshot: tel.snapshot(),
+            },
+        );
+        if done {
+            return;
+        }
     }
 }
 
@@ -241,21 +305,29 @@ fn run_rank(rank: Rank, parent: &str, make_app: &dyn Fn(&str) -> Option<Arc<dyn 
         Duration::from_secs(15),
     );
 
-    // Per-incarnation recorder over the deployment-wide epoch; streamed
-    // record-by-record so a SIGKILL loses nothing already written.
-    let hub = RecorderHub::with_epoch(
-        if ce.obs_dir.is_some() {
-            RecorderConfig::enabled()
-        } else {
-            RecorderConfig::default()
-        },
-        epoch_from_unix_ns(ce.epoch_ns),
-    );
+    // Per-incarnation recorder over the deployment-wide epoch (shifted
+    // by any injected skew); streamed to disk so a SIGKILL loses at most
+    // the unflushed cadence tail (nothing, at the default cadence of 1),
+    // and teed into the bounded telemetry buffer for live shipping.
+    let rec_config = RecorderConfig {
+        enabled: ce.obs_dir.is_some(),
+        stream_flush_every: ce.stream_flush_every,
+        ..Default::default()
+    };
+    let hub = RecorderHub::with_epoch(rec_config, epoch_from_unix_ns(ce.local_epoch_ns()));
+    let mut telemetry: Option<Arc<TelemetrySink>> = None;
     if let Some(dir) = &ce.obs_dir {
+        let tel = Arc::new(TelemetrySink::new(TELEMETRY_CAPACITY));
         let path = format!("{dir}/cn{}-i{}.jsonl", rank.0, ce.incarnation);
-        if let Ok(sink) = JsonlStreamSink::create(std::path::Path::new(&path)) {
-            hub.set_sink(Arc::new(sink));
+        let mut sinks: Vec<Arc<dyn RecordSink>> = vec![tel.clone()];
+        if let Ok(sink) = JsonlStreamSink::with_flush_every(
+            std::path::Path::new(&path),
+            rec_config.stream_flush_every,
+        ) {
+            sinks.push(Arc::new(sink));
         }
+        hub.set_sink(Arc::new(TeeSink(sinks)));
+        telemetry = Some(tel);
     }
 
     let (exit_tx, exit_rx) = mpsc::channel();
@@ -276,9 +348,40 @@ fn run_rank(rank: Rank, parent: &str, make_app: &dyn Fn(&str) -> Option<Arc<dyn 
         exit_tx,
     );
 
+    // Deterministic live-monitor probe: a delivery whose reception event
+    // is never acknowledged, then a payload on the wire — the canonical
+    // pessimism-gate violation (§4.1), recorded straight into this
+    // rank's stream. The phantom peer and near-max clocks keep the
+    // injection from colliding with real protocol state; the parent's
+    // cluster-wide monitor must fail the run on the Wire send.
+    if ce.inject_violation {
+        let r = hub.recorder(rank.0);
+        let phantom = ce.topo.world + 7;
+        r.record(
+            u64::MAX - 1,
+            ProtoEvent::Deliver {
+                from: phantom,
+                sender_clock: u64::MAX - 1,
+                receiver_clock: u64::MAX - 1,
+                replay: false,
+            },
+        );
+        r.record(
+            u64::MAX,
+            ProtoEvent::Send {
+                to: phantom,
+                clock: u64::MAX,
+                bytes: 0,
+                disposition: SendDisposition::Wire,
+            },
+        );
+    }
+
     // Serve until the supervisor says we are done: a finished rank keeps
     // its endpoint up (peers may still replay against us), exactly like
     // a finished in-process node keeps its mailbox registered.
+    let node_name = format!("cn{}", rank.0);
+    let mut last_ship = Instant::now();
     loop {
         if let Ok(exit) = exit_rx.try_recv() {
             match exit.outcome {
@@ -287,7 +390,14 @@ fn run_rank(rank: Rank, parent: &str, make_app: &dyn Fn(&str) -> Option<Arc<dyn 
                 }
                 Outcome::Failed(detail) => {
                     gateway.send_to(NodeId::Dispatcher, &WireMsg::RankFailed { rank, detail });
-                    std::thread::sleep(Duration::from_millis(50)); // let it flush
+                    // Explicit teardown, not a grace-period sleep: make
+                    // the JSONL stream durable, ship the last staged
+                    // telemetry, drain the outbound socket queues, die.
+                    hub.flush_sink();
+                    if let Some(tel) = &telemetry {
+                        ship_telemetry(&gateway, tel, &node_name, ce.incarnation);
+                    }
+                    gateway.transport().flush(Duration::from_secs(2));
                     std::process::exit(1);
                 }
                 // Fabric-level kills do not exist in the socket backend;
@@ -295,11 +405,25 @@ fn run_rank(rank: Rank, parent: &str, make_app: &dyn Fn(&str) -> Option<Arc<dyn 
                 Outcome::Killed => {}
             }
         }
+        if let Some(tel) = &telemetry {
+            // Ship staged records promptly, and a snapshot-only frame on
+            // the cadence otherwise — off the protocol hot path either
+            // way (this is the supervision loop, not a daemon thread).
+            if tel.pending() > 0 || last_ship.elapsed() >= TELEMETRY_CADENCE {
+                ship_telemetry(&gateway, tel, &node_name, ce.incarnation);
+                last_ship = Instant::now();
+            }
+        }
         match gateway.control().recv_timeout(Duration::from_millis(5)) {
             Ok(Control::Msg {
                 msg: WireMsg::Shutdown,
                 ..
-            }) => std::process::exit(0),
+            }) => {
+                // `exit` skips destructors: flush the (possibly
+                // buffered) stream sink explicitly before leaving.
+                hub.flush_sink();
+                std::process::exit(0)
+            }
             Ok(Control::PeerDown {
                 peer: NodeId::Dispatcher,
                 ..
@@ -368,9 +492,28 @@ fn run_el(addr: ElAddr, parent: &str) -> ! {
     }
 
     let counter = Arc::new(AtomicU64::new(0));
-    let _handle = spawn_el_replica(&fabric, addr, ce.replicas, counter, store.clone());
+    let _handle = spawn_el_replica(&fabric, addr, ce.replicas, counter.clone(), store.clone());
 
+    let node_name = format!("el{flat}");
+    let mut last_ship = Instant::now();
     loop {
+        // Ship the ledger counter on the telemetry cadence so the
+        // parent's health page carries live per-shard EL progress.
+        if ce.obs_dir.is_some() && last_ship.elapsed() >= TELEMETRY_CADENCE {
+            gateway.send_to(
+                NodeId::Dispatcher,
+                &WireMsg::Telemetry {
+                    node: node_name.clone(),
+                    incarnation: ce.incarnation,
+                    records: Vec::new(),
+                    snapshot: TelemetrySnapshot {
+                        el_events: counter.load(Ordering::Relaxed),
+                        ..TelemetrySnapshot::default()
+                    },
+                },
+            );
+            last_ship = Instant::now();
+        }
         match gateway.control().recv_timeout(Duration::from_millis(25)) {
             Ok(Control::Msg {
                 from,

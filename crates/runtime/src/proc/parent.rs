@@ -18,8 +18,9 @@
 //! over sockets.
 
 use super::child::{
-    transport_config, ENV_APP, ENV_EPOCH_NS, ENV_FAIL_AFTER_MS, ENV_INCARNATION, ENV_OBS,
-    ENV_PARENT, ENV_REPLICAS, ENV_RESTART, ENV_ROLE, ENV_SHARDS, ENV_WORLD,
+    transport_config, ENV_APP, ENV_EPOCH_NS, ENV_EPOCH_SKEW_NS, ENV_FAIL_AFTER_MS, ENV_INCARNATION,
+    ENV_INJECT_VIOLATION, ENV_OBS, ENV_PARENT, ENV_REPLICAS, ENV_RESTART, ENV_ROLE, ENV_SHARDS,
+    ENV_STREAM_FLUSH_EVERY, ENV_WORLD,
 };
 use super::gateway::{Control, Gateway, GatewayRole, Topology};
 use super::sig;
@@ -29,10 +30,12 @@ use crate::services::{spawn_checkpoint_scheduler, SchedulerConfig};
 use mvr_core::{Metrics, NodeId, Payload, Rank};
 use mvr_net::{Fabric, TcpTransport, Transport};
 use mvr_obs::{
-    merge_dump_files, unix_now_ns, HealthServer, JsonlStreamSink, ProtoEvent, Recorder,
-    RecorderConfig, RecorderHub, DISPATCHER_RANK,
+    merge_dump_files, unix_now_ns, HealthServer, InvariantMonitor, JsonlStreamSink, LogHistogram,
+    MergeSummary, ProtoEvent, ProtocolTimings, Recorder, RecorderConfig, RecorderHub,
+    TelemetrySnapshot, Violation, DISPATCHER_RANK,
 };
 use std::collections::HashMap;
+use std::path::Path;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
@@ -69,6 +72,22 @@ pub struct ProcOptions {
     pub obs_dir: Option<PathBuf>,
     /// Bind a live health endpoint here (e.g. `"127.0.0.1:0"`).
     pub health_addr: Option<String>,
+    /// Write the health endpoint's bound address (`host:port`) to this
+    /// file once listening — how tooling discovers an ephemeral port.
+    pub health_addr_file: Option<PathBuf>,
+    /// Run the cluster-wide online invariant monitor over the live
+    /// telemetry stream. Only effective with `obs_dir` set — children
+    /// ship telemetry only when recording is on.
+    pub monitor: bool,
+    /// Per-rank recorder-epoch shifts in nanoseconds — injected clock
+    /// skew for exercising the skew-corrected merge.
+    pub epoch_skew: Vec<(Rank, i64)>,
+    /// Make this rank record a deliberate pessimism-gate violation at
+    /// startup (live-monitor end-to-end probe).
+    pub inject_violation: Option<Rank>,
+    /// Flush cadence of children's durable JSONL streams (1 = one
+    /// `write(2)` per record, the SIGKILL-durable default).
+    pub stream_flush_every: u32,
     /// Fail-stop detector read-timeout override for every endpoint.
     pub fail_after: Option<Duration>,
     /// Declared first-launch bind addresses from a program file's
@@ -96,6 +115,11 @@ impl ProcOptions {
             max_rank_restarts: 40,
             obs_dir: None,
             health_addr: None,
+            health_addr_file: None,
+            monitor: true,
+            epoch_skew: Vec::new(),
+            inject_violation: None,
+            stream_flush_every: 1,
             fail_after: None,
             binds: Vec::new(),
             exe: std::env::current_exe().unwrap_or_else(|_| PathBuf::from("mpirun")),
@@ -121,6 +145,12 @@ pub struct ProcReport {
     pub violations: Vec<(String, String)>,
     /// Path of the merged flight-recorder dump, when `obs_dir` was set.
     pub merged_dump: Option<PathBuf>,
+    /// Full merge summary — record/drop counters, the skew estimate and
+    /// applied offsets, first-divergence triage.
+    pub merge: Option<MergeSummary>,
+    /// Final telemetry snapshot per child node (display name order),
+    /// when telemetry was live.
+    pub telemetry: Vec<(String, TelemetrySnapshot)>,
 }
 
 /// Why a multi-process run failed.
@@ -139,6 +169,9 @@ pub enum ProcError {
     RestartBudgetExhausted(Rank),
     /// Child launch / endpoint setup failed.
     Launch(String),
+    /// The live cluster-wide invariant monitor caught a cross-process
+    /// protocol violation; the run was failed at detection time.
+    InvariantViolated(Violation),
     /// `SIGINT`/`SIGTERM` hit the supervisor; children were torn down.
     Interrupted,
 }
@@ -154,6 +187,7 @@ impl std::fmt::Display for ProcError {
                 write!(f, "rank {r} exhausted its restart budget")
             }
             ProcError::Launch(e) => write!(f, "launch failed: {e}"),
+            ProcError::InvariantViolated(v) => write!(f, "{v}"),
             ProcError::Interrupted => write!(f, "interrupted; children torn down"),
         }
     }
@@ -211,6 +245,13 @@ struct Supervisor {
     service_restarts: u32,
     epoch_ns: u64,
     health: Option<HealthServer>,
+    /// The cluster-wide online invariant monitor, fed every child's
+    /// live telemetry records as they arrive.
+    monitor: Option<Arc<InvariantMonitor>>,
+    /// Latest cumulative telemetry snapshot per child, keyed by display
+    /// name; the incarnation guards against a late frame from a
+    /// superseded process overwriting its replacement's counters.
+    telemetry: HashMap<String, (u64, TelemetrySnapshot)>,
     shutting_down: bool,
 }
 
@@ -265,6 +306,11 @@ impl Supervisor {
         };
         if let Some(h) = &health {
             println!("mpirun: health endpoint at http://{}/", h.local_addr());
+            if let Some(path) = &opts.health_addr_file {
+                if let Err(e) = std::fs::write(path, h.local_addr().to_string()) {
+                    eprintln!("mpirun: health addr file {}: {e}", path.display());
+                }
+            }
         }
 
         let mut sup = Supervisor {
@@ -282,6 +328,8 @@ impl Supervisor {
             service_restarts: 0,
             epoch_ns,
             health,
+            monitor: opts.monitor.then(InvariantMonitor::new),
+            telemetry: HashMap::new(),
             shutting_down: false,
         };
 
@@ -336,6 +384,17 @@ impl Supervisor {
         }
         if let Some(dir) = &opts.obs_dir {
             cmd.env(ENV_OBS, dir);
+        }
+        if opts.stream_flush_every > 1 {
+            cmd.env(ENV_STREAM_FLUSH_EVERY, opts.stream_flush_every.to_string());
+        }
+        if let NodeId::Computing(r) = node {
+            if let Some((_, skew)) = opts.epoch_skew.iter().find(|(sr, _)| *sr == r) {
+                cmd.env(ENV_EPOCH_SKEW_NS, skew.to_string());
+            }
+            if opts.inject_violation == Some(r) {
+                cmd.env(ENV_INJECT_VIOLATION, "1");
+            }
         }
         if let Some(fa) = opts.fail_after {
             cmd.env(ENV_FAIL_AFTER_MS, fa.as_millis().to_string());
@@ -494,7 +553,7 @@ impl Supervisor {
             }
 
             if self.health.is_some() && now >= next_health {
-                self.publish_health(start);
+                self.publish_health(opts, start);
                 next_health = now + Duration::from_millis(100);
             }
 
@@ -674,6 +733,31 @@ impl Supervisor {
                     );
                     self.violations.push((node, detail));
                 }
+                WireMsg::Telemetry {
+                    node,
+                    incarnation,
+                    records,
+                    snapshot,
+                } => {
+                    // Merged live stream → cluster-wide monitor. Frames
+                    // are FIFO per child and the monitor's state is
+                    // per-rank, so arrival order across children is
+                    // irrelevant — the same argument that lets the
+                    // in-process monitor run inline.
+                    if let Some(m) = self.monitor.clone() {
+                        m.observe_all(&records);
+                        if let Some(v) = m.violation() {
+                            return Err(self.fail_violation(opts, node, v));
+                        }
+                    }
+                    let entry = self
+                        .telemetry
+                        .entry(node)
+                        .or_insert_with(|| (incarnation, TelemetrySnapshot::default()));
+                    if incarnation >= entry.0 {
+                        *entry = (incarnation, snapshot);
+                    }
+                }
                 // Data-plane messages are routed inside the gateway;
                 // anything else here is stray control noise.
                 _ => {}
@@ -717,7 +801,48 @@ impl Supervisor {
         Ok(())
     }
 
-    fn publish_health(&self, start: Instant) {
+    /// The per-child JSONL streams eligible for merging (the merged and
+    /// crash outputs themselves excluded).
+    fn dump_inputs(dir: &Path) -> Vec<PathBuf> {
+        let mut inputs: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.extension().is_some_and(|x| x == "jsonl")
+                            && p.file_name()
+                                .is_some_and(|n| n != "merged.jsonl" && n != "crash.jsonl")
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        inputs.sort();
+        inputs
+    }
+
+    /// Fail the run on a live invariant violation, with the same triage
+    /// a post-mortem gets: a `Divergence` record, a merged crash dump of
+    /// everything the children have streamed so far, and the triage
+    /// note on stderr.
+    fn fail_violation(&mut self, opts: &ProcOptions, node: String, v: Violation) -> ProcError {
+        self.recorder.record(
+            0,
+            ProtoEvent::Divergence {
+                detail: format!("live monitor: {v}"),
+            },
+        );
+        self.violations.push((node, v.to_string()));
+        if let Some(dir) = &opts.obs_dir {
+            self.hub.flush_sink();
+            match merge_dump_files(&Self::dump_inputs(dir), &dir.join("crash.jsonl")) {
+                Ok(summary) => eprintln!("{}", summary.summary()),
+                Err(e) => eprintln!("mpirun: crash dump merge failed: {e}"),
+            }
+        }
+        ProcError::InvariantViolated(v)
+    }
+
+    fn publish_health(&self, opts: &ProcOptions, start: Instant) {
         let Some(h) = &self.health else { return };
         let mut page = String::new();
         page.push_str(&format!(
@@ -733,8 +858,8 @@ impl Supervisor {
         ));
         let mut nodes: Vec<&NodeId> = self.slots.keys().collect();
         nodes.sort();
-        for node in nodes {
-            let s = &self.slots[node];
+        for node in &nodes {
+            let s = &self.slots[*node];
             page.push_str(&format!(
                 "mvr_proc_child{{node=\"{node}\",incarnation=\"{}\"}} {}\n",
                 s.incarnation,
@@ -743,6 +868,103 @@ impl Supervisor {
                 } else {
                     0
                 }
+            ));
+        }
+        // Dispatcher-parity per-rank series (same names the in-process
+        // health page exports, so dashboards work on either backend).
+        for node in &nodes {
+            if let NodeId::Computing(r) = node {
+                let s = &self.slots[*node];
+                page.push_str(&format!(
+                    "mvr_rank_alive{{rank=\"{}\"}} {}\n",
+                    r.0,
+                    if s.child.is_some() && s.addr.is_some() {
+                        1
+                    } else {
+                        0
+                    }
+                ));
+                page.push_str(&format!(
+                    "mvr_rank_incarnations{{rank=\"{}\"}} {}\n",
+                    r.0, s.incarnation
+                ));
+            }
+        }
+        match &self.monitor {
+            Some(m) => {
+                page.push_str("mvr_monitor_enabled 1\n");
+                page.push_str(&format!("mvr_monitor_records_total {}\n", m.records_seen()));
+                page.push_str(&format!(
+                    "mvr_monitor_violations {}\n",
+                    if m.violation().is_some() { 1 } else { 0 }
+                ));
+            }
+            None => page.push_str("mvr_monitor_enabled 0\n"),
+        }
+        // Aggregated child telemetry: per-node liveness of the live
+        // stream (record/drop counters), per-shard EL ledger progress,
+        // and the cluster-wide merged protocol-interval histograms.
+        let mut tel: Vec<(&String, &TelemetrySnapshot)> =
+            self.telemetry.iter().map(|(n, (_, s))| (n, s)).collect();
+        tel.sort_by_key(|(n, _)| n.as_str());
+        let mut timings = ProtocolTimings::new();
+        let mut quorum_wait = LogHistogram::new();
+        let mut shard_events: HashMap<u32, u64> = HashMap::new();
+        for (node, snap) in &tel {
+            page.push_str(&format!(
+                "mvr_telemetry_records_total{{node=\"{node}\"}} {}\n",
+                snap.records_total
+            ));
+            page.push_str(&format!(
+                "mvr_telemetry_dropped_total{{node=\"{node}\"}} {}\n",
+                snap.dropped_total
+            ));
+            if let Some(flat) = node.strip_prefix("el").and_then(|v| v.parse::<u32>().ok()) {
+                // A shard's unique-event count is the max across its
+                // replicas — each counter is monotone over the same
+                // dedup domain (the in-process page's rule).
+                let shard = flat / opts.el_replicas.max(1);
+                let e = shard_events.entry(shard).or_insert(0);
+                *e = (*e).max(snap.el_events);
+            } else {
+                timings.merge(&snap.timings);
+                quorum_wait.merge(&snap.quorum_wait);
+            }
+        }
+        let mut shards: Vec<(u32, u64)> = shard_events.into_iter().collect();
+        shards.sort_unstable();
+        for (shard, events) in shards {
+            page.push_str(&format!(
+                "mvr_el_shard_unique_events{{shard=\"{shard}\"}} {events}\n"
+            ));
+        }
+        for (name, hist) in [
+            ("gate_wait", &timings.gate_wait),
+            ("el_ack_rtt", &timings.el_ack_rtt),
+            ("ckpt_store", &timings.ckpt_store),
+            ("replay", &timings.replay),
+            ("quorum_wait", &quorum_wait),
+        ] {
+            let s = hist.summary();
+            page.push_str(&format!(
+                "mvr_timing_count{{interval=\"{name}\"}} {}\n",
+                s.count
+            ));
+            page.push_str(&format!(
+                "mvr_timing_sum_ns{{interval=\"{name}\"}} {}\n",
+                s.sum
+            ));
+            page.push_str(&format!(
+                "mvr_timing_p50_ns{{interval=\"{name}\"}} {}\n",
+                s.p50
+            ));
+            page.push_str(&format!(
+                "mvr_timing_p99_ns{{interval=\"{name}\"}} {}\n",
+                s.p99
+            ));
+            page.push_str(&format!(
+                "mvr_timing_max_ns{{interval=\"{name}\"}} {}\n",
+                s.max
             ));
         }
         h.publish(page);
@@ -807,31 +1029,24 @@ impl Supervisor {
     }
 
     fn take_report(&mut self, opts: &ProcOptions) -> Result<ProcReport, ProcError> {
-        let merged_dump = match &opts.obs_dir {
+        let (merged_dump, merge) = match &opts.obs_dir {
             Some(dir) => {
-                let mut inputs: Vec<PathBuf> = std::fs::read_dir(dir)
-                    .map(|rd| {
-                        rd.filter_map(|e| e.ok())
-                            .map(|e| e.path())
-                            .filter(|p| {
-                                p.extension().is_some_and(|x| x == "jsonl")
-                                    && p.file_name().is_some_and(|n| n != "merged.jsonl")
-                            })
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                inputs.sort();
                 let out = dir.join("merged.jsonl");
-                match merge_dump_files(&inputs, &out) {
-                    Ok(_) => Some(out),
+                match merge_dump_files(&Self::dump_inputs(dir), &out) {
+                    Ok(summary) => (Some(out), Some(summary)),
                     Err(e) => {
                         eprintln!("mpirun: dump merge failed: {e}");
-                        None
+                        (None, None)
                     }
                 }
             }
-            None => None,
+            None => (None, None),
         };
+        let mut telemetry: Vec<(String, TelemetrySnapshot)> = std::mem::take(&mut self.telemetry)
+            .into_iter()
+            .map(|(n, (_, s))| (n, s))
+            .collect();
+        telemetry.sort_by(|a, b| a.0.cmp(&b.0));
         let _ = &self.hub;
         let mut results = Vec::with_capacity(self.results.len());
         for (r, cell) in std::mem::take(&mut self.results).into_iter().enumerate() {
@@ -850,6 +1065,8 @@ impl Supervisor {
             rank_metrics,
             violations: std::mem::take(&mut self.violations),
             merged_dump,
+            merge,
+            telemetry,
         })
     }
 }

@@ -15,7 +15,7 @@ use mvr_core::{
     SchedMsg,
 };
 use mvr_eventlog::EventLogStore;
-use mvr_obs::ProtocolTimings;
+use mvr_obs::{FlightRecord, ProtocolTimings, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 
 /// One message between two OS processes of a socket deployment.
@@ -142,6 +142,23 @@ pub enum WireMsg {
         /// Violation detail.
         detail: String,
     },
+
+    /// Live telemetry batch from a child: staged flight records plus a
+    /// cumulative health snapshot. Shipped off the protocol hot path on
+    /// the child's supervision loop; the parent feeds the records into
+    /// its cluster-wide invariant monitor and folds the snapshot into
+    /// the aggregated health page.
+    Telemetry {
+        /// Node (display form) the batch came from.
+        node: String,
+        /// Incarnation of the shipping process.
+        incarnation: u64,
+        /// Flight records drained from the telemetry buffer since the
+        /// last frame (bounded batch; empty for snapshot-only frames).
+        records: Vec<FlightRecord>,
+        /// Cumulative counters and histograms at ship time.
+        snapshot: TelemetrySnapshot,
+    },
 }
 
 impl WireMsg {
@@ -266,6 +283,47 @@ mod tests {
             caught_up: 42,
         }) {
             WireMsg::ElRevived { caught_up, .. } => assert_eq!(caught_up, 42),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_roundtrips() {
+        use mvr_obs::ProtoEvent;
+        let mut snapshot = TelemetrySnapshot {
+            records_total: 12,
+            dropped_total: 3,
+            ..Default::default()
+        };
+        snapshot.timings.gate_wait.record(4_000);
+        snapshot.quorum_wait.record(150);
+        let msg = WireMsg::Telemetry {
+            node: "cn2".into(),
+            incarnation: 1,
+            records: vec![FlightRecord {
+                rank: 2,
+                clock: 7,
+                ts_ns: 99,
+                event: ProtoEvent::GateOpen {
+                    released: 1,
+                    waited_ns: 4_000,
+                },
+            }],
+            snapshot: snapshot.clone(),
+        };
+        match roundtrip(&msg) {
+            WireMsg::Telemetry {
+                node,
+                incarnation,
+                records,
+                snapshot: snap,
+            } => {
+                assert_eq!(node, "cn2");
+                assert_eq!(incarnation, 1);
+                assert_eq!(records.len(), 1);
+                assert_eq!(records[0].clock, 7);
+                assert_eq!(snap, snapshot);
+            }
             other => panic!("wrong variant: {other:?}"),
         }
     }

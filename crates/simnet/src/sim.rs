@@ -2554,9 +2554,10 @@ mod tests {
     /// Render the dump exactly as `RecorderHub::dump` writes it.
     fn canonical_dump(hub: &mvr_obs::RecorderHub) -> String {
         let timeline = hub.timeline();
-        let mut out = mvr_obs::header_line(mvr_obs::DumpHeader {
+        let mut out = mvr_obs::header_line(&mvr_obs::DumpHeader {
             records: timeline.len() as u64,
             dropped: hub.dropped(),
+            offsets: Vec::new(),
         });
         for rec in &timeline {
             out.push_str(&mvr_obs::jsonl_line(rec));

@@ -408,7 +408,9 @@ fn run_socket(
             for (peer, cause) in &report.detections {
                 println!("mpirun: detected loss of {peer} ({cause})");
             }
-            if let Some(dump) = &report.merged_dump {
+            if let Some(merge) = &report.merge {
+                println!("mpirun: {}", merge.summary());
+            } else if let Some(dump) = &report.merged_dump {
                 println!("mpirun: merged flight-recorder dump at {}", dump.display());
             }
             println!(

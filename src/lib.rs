@@ -14,6 +14,8 @@
 //! * [`eventlog`] / [`ckpt`] — the reliable
 //!   services;
 //! * [`mpi`] — the MPI-like library (p2p + collectives);
+//! * [`obs`] — flight recorders, dumps, skew-corrected merge, the
+//!   online invariant monitor and the live telemetry plane;
 //! * [`runtime`] — daemons, dispatcher, `Cluster` API;
 //! * [`simnet`] — the calibrated discrete-event simulator;
 //! * [`workloads`] — microbenchmarks, NAS trace models and
@@ -46,6 +48,7 @@ pub use mvr_core as core;
 pub use mvr_eventlog as eventlog;
 pub use mvr_mpi as mpi;
 pub use mvr_net as net;
+pub use mvr_obs as obs;
 pub use mvr_runtime as runtime;
 pub use mvr_simnet as simnet;
 pub use mvr_workloads as workloads;

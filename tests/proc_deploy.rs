@@ -7,14 +7,30 @@
 //! full path is covered: progfile → process launch → hello/address-map
 //! handshake → framed TCP data plane → supervisor verdicts → respawn.
 
-use mpich_v::runtime::proc::sig;
+use mpich_v::core::Rank;
+use mpich_v::obs::{parse_dump, parse_record_line, validate_records, InvariantMonitor};
+use mpich_v::runtime::proc::{run_proc, sig, ProcError, ProcOptions};
 use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 fn mpirun() -> Command {
     Command::new(env!("CARGO_BIN_EXE_mpirun"))
+}
+
+/// A fresh per-test observability directory under the target dir, and a
+/// `ProcOptions` that re-executes the built `mpirun` binary as its
+/// children (the same child hook the CLI uses).
+fn proc_opts(test: &str, world: u32, app: &str) -> (ProcOptions, PathBuf) {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(test);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = ProcOptions::new(world, app);
+    opts.exe = PathBuf::from(env!("CARGO_BIN_EXE_mpirun"));
+    opts.obs_dir = Some(dir.clone());
+    opts.timeout = Duration::from_secs(60);
+    (opts, dir)
 }
 
 fn run_capture(args: &[&str]) -> (String, Option<i32>) {
@@ -144,6 +160,118 @@ fn el_replica_sigkill_revives_and_completes() {
         "EL replica revival missing:\n{text}"
     );
     assert_eq!(result_lines(&text).len(), 4, "results missing:\n{text}");
+}
+
+#[test]
+fn skewed_epochs_are_corrected_in_merged_dump() {
+    let (mut opts, dir) = proc_opts("skewed_epochs", 2, "ring 30");
+    // Rank 1's recorder epoch is shifted 25ms late, so its raw
+    // timestamps read 25ms early — every cross-rank deliver appears to
+    // precede its send until the merge solves for the offset.
+    opts.epoch_skew = vec![(Rank(1), 25_000_000)];
+    let report = run_proc(opts).expect("skewed run completes");
+    let merge = report.merge.expect("merge summary present");
+
+    // The injected skew was visible, estimated, and fully corrected.
+    assert!(
+        merge.skew.inversions_before >= 1,
+        "expected causal inversions in the raw merge: {}",
+        merge.skew.summary()
+    );
+    assert_eq!(
+        merge.skew.inversions_after,
+        0,
+        "correction must remove every inversion: {}",
+        merge.skew.summary()
+    );
+    assert!(merge.skew.is_correction(), "{}", merge.skew.summary());
+    let off = *merge
+        .skew
+        .offsets
+        .get(&1)
+        .expect("offset solved for rank 1");
+    assert!(
+        off >= 1_000_000,
+        "rank 1 offset should recover most of the 25ms skew, got {off}ns"
+    );
+
+    // The offsets travelled into the dump header, and the corrected
+    // timeline passes the same strict audit obs_analyze applies.
+    let text = std::fs::read_to_string(dir.join("merged.jsonl")).expect("merged dump");
+    let (header, timeline) = parse_dump(&text).expect("merged dump parses");
+    let header = header.expect("merged dump carries a header");
+    assert!(
+        header
+            .offsets
+            .iter()
+            .any(|o| o.rank == 1 && o.offset_ns != 0),
+        "header must record the applied rank-1 offset"
+    );
+    validate_records(&timeline).expect("schema");
+    let monitor = InvariantMonitor::new();
+    monitor.observe_all(&timeline);
+    assert!(
+        monitor.violation().is_none(),
+        "skew correction must not fabricate violations: {:?}",
+        monitor.violation()
+    );
+}
+
+#[test]
+fn injected_gate_violation_is_caught_live_by_parent() {
+    let (mut opts, dir) = proc_opts("live_violation", 2, "ring 200");
+    opts.inject_violation = Some(Rank(1));
+    match run_proc(opts) {
+        Err(ProcError::InvariantViolated(v)) => {
+            assert_eq!(v.invariant, "pessimism-gate", "wrong invariant: {v}");
+            assert_eq!(
+                v.rank, 1,
+                "violation must be attributed to the injecting rank: {v}"
+            );
+        }
+        Ok(_) => panic!("run must fail live on the shipped violation"),
+        Err(e) => panic!("expected a live invariant verdict, got: {e}"),
+    }
+    // First-violation triage: the parent merged every stream it had
+    // into a crash dump before aborting the run.
+    let crash = dir.join("crash.jsonl");
+    assert!(crash.exists(), "crash dump missing at {}", crash.display());
+    assert!(
+        std::fs::metadata(&crash)
+            .expect("crash dump metadata")
+            .len()
+            > 0,
+        "crash dump must not be empty"
+    );
+}
+
+#[test]
+fn default_flush_cadence_survives_sigkill_without_partial_lines() {
+    let (mut opts, dir) = proc_opts("sigkill_durability", 4, "ring 60");
+    // Default stream_flush_every = 1: one write(2) per record. A real
+    // SIGKILL mid-stream must leave the victim's incarnation-0 stream
+    // non-empty and cleanly parseable to the last byte.
+    assert_eq!(opts.stream_flush_every, 1, "durable default changed");
+    opts.kills = vec![(Rank(1), Duration::from_millis(30))];
+    opts.fail_after = Some(Duration::from_millis(250));
+    let report = run_proc(opts).expect("killed run recovers");
+    assert!(report.restarts >= 1, "the SIGKILL must have landed");
+
+    let victim = dir.join("cn1-i0.jsonl");
+    let text = std::fs::read_to_string(&victim).expect("victim stream exists");
+    assert!(
+        !text.is_empty(),
+        "victim stream empty — per-record flush not durable"
+    );
+    for (i, line) in text.lines().enumerate() {
+        parse_record_line(line).unwrap_or_else(|e| {
+            panic!(
+                "partial/corrupt line {} in {}: {e}\n{line}",
+                i + 1,
+                victim.display()
+            )
+        });
+    }
 }
 
 /// Read lines from `child`'s stdout on a helper thread, forwarding each
