@@ -161,6 +161,8 @@ fn main() {
         records: timeline.len() as u64,
         dropped: paths.dropped,
         offsets: Vec::new(),
+        track: Vec::new(),
+        unconstrained: Vec::new(),
     });
     canonical.push('\n');
     for rec in &timeline {

@@ -9,7 +9,7 @@
 //! (allowing the resets that legitimately accompany recovery).
 
 use crate::event::{FlightRecord, ProtoEvent};
-use crate::skew::{RankOffset, SkewEstimate};
+use crate::skew::{RankOffset, RankTrack, SkewEstimate};
 use serde::Serialize;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -124,8 +124,17 @@ pub struct DumpHeader {
     pub dropped: u64,
     /// Per-rank clock offsets the skew-corrected merge applied to the
     /// body's timestamps (see [`crate::estimate_skew`]). Empty for
-    /// single-process dumps and skew-free merges.
+    /// single-process dumps, skew-free merges, and merges corrected by
+    /// a piecewise `track` (which supersedes constant offsets).
     pub offsets: Vec<RankOffset>,
+    /// Per-rank piecewise-linear offset tracks the drift-aware merge
+    /// applied (see [`crate::estimate_skew_drift`]). Empty unless the
+    /// clocks drifted enough that constant offsets left inversions.
+    pub track: Vec<RankTrack>,
+    /// Ranks present in the body with zero causal edges: their offset
+    /// is 0 by construction, not by evidence. Explicit so a reader can
+    /// tell "measured clean" from "never measured".
+    pub unconstrained: Vec<u32>,
 }
 
 #[derive(Serialize)]
@@ -155,10 +164,25 @@ pub fn write_jsonl_with_offsets(
     dropped: u64,
     offsets: Vec<RankOffset>,
 ) -> std::io::Result<()> {
+    write_jsonl_with_skew(path, timeline, dropped, offsets, Vec::new(), Vec::new())
+}
+
+/// [`write_jsonl`] with the full skew story — constant offsets,
+/// piecewise tracks, and unconstrained ranks — recorded in the header.
+pub fn write_jsonl_with_skew(
+    path: &Path,
+    timeline: &[FlightRecord],
+    dropped: u64,
+    offsets: Vec<RankOffset>,
+    track: Vec<RankTrack>,
+    unconstrained: Vec<u32>,
+) -> std::io::Result<()> {
     let mut out = header_line(&DumpHeader {
         records: timeline.len() as u64,
         dropped,
         offsets,
+        track,
+        unconstrained,
     });
     out.push('\n');
     for rec in timeline {
@@ -323,12 +347,55 @@ pub fn validate_records(timeline: &[FlightRecord]) -> Result<(), String> {
     Ok(())
 }
 
+/// Rotation thresholds for a [`JsonlStreamSink`]. The sink starts a new
+/// segment file whenever the active segment exceeds *either* limit
+/// (0 = that limit unenforced). Default is no rotation — the historical
+/// single-file behavior, and the only mode on the hot benchmark path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RotateConfig {
+    /// Start a new segment after this many records (0 = unlimited).
+    pub max_records: u64,
+    /// Start a new segment once this many bytes were written
+    /// (0 = unlimited).
+    pub max_bytes: u64,
+}
+
+impl RotateConfig {
+    /// `true` when either threshold is set.
+    pub fn is_enabled(&self) -> bool {
+        self.max_records > 0 || self.max_bytes > 0
+    }
+}
+
+/// One completed or active segment in a rotated stream's index.
+#[derive(Clone, Debug, Serialize)]
+struct SegmentIndexEntry {
+    path: String,
+    records: u64,
+    bytes: u64,
+}
+
+#[derive(Serialize)]
+struct SegmentIndexFile {
+    base: String,
+    active: String,
+    segments: Vec<SegmentIndexEntry>,
+}
+
 struct StreamState {
     file: std::fs::File,
     /// Lines rendered but not yet handed to `write(2)`. Only non-empty
     /// in buffered mode (`flush_every > 1`).
     buf: String,
     pending: u32,
+    /// Rotation bookkeeping. `base` is the segment-0 path; segment N>0
+    /// lives at `{stem}.segN.jsonl` next to it.
+    base: PathBuf,
+    rotate: RotateConfig,
+    seg: u32,
+    seg_records: u64,
+    seg_bytes: u64,
+    closed: Vec<SegmentIndexEntry>,
 }
 
 impl StreamState {
@@ -342,6 +409,78 @@ impl StreamState {
         self.buf.clear();
         self.pending = 0;
     }
+
+    fn segment_path(&self, seg: u32) -> PathBuf {
+        if seg == 0 {
+            return self.base.clone();
+        }
+        let stem = self
+            .base
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("stream");
+        self.base.with_file_name(format!("{stem}.seg{seg}.jsonl"))
+    }
+
+    /// Close the active segment and open the next one, rewriting the
+    /// segment index so offline tooling can enumerate the set without
+    /// globbing. A failed rotation keeps streaming into the old file —
+    /// observability degrades, the run does not.
+    fn rotate_segment(&mut self) {
+        self.flush();
+        self.closed.push(SegmentIndexEntry {
+            path: self
+                .segment_path(self.seg)
+                .file_name()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string(),
+            records: self.seg_records,
+            bytes: self.seg_bytes,
+        });
+        let next = self.segment_path(self.seg + 1);
+        match std::fs::File::create(&next) {
+            Ok(f) => {
+                self.file = f;
+                self.seg += 1;
+                self.seg_records = 0;
+                self.seg_bytes = 0;
+            }
+            Err(_) => {
+                self.closed.pop();
+                return;
+            }
+        }
+        let index = SegmentIndexFile {
+            base: self
+                .base
+                .file_name()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string(),
+            active: self
+                .segment_path(self.seg)
+                .file_name()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string(),
+            segments: self.closed.clone(),
+        };
+        if let Ok(body) = serde_json::to_string(&index) {
+            let _ = std::fs::write(segment_index_path(&self.base), body);
+        }
+    }
+}
+
+/// Where a rotated [`JsonlStreamSink`]'s segment index lives:
+/// `{stem}.segments.json` next to the base file. Not a `.jsonl`, so
+/// merge-input discovery never mistakes it for a timeline.
+pub fn segment_index_path(base: &Path) -> PathBuf {
+    let stem = base
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("stream");
+    base.with_file_name(format!("{stem}.segments.json"))
 }
 
 /// A [`RecordSink`](crate::monitor::RecordSink) that streams every
@@ -357,6 +496,14 @@ impl StreamState {
 /// explicit [`flush`](crate::monitor::RecordSink::flush), and on drop —
 /// trading up to N−1 records of SIGKILL durability for N× fewer
 /// syscalls on the recording thread.
+/// With rotation enabled ([`with_rotation`](Self::with_rotation)), the
+/// stream is cut into bounded segment files — `base.jsonl`,
+/// `{stem}.seg1.jsonl`, `{stem}.seg2.jsonl`, … — plus a
+/// `{stem}.segments.json` index, so a week-long soak never holds (or
+/// re-reads) one gigabyte file. Segment 0 keeps the base name, so
+/// consumers of the unrotated layout keep working, and every segment
+/// keeps the `.jsonl` extension, so [`merge_dump_files`] input
+/// discovery picks rotated segments up unchanged.
 pub struct JsonlStreamSink {
     flush_every: u32,
     state: parking_lot::Mutex<StreamState>,
@@ -372,6 +519,17 @@ impl JsonlStreamSink {
     /// Create (truncate) `path`, writing out every `flush_every`
     /// records (0 is treated as 1).
     pub fn with_flush_every(path: &Path, flush_every: u32) -> std::io::Result<Self> {
+        Self::with_rotation(path, flush_every, RotateConfig::default())
+    }
+
+    /// Create (truncate) `path`, writing out every `flush_every`
+    /// records and rotating to a new segment file whenever the active
+    /// one exceeds a [`RotateConfig`] threshold.
+    pub fn with_rotation(
+        path: &Path,
+        flush_every: u32,
+        rotate: RotateConfig,
+    ) -> std::io::Result<Self> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
@@ -381,8 +539,19 @@ impl JsonlStreamSink {
                 file: std::fs::File::create(path)?,
                 buf: String::new(),
                 pending: 0,
+                base: path.to_path_buf(),
+                rotate,
+                seg: 0,
+                seg_records: 0,
+                seg_bytes: 0,
+                closed: Vec::new(),
             }),
         })
+    }
+
+    /// Segment files opened so far (1 while unrotated).
+    pub fn segments(&self) -> u32 {
+        self.state.lock().seg + 1
     }
 }
 
@@ -393,8 +562,16 @@ impl crate::monitor::RecordSink for JsonlStreamSink {
         st.buf.push_str(&line);
         st.buf.push('\n');
         st.pending += 1;
+        st.seg_records += 1;
+        st.seg_bytes += line.len() as u64 + 1;
         if st.pending >= self.flush_every || matches!(rec.event, ProtoEvent::Finish { .. }) {
             st.flush();
+        }
+        let r = st.rotate;
+        if (r.max_records > 0 && st.seg_records >= r.max_records)
+            || (r.max_bytes > 0 && st.seg_bytes >= r.max_bytes)
+        {
+            st.rotate_segment();
         }
     }
 
@@ -471,11 +648,19 @@ impl MergeSummary {
 /// Missing input files are skipped — a child killed before it wrote
 /// anything contributes nothing, not an error.
 ///
-/// Before writing, per-rank clock offsets are estimated from the
-/// timeline's causal edges ([`crate::estimate_skew`]) and applied, so
-/// cross-process skew cannot render a delivery before its send; the
-/// applied offsets land in the output header. A Perfetto export of the
-/// corrected timeline is written next to the JSONL.
+/// Rotated stream segments are just more inputs: every `.jsonl`
+/// segment of every process merges through the same path, headerless
+/// files contributing only records.
+///
+/// Before writing, per-rank clock corrections are estimated from the
+/// timeline's causal edges ([`crate::estimate_skew_drift`]) and
+/// applied, so cross-process skew — constant *or* drifting — cannot
+/// render a delivery before its send; the applied offsets or piecewise
+/// tracks land in the output header, along with ranks whose offset is
+/// unconstrained by any causal edge. Residual inversions (infeasible
+/// clock model) are reported loudly in the summary, never hidden. A
+/// Perfetto export of the corrected timeline is written next to the
+/// JSONL.
 pub fn merge_dump_files(inputs: &[PathBuf], output: &Path) -> std::io::Result<MergeSummary> {
     let mut all: Vec<FlightRecord> = Vec::new();
     let mut dropped = 0u64;
@@ -509,13 +694,24 @@ pub fn merge_dump_files(inputs: &[PathBuf], output: &Path) -> std::io::Result<Me
             );
         }
     }
-    let skew = crate::skew::estimate_skew(&all);
-    crate::skew::apply_offsets(&mut all, &skew.offsets);
+    let skew = crate::skew::estimate_skew_drift(&all);
+    if skew.track.is_empty() {
+        crate::skew::apply_offsets(&mut all, &skew.offsets);
+    } else {
+        crate::skew::apply_track(&mut all, &skew.track);
+    }
     all.sort_by_key(|r| (r.ts_ns, r.rank, r.clock, r.event.kind_index()));
     if let Some(parent) = output.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    write_jsonl_with_offsets(output, &all, dropped, skew.header_offsets())?;
+    write_jsonl_with_skew(
+        output,
+        &all,
+        dropped,
+        skew.header_offsets(),
+        skew.header_track(),
+        skew.unconstrained.clone(),
+    )?;
     let trace = output.with_extension("trace.json");
     write_chrome_trace(&trace, &all)?;
     Ok(MergeSummary {
@@ -673,6 +869,8 @@ mod tests {
                 records: 2,
                 dropped: 3,
                 offsets: Vec::new(),
+                track: Vec::new(),
+                unconstrained: Vec::new(),
             })
         );
         assert_eq!(lines.next().unwrap(), jsonl_line(&tl[0]));
@@ -710,6 +908,11 @@ mod tests {
                 records: 3,
                 dropped: 0,
                 offsets: Vec::new(),
+                track: Vec::new(),
+                // The send was never delivered and rank 1 only restarted:
+                // neither rank's clock is tied to the other by evidence,
+                // and the header says so explicitly.
+                unconstrained: vec![0, 1],
             })
         );
         let ts: Vec<u64> = records.iter().map(|r| r.ts_ns).collect();
@@ -788,6 +991,143 @@ mod tests {
         assert_eq!(body.lines().count(), 6);
         let (_, records) = crate::jsonparse::parse_dump(&body).unwrap();
         assert_eq!(records.len(), 6);
+    }
+
+    #[test]
+    fn rotation_cuts_segments_and_merge_consumes_them_all() {
+        use crate::monitor::RecordSink;
+        let dir = std::env::temp_dir().join("mvr-obs-rotate-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("cn0-i0.jsonl");
+        let sink = JsonlStreamSink::with_rotation(
+            &base,
+            1,
+            RotateConfig {
+                max_records: 4,
+                max_bytes: 0,
+            },
+        )
+        .unwrap();
+        for i in 0..10u64 {
+            sink.observe(&rec(0, i + 1, (i + 1) * 100, send(1, i + 1, 8)));
+        }
+        assert_eq!(sink.segments(), 3); // 4 + 4 + 2 records
+        drop(sink);
+        // Segment 0 keeps the base name; later segments sit next to it.
+        assert!(base.exists());
+        let seg1 = dir.join("cn0-i0.seg1.jsonl");
+        let seg2 = dir.join("cn0-i0.seg2.jsonl");
+        assert!(seg1.exists() && seg2.exists());
+        assert_eq!(
+            std::fs::read_to_string(&base).unwrap().lines().count(),
+            4,
+            "segment 0 capped at max_records"
+        );
+        // The index names the closed segments and the active one.
+        let idx = std::fs::read_to_string(segment_index_path(&base)).unwrap();
+        assert!(idx.contains("\"cn0-i0.jsonl\""), "{idx}");
+        assert!(idx.contains("\"cn0-i0.seg1.jsonl\""), "{idx}");
+        assert!(idx.contains("\"records\":4"), "{idx}");
+        assert!(idx.contains("\"active\":\"cn0-i0.seg2.jsonl\""), "{idx}");
+        // Merging the segments restores the full, ordered timeline.
+        let merged = dir.join("merged.jsonl");
+        let summary = merge_dump_files(&[base, seg1, seg2], &merged).unwrap();
+        assert_eq!(summary.records, 10);
+        let (_, records) =
+            crate::jsonparse::parse_dump(&std::fs::read_to_string(&merged).unwrap()).unwrap();
+        let clocks: Vec<u64> = records.iter().map(|r| r.clock).collect();
+        assert_eq!(clocks, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rotation_by_bytes_rotates_once_threshold_is_crossed() {
+        use crate::monitor::RecordSink;
+        let dir = std::env::temp_dir().join("mvr-obs-rotate-bytes-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("s.jsonl");
+        let sink = JsonlStreamSink::with_rotation(
+            &base,
+            1,
+            RotateConfig {
+                max_records: 0,
+                max_bytes: 200,
+            },
+        )
+        .unwrap();
+        let line_len = jsonl_line(&rec(0, 1, 100, send(1, 1, 8))).len() as u64 + 1;
+        let per_seg = 200u64.div_ceil(line_len).max(1);
+        for i in 0..3 * per_seg {
+            sink.observe(&rec(0, i + 1, (i + 1) * 10, send(1, i + 1, 8)));
+        }
+        assert!(sink.segments() >= 3, "segments: {}", sink.segments());
+        drop(sink);
+        let seg1 = dir.join("s.seg1.jsonl");
+        assert!(seg1.exists());
+        assert!(
+            std::fs::metadata(&base).unwrap().len() >= 200,
+            "rotates after crossing the byte threshold, not before"
+        );
+    }
+
+    #[test]
+    fn merge_applies_piecewise_track_for_drifting_inputs() {
+        use crate::monitor::RecordSink;
+        let dir = std::env::temp_dir().join("mvr-obs-merge-drift-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a_path = dir.join("drift-a.jsonl");
+        let b_path = dir.join("drift-b.jsonl");
+        let a = JsonlStreamSink::create(&a_path).unwrap();
+        let b = JsonlStreamSink::create(&b_path).unwrap();
+        // Rank 1's clock runs 2% slow; bidirectional traffic every 1ms
+        // over 150ms. No constant offset explains both directions.
+        let slow = |t: u64| t - t / 50;
+        let delta = 100_000u64;
+        for i in 0..150u64 {
+            let t = 1_000_000 + i * 1_000_000;
+            a.observe(&rec(0, 2 * i + 1, t, send(1, 2 * i + 1, 8)));
+            b.observe(&rec(
+                1,
+                2 * i + 1,
+                slow(t + delta),
+                ProtoEvent::Deliver {
+                    from: 0,
+                    sender_clock: 2 * i + 1,
+                    receiver_clock: 2 * i + 1,
+                    replay: false,
+                },
+            ));
+            let t2 = t + 500_000;
+            b.observe(&rec(1, 2 * i + 2, slow(t2), send(0, 2 * i + 2, 8)));
+            a.observe(&rec(
+                0,
+                2 * i + 2,
+                t2 + delta,
+                ProtoEvent::Deliver {
+                    from: 1,
+                    sender_clock: 2 * i + 2,
+                    receiver_clock: 2 * i + 2,
+                    replay: false,
+                },
+            ));
+        }
+        drop((a, b));
+        let merged = dir.join("merged.jsonl");
+        let summary = merge_dump_files(&[a_path, b_path], &merged).unwrap();
+        assert!(summary.skew.inversions_before >= 1);
+        assert_eq!(summary.skew.inversions_after, 0, "{}", summary.summary());
+        assert!(!summary.skew.track.is_empty());
+        let body = std::fs::read_to_string(&merged).unwrap();
+        let (h, records) = crate::jsonparse::parse_dump(&body).unwrap();
+        let h = h.expect("header");
+        // The track (not constant offsets) is what the header records.
+        assert!(h.offsets.is_empty());
+        assert!(h.track.iter().any(|t| t.rank == 1 && t.anchors.len() >= 3));
+        assert_eq!(crate::skew::count_inversions(&records), 0);
+        assert!(validate_records(&records).is_ok());
+        assert!(summary.summary().contains("drift-corrected"));
     }
 
     #[test]

@@ -131,6 +131,70 @@ impl LogHistogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Clear all samples in place, keeping the bucket allocation. A
+    /// `clone()` before a `reset()` is the cheap "snapshot" half of the
+    /// windowed-metrics pair; [`diff`](Self::diff) is the other.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// The window of samples recorded since `earlier` was snapshotted
+    /// off this histogram: bucket-wise subtraction, so that
+    /// `earlier.merge(&now.diff(&earlier))` restores the cumulative
+    /// bucket counts exactly. `earlier` must be a previous snapshot of
+    /// this histogram; foreign baselines subtract saturating rather
+    /// than panicking.
+    ///
+    /// Counts and (non-saturated) sums are exact. `min`/`max` of the
+    /// window are bucket-floor estimates, except when the window
+    /// provably contains the cumulative extreme (its bucket was empty
+    /// at snapshot time), in which case they are exact. If the
+    /// cumulative sum saturated at `u64::MAX`, the window sum is a
+    /// saturating lower-bound estimate — the precision was already lost
+    /// at recording time.
+    pub fn diff(&self, earlier: &LogHistogram) -> LogHistogram {
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        let mut min_idx = None;
+        let mut max_idx = 0usize;
+        for (idx, (now, then)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            let d = now.saturating_sub(*then);
+            if d > 0 {
+                counts[idx] = d;
+                count += d;
+                if min_idx.is_none() {
+                    min_idx = Some(idx);
+                }
+                max_idx = idx;
+            }
+        }
+        let min = match min_idx {
+            Some(i) if earlier.counts[i] == 0 && self.count > 0 && bucket_index(self.min) == i => {
+                self.min
+            }
+            Some(i) => bucket_floor(i),
+            None => u64::MAX,
+        };
+        let max = if count == 0 {
+            0
+        } else if earlier.counts[max_idx] == 0 && bucket_index(self.max) == max_idx {
+            self.max
+        } else {
+            bucket_floor(max_idx)
+        };
+        LogHistogram {
+            counts,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+        }
+    }
+
     /// All-integer summary suitable for `Eq`-deriving wire messages.
     pub fn summary(&self) -> HistSummary {
         HistSummary {
@@ -292,6 +356,148 @@ mod tests {
         let s = a.summary();
         assert_eq!(s.count, 21);
         assert_eq!(s.p99, bucket_floor(NUM_BUCKETS - 1));
+    }
+
+    /// Deterministic value stream for the window-identity tests:
+    /// xorshift-style, seeded, spanning several octaves.
+    fn seeded_values(seed: u64, n: usize) -> Vec<u64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s % 50_000_000
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reset_clears_to_empty() {
+        let mut h = LogHistogram::new();
+        for v in seeded_values(7, 100) {
+            h.record(v);
+        }
+        h.reset();
+        assert_eq!(h, LogHistogram::new());
+        assert_eq!(h.min(), 0);
+        // Recording after a reset behaves like a fresh histogram.
+        h.record(9);
+        assert_eq!((h.count(), h.min(), h.max()), (1, 9, 9));
+    }
+
+    #[test]
+    fn cumulative_equals_merge_of_diff_windows() {
+        // Snapshot/diff identity: slicing a cumulative histogram into
+        // windows at arbitrary boundaries and merging the windows back
+        // restores the cumulative distribution exactly (counts, count,
+        // sum, and therefore every quantile).
+        let values = seeded_values(0x0B5E7EED, 900);
+        let mut cumulative = LogHistogram::new();
+        let mut snapshot = LogHistogram::new();
+        let mut rebuilt = LogHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            cumulative.record(v);
+            if i % 113 == 0 || i + 1 == values.len() {
+                let window = cumulative.diff(&snapshot);
+                rebuilt.merge(&window);
+                snapshot = cumulative.clone();
+            }
+        }
+        assert_eq!(rebuilt.counts, cumulative.counts);
+        assert_eq!(rebuilt.count(), cumulative.count());
+        assert_eq!(rebuilt.sum(), cumulative.sum());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(rebuilt.quantile(q), cumulative.quantile(q));
+        }
+    }
+
+    #[test]
+    fn diff_window_min_max_are_exact_when_bucket_was_untouched() {
+        let mut h = LogHistogram::new();
+        h.record(1_000);
+        let snap = h.clone();
+        h.record(123_456); // new top bucket for the window
+        h.record(3); // new bottom bucket for the window
+        let w = h.diff(&snap);
+        assert_eq!(w.count(), 2);
+        assert_eq!(w.min(), 3);
+        assert_eq!(w.max(), 123_456);
+        // A value whose bucket already held samples at snapshot time
+        // degrades gracefully to the bucket floor.
+        let snap2 = h.clone();
+        h.record(123_999); // same bucket as 123_456 at 1/16 granularity
+        let w2 = h.diff(&snap2);
+        assert_eq!(w2.count(), 1);
+        assert!(w2.max() <= 123_999 && w2.max() >= bucket_floor(bucket_index(123_999)));
+    }
+
+    #[test]
+    fn saturation_across_window_boundary() {
+        // The cumulative sum saturates at u64::MAX inside the second
+        // window. Counts stay exact across the boundary; the window sum
+        // is the saturating remainder (a documented lower bound).
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        let snap = h.clone();
+        h.record(u64::MAX); // cumulative sum pegged at u64::MAX
+        h.record(5);
+        let w = h.diff(&snap);
+        assert_eq!(w.count(), 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX);
+        // Window sum saturates to the remaining headroom (0 here), but
+        // never wraps.
+        assert_eq!(w.sum(), 0);
+        assert_eq!(w.min(), 5);
+        // Merging the windows back still restores cumulative counts.
+        let mut rebuilt = snap.clone();
+        rebuilt.merge(&w);
+        assert_eq!(rebuilt.counts, h.counts);
+        assert_eq!(rebuilt.count(), h.count());
+    }
+
+    #[test]
+    fn merge_of_windows_equals_window_of_merges() {
+        // Two ranks record concurrently; windows are cut at the same
+        // boundary on both. Merging the per-rank windows must equal the
+        // window of the merged cumulatives — the algebra the supervisor
+        // relies on when it aggregates child snapshots before windowing.
+        let a_vals = seeded_values(11, 400);
+        let b_vals = seeded_values(23, 300);
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        // Phase one: both ranks record, snapshot at the boundary.
+        for &v in &a_vals[..250] {
+            a.record(v);
+        }
+        for &v in &b_vals[..150] {
+            b.record(v);
+        }
+        let a_snap = a.clone();
+        let b_snap = b.clone();
+        let mut merged_snap = a_snap.clone();
+        merged_snap.merge(&b_snap);
+        // Phase two: more samples on both sides.
+        for &v in &a_vals[250..] {
+            a.record(v);
+        }
+        for &v in &b_vals[150..] {
+            b.record(v);
+        }
+        // merge-of-windows ...
+        let mut merged_windows = a.diff(&a_snap);
+        merged_windows.merge(&b.diff(&b_snap));
+        // ... vs window-of-merges.
+        let mut merged_cumulative = a.clone();
+        merged_cumulative.merge(&b);
+        let window_of_merges = merged_cumulative.diff(&merged_snap);
+        assert_eq!(merged_windows.counts, window_of_merges.counts);
+        assert_eq!(merged_windows.count(), window_of_merges.count());
+        assert_eq!(merged_windows.sum(), window_of_merges.sum());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(merged_windows.quantile(q), window_of_merges.quantile(q));
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::dump::DumpHeader;
 use crate::event::{FlightRecord, ProtoEvent, SendDisposition};
-use crate::skew::RankOffset;
+use crate::skew::{RankOffset, RankTrack};
 
 /// A parsed JSON value (only the shapes the dump writer produces).
 #[derive(Clone, Debug, PartialEq)]
@@ -463,8 +463,9 @@ pub fn parse_record_line(line: &str) -> Result<FlightRecord, String> {
 }
 
 /// Decode a header line, or `None` if the line is not a header. The
-/// `offsets` field is optional: dumps written before the skew-corrected
-/// merge (and every single-process dump) carry none.
+/// `offsets`, `track` and `unconstrained` fields are all optional:
+/// dumps written before the skew-corrected (or drift-corrected) merge
+/// carry none, and every field degrades to empty independently.
 pub fn parse_header_line(line: &str) -> Option<DumpHeader> {
     let v = parse(line).ok()?;
     let h = v.get("header")?;
@@ -477,10 +478,35 @@ pub fn parse_header_line(line: &str) -> Option<DumpHeader> {
             });
         }
     }
+    let mut track = Vec::new();
+    if let Some(Json::Arr(items)) = h.get("track") {
+        for item in items {
+            let mut anchors = Vec::new();
+            if let Some(Json::Arr(vals)) = item.get("anchors") {
+                for a in vals {
+                    anchors.push(a.as_i64()?);
+                }
+            }
+            track.push(RankTrack {
+                rank: field_u32(item, "rank").ok()?,
+                start_ns: field_u64(item, "start_ns").ok()?,
+                seg_ns: field_u64(item, "seg_ns").ok()?,
+                anchors,
+            });
+        }
+    }
+    let mut unconstrained = Vec::new();
+    if let Some(Json::Arr(items)) = h.get("unconstrained") {
+        for item in items {
+            unconstrained.push(u32::try_from(item.as_u64()?).ok()?);
+        }
+    }
     Some(DumpHeader {
         records: h.get("records")?.as_u64()?,
         dropped: h.get("dropped")?.as_u64()?,
         offsets,
+        track,
+        unconstrained,
     })
 }
 
@@ -667,6 +693,8 @@ mod tests {
                 records: 1,
                 dropped: 2,
                 offsets: Vec::new(),
+                track: Vec::new(),
+                unconstrained: Vec::new(),
             }),
             jsonl_line(&rec)
         );
@@ -677,9 +705,44 @@ mod tests {
                 records: 1,
                 dropped: 2,
                 offsets: Vec::new(),
+                track: Vec::new(),
+                unconstrained: Vec::new(),
             })
         );
         assert_eq!(records, vec![rec]);
+    }
+
+    #[test]
+    fn legacy_header_without_track_fields_still_parses() {
+        // Dumps written before the drift-aware merge lack `track` and
+        // `unconstrained`; both must degrade to empty, not to None.
+        let line = r#"{"header":{"records":5,"dropped":1,"offsets":[{"rank":2,"offset_ns":300}]}}"#;
+        let h = parse_header_line(line).expect("legacy header parses");
+        assert_eq!(h.records, 5);
+        assert_eq!(h.offsets.len(), 1);
+        assert!(h.track.is_empty());
+        assert!(h.unconstrained.is_empty());
+    }
+
+    #[test]
+    fn header_track_and_unconstrained_roundtrip() {
+        let hdr = crate::dump::DumpHeader {
+            records: 7,
+            dropped: 0,
+            offsets: Vec::new(),
+            track: vec![RankTrack {
+                rank: 1,
+                start_ns: 1_000_000,
+                seg_ns: 250_000,
+                anchors: vec![0, 5_000, -20, 11_000],
+            }],
+            unconstrained: vec![3, 9],
+        };
+        let line = header_line(&hdr);
+        assert!(line.contains("\"track\""), "{line}");
+        assert!(line.contains("\"unconstrained\":[3,9]"), "{line}");
+        let back = parse_header_line(&line).expect("header parses");
+        assert_eq!(back, hdr);
     }
 
     #[test]
@@ -697,6 +760,8 @@ mod tests {
                     offset_ns: -250,
                 },
             ],
+            track: Vec::new(),
+            unconstrained: Vec::new(),
         };
         let line = header_line(&hdr);
         assert!(line.contains("-250"), "{line}");

@@ -21,30 +21,40 @@
 #![warn(missing_docs)]
 
 mod causal;
+mod diff;
 mod dump;
 mod event;
 mod health;
 mod hist;
 mod jsonparse;
 mod monitor;
+mod prom;
 mod recorder;
 mod skew;
 mod span;
 mod telemetry;
 mod timings;
+mod window;
 
 pub use causal::{write_flow_trace, CausalGraph, CriticalPath, CriticalStep, EdgeCat};
+pub use diff::{compare, DiffReport, MetricDelta, RunProfile, NOISE_FLOOR_EVENTS, NOISE_FLOOR_NS};
 pub use dump::{
-    header_line, jsonl_line, merge_dump_files, triage, validate_records, write_chrome_trace,
-    write_jsonl, DumpHeader, DumpPaths, JsonlStreamSink, MergeSummary, TeeSink, Triage,
+    header_line, jsonl_line, merge_dump_files, segment_index_path, triage, validate_records,
+    write_chrome_trace, write_jsonl, DumpHeader, DumpPaths, JsonlStreamSink, MergeSummary,
+    RotateConfig, TeeSink, Triage,
 };
 pub use event::{FlightRecord, ProtoEvent, SendDisposition, DISPATCHER_RANK};
 pub use health::HealthServer;
 pub use hist::{HistSummary, LogHistogram};
 pub use jsonparse::{parse, parse_dump, parse_header_line, parse_record_line, Json};
 pub use monitor::{InvariantMonitor, RecordSink, Violation};
+pub use prom::{timing_families, window_families, PromPage};
 pub use recorder::{epoch_from_unix_ns, unix_now_ns, Recorder, RecorderConfig, RecorderHub};
-pub use skew::{apply_offsets, count_inversions, estimate_skew, RankOffset, SkewEstimate};
+pub use skew::{
+    apply_offsets, apply_track, count_inversions, estimate_skew, estimate_skew_drift, OffsetTrack,
+    RankOffset, RankTrack, SkewEstimate,
+};
 pub use span::{DeliveryLeg, Orphan, OrphanKind, Span, SpanKey, SpanSet};
 pub use telemetry::{TelemetrySink, TelemetrySnapshot};
 pub use timings::{ProtocolTimings, TimingSummary};
+pub use window::{MetricsWindow, WindowRing, DEFAULT_WINDOW_NS, DEFAULT_WINDOW_RING};

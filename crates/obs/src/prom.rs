@@ -1,0 +1,224 @@
+//! Prometheus text-format page builder shared by every health
+//! endpoint in the tree.
+//!
+//! Both health publishers (the in-process dispatcher and the
+//! multi-process supervisor) render the same metric families; before
+//! this module each hand-rolled its own `format!` lines and neither
+//! emitted `# HELP` / `# TYPE` headers, so scrapers flying blind had
+//! to guess types. [`PromPage`] centralises the rendering: a family is
+//! declared once (first sample wins), sample lines keep the exact
+//! `name{labels} value` shape dashboards already match on, and the
+//! emitters for families shared between endpoints ([`timing_families`],
+//! [`window_families`]) live here so the two pages cannot drift apart.
+
+use crate::hist::LogHistogram;
+use crate::window::MetricsWindow;
+use std::collections::BTreeSet;
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// Builder for one Prometheus text-format page.
+///
+/// Samples are appended in call order; `# HELP` and `# TYPE` lines are
+/// emitted immediately before the first sample of each family and
+/// suppressed for later samples of the same family, which is exactly
+/// the layout the Prometheus text exposition format asks for.
+#[derive(Debug, Default)]
+pub struct PromPage {
+    out: String,
+    declared: BTreeSet<&'static str>,
+}
+
+impl PromPage {
+    /// A fresh page opened with a free-form `# banner` comment line.
+    pub fn new(banner: &str) -> Self {
+        let mut p = PromPage {
+            out: String::with_capacity(2048),
+            declared: BTreeSet::new(),
+        };
+        let _ = writeln!(p.out, "# {banner}");
+        p
+    }
+
+    /// Append a free-form comment line (prefixed `# `).
+    pub fn comment(&mut self, text: &str) {
+        let _ = writeln!(self.out, "# {text}");
+    }
+
+    /// Append one sample `name{labels} value` (no braces when `labels`
+    /// is empty), declaring the family's `# HELP`/`# TYPE` lines the
+    /// first time the family appears on this page.
+    pub fn sample(
+        &mut self,
+        name: &'static str,
+        kind: &'static str,
+        help: &'static str,
+        labels: &str,
+        value: impl Display,
+    ) {
+        if self.declared.insert(name) {
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+        if labels.is_empty() {
+            let _ = writeln!(self.out, "{name} {value}");
+        } else {
+            let _ = writeln!(self.out, "{name}{{{labels}}} {value}");
+        }
+    }
+
+    /// Finish the page and return the rendered text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Emit the cumulative protocol-interval histogram families
+/// (`mvr_timing_{count,sum_ns,p50_ns,p99_ns,max_ns}{interval=…}`) for
+/// each named histogram — the shape both health endpoints export.
+pub fn timing_families(page: &mut PromPage, intervals: &[(&str, &LogHistogram)]) {
+    for (name, h) in intervals {
+        let s = h.summary();
+        let l = format!("interval=\"{name}\"");
+        page.sample(
+            "mvr_timing_count",
+            "counter",
+            "Samples recorded for the protocol interval since boot.",
+            &l,
+            s.count,
+        );
+        page.sample(
+            "mvr_timing_sum_ns",
+            "counter",
+            "Summed duration (ns) of the protocol interval since boot.",
+            &l,
+            s.sum,
+        );
+        page.sample(
+            "mvr_timing_p50_ns",
+            "gauge",
+            "Median duration (ns) of the protocol interval since boot.",
+            &l,
+            s.p50,
+        );
+        page.sample(
+            "mvr_timing_p99_ns",
+            "gauge",
+            "99th-percentile duration (ns) of the protocol interval since boot.",
+            &l,
+            s.p99,
+        );
+        page.sample(
+            "mvr_timing_max_ns",
+            "gauge",
+            "Maximum duration (ns) of the protocol interval since boot.",
+            &l,
+            s.max,
+        );
+    }
+}
+
+/// Emit the per-window protocol-interval families for a ring of closed
+/// windows plus the in-progress one.
+///
+/// Closed windows are labelled by age: `window="-1"` is the most
+/// recently closed, `window="-2"` the one before, …; the in-progress
+/// window is `window="current"`. Ages (rather than absolute indices)
+/// keep the label set bounded, so scrape tooling sees a stable family
+/// even on week-long runs.
+pub fn window_families(page: &mut PromPage, closed: &[&MetricsWindow], current: &MetricsWindow) {
+    let mut tagged: Vec<(String, &MetricsWindow)> = Vec::with_capacity(closed.len() + 1);
+    for (i, w) in closed.iter().rev().enumerate() {
+        tagged.push((format!("-{}", i + 1), w));
+    }
+    tagged.push(("current".to_string(), current));
+    for (tag, w) in &tagged {
+        page.sample(
+            "mvr_window_span_ns",
+            "gauge",
+            "Length (ns) of the metrics window.",
+            &format!("window=\"{tag}\""),
+            w.span_ns(),
+        );
+        for (name, h) in [
+            ("gate_wait", &w.timings.gate_wait),
+            ("el_ack_rtt", &w.timings.el_ack_rtt),
+            ("ckpt_store", &w.timings.ckpt_store),
+            ("replay", &w.timings.replay),
+        ] {
+            let s = h.summary();
+            let l = format!("interval=\"{name}\",window=\"{tag}\"");
+            page.sample(
+                "mvr_timing_window_count",
+                "gauge",
+                "Samples recorded for the protocol interval within the window.",
+                &l,
+                s.count,
+            );
+            page.sample(
+                "mvr_timing_window_p50_ns",
+                "gauge",
+                "Median duration (ns) of the protocol interval within the window.",
+                &l,
+                s.p50,
+            );
+            page.sample(
+                "mvr_timing_window_p99_ns",
+                "gauge",
+                "99th-percentile duration (ns) of the protocol interval within the window.",
+                &l,
+                s.p99,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timings::ProtocolTimings;
+    use crate::window::WindowRing;
+
+    #[test]
+    fn help_and_type_emitted_once_per_family_before_first_sample() {
+        let mut page = PromPage::new("test page");
+        page.sample("mvr_up", "gauge", "Run liveness.", "", 1);
+        page.sample("mvr_rank_alive", "gauge", "Rank liveness.", "rank=\"0\"", 1);
+        page.sample("mvr_rank_alive", "gauge", "Rank liveness.", "rank=\"1\"", 0);
+        let out = page.finish();
+        assert_eq!(out.matches("# HELP mvr_rank_alive").count(), 1, "{out}");
+        assert_eq!(out.matches("# TYPE mvr_rank_alive gauge").count(), 1);
+        // Declaration precedes the first sample of the family.
+        let decl = out.find("# TYPE mvr_rank_alive").expect("declared");
+        let first = out.find("mvr_rank_alive{rank=\"0\"} 1").expect("sampled");
+        assert!(decl < first, "{out}");
+        // Sample-line shape is unchanged from the pre-HELP pages.
+        assert!(out.contains("mvr_up 1\n"), "{out}");
+        assert!(out.contains("mvr_rank_alive{rank=\"1\"} 0\n"), "{out}");
+    }
+
+    #[test]
+    fn timing_and_window_families_render_every_interval() {
+        let mut t = ProtocolTimings::new();
+        t.gate_wait.record(1_000);
+        t.replay.record(2_000);
+        let mut ring = WindowRing::new(0, 1_000, 4);
+        ring.advance(1_500, &t);
+        let mut page = PromPage::new("x");
+        timing_families(
+            &mut page,
+            &[("gate_wait", &t.gate_wait), ("replay", &t.replay)],
+        );
+        let closed: Vec<_> = ring.closed().collect();
+        window_families(&mut page, &closed, &ring.current(1_600, &t));
+        let out = page.finish();
+        assert!(out.contains("mvr_timing_count{interval=\"gate_wait\"} 1"));
+        assert!(out.contains("mvr_timing_count{interval=\"replay\"} 1"));
+        assert!(out.contains("# TYPE mvr_timing_window_count gauge"));
+        assert!(out.contains("mvr_timing_window_count{interval=\"gate_wait\",window=\"-1\"} 1"));
+        assert!(
+            out.contains("mvr_timing_window_count{interval=\"gate_wait\",window=\"current\"} 0")
+        );
+        assert!(out.contains("mvr_window_span_ns{window=\"-1\"} 1000"));
+    }
+}

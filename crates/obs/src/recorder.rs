@@ -28,6 +28,14 @@ pub struct RecorderConfig {
     /// record — the SIGKILL-durable discipline; larger values batch
     /// syscalls at the cost of up to N−1 records on an abrupt kill.
     pub stream_flush_every: u32,
+    /// Injected clock drift in parts-per-billion, applied to
+    /// [`Recorder::now_ns`]: every elapsed second gains (positive) or
+    /// loses (negative) this many nanoseconds. 0 — the default, and
+    /// the only sane production value — leaves the clock untouched.
+    /// Test harnesses use it to simulate a node whose oscillator runs
+    /// fast or slow, exercising the drift-aware skew correction on the
+    /// merge path.
+    pub clock_drift_ppb: i64,
 }
 
 impl Default for RecorderConfig {
@@ -37,6 +45,7 @@ impl Default for RecorderConfig {
             capacity: 4096,
             trace_stderr: false,
             stream_flush_every: 1,
+            clock_drift_ppb: 0,
         }
     }
 }
@@ -94,6 +103,9 @@ struct Shared {
     enabled: AtomicBool,
     trace_stderr: AtomicBool,
     epoch: Instant,
+    /// Injected drift rate (ppb) baked in at mint time; see
+    /// [`RecorderConfig::clock_drift_ppb`].
+    drift_ppb: i64,
     ring: Mutex<Ring>,
     /// Live consumer of records (the online invariant monitor). Fired
     /// inline on the recording thread's slow path, after the ring push.
@@ -144,6 +156,7 @@ impl Recorder {
             enabled: AtomicBool::new(cfg.enabled),
             trace_stderr: AtomicBool::new(cfg.trace_stderr),
             epoch,
+            drift_ppb: cfg.clock_drift_ppb,
             ring: Mutex::new(Ring::new(cfg.capacity)),
             sink,
         }))
@@ -173,7 +186,14 @@ impl Recorder {
     /// read time through this single source.
     #[inline]
     pub fn now_ns(&self) -> u64 {
-        self.0.epoch.elapsed().as_nanos() as u64
+        let ns = self.0.epoch.elapsed().as_nanos() as u64;
+        if self.0.drift_ppb == 0 {
+            return ns;
+        }
+        // Injected drift (tests only): scale elapsed time by
+        // (1 + ppb/1e9), clamped at zero for pathological negatives.
+        let skewed = ns as i128 + ns as i128 * self.0.drift_ppb as i128 / 1_000_000_000;
+        skewed.max(0) as u64
     }
 
     /// Append a record. The disabled fast path is a branch on one
@@ -384,6 +404,32 @@ mod tests {
             bytes,
             disposition: SendDisposition::Wire,
         }
+    }
+
+    #[test]
+    fn injected_drift_scales_the_recorder_clock() {
+        let fast = Recorder::new(
+            0,
+            RecorderConfig {
+                // +10%: a full second gains 100ms.
+                clock_drift_ppb: 100_000_000,
+                ..Default::default()
+            },
+        );
+        let slow = Recorder::new(
+            1,
+            RecorderConfig {
+                clock_drift_ppb: -100_000_000,
+                ..Default::default()
+            },
+        );
+        let true_r = Recorder::new(2, RecorderConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let (f, s, t) = (fast.now_ns(), slow.now_ns(), true_r.now_ns());
+        // Epochs differ by creation order (µs apart), but ±10% over
+        // ≥5ms dwarfs that: the drifted clocks straddle the true one.
+        assert!(f > t, "fast clock must read ahead: {f} vs {t}");
+        assert!(s < t, "slow clock must read behind: {s} vs {t}");
     }
 
     #[test]

@@ -19,9 +19,27 @@
 //! all-zero offsets and byte-identical output. Bounds from ranks with
 //! no inversions stay slack and cost nothing.
 
+//!
+//! One constant offset per rank is only honest while the clocks merely
+//! *disagree*; once they *drift* (run at slightly different rates — the
+//! normal state of unconditioned quartz over long horizons), the best
+//! constant still leaves inversions at one end of the run. For that
+//! case [`estimate_skew_drift`] generalises the solver to a
+//! **piecewise-linear offset track** per rank: the run is cut into
+//! uniform time segments, each rank gets an offset anchor at every
+//! segment boundary, every causal edge constrains the anchors
+//! surrounding its two endpoints (conservatively, so the interpolated
+//! offsets are guaranteed to satisfy the edge), and intra-rank
+//! continuity constraints bound the slope between neighbouring anchors
+//! (which both propagates corrections into quiet segments and keeps
+//! corrected per-rank time monotone). The same raise-only relaxation
+//! solves the enlarged system; segment count escalates 2, 4, … until
+//! the track removes every inversion or a cap is hit, and residual
+//! inversions are reported loudly instead of being papered over.
+
 use crate::event::{FlightRecord, ProtoEvent, DISPATCHER_RANK};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One rank's estimated clock offset, as published in the dump header.
 /// `offset_ns` is *added* to every timestamp the rank recorded.
@@ -35,28 +53,122 @@ pub struct RankOffset {
     pub offset_ns: i64,
 }
 
+/// A piecewise-linear clock-offset track for one rank: offset anchors
+/// at uniform segment boundaries, linearly interpolated in between and
+/// held constant beyond the ends. `anchors[k]` is the offset (ns, added
+/// to the rank's recorded timestamps) at time `start_ns + k * seg_ns`.
+/// All-integer so it can ride in the hand-parsed dump header.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OffsetTrack {
+    /// Timestamp (recorded ns) of the first anchor.
+    pub start_ns: u64,
+    /// Uniform segment length between anchors, ns.
+    pub seg_ns: u64,
+    /// Offset anchors, ns; `len() == segments + 1`.
+    pub anchors: Vec<i64>,
+}
+
+impl OffsetTrack {
+    /// The correction to add to a timestamp this rank recorded at
+    /// `ts_ns`: linear interpolation between the surrounding anchors,
+    /// constant extrapolation outside the anchored range.
+    pub fn offset_at(&self, ts_ns: u64) -> i64 {
+        let Some(&first) = self.anchors.first() else {
+            return 0;
+        };
+        if self.anchors.len() == 1 || self.seg_ns == 0 || ts_ns <= self.start_ns {
+            return first;
+        }
+        let rel = ts_ns - self.start_ns;
+        let k = (rel / self.seg_ns) as usize;
+        if k + 1 >= self.anchors.len() {
+            return *self.anchors.last().unwrap();
+        }
+        let a = self.anchors[k] as i128;
+        let b = self.anchors[k + 1] as i128;
+        let frac = (rel % self.seg_ns) as i128;
+        (a + (b - a) * frac / self.seg_ns as i128) as i64
+    }
+
+    /// Overall drift rate of the track in parts-per-billion: the slope
+    /// from first to last anchor. Display-only; interpolation uses the
+    /// individual anchors.
+    pub fn drift_ppb(&self) -> i64 {
+        if self.anchors.len() < 2 || self.seg_ns == 0 {
+            return 0;
+        }
+        let rise = (*self.anchors.last().unwrap() - self.anchors[0]) as i128;
+        let run = (self.seg_ns as i128) * (self.anchors.len() as i128 - 1);
+        (rise * 1_000_000_000 / run) as i64
+    }
+}
+
+/// One rank's offset track as published in the dump header.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankTrack {
+    /// The rank the track applies to.
+    pub rank: u32,
+    /// Timestamp (recorded ns) of the first anchor.
+    pub start_ns: u64,
+    /// Uniform segment length between anchors, ns.
+    pub seg_ns: u64,
+    /// Offset anchors, ns.
+    pub anchors: Vec<i64>,
+}
+
+impl RankTrack {
+    /// View the header form as an [`OffsetTrack`].
+    pub fn track(&self) -> OffsetTrack {
+        OffsetTrack {
+            start_ns: self.start_ns,
+            seg_ns: self.seg_ns,
+            anchors: self.anchors.clone(),
+        }
+    }
+}
+
 /// The result of a skew-estimation pass over a merged timeline.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SkewEstimate {
-    /// Per-rank offsets (ranks absent from the map are uncorrected).
+    /// Per-rank constant offsets (ranks absent from the map are
+    /// uncorrected). When `track` is non-empty the *track* is what the
+    /// merge applies and this map holds each rank's offset at the start
+    /// of the run (the track's first anchor) for reporting.
     pub offsets: BTreeMap<u32, i64>,
+    /// Per-rank piecewise-linear offset tracks. Empty when a constant
+    /// offset per rank sufficed (the common, drift-free case).
+    pub track: BTreeMap<u32, OffsetTrack>,
+    /// Ranks that appear in the timeline but in no causal edge: their
+    /// offset is 0 by construction, not by evidence. Flagged explicitly
+    /// in the dump header so a silent gap reads as what it is.
+    pub unconstrained: Vec<u32>,
+    /// Piecewise segments used by the drift solver (1 = constant).
+    pub segments: usize,
     /// Causal send→deliver edges matched in the timeline.
     pub edges: usize,
     /// Deliver-before-send timestamp inversions in the raw timeline.
     pub inversions_before: usize,
-    /// Inversions remaining after applying the offsets (0 unless the
-    /// bound system was infeasible, e.g. clocks drifted mid-run).
+    /// Inversions remaining after applying the correction (0 unless the
+    /// bound system was infeasible even piecewise).
     pub inversions_after: usize,
+    /// `true` when residual inversions remain after the best correction
+    /// the solver could find — the clock model (piecewise-linear within
+    /// the slope limit) cannot explain the timeline.
+    pub infeasible: bool,
 }
 
 impl SkewEstimate {
     /// `true` when at least one rank needs a non-zero correction.
     pub fn is_correction(&self) -> bool {
-        self.offsets.values().any(|&o| o != 0)
+        !self.track.is_empty() || self.offsets.values().any(|&o| o != 0)
     }
 
-    /// The offsets in header form, non-zero entries only.
+    /// The constant offsets in header form, non-zero entries only.
+    /// Empty when a track was applied — the track supersedes them.
     pub fn header_offsets(&self) -> Vec<RankOffset> {
+        if !self.track.is_empty() {
+            return Vec::new();
+        }
         self.offsets
             .iter()
             .filter(|(_, &o)| o != 0)
@@ -64,27 +176,79 @@ impl SkewEstimate {
             .collect()
     }
 
+    /// The piecewise offset tracks in header form (ranks whose track is
+    /// not identically zero).
+    pub fn header_track(&self) -> Vec<RankTrack> {
+        self.track
+            .iter()
+            .filter(|(_, t)| t.anchors.iter().any(|&a| a != 0))
+            .map(|(&rank, t)| RankTrack {
+                rank,
+                start_ns: t.start_ns,
+                seg_ns: t.seg_ns,
+                anchors: t.anchors.clone(),
+            })
+            .collect()
+    }
+
     /// One-line human summary for supervisor and tooling output.
     pub fn summary(&self) -> String {
-        if !self.is_correction() {
-            return format!(
-                "clock skew: none detected ({} causal edges, 0 inversions)",
-                self.edges
-            );
+        let mut out = if !self.is_correction() {
+            format!(
+                "clock skew: none detected ({} causal edges, {} inversions)",
+                self.edges, self.inversions_after
+            )
+        } else if self.track.is_empty() {
+            let offs: Vec<String> = self
+                .offsets
+                .iter()
+                .filter(|(_, &o)| o != 0)
+                .map(|(r, o)| format!("rank {r}: {:+.3}ms", *o as f64 / 1e6))
+                .collect();
+            format!(
+                "clock skew: corrected {} -> {} inversion(s) over {} causal edges [{}]",
+                self.inversions_before,
+                self.inversions_after,
+                self.edges,
+                offs.join(", ")
+            )
+        } else {
+            let offs: Vec<String> = self
+                .track
+                .iter()
+                .map(|(r, t)| {
+                    format!(
+                        "rank {r}: {:+.3}ms @start, drift {:+.1}ppm",
+                        t.offset_at(t.start_ns) as f64 / 1e6,
+                        t.drift_ppb() as f64 / 1e3
+                    )
+                })
+                .collect();
+            format!(
+                "clock skew: drift-corrected {} -> {} inversion(s) over {} causal edges, \
+                 {} segment(s) [{}]",
+                self.inversions_before,
+                self.inversions_after,
+                self.edges,
+                self.segments.max(1),
+                offs.join(", ")
+            )
+        };
+        if !self.unconstrained.is_empty() {
+            let list: Vec<String> = self.unconstrained.iter().map(|r| r.to_string()).collect();
+            out.push_str(&format!(
+                "; rank(s) {} UNCONSTRAINED (no causal edges, offset 0 by construction)",
+                list.join(",")
+            ));
         }
-        let offs: Vec<String> = self
-            .offsets
-            .iter()
-            .filter(|(_, &o)| o != 0)
-            .map(|(r, o)| format!("rank {r}: {:+.3}ms", *o as f64 / 1e6))
-            .collect();
-        format!(
-            "clock skew: corrected {} -> {} inversion(s) over {} causal edges [{}]",
-            self.inversions_before,
-            self.inversions_after,
-            self.edges,
-            offs.join(", ")
-        )
+        if self.infeasible || self.inversions_after > 0 {
+            out.push_str(&format!(
+                "; WARNING: {} residual inversion(s) — clock model infeasible, \
+                 timestamps near them are untrustworthy",
+                self.inversions_after
+            ));
+        }
+        out
     }
 }
 
@@ -207,11 +371,217 @@ pub fn estimate_skew(timeline: &[FlightRecord]) -> SkewEstimate {
         }
     }
     let inversions_after = inversions(&pairs, &offsets);
+    // Ranks present in the timeline but in no causal pair get an
+    // explicit zero entry plus the `unconstrained` flag: "offset 0 by
+    // construction" must not be confused with "offset 0 by evidence".
+    let mut unconstrained = Vec::new();
+    let seen: BTreeSet<u32> = timeline
+        .iter()
+        .filter(|r| r.rank != DISPATCHER_RANK)
+        .map(|r| r.rank)
+        .collect();
+    for r in seen {
+        if let std::collections::btree_map::Entry::Vacant(e) = offsets.entry(r) {
+            e.insert(0);
+            unconstrained.push(r);
+        }
+    }
     SkewEstimate {
         offsets,
+        track: BTreeMap::new(),
+        unconstrained,
+        segments: 1,
         edges: pairs.len(),
         inversions_before,
         inversions_after,
+        infeasible: inversions_after > 0,
+    }
+}
+
+/// Hard cap on the piecewise segment escalation. 256 segments over a
+/// week-long run is a ~40-minute fit granularity; over a 200ms test
+/// run it resolves drift down to the network-latency floor.
+const MAX_SEGMENTS: usize = 256;
+
+/// Continuity slope limit between neighbouring anchors, as a fraction
+/// of the segment span (numerator/denominator = 1/2 → |drift| ≤ 50%).
+/// Keeping the downward slope above −1 guarantees corrected per-rank
+/// timestamps stay monotone, which `validate_records` requires.
+const SLOPE_LIMIT_NUM: i64 = 1;
+const SLOPE_LIMIT_DEN: i64 = 2;
+
+/// Solve per-rank offset anchors for `segs` uniform segments spanning
+/// `[t0, t1]`. Returns the per-rank tracks and whether the raise-only
+/// relaxation converged (an unconverged system still yields the best
+/// monotonicity-safe track found).
+fn solve_piecewise(
+    pairs: &[CausalPair],
+    t0: u64,
+    t1: u64,
+    segs: usize,
+) -> (BTreeMap<u32, OffsetTrack>, bool) {
+    let span = ((t1 - t0).max(1)).div_ceil(segs as u64).max(1);
+    let limit = ((span as i64) * SLOPE_LIMIT_NUM / SLOPE_LIMIT_DEN).max(1);
+    let ranks: BTreeSet<u32> = pairs
+        .iter()
+        .flat_map(|p| [p.send_rank, p.recv_rank])
+        .collect();
+    let idx: BTreeMap<u32, usize> = ranks.iter().copied().zip(0..).collect();
+    let anchors_per_rank = segs + 1;
+    let node = |rank: u32, k: usize| idx[&rank] * anchors_per_rank + k;
+    let anchor_lo = |ts: u64| (((ts.max(t0) - t0) / span) as usize).min(segs);
+
+    // Difference constraints `val[to] - val[from] >= lb`, tightest lower
+    // bound per node pair. A causal edge constrains *both* anchors
+    // surrounding each endpoint, so the interpolated offsets are
+    // guaranteed to satisfy it once the anchors do.
+    let mut cons: HashMap<(usize, usize), i64> = HashMap::new();
+    let mut add = |from: usize, to: usize, lb: i64| {
+        let slot = cons.entry((from, to)).or_insert(lb);
+        if lb > *slot {
+            *slot = lb;
+        }
+    };
+    for p in pairs {
+        let lb = p.send_ts as i64 - p.recv_ts as i64;
+        let si = anchor_lo(p.send_ts);
+        let ri = anchor_lo(p.recv_ts);
+        for s_k in [si, (si + 1).min(segs)] {
+            for r_k in [ri, (ri + 1).min(segs)] {
+                add(node(p.send_rank, s_k), node(p.recv_rank, r_k), lb);
+            }
+        }
+    }
+    // Intra-rank continuity: each anchor may sit at most `limit` below
+    // its neighbour in either direction. Propagates corrections into
+    // quiet segments and bounds the interpolation slope.
+    for &r in &ranks {
+        for k in 0..segs {
+            add(node(r, k), node(r, k + 1), -limit);
+            add(node(r, k + 1), node(r, k), -limit);
+        }
+    }
+
+    let n_nodes = ranks.len() * anchors_per_rank;
+    let mut val = vec![0i64; n_nodes];
+    let mut converged = false;
+    for _ in 0..n_nodes + 1 {
+        let mut changed = false;
+        for (&(from, to), &lb) in &cons {
+            let want = val[from].saturating_add(lb);
+            if val[to] < want {
+                val[to] = want;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    let mut track = BTreeMap::new();
+    for &r in &ranks {
+        let mut anchors: Vec<i64> = (0..anchors_per_rank).map(|k| val[node(r, k)]).collect();
+        // Monotonicity backstop for the unconverged case: re-impose the
+        // downward slope limit by raising, so corrected per-rank time
+        // never runs backwards even when the system was infeasible.
+        for k in 0..segs {
+            let floor = anchors[k] - limit;
+            if anchors[k + 1] < floor {
+                anchors[k + 1] = floor;
+            }
+        }
+        track.insert(
+            r,
+            OffsetTrack {
+                start_ns: t0,
+                seg_ns: span,
+                anchors,
+            },
+        );
+    }
+    (track, converged)
+}
+
+fn inversions_with_track(pairs: &[CausalPair], track: &BTreeMap<u32, OffsetTrack>) -> usize {
+    let off = |rank: u32, ts: u64| track.get(&rank).map_or(0, |t| t.offset_at(ts));
+    pairs
+        .iter()
+        .filter(|p| {
+            let s = p.send_ts as i64 + off(p.send_rank, p.send_ts);
+            let r = p.recv_ts as i64 + off(p.recv_rank, p.recv_ts);
+            r < s
+        })
+        .count()
+}
+
+/// Drift-aware skew estimation: constant offsets first (the cheap,
+/// byte-stable path that covers pure skew), escalating to a
+/// piecewise-linear offset track per rank only when constants leave
+/// inversions behind. The returned estimate carries the track in
+/// `track` when one was engaged; residual inversions after the best
+/// correction mark the estimate `infeasible`.
+pub fn estimate_skew_drift(timeline: &[FlightRecord]) -> SkewEstimate {
+    let mut est = estimate_skew(timeline);
+    if est.inversions_after == 0 {
+        return est;
+    }
+    let pairs = causal_pairs(timeline);
+    let t0 = pairs.iter().map(|p| p.send_ts.min(p.recv_ts)).min();
+    let t1 = pairs.iter().map(|p| p.send_ts.max(p.recv_ts)).max();
+    let (Some(t0), Some(t1)) = (t0, t1) else {
+        return est;
+    };
+    let mut best: Option<(usize, BTreeMap<u32, OffsetTrack>, usize, bool)> = None;
+    let mut segs = 2usize;
+    while segs <= MAX_SEGMENTS {
+        let (track, converged) = solve_piecewise(&pairs, t0, t1.max(t0 + 1), segs);
+        let inv = inversions_with_track(&pairs, &track);
+        // Fewer residuals wins; on a tie a *converged* (feasible) solve
+        // beats one the monotonicity backstop had to rescue.
+        let better = best.as_ref().is_none_or(|&(_, _, b_inv, b_conv)| {
+            inv < b_inv || (inv == b_inv && converged && !b_conv)
+        });
+        if better {
+            best = Some((segs, track, inv, converged));
+        }
+        if inv == 0 && converged {
+            break;
+        }
+        segs *= 2;
+    }
+    if let Some((segments, track, inv_after, converged)) = best {
+        if inv_after < est.inversions_after {
+            est.offsets = track
+                .iter()
+                .map(|(&r, t)| (r, t.offset_at(t.start_ns)))
+                .collect();
+            for &r in &est.unconstrained {
+                est.offsets.entry(r).or_insert(0);
+            }
+            est.track = track;
+            est.segments = segments;
+            est.inversions_after = inv_after;
+            est.infeasible = inv_after > 0 || !converged;
+        }
+    }
+    est
+}
+
+/// Apply piecewise offset tracks to a timeline in place. The solver's
+/// slope limit keeps corrected per-rank timestamps monotone; callers
+/// re-sort by the merge key afterwards.
+pub fn apply_track(timeline: &mut [FlightRecord], track: &BTreeMap<u32, OffsetTrack>) {
+    if track.is_empty() {
+        return;
+    }
+    for rec in timeline.iter_mut() {
+        if let Some(t) = track.get(&rec.rank) {
+            rec.ts_ns = (rec.ts_ns as i64)
+                .saturating_add(t.offset_at(rec.ts_ns))
+                .max(0) as u64;
+        }
     }
 }
 
@@ -346,6 +716,141 @@ mod tests {
         let est = estimate_skew(&tl);
         assert_eq!(est.edges, 0);
         assert!(!est.is_correction());
+    }
+
+    #[test]
+    fn track_interpolates_between_anchors() {
+        let t = OffsetTrack {
+            start_ns: 1_000,
+            seg_ns: 100,
+            anchors: vec![0, 1_000, 1_000],
+        };
+        assert_eq!(t.offset_at(0), 0); // before start: first anchor
+        assert_eq!(t.offset_at(1_000), 0);
+        assert_eq!(t.offset_at(1_050), 500); // midway up the first segment
+        assert_eq!(t.offset_at(1_100), 1_000);
+        assert_eq!(t.offset_at(1_150), 1_000);
+        assert_eq!(t.offset_at(9_999), 1_000); // past the end: last anchor
+        assert_eq!(t.drift_ppb(), 1_000 * 1_000_000_000 / 200);
+        let empty = OffsetTrack::default();
+        assert_eq!(empty.offset_at(123), 0);
+        assert_eq!(empty.drift_ppb(), 0);
+    }
+
+    #[test]
+    fn unconstrained_rank_gets_explicit_zero_and_flag() {
+        let tl = vec![
+            rec(0, 1, 100, send(1, 1)),
+            rec(1, 1, 250, deliver(0, 1, 1)),
+            // Rank 5 only does local work — no cross-rank evidence.
+            rec(5, 1, 400, ProtoEvent::Finish { clock: 1 }),
+        ];
+        let est = estimate_skew(&tl);
+        assert_eq!(est.offsets.get(&5), Some(&0));
+        assert_eq!(est.unconstrained, vec![5]);
+        assert!(est.summary().contains("UNCONSTRAINED"));
+        // The explicit zero never leaks into the non-zero header list.
+        assert!(est.header_offsets().is_empty());
+        let drift = estimate_skew_drift(&tl);
+        assert_eq!(drift.unconstrained, vec![5]);
+    }
+
+    /// Synthetic bidirectional ping-pong where rank 1's clock runs slow
+    /// by `drift` (a rate, not an offset). True event times step by
+    /// 1ms; wire latency is a fixed 100µs.
+    fn drifting_timeline(iters: u64, drift_num: u64, drift_den: u64) -> Vec<FlightRecord> {
+        let slow = |t: u64| t - t * drift_num / drift_den;
+        let mut tl = Vec::new();
+        let delta = 100_000u64; // 100µs latency
+        for i in 0..iters {
+            let t = 1_000_000 + i * 1_000_000;
+            // 0 -> 1: send stamped true, delivery stamped by the slow clock.
+            tl.push(rec(0, 2 * i + 1, t, send(1, 2 * i + 1)));
+            tl.push(rec(
+                1,
+                2 * i + 1,
+                slow(t + delta),
+                deliver(0, 2 * i + 1, 2 * i + 1),
+            ));
+            // 1 -> 0: send stamped slow, delivery stamped true.
+            let t2 = t + 500_000;
+            tl.push(rec(1, 2 * i + 2, slow(t2), send(0, 2 * i + 2)));
+            tl.push(rec(
+                0,
+                2 * i + 2,
+                t2 + delta,
+                deliver(1, 2 * i + 2, 2 * i + 2),
+            ));
+        }
+        tl
+    }
+
+    #[test]
+    fn constant_offsets_cannot_fix_drift_but_piecewise_can() {
+        // 2% drift over 200ms: end-of-run error ≈ 4ms, far above the
+        // 100µs latency floor, so the raw timeline inverts and the best
+        // constant offset still leaves inversions at one end.
+        let tl = drifting_timeline(200, 2, 100);
+        let constant = estimate_skew(&tl);
+        assert!(constant.inversions_before >= 1, "{constant:?}");
+        assert!(
+            constant.inversions_after > 0,
+            "a constant offset should not be able to explain drift: {constant:?}"
+        );
+        assert!(constant.infeasible);
+        assert!(constant.summary().contains("WARNING"));
+
+        let est = estimate_skew_drift(&tl);
+        assert_eq!(est.inversions_after, 0, "{}", est.summary());
+        assert!(!est.infeasible);
+        assert!(!est.track.is_empty());
+        assert!(est.segments >= 2);
+        assert!(est.is_correction());
+        // The drifting rank's track must climb: its recorded clock runs
+        // slow, so late timestamps need a larger correction.
+        let t1 = &est.track[&1];
+        assert!(
+            *t1.anchors.last().unwrap() > t1.anchors[0],
+            "track should rise: {t1:?}"
+        );
+        assert!(
+            t1.drift_ppb() > 1_000_000,
+            "≈2% drift, got {}",
+            t1.drift_ppb()
+        );
+        // Applying the track heals the timeline.
+        let mut corrected = tl.clone();
+        apply_track(&mut corrected, &est.track);
+        assert_eq!(count_inversions(&corrected), 0);
+        // ... without ever running any rank's clock backwards.
+        let mut last: BTreeMap<u32, u64> = BTreeMap::new();
+        for r in &corrected {
+            let prev = last.insert(r.rank, r.ts_ns).unwrap_or(0);
+            assert!(r.ts_ns >= prev, "rank {} time ran backwards", r.rank);
+        }
+        // Header form carries the track, not stale constant offsets.
+        assert!(est.header_offsets().is_empty());
+        let hdr = est.header_track();
+        assert!(hdr.iter().any(|t| t.rank == 1));
+        assert!(est.summary().contains("drift-corrected"));
+    }
+
+    #[test]
+    fn pure_skew_still_solves_with_constant_offsets_under_drift_api() {
+        // A constant 5ms lag must not engage the piecewise machinery:
+        // same offsets, empty track, byte-stable header.
+        let tl = vec![
+            rec(0, 1, 5_000_000, send(1, 1)),
+            rec(1, 1, 100_000, deliver(0, 1, 1)),
+            rec(0, 2, 5_200_000, send(1, 2)),
+            rec(1, 2, 300_000, deliver(0, 2, 2)),
+        ];
+        let est = estimate_skew_drift(&tl);
+        assert_eq!(est.inversions_after, 0);
+        assert!(est.track.is_empty());
+        assert_eq!(est.segments, 1);
+        assert_eq!(est.offsets[&1], 4_900_000);
+        assert_eq!(est, estimate_skew(&tl));
     }
 
     #[test]

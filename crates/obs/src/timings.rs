@@ -32,6 +32,26 @@ impl ProtocolTimings {
         self.replay.merge(&other.replay);
     }
 
+    /// The window of samples recorded since `earlier` was snapshotted:
+    /// interval-wise [`LogHistogram::diff`]. The windowed-metrics ring
+    /// is built on this.
+    pub fn diff(&self, earlier: &ProtocolTimings) -> ProtocolTimings {
+        ProtocolTimings {
+            gate_wait: self.gate_wait.diff(&earlier.gate_wait),
+            el_ack_rtt: self.el_ack_rtt.diff(&earlier.el_ack_rtt),
+            ckpt_store: self.ckpt_store.diff(&earlier.ckpt_store),
+            replay: self.replay.diff(&earlier.replay),
+        }
+    }
+
+    /// Total samples across all four intervals.
+    pub fn total_count(&self) -> u64 {
+        self.gate_wait.count()
+            + self.el_ack_rtt.count()
+            + self.ckpt_store.count()
+            + self.replay.count()
+    }
+
     /// Compact all-integer summaries for status messages and JSON.
     pub fn summary(&self) -> TimingSummary {
         TimingSummary {
@@ -74,5 +94,26 @@ mod tests {
         assert_eq!(s.gate_wait.sum, 400);
         assert_eq!(s.replay.count, 1);
         assert_eq!(s.el_ack_rtt.count, 0);
+    }
+
+    #[test]
+    fn diff_isolates_the_window() {
+        let mut t = ProtocolTimings::new();
+        t.gate_wait.record(100);
+        t.el_ack_rtt.record(5_000);
+        let snap = t.clone();
+        t.gate_wait.record(900);
+        t.replay.record(77_000);
+        let w = t.diff(&snap);
+        assert_eq!(w.gate_wait.count(), 1);
+        assert_eq!(w.gate_wait.sum(), 900);
+        assert_eq!(w.el_ack_rtt.count(), 0);
+        assert_eq!(w.replay.count(), 1);
+        assert_eq!(w.total_count(), 2);
+        // Merging the window back onto the snapshot restores cumulative.
+        let mut rebuilt = snap.clone();
+        rebuilt.merge(&w);
+        assert_eq!(rebuilt.summary().gate_wait.count, 2);
+        assert_eq!(rebuilt.summary().gate_wait.sum, 1000);
     }
 }

@@ -31,8 +31,9 @@ use mvr_core::{BatchPolicy, ElAddr, Metrics, NodeId, Payload, Rank};
 use mvr_eventlog::{EventLogStore, ShardMap};
 use mvr_net::{Fabric, Mailbox, TurbulenceConfig};
 use mvr_obs::{
-    HealthServer, InvariantMonitor, LogHistogram, ProtoEvent, ProtocolTimings, Recorder,
-    RecorderConfig, RecorderHub, Violation, DISPATCHER_RANK,
+    timing_families, window_families, HealthServer, InvariantMonitor, LogHistogram, PromPage,
+    ProtoEvent, ProtocolTimings, Recorder, RecorderConfig, RecorderHub, Violation, WindowRing,
+    DISPATCHER_RANK,
 };
 use parking_lot::Mutex;
 use std::path::PathBuf;
@@ -301,6 +302,10 @@ pub struct Cluster {
     monitor: Option<Arc<InvariantMonitor>>,
     /// Live health endpoint, when enabled.
     health: Option<HealthServer>,
+    /// Ring of recent metrics windows over the merged interval
+    /// histograms, published on the health page next to the cumulative
+    /// families.
+    windows: WindowRing,
 }
 
 impl Cluster {
@@ -423,6 +428,7 @@ impl Cluster {
             el_stores,
             monitor,
             health,
+            windows: WindowRing::with_defaults(0),
         }
     }
 
@@ -815,46 +821,94 @@ impl Cluster {
 
     /// Render the Prometheus-style text health page: run state, restart
     /// budget, per-rank liveness/incarnations, EL counters, monitor
-    /// progress and the merged protocol latency histograms.
-    fn render_health(&self, finished: &[bool], attempts: &[u32], running: bool) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::with_capacity(1024);
-        let _ = writeln!(out, "# mpich-v2 runtime live health");
-        let _ = writeln!(out, "mvr_up {}", if running { 1 } else { 0 });
-        let _ = writeln!(out, "mvr_world {}", self.cfg.world);
-        let _ = writeln!(out, "mvr_restarts_total {}", self.restarts);
-        let _ = writeln!(out, "mvr_service_restarts_total {}", self.service_restarts);
+    /// progress and the merged protocol latency histograms — cumulative
+    /// and windowed (the ring of recent windows plus the in-progress
+    /// one). Every family carries `# HELP`/`# TYPE` via [`PromPage`],
+    /// the formatter shared with the multi-process supervisor's page.
+    fn render_health(&mut self, finished: &[bool], attempts: &[u32], running: bool) -> String {
+        let mut page = PromPage::new("mpich-v2 runtime live health");
+        page.sample(
+            "mvr_up",
+            "gauge",
+            "1 while the deployment is running, 0 once it has finished.",
+            "",
+            if running { 1 } else { 0 },
+        );
+        page.sample(
+            "mvr_world",
+            "gauge",
+            "Number of computing ranks in the deployment.",
+            "",
+            self.cfg.world,
+        );
+        page.sample(
+            "mvr_restarts_total",
+            "counter",
+            "Computing-rank restarts performed since boot.",
+            "",
+            self.restarts,
+        );
+        page.sample(
+            "mvr_service_restarts_total",
+            "counter",
+            "Service-node (EL/CS) restarts performed since boot.",
+            "",
+            self.service_restarts,
+        );
         // Lock-free (atomic depth counter): safe to sample every tick.
-        let _ = writeln!(out, "mvr_dispatcher_mailbox_depth {}", self.disp_mb.len());
-        let _ = writeln!(
-            out,
-            "mvr_restart_budget_per_rank {}",
-            self.cfg.max_rank_restarts
+        page.sample(
+            "mvr_dispatcher_mailbox_depth",
+            "gauge",
+            "Messages waiting in the dispatcher mailbox.",
+            "",
+            self.disp_mb.len(),
+        );
+        page.sample(
+            "mvr_restart_budget_per_rank",
+            "gauge",
+            "Maximum restarts allowed per rank before the run fails.",
+            "",
+            self.cfg.max_rank_restarts,
         );
         for (r, (&fin, &att)) in finished.iter().zip(attempts).enumerate() {
             let alive = self.fabric.is_alive(NodeId::Computing(Rank(r as u32)));
-            let _ = writeln!(
-                out,
-                "mvr_rank_alive{{rank=\"{r}\"}} {}",
-                if alive { 1 } else { 0 }
+            let l = format!("rank=\"{r}\"");
+            page.sample(
+                "mvr_rank_alive",
+                "gauge",
+                "1 while the rank's current incarnation is live.",
+                &l,
+                if alive { 1 } else { 0 },
             );
-            let _ = writeln!(
-                out,
-                "mvr_rank_finished{{rank=\"{r}\"}} {}",
-                if fin { 1 } else { 0 }
+            page.sample(
+                "mvr_rank_finished",
+                "gauge",
+                "1 once the rank has returned its result.",
+                &l,
+                if fin { 1 } else { 0 },
             );
-            let _ = writeln!(out, "mvr_rank_incarnations{{rank=\"{r}\"}} {att}");
-            let _ = writeln!(
-                out,
-                "mvr_rank_restart_budget_remaining{{rank=\"{r}\"}} {}",
-                self.cfg.max_rank_restarts.saturating_sub(att)
+            page.sample(
+                "mvr_rank_incarnations",
+                "counter",
+                "Incarnations launched for the rank.",
+                &l,
+                att,
+            );
+            page.sample(
+                "mvr_rank_restart_budget_remaining",
+                "gauge",
+                "Restarts left in the rank's budget.",
+                &l,
+                self.cfg.max_rank_restarts.saturating_sub(att),
             );
         }
         for (i, c) in self.el_events_ever.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "mvr_el_events_total{{el=\"{i}\"}} {}",
-                c.load(std::sync::atomic::Ordering::Relaxed)
+            page.sample(
+                "mvr_el_events_total",
+                "counter",
+                "Unique events held by the event-logger replica's ledger.",
+                &format!("el=\"{i}\""),
+                c.load(std::sync::atomic::Ordering::Relaxed),
             );
         }
         // Per-shard merged view: a shard's unique-event count is the max
@@ -868,10 +922,12 @@ impl Cluster {
                 .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
                 .collect();
             for (shard, chunk) in per_replica.chunks(replicas).enumerate() {
-                let _ = writeln!(
-                    out,
-                    "mvr_el_shard_unique_events{{shard=\"{shard}\"}} {}",
-                    chunk.iter().copied().max().unwrap_or(0)
+                page.sample(
+                    "mvr_el_shard_unique_events",
+                    "counter",
+                    "Unique events a read quorum of the shard would reconstruct (max across replicas).",
+                    &format!("shard=\"{shard}\""),
+                    chunk.iter().copied().max().unwrap_or(0),
                 );
             }
             // Per-shard ack RTT: fold each rank's ack-RTT histogram into
@@ -886,50 +942,78 @@ impl Cluster {
             }
             for (shard, h) in per_shard.iter().enumerate() {
                 let s = h.summary();
-                let _ = writeln!(
-                    out,
-                    "mvr_el_shard_ack_rtt_count{{shard=\"{shard}\"}} {}",
-                    s.count
+                let l = format!("shard=\"{shard}\"");
+                page.sample(
+                    "mvr_el_shard_ack_rtt_count",
+                    "counter",
+                    "Ack-RTT samples folded into the shard.",
+                    &l,
+                    s.count,
                 );
-                let _ = writeln!(
-                    out,
-                    "mvr_el_shard_ack_rtt_p99_ns{{shard=\"{shard}\"}} {}",
-                    s.p99
+                page.sample(
+                    "mvr_el_shard_ack_rtt_p99_ns",
+                    "gauge",
+                    "99th-percentile event-log ack RTT (ns) for the shard.",
+                    &l,
+                    s.p99,
                 );
             }
         }
         match &self.monitor {
             Some(m) => {
-                let _ = writeln!(out, "mvr_monitor_enabled 1");
-                let _ = writeln!(out, "mvr_monitor_records_total {}", m.records_seen());
-                let _ = writeln!(
-                    out,
-                    "mvr_monitor_violations {}",
-                    if m.violation().is_some() { 1 } else { 0 }
+                page.sample(
+                    "mvr_monitor_enabled",
+                    "gauge",
+                    "1 when the online invariant monitor is attached.",
+                    "",
+                    1,
+                );
+                page.sample(
+                    "mvr_monitor_records_total",
+                    "counter",
+                    "Flight records the invariant monitor has consumed.",
+                    "",
+                    m.records_seen(),
+                );
+                page.sample(
+                    "mvr_monitor_violations",
+                    "gauge",
+                    "1 once the monitor has caught an invariant violation.",
+                    "",
+                    if m.violation().is_some() { 1 } else { 0 },
                 );
             }
             None => {
-                let _ = writeln!(out, "mvr_monitor_enabled 0");
+                page.sample(
+                    "mvr_monitor_enabled",
+                    "gauge",
+                    "1 when the online invariant monitor is attached.",
+                    "",
+                    0,
+                );
             }
         }
         let mut timings = ProtocolTimings::new();
         for t in self.final_timings.iter().flatten() {
             timings.merge(t);
         }
-        for (name, h) in [
-            ("gate_wait", &timings.gate_wait),
-            ("el_ack_rtt", &timings.el_ack_rtt),
-            ("ckpt_store", &timings.ckpt_store),
-            ("replay", &timings.replay),
-        ] {
-            let s = h.summary();
-            let _ = writeln!(out, "mvr_timing_count{{interval=\"{name}\"}} {}", s.count);
-            let _ = writeln!(out, "mvr_timing_sum_ns{{interval=\"{name}\"}} {}", s.sum);
-            let _ = writeln!(out, "mvr_timing_p50_ns{{interval=\"{name}\"}} {}", s.p50);
-            let _ = writeln!(out, "mvr_timing_p99_ns{{interval=\"{name}\"}} {}", s.p99);
-            let _ = writeln!(out, "mvr_timing_max_ns{{interval=\"{name}\"}} {}", s.max);
-        }
-        out
+        // Windowed view: advance the ring on the dispatcher's shared
+        // epoch clock, then publish the retained windows next to the
+        // cumulative families.
+        self.windows.advance(self.disp_rec.now_ns(), &timings);
+        timing_families(
+            &mut page,
+            &[
+                ("gate_wait", &timings.gate_wait),
+                ("el_ack_rtt", &timings.el_ack_rtt),
+                ("ckpt_store", &timings.ckpt_store),
+                ("replay", &timings.replay),
+            ],
+        );
+        let closed: Vec<_> = self.windows.closed().collect();
+        let current = self.windows.current(self.disp_rec.now_ns(), &timings);
+        window_families(&mut page, &closed, &current);
+        page.finish()
     }
 
     fn respawn(&mut self, rank: Rank) {

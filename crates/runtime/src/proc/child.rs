@@ -20,7 +20,7 @@ use mvr_core::{ElAddr, NodeId, Rank};
 use mvr_net::{Fabric, TcpConfig, TcpTransport, Transport};
 use mvr_obs::{
     epoch_from_unix_ns, JsonlStreamSink, ProtoEvent, RecordSink, RecorderConfig, RecorderHub,
-    SendDisposition, TeeSink, TelemetrySink, TelemetrySnapshot,
+    RotateConfig, SendDisposition, TeeSink, TelemetrySink, TelemetrySnapshot,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,6 +72,16 @@ pub const ENV_INJECT_VIOLATION: &str = "MVR_PROC_INJECT_VIOLATION";
 /// Flush cadence of the durable JSONL stream (default 1: one
 /// `write(2)` per record, the SIGKILL-durable setting).
 pub const ENV_STREAM_FLUSH_EVERY: &str = "MVR_PROC_STREAM_FLUSH_EVERY";
+/// Signed clock-drift rate in parts-per-billion applied to this
+/// child's recorder clock — injected oscillator error for testing the
+/// drift-aware (piecewise) skew correction on the merge path.
+pub const ENV_DRIFT_PPB: &str = "MVR_PROC_DRIFT_PPB";
+/// Rotate the durable JSONL stream after this many records per
+/// segment (0 / unset = never).
+pub const ENV_ROTATE_RECORDS: &str = "MVR_PROC_ROTATE_RECORDS";
+/// Rotate the durable JSONL stream once a segment exceeds this many
+/// bytes (0 / unset = never).
+pub const ENV_ROTATE_BYTES: &str = "MVR_PROC_ROTATE_BYTES";
 
 /// Staging capacity of the live telemetry buffer between drains.
 const TELEMETRY_CAPACITY: usize = 8192;
@@ -144,8 +154,11 @@ struct ChildEnv {
     restart: bool,
     epoch_ns: u64,
     epoch_skew_ns: i64,
+    drift_ppb: i64,
     inject_violation: bool,
     stream_flush_every: u32,
+    rotate_records: u64,
+    rotate_bytes: u64,
     obs_dir: Option<String>,
 }
 
@@ -178,8 +191,11 @@ fn child_env() -> ChildEnv {
         epoch_skew_ns: env(ENV_EPOCH_SKEW_NS)
             .and_then(|v| v.parse().ok())
             .unwrap_or(0),
+        drift_ppb: env(ENV_DRIFT_PPB).and_then(|v| v.parse().ok()).unwrap_or(0),
         inject_violation: env(ENV_INJECT_VIOLATION).as_deref() == Some("1"),
         stream_flush_every: env_u64(ENV_STREAM_FLUSH_EVERY, 1).max(1) as u32,
+        rotate_records: env_u64(ENV_ROTATE_RECORDS, 0),
+        rotate_bytes: env_u64(ENV_ROTATE_BYTES, 0),
         obs_dir: env(ENV_OBS),
     }
 }
@@ -312,6 +328,7 @@ fn run_rank(rank: Rank, parent: &str, make_app: &dyn Fn(&str) -> Option<Arc<dyn 
     let rec_config = RecorderConfig {
         enabled: ce.obs_dir.is_some(),
         stream_flush_every: ce.stream_flush_every,
+        clock_drift_ppb: ce.drift_ppb,
         ..Default::default()
     };
     let hub = RecorderHub::with_epoch(rec_config, epoch_from_unix_ns(ce.local_epoch_ns()));
@@ -320,9 +337,17 @@ fn run_rank(rank: Rank, parent: &str, make_app: &dyn Fn(&str) -> Option<Arc<dyn 
         let tel = Arc::new(TelemetrySink::new(TELEMETRY_CAPACITY));
         let path = format!("{dir}/cn{}-i{}.jsonl", rank.0, ce.incarnation);
         let mut sinks: Vec<Arc<dyn RecordSink>> = vec![tel.clone()];
-        if let Ok(sink) = JsonlStreamSink::with_flush_every(
+        // Long-horizon runs rotate the durable stream into bounded
+        // segments (indexed in a sidecar, merged like any input);
+        // with both thresholds 0 this is exactly the single-file path.
+        let rotate = RotateConfig {
+            max_records: ce.rotate_records,
+            max_bytes: ce.rotate_bytes,
+        };
+        if let Ok(sink) = JsonlStreamSink::with_rotation(
             std::path::Path::new(&path),
             rec_config.stream_flush_every,
+            rotate,
         ) {
             sinks.push(Arc::new(sink));
         }

@@ -18,9 +18,9 @@
 //! over sockets.
 
 use super::child::{
-    transport_config, ENV_APP, ENV_EPOCH_NS, ENV_EPOCH_SKEW_NS, ENV_FAIL_AFTER_MS, ENV_INCARNATION,
-    ENV_INJECT_VIOLATION, ENV_OBS, ENV_PARENT, ENV_REPLICAS, ENV_RESTART, ENV_ROLE, ENV_SHARDS,
-    ENV_STREAM_FLUSH_EVERY, ENV_WORLD,
+    transport_config, ENV_APP, ENV_DRIFT_PPB, ENV_EPOCH_NS, ENV_EPOCH_SKEW_NS, ENV_FAIL_AFTER_MS,
+    ENV_INCARNATION, ENV_INJECT_VIOLATION, ENV_OBS, ENV_PARENT, ENV_REPLICAS, ENV_RESTART,
+    ENV_ROLE, ENV_ROTATE_BYTES, ENV_ROTATE_RECORDS, ENV_SHARDS, ENV_STREAM_FLUSH_EVERY, ENV_WORLD,
 };
 use super::gateway::{Control, Gateway, GatewayRole, Topology};
 use super::sig;
@@ -30,9 +30,10 @@ use crate::services::{spawn_checkpoint_scheduler, SchedulerConfig};
 use mvr_core::{Metrics, NodeId, Payload, Rank};
 use mvr_net::{Fabric, TcpTransport, Transport};
 use mvr_obs::{
-    merge_dump_files, unix_now_ns, HealthServer, InvariantMonitor, JsonlStreamSink, LogHistogram,
-    MergeSummary, ProtoEvent, ProtocolTimings, Recorder, RecorderConfig, RecorderHub,
-    TelemetrySnapshot, Violation, DISPATCHER_RANK,
+    merge_dump_files, timing_families, unix_now_ns, window_families, HealthServer,
+    InvariantMonitor, JsonlStreamSink, LogHistogram, MergeSummary, PromPage, ProtoEvent,
+    ProtocolTimings, Recorder, RecorderConfig, RecorderHub, TelemetrySnapshot, Violation,
+    WindowRing, DISPATCHER_RANK,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -82,6 +83,19 @@ pub struct ProcOptions {
     /// Per-rank recorder-epoch shifts in nanoseconds — injected clock
     /// skew for exercising the skew-corrected merge.
     pub epoch_skew: Vec<(Rank, i64)>,
+    /// Per-rank injected clock-drift rates in parts-per-billion — the
+    /// rank's recorder clock runs fast (positive) or slow (negative)
+    /// by this much, exercising the drift-aware piecewise merge
+    /// correction the way a real bad oscillator would.
+    pub epoch_drift: Vec<(Rank, i64)>,
+    /// Rotate children's durable JSONL streams after this many records
+    /// per segment (0 = never). Closed segments are indexed in a
+    /// `*.segments.json` sidecar and consumed by the merge like any
+    /// other input.
+    pub rotate_records: u64,
+    /// Rotate children's durable JSONL streams once a segment exceeds
+    /// this many bytes (0 = never).
+    pub rotate_bytes: u64,
     /// Make this rank record a deliberate pessimism-gate violation at
     /// startup (live-monitor end-to-end probe).
     pub inject_violation: Option<Rank>,
@@ -118,6 +132,9 @@ impl ProcOptions {
             health_addr_file: None,
             monitor: true,
             epoch_skew: Vec::new(),
+            epoch_drift: Vec::new(),
+            rotate_records: 0,
+            rotate_bytes: 0,
             inject_violation: None,
             stream_flush_every: 1,
             fail_after: None,
@@ -252,6 +269,10 @@ struct Supervisor {
     /// name; the incarnation guards against a late frame from a
     /// superseded process overwriting its replacement's counters.
     telemetry: HashMap<String, (u64, TelemetrySnapshot)>,
+    /// Ring of recent metrics windows over the aggregated child
+    /// interval histograms, published on the health page next to the
+    /// cumulative families.
+    windows: WindowRing,
     shutting_down: bool,
 }
 
@@ -330,6 +351,7 @@ impl Supervisor {
             health,
             monitor: opts.monitor.then(InvariantMonitor::new),
             telemetry: HashMap::new(),
+            windows: WindowRing::with_defaults(0),
             shutting_down: false,
         };
 
@@ -388,9 +410,18 @@ impl Supervisor {
         if opts.stream_flush_every > 1 {
             cmd.env(ENV_STREAM_FLUSH_EVERY, opts.stream_flush_every.to_string());
         }
+        if opts.rotate_records > 0 {
+            cmd.env(ENV_ROTATE_RECORDS, opts.rotate_records.to_string());
+        }
+        if opts.rotate_bytes > 0 {
+            cmd.env(ENV_ROTATE_BYTES, opts.rotate_bytes.to_string());
+        }
         if let NodeId::Computing(r) = node {
             if let Some((_, skew)) = opts.epoch_skew.iter().find(|(sr, _)| *sr == r) {
                 cmd.env(ENV_EPOCH_SKEW_NS, skew.to_string());
+            }
+            if let Some((_, ppb)) = opts.epoch_drift.iter().find(|(dr, _)| *dr == r) {
+                cmd.env(ENV_DRIFT_PPB, ppb.to_string());
             }
             if opts.inject_violation == Some(r) {
                 cmd.env(ENV_INJECT_VIOLATION, "1");
@@ -842,68 +873,127 @@ impl Supervisor {
         ProcError::InvariantViolated(v)
     }
 
-    fn publish_health(&self, opts: &ProcOptions, start: Instant) {
-        let Some(h) = &self.health else { return };
-        let mut page = String::new();
-        page.push_str(&format!(
-            "# mvr multi-process deployment, up {:?}\nmvr_up 1\n",
+    fn publish_health(&mut self, opts: &ProcOptions, start: Instant) {
+        if self.health.is_none() {
+            return;
+        }
+        let mut page = PromPage::new(&format!(
+            "mvr multi-process deployment, up {:?}",
             start.elapsed()
         ));
-        page.push_str(&format!(
-            "mvr_proc_results {}\nmvr_proc_restarts {}\nmvr_proc_service_restarts {}\nmvr_proc_detections {}\n",
+        page.sample(
+            "mvr_up",
+            "gauge",
+            "1 while the deployment is running, 0 once it has finished.",
+            "",
+            1,
+        );
+        page.sample(
+            "mvr_proc_results",
+            "gauge",
+            "Computing ranks that have returned their result.",
+            "",
             self.results.iter().filter(|r| r.is_some()).count(),
+        );
+        page.sample(
+            "mvr_proc_restarts",
+            "counter",
+            "Computing-rank child restarts performed since boot.",
+            "",
             self.restarts,
+        );
+        page.sample(
+            "mvr_proc_service_restarts",
+            "counter",
+            "Service-node (EL/CS) child restarts performed since boot.",
+            "",
             self.service_restarts,
+        );
+        page.sample(
+            "mvr_proc_detections",
+            "counter",
+            "Child-failure detections recorded since boot.",
+            "",
             self.detections.len(),
-        ));
+        );
         let mut nodes: Vec<&NodeId> = self.slots.keys().collect();
         nodes.sort();
         for node in &nodes {
             let s = &self.slots[*node];
-            page.push_str(&format!(
-                "mvr_proc_child{{node=\"{node}\",incarnation=\"{}\"}} {}\n",
-                s.incarnation,
+            page.sample(
+                "mvr_proc_child",
+                "gauge",
+                "1 while the node's child process is spawned and connected.",
+                &format!("node=\"{node}\",incarnation=\"{}\"", s.incarnation),
                 if s.child.is_some() && s.addr.is_some() {
                     1
                 } else {
                     0
-                }
-            ));
+                },
+            );
         }
         // Dispatcher-parity per-rank series (same names the in-process
         // health page exports, so dashboards work on either backend).
         for node in &nodes {
             if let NodeId::Computing(r) = node {
                 let s = &self.slots[*node];
-                page.push_str(&format!(
-                    "mvr_rank_alive{{rank=\"{}\"}} {}\n",
-                    r.0,
+                let l = format!("rank=\"{}\"", r.0);
+                page.sample(
+                    "mvr_rank_alive",
+                    "gauge",
+                    "1 while the rank's current incarnation is live.",
+                    &l,
                     if s.child.is_some() && s.addr.is_some() {
                         1
                     } else {
                         0
-                    }
-                ));
-                page.push_str(&format!(
-                    "mvr_rank_incarnations{{rank=\"{}\"}} {}\n",
-                    r.0, s.incarnation
-                ));
+                    },
+                );
+                page.sample(
+                    "mvr_rank_incarnations",
+                    "counter",
+                    "Incarnations launched for the rank.",
+                    &l,
+                    s.incarnation,
+                );
             }
         }
         match &self.monitor {
             Some(m) => {
-                page.push_str("mvr_monitor_enabled 1\n");
-                page.push_str(&format!("mvr_monitor_records_total {}\n", m.records_seen()));
-                page.push_str(&format!(
-                    "mvr_monitor_violations {}\n",
-                    if m.violation().is_some() { 1 } else { 0 }
-                ));
+                page.sample(
+                    "mvr_monitor_enabled",
+                    "gauge",
+                    "1 when the online invariant monitor is attached.",
+                    "",
+                    1,
+                );
+                page.sample(
+                    "mvr_monitor_records_total",
+                    "counter",
+                    "Flight records the invariant monitor has consumed.",
+                    "",
+                    m.records_seen(),
+                );
+                page.sample(
+                    "mvr_monitor_violations",
+                    "gauge",
+                    "1 once the monitor has caught an invariant violation.",
+                    "",
+                    if m.violation().is_some() { 1 } else { 0 },
+                );
             }
-            None => page.push_str("mvr_monitor_enabled 0\n"),
+            None => page.sample(
+                "mvr_monitor_enabled",
+                "gauge",
+                "1 when the online invariant monitor is attached.",
+                "",
+                0,
+            ),
         }
         // Aggregated child telemetry: per-node liveness of the live
         // stream (record/drop counters), per-shard EL ledger progress,
-        // and the cluster-wide merged protocol-interval histograms.
+        // and the cluster-wide merged protocol-interval histograms —
+        // cumulative plus the ring of recent windows.
         let mut tel: Vec<(&String, &TelemetrySnapshot)> =
             self.telemetry.iter().map(|(n, (_, s))| (n, s)).collect();
         tel.sort_by_key(|(n, _)| n.as_str());
@@ -911,14 +1001,21 @@ impl Supervisor {
         let mut quorum_wait = LogHistogram::new();
         let mut shard_events: HashMap<u32, u64> = HashMap::new();
         for (node, snap) in &tel {
-            page.push_str(&format!(
-                "mvr_telemetry_records_total{{node=\"{node}\"}} {}\n",
-                snap.records_total
-            ));
-            page.push_str(&format!(
-                "mvr_telemetry_dropped_total{{node=\"{node}\"}} {}\n",
-                snap.dropped_total
-            ));
+            let l = format!("node=\"{node}\"");
+            page.sample(
+                "mvr_telemetry_records_total",
+                "counter",
+                "Flight records the child offered to its telemetry sink.",
+                &l,
+                snap.records_total,
+            );
+            page.sample(
+                "mvr_telemetry_dropped_total",
+                "counter",
+                "Records the child's bounded telemetry buffer dropped (live stream has holes).",
+                &l,
+                snap.dropped_total,
+            );
             if let Some(flat) = node.strip_prefix("el").and_then(|v| v.parse::<u32>().ok()) {
                 // A shard's unique-event count is the max across its
                 // replicas — each counter is monotone over the same
@@ -934,40 +1031,31 @@ impl Supervisor {
         let mut shards: Vec<(u32, u64)> = shard_events.into_iter().collect();
         shards.sort_unstable();
         for (shard, events) in shards {
-            page.push_str(&format!(
-                "mvr_el_shard_unique_events{{shard=\"{shard}\"}} {events}\n"
-            ));
+            page.sample(
+                "mvr_el_shard_unique_events",
+                "counter",
+                "Unique events a read quorum of the shard would reconstruct (max across replicas).",
+                &format!("shard=\"{shard}\""),
+                events,
+            );
         }
-        for (name, hist) in [
-            ("gate_wait", &timings.gate_wait),
-            ("el_ack_rtt", &timings.el_ack_rtt),
-            ("ckpt_store", &timings.ckpt_store),
-            ("replay", &timings.replay),
-            ("quorum_wait", &quorum_wait),
-        ] {
-            let s = hist.summary();
-            page.push_str(&format!(
-                "mvr_timing_count{{interval=\"{name}\"}} {}\n",
-                s.count
-            ));
-            page.push_str(&format!(
-                "mvr_timing_sum_ns{{interval=\"{name}\"}} {}\n",
-                s.sum
-            ));
-            page.push_str(&format!(
-                "mvr_timing_p50_ns{{interval=\"{name}\"}} {}\n",
-                s.p50
-            ));
-            page.push_str(&format!(
-                "mvr_timing_p99_ns{{interval=\"{name}\"}} {}\n",
-                s.p99
-            ));
-            page.push_str(&format!(
-                "mvr_timing_max_ns{{interval=\"{name}\"}} {}\n",
-                s.max
-            ));
+        self.windows.advance(self.recorder.now_ns(), &timings);
+        timing_families(
+            &mut page,
+            &[
+                ("gate_wait", &timings.gate_wait),
+                ("el_ack_rtt", &timings.el_ack_rtt),
+                ("ckpt_store", &timings.ckpt_store),
+                ("replay", &timings.replay),
+                ("quorum_wait", &quorum_wait),
+            ],
+        );
+        let closed: Vec<_> = self.windows.closed().collect();
+        let current = self.windows.current(self.recorder.now_ns(), &timings);
+        window_families(&mut page, &closed, &current);
+        if let Some(h) = &self.health {
+            h.publish(page.finish());
         }
-        h.publish(page);
     }
 
     /// Graceful teardown: `Shutdown` broadcast → bounded wait → SIGTERM

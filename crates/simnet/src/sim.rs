@@ -2558,6 +2558,8 @@ mod tests {
             records: timeline.len() as u64,
             dropped: hub.dropped(),
             offsets: Vec::new(),
+            track: Vec::new(),
+            unconstrained: Vec::new(),
         });
         for rec in &timeline {
             out.push_str(&mvr_obs::jsonl_line(rec));

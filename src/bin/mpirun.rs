@@ -36,7 +36,8 @@ fn usage() -> ! {
          [--pgfile <file>] [--kill <rank>@<ms>ms]... [--el-kill <flat>@<ms>ms]... \
          [--cs-kill <ms>ms]... [--el-replicas <R>] [--no-checkpoints] \
          [--timeout <secs>] [--obs-dir <dir>] [--health <addr>] \
-         [--fail-after <ms>] <app> [args...]\n\
+         [--fail-after <ms>] [--drift <rank>@<ppb>]... \
+         [--rotate-records <N>] [--rotate-bytes <N>] <app> [args...]\n\
          apps: ring [iters] | allreduce [iters] | cg [n] | stencil [n] [steps]"
     );
     std::process::exit(2);
@@ -62,6 +63,9 @@ struct Options {
     obs_dir: Option<String>,
     health: Option<String>,
     fail_after: Option<Duration>,
+    drifts: Vec<(Rank, i64)>,
+    rotate_records: u64,
+    rotate_bytes: u64,
     app: String,
     app_args: Vec<u64>,
 }
@@ -88,6 +92,9 @@ fn parse_args() -> Options {
         obs_dir: None,
         health: None,
         fail_after: None,
+        drifts: Vec::new(),
+        rotate_records: 0,
+        rotate_bytes: 0,
         app: String::new(),
         app_args: Vec::new(),
     };
@@ -158,6 +165,27 @@ fn parse_args() -> Options {
                     .and_then(|v| v.trim_end_matches("ms").parse().ok())
                     .unwrap_or_else(|| usage());
                 opt.fail_after = Some(Duration::from_millis(ms));
+            }
+            "--drift" => {
+                // rank@ppb: inject a clock-drift rate (parts per
+                // billion, may be negative) into one rank's recorder.
+                let spec = args.next().unwrap_or_else(|| usage());
+                let (rank, ppb) = spec.split_once('@').unwrap_or_else(|| usage());
+                let rank: u32 = rank.parse().unwrap_or_else(|_| usage());
+                let ppb: i64 = ppb.parse().unwrap_or_else(|_| usage());
+                opt.drifts.push((Rank(rank), ppb));
+            }
+            "--rotate-records" => {
+                opt.rotate_records = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--rotate-bytes" => {
+                opt.rotate_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => usage(),
@@ -400,6 +428,9 @@ fn run_socket(
     popts.obs_dir = opt.obs_dir.clone().map(Into::into);
     popts.health_addr = opt.health.clone();
     popts.fail_after = opt.fail_after;
+    popts.epoch_drift = opt.drifts.clone();
+    popts.rotate_records = opt.rotate_records;
+    popts.rotate_bytes = opt.rotate_bytes;
     popts.binds = pf.bind_map(opt.el_replicas);
 
     match run_proc(popts) {

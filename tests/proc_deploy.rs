@@ -218,6 +218,106 @@ fn skewed_epochs_are_corrected_in_merged_dump() {
 }
 
 #[test]
+fn drifting_clock_is_corrected_by_piecewise_track_in_merged_dump() {
+    let (mut opts, dir) = proc_opts("drifting_clock", 2, "ring 150");
+    // Rank 1's oscillator runs 3% fast (30M ppb): unlike a constant
+    // epoch shift, the error GROWS over the run, so a single offset
+    // per incarnation cannot reconcile the bidirectional ring traffic
+    // — the piecewise-linear track must kick in.
+    opts.epoch_drift = vec![(Rank(1), 30_000_000)];
+    let report = run_proc(opts).expect("drifting run completes");
+    let merge = report.merge.expect("merge summary present");
+
+    // The drift was visible raw and fully corrected by the track.
+    assert!(
+        merge.skew.inversions_before >= 1,
+        "expected causal inversions in the raw merge: {}",
+        merge.skew.summary()
+    );
+    assert_eq!(
+        merge.skew.inversions_after,
+        0,
+        "piecewise correction must remove every inversion: {}",
+        merge.skew.summary()
+    );
+    assert!(
+        !merge.skew.infeasible,
+        "clock model must be feasible: {}",
+        merge.skew.summary()
+    );
+    assert!(merge.skew.is_correction(), "{}", merge.skew.summary());
+
+    // The drift demanded a multi-segment track, and it travelled into
+    // the dump header in place of the constant offsets.
+    let text = std::fs::read_to_string(dir.join("merged.jsonl")).expect("merged dump");
+    let (header, timeline) = parse_dump(&text).expect("merged dump parses");
+    let header = header.expect("merged dump carries a header");
+    // The raise-only solver lifts the relatively SLOW clock — every
+    // other rank, from fast-running rank 1's point of view — so the
+    // rising multi-anchor track lands on a peer of rank 1.
+    assert!(
+        !header.track.is_empty(),
+        "header must record a piecewise offset track"
+    );
+    assert!(
+        header
+            .track
+            .iter()
+            .any(|t| t.anchors.len() >= 2 && t.anchors.last() > t.anchors.first()),
+        "drift needs a rising multi-anchor track, got {:?}",
+        header.track
+    );
+    assert!(
+        header.offsets.iter().all(|o| o.offset_ns == 0),
+        "track and constant offsets are mutually exclusive in the header"
+    );
+
+    // The corrected timeline passes the same strict audit obs_analyze
+    // applies, and fabricates no protocol violations.
+    validate_records(&timeline).expect("schema");
+    let monitor = InvariantMonitor::new();
+    monitor.observe_all(&timeline);
+    assert!(
+        monitor.violation().is_none(),
+        "drift correction must not fabricate violations: {:?}",
+        monitor.violation()
+    );
+}
+
+#[test]
+fn rotated_jsonl_segments_reassemble_in_merged_dump() {
+    let (mut opts, dir) = proc_opts("rotated_segments", 2, "ring 40");
+    // Tiny segments: every child stream rotates every 50 records, so
+    // the merge must reassemble multiple segments per incarnation.
+    opts.rotate_records = 50;
+    let report = run_proc(opts).expect("rotated run completes");
+    let merge = report.merge.expect("merge summary present");
+    assert!(merge.records > 0, "merged dump must carry records");
+
+    // At least one rank stream actually rotated: its sidecar segment
+    // index exists and lists every closed segment.
+    let seg_files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("obs dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".seg") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    assert!(
+        !seg_files.is_empty(),
+        "expected rotated .segN.jsonl segments in {}",
+        dir.display()
+    );
+
+    // The merged dump still validates: rotation lost nothing.
+    let text = std::fs::read_to_string(dir.join("merged.jsonl")).expect("merged dump");
+    let (_, timeline) = parse_dump(&text).expect("merged dump parses");
+    validate_records(&timeline).expect("schema");
+}
+
+#[test]
 fn injected_gate_violation_is_caught_live_by_parent() {
     let (mut opts, dir) = proc_opts("live_violation", 2, "ring 200");
     opts.inject_violation = Some(Rank(1));
